@@ -1,0 +1,425 @@
+(** Benchmark harness.
+
+    The paper has no numbered tables or figures (it is a theory paper);
+    DESIGN.md §5 defines the experiment series that play their role.
+    This harness regenerates every series with a quantitative axis:
+
+    - B1 [faic-contention]: linearizable fetch&increment (from CAS, and
+      wait-free from a board) vs the eventually linearizable
+      fetch&increment, under growing process counts — the
+      introduction's "give up synchronizing under contention" trade-off
+      made quantitative;
+    - B2 [checker-scaling]: the generic Wing–Gong-style t-linearizability
+      engine vs the fast Lemma-17 slot checker, as history length
+      grows (exponential vs near-linear);
+    - E6 [guard-overhead]: the cost the Figure-1 weak-consistency guard
+      adds per operation;
+    - E10 [ev-consensus]: the Proposals-array consensus over
+      linearizable vs eventually linearizable registers;
+    - E9 [valency-scaling]: exhaustive valency analysis cost vs depth;
+    - E13 [stabilize-sweep]: the Prop. 18 construction (stable-node
+      search + certification + derivation) for a sweep of stabilization
+      parameters k.
+
+    Every workload is deterministic (seeded); numbers are ns per
+    whole-scenario run, with per-op normalization printed where the
+    scenario has a natural op count. *)
+
+open Bechamel
+open Toolkit
+open Elin_spec
+open Elin_history
+open Elin_checker
+open Elin_runtime
+open Elin_core
+open Elin_valency
+
+(* ------------------------------------------------------------------ *)
+(* Measurement plumbing                                               *)
+(* ------------------------------------------------------------------ *)
+
+let ols =
+  Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+
+let instance = Instance.monotonic_clock
+
+let cfg =
+  Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None
+    ~stabilize:false ()
+
+let measure_group tests =
+  let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"" tests) in
+  let analyzed = Analyze.all ols instance raw in
+  Hashtbl.fold
+    (fun name ols acc ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) -> (name, est) :: acc
+      | Some [] | None -> (name, nan) :: acc)
+    analyzed []
+
+let print_header title =
+  Printf.printf "\n== %s ==\n%-46s %14s %14s\n" title "benchmark" "ns/run"
+    "ns/op"
+
+let is_suffix ~affix s =
+  let la = String.length affix and ls = String.length s in
+  la <= ls && String.sub s (ls - la) la = affix
+
+let print_rows specs results =
+  List.iter
+    (fun (name, ops, _) ->
+      let est =
+        match
+          List.find_opt
+            (fun (n, _) -> n = name || is_suffix ~affix:("/" ^ name) n)
+            results
+        with
+        | Some (_, est) -> est
+        | None -> nan
+      in
+      let per_op =
+        match ops with
+        | Some n when n > 0 -> Printf.sprintf "%14.1f" (est /. float_of_int n)
+        | _ -> Printf.sprintf "%14s" "-"
+      in
+      Printf.printf "%-46s %14.1f %s\n" name est per_op)
+    specs
+
+(* [specs] : (name, op-count option, thunk) list *)
+let group title specs =
+  print_header title;
+  let tests =
+    List.map (fun (name, _, f) -> Test.make ~name (Staged.stage f)) specs
+  in
+  let results = measure_group tests in
+  print_rows specs results;
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* B1: fetch&increment under contention                               *)
+(* ------------------------------------------------------------------ *)
+
+let fai_run impl ~procs ~per_proc ~seed () =
+  let wl = Run.uniform_workload Op.fetch_inc ~procs ~per_proc in
+  let out = Run.execute impl ~workloads:wl ~sched:(Sched.random ~seed) () in
+  assert out.Run.all_done
+
+let b1 () =
+  let per_proc = 64 in
+  let specs =
+    List.concat_map
+      (fun procs ->
+        let n = procs * per_proc in
+        [
+          ( Printf.sprintf "fai/cas procs=%d" procs,
+            Some n,
+            fai_run (Impls.fai_from_cas ()) ~procs ~per_proc ~seed:1 );
+          ( Printf.sprintf "fai/board procs=%d" procs,
+            Some n,
+            fai_run (Impls.fai_from_board ()) ~procs ~per_proc ~seed:1 );
+          ( Printf.sprintf "fai/ev-board(k=inf) procs=%d" procs,
+            Some n,
+            fai_run (Impls.fai_ev_board ~k:max_int ()) ~procs ~per_proc ~seed:1 );
+          ( Printf.sprintf "fai/ev-board(k=32) procs=%d" procs,
+            Some n,
+            fai_run (Impls.fai_ev_board ~k:32 ()) ~procs ~per_proc ~seed:1 );
+        ])
+      [ 1; 2; 4; 8 ]
+  in
+  group "B1: fetch&increment implementations under contention" specs
+
+(* ------------------------------------------------------------------ *)
+(* B2: checker scaling                                                *)
+(* ------------------------------------------------------------------ *)
+
+let b2 () =
+  let fai = Faicounter.spec () in
+  let fcfg = Engine.for_spec fai in
+  let history_of n seed =
+    let rng = Elin_kernel.Prng.create seed in
+    Gen.linearizable rng ~spec:fai ~procs:3 ~n_ops:n ()
+  in
+  let generic =
+    List.map
+      (fun n ->
+        let h = history_of n 42 in
+        ( Printf.sprintf "generic-engine n=%d" n,
+          Some n,
+          fun () -> assert (Engine.linearizable fcfg h) ))
+      [ 4; 8; 12; 16 ]
+  in
+  let fast =
+    List.map
+      (fun n ->
+        let h = history_of n 42 in
+        ( Printf.sprintf "fast-faic n=%d" n,
+          Some n,
+          fun () -> assert (Faic.t_linearizable h ~t:0) ))
+      [ 16; 64; 256; 1024; 4096 ]
+  in
+  let min_t =
+    List.map
+      (fun n ->
+        let rng = Elin_kernel.Prng.create 7 in
+        let h, _ =
+          Gen.eventually_linearizable rng ~spec:fai ~procs:2
+            ~prefix_ops:(n / 4) ~suffix_ops:(3 * n / 4) ()
+        in
+        ( Printf.sprintf "fast-min_t n=%d" n,
+          Some n,
+          fun () -> assert (Faic.min_t h <> None) ))
+      [ 64; 256; 1024 ]
+  in
+  group "B2: t-linearizability checker scaling" (generic @ fast @ min_t)
+
+(* ------------------------------------------------------------------ *)
+(* E6: guard overhead                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  let fai = Faicounter.spec () in
+  let inner () = Impls.fai_ev_board ~k:4 () in
+  let specs =
+    [
+      ( "unguarded fai/ev-board 2x6",
+        Some 12,
+        fai_run (inner ()) ~procs:2 ~per_proc:6 ~seed:3 );
+      ( "guarded fai/ev-board 2x6",
+        Some 12,
+        fai_run (Guard.wrap ~spec:fai (inner ())) ~procs:2 ~per_proc:6 ~seed:3 );
+      ( "unguarded fai/ev-board 3x6",
+        Some 18,
+        fai_run (inner ()) ~procs:3 ~per_proc:6 ~seed:3 );
+      ( "guarded fai/ev-board 3x6",
+        Some 18,
+        fai_run (Guard.wrap ~spec:fai (inner ())) ~procs:3 ~per_proc:6 ~seed:3 );
+    ]
+  in
+  group "E6: Figure-1 weak-consistency guard overhead" specs
+
+(* ------------------------------------------------------------------ *)
+(* E10: consensus                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let e10 () =
+  let consensus_run ~procs ~base ~seed () =
+    let impl = Ev_consensus.impl ~procs ~base () in
+    let wl = Array.init procs (fun p -> [ Op.propose (p mod 2) ]) in
+    let out = Run.execute impl ~workloads:wl ~sched:(Sched.random ~seed) () in
+    assert out.Run.all_done
+  in
+  let specs =
+    List.concat_map
+      (fun procs ->
+        [
+          ( Printf.sprintf "proposals/linearizable-regs procs=%d" procs,
+            Some procs,
+            consensus_run ~procs ~base:`Linearizable ~seed:5 );
+          ( Printf.sprintf "proposals/ev-regs(k=8) procs=%d" procs,
+            Some procs,
+            consensus_run ~procs ~base:(`Ev_at_step 8) ~seed:5 );
+        ])
+      [ 2; 4; 8 ]
+  in
+  group "E10: Proposals-array consensus (Prop. 16)" specs
+
+(* ------------------------------------------------------------------ *)
+(* E9: valency analysis                                               *)
+(* ------------------------------------------------------------------ *)
+
+let e9 () =
+  let inputs = [| Value.int 0; Value.int 1 |] in
+  let specs =
+    List.map
+      (fun depth ->
+        ( Printf.sprintf "check-consensus/cas depth=%d" depth,
+          None,
+          fun () ->
+            let r =
+              Valency.check_consensus (Protocols.cas ()) ~inputs
+                ~max_steps:depth
+            in
+            assert r.Valency.terminated ))
+      [ 10; 15; 20 ]
+    @ [
+        ( "check-consensus/regs+ev-ts",
+          None,
+          fun () ->
+            let r =
+              Valency.check_consensus
+                (Protocols.registers_plus_ev_testandset ())
+                ~inputs ~max_steps:30
+            in
+            assert (r.Valency.agreement_violation <> None) );
+        ( "find-critical/cas",
+          None,
+          fun () ->
+            assert (
+              Valency.find_critical (Protocols.cas ()) ~inputs ~max_steps:20
+              <> None) );
+      ]
+  in
+  group "E9: exhaustive valency analysis (Prop. 15)" specs
+
+(* ------------------------------------------------------------------ *)
+(* E13: the Prop. 18 construction                                     *)
+(* ------------------------------------------------------------------ *)
+
+let e13 () =
+  let check h ~t = Faic.t_linearizable h ~t in
+  let specs =
+    List.map
+      (fun k ->
+        ( Printf.sprintf "stabilize-construct k=%d" k,
+          None,
+          fun () ->
+            let impl = Impls.fai_ev_board ~k () in
+            let wl =
+              Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc:(2 * k + 6)
+            in
+            assert (
+              Stabilize.construct impl ~workloads:wl ~depth:8 ~check () <> None) ))
+      [ 1; 2; 3 ]
+  in
+  group "E13: Prop. 18 stable-configuration construction" specs
+
+(* ------------------------------------------------------------------ *)
+(* A1: ablations of the checker design choices                        *)
+(* ------------------------------------------------------------------ *)
+
+let a1 () =
+  let fai = Faicounter.spec () in
+  (* Memoized vs memo-free DFS on a history that forces backtracking:
+     the duplicate-heavy eventually-linearizable shape. *)
+  let adversarial n =
+    let rng = Elin_kernel.Prng.create 3 in
+    fst
+      (Gen.eventually_linearizable rng ~spec:fai ~procs:2 ~prefix_ops:(n / 2)
+         ~suffix_ops:(n / 2) ())
+  in
+  let memo_specs =
+    List.concat_map
+      (fun n ->
+        let h = adversarial n in
+        let t = Option.value ~default:0 (Faic.min_t h) in
+        [
+          (* Positive instance at the minimal cut: a witness is found
+             quickly, memoization is pure overhead. *)
+          ( Printf.sprintf "engine+memo sat n=%d" n,
+            None,
+            fun () ->
+              assert (Engine.t_linearizable (Engine.for_spec fai) h ~t) );
+          ( Printf.sprintf "engine-no-memo sat n=%d" n,
+            None,
+            fun () ->
+              assert
+                (Engine.t_linearizable (Engine.for_spec ~memoize:false fai) h ~t)
+          );
+        ])
+      [ 6; 8; 10 ]
+  in
+  (* The family where memoization is the difference between polynomial
+     and exponential: k concurrent pending writes of distinct values
+     plus a reader whose read sequence is unsatisfiable — the whole
+     ordering space must be refuted.  (At k = 9 the memo-free search
+     explores ~2.4M nodes vs ~17k memoized; k = 12 without memoization
+     does not terminate in reasonable time and is omitted.) *)
+  let pending_writes_family k =
+    let reg = Register.spec ~domain:(List.init k (fun i -> i + 1)) () in
+    let open Elin_history in
+    let events =
+      List.init k (fun i -> Event.invoke ~proc:(i + 1) ~obj:0 (Op.write (i + 1)))
+      @ List.concat_map
+          (fun i ->
+            [
+              Event.invoke ~proc:0 ~obj:0 Op.read;
+              Event.respond ~proc:0 ~obj:0 (Value.int (i + 1));
+            ])
+          (List.init k (fun i -> i))
+      @ [
+          Event.invoke ~proc:0 ~obj:0 Op.read;
+          Event.respond ~proc:0 ~obj:0 (Value.int 1);
+        ]
+    in
+    (reg, History.of_events events)
+  in
+  let unsat_specs =
+    List.concat_map
+      (fun k ->
+        let reg, h = pending_writes_family k in
+        ( Printf.sprintf "engine+memo unsat-writes k=%d" k,
+          None,
+          fun () ->
+            assert (not (Engine.t_linearizable (Engine.for_spec reg) h ~t:0)) )
+        ::
+        (if k <= 8 then
+           [
+             ( Printf.sprintf "engine-no-memo unsat-writes k=%d" k,
+               None,
+               fun () ->
+                 assert
+                   (not
+                      (Engine.t_linearizable
+                         (Engine.for_spec ~memoize:false reg)
+                         h ~t:0)) );
+           ]
+         else []))
+      [ 6; 8; 10 ]
+  in
+  let memo_specs = memo_specs @ unsat_specs in
+  (* The two guard substrates (board vs per-process register arrays). *)
+  let guard_specs =
+    let inner () = Impls.fai_ev_board ~k:3 () in
+    [
+      ( "guard/board 2x5",
+        Some 10,
+        fai_run (Guard.wrap ~spec:fai (inner ())) ~procs:2 ~per_proc:5 ~seed:9 );
+      ( "guard/register-arrays 2x5",
+        Some 10,
+        fai_run
+          (Guard.wrap_registers ~spec:fai ~procs:2 ~max_ops:8 (inner ()))
+          ~procs:2 ~per_proc:5 ~seed:9 );
+    ]
+  in
+  group "A1: ablations (engine memoization; guard substrate)"
+    (memo_specs @ guard_specs)
+
+(* ------------------------------------------------------------------ *)
+(* E15: the universal construction                                    *)
+(* ------------------------------------------------------------------ *)
+
+let e15 () =
+  let universal_run ~cell_base ~procs ~per_proc ~seed () =
+    let impl =
+      Universal.construction ~spec:(Faicounter.spec ())
+        ~cells:(procs * per_proc * 2) ~cell_base ()
+    in
+    fai_run impl ~procs ~per_proc ~seed ()
+  in
+  let specs =
+    List.concat_map
+      (fun procs ->
+        [
+          ( Printf.sprintf "universal/linearizable procs=%d" procs,
+            Some (procs * 8),
+            universal_run ~cell_base:`Linearizable ~procs ~per_proc:8 ~seed:2 );
+          ( Printf.sprintf "universal/ev-cells(k=8) procs=%d" procs,
+            Some (procs * 8),
+            universal_run ~cell_base:(`Ev_at_step 8) ~procs ~per_proc:8 ~seed:2 );
+        ])
+      [ 1; 2; 4 ]
+  in
+  group "E15: log-based universal construction from consensus cells" specs
+
+let () =
+  Printf.printf
+    "elin benchmark harness — experiment series from DESIGN.md section 5\n";
+  b1 ();
+  b2 ();
+  e6 ();
+  e10 ();
+  e9 ();
+  e13 ();
+  e15 ();
+  a1 ();
+  Printf.printf "\nAll benchmark groups completed.\n"

@@ -1,0 +1,433 @@
+(** The [elin] command-line tool.
+
+    {v
+    elin check      — check a history file against a spec
+    elin generate   — generate a (linearizable / eventually
+                      linearizable / corrupted) history file
+    elin run        — execute an implementation and report verdicts
+    elin paradox    — run the Prop. 18 construction end to end
+    elin experiments— run the experiment suite and print the report
+    v} *)
+
+open Cmdliner
+open Elin_spec
+open Elin_history
+open Elin_checker
+open Elin_runtime
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let spec_names () =
+  List.map (fun (e : Zoo.entry) -> Spec.name e.Zoo.spec) (Zoo.all ())
+
+let spec_of_name name =
+  match
+    List.find_opt
+      (fun (e : Zoo.entry) -> Spec.name e.Zoo.spec = name)
+      (Zoo.all ())
+  with
+  | Some e -> Ok e.Zoo.spec
+  | None ->
+    Error
+      (Printf.sprintf "unknown spec %S (available: %s)" name
+         (String.concat ", " (spec_names ())))
+
+let spec_arg =
+  let doc = "Object type (sequential specification) to check against." in
+  Arg.(value & opt string "fetch&increment" & info [ "spec"; "s" ] ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed; every run is a pure function of it." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let procs_arg =
+  let doc = "Number of processes." in
+  Arg.(value & opt int 2 & info [ "procs"; "p" ] ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* elin check                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let do_check spec_name file t_flag min_t_flag weak_flag =
+  match spec_of_name spec_name with
+  | Error e -> `Error (false, e)
+  | Ok spec ->
+    let hist =
+      try Ok (Textio.of_file file) with
+      | Textio.Parse_error m -> Error ("parse error: " ^ m)
+      | History.Ill_formed e ->
+        Error (Format.asprintf "ill-formed history: %a" History.pp_error e)
+      | Sys_error m -> Error m
+    in
+    (match hist with
+    | Error e -> `Error (false, e)
+    | Ok hist ->
+      (match t_flag with
+      | Some t ->
+        let cfg = Engine.for_spec spec in
+        Printf.printf "%d-linearizable: %b\n" t
+          (Engine.t_linearizable cfg hist ~t)
+      | None -> ());
+      if t_flag = None || min_t_flag || weak_flag then
+        Format.printf "%a@." Report.pp (Report.analyze spec hist);
+      `Ok ())
+
+let check_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"HISTORY-FILE")
+  in
+  let t_flag =
+    Arg.(value & opt (some int) None
+         & info [ "t" ] ~doc:"Check t-linearizability at this cut.")
+  in
+  let min_t_flag =
+    Arg.(value & flag & info [ "min-t" ] ~doc:"Report the minimal cut.")
+  in
+  let weak_flag =
+    Arg.(value & flag & info [ "weak" ] ~doc:"Check weak consistency.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check a history file against a specification")
+    Term.(ret (const do_check $ spec_arg $ file $ t_flag $ min_t_flag $ weak_flag))
+
+(* ------------------------------------------------------------------ *)
+(* elin generate                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let do_generate spec_name procs n_ops seed kind out =
+  match spec_of_name spec_name with
+  | Error e -> `Error (false, e)
+  | Ok spec ->
+    let rng = Elin_kernel.Prng.create seed in
+    let hist =
+      match kind with
+      | "linearizable" -> Gen.linearizable rng ~spec ~procs ~n_ops ()
+      | "pending" -> Gen.linearizable_with_pending rng ~spec ~procs ~n_ops ()
+      | "eventual" ->
+        fst
+          (Gen.eventually_linearizable rng ~spec ~procs
+             ~prefix_ops:(n_ops / 2)
+             ~suffix_ops:(n_ops - (n_ops / 2))
+             ())
+      | "corrupt" -> (
+        let h = Gen.linearizable rng ~spec ~procs ~n_ops () in
+        match Gen.corrupt rng h with Some h' -> h' | None -> h)
+      | other ->
+        invalid_arg
+          (Printf.sprintf
+             "unknown kind %S (linearizable|pending|eventual|corrupt)" other)
+    in
+    (match out with
+    | Some path ->
+      Textio.to_file path hist;
+      Printf.printf "wrote %d events to %s\n" (History.length hist) path
+    | None -> print_string (Textio.to_string hist));
+    `Ok ()
+
+let generate_cmd =
+  let n_ops =
+    Arg.(value & opt int 10 & info [ "ops"; "n" ] ~doc:"Operations to generate.")
+  in
+  let kind =
+    Arg.(value & opt string "linearizable"
+         & info [ "kind"; "k" ]
+             ~doc:"One of: linearizable, pending, eventual, corrupt.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "output"; "o" ] ~doc:"Output file (stdout if absent).")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a history file")
+    Term.(
+      ret (const do_generate $ spec_arg $ procs_arg $ n_ops $ seed_arg $ kind $ out))
+
+(* ------------------------------------------------------------------ *)
+(* elin run                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let impl_of_name name ~procs =
+  match name with
+  | "fai/cas" -> Ok (Impls.fai_from_cas (), Op.fetch_inc)
+  | "fai/board" -> Ok (Impls.fai_from_board (), Op.fetch_inc)
+  | "fai/ev-board" -> Ok (Impls.fai_ev_board ~k:8 (), Op.fetch_inc)
+  | "fai/guarded" ->
+    Ok
+      ( Elin_core.Guard.wrap ~spec:(Faicounter.spec ())
+          (Impls.fai_ev_board ~k:8 ()),
+        Op.fetch_inc )
+  | "fai/universal" ->
+    Ok
+      ( Elin_core.Universal.construction ~spec:(Faicounter.spec ()) ~cells:256 (),
+        Op.fetch_inc )
+  | "fai/universal-wf" ->
+    Ok
+      ( Elin_core.Universal.construction_wait_free ~spec:(Faicounter.spec ())
+          ~cells:256 ~procs (),
+        Op.fetch_inc )
+  | "test&set/ev" -> Ok (Elin_core.Ev_testandset.impl (), Op.test_and_set)
+  | "consensus/proposals" ->
+    Ok (Elin_core.Ev_consensus.impl ~procs (), Op.propose 1)
+  | other ->
+    Error
+      (Printf.sprintf
+         "unknown implementation %S (fai/cas, fai/board, fai/ev-board, \
+          fai/guarded, fai/universal, fai/universal-wf, test&set/ev, \
+          consensus/proposals)"
+         other)
+
+let do_run impl_name procs per_proc seed verbose =
+  match impl_of_name impl_name ~procs with
+  | Error e -> `Error (false, e)
+  | Ok (impl, op) ->
+    let workloads =
+      match impl_name with
+      | "consensus/proposals" ->
+        Array.init procs (fun p -> [ Op.propose (p mod 2) ])
+      | _ -> Run.uniform_workload op ~procs ~per_proc
+    in
+    let out = Run.execute impl ~workloads ~sched:(Sched.random ~seed) () in
+    if verbose then print_endline (History.to_string out.Run.history);
+    Printf.printf
+      "implementation: %s\nprocesses: %d  completed ops: %d  scheduler steps: \
+       %d  max base-accesses/op: %d\n"
+      impl.Impl.name procs out.Run.stats.Run.completed out.Run.stats.Run.steps
+      out.Run.stats.Run.max_steps_per_op;
+    let spec =
+      match impl_name with
+      | "test&set/ev" -> Testandset.spec ()
+      | "consensus/proposals" -> Consensus_spec.spec ()
+      | _ -> Faicounter.spec ()
+    in
+    let v = Eventual.check_spec spec out.Run.history in
+    Printf.printf "linearizable: %b\n"
+      (Engine.linearizable (Engine.for_spec spec) out.Run.history);
+    Format.printf "eventual-linearizability verdict: %a@."
+      Eventual.pp_verdict v;
+    `Ok ()
+
+let run_cmd =
+  let impl_name =
+    Arg.(value & opt string "fai/cas" & info [ "impl"; "i" ] ~doc:"Implementation.")
+  in
+  let per_proc =
+    Arg.(value & opt int 5 & info [ "per-proc" ] ~doc:"Operations per process.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the history.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute an implementation and check its history")
+    Term.(ret (const do_run $ impl_name $ procs_arg $ per_proc $ seed_arg $ verbose))
+
+(* ------------------------------------------------------------------ *)
+(* elin paradox                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let do_paradox k depth =
+  let check h ~t = Faic.t_linearizable h ~t in
+  let impl = Impls.fai_ev_board ~k () in
+  let workloads =
+    Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc:(2 * k + 6)
+  in
+  Printf.printf
+    "A = %s: an eventually linearizable fetch&increment (misbehaves for its \
+     first %d announcements)\n"
+    impl.Impl.name k;
+  match Elin_core.Stabilize.construct impl ~workloads ~depth ~check () with
+  | None -> `Error (false, "construction failed (increase depth?)")
+  | Some o ->
+    let cert = o.Elin_core.Stabilize.certificate in
+    Printf.printf
+      "stable configuration certified: cut t=%d history events (%d leaves \
+       explored to depth %d)\n"
+      cert.Elin_core.Stabilize.cut cert.Elin_core.Stabilize.leaves_checked
+      cert.Elin_core.Stabilize.extension_depth;
+    Printf.printf "anchor op0 found: v0 = %d\n"
+      o.Elin_core.Stabilize.anchor.Elin_core.Stabilize.v0;
+    let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc:3 in
+    let ok, _, stats =
+      Elin_explore.Explore.for_all_histories o.Elin_core.Stabilize.derived
+        ~workloads:wl ~locals:o.Elin_core.Stabilize.derived_locals
+        ~max_steps:18
+        (fun h -> Faic.t_linearizable h ~t:0)
+    in
+    Printf.printf
+      "A' = %s: exhaustively model-checked LINEARIZABLE on %d schedules: %b\n"
+      o.Elin_core.Stabilize.derived.Impl.name stats.Elin_explore.Explore.leaves
+      ok;
+    if ok then begin
+      Printf.printf
+        "the paradox, mechanized: the eventually linearizable implementation \
+         A contained a fully linearizable implementation A' of the same \
+         fetch&increment, over the same base objects.\n";
+      `Ok ()
+    end
+    else `Error (false, "derived implementation not linearizable!")
+
+let paradox_cmd =
+  let k = Arg.(value & opt int 3 & info [ "k" ] ~doc:"Misbehaving prefix length.") in
+  let depth =
+    Arg.(value & opt int 10 & info [ "depth" ] ~doc:"Stability certification depth.")
+  in
+  Cmd.v
+    (Cmd.info "paradox"
+       ~doc:"Run the Proposition 18 construction (the paper's paradox) end to end")
+    Term.(ret (const do_paradox $ k $ depth))
+
+(* ------------------------------------------------------------------ *)
+(* elin valency                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let do_valency protocol_name stabilize_at depth =
+  let open Elin_valency in
+  let protocol =
+    match protocol_name with
+    | "naive-registers" -> Ok (Protocols.naive_registers ())
+    | "cas" -> Ok (Protocols.cas ())
+    | "regs+ts" -> Ok (Protocols.registers_plus_linearizable_testandset ())
+    | "regs+ev-ts" ->
+      Ok (Protocols.registers_plus_ev_testandset ~stabilize_at ())
+    | "regs+queue" -> Ok (Protocols.registers_plus_linearizable_queue ())
+    | "regs+ev-queue" ->
+      Ok (Protocols.registers_plus_ev_queue ~stabilize_at ())
+    | "regs+fai" -> Ok (Protocols.registers_plus_fai ())
+    | other ->
+      Error
+        (Printf.sprintf
+           "unknown protocol %S (naive-registers, cas, regs+ts, regs+ev-ts, \
+            regs+queue, regs+ev-queue, regs+fai)"
+           other)
+  in
+  match protocol with
+  | Error e -> `Error (false, e)
+  | Ok p ->
+    let inputs = [| Value.int 0; Value.int 1 |] in
+    Printf.printf "protocol: %s  (inputs 0, 1; exhaustive to depth %d)\n"
+      p.Valency.name depth;
+    let r = Valency.check_consensus p ~inputs ~max_steps:depth in
+    Printf.printf "terminated within bound: %b\n" r.Valency.terminated;
+    Printf.printf "reachable decision vectors: %s\n"
+      (String.concat ", "
+         (List.map
+            (fun d ->
+              Printf.sprintf "(%s)"
+                (String.concat ","
+                   (List.map Value.to_string (Array.to_list d))))
+            r.Valency.decisions));
+    (match r.Valency.agreement_violation with
+    | Some d ->
+      Printf.printf "AGREEMENT VIOLATION: p0 decides %s, p1 decides %s\n"
+        (Value.to_string d.(0)) (Value.to_string d.(1))
+    | None -> Printf.printf "agreement: holds on all schedules\n");
+    (match r.Valency.validity_violation with
+    | Some _ -> Printf.printf "VALIDITY VIOLATION\n"
+    | None -> Printf.printf "validity: holds on all schedules\n");
+    (match Valency.find_critical p ~inputs ~max_steps:depth with
+    | Some crit ->
+      Printf.printf
+        "critical configuration at step %d; poised objects: %s\n"
+        crit.Valency.config.Valency.steps
+        (String.concat ","
+           (List.map
+              (fun (o, _) ->
+                match o with Some o -> string_of_int o | None -> "-")
+              (Array.to_list crit.Valency.moves)))
+    | None -> Printf.printf "no critical configuration (protocol univalent or undetermined)\n");
+    `Ok ()
+
+let valency_cmd =
+  let protocol =
+    Arg.(value & opt string "cas"
+         & info [ "protocol"; "P" ] ~doc:"Candidate consensus protocol.")
+  in
+  let stabilize_at =
+    Arg.(value & opt int 1000
+         & info [ "stabilize-at" ]
+             ~doc:"Stabilization step of the eventually linearizable object.")
+  in
+  let depth =
+    Arg.(value & opt int 30 & info [ "depth" ] ~doc:"Exploration depth bound.")
+  in
+  Cmd.v
+    (Cmd.info "valency"
+       ~doc:"Exhaustive valency analysis of a 2-process consensus protocol \
+             (Proposition 15)")
+    Term.(ret (const do_valency $ protocol $ stabilize_at $ depth))
+
+(* ------------------------------------------------------------------ *)
+(* elin serafini                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let do_serafini family probes =
+  let table =
+    match family with
+    | "delayed-winner" ->
+      let ts = Testandset.spec () in
+      Ok
+        (Serafini.family_min_ts Serafini.delayed_winner_family
+           ~min_t:(Eventual.min_t (Engine.for_spec ts))
+           ~probes)
+    | "ev-board" ->
+      let fam per_proc =
+        let impl = Impls.fai_ev_board ~k:3 () in
+        let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc in
+        (Run.execute impl ~workloads:wl ~sched:(Sched.round_robin ()) ())
+          .Run.history
+      in
+      Ok (Serafini.family_min_ts fam ~min_t:Faic.min_t ~probes)
+    | other ->
+      Error
+        (Printf.sprintf "unknown family %S (delayed-winner, ev-board)" other)
+  in
+  match table with
+  | Error e -> `Error (false, e)
+  | Ok table ->
+    Printf.printf "probe  min_t\n";
+    List.iter
+      (fun (i, t) ->
+        Printf.printf "%5d  %s\n" i
+          (match t with Some t -> string_of_int t | None -> "none"))
+      table;
+    Format.printf "verdict: %a@." Serafini.pp_verdict (Serafini.classify table);
+    `Ok ()
+
+let serafini_cmd =
+  let family =
+    Arg.(value & opt string "delayed-winner"
+         & info [ "family"; "f" ] ~doc:"History family (delayed-winner, ev-board).")
+  in
+  let probes =
+    Arg.(value & opt (list int) [ 1; 3; 6; 9 ]
+         & info [ "probes" ] ~doc:"Family indices to tabulate.")
+  in
+  Cmd.v
+    (Cmd.info "serafini"
+       ~doc:"Compare the per-execution and uniform-bound definitions of \
+             eventual linearizability on a history family (Section 2)")
+    Term.(ret (const do_serafini $ family $ probes))
+
+(* ------------------------------------------------------------------ *)
+(* elin experiments                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let experiments_cmd =
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Run the experiment suite (quick versions) and print the report")
+    Term.(ret (const (fun () -> `Ok (Experiments.run_all ())) $ const ()))
+
+(* ------------------------------------------------------------------ *)
+
+let main =
+  Cmd.group
+    (Cmd.info "elin" ~version:"1.0.0"
+       ~doc:
+         "Eventual linearizability in shared memory — executable reproduction \
+          of Guerraoui & Ruppert, PODC 2014")
+    [ check_cmd; generate_cmd; run_cmd; paradox_cmd; valency_cmd;
+      serafini_cmd; experiments_cmd ]
+
+let () = exit (Cmd.eval main)

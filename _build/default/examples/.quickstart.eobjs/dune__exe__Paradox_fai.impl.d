@@ -1,0 +1,1 @@
+examples/paradox_fai.ml: Elin_checker Elin_core Elin_explore Elin_history Elin_runtime Elin_spec Eventual Explore Faic Format Impl Impls Op Run Stabilize

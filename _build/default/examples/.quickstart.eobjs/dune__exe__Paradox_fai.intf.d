@@ -1,0 +1,1 @@
+examples/paradox_fai.mli:

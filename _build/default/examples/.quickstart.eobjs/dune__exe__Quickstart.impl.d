@@ -1,0 +1,1 @@
+examples/quickstart.ml: Elin_checker Elin_history Elin_runtime Elin_spec Engine Event Eventual Faic Faicounter Format History Impl Impls Op Run Sched Value Weak

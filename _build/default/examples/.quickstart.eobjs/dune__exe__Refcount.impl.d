@@ -1,0 +1,1 @@
+examples/refcount.ml: Elin_checker Elin_history Elin_runtime Elin_spec Eventual Faic Format History Impls List Op Operation Option Run Sched Value

@@ -1,0 +1,1 @@
+examples/refcount.mli:

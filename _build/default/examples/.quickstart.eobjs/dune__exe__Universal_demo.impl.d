@@ -1,0 +1,1 @@
+examples/universal_demo.ml: Elin_checker Elin_core Elin_runtime Elin_spec Engine Eventual Faicounter Fifo Format Op Run Sched Testandset Universal

@@ -1,0 +1,68 @@
+(** The Section 6 open question, explored: a universal construction for
+    eventually linearizable objects.
+
+    Herlihy's theorem makes consensus universal for linearizable
+    objects; the paper asks whether a lock-free universal construction
+    exists for *eventually linearizable* objects from natural
+    eventually linearizable primitives.  This demo instantiates the
+    log-based universal construction twice — over linearizable
+    consensus cells and over adversarial eventually linearizable ones —
+    and lets the checkers report what each buys, for three different
+    object types.
+
+    Run with [dune exec examples/universal_demo.exe]. *)
+
+open Elin_spec
+open Elin_checker
+open Elin_runtime
+open Elin_core
+
+let verdict_line name spec history =
+  Format.printf "  %-24s linearizable=%-5b  %a@." name
+    (Engine.linearizable (Engine.for_spec spec) history)
+    Eventual.pp_verdict
+    (Eventual.check_spec spec history)
+
+let demo ~spec ~workloads ~cell_base label =
+  let impl =
+    Universal.construction ~spec ~cells:64 ~cell_base ()
+  in
+  let out =
+    Run.execute impl ~workloads ~sched:(Sched.random ~seed:13) ()
+  in
+  verdict_line label spec out.Run.history
+
+let () =
+  Format.printf
+    "Universal construction: every deterministic type from consensus cells@.@.";
+
+  let fai_wl = Run.uniform_workload Op.fetch_inc ~procs:3 ~per_proc:4 in
+  let ts_wl = Run.uniform_workload Op.test_and_set ~procs:3 ~per_proc:3 in
+  let q_wl =
+    [| [ Op.enq 1; Op.deq; Op.enq 2 ]; [ Op.deq; Op.enq 0 ]; [ Op.deq ] |]
+  in
+
+  Format.printf "over LINEARIZABLE consensus cells (Herlihy universality):@.";
+  demo ~spec:(Faicounter.spec ()) ~workloads:fai_wl ~cell_base:`Linearizable
+    "fetch&increment";
+  demo ~spec:(Testandset.spec ()) ~workloads:ts_wl ~cell_base:`Linearizable
+    "test&set";
+  demo ~spec:(Fifo.spec ()) ~workloads:q_wl ~cell_base:`Linearizable "queue";
+
+  Format.printf
+    "@.over EVENTUALLY LINEARIZABLE cells (stabilizing at step 10):@.";
+  demo ~spec:(Faicounter.spec ()) ~workloads:fai_wl
+    ~cell_base:(`Ev_at_step 10) "fetch&increment";
+  demo ~spec:(Testandset.spec ()) ~workloads:ts_wl ~cell_base:(`Ev_at_step 10)
+    "test&set";
+  demo ~spec:(Fifo.spec ()) ~workloads:q_wl ~cell_base:(`Ev_at_step 10)
+    "queue";
+
+  Format.printf
+    "@.Reading: with linearizable cells every type is linearizable; with@.\
+     eventually linearizable cells linearizability is lost but eventual@.\
+     linearizability (finite min_t) is preserved — because every operation@.\
+     replays the log from cell 0, the processes re-synchronize once the@.\
+     cells stabilize.  Note the construction uses consensus cells, which@.\
+     are strictly stronger than the registers Corollary 19 rules out: the@.\
+     open question (registers + natural ev-lin primitives) stays open.@."

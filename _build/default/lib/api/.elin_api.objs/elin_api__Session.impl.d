@@ -1,0 +1,1 @@
+lib/api/session.ml: Array Base Elin_checker Elin_explore Elin_history Elin_kernel Elin_runtime Elin_spec Event Explore Impl Option Printf Prng Sched Value

@@ -1,0 +1,1 @@
+lib/api/session.mli: Elin_checker Elin_history Elin_runtime Elin_spec History Impl Op Sched Spec Value

@@ -1,0 +1,1 @@
+lib/api/typed.ml: Elin_core Elin_runtime Elin_spec Impl Impls Op Register Session Value

@@ -1,0 +1,1 @@
+lib/api/typed.mli: Elin_runtime Impl Session

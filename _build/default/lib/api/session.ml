@@ -1,0 +1,139 @@
+(** Interactive sessions: drive an implementation operation by
+    operation, step by step, and ask for verdicts at any point.
+
+    [Run.execute] is batch (fixed workloads, one scheduler);
+    [Explore] is exhaustive.  A session is the interactive middle
+    ground a library user wants when prototyping an algorithm: invoke
+    operations on chosen processes, advance chosen processes (or let a
+    scheduler pick), inspect responses and the evolving history, and
+    check consistency verdicts mid-flight.
+
+    Sessions are deterministic given their seed: adversary branching in
+    base objects resolves through a seeded PRNG (always pass the same
+    seed to replay a session). *)
+
+open Elin_kernel
+open Elin_spec
+open Elin_history
+open Elin_runtime
+open Elin_explore
+
+type t = {
+  impl : Impl.t;
+  mutable config : Explore.config;
+  rng : Prng.t;
+  mutable last_responses : Value.t option array;
+}
+
+let create ?(seed = 0) (impl : Impl.t) ~procs =
+  {
+    impl;
+    config =
+      Explore.initial_config impl ~workloads:(Array.make procs []) ();
+    rng = Prng.create seed;
+    last_responses = Array.make procs None;
+  }
+
+let procs t = Array.length t.config.Explore.procs
+
+let check_proc t proc =
+  if proc < 0 || proc >= procs t then
+    invalid_arg (Printf.sprintf "Session: no process %d" proc)
+
+(** [busy t ~proc] — the process has an operation in flight (invoked
+    and not yet responded). *)
+let busy t ~proc =
+  check_proc t proc;
+  Option.is_some t.config.Explore.procs.(proc).Explore.running
+
+(** [has_work t ~proc] — the process can take a step (mid-operation or
+    with a queued invocation). *)
+let has_work t ~proc =
+  check_proc t proc;
+  let pr = t.config.Explore.procs.(proc) in
+  Option.is_some pr.Explore.running || pr.Explore.todo <> []
+
+(** [invoke t ~proc op] queues [op] as process [proc]'s next operation.
+    Several operations may be queued; each starts (emitting its
+    invocation event) when the process is next stepped while idle. *)
+let invoke t ~proc op =
+  check_proc t proc;
+  let pr = t.config.Explore.procs.(proc) in
+  let procs = Array.copy t.config.Explore.procs in
+  procs.(proc) <- { pr with Explore.todo = pr.Explore.todo @ [ op ] };
+  t.config <- { t.config with Explore.procs }
+
+exception No_step of int
+
+(** [step t ~proc] advances [proc] by one atomic step (invocation,
+    base-object access — adversary branching resolved by the session's
+    PRNG — or response).  Raises [No_step proc] if the process has
+    nothing to do. *)
+let step t ~proc =
+  check_proc t proc;
+  match Explore.step t.impl t.config proc with
+  | [] -> raise (No_step proc)
+  | choices ->
+    let before_running = busy t ~proc in
+    let c = Base.pick t.rng choices in
+    t.config <- c;
+    (* Record the response when this step completed an operation. *)
+    if before_running && not (Option.is_some c.Explore.procs.(proc).Explore.running)
+    then begin
+      match c.Explore.events_rev with
+      | Event.{ payload = Respond v; proc = p; _ } :: _ when p = proc ->
+        t.last_responses.(proc) <- Some v
+      | _ -> ()
+    end
+
+(** [step_auto t ~sched] — let [sched] pick the process; [false] when
+    nothing is runnable. *)
+let step_auto t ~sched =
+  match Explore.runnable t.config with
+  | [] -> false
+  | rs -> (
+    match sched.Sched.choose ~runnable:rs ~step:t.config.Explore.steps with
+    | None -> false
+    | Some p ->
+      step t ~proc:p;
+      true)
+
+(** [run_op t ~proc op] — convenience: queue [op] and run [proc] solo
+    until it completes; returns the response.  Raises [No_step] if the
+    operation needs more than [fuel] steps (a blocked implementation). *)
+let run_op ?(fuel = 10_000) t ~proc op =
+  invoke t ~proc op;
+  let rec go budget =
+    if budget = 0 then raise (No_step proc);
+    step t ~proc;
+    if busy t ~proc || has_work t ~proc then go (budget - 1)
+    else
+      match t.last_responses.(proc) with
+      | Some v -> v
+      | None -> raise (No_step proc)
+  in
+  go fuel
+
+(** [drain t ~sched ~max_steps] — run scheduler-picked steps until
+    quiescent or out of budget; returns the steps taken. *)
+let drain ?(max_steps = 100_000) t ~sched =
+  let taken = ref 0 in
+  while !taken < max_steps && step_auto t ~sched do
+    incr taken
+  done;
+  !taken
+
+let last_response t ~proc =
+  check_proc t proc;
+  t.last_responses.(proc)
+
+let history t = Explore.history t.config
+let steps t = t.config.Explore.steps
+
+(** [verdict t ~spec] — the eventual-linearizability verdict of the
+    session's history so far. *)
+let verdict t ~spec = Elin_checker.Eventual.check_spec spec (history t)
+
+let is_linearizable t ~spec =
+  Elin_checker.Engine.linearizable (Elin_checker.Engine.for_spec spec)
+    (history t)

@@ -1,0 +1,50 @@
+(** Interactive sessions: drive an implementation operation by
+    operation, step by step, and ask for consistency verdicts at any
+    point — the library's downstream-facing facade.  Deterministic
+    given the seed. *)
+
+open Elin_spec
+open Elin_history
+open Elin_runtime
+
+type t
+
+val create : ?seed:int -> Impl.t -> procs:int -> t
+
+val procs : t -> int
+
+(** The process has an operation in flight. *)
+val busy : t -> proc:int -> bool
+
+(** The process can take a step (mid-operation or queued invocation). *)
+val has_work : t -> proc:int -> bool
+
+(** Queue [op] as the process's next operation; it starts (emitting its
+    invocation event) when the process is next stepped while idle. *)
+val invoke : t -> proc:int -> Op.t -> unit
+
+exception No_step of int
+
+(** Advance one atomic step; adversary branching resolves through the
+    session PRNG.  Raises {!No_step} if the process has nothing to do. *)
+val step : t -> proc:int -> unit
+
+(** Let [sched] pick the process; [false] when nothing is runnable. *)
+val step_auto : t -> sched:Sched.t -> bool
+
+(** Queue [op] and run [proc] solo to completion; returns the
+    response. *)
+val run_op : ?fuel:int -> t -> proc:int -> Op.t -> Value.t
+
+(** Run scheduler-picked steps until quiescent or out of budget;
+    returns the number of steps taken. *)
+val drain : ?max_steps:int -> t -> sched:Sched.t -> int
+
+(** Response of the process's most recently completed operation. *)
+val last_response : t -> proc:int -> Value.t option
+
+val history : t -> History.t
+val steps : t -> int
+
+val verdict : t -> spec:Spec.t -> Elin_checker.Eventual.verdict
+val is_linearizable : t -> spec:Spec.t -> bool

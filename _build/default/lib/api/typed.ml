@@ -1,0 +1,72 @@
+(** Typed object handles: OCaml-typed front ends over {!Session}, so a
+    downstream user can drive a shared counter or register without
+    touching [Value.t] plumbing.
+
+    Each handle pairs a session with a process id; operations run the
+    process solo to completion ([Session.run_op]) — for manual
+    interleaving control, drop down to {!Session} directly. *)
+
+open Elin_spec
+open Elin_runtime
+
+type handle = { session : Session.t; proc : int }
+
+let handle session ~proc = { session; proc }
+
+(** Fetch&increment counters. *)
+module Counter = struct
+  type t = handle
+
+  (** [create ?seed ?impl ~procs ()] — defaults to the linearizable
+      board-based implementation. *)
+  let create ?seed ?(impl = Impls.fai_from_board ()) ~procs () =
+    Session.create ?seed impl ~procs
+
+  let fetch_inc (h : t) =
+    Value.to_int (Session.run_op h.session ~proc:h.proc Op.fetch_inc)
+end
+
+(** Read/write registers. *)
+module Register_handle = struct
+  type t = handle
+
+  let create ?seed ?(impl = Impl.of_spec (Register.spec ())) ~procs () =
+    Session.create ?seed impl ~procs
+
+  let read (h : t) = Value.to_int (Session.run_op h.session ~proc:h.proc Op.read)
+
+  let write (h : t) v =
+    Value.to_unit (Session.run_op h.session ~proc:h.proc (Op.write v))
+end
+
+(** Test&set bits. *)
+module Test_and_set = struct
+  type t = handle
+
+  (** Defaults to the paper's communication-free eventually
+      linearizable implementation (Section 4). *)
+  let create ?seed ?(impl = Elin_core.Ev_testandset.impl ()) ~procs () =
+    Session.create ?seed impl ~procs
+
+  (** [test_and_set h] — [true] iff this call won (read 0). *)
+  let test_and_set (h : t) =
+    Value.equal (Session.run_op h.session ~proc:h.proc Op.test_and_set)
+      (Value.int 0)
+end
+
+(** Consensus objects. *)
+module Consensus = struct
+  type t = handle
+
+  (** Defaults to the Proposals-array algorithm (Prop. 16). *)
+  let create ?seed ?impl ~procs () =
+    let impl =
+      match impl with
+      | Some i -> i
+      | None -> Elin_core.Ev_consensus.impl ~procs ()
+    in
+    Session.create ?seed impl ~procs
+
+  let propose (h : t) v =
+    Value.to_int (Session.run_op h.session ~proc:h.proc (Op.propose v))
+end

@@ -1,0 +1,48 @@
+(** Typed object handles over {!Session}: drive shared objects with
+    OCaml-typed operations.  Operations run their process solo to
+    completion; for manual interleaving control use {!Session}. *)
+
+open Elin_runtime
+
+type handle
+
+(** [handle session ~proc] — the view of [session] through process
+    [proc]. *)
+val handle : Session.t -> proc:int -> handle
+
+module Counter : sig
+  type t = handle
+
+  (** Defaults to the wait-free linearizable board implementation. *)
+  val create : ?seed:int -> ?impl:Impl.t -> procs:int -> unit -> Session.t
+
+  val fetch_inc : t -> int
+end
+
+module Register_handle : sig
+  type t = handle
+
+  val create : ?seed:int -> ?impl:Impl.t -> procs:int -> unit -> Session.t
+  val read : t -> int
+  val write : t -> int -> unit
+end
+
+module Test_and_set : sig
+  type t = handle
+
+  (** Defaults to the paper's communication-free eventually
+      linearizable implementation (Section 4). *)
+  val create : ?seed:int -> ?impl:Impl.t -> procs:int -> unit -> Session.t
+
+  (** [true] iff this call won (read 0). *)
+  val test_and_set : t -> bool
+end
+
+module Consensus : sig
+  type t = handle
+
+  (** Defaults to the Proposals-array algorithm (Prop. 16). *)
+  val create : ?seed:int -> ?impl:Impl.t -> procs:int -> unit -> Session.t
+
+  val propose : t -> int -> int
+end

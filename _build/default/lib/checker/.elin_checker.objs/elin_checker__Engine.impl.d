@@ -1,0 +1,1 @@
+lib/checker/engine.ml: Array Bitset Bool Elin_history Elin_kernel Elin_spec Hashtbl History List Operation Option Spec Value

@@ -1,0 +1,1 @@
+lib/checker/engine.mli: Elin_history Elin_spec History Operation Spec Value

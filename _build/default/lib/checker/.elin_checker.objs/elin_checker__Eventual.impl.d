@@ -1,0 +1,1 @@
+lib/checker/eventual.ml: Elin_history Engine Format History Option Weak

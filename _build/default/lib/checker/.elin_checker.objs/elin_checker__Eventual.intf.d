@@ -1,0 +1,1 @@
+lib/checker/eventual.mli: Elin_history Elin_spec Engine Format History Spec Weak

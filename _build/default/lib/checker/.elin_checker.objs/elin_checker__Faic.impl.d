@@ -1,0 +1,1 @@
+lib/checker/faic.ml: Array Elin_history Elin_kernel Elin_spec Event Eventual Hashtbl History List Matching Operation Value

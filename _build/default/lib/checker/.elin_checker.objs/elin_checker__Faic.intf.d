@@ -1,0 +1,1 @@
+lib/checker/faic.mli: Elin_history Eventual History Operation

@@ -1,0 +1,1 @@
+lib/checker/justify.ml: Array Bitset Bool Elin_kernel Elin_spec Hashtbl List Spec Value

@@ -1,0 +1,1 @@
+lib/checker/justify.mli: Elin_spec Op Spec Value

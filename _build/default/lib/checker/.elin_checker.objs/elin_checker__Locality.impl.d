@@ -1,0 +1,1 @@
+lib/checker/locality.ml: Array Elin_history Elin_spec Engine Event Eventual History List Op Value Weak

@@ -1,0 +1,1 @@
+lib/checker/locality.mli: Elin_history Engine Eventual History Weak

@@ -1,0 +1,1 @@
+lib/checker/oracle.ml: Elin_history Elin_spec History List Operation Spec Value

@@ -1,0 +1,1 @@
+lib/checker/oracle.mli: Elin_history Elin_spec History Spec

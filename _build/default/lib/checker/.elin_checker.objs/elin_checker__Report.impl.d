@@ -1,0 +1,1 @@
+lib/checker/report.ml: Elin_history Elin_spec Engine Event Eventual Format History List Op Operation Option Value Weak

@@ -1,0 +1,1 @@
+lib/checker/report.mli: Elin_history Elin_spec Format History Operation Spec Value

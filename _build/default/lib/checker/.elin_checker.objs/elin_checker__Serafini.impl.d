@@ -1,0 +1,1 @@
+lib/checker/serafini.ml: Elin_history Elin_spec Event Format History List Op Option Value

@@ -1,0 +1,1 @@
+lib/checker/serafini.mli: Elin_history Format History

@@ -1,0 +1,1 @@
+lib/checker/weak.ml: Array Bitset Bool Elin_history Elin_kernel Elin_spec Hashtbl History List Operation Spec Value

@@ -1,0 +1,1 @@
+lib/checker/weak.mli: Elin_history Elin_spec History Operation Spec

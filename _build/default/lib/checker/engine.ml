@@ -1,0 +1,245 @@
+(** The generic t-linearization search engine.
+
+    Decides Definition 2 of the paper for finite histories over any
+    finite-nondeterminism specs: is there a legal sequential history S
+    such that
+
+    - every operation invoked in S is invoked in H,
+    - every operation completed in H is completed in S,
+    - if op1's response precedes op2's invocation and both events
+      survive the removal of the first [t] events, and op2 is in S,
+      then op1 precedes op2 in S, and
+    - every operation whose response survives the removal keeps its
+      response in S?
+
+    The search is a Wing–Gong-style DFS over "next operation of S"
+    choices, with failure memoization keyed on (set of operations
+    already placed, object-state vector).  Operations completed within
+    the first [t] events may be reordered arbitrarily and may change
+    responses; pending operations may be included or dropped.
+
+    Multi-object histories are handled directly (a sequential history
+    is legal iff each per-object projection is legal, cf. [11]), which
+    the locality experiments (Lemma 7) exploit. *)
+
+open Elin_kernel
+open Elin_spec
+open Elin_history
+
+type config = {
+  (* Spec of each object appearing in the history. *)
+  spec_of_obj : int -> Spec.t;
+  (* Give up after this many DFS node expansions (None = no budget).
+     Exceeding the budget raises [Budget_exceeded]. *)
+  node_budget : int option;
+  (* Failure memoization on (placed set, state vector); disabling it
+     exists only for the ablation benchmark. *)
+  memoize : bool;
+}
+
+exception Budget_exceeded
+
+let config ?node_budget ?(memoize = true) spec_of_obj =
+  { spec_of_obj; node_budget; memoize }
+
+(** One-object convenience. *)
+let for_spec ?node_budget ?memoize spec =
+  config ?node_budget ?memoize (fun _ -> spec)
+
+type verdict = { ok : bool; nodes_explored : int }
+
+(* A memo key: placed-set plus the per-object state vector. *)
+module Key = struct
+  type t = Bitset.t * Value.t array
+
+  let equal (b1, s1) (b2, s2) = Bitset.equal b1 b2 && s1 = s2
+  let hash (b, s) = Hashtbl.hash (Bitset.hash b, Array.map Value.hash s)
+end
+
+module Memo = Hashtbl.Make (Key)
+
+(** [search cfg h ~t] decides t-linearizability of [h]. *)
+let search cfg h ~t =
+  let n = History.n_ops h in
+  let ops = History.ops_array h in
+  let objs = Array.of_list (History.objs h) in
+  let obj_slot =
+    let tbl = Hashtbl.create 8 in
+    Array.iteri (fun i o -> Hashtbl.replace tbl o i) objs;
+    fun o -> Hashtbl.find tbl o
+  in
+  let init_states = Array.map (fun o -> Spec.initial (cfg.spec_of_obj o)) objs in
+  (* completed_mask: operations that must be placed. *)
+  let completed = Array.map Operation.is_complete ops in
+  let n_completed = Array.fold_left (fun acc c -> acc + Bool.to_int c) 0 completed in
+  (* Response constraint: Some r if the response event index >= t. *)
+  let fixed_resp =
+    Array.map
+      (fun (o : Operation.t) ->
+        match o.resp with
+        | Some (v, ri) when ri >= t -> Some v
+        | Some _ | None -> None)
+      ops
+  in
+  (* Real-time predecessors: pred.(i) lists ops that must precede op i
+     whenever op i is placed.  Only pairs whose response/invocation
+     events both survive the cut count. *)
+  let pred =
+    Array.init n (fun i ->
+        let oi = ops.(i) in
+        if oi.Operation.inv < t then []
+        else
+          List.filter_map
+            (fun (oj : Operation.t) ->
+              match oj.resp with
+              | Some (_, rj) when rj >= t && rj < oi.Operation.inv ->
+                Some oj.Operation.id
+              | Some _ | None -> None)
+            (Array.to_list ops))
+  in
+  let nodes = ref 0 in
+  let bump () =
+    incr nodes;
+    match cfg.node_budget with
+    | Some b when !nodes > b -> raise Budget_exceeded
+    | _ -> ()
+  in
+  let memo = Memo.create 1024 in
+  let rec dfs placed states n_placed_completed =
+    bump ();
+    if n_placed_completed = n_completed then true
+    else begin
+      let key = (placed, states) in
+      if cfg.memoize && Memo.mem memo key then false
+      else begin
+        let success = ref false in
+        let i = ref 0 in
+        while (not !success) && !i < n do
+          let id = !i in
+          incr i;
+          if not (Bitset.mem placed id) then begin
+            let o = ops.(id) in
+            let ready = List.for_all (Bitset.mem placed) pred.(id) in
+            if ready then begin
+              let slot = obj_slot o.Operation.obj in
+              let spec = cfg.spec_of_obj o.Operation.obj in
+              let transitions = Spec.apply spec states.(slot) o.Operation.op in
+              let transitions =
+                match fixed_resp.(id) with
+                | Some r ->
+                  List.filter (fun (r', _) -> Value.equal r r') transitions
+                | None -> transitions
+              in
+              List.iter
+                (fun (_, q') ->
+                  if not !success then begin
+                    let states' = Array.copy states in
+                    states'.(slot) <- q';
+                    let placed' = Bitset.add placed id in
+                    let n' =
+                      n_placed_completed + Bool.to_int completed.(id)
+                    in
+                    if dfs placed' states' n' then success := true
+                  end)
+                transitions
+            end
+          end
+        done;
+        if cfg.memoize && not !success then Memo.replace memo key ();
+        !success
+      end
+    end
+  in
+  let ok = dfs (Bitset.empty n) init_states 0 in
+  { ok; nodes_explored = !nodes }
+
+(** [t_linearizable cfg h ~t] — the boolean verdict. *)
+let t_linearizable cfg h ~t = (search cfg h ~t).ok
+
+(** [linearizable cfg h] — 0-linearizability, which coincides with
+    linearizability [11]. *)
+let linearizable cfg h = t_linearizable cfg h ~t:0
+
+(** [witness cfg h ~t] additionally reconstructs a t-linearization as a
+    behaviour list (operation, response) in linearization order, or
+    [None]. *)
+let witness cfg h ~t =
+  let n = History.n_ops h in
+  let ops = History.ops_array h in
+  let objs = Array.of_list (History.objs h) in
+  let obj_slot =
+    let tbl = Hashtbl.create 8 in
+    Array.iteri (fun i o -> Hashtbl.replace tbl o i) objs;
+    fun o -> Hashtbl.find tbl o
+  in
+  let init_states = Array.map (fun o -> Spec.initial (cfg.spec_of_obj o)) objs in
+  let completed = Array.map Operation.is_complete ops in
+  let n_completed = Array.fold_left (fun acc c -> acc + Bool.to_int c) 0 completed in
+  let fixed_resp =
+    Array.map
+      (fun (o : Operation.t) ->
+        match o.resp with
+        | Some (v, ri) when ri >= t -> Some v
+        | Some _ | None -> None)
+      ops
+  in
+  let pred =
+    Array.init n (fun i ->
+        let oi = ops.(i) in
+        if oi.Operation.inv < t then []
+        else
+          List.filter_map
+            (fun (oj : Operation.t) ->
+              match oj.resp with
+              | Some (_, rj) when rj >= t && rj < oi.Operation.inv ->
+                Some oj.Operation.id
+              | Some _ | None -> None)
+            (Array.to_list ops))
+  in
+  let memo = Memo.create 1024 in
+  let rec dfs placed states n_placed_completed acc =
+    if n_placed_completed = n_completed then Some (List.rev acc)
+    else begin
+      let key = (placed, states) in
+      if Memo.mem memo key then None
+      else begin
+        let result = ref None in
+        let i = ref 0 in
+        while Option.is_none !result && !i < n do
+          let id = !i in
+          incr i;
+          if not (Bitset.mem placed id) then begin
+            let o = ops.(id) in
+            if List.for_all (Bitset.mem placed) pred.(id) then begin
+              let slot = obj_slot o.Operation.obj in
+              let spec = cfg.spec_of_obj o.Operation.obj in
+              let transitions = Spec.apply spec states.(slot) o.Operation.op in
+              let transitions =
+                match fixed_resp.(id) with
+                | Some r ->
+                  List.filter (fun (r', _) -> Value.equal r r') transitions
+                | None -> transitions
+              in
+              List.iter
+                (fun (r, q') ->
+                  if Option.is_none !result then begin
+                    let states' = Array.copy states in
+                    states'.(slot) <- q';
+                    match
+                      dfs (Bitset.add placed id) states'
+                        (n_placed_completed + Bool.to_int completed.(id))
+                        ((o, r) :: acc)
+                    with
+                    | Some _ as w -> result := w
+                    | None -> ()
+                  end)
+                transitions
+            end
+          end
+        done;
+        if Option.is_none !result then Memo.replace memo key ();
+        !result
+      end
+    end
+  in
+  dfs (Bitset.empty n) init_states 0 []

@@ -1,0 +1,45 @@
+(** The generic t-linearization search engine (Definition 2).
+
+    Decides, for finite histories over any finite-nondeterminism specs,
+    whether a legal sequential history S exists such that: every
+    operation invoked in S is invoked in H; every operation completed
+    in H is completed in S; real-time order is preserved among
+    operations both of whose relevant events survive removal of the
+    first [t] events; and responses that survive the removal are kept.
+
+    Wing–Gong-style DFS with failure memoization on (placed-operation
+    set, object-state vector); handles multi-object histories
+    directly. *)
+
+open Elin_spec
+open Elin_history
+
+type config
+
+exception Budget_exceeded
+
+(** [config ?node_budget ?memoize spec_of_obj] — [spec_of_obj] maps
+    each object id appearing in checked histories to its spec;
+    exceeding [node_budget] DFS expansions raises {!Budget_exceeded};
+    [memoize] (default true) toggles failure memoization — exposed only
+    for the ablation benchmark. *)
+val config : ?node_budget:int -> ?memoize:bool -> (int -> Spec.t) -> config
+
+(** One-object convenience. *)
+val for_spec : ?node_budget:int -> ?memoize:bool -> Spec.t -> config
+
+type verdict = { ok : bool; nodes_explored : int }
+
+(** [search cfg h ~t] — full verdict with exploration stats. *)
+val search : config -> History.t -> t:int -> verdict
+
+val t_linearizable : config -> History.t -> t:int -> bool
+
+(** [linearizable cfg h] — 0-linearizability, which coincides with
+    linearizability (Herlihy & Wing). *)
+val linearizable : config -> History.t -> bool
+
+(** [witness cfg h ~t] additionally reconstructs a t-linearization, as
+    operations paired with their responses in linearization order. *)
+val witness :
+  config -> History.t -> t:int -> (Operation.t * Value.t) list option

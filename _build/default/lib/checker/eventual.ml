@@ -1,0 +1,61 @@
+(** Eventual linearizability of finite histories (Definitions 3–4).
+
+    For a finite history over total object types, some [t <=
+    length H] always works (the paper notes t-linearizability for
+    some t is trivially a liveness property), so the interesting
+    quantity is the *minimal* stabilization bound [min_t].  By
+    Lemma 5 t-linearizability is monotone in [t], so [min_t] is
+    found by binary search over the engine.
+
+    The full verdict pairs the liveness part with the safety part
+    (weak consistency, Definition 1): a history is eventually
+    linearizable iff both hold. *)
+
+open Elin_history
+
+type verdict = {
+  weakly_consistent : bool;
+  (* Smallest t such that the history is t-linearizable; [None] when
+     even [t = length] fails (possible only for partial/exotic specs). *)
+  min_t : int option;
+}
+
+let is_eventually_linearizable v =
+  v.weakly_consistent && Option.is_some v.min_t
+
+(** [min_t check ~len] — generic monotone binary search: [check t]
+    must be monotone in [t] (Lemma 5).  Returns the least [t in
+    [0, len]] with [check t], or [None]. *)
+let min_t_search check ~len =
+  if not (check len) then None
+  else begin
+    (* Invariant: check hi holds, check (lo - 1) fails (lo = 0 ok). *)
+    let lo = ref 0 and hi = ref len in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if check mid then hi := mid else lo := mid + 1
+    done;
+    Some !lo
+  end
+
+(** [min_t cfg h] — least stabilization bound via the generic engine. *)
+let min_t (cfg : Engine.config) h =
+  min_t_search (fun t -> Engine.t_linearizable cfg h ~t) ~len:(History.length h)
+
+(** [check ecfg wcfg h] — full eventual-linearizability verdict. *)
+let check (ecfg : Engine.config) (wcfg : Weak.config) h =
+  {
+    weakly_consistent = Weak.is_weakly_consistent wcfg h;
+    min_t = min_t ecfg h;
+  }
+
+(** [check_spec spec h] — one-object convenience sharing a spec. *)
+let check_spec ?node_budget spec h =
+  check (Engine.for_spec ?node_budget spec) (Weak.for_spec ?node_budget spec) h
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "{weakly_consistent=%b; min_t=%a}" v.weakly_consistent
+    (Format.pp_print_option
+       ~none:(fun ppf () -> Format.fprintf ppf "none")
+       Format.pp_print_int)
+    v.min_t

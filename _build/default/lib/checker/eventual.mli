@@ -1,0 +1,31 @@
+(** Eventual linearizability of finite histories (Definitions 3–4):
+    the conjunction of weak consistency and t-linearizability for some
+    t.  For finite histories over total types some [t <= length]
+    always works, so the informative quantity is the minimal
+    stabilization bound [min_t], found by binary search (monotonicity
+    is Lemma 5). *)
+
+open Elin_spec
+open Elin_history
+
+type verdict = {
+  weakly_consistent : bool;
+  min_t : int option;
+      (** least t such that the history is t-linearizable; [None] only
+          for partial/exotic specs *)
+}
+
+val is_eventually_linearizable : verdict -> bool
+
+(** [min_t_search check ~len] — generic least-t search for a monotone
+    predicate over [0, len]. *)
+val min_t_search : (int -> bool) -> len:int -> int option
+
+val min_t : Engine.config -> History.t -> int option
+
+val check : Engine.config -> Weak.config -> History.t -> verdict
+
+(** One-object convenience sharing a spec. *)
+val check_spec : ?node_budget:int -> Spec.t -> History.t -> verdict
+
+val pp_verdict : Format.formatter -> verdict -> unit

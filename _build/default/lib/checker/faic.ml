@@ -1,0 +1,167 @@
+(** Fast t-linearizability and weak-consistency checking for
+    fetch&increment histories.
+
+    Implements the combinatorial core of the paper's Lemma 17 proof as
+    a near-linear decision procedure.  Classify operations by where
+    their response falls relative to the cut [t]:
+
+    - "post" operations (response at index >= t) must keep their
+      responses, so each claims the *slot* equal to its response value;
+      slots must be distinct and must respect real-time order among
+      post-cut events;
+    - "pre" operations (response before [t]) and pending operations are
+      free: pre operations must appear in S but may take any slot or
+      come after all post slots; pending operations are optional.
+
+    A t-linearization exists iff the post slots are consistent and the
+    gap slots below the maximal post slot can be filled by distinct
+    free operations, where an operation invoked (at index >= t) after
+    some post response [v] may only fill slots above [v].  Gap filling
+    is a matching with upward-closed eligibility (Hall's condition,
+    solved greedily in [Elin_kernel.Matching]).
+
+    Property tests cross-validate this module against the generic
+    [Engine] on thousands of generated histories. *)
+
+open Elin_kernel
+open Elin_spec
+open Elin_history
+
+type classified = {
+  post : Operation.t list;   (* response index >= t *)
+  pre : Operation.t list;    (* response index < t *)
+  pending : Operation.t list;
+}
+
+let classify h ~t =
+  let post, pre, pending =
+    List.fold_left
+      (fun (post, pre, pending) (o : Operation.t) ->
+        match o.Operation.resp with
+        | Some (_, ri) when ri >= t -> (o :: post, pre, pending)
+        | Some _ -> (post, o :: pre, pending)
+        | None -> (post, pre, o :: pending))
+      ([], [], []) (History.ops h)
+  in
+  { post = List.rev post; pre = List.rev pre; pending = List.rev pending }
+
+let response_int (o : Operation.t) =
+  match o.Operation.resp with
+  | Some (v, _) -> Value.to_int v
+  | None -> invalid_arg "Faic.response_int: pending operation"
+
+(** [max_post_before h ~t] computes, for each event index [i], the
+    largest response value among post operations whose response event
+    precedes [i] (or [initial - 1] when none); used both for the
+    real-time check and for pending-filler lower bounds. *)
+let max_post_resp_before h ~t ~floor =
+  let len = History.length h in
+  let best = Array.make (len + 1) floor in
+  let cur = ref floor in
+  for i = 0 to len - 1 do
+    best.(i) <- !cur;
+    (match (History.event h i).Event.payload with
+    | Event.Respond v when i >= t -> cur := max !cur (Value.to_int v)
+    | Event.Respond _ | Event.Invoke _ -> ());
+    ()
+  done;
+  best.(len) <- !cur;
+  best
+
+(** [t_linearizable ?initial h ~t] decides Definition 2 for a
+    fetch&increment history ([initial] is the counter's initial
+    value). *)
+let t_linearizable ?(initial = 0) h ~t =
+  let { post; pre; pending } = classify h ~t in
+  (* 1. post responses are >= initial and pairwise distinct. *)
+  let post_values = List.map response_int post in
+  let sorted = List.sort compare post_values in
+  let rec distinct = function
+    | a :: (b :: _ as rest) -> a <> b && distinct rest
+    | [ _ ] | [] -> true
+  in
+  if List.exists (fun v -> v < initial) post_values then false
+  else if not (distinct sorted) then false
+  else begin
+    (* 2. real-time order among surviving events: a post operation
+       invoked at index >= t must return more than every post response
+       that precedes its invocation. *)
+    let floor = initial - 1 in
+    let max_before = max_post_resp_before h ~t ~floor in
+    let rt_ok =
+      List.for_all
+        (fun (o : Operation.t) ->
+          o.Operation.inv < t || response_int o > max_before.(o.Operation.inv))
+        post
+    in
+    if not rt_ok then false
+    else
+      match sorted with
+      | [] -> true (* no constrained operation at all *)
+      | _ ->
+        let m = List.fold_left max initial sorted in
+        (* 3. gap slots strictly below m (and >= initial) not claimed
+           by post operations must be filled by distinct free ops. *)
+        let taken = Hashtbl.create 16 in
+        List.iter (fun v -> Hashtbl.replace taken v ()) sorted;
+        let slots =
+          List.filter
+            (fun s -> not (Hashtbl.mem taken s))
+            (List.init (m - initial + 1) (fun i -> initial + i))
+        in
+        let fillers =
+          List.map (fun (_ : Operation.t) -> initial) pre
+          @ List.map
+              (fun (o : Operation.t) ->
+                if o.Operation.inv < t then initial
+                else max_before.(o.Operation.inv) + 1)
+              pending
+        in
+        Matching.feasible ~slots ~lower_bounds:(Array.of_list fillers)
+  end
+
+(** [min_t ?initial h] — least stabilization bound, by binary search
+    (Lemma 5 gives monotonicity). *)
+let min_t ?(initial = 0) h =
+  Eventual.min_t_search
+    (fun t -> t_linearizable ~initial h ~t)
+    ~len:(History.length h)
+
+(** [weakly_consistent ?initial h] — Definition 1 specialized: a
+    completed fetch&inc by process [p] returning [v] is justifiable iff
+    [required <= v - initial <= candidates] where [required] counts
+    [p]'s earlier operations and [candidates] counts all other
+    operations invoked before the response. *)
+let weakly_consistent ?(initial = 0) h =
+  let ops = History.ops h in
+  List.for_all
+    (fun (o : Operation.t) ->
+      match o.Operation.resp with
+      | None -> true
+      | Some (v, ridx) ->
+        let v = Value.to_int v in
+        let required =
+          List.length
+            (List.filter
+               (fun (o' : Operation.t) ->
+                 o'.Operation.proc = o.Operation.proc
+                 && o'.Operation.id <> o.Operation.id
+                 && o'.Operation.inv < o.Operation.inv)
+               ops)
+        in
+        let candidates =
+          List.length
+            (List.filter
+               (fun (o' : Operation.t) ->
+                 o'.Operation.id <> o.Operation.id && o'.Operation.inv < ridx)
+               ops)
+        in
+        required <= v - initial && v - initial <= candidates)
+    ops
+
+(** Full fast verdict, mirroring [Eventual.check]. *)
+let check ?(initial = 0) h : Eventual.verdict =
+  {
+    Eventual.weakly_consistent = weakly_consistent ~initial h;
+    min_t = min_t ~initial h;
+  }

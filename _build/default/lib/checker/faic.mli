@@ -1,0 +1,33 @@
+(** Fast t-linearizability and weak-consistency checking for
+    fetch&increment histories — the combinatorial core of the paper's
+    Lemma 17 proof as a near-linear decision procedure (post-cut
+    responses claim slots; gap slots are filled by a greedy matching
+    with upward-closed eligibility).
+
+    Cross-validated against the generic [Engine] on generated and
+    exhaustively enumerated histories by the test-suite. *)
+
+open Elin_history
+
+type classified = {
+  post : Operation.t list;    (** response index >= t *)
+  pre : Operation.t list;     (** response index < t *)
+  pending : Operation.t list;
+}
+
+val classify : History.t -> t:int -> classified
+
+(** [t_linearizable ?initial h ~t] — Definition 2 for a fetch&increment
+    history; [initial] is the counter's starting value. *)
+val t_linearizable : ?initial:int -> History.t -> t:int -> bool
+
+(** Least stabilization bound (binary search over {!t_linearizable}). *)
+val min_t : ?initial:int -> History.t -> int option
+
+(** Definition 1 specialized: a completed fetch&inc by process [p]
+    returning [v] is justifiable iff
+    [own-earlier-ops <= v - initial <= ops-invoked-before-response]. *)
+val weakly_consistent : ?initial:int -> History.t -> bool
+
+(** Full fast verdict, mirroring [Eventual.check]. *)
+val check : ?initial:int -> History.t -> Eventual.verdict

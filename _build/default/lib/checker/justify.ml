@@ -1,0 +1,60 @@
+(** Justifiable responses: the search behind Figure 1's line 13.
+
+    Given a pool of announced operations, decide whether "a permutation
+    of a subset of the operations (including all required ones) yields
+    a legal sequential execution where [op] returns [resp]".  This is
+    the same search as Definition 1's per-operation condition
+    ([Weak.op_ok]) but over an explicit op pool rather than a history,
+    so the Prop. 11 guard can run it online. *)
+
+open Elin_kernel
+open Elin_spec
+
+module Key = struct
+  type t = Bitset.t * Value.t
+
+  let equal (b1, s1) (b2, s2) = Bitset.equal b1 b2 && Value.equal s1 s2
+  let hash (b, s) = Hashtbl.hash (Bitset.hash b, Value.hash s)
+end
+
+module Memo = Hashtbl.Make (Key)
+
+(** [justifiable spec ~pool ~required ~op ~resp] — [required] lists
+    indices into [pool] that must be placed before the final [op].
+    Single-object (all pool operations target the same spec). *)
+let justifiable spec ~pool ~required ~op ~resp =
+  let pool = Array.of_list pool in
+  let n = Array.length pool in
+  let is_required = Array.make n false in
+  List.iter (fun i -> is_required.(i) <- true) required;
+  let n_required = List.length required in
+  let memo = Memo.create 64 in
+  let rec dfs placed state n_placed_required =
+    if n_placed_required = n_required
+       && Spec.is_legal_response spec state op resp
+    then true
+    else begin
+      let key = (placed, state) in
+      if Memo.mem memo key then false
+      else begin
+        let success = ref false in
+        let i = ref 0 in
+        while (not !success) && !i < n do
+          let id = !i in
+          incr i;
+          if not (Bitset.mem placed id) then
+            List.iter
+              (fun (_, q') ->
+                if not !success then
+                  let n' = n_placed_required + Bool.to_int is_required.(id) in
+                  if dfs (Bitset.add placed id) q' n' then success := true)
+              (List.sort_uniq
+                 (fun (_, q1) (_, q2) -> Value.compare q1 q2)
+                 (Spec.apply spec state pool.(id)))
+        done;
+        if not !success then Memo.replace memo key ();
+        !success
+      end
+    end
+  in
+  dfs (Bitset.empty n) (Spec.initial spec) 0

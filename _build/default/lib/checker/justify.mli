@@ -1,0 +1,18 @@
+(** Justifiable responses: the search behind Figure 1's line 13 —
+    "a permutation of a subset of the announced operations (including
+    all required ones) yields a legal sequential execution where [op]
+    returns [resp]".  The same search as Definition 1's per-operation
+    condition, over an explicit operation pool. *)
+
+open Elin_spec
+
+(** [justifiable spec ~pool ~required ~op ~resp] — [required] lists
+    indices into [pool] that must appear before the final [op].
+    Single-object. *)
+val justifiable :
+  Spec.t ->
+  pool:Op.t list ->
+  required:int list ->
+  op:Op.t ->
+  resp:Value.t ->
+  bool

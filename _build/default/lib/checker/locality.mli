@@ -1,0 +1,24 @@
+(** Locality of eventual linearizability (Lemmas 7, 8; Proposition 9):
+    per-object verdicts compose for histories over finitely many
+    objects, constructively via the Lemma 7 bound. *)
+
+open Elin_history
+
+(** [per_object_min_t cfg h] — for each object of [h], the minimal
+    bound of its projection. *)
+val per_object_min_t : Engine.config -> History.t -> (int * int option) list
+
+(** [compose_min_t h per_obj] — the Lemma 7 "if"-direction bound: the
+    least t whose first t events of H contain the first t_o events of
+    each H|o; [None] if any per-object bound is missing. *)
+val compose_min_t : History.t -> (int * int option) list -> int option
+
+(** Proposition 9 as a decision procedure: weak consistency per object
+    (Lemma 8), liveness composed from per-object bounds (Lemma 7). *)
+val eventually_linearizable_local :
+  Engine.config -> Weak.config -> History.t -> Eventual.verdict
+
+(** The paper's Proposition 9 counterexample family (Section 3.2): k
+    registers, each written 1 by p then read 0 by q; per-object bounds
+    stay constant while the whole-history bound diverges with k. *)
+val register_family : int -> History.t

@@ -1,0 +1,154 @@
+(** Brute-force reference checkers — Definitions 1 and 2 transcribed
+    literally, with explicit enumeration of permutations, pending-op
+    subsets and response assignments.
+
+    Deliberately naive and structurally independent of [Engine] (no
+    shared search code, no memoization, no pruning beyond feasibility),
+    so that agreement between the two on exhaustively enumerated
+    micro-histories validates the optimized checkers against the
+    definitions themselves.  Only usable for histories with a handful
+    of operations. *)
+
+open Elin_spec
+open Elin_history
+
+(* All sublists of [xs]. *)
+let rec sublists = function
+  | [] -> [ [] ]
+  | x :: rest ->
+    let subs = sublists rest in
+    subs @ List.map (fun s -> x :: s) subs
+
+(* All permutations of [xs]. *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y != x) xs in
+        List.map (fun p -> x :: p) (permutations rest))
+      xs
+
+(* All ways to assign a response and thread the state through a
+   sequence, where [allowed] restricts each operation's response. *)
+let rec legal_assignments spec_of_obj states seq ~allowed =
+  match seq with
+  | [] -> true
+  | (o : Operation.t) :: rest ->
+    let spec = spec_of_obj o.Operation.obj in
+    let state =
+      match List.assoc_opt o.Operation.obj states with
+      | Some q -> q
+      | None -> Spec.initial spec
+    in
+    List.exists
+      (fun (r, q') ->
+        allowed o r
+        && legal_assignments spec_of_obj
+             ((o.Operation.obj, q') :: List.remove_assoc o.Operation.obj states)
+             rest ~allowed)
+      (Spec.apply spec state o.Operation.op)
+
+(** [t_linearizable spec_of_obj h ~t] — Definition 2, literally:
+    enumerate every subset of pending operations, every permutation of
+    (completed ∪ subset), check the real-time condition on surviving
+    event pairs, and search a legal response assignment that keeps the
+    responses surviving the cut. *)
+let t_linearizable spec_of_obj h ~t =
+  let completed = History.complete_ops h in
+  let pending = History.pending_ops h in
+  let respects_real_time seq =
+    (* "if op1's response is before op2's invocation and both of these
+       events are in H', and op2 is in S, then op1 precedes op2 in S" *)
+    let pos o =
+      let rec go i = function
+        | [] -> None
+        | (x : Operation.t) :: rest ->
+          if x.Operation.id = o then Some i else go (i + 1) rest
+      in
+      go 0 seq
+    in
+    List.for_all
+      (fun (o1 : Operation.t) ->
+        match o1.Operation.resp with
+        | Some (_, r1) when r1 >= t ->
+          List.for_all
+            (fun (o2 : Operation.t) ->
+              if o2.Operation.inv >= t && r1 < o2.Operation.inv then
+                match pos o1.Operation.id, pos o2.Operation.id with
+                | Some p1, Some p2 -> p1 < p2
+                | _, None -> true (* op2 not in S *)
+                | None, Some _ -> false (* op1 completed, must be in S *)
+              else true)
+            (History.ops h)
+        | Some _ | None -> true)
+      (History.ops h)
+  in
+  let allowed (o : Operation.t) r =
+    match o.Operation.resp with
+    | Some (v, ri) when ri >= t -> Value.equal r v
+    | Some _ | None -> true
+  in
+  List.exists
+    (fun chosen_pending ->
+      List.exists
+        (fun seq ->
+          respects_real_time seq
+          && legal_assignments spec_of_obj [] seq ~allowed)
+        (permutations (completed @ chosen_pending)))
+    (sublists pending)
+
+let linearizable spec_of_obj h = t_linearizable spec_of_obj h ~t:0
+
+(** [min_t spec_of_obj h] — linear scan (no monotonicity assumption:
+    the oracle does not even rely on Lemma 5). *)
+let min_t spec_of_obj h =
+  let len = History.length h in
+  let rec go t =
+    if t > len then None
+    else if t_linearizable spec_of_obj h ~t then Some t
+    else go (t + 1)
+  in
+  go 0
+
+(** [weakly_consistent spec_of_obj h] — Definition 1, literally: for
+    every completed [op], search a subset of the operations invoked
+    before its response, containing all same-process predecessors,
+    some permutation of which forms a legal sequential history ending
+    with [op] returning its actual response. *)
+let weakly_consistent spec_of_obj h =
+  List.for_all
+    (fun (op : Operation.t) ->
+      match op.Operation.resp with
+      | None -> true
+      | Some (v, ridx) ->
+        let candidates =
+          List.filter
+            (fun (o : Operation.t) ->
+              o.Operation.id <> op.Operation.id && o.Operation.inv < ridx)
+            (History.ops h)
+        in
+        let required =
+          List.filter
+            (fun (o : Operation.t) ->
+              o.Operation.proc = op.Operation.proc
+              && o.Operation.inv < op.Operation.inv)
+            candidates
+        in
+        let allowed (o : Operation.t) r =
+          if o.Operation.id = op.Operation.id then Value.equal r v else true
+        in
+        List.exists
+          (fun subset ->
+            List.for_all
+              (fun (r : Operation.t) ->
+                List.exists
+                  (fun (s : Operation.t) -> s.Operation.id = r.Operation.id)
+                  subset)
+              required
+            && List.exists
+                 (fun seq ->
+                   legal_assignments spec_of_obj [] (seq @ [ op ]) ~allowed)
+                 (permutations subset))
+          (sublists candidates))
+    (History.ops h)

@@ -1,0 +1,17 @@
+(** Brute-force reference checkers: Definitions 1 and 2 transcribed
+    literally with explicit enumeration, structurally independent of
+    the optimized [Engine]/[Weak]/[Faic] checkers.  Exponential;
+    usable only on micro-histories — exactly their purpose: the
+    definitional ground truth the optimized checkers are validated
+    against. *)
+
+open Elin_spec
+open Elin_history
+
+val t_linearizable : (int -> Spec.t) -> History.t -> t:int -> bool
+val linearizable : (int -> Spec.t) -> History.t -> bool
+
+(** Linear scan; does not even rely on Lemma 5's monotonicity. *)
+val min_t : (int -> Spec.t) -> History.t -> int option
+
+val weakly_consistent : (int -> Spec.t) -> History.t -> bool

@@ -1,0 +1,105 @@
+(** Full per-history analysis reports: everything the checkers can say
+    about a history, in one record with a pretty-printer — the payload
+    behind [elin check] and handy for interactive debugging. *)
+
+open Elin_spec
+open Elin_history
+
+type concurrency = {
+  max_overlap : int;   (* peak number of simultaneously open operations *)
+  mean_overlap : float;
+}
+
+type t = {
+  events : int;
+  operations : int;
+  complete : int;
+  pending : int;
+  procs : int;
+  objs : int;
+  concurrency : concurrency;
+  linearizable : bool;
+  weakly_consistent : bool;
+  violating_op : Operation.t option;
+  min_t : int option;
+  (* A witness linearization at the minimal cut, when one exists. *)
+  witness : (Operation.t * Value.t) list option;
+}
+
+let concurrency_of h =
+  let open_ops = ref 0 in
+  let peak = ref 0 in
+  let total = ref 0 in
+  List.iter
+    (fun (e : Event.t) ->
+      (match e.Event.payload with
+      | Event.Invoke _ -> incr open_ops
+      | Event.Respond _ -> decr open_ops);
+      peak := max !peak !open_ops;
+      total := !total + !open_ops)
+    (History.events h);
+  {
+    max_overlap = !peak;
+    mean_overlap =
+      (if History.length h = 0 then 0.
+       else float_of_int !total /. float_of_int (History.length h));
+  }
+
+(** [analyze ?node_budget spec h] — the full report (single-object
+    histories; use per-object projections plus [Locality] for
+    multi-object ones). *)
+let analyze ?node_budget spec h =
+  let ecfg = Engine.for_spec ?node_budget spec in
+  let wcfg = Weak.for_spec ?node_budget spec in
+  let min_t = Eventual.min_t ecfg h in
+  let violating_op =
+    match Weak.check wcfg h with Ok () -> None | Error o -> Some o
+  in
+  {
+    events = History.length h;
+    operations = History.n_ops h;
+    complete = List.length (History.complete_ops h);
+    pending = List.length (History.pending_ops h);
+    procs = List.length (History.procs h);
+    objs = List.length (History.objs h);
+    concurrency = concurrency_of h;
+    linearizable = min_t = Some 0;
+    weakly_consistent = Option.is_none violating_op;
+    violating_op;
+    min_t;
+    witness = Option.bind min_t (fun t -> Engine.witness ecfg h ~t);
+  }
+
+let is_eventually_linearizable r = r.weakly_consistent && r.min_t <> None
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>events: %d  operations: %d (%d complete, %d pending)@,\
+     processes: %d  objects: %d  overlap: max %d, mean %.2f@,\
+     linearizable: %b@,\
+     weakly consistent: %b%a@,\
+     min stabilization bound: %a@,\
+     eventually linearizable: %b%a@]"
+    r.events r.operations r.complete r.pending r.procs r.objs
+    r.concurrency.max_overlap r.concurrency.mean_overlap r.linearizable
+    r.weakly_consistent
+    (fun ppf -> function
+      | Some o -> Format.fprintf ppf " (violation: %a)" Operation.pp o
+      | None -> ())
+    r.violating_op
+    (Format.pp_print_option
+       ~none:(fun ppf () -> Format.fprintf ppf "none")
+       Format.pp_print_int)
+    r.min_t
+    (is_eventually_linearizable r)
+    (fun ppf -> function
+      | Some w when List.length w <= 16 ->
+        Format.fprintf ppf "@,witness linearization:@,  %a"
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,  ")
+             (fun ppf ((o : Operation.t), v) ->
+               Format.fprintf ppf "p%d %a -> %a" o.Operation.proc Op.pp
+                 o.Operation.op Value.pp v))
+          w
+      | Some _ | None -> ())
+    r.witness

@@ -1,0 +1,32 @@
+(** Full per-history analysis reports: size, concurrency shape, all
+    consistency verdicts, a violation culprit, and a witness
+    linearization at the minimal cut. *)
+
+open Elin_spec
+open Elin_history
+
+type concurrency = { max_overlap : int; mean_overlap : float }
+
+type t = {
+  events : int;
+  operations : int;
+  complete : int;
+  pending : int;
+  procs : int;
+  objs : int;
+  concurrency : concurrency;
+  linearizable : bool;
+  weakly_consistent : bool;
+  violating_op : Operation.t option;
+  min_t : int option;
+  witness : (Operation.t * Value.t) list option;
+}
+
+val concurrency_of : History.t -> concurrency
+
+(** Single-object histories; project and use [Locality] for
+    multi-object ones. *)
+val analyze : ?node_budget:int -> Spec.t -> History.t -> t
+
+val is_eventually_linearizable : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,98 @@
+(** The two definitions of eventual linearizability (Section 2).
+
+    Serafini et al. [16] define an implementation to be eventually
+    linearizable when there is a {e single} bound t such that {e all}
+    executions stabilize by t; Guerraoui & Ruppert deliberately weaken
+    the quantifier order: {e every} execution has {e some} bound, which
+    may differ per execution and even be unbounded over the
+    implementation's executions.
+
+    On a single finite history the two definitions coincide (the
+    history's [min_t]); the difference is a property of history
+    {e families}.  This module decides it on indexed families:
+
+    - [family_min_ts family ~min_t ~probes] tabulates the per-history
+      bound along a family;
+    - [classify] calls a family [Uniformly_bounded] when the bound
+      freezes on the probed tail (Serafini-style eventual
+      linearizability plausibly holds), and [Diverging] when it keeps
+      growing (only the per-execution definition can hold).
+
+    The canonical separating example is the paper's own: the
+    communication-free test&set is eventually linearizable
+    per-execution, but delaying the second "winner" arbitrarily makes
+    its stabilization bound grow without bound — no single t works for
+    all executions.  [delayed_winner_family] builds that family; tests
+    confirm the divergence, and confirm that the board-based
+    fetch&increment with a fixed stabilization parameter is uniformly
+    bounded. *)
+
+open Elin_spec
+open Elin_history
+
+type verdict =
+  | Uniformly_bounded of int   (* the frozen bound on the probed tail *)
+  | Diverging of (int * int) list  (* (probe, min_t) table, strictly growing *)
+  | Not_eventually_linearizable of int  (* first probe with no bound at all *)
+
+(** [family_min_ts family ~min_t ~probes] — per-instance bounds. *)
+let family_min_ts family ~min_t ~probes =
+  List.map (fun i -> (i, min_t (family i))) probes
+
+(** [classify table] — [table] must be ordered by probe. *)
+let classify table =
+  let rec first_missing = function
+    | [] -> None
+    | (i, None) :: _ -> Some i
+    | (_, Some _) :: rest -> first_missing rest
+  in
+  match first_missing table with
+  | Some i -> Not_eventually_linearizable i
+  | None ->
+    let bounds = List.map (fun (i, t) -> (i, Option.get t)) table in
+    let rec strictly_growing = function
+      | (_, a) :: ((_, b) :: _ as rest) -> a < b && strictly_growing rest
+      | [ _ ] | [] -> true
+    in
+    (match List.rev bounds with
+    | (_, last) :: (_, prev) :: _ when last = prev -> Uniformly_bounded last
+    | _ ->
+      if strictly_growing bounds then Diverging bounds
+      else
+        (* Neither frozen on the tail nor strictly growing: report the
+           table; callers treat a non-monotone plateau as bounded. *)
+        Uniformly_bounded (List.fold_left (fun acc (_, t) -> max acc t) 0 bounds))
+
+(** The separating family: process 0 wins test&set immediately;
+    process 1's first (also-winning) operation is delayed behind [n]
+    operations of process 0.  Every member is eventually linearizable,
+    yet its bound must exceed the position of p1's response — no
+    uniform t exists. *)
+let delayed_winner_family n =
+  History.of_events
+    ([
+       Event.invoke ~proc:0 ~obj:0 Op.test_and_set;
+       Event.respond ~proc:0 ~obj:0 (Value.int 0);
+     ]
+    @ List.concat_map
+        (fun _ ->
+          [
+            Event.invoke ~proc:0 ~obj:0 Op.test_and_set;
+            Event.respond ~proc:0 ~obj:0 (Value.int 1);
+          ])
+        (List.init n (fun i -> i))
+    @ [
+        Event.invoke ~proc:1 ~obj:0 Op.test_and_set;
+        Event.respond ~proc:1 ~obj:0 (Value.int 0);
+      ])
+
+let pp_verdict ppf = function
+  | Uniformly_bounded t -> Format.fprintf ppf "uniformly bounded (t = %d)" t
+  | Diverging table ->
+    Format.fprintf ppf "diverging: %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         (fun ppf (i, t) -> Format.fprintf ppf "%d↦%d" i t))
+      table
+  | Not_eventually_linearizable i ->
+    Format.fprintf ppf "not eventually linearizable at probe %d" i

@@ -1,0 +1,35 @@
+(** The two definitions of eventual linearizability (Section 2):
+    Serafini et al. demand a single stabilization bound for all
+    executions; Guerraoui & Ruppert allow a different, even unbounded,
+    bound per execution.  This module decides the difference on indexed
+    history families. *)
+
+open Elin_history
+
+type verdict =
+  | Uniformly_bounded of int
+      (** the bound frozen on the probed tail: the Serafini-style
+          definition plausibly holds *)
+  | Diverging of (int * int) list
+      (** strictly growing (probe, min_t) table: only the
+          per-execution definition can hold *)
+  | Not_eventually_linearizable of int
+      (** first probe with no bound at all *)
+
+(** [family_min_ts family ~min_t ~probes] — per-instance bounds. *)
+val family_min_ts :
+  (int -> History.t) ->
+  min_t:(History.t -> int option) ->
+  probes:int list ->
+  (int * int option) list
+
+(** [classify table] — [table] ordered by probe. *)
+val classify : (int * int option) list -> verdict
+
+(** The separating family: p0 wins test&set immediately, then performs
+    [n] losing operations, then p1's delayed first operation also
+    "wins" — every member is eventually linearizable, but no uniform
+    bound exists. *)
+val delayed_winner_family : int -> History.t
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,138 @@
+(** Weak consistency (Definition 1).
+
+    A history is weakly consistent iff for each completed operation
+    [op] there is a legal sequential history S that (i) uses only
+    operations invoked before [op]'s response, (ii) contains every
+    operation by [op]'s process that precedes [op], and (iii) ends with
+    [op] returning its actual response.  Responses of the *other*
+    operations in S are unconstrained (beyond legality).
+
+    The search reuses the DFS-with-memo idea of [Engine]: place any
+    subset of the candidate operations in any legal order; once all
+    required operations are placed, try to finish with [op]. *)
+
+open Elin_kernel
+open Elin_spec
+open Elin_history
+
+type config = { spec_of_obj : int -> Spec.t; node_budget : int option }
+
+let config ?node_budget spec_of_obj = { spec_of_obj; node_budget }
+let for_spec ?node_budget spec = config ?node_budget (fun _ -> spec)
+
+exception Budget_exceeded
+
+module Key = struct
+  type t = Bitset.t * Value.t array
+
+  let equal (b1, s1) (b2, s2) = Bitset.equal b1 b2 && s1 = s2
+  let hash (b, s) = Hashtbl.hash (Bitset.hash b, Array.map Value.hash s)
+end
+
+module Memo = Hashtbl.Make (Key)
+
+(** [op_ok cfg h target] decides Definition 1 for one completed
+    operation [target] of [h]. *)
+let op_ok cfg h (target : Operation.t) =
+  let resp_value, resp_idx =
+    match target.Operation.resp with
+    | Some (v, i) -> (v, i)
+    | None -> invalid_arg "Weak.op_ok: operation is pending"
+  in
+  let ops = History.ops_array h in
+  let n = Array.length ops in
+  (* Candidates: invoked before [target]'s response, excluding target. *)
+  let candidate =
+    Array.map
+      (fun (o : Operation.t) ->
+        o.Operation.id <> target.Operation.id && o.Operation.inv < resp_idx)
+      ops
+  in
+  (* Required: same process, precede target in H (their response is
+     before target's invocation; well-formedness makes them complete). *)
+  let required =
+    Array.to_list ops
+    |> List.filter_map (fun (o : Operation.t) ->
+           if
+             o.Operation.proc = target.Operation.proc
+             && o.Operation.id <> target.Operation.id
+             && o.Operation.inv < target.Operation.inv
+           then Some o.Operation.id
+           else None)
+  in
+  let n_required = List.length required in
+  let objs = Array.of_list (History.objs h) in
+  let obj_slot =
+    let tbl = Hashtbl.create 8 in
+    Array.iteri (fun i o -> Hashtbl.replace tbl o i) objs;
+    fun o -> Hashtbl.find tbl o
+  in
+  let init_states = Array.map (fun o -> Spec.initial (cfg.spec_of_obj o)) objs in
+  let nodes = ref 0 in
+  let bump () =
+    incr nodes;
+    match cfg.node_budget with
+    | Some b when !nodes > b -> raise Budget_exceeded
+    | _ -> ()
+  in
+  let memo = Memo.create 256 in
+  let is_required = Array.make n false in
+  List.iter (fun id -> is_required.(id) <- true) required;
+  let rec dfs placed states n_placed_required =
+    bump ();
+    (* Can we close with the target now? *)
+    let closes =
+      n_placed_required = n_required
+      &&
+      let slot = obj_slot target.Operation.obj in
+      let spec = cfg.spec_of_obj target.Operation.obj in
+      Spec.is_legal_response spec states.(slot) target.Operation.op resp_value
+    in
+    if closes then true
+    else begin
+      let key = (placed, states) in
+      if Memo.mem memo key then false
+      else begin
+        let success = ref false in
+        let i = ref 0 in
+        while (not !success) && !i < n do
+          let id = !i in
+          incr i;
+          if candidate.(id) && not (Bitset.mem placed id) then begin
+            let o = ops.(id) in
+            let slot = obj_slot o.Operation.obj in
+            let spec = cfg.spec_of_obj o.Operation.obj in
+            (* Any legal transition: S need not preserve responses of
+               other operations. *)
+            List.iter
+              (fun ((_ : Value.t), q') ->
+                if not !success then begin
+                  let states' = Array.copy states in
+                  states'.(slot) <- q';
+                  let n' = n_placed_required + Bool.to_int is_required.(id) in
+                  if dfs (Bitset.add placed id) states' n' then success := true
+                end)
+              (List.sort_uniq
+                 (fun (_, q1) (_, q2) -> Value.compare q1 q2)
+                 (Spec.apply spec states.(slot) o.Operation.op))
+          end
+        done;
+        if not !success then Memo.replace memo key ();
+        !success
+      end
+    end
+  in
+  dfs (Bitset.empty n) init_states 0
+
+(** [check cfg h] decides weak consistency of the whole history;
+    returns the first violating operation if any. *)
+let check cfg h =
+  let rec go = function
+    | [] -> Ok ()
+    | (o : Operation.t) :: rest ->
+      if op_ok cfg h o then go rest else Error o
+  in
+  go (History.complete_ops h)
+
+let is_weakly_consistent cfg h =
+  match check cfg h with Ok () -> true | Error _ -> false

@@ -1,0 +1,22 @@
+(** Weak consistency (Definition 1): each completed operation must be
+    justified by a legal sequential history over operations invoked
+    before its response, containing all of its process's earlier
+    operations, and ending with it returning its actual response. *)
+
+open Elin_spec
+open Elin_history
+
+type config
+
+exception Budget_exceeded
+
+val config : ?node_budget:int -> (int -> Spec.t) -> config
+val for_spec : ?node_budget:int -> Spec.t -> config
+
+(** [op_ok cfg h target] — Definition 1 for one completed operation. *)
+val op_ok : config -> History.t -> Operation.t -> bool
+
+(** [check cfg h] — first violating operation, if any. *)
+val check : config -> History.t -> (unit, Operation.t) result
+
+val is_weakly_consistent : config -> History.t -> bool

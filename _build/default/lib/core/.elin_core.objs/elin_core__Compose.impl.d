@@ -1,0 +1,1 @@
+lib/core/compose.ml: Array Base Cas_object Consensus_spec Elin_runtime Elin_spec Impl Op Program Spec Value

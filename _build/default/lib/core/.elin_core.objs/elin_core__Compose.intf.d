@@ -1,0 +1,1 @@
+lib/core/compose.mli: Base Elin_runtime Impl

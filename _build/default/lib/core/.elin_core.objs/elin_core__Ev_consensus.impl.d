@@ -1,0 +1,1 @@
+lib/core/ev_consensus.ml: Array Base Consensus_spec Elin_runtime Elin_spec Ev_base Impl List Op Program Register Value

@@ -1,0 +1,1 @@
+lib/core/ev_consensus.mli: Elin_runtime Elin_spec Impl Spec Value

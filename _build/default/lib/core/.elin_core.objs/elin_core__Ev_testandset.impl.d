@@ -1,0 +1,1 @@
+lib/core/ev_testandset.ml: Elin_runtime Elin_spec Impl Op Program Testandset Value

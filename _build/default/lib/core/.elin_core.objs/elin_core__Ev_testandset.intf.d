@@ -1,0 +1,1 @@
+lib/core/ev_testandset.mli: Elin_runtime Elin_spec Impl

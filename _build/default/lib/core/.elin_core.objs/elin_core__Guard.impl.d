@@ -1,0 +1,1 @@
+lib/core/guard.ml: Announce_board Array Base Codec Elin_checker Elin_runtime Elin_spec Impl List Op Program Register Spec Value

@@ -1,0 +1,1 @@
+lib/core/guard.mli: Elin_runtime Elin_spec Impl Spec Value

@@ -1,0 +1,1 @@
+lib/core/local_copy.ml: Array Elin_runtime Elin_spec Impl Program Value

@@ -1,0 +1,1 @@
+lib/core/local_copy.mli: Elin_runtime Impl

@@ -1,0 +1,1 @@
+lib/core/stabilize.ml: Array Base Elin_explore Elin_history Elin_runtime Elin_spec Explore Impl Program Sched Value

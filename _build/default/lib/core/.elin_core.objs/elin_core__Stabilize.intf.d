@@ -1,0 +1,1 @@
+lib/core/stabilize.mli: Elin_explore Elin_history Elin_runtime Elin_spec Explore Impl Op Sched Value

@@ -1,0 +1,1 @@
+lib/core/trivial.ml: Elin_explore Elin_history Elin_runtime Elin_spec Explore Format List Op Spec Value

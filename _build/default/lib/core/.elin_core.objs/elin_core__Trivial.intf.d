@@ -1,0 +1,1 @@
+lib/core/trivial.mli: Elin_runtime Elin_spec Format Impl Op Spec Value

@@ -1,0 +1,1 @@
+lib/core/universal.ml: Array Base Codec Consensus_spec Elin_runtime Elin_spec Ev_base Impl List Op Printf Program Register Spec Value

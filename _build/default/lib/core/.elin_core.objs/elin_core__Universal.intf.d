@@ -1,0 +1,1 @@
+lib/core/universal.mli: Elin_runtime Elin_spec Impl Op Spec Value

@@ -1,0 +1,21 @@
+(** Implementation composition: substitute every base access of an
+    outer implementation by an inner implementation's programme,
+    flattening a tower of implementations into one — the
+    introduction's "raising the abstraction level", executable. *)
+
+open Elin_runtime
+
+(** [flatten ~outer ~inner] — [inner i] implements the type of
+    [outer]'s base object [i]; one shared inner instance replaces each
+    outer base. *)
+val flatten : outer:Impl.t -> inner:(int -> Impl.t) -> Impl.t
+
+(** The trivial inner implementation: the base object itself, accessed
+    atomically.  Flattening with it is behaviourally identical to the
+    outer implementation. *)
+val identity_inner : Base.t -> Impl.t
+
+(** Consensus from compare&swap (two atomic accesses, wait-free,
+    linearizable): the canonical inner for stacking the universal
+    construction on hardware primitives. *)
+val consensus_from_cas : unit -> Impl.t

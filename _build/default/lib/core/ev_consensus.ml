@@ -1,0 +1,77 @@
+(** Eventually linearizable consensus from registers (Proposition 16).
+
+    The paper's Proposals-array algorithm, verbatim:
+
+    {v
+    Propose(v):
+      if Proposal[i] = ⊥ then Proposal[i] := v
+      read Proposal[1..n] and return leftmost non-⊥ value
+    v}
+
+    Wait-free and eventually linearizable — even when the base
+    registers are themselves only *eventually linearizable* (the
+    weak-consistency property of the base registers is all the
+    algorithm needs from them: a process's reads of its own register
+    see its own writes).
+
+    Consensus is "essentially the hardest object to implement in a
+    linearizable way", yet this eventually linearizable implementation
+    is elementary — the other horn of the paradox. *)
+
+open Elin_spec
+open Elin_runtime
+
+let bot = Value.str "bot"
+
+let register_spec ~domain =
+  Register.spec_value ~initial:bot
+    ~domain:(bot :: List.map Value.int domain) ()
+
+let ( let* ) = Program.bind
+
+(** [impl ~procs ~domain ~base] — [base] selects the register
+    substrate: [`Linearizable], or [`Eventually_linearizable cfg_maker]
+    building an adversarial register per process. *)
+let impl ~procs ?(domain = [ 0; 1 ]) ?(base = `Linearizable) () : Impl.t =
+  let reg = register_spec ~domain in
+  let make_base _i =
+    match base with
+    | `Linearizable -> Base.linearizable reg
+    | `Ev_at_step k -> Ev_base.adversarial_until_step reg k
+    | `Ev_after_accesses k -> Ev_base.local_until_accesses reg k
+  in
+  let rec scan i =
+    (* Left-to-right scan for the leftmost non-⊥ proposal. *)
+    if i >= procs then Program.return None
+    else
+      let* v = Program.access i Op.read in
+      if Value.equal v bot then scan (i + 1)
+      else Program.return (Some v)
+  in
+  {
+    Impl.name = "consensus/proposals-array";
+    bases = Array.init procs make_base;
+    local_init = Value.unit;
+    program =
+      (fun ~proc ~local op ->
+        match Op.name op, Op.args op with
+        | "propose", [ v ] ->
+          let* mine = Program.access proc Op.read in
+          let* () =
+            if Value.equal mine bot then
+              Program.map Value.to_unit
+                (Program.access proc (Op.write_value v))
+            else Program.return ()
+          in
+          let* leftmost = scan 0 in
+          (match leftmost with
+          | Some w -> Program.return (w, local)
+          | None ->
+            (* Unreachable: weak consistency of the base register
+               guarantees this process sees at least its own write. *)
+            Program.return (v, local))
+        | other, _ ->
+          invalid_arg ("consensus/proposals-array: unknown operation " ^ other));
+  }
+
+let spec ?(domain = [ 0; 1 ]) () = Consensus_spec.spec ~domain ()

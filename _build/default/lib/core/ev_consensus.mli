@@ -1,0 +1,26 @@
+(** Eventually linearizable consensus from registers (Proposition 16):
+    the paper's Proposals-array algorithm — write your proposal to your
+    register if still ⊥, then return the leftmost non-⊥ proposal.
+    Wait-free and eventually linearizable even over registers that are
+    themselves only eventually linearizable. *)
+
+open Elin_spec
+open Elin_runtime
+
+(** The ⊥ marker stored in unwritten proposal registers. *)
+val bot : Value.t
+
+(** The proposal-register spec (⊥-initialized value register). *)
+val register_spec : domain:int list -> Spec.t
+
+(** [impl ~procs ?domain ?base ()] — [base] selects the register
+    substrate. *)
+val impl :
+  procs:int ->
+  ?domain:int list ->
+  ?base:[ `Linearizable | `Ev_at_step of int | `Ev_after_accesses of int ] ->
+  unit ->
+  Impl.t
+
+(** The implemented type's spec (for the checkers). *)
+val spec : ?domain:int list -> unit -> Spec.t

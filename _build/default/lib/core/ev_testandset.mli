@@ -1,0 +1,12 @@
+(** The trivial eventually linearizable test&set (Section 4): each
+    process returns 0 for its first invocation and 1 thereafter — no
+    shared base objects at all.  One horn of the paradox: types that
+    require synchronization only initially trivialize under eventual
+    linearizability. *)
+
+open Elin_runtime
+
+val impl : unit -> Impl.t
+
+(** The implemented type's spec (for the checkers). *)
+val spec : ?initial:int -> unit -> Elin_spec.Spec.t

@@ -1,0 +1,24 @@
+(** The weak-consistency guard (Proposition 11 / Figure 1): wraps any
+    implementation whose histories are t-linearizable for some t into
+    one that is additionally weakly consistent — hence eventually
+    linearizable.  Announce every operation, run the inner
+    implementation, and return its answer only if some permutation of a
+    subset of the announced operations (including all of one's own)
+    justifies it; otherwise answer from the process's private state. *)
+
+open Elin_spec
+open Elin_runtime
+
+(** [wrap ~spec inner] — guard the implementation [inner] of type
+    [spec]; appends one announce board to [inner]'s base objects. *)
+val wrap : spec:Spec.t -> Impl.t -> Impl.t
+
+(** The ⊥ marker of the register-array substrate. *)
+val bot : Value.t
+
+(** The appendix's literal substrate: per-process single-writer
+    register arrays [R_i[0 .. max_ops-1]] instead of the board.
+    Behaviourally equivalent to {!wrap}; raises [Invalid_argument]
+    when a process performs more than [max_ops] operations. *)
+val wrap_registers :
+  spec:Spec.t -> procs:int -> max_ops:int -> Impl.t -> Impl.t

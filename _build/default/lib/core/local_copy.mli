@@ -1,0 +1,13 @@
+(** The local-copy transformation (Theorem 12): replace each shared
+    base object by per-process private copies.  Every history of the
+    transformed implementation is a possible history of the original
+    when its bases are eventually linearizable (local views), so a
+    linearizable obstruction-free original would yield a
+    communication-free wait-free linearizable implementation —
+    impossible for non-trivial types. *)
+
+open Elin_runtime
+
+(** [transform ~procs impl] — process p's access to base j is
+    redirected to copy [p * m + j]. *)
+val transform : procs:int -> Impl.t -> Impl.t

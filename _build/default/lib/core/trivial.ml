@@ -1,0 +1,109 @@
+(** Triviality of deterministic types (Definition 13 / Proposition 14).
+
+    A deterministic type is trivial iff there is a computable function
+    [r] mapping each initial state and operation to a response that is
+    correct in *every* state reachable from that initial state — i.e.
+    the type can be implemented with no inter-process communication.
+    Proposition 14 shows these are exactly the types with linearizable
+    obstruction-free implementations from eventually linearizable
+    objects.
+
+    For finite-state types the definition is directly decidable by
+    exploring the reachable state space; for infinite-state types we
+    explore up to a bound and report [Unknown] when the bound is hit
+    without finding a refutation (every concrete infinite-state type in
+    the zoo is refuted well before the bound). *)
+
+open Elin_spec
+
+type verdict =
+  | Trivial of (Op.t * Value.t) list
+    (* the witnessing constant response table r(q0, ·) *)
+  | Nontrivial of Op.t * Value.t * Value.t
+    (* operation with differing response sets in two reachable states *)
+  | Unknown
+    (* state bound exhausted without refutation *)
+
+(** [classify ?max_states spec] decides Definition 13 for [spec]'s
+    initial state over the representative operations [Spec.all_ops]. *)
+let classify ?(max_states = 2000) spec =
+  let states, complete = Spec.reachable spec ~max_states in
+  let initial_responses op =
+    match Spec.apply spec (Spec.initial spec) op with
+    | [ (r, _) ] -> r
+    | [] -> invalid_arg "Trivial.classify: operation not applicable"
+    | _ -> invalid_arg "Trivial.classify: type is nondeterministic"
+  in
+  let differing =
+    List.find_map
+      (fun op ->
+        let r0 = initial_responses op in
+        List.find_map
+          (fun q ->
+            match Spec.apply spec q op with
+            | [ (r, _) ] when not (Value.equal r r0) -> Some (op, q, r)
+            | _ -> None)
+          states)
+      (Spec.all_ops spec)
+  in
+  match differing with
+  | Some (op, q, r) -> Nontrivial (op, q, r)
+  | None ->
+    if complete then
+      Trivial (List.map (fun op -> (op, initial_responses op)) (Spec.all_ops spec))
+    else Unknown
+
+let is_trivial ?max_states spec =
+  match classify ?max_states spec with
+  | Trivial _ -> true
+  | Nontrivial _ | Unknown -> false
+
+(** The (⇐) direction of Proposition 14, as a constructor: a trivial
+    type's communication-free wait-free linearizable implementation —
+    every operation answers from the constant table. *)
+let communication_free_impl spec =
+  match classify spec with
+  | Trivial table ->
+    Some
+      {
+        Elin_runtime.Impl.name = Spec.name spec ^ "/communication-free";
+        bases = [||];
+        local_init = Value.unit;
+        program =
+          (fun ~proc:_ ~local op ->
+            match List.find_opt (fun (o, _) -> Op.equal o op) table with
+            | Some (_, r) -> Elin_runtime.Program.return (r, local)
+            | None -> invalid_arg "communication-free impl: unknown operation");
+      }
+  | Nontrivial _ | Unknown -> None
+
+(** The (⇒) direction's computation of [r (q0, op)] (Prop. 14 proof):
+    run the implementation's programme for [op] solo from the initial
+    configuration (first adversary branch) until it responds.  For a
+    correct communication-free implementation of a trivial type, this
+    recovers the constant response table. *)
+let solo_response (impl : Elin_runtime.Impl.t) op ?(fuel = 1000) () =
+  let open Elin_explore in
+  let c0 = Explore.initial_config impl ~workloads:[| [ op ] |] () in
+  match
+    Explore.run_solo impl c0 0
+      ~until:(fun c ->
+        match c.Explore.events_rev with
+        | Elin_history.Event.{ payload = Respond v; _ } :: _ -> Some v
+        | _ -> None)
+      fuel
+  with
+  | Some (_, v) -> Some v
+  | None -> None
+
+let pp_verdict ppf = function
+  | Trivial table ->
+    Format.fprintf ppf "trivial, r = [%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         (fun ppf (op, r) -> Format.fprintf ppf "%a↦%a" Op.pp op Value.pp r))
+      table
+  | Nontrivial (op, q, r) ->
+    Format.fprintf ppf "non-trivial: %a returns %a in reachable state %a"
+      Op.pp op Value.pp r Value.pp q
+  | Unknown -> Format.fprintf ppf "unknown (state bound exhausted)"

@@ -1,0 +1,32 @@
+(** Triviality of deterministic types (Definition 13 /
+    Proposition 14): a type is trivial iff some computable response
+    function is correct in every reachable state — exactly the types
+    with linearizable obstruction-free implementations from eventually
+    linearizable objects. *)
+
+open Elin_spec
+open Elin_runtime
+
+type verdict =
+  | Trivial of (Op.t * Value.t) list
+      (** the witnessing constant response table *)
+  | Nontrivial of Op.t * Value.t * Value.t
+      (** operation, reachable state, differing response *)
+  | Unknown  (** state bound exhausted without refutation *)
+
+(** [classify ?max_states spec] decides Definition 13 over
+    [Spec.all_ops]; exact for finite-state types, conservative
+    ([Unknown]) when the reachability bound is hit. *)
+val classify : ?max_states:int -> Spec.t -> verdict
+
+val is_trivial : ?max_states:int -> Spec.t -> bool
+
+(** The (⇐) direction of Proposition 14: a trivial type's
+    communication-free wait-free linearizable implementation. *)
+val communication_free_impl : Spec.t -> Impl.t option
+
+(** The (⇒) direction's computation of [r (q0, op)]: run the
+    implementation's programme for [op] solo until it responds. *)
+val solo_response : Impl.t -> Op.t -> ?fuel:int -> unit -> Value.t option
+
+val pp_verdict : Format.formatter -> verdict -> unit

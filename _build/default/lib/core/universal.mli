@@ -1,0 +1,37 @@
+(** A log-based universal construction from consensus cells (Herlihy
+    universality), and its eventually linearizable instantiation — the
+    paper's Section 6 open question, explored.  With linearizable cells
+    the construction is linearizable for any deterministic type; with
+    adversarial eventually linearizable cells it serves operations from
+    local views before stabilization and re-synchronizes afterwards
+    (every operation replays the log from cell 0). *)
+
+open Elin_spec
+open Elin_runtime
+
+(** [tag ~proc ~seq op] / [untag] — unique proposal tagging. *)
+val tag : proc:int -> seq:int -> Op.t -> Value.t
+
+val untag : Value.t -> Op.t
+
+type cell_base = [ `Linearizable | `Ev_at_step of int ]
+
+(** [construction ~spec ~cells ?cell_base ()] — implement the
+    deterministic [spec] from [cells] consensus objects; raises
+    [Invalid_argument] at runtime if an execution needs more log
+    positions than [cells].  Lock-free: a process may lose every cell
+    it competes for while others make progress. *)
+val construction :
+  spec:Spec.t -> cells:int -> ?cell_base:cell_base -> unit -> Impl.t
+
+(** The ⊥ marker of the wait-free variant's announce registers. *)
+val announce_bot : Value.t
+
+(** [construction_wait_free ~spec ~cells ~procs ?cell_base ()] —
+    Herlihy helping: operations are announced in per-process registers,
+    and the competitor for log cell [l] proposes the pending operation
+    of the priority process [l mod procs] when there is one, so every
+    announced operation enters the log within [procs] cells.
+    Wait-free. *)
+val construction_wait_free :
+  spec:Spec.t -> cells:int -> procs:int -> ?cell_base:cell_base -> unit -> Impl.t

@@ -1,0 +1,1 @@
+lib/explore/explore.ml: Array Base Elin_history Elin_runtime Elin_spec Event History Impl List Op Option Program Value

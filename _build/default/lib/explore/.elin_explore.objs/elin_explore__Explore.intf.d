@@ -1,0 +1,1 @@
+lib/explore/explore.mli: Elin_history Elin_runtime Elin_spec Event History Impl Op Program Value

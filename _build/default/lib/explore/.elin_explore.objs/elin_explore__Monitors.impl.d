@@ -1,0 +1,1 @@
+lib/explore/monitors.ml: Array Elin_history Elin_kernel Elin_runtime Elin_spec Explore Impl List Program Run Sched Value

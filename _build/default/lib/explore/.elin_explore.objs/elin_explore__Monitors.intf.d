@@ -1,0 +1,1 @@
+lib/explore/monitors.mli: Elin_runtime Elin_spec Impl Op Run

@@ -1,0 +1,256 @@
+(** Bounded exhaustive exploration of an implementation's executions.
+
+    Enumerates *every* interleaving of process steps (and every
+    adversary choice of the base objects) up to a depth bound, feeding
+    each leaf history to a caller-supplied predicate.  Because weak
+    consistency is prefix-closed (Lemma 10) and t-linearizability is
+    prefix-closed (Lemma 6), checking leaves covers all shorter
+    histories, so "every history of the implementation up to depth d
+    satisfies P" is decided exactly.
+
+    Configurations are first-class (immutable programmes, value-encoded
+    object states), which the Prop. 18 stabilization machinery uses to
+    search for stable configurations and to restart executions from
+    them. *)
+
+open Elin_spec
+open Elin_history
+open Elin_runtime
+
+type proc_state = {
+  todo : Op.t list;
+  local : Value.t;
+  running : (Value.t * Value.t) Program.t option;
+}
+
+type config = {
+  procs : proc_state array;
+  bases : Value.t array;
+  events_rev : Event.t list;
+  n_events : int;
+  steps : int;
+  (* Number of implemented-object operations invoked so far. *)
+  invocations : int;
+}
+
+let initial_config (impl : Impl.t) ~workloads ?locals () =
+  let n = Array.length workloads in
+  let locals =
+    match locals with
+    | Some ls -> ls
+    | None -> Array.make n impl.Impl.local_init
+  in
+  {
+    procs =
+      Array.init n (fun p ->
+          { todo = workloads.(p); local = locals.(p); running = None });
+    bases = Array.map (fun (b : Base.t) -> b.Base.init) impl.Impl.bases;
+    events_rev = [];
+    n_events = 0;
+    steps = 0;
+    invocations = 0;
+  }
+
+let history c = History.of_events (List.rev c.events_rev)
+
+let runnable c =
+  List.filter
+    (fun p ->
+      let pr = c.procs.(p) in
+      Option.is_some pr.running || pr.todo <> [])
+    (List.init (Array.length c.procs) (fun p -> p))
+
+let is_quiescent c =
+  Array.for_all (fun pr -> Option.is_none pr.running) c.procs
+
+let is_done c = runnable c = []
+
+let set_proc c p pr =
+  let procs = Array.copy c.procs in
+  procs.(p) <- pr;
+  { c with procs }
+
+(** [step c p] — all configurations reachable by letting process [p]
+    take one atomic step (several when the stepped base object offers
+    an adversary choice). *)
+let step (impl : Impl.t) c p =
+  let pr = c.procs.(p) in
+  match pr.running with
+  | None -> (
+    match pr.todo with
+    | [] -> []
+    | op :: rest ->
+      let pr' =
+        {
+          todo = rest;
+          local = pr.local;
+          running = Some (impl.Impl.program ~proc:p ~local:pr.local op);
+        }
+      in
+      let c' = set_proc c p pr' in
+      [
+        {
+          c' with
+          events_rev = Event.invoke ~proc:p ~obj:0 op :: c.events_rev;
+          n_events = c.n_events + 1;
+          steps = c.steps + 1;
+          invocations = c.invocations + 1;
+        };
+      ])
+  | Some (Program.Return (resp, local')) ->
+    let pr' = { pr with local = local'; running = None } in
+    let c' = set_proc c p pr' in
+    [
+      {
+        c' with
+        events_rev = Event.respond ~proc:p ~obj:0 resp :: c.events_rev;
+        n_events = c.n_events + 1;
+        steps = c.steps + 1;
+      };
+    ]
+  | Some (Program.Access (obj, op, k)) ->
+    let base = impl.Impl.bases.(obj) in
+    let choices = base.Base.access ~state:c.bases.(obj) ~proc:p ~step:c.steps op in
+    List.map
+      (fun (resp, state') ->
+        let bases = Array.copy c.bases in
+        bases.(obj) <- state';
+        let pr' = { pr with running = Some (k resp) } in
+        let c' = set_proc c p pr' in
+        { c' with bases; steps = c.steps + 1 })
+      choices
+
+(** [successors impl c] — every configuration one step away. *)
+let successors impl c =
+  List.concat_map (fun p -> step impl c p) (runnable c)
+
+type stats = { mutable nodes : int; mutable leaves : int; mutable truncated : int }
+
+exception Stop
+
+(** [iter_leaves impl ~workloads ~max_steps f] — call [f] on the
+    history of every leaf: executions that finished all workloads and
+    executions cut at the depth bound.  [f] may raise [Stop].
+    Returns exploration stats. *)
+let iter_leaves (impl : Impl.t) ~workloads ?locals ?(max_steps = 40) f =
+  let stats = { nodes = 0; leaves = 0; truncated = 0 } in
+  let rec dfs c =
+    stats.nodes <- stats.nodes + 1;
+    if is_done c then begin
+      stats.leaves <- stats.leaves + 1;
+      f c
+    end
+    else if c.steps >= max_steps then begin
+      stats.leaves <- stats.leaves + 1;
+      stats.truncated <- stats.truncated + 1;
+      f c
+    end
+    else List.iter dfs (successors impl c)
+  in
+  (try dfs (initial_config impl ~workloads ?locals ()) with Stop -> ());
+  stats
+
+(** [iter_leaves_from impl c0 ~max_extra_steps f] — like [iter_leaves]
+    but exploring every extension of configuration [c0] by at most
+    [max_extra_steps] steps. *)
+let iter_leaves_from (impl : Impl.t) c0 ~max_extra_steps f =
+  let stats = { nodes = 0; leaves = 0; truncated = 0 } in
+  let budget = c0.steps + max_extra_steps in
+  let rec dfs c =
+    stats.nodes <- stats.nodes + 1;
+    if is_done c then begin
+      stats.leaves <- stats.leaves + 1;
+      f c
+    end
+    else if c.steps >= budget then begin
+      stats.leaves <- stats.leaves + 1;
+      stats.truncated <- stats.truncated + 1;
+      f c
+    end
+    else List.iter dfs (successors impl c)
+  in
+  (try dfs c0 with Stop -> ());
+  stats
+
+(** [for_all_histories impl ~workloads ~max_steps p] — true iff [p]
+    holds on every leaf history; returns the first counterexample
+    otherwise. *)
+let for_all_histories impl ~workloads ?locals ?max_steps p =
+  let counterexample = ref None in
+  let stats =
+    iter_leaves impl ~workloads ?locals ?max_steps (fun c ->
+        let h = history c in
+        if not (p h) then begin
+          counterexample := Some h;
+          raise Stop
+        end)
+  in
+  (Option.is_none !counterexample, !counterexample, stats)
+
+(** [exists_history impl ~workloads ~max_steps p] — dual. *)
+let exists_history impl ~workloads ?locals ?max_steps p =
+  let witness = ref None in
+  let _stats =
+    iter_leaves impl ~workloads ?locals ?max_steps (fun c ->
+        let h = history c in
+        if p h then begin
+          witness := Some h;
+          raise Stop
+        end)
+  in
+  !witness
+
+(** [iter_configs impl ~workloads ~max_steps f] — call [f] on every
+    reachable configuration (pre-order), not only leaves. *)
+let iter_configs (impl : Impl.t) ~workloads ?locals ?(max_steps = 40) f =
+  let stats = { nodes = 0; leaves = 0; truncated = 0 } in
+  let rec dfs c =
+    stats.nodes <- stats.nodes + 1;
+    f c;
+    if (not (is_done c)) && c.steps < max_steps then
+      List.iter dfs (successors impl c)
+    else stats.leaves <- stats.leaves + 1
+  in
+  (try dfs (initial_config impl ~workloads ?locals ()) with Stop -> ());
+  stats
+
+(** [run_deterministic impl c ~sched_order] — advance [c] by the given
+    process order, always taking the *first* adversary choice; used to
+    drive a fixed execution from a configuration (solo runs in the
+    Prop. 18 construction). *)
+let run_solo (impl : Impl.t) c p ~until =
+  let rec go c fuel =
+    if fuel = 0 then None
+    else
+      match until c with
+      | Some r -> Some (c, r)
+      | None -> (
+        match step impl c p with
+        | [] -> None
+        | c' :: _ -> go c' (fuel - 1))
+  in
+  go c
+
+(** [complete_current_ops impl c] — the paper's C_idle: let each
+    process run solo until its pending operation (if any) completes.
+    Takes the first adversary branch.  Returns [None] if some
+    operation fails to complete within [fuel] solo steps (the
+    implementation would not be non-blocking). *)
+let complete_current_ops (impl : Impl.t) c ~fuel =
+  let n = Array.length c.procs in
+  let rec idle_proc c p =
+    if p >= n then Some c
+    else
+      let pr = c.procs.(p) in
+      match pr.running with
+      | None -> idle_proc c (p + 1)
+      | Some _ -> (
+        match
+          run_solo impl c p ~until:(fun c' ->
+              if Option.is_none c'.procs.(p).running then Some () else None)
+            fuel
+        with
+        | Some (c', ()) -> idle_proc c' (p + 1)
+        | None -> None)
+  in
+  idle_proc c 0

@@ -1,0 +1,115 @@
+(** Bounded exhaustive exploration of an implementation's executions:
+    every interleaving of process steps and every adversary choice of
+    the base objects, up to a depth bound.  Because weak consistency is
+    prefix-closed (Lemma 10) and t-linearizability is prefix-closed
+    (Lemma 6), checking leaf histories covers all shorter ones.
+
+    Configurations are first-class (immutable programmes, value-encoded
+    object states); the Prop. 18 machinery uses them to search for
+    stable configurations and restart executions from them. *)
+
+open Elin_spec
+open Elin_history
+open Elin_runtime
+
+type proc_state = {
+  todo : Op.t list;
+  local : Value.t;
+  running : (Value.t * Value.t) Program.t option;
+}
+
+type config = {
+  procs : proc_state array;
+  bases : Value.t array;
+  events_rev : Event.t list;
+  n_events : int;
+  steps : int;
+  invocations : int;  (** implemented-object operations invoked so far *)
+}
+
+val initial_config :
+  Impl.t -> workloads:Op.t list array -> ?locals:Value.t array -> unit -> config
+
+(** [history c] — the implemented-object history at [c]. *)
+val history : config -> History.t
+
+val runnable : config -> int list
+
+(** No process is mid-operation. *)
+val is_quiescent : config -> bool
+
+(** All workloads finished. *)
+val is_done : config -> bool
+
+(** [step impl c p] — all configurations after process [p]'s next
+    atomic step (several when a base object offers an adversary
+    choice). *)
+val step : Impl.t -> config -> int -> config list
+
+val successors : Impl.t -> config -> config list
+
+type stats = {
+  mutable nodes : int;
+  mutable leaves : int;
+  mutable truncated : int;
+}
+
+exception Stop
+
+(** [iter_leaves impl ~workloads ?locals ?max_steps f] — call [f] on
+    every leaf configuration (finished, or cut at the bound).  [f] may
+    raise {!Stop}. *)
+val iter_leaves :
+  Impl.t ->
+  workloads:Op.t list array ->
+  ?locals:Value.t array ->
+  ?max_steps:int ->
+  (config -> unit) ->
+  stats
+
+(** Like {!iter_leaves} but exploring every extension of [c0] by at
+    most [max_extra_steps] steps. *)
+val iter_leaves_from :
+  Impl.t -> config -> max_extra_steps:int -> (config -> unit) -> stats
+
+(** [for_all_histories impl ~workloads p] — [(ok, counterexample,
+    stats)]. *)
+val for_all_histories :
+  Impl.t ->
+  workloads:Op.t list array ->
+  ?locals:Value.t array ->
+  ?max_steps:int ->
+  (History.t -> bool) ->
+  bool * History.t option * stats
+
+val exists_history :
+  Impl.t ->
+  workloads:Op.t list array ->
+  ?locals:Value.t array ->
+  ?max_steps:int ->
+  (History.t -> bool) ->
+  History.t option
+
+(** Visit every reachable configuration (pre-order), not only leaves. *)
+val iter_configs :
+  Impl.t ->
+  workloads:Op.t list array ->
+  ?locals:Value.t array ->
+  ?max_steps:int ->
+  (config -> unit) ->
+  stats
+
+(** [run_solo impl c p ~until fuel] — step [p] alone (first adversary
+    branch) until [until] yields a value or [fuel] runs out. *)
+val run_solo :
+  Impl.t ->
+  config ->
+  int ->
+  until:(config -> 'a option) ->
+  int ->
+  (config * 'a) option
+
+(** The paper's C_idle: let each process run solo until its pending
+    operation completes.  [None] if some operation needs more than
+    [fuel] solo steps (the implementation would not be non-blocking). *)
+val complete_current_ops : Impl.t -> config -> fuel:int -> config option

@@ -1,0 +1,137 @@
+(** Empirical progress-condition monitors (Section 3's wait-free /
+    non-blocking / obstruction-free hierarchy).
+
+    Progress conditions quantify over infinite executions, so they are
+    not decidable from one run; these monitors provide the useful
+    finite shadows:
+
+    - [wait_free_bound]: the observed maximum base accesses per
+      completed operation — a wait-free implementation has a bound
+      independent of the schedule, so a growing observed bound across
+      adversarial schedules refutes wait-freedom;
+    - [starvation_schedule]: drives the classic CAS-loop starvation
+      adversary (let the victim read, then let another process complete
+      a whole operation, forever) and reports whether the victim
+      completed anything — a mechanical witness that lock-free
+      implementations need not be wait-free;
+    - [non_blocking_probe]: checks that whenever operations are
+      pending, running the processes round-robin completes some
+      operation within a fuel bound;
+    - [obstruction_free_probe]: from sampled reachable configurations,
+      each process running solo completes its pending operation within
+      a fuel bound. *)
+
+open Elin_spec
+open Elin_runtime
+
+(** [wait_free_bound outcome] — observed accesses/op. *)
+let wait_free_bound (outcome : Run.outcome) =
+  outcome.Run.stats.Run.max_steps_per_op
+
+(** [starvation_schedule impl ~victim ~other ~op ~rounds] runs the
+    adversary that steps [victim] once, then lets [other] finish a full
+    operation, repeatedly.  Returns (victim completed ops, other
+    completed ops). *)
+let starvation_schedule (impl : Impl.t) ~victim ~other ~op ~rounds =
+  (* Alternate: one victim step, then [other] until it completes an op.
+     Encoded as a stateful scheduler. *)
+  let victim_turn = ref true in
+  let choose ~runnable ~step:_ =
+    if !victim_turn && List.mem victim runnable then begin
+      victim_turn := false;
+      Some victim
+    end
+    else if List.mem other runnable then Some other
+    else if List.mem victim runnable then Some victim
+    else None
+  in
+  let sched = { Sched.name = "starvation"; choose } in
+  (* The scheduler above flips to the other process after one victim
+     step; we flip back whenever the other completes an operation,
+     which we detect via a wrapper implementation that counts. *)
+  let completed_other = ref 0 in
+  let counting_impl =
+    {
+      impl with
+      Impl.program =
+        (fun ~proc ~local o ->
+          let inner = impl.Impl.program ~proc ~local o in
+          let rec watch (m : (Value.t * Value.t) Program.t) =
+            match m with
+            | Program.Return r ->
+              if proc = other then begin
+                incr completed_other;
+                victim_turn := true
+              end;
+              Program.Return r
+            | Program.Access (obj, op', k) ->
+              Program.Access (obj, op', fun v -> watch (k v))
+          in
+          watch inner);
+    }
+  in
+  (* The contention window must outlast the run: the other process
+     gets an inexhaustible workload and the step budget ends first, so
+     the victim is never left to run solo. *)
+  let workloads =
+    Array.init (max victim other + 1) (fun p ->
+        if p = victim then List.init rounds (fun _ -> op)
+        else if p = other then List.init (rounds * 20) (fun _ -> op)
+        else [])
+  in
+  let out =
+    Run.execute counting_impl ~workloads ~sched ~max_steps:(rounds * 12) ()
+  in
+  let completed p =
+    List.length
+      (List.filter
+         (fun (o : Elin_history.Operation.t) ->
+           o.Elin_history.Operation.proc = p
+           && Elin_history.Operation.is_complete o)
+         (Elin_history.History.ops out.Run.history))
+  in
+  (completed victim, completed other)
+
+(** [non_blocking_probe impl ~workloads ~fuel ~seed] — run under a
+    random scheduler; whenever an operation is pending, some operation
+    must complete within [fuel] further completions-or-steps.  Returns
+    [true] when no starvation window was observed. *)
+let non_blocking_probe (impl : Impl.t) ~workloads ?(fuel = 200) ?(seed = 0) ()
+    =
+  let out =
+    Run.execute impl ~workloads ~sched:(Sched.random ~seed)
+      ~max_steps:(fuel * 10) ()
+  in
+  (* A window violation in a finite complete run means some operation
+     never finished although steps remained. *)
+  out.Run.all_done
+  || out.Run.stats.Run.steps >= fuel * 10 (* cut off, inconclusive *)
+
+(** [obstruction_free_probe impl ~workloads ~samples ~fuel ~seed] —
+    sample configurations along random runs; from each, every process
+    with a pending operation must complete it running solo within
+    [fuel] steps.  Uses the explorer's solo machinery. *)
+let obstruction_free_probe (impl : Impl.t) ~workloads ?(samples = 20)
+    ?(fuel = 200) ?(seed = 0) () =
+  let rng = Elin_kernel.Prng.create seed in
+  let ok = ref true in
+  for _ = 1 to samples do
+    (* Random walk to a random depth, first adversary branch. *)
+    let depth = Elin_kernel.Prng.int rng 30 in
+    let c = ref (Explore.initial_config impl ~workloads ()) in
+    (try
+       for _ = 1 to depth do
+         match Explore.runnable !c with
+         | [] -> raise Exit
+         | rs ->
+           let p = Elin_kernel.Prng.choose rng rs in
+           (match Explore.step impl !c p with
+           | c' :: _ -> c := c'
+           | [] -> raise Exit)
+       done
+     with Exit -> ());
+    match Explore.complete_current_ops impl !c ~fuel with
+    | Some _ -> ()
+    | None -> ok := false
+  done;
+  !ok

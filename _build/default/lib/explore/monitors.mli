@@ -1,0 +1,38 @@
+(** Empirical progress-condition monitors (the wait-free / non-blocking
+    / obstruction-free hierarchy of Section 3), as finite shadows of
+    the infinite-execution definitions. *)
+
+open Elin_spec
+open Elin_runtime
+
+(** Observed maximum base accesses per completed operation. *)
+val wait_free_bound : Run.outcome -> int
+
+(** [starvation_schedule impl ~victim ~other ~op ~rounds] — the classic
+    adversary: one victim step, then let [other] complete a whole
+    operation, forever (the run's step budget ends before [other]'s
+    workload does).  Returns (victim completed, other completed); a
+    lock-free-but-not-wait-free implementation shows (0, many). *)
+val starvation_schedule :
+  Impl.t -> victim:int -> other:int -> op:Op.t -> rounds:int -> int * int
+
+(** Random-schedule probe: no operation left unfinished while steps
+    remained. *)
+val non_blocking_probe :
+  Impl.t ->
+  workloads:Op.t list array ->
+  ?fuel:int ->
+  ?seed:int ->
+  unit ->
+  bool
+
+(** From sampled reachable configurations, every process with a pending
+    operation completes it running solo within [fuel] steps. *)
+val obstruction_free_probe :
+  Impl.t ->
+  workloads:Op.t list array ->
+  ?samples:int ->
+  ?fuel:int ->
+  ?seed:int ->
+  unit ->
+  bool

@@ -1,0 +1,1 @@
+lib/history/event.ml: Elin_spec Format Op Value

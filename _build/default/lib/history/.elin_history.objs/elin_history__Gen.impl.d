@@ -1,0 +1,1 @@
+lib/history/gen.ml: Array Elin_kernel Elin_spec Event History List Op Operation Option Prng QCheck2 Spec Value

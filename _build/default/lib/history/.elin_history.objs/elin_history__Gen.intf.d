@@ -1,0 +1,1 @@
+lib/history/gen.mli: Elin_kernel Elin_spec History Prng QCheck2 Spec

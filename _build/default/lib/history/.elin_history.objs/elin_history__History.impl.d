@@ -1,0 +1,1 @@
+lib/history/history.ml: Array Elin_spec Event Format Hashtbl List Op Operation

@@ -1,0 +1,1 @@
+lib/history/history.mli: Elin_spec Event Format Op Operation Value

@@ -1,0 +1,1 @@
+lib/history/operation.ml: Elin_spec Format Op Option Value

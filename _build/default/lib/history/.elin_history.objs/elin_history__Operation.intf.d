@@ -1,0 +1,1 @@
+lib/history/operation.mli: Elin_spec Format Op Value

@@ -1,0 +1,1 @@
+lib/history/textio.ml: Buffer Elin_spec Event Format Fun History List Op Printf String Value

@@ -1,0 +1,1 @@
+lib/history/textio.mli: Event History

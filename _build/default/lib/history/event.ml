@@ -1,0 +1,31 @@
+(** History events.
+
+    An event is, as in Section 3 of the paper, a tuple <p, o, x> where
+    [p] is a process, [o] an object, and [x] either an operation
+    invocation or a response value. *)
+
+open Elin_spec
+
+type payload = Invoke of Op.t | Respond of Value.t
+
+type t = { proc : int; obj : int; payload : payload }
+
+let invoke ~proc ~obj op = { proc; obj; payload = Invoke op }
+let respond ~proc ~obj v = { proc; obj; payload = Respond v }
+
+let is_invoke t = match t.payload with Invoke _ -> true | Respond _ -> false
+let is_respond t = match t.payload with Respond _ -> true | Invoke _ -> false
+
+let equal a b =
+  a.proc = b.proc && a.obj = b.obj
+  && (match a.payload, b.payload with
+     | Invoke x, Invoke y -> Op.equal x y
+     | Respond x, Respond y -> Value.equal x y
+     | Invoke _, Respond _ | Respond _, Invoke _ -> false)
+
+let pp ppf t =
+  match t.payload with
+  | Invoke op -> Format.fprintf ppf "<p%d, o%d, inv %a>" t.proc t.obj Op.pp op
+  | Respond v -> Format.fprintf ppf "<p%d, o%d, res %a>" t.proc t.obj Value.pp v
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,18 @@
+(** History events: tuples <p, o, x> where [p] is a process, [o] an
+    object, and [x] an invocation or a response (Section 3). *)
+
+open Elin_spec
+
+type payload = Invoke of Op.t | Respond of Value.t
+
+type t = { proc : int; obj : int; payload : payload }
+
+val invoke : proc:int -> obj:int -> Op.t -> t
+val respond : proc:int -> obj:int -> Value.t -> t
+
+val is_invoke : t -> bool
+val is_respond : t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

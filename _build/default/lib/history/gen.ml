@@ -1,0 +1,206 @@
+(** Seeded generators of concurrent histories.
+
+    Everything is driven by [Elin_kernel.Prng] so that a generated
+    history is a pure function of its seed.  Three families:
+
+    - [linearizable]: genuinely concurrent histories guaranteed
+      linearizable by construction (each operation gets an explicit
+      internal linearization point between invocation and response);
+    - [eventually_linearizable]: histories that misbehave (local-copy
+      semantics, hence weakly consistent) for a prefix and then behave
+      linearizably on the merged state — the canonical shape of an
+      eventually linearizable object's lifetime;
+    - [corrupt]: response-flipped mutants for negative tests. *)
+
+open Elin_kernel
+open Elin_spec
+
+type proc_status =
+  | Idle
+  | Invoked of Op.t
+  | Linearized of Op.t * Value.t
+
+(** [linearizable rng ~spec ~procs ~n_ops] generates a linearizable
+    history of exactly [n_ops] completed operations by [procs]
+    processes on object 0.  Each operation is linearized at a random
+    internal point between its invocation and its response, so the
+    generated histories exercise genuine concurrency. *)
+let linearizable rng ~spec ~procs ~n_ops () =
+  let status = Array.make procs Idle in
+  let state = ref (Spec.initial spec) in
+  let events = ref [] in
+  let invoked = ref 0 in
+  let completed = ref 0 in
+  let emit e = events := e :: !events in
+  while !completed < n_ops do
+    let actions = ref [] in
+    Array.iteri
+      (fun p s ->
+        match s with
+        | Idle -> if !invoked < n_ops then actions := `Invoke p :: !actions
+        | Invoked _ -> actions := `Linearize p :: !actions
+        | Linearized _ -> actions := `Respond p :: !actions)
+      status;
+    match Prng.choose rng !actions with
+    | `Invoke p ->
+      let op = Prng.choose rng (Spec.all_ops spec) in
+      emit (Event.invoke ~proc:p ~obj:0 op);
+      status.(p) <- Invoked op;
+      incr invoked
+    | `Linearize p -> (
+      match status.(p) with
+      | Invoked op ->
+        let r, q' = Prng.choose rng (Spec.apply spec !state op) in
+        state := q';
+        status.(p) <- Linearized (op, r)
+      | _ -> assert false)
+    | `Respond p -> (
+      match status.(p) with
+      | Linearized (_, r) ->
+        emit (Event.respond ~proc:p ~obj:0 r);
+        status.(p) <- Idle;
+        incr completed
+      | _ -> assert false)
+  done;
+  History.of_events (List.rev !events)
+
+(** Like [linearizable] but leaves some operations pending: for a
+    random subset of processes, the response of the process's *last*
+    operation is removed (removing any other response would break
+    well-formedness of H|p). *)
+let linearizable_with_pending rng ~spec ~procs ~n_ops () =
+  let h = linearizable rng ~spec ~procs ~n_ops () in
+  let last_resp_of_proc p =
+    List.fold_left
+      (fun acc (o : Operation.t) ->
+        if o.Operation.proc = p then
+          match Operation.response_index o, acc with
+          | Some ri, Some best -> Some (max ri best)
+          | Some ri, None -> Some ri
+          | None, _ -> acc
+        else acc)
+      None (History.ops h)
+  in
+  let drop_resp_idx =
+    List.filter_map
+      (fun p -> if Prng.bool rng then last_resp_of_proc p else None)
+      (List.init procs (fun p -> p))
+  in
+  let events =
+    List.filteri (fun i _ -> not (List.mem i drop_resp_idx)) (History.events h)
+  in
+  History.of_events events
+
+(** [eventually_linearizable rng ~spec ~procs ~prefix_ops ~suffix_ops]
+    generates a history whose first phase serves every process from a
+    local copy (weakly consistent, generally not linearizable), then
+    merges all phase-one operations in invocation order and continues
+    linearizably.  Returns the history and the index of the first
+    post-merge event (a valid stabilization bound candidate). *)
+let eventually_linearizable rng ~spec ~procs ~prefix_ops ~suffix_ops () =
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  let n_events = ref 0 in
+  let emit e = emit e; incr n_events in
+  (* Phase 1: local copies.  Each process interleaves invocations and
+     responses computed from its own operations only. *)
+  let local_state = Array.make procs (Spec.initial spec) in
+  let status = Array.make procs Idle in
+  let all_phase1_ops = ref [] (* (inv order, proc, op) *) in
+  let invoked = ref 0 in
+  let completed = ref 0 in
+  while !completed < prefix_ops do
+    let actions = ref [] in
+    Array.iteri
+      (fun p s ->
+        match s with
+        | Idle -> if !invoked < prefix_ops then actions := `Invoke p :: !actions
+        | Invoked _ -> actions := `Respond p :: !actions
+        | Linearized _ -> assert false)
+      status;
+    match Prng.choose rng !actions with
+    | `Invoke p ->
+      let op = Prng.choose rng (Spec.all_ops spec) in
+      emit (Event.invoke ~proc:p ~obj:0 op);
+      status.(p) <- Invoked op;
+      all_phase1_ops := (p, op) :: !all_phase1_ops;
+      incr invoked
+    | `Respond p -> (
+      match status.(p) with
+      | Invoked op ->
+        let r, q' = Prng.choose rng (Spec.apply spec local_state.(p) op) in
+        local_state.(p) <- q';
+        emit (Event.respond ~proc:p ~obj:0 r);
+        status.(p) <- Idle;
+        incr completed
+      | _ -> assert false)
+  done;
+  (* Merge: replay every phase-one operation, in invocation order, into
+     a single committed state. *)
+  let merged =
+    List.fold_left
+      (fun q (_, op) ->
+        match Spec.apply spec q op with
+        | (_, q') :: _ -> q'
+        | [] -> q)
+      (Spec.initial spec)
+      (List.rev !all_phase1_ops)
+  in
+  let stabilization = !n_events in
+  (* Phase 2: linearizable generation from the merged state. *)
+  let spec2 = Spec.with_initial spec merged in
+  let h2 = linearizable rng ~spec:spec2 ~procs ~n_ops:suffix_ops () in
+  let h = History.of_events (List.rev !events @ History.events h2) in
+  (h, stabilization)
+
+(** [corrupt rng h ~spec] flips one completed operation's response to a
+    different value of the same shape; returns [None] when the history
+    has no completed operation. *)
+let corrupt rng h =
+  match History.complete_ops h with
+  | [] -> None
+  | complete ->
+    let victim = Prng.choose rng complete in
+    let _, ridx = Option.get victim.Operation.resp in
+    let mutate (v : Value.t) : Value.t =
+      match v with
+      | Value.Int n -> Value.Int (n + 1 + Prng.int rng 3)
+      | Value.Bool b -> Value.Bool (not b)
+      | Value.Unit -> Value.Int 0
+      | Value.Str s -> Value.Str (s ^ "'")
+      | Value.Pair (a, b) -> Value.Pair (b, a)
+      | Value.List xs -> Value.List (Value.Int 99 :: xs)
+    in
+    let events =
+      List.mapi
+        (fun i (e : Event.t) ->
+          if i = ridx then
+            match e.payload with
+            | Event.Respond v -> Event.respond ~proc:e.proc ~obj:e.obj (mutate v)
+            | Event.Invoke _ -> e
+          else e)
+        (History.events h)
+    in
+    Some (History.of_events events)
+
+(* QCheck plumbing: a generator is a seed, materialized through Prng,
+   so failures print a reproducible seed. *)
+
+let qcheck_seed = QCheck2.Gen.int_range 0 1_000_000_000
+
+let arbitrary_linearizable ~spec ~procs ~n_ops =
+  QCheck2.Gen.map
+    (fun seed ->
+      let rng = Prng.create seed in
+      (seed, linearizable rng ~spec ~procs ~n_ops ()))
+    qcheck_seed
+
+let arbitrary_eventually ~spec ~procs ~prefix_ops ~suffix_ops =
+  QCheck2.Gen.map
+    (fun seed ->
+      let rng = Prng.create seed in
+      let h, t =
+        eventually_linearizable rng ~spec ~procs ~prefix_ops ~suffix_ops ()
+      in
+      (seed, h, t))
+    qcheck_seed

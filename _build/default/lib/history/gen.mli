@@ -1,0 +1,53 @@
+(** Seeded generators of concurrent histories.
+
+    Everything is driven by [Elin_kernel.Prng], so a generated history
+    is a pure function of its seed. *)
+
+open Elin_kernel
+open Elin_spec
+
+(** [linearizable rng ~spec ~procs ~n_ops ()] — a linearizable history
+    of exactly [n_ops] completed operations on object 0, with genuine
+    concurrency (each operation linearizes at a random internal
+    point). *)
+val linearizable :
+  Prng.t -> spec:Spec.t -> procs:int -> n_ops:int -> unit -> History.t
+
+(** Like {!linearizable}, but for a random subset of processes the last
+    operation's response is removed, leaving it pending. *)
+val linearizable_with_pending :
+  Prng.t -> spec:Spec.t -> procs:int -> n_ops:int -> unit -> History.t
+
+(** [eventually_linearizable rng ~spec ~procs ~prefix_ops ~suffix_ops ()]
+    — a history whose first phase serves every process from a local
+    copy (weakly consistent, generally not linearizable), then merges
+    all phase-one operations in invocation order and continues
+    linearizably.  Returns the history and the index of the first
+    post-merge event (a valid stabilization-bound candidate). *)
+val eventually_linearizable :
+  Prng.t ->
+  spec:Spec.t ->
+  procs:int ->
+  prefix_ops:int ->
+  suffix_ops:int ->
+  unit ->
+  History.t * int
+
+(** [corrupt rng h] flips one completed operation's response to a
+    different value; [None] when there is no completed operation. *)
+val corrupt : Prng.t -> History.t -> History.t option
+
+(** QCheck plumbing: generators materialize through a printed seed so
+    failures are reproducible. *)
+
+val qcheck_seed : int QCheck2.Gen.t
+
+val arbitrary_linearizable :
+  spec:Spec.t -> procs:int -> n_ops:int -> (int * History.t) QCheck2.Gen.t
+
+val arbitrary_eventually :
+  spec:Spec.t ->
+  procs:int ->
+  prefix_ops:int ->
+  suffix_ops:int ->
+  (int * History.t * int) QCheck2.Gen.t

@@ -1,0 +1,178 @@
+(** Well-formed concurrent histories.
+
+    A history is a finite sequence of events such that each process
+    subsequence is sequential: invocations and matching responses
+    alternate, starting with an invocation (Section 3).  Construction
+    validates well-formedness and derives the operation records that
+    the checkers consume. *)
+
+open Elin_spec
+
+type t = {
+  events : Event.t array;
+  ops : Operation.t array;
+  (* [op_of_event.(i)] is the id of the operation event [i] belongs to. *)
+  op_of_event : int array;
+}
+
+type error =
+  | Response_without_invocation of int   (* event index *)
+  | Invocation_while_pending of int      (* H|p not sequential *)
+  | Mismatched_response of int           (* response on a different object *)
+
+let pp_error ppf = function
+  | Response_without_invocation i ->
+    Format.fprintf ppf "event %d: response with no pending invocation" i
+  | Invocation_while_pending i ->
+    Format.fprintf ppf "event %d: invocation while an operation is pending" i
+  | Mismatched_response i ->
+    Format.fprintf ppf "event %d: response does not match pending invocation" i
+
+exception Ill_formed of error
+
+(** [of_events events] validates well-formedness and builds the
+    history.  O(events). *)
+let of_events events =
+  let events = Array.of_list events in
+  let n = Array.length events in
+  let op_of_event = Array.make n (-1) in
+  (* pending.(p) = Some (op id) while process p has an open operation *)
+  let max_proc = Array.fold_left (fun m (e : Event.t) -> max m e.proc) (-1) events in
+  let pending = Array.make (max_proc + 1) None in
+  let ops = ref [] in
+  let n_ops = ref 0 in
+  (* Operations under construction, keyed by id. *)
+  let inv_info = Hashtbl.create 16 in
+  Array.iteri
+       (fun i (e : Event.t) ->
+         match e.payload with
+         | Invoke op ->
+           (match pending.(e.proc) with
+           | Some _ -> raise (Ill_formed (Invocation_while_pending i))
+           | None ->
+             let id = !n_ops in
+             incr n_ops;
+             pending.(e.proc) <- Some id;
+             Hashtbl.replace inv_info id (e.proc, e.obj, op, i);
+             op_of_event.(i) <- id)
+         | Respond v ->
+           (match pending.(e.proc) with
+           | None -> raise (Ill_formed (Response_without_invocation i))
+           | Some id ->
+             let proc, obj, op, inv = Hashtbl.find inv_info id in
+             if obj <> e.obj then raise (Ill_formed (Mismatched_response i));
+             pending.(e.proc) <- None;
+             op_of_event.(i) <- id;
+             ops :=
+               { Operation.id; proc; obj; op; inv; resp = Some (v, i) } :: !ops))
+       events;
+  (* Left-over pending operations. *)
+  Array.iteri
+    (fun _p -> function
+      | None -> ()
+      | Some id ->
+        let proc, obj, op, inv = Hashtbl.find inv_info id in
+        ops := { Operation.id; proc; obj; op; inv; resp = None } :: !ops)
+    pending;
+  let ops_arr = Array.make !n_ops
+      { Operation.id = 0; proc = 0; obj = 0; op = Op.read; inv = 0; resp = None }
+  in
+  List.iter (fun (o : Operation.t) -> ops_arr.(o.id) <- o) !ops;
+  { events; ops = ops_arr; op_of_event }
+
+let of_events_result events =
+  match of_events events with
+  | h -> Ok h
+  | exception Ill_formed e -> Error e
+
+let well_formed events =
+  match of_events events with _ -> true | exception Ill_formed _ -> false
+
+let events t = Array.to_list t.events
+let events_array t = t.events
+let length t = Array.length t.events
+let event t i = t.events.(i)
+
+let ops t = Array.to_list t.ops
+let ops_array t = t.ops
+let n_ops t = Array.length t.ops
+let op t id = t.ops.(id)
+let op_of_event t i = t.op_of_event.(i)
+
+let complete_ops t = List.filter Operation.is_complete (ops t)
+let pending_ops t = List.filter Operation.is_pending (ops t)
+
+let procs t =
+  List.sort_uniq compare (Array.to_list (Array.map (fun (e : Event.t) -> e.proc) t.events))
+
+let objs t =
+  List.sort_uniq compare (Array.to_list (Array.map (fun (e : Event.t) -> e.obj) t.events))
+
+(** [proj_proc t p] is H|p — the subsequence of events by process [p],
+    as a fresh history (event indices are renumbered). *)
+let proj_proc t p =
+  of_events (List.filter (fun (e : Event.t) -> e.proc = p) (events t))
+
+(** [proj_obj t o] is H|o. *)
+let proj_obj t o =
+  of_events (List.filter (fun (e : Event.t) -> e.obj = o) (events t))
+
+(** [index_map_obj t o] maps each event index of [proj_obj t o] back to
+    its index in [t]; needed to translate per-object stabilization
+    bounds into whole-history bounds (Lemma 7). *)
+let index_map_obj t o =
+  let acc = ref [] in
+  Array.iteri
+    (fun i (e : Event.t) -> if e.obj = o then acc := i :: !acc)
+    t.events;
+  Array.of_list (List.rev !acc)
+
+(** [prefix t k] is the history made of the first [k] events. *)
+let prefix t k =
+  if k < 0 || k > length t then invalid_arg "History.prefix";
+  of_events (List.filteri (fun i _ -> i < k) (events t))
+
+let is_sequential t =
+  let rec go expect_invoke i =
+    if i >= Array.length t.events then true
+    else
+      match (t.events.(i)).payload, expect_invoke with
+      | Event.Invoke _, true -> go false (i + 1)
+      | Event.Respond _, false ->
+        (* must match the preceding invocation's process *)
+        i > 0 && (t.events.(i)).proc = (t.events.(i - 1)).proc && go true (i + 1)
+      | Event.Invoke _, false | Event.Respond _, true -> false
+  in
+  go true 0
+
+(** [behaviour_of_sequential t] extracts the [(op, response)] list of a
+    sequential history (pending final invocation allowed, dropped). *)
+let behaviour_of_sequential t =
+  if not (is_sequential t) then invalid_arg "History.behaviour_of_sequential";
+  List.filter_map
+    (fun (o : Operation.t) ->
+      match o.resp with Some (v, _) -> Some (o.op, v) | None -> None)
+    (ops t)
+
+(** [append t events] extends the history with more events. *)
+let append t more = of_events (events t @ more)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list (fun ppf (i, e) ->
+         Format.fprintf ppf "%3d: %a" i Event.pp e))
+    (List.mapi (fun i e -> (i, e)) (events t))
+
+let to_string t = Format.asprintf "%a" pp t
+
+(** Build a sequential history from a behaviour: op/response pairs all
+    by one process on one object.  Handy for tests. *)
+let of_behaviour ?(proc = 0) ?(obj = 0) behaviour =
+  of_events
+    (List.concat_map
+       (fun (op, r) ->
+         [ Event.invoke ~proc ~obj op; Event.respond ~proc ~obj r ])
+       behaviour)
+
+(** [interleave specs] — an empty history. *)
+let empty = of_events []

@@ -1,0 +1,37 @@
+(** Operations: an invocation event matched with its response event.
+
+    Derived from a well-formed history by [History.of_events]; [inv]
+    and [resp] carry the *indices* of the corresponding events, which
+    is what the t-linearizability checkers reason about ("removing the
+    first t events"). *)
+
+open Elin_spec
+
+type t = {
+  id : int;            (* position in the history's operation list *)
+  proc : int;
+  obj : int;
+  op : Op.t;
+  inv : int;                        (* event index of the invocation *)
+  resp : (Value.t * int) option;    (* response value and event index *)
+}
+
+let is_complete t = Option.is_some t.resp
+let is_pending t = Option.is_none t.resp
+
+let response_value t = Option.map fst t.resp
+let response_index t = Option.map snd t.resp
+
+(** Real-time precedence: [precedes a b] iff [a]'s response event is
+    before [b]'s invocation event. *)
+let precedes a b =
+  match a.resp with Some (_, ri) -> ri < b.inv | None -> false
+
+let pp ppf t =
+  match t.resp with
+  | Some (v, ri) ->
+    Format.fprintf ppf "#%d p%d o%d %a -> %a [%d,%d]" t.id t.proc t.obj Op.pp
+      t.op Value.pp v t.inv ri
+  | None ->
+    Format.fprintf ppf "#%d p%d o%d %a -> pending [%d,_]" t.id t.proc t.obj
+      Op.pp t.op t.inv

@@ -1,0 +1,27 @@
+(** Operations: an invocation event matched with its response event
+    (if any), derived from a well-formed history.  [inv] and [resp]
+    carry event {e indices}, which is what the t-linearizability
+    checkers reason about ("removing the first t events"). *)
+
+open Elin_spec
+
+type t = {
+  id : int;            (** position in the history's operation list *)
+  proc : int;
+  obj : int;
+  op : Op.t;
+  inv : int;                       (** event index of the invocation *)
+  resp : (Value.t * int) option;   (** response value and event index *)
+}
+
+val is_complete : t -> bool
+val is_pending : t -> bool
+
+val response_value : t -> Value.t option
+val response_index : t -> int option
+
+(** Real-time precedence: [precedes a b] iff [a]'s response event is
+    before [b]'s invocation event. *)
+val precedes : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

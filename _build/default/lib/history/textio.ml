@@ -1,0 +1,142 @@
+(** Plain-text (de)serialization of histories.
+
+    Line format, one event per line, [#]-comments and blank lines
+    ignored:
+
+    {v
+    inv <proc> <obj> <op-name> <value>*
+    res <proc> <obj> <value>
+    v}
+
+    Values are s-expression-ish tokens: [u] (unit), [t]/[f] (bool),
+    integers, [@str] (atoms, no spaces), [(pair v v)], [(list v ...)].
+    Used by the [elin] CLI so histories can be checked from files. *)
+
+open Elin_spec
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* --- value printing --- *)
+
+let rec value_to_tokens (v : Value.t) =
+  match v with
+  | Value.Unit -> "u"
+  | Value.Bool true -> "t"
+  | Value.Bool false -> "f"
+  | Value.Int n -> string_of_int n
+  | Value.Str s -> "@" ^ s
+  | Value.Pair (a, b) ->
+    Printf.sprintf "(pair %s %s)" (value_to_tokens a) (value_to_tokens b)
+  | Value.List xs ->
+    Printf.sprintf "(list%s)"
+      (String.concat "" (List.map (fun x -> " " ^ value_to_tokens x) xs))
+
+(* --- tokenizer --- *)
+
+let tokenize line =
+  let buf = Buffer.create 16 in
+  let tokens = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' -> flush ()
+      | '(' | ')' ->
+        flush ();
+        tokens := String.make 1 c :: !tokens
+      | c -> Buffer.add_char buf c)
+    line;
+  flush ();
+  List.rev !tokens
+
+(* --- value parsing --- *)
+
+let rec parse_value tokens =
+  match tokens with
+  | [] -> fail "expected value, got end of line"
+  | "u" :: rest -> (Value.unit, rest)
+  | "t" :: rest -> (Value.bool true, rest)
+  | "f" :: rest -> (Value.bool false, rest)
+  | "(" :: "pair" :: rest ->
+    let a, rest = parse_value rest in
+    let b, rest = parse_value rest in
+    (match rest with
+    | ")" :: rest -> (Value.pair a b, rest)
+    | _ -> fail "expected ) after pair")
+  | "(" :: "list" :: rest ->
+    let rec elems acc rest =
+      match rest with
+      | ")" :: rest -> (Value.list (List.rev acc), rest)
+      | _ ->
+        let v, rest = parse_value rest in
+        elems (v :: acc) rest
+    in
+    elems [] rest
+  | tok :: rest when String.length tok > 0 && tok.[0] = '@' ->
+    (Value.str (String.sub tok 1 (String.length tok - 1)), rest)
+  | tok :: rest -> (
+    match int_of_string_opt tok with
+    | Some n -> (Value.int n, rest)
+    | None -> fail "unrecognized value token %S" tok)
+
+let parse_values tokens =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | tokens ->
+      let v, rest = parse_value tokens in
+      go (v :: acc) rest
+  in
+  go [] tokens
+
+(* --- events --- *)
+
+let event_to_line (e : Event.t) =
+  match e.payload with
+  | Event.Invoke op ->
+    Printf.sprintf "inv %d %d %s%s" e.proc e.obj (Op.name op)
+      (String.concat ""
+         (List.map (fun v -> " " ^ value_to_tokens v) (Op.args op)))
+  | Event.Respond v ->
+    Printf.sprintf "res %d %d %s" e.proc e.obj (value_to_tokens v)
+
+let event_of_line line =
+  match tokenize line with
+  | [] -> None
+  | tok :: _ when String.length tok > 0 && tok.[0] = '#' -> None
+  | "inv" :: p :: o :: name :: args ->
+    let proc = int_of_string p and obj = int_of_string o in
+    Some (Event.invoke ~proc ~obj (Op.make name ~args:(parse_values args)))
+  | "res" :: p :: o :: rest ->
+    let proc = int_of_string p and obj = int_of_string o in
+    let v, leftover = parse_value rest in
+    if leftover <> [] then fail "trailing tokens after response value";
+    Some (Event.respond ~proc ~obj v)
+  | tok :: _ -> fail "unrecognized event kind %S" tok
+
+let to_string h =
+  String.concat "\n" (List.map event_to_line (History.events h)) ^ "\n"
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  History.of_events (List.filter_map event_of_line lines)
+
+let to_file path h =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string h))
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

@@ -1,0 +1,16 @@
+(** Plain-text (de)serialization of histories (one event per line;
+    [#]-comments and blank lines ignored), used by the [elin] CLI. *)
+
+exception Parse_error of string
+
+val event_to_line : Event.t -> string
+
+(** [event_of_line line] — [None] for comments/blank lines; raises
+    {!Parse_error} on malformed input. *)
+val event_of_line : string -> Event.t option
+
+val to_string : History.t -> string
+val of_string : string -> History.t
+
+val to_file : string -> History.t -> unit
+val of_file : string -> History.t

@@ -1,0 +1,1 @@
+lib/kernel/bitset.ml: Array Format Hashtbl List Printf Stdlib

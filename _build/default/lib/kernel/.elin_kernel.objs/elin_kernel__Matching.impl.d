@@ -1,0 +1,1 @@
+lib/kernel/matching.ml: Array List

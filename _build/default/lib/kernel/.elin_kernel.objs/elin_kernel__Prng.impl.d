@@ -1,0 +1,1 @@
+lib/kernel/prng.ml: Array Int64 List

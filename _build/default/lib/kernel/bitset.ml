@@ -1,0 +1,82 @@
+(** Immutable fixed-width bitsets.
+
+    Used as memoization keys by the linearizability checkers, where the
+    key is "the set of operations already placed in the linearization".
+    Widths are small (tens to a few hundred bits) but exceed 63, so we
+    back the set with an int array.  Values are immutable: [add] copies. *)
+
+type t = { width : int; words : int array }
+
+let bits_per_word = 62 (* stay clear of the tag bit and sign *)
+
+let nwords width = (width + bits_per_word - 1) / bits_per_word
+
+let empty width =
+  if width < 0 then invalid_arg "Bitset.empty: negative width";
+  { width; words = Array.make (max 1 (nwords width)) 0 }
+
+let check_index t i =
+  if i < 0 || i >= t.width then
+    invalid_arg (Printf.sprintf "Bitset: index %d out of width %d" i t.width)
+
+let mem t i =
+  check_index t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) land (1 lsl b) <> 0
+
+let add t i =
+  check_index t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  if t.words.(w) land (1 lsl b) <> 0 then t
+  else begin
+    let words = Array.copy t.words in
+    words.(w) <- words.(w) lor (1 lsl b);
+    { t with words }
+  end
+
+let remove t i =
+  check_index t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  if t.words.(w) land (1 lsl b) = 0 then t
+  else begin
+    let words = Array.copy t.words in
+    words.(w) <- words.(w) land lnot (1 lsl b);
+    { t with words }
+  end
+
+let cardinal t =
+  let count_word w =
+    let rec go acc w = if w = 0 then acc else go (acc + (w land 1)) (w lsr 1) in
+    go 0 w
+  in
+  Array.fold_left (fun acc w -> acc + count_word w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let equal a b = a.width = b.width && a.words = b.words
+
+let compare a b =
+  let c = Stdlib.compare a.width b.width in
+  if c <> 0 then c else Stdlib.compare a.words b.words
+
+let hash t = Hashtbl.hash t.words
+
+(** [is_full t] holds when every index in [0, width) is present. *)
+let is_full t = cardinal t = t.width
+
+let fold f t init =
+  let acc = ref init in
+  for i = 0 to t.width - 1 do
+    if mem t i then acc := f i !acc
+  done;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list width xs = List.fold_left add (empty width) xs
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_int)
+    (to_list t)

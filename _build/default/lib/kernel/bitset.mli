@@ -1,0 +1,39 @@
+(** Immutable fixed-width bitsets.
+
+    Memoization keys for the linearizability checkers ("the set of
+    operations already placed").  Values are immutable: [add] and
+    [remove] copy. *)
+
+type t
+
+(** [empty width] — no members; indices range over [0, width). *)
+val empty : int -> t
+
+(** [mem t i] — membership.  Raises [Invalid_argument] out of range. *)
+val mem : t -> int -> bool
+
+(** [add t i] — [t ∪ {i}]; physically equal to [t] if already present. *)
+val add : t -> int -> t
+
+(** [remove t i] — [t \ {i}]. *)
+val remove : t -> int -> t
+
+val cardinal : t -> int
+val is_empty : t -> bool
+
+(** [is_full t] holds when every index in [0, width) is present. *)
+val is_full : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** [to_list t] — members in increasing order. *)
+val to_list : t -> int list
+
+(** [of_list width xs] — the set of [xs]. *)
+val of_list : int -> int list -> t
+
+val pp : Format.formatter -> t -> unit

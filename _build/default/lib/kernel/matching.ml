@@ -1,0 +1,44 @@
+(** Greedy matching for upward-closed bipartite eligibility.
+
+    The fast fetch&increment t-linearizability checker (see
+    [Elin_checker.Faic]) must decide whether a set of "gap slots"
+    [s_0 < s_1 < ...] can each be filled by a distinct "filler"
+    operation, where filler [f] may take slot [s] iff [lb f <= s].
+    Eligibility is upward closed in [s], so by Hall's theorem a
+    matching exists iff, taking slots in increasing order, the i-th
+    slot has at least [i+1] fillers with lower bound [<= s_i]; the
+    greedy strategy of assigning the smallest-lower-bound unused
+    filler to each slot in order realizes it. *)
+
+(** [assign ~slots ~lower_bounds] returns [Some pairing] mapping each
+    slot (in the order given, which must be strictly increasing) to the
+    index of a distinct filler whose lower bound does not exceed it, or
+    [None] when no complete matching exists.  [lower_bounds.(i)] is the
+    smallest slot filler [i] may occupy. *)
+let assign ~slots ~lower_bounds =
+  let nf = Array.length lower_bounds in
+  (* Sort filler indices by lower bound so that the greedy choice is
+     always the most-constrained compatible filler. *)
+  let order = Array.init nf (fun i -> i) in
+  Array.sort (fun a b -> compare lower_bounds.(a) lower_bounds.(b)) order;
+  let next = ref 0 in
+  let rec fill acc = function
+    | [] -> Some (List.rev acc)
+    | slot :: rest ->
+      if !next >= nf then None
+      else begin
+        let f = order.(!next) in
+        if lower_bounds.(f) <= slot then begin
+          incr next;
+          fill ((slot, f) :: acc) rest
+        end else
+          (* Every remaining filler has an even larger lower bound, and
+             eligibility is upward closed, so this slot is unfillable. *)
+          None
+      end
+  in
+  fill [] slots
+
+(** [feasible ~slots ~lower_bounds] decides matching existence only. *)
+let feasible ~slots ~lower_bounds =
+  match assign ~slots ~lower_bounds with Some _ -> true | None -> false

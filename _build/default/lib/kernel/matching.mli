@@ -1,0 +1,17 @@
+(** Greedy matching for upward-closed bipartite eligibility.
+
+    Used by the fast fetch&increment t-linearizability checker
+    ([Elin_checker.Faic]): gap slots must be filled by distinct filler
+    operations, where filler [f] may take slot [s] iff
+    [lower_bounds.(f) <= s].  Eligibility is upward closed in [s], so
+    Hall's condition reduces to a greedy sweep. *)
+
+(** [assign ~slots ~lower_bounds] returns [Some pairing] mapping each
+    slot (given in strictly increasing order) to the index of a
+    distinct compatible filler, or [None] when no complete matching
+    exists. *)
+val assign :
+  slots:int list -> lower_bounds:int array -> (int * int) list option
+
+(** [feasible ~slots ~lower_bounds] decides matching existence only. *)
+val feasible : slots:int list -> lower_bounds:int array -> bool

@@ -1,0 +1,69 @@
+(** Deterministic splittable PRNG (splitmix64).
+
+    Every randomized component of the reproduction (history generators,
+    random schedulers, adversary policies) draws from this generator so
+    that a run is a pure function of its seed.  We deliberately avoid
+    [Stdlib.Random] to keep runs reproducible across OCaml versions. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* Core splitmix64 output function. *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [split t] returns a statistically independent generator; [t] advances. *)
+let split t =
+  let s = next_int64 t in
+  { state = Int64.mul s 0xDA942042E4DD58B5L }
+
+let bits t = Int64.to_int (next_int64 t) land max_int
+
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias on pathological bounds. *)
+  let rec go () =
+    let r = bits t in
+    let v = r mod bound in
+    if r - v > max_int - bound + 1 then go () else v
+  in
+  go ()
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** [float t] is uniform in [0, 1). *)
+let float t =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992.0 (* 2^53 *)
+
+(** [choose t xs] picks a uniform element of the non-empty list [xs]. *)
+let choose t xs =
+  match xs with
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+(** [shuffle t xs] is a uniformly random permutation of [xs]. *)
+let shuffle t xs =
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+(** [subset t xs ~p] keeps each element of [xs] independently with
+    probability [p]. *)
+let subset t xs ~p = List.filter (fun _ -> float t < p) xs

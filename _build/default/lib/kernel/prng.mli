@@ -1,0 +1,38 @@
+(** Deterministic splittable PRNG (splitmix64).
+
+    Every randomized component of the reproduction (history generators,
+    random schedulers, adversary policies) draws from this generator so
+    that a run is a pure function of its seed. *)
+
+type t
+
+(** [create seed] — a fresh generator. *)
+val create : int -> t
+
+(** [copy t] — an independent clone with the same state. *)
+val copy : t -> t
+
+(** [split t] returns a statistically independent generator; [t]
+    advances. *)
+val split : t -> t
+
+(** [bits t] — a non-negative pseudo-random int. *)
+val bits : t -> int
+
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [choose t xs] picks a uniform element of the non-empty list [xs]. *)
+val choose : t -> 'a list -> 'a
+
+(** [shuffle t xs] is a uniformly random permutation of [xs]. *)
+val shuffle : t -> 'a list -> 'a list
+
+(** [subset t xs ~p] keeps each element independently with probability
+    [p]. *)
+val subset : t -> 'a list -> p:float -> 'a list

@@ -1,0 +1,1 @@
+lib/runtime/base.ml: Elin_kernel Elin_spec Op Spec Value

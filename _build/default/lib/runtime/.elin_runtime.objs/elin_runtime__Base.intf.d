@@ -1,0 +1,1 @@
+lib/runtime/base.mli: Elin_kernel Elin_spec Op Spec Value

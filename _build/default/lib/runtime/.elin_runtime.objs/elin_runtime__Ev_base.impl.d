@@ -1,0 +1,1 @@
+lib/runtime/ev_base.ml: Base Codec Elin_spec List Spec Value

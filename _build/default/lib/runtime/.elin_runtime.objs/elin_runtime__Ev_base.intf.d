@@ -1,0 +1,1 @@
+lib/runtime/ev_base.mli: Base Elin_spec Spec Value

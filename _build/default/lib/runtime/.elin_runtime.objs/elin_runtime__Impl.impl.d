@@ -1,0 +1,1 @@
+lib/runtime/impl.ml: Base Elin_spec Op Program Value

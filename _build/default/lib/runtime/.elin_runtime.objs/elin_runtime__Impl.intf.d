@@ -1,0 +1,1 @@
+lib/runtime/impl.mli: Base Elin_spec Op Program Spec Value

@@ -1,0 +1,1 @@
+lib/runtime/impls.ml: Announce_board Array Base Cas_object Elin_spec Impl Op Printf Program Register Value

@@ -1,0 +1,1 @@
+lib/runtime/program.ml: Elin_spec Op Value

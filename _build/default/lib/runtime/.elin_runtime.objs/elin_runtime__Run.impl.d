@@ -1,0 +1,1 @@
+lib/runtime/run.ml: Array Base Elin_history Elin_kernel Elin_spec Event History Impl List Op Option Program Sched Spec Value

@@ -1,0 +1,1 @@
+lib/runtime/run.mli: Elin_history Elin_kernel Elin_spec History Impl Op Sched Spec Value

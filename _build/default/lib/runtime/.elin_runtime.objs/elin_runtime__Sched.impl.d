@@ -1,0 +1,1 @@
+lib/runtime/sched.ml: Array Elin_kernel List Option Printf Prng String

@@ -1,0 +1,58 @@
+(** Pure base-object behaviours.
+
+    A base object is a named pure transition system over [Value.t]
+    states.  [access] returns *all* permitted (response, next-state)
+    pairs: a singleton for linearizable deterministic objects, several
+    when an adversary may choose (eventually-linearizable objects
+    before stabilization, nondeterministic types).  Both the mutable
+    runtime ([Run]) and the exhaustive explorers ([Elin_explore],
+    [Elin_valency]) consume this single definition, which keeps the
+    semantics of "an object" identical across random testing and model
+    checking. *)
+
+open Elin_spec
+
+type t = {
+  name : string;
+  init : Value.t;
+  (* [access ~state ~proc ~step op]: [step] is the global scheduler
+     step count, used by stabilize-at-step policies. *)
+  access : state:Value.t -> proc:int -> step:int -> Op.t -> (Value.t * Value.t) list;
+}
+
+(** [linearizable spec] — an atomic object faithful to [spec]; its
+    behaviour state is the spec state. *)
+let linearizable spec =
+  {
+    name = Spec.name spec;
+    init = Spec.initial spec;
+    access = (fun ~state ~proc:_ ~step:_ op -> Spec.apply spec state op);
+  }
+
+(** [deterministic_pick rng choices] — how the mutable runtime resolves
+    adversary branching: a seeded uniform pick. *)
+let pick rng = function
+  | [] -> invalid_arg "Base.pick: operation not applicable"
+  | [ c ] -> c
+  | choices -> Elin_kernel.Prng.choose rng choices
+
+(** A mutable handle over a pure behaviour, used by [Run]. *)
+module Live = struct
+  type nonrec t = {
+    base : t;
+    mutable state : Value.t;
+    rng : Elin_kernel.Prng.t;
+  }
+
+  let create ?(seed = 0) base =
+    { base; state = base.init; rng = Elin_kernel.Prng.create seed }
+
+  let access t ~proc ~step op =
+    let choices = t.base.access ~state:t.state ~proc ~step op in
+    let resp, state' = pick t.rng choices in
+    t.state <- state';
+    resp
+
+  let state t = t.state
+  let reset t = t.state <- t.base.init
+end

@@ -1,0 +1,37 @@
+(** Pure base-object behaviours.
+
+    A base object is a named pure transition system over [Value.t]
+    states; [access] returns {e all} permitted (response, next-state)
+    pairs — a singleton for linearizable deterministic objects, several
+    when an adversary may choose.  The mutable runtime ([Run]) and the
+    exhaustive explorers consume this single definition, so random
+    testing and model checking exercise identical semantics. *)
+
+open Elin_spec
+
+type t = {
+  name : string;
+  init : Value.t;
+  access :
+    state:Value.t -> proc:int -> step:int -> Op.t -> (Value.t * Value.t) list;
+      (** [step] is the global scheduler step count, used by
+          stabilize-at-step policies. *)
+}
+
+(** [linearizable spec] — an atomic object faithful to [spec]. *)
+val linearizable : Spec.t -> t
+
+(** [pick rng choices] — how the mutable runtime resolves adversary
+    branching: a seeded uniform pick. *)
+val pick : Elin_kernel.Prng.t -> 'a list -> 'a
+
+(** A mutable handle over a pure behaviour, used by [Run]. *)
+module Live : sig
+  type base := t
+  type t
+
+  val create : ?seed:int -> base -> t
+  val access : t -> proc:int -> step:int -> Op.t -> Value.t
+  val state : t -> Value.t
+  val reset : t -> unit
+end

@@ -1,0 +1,153 @@
+(** Adversarial eventually-linearizable base objects.
+
+    The negative results of the paper (Theorem 12, Prop. 15) quantify
+    over *all* behaviours an eventually linearizable object may
+    exhibit: in any finite prefix it may return any answer that keeps
+    the history weakly consistent, and from some point on it must be
+    t-linearizable.  This module realizes that adversary concretely:
+
+    - every access is announced in the object's log (inside the state
+      value, so explorers can snapshot it);
+    - before stabilization, the response is computed from a *view* —
+      a sequential replay of a weakly-consistency-preserving subset of
+      announced operations: always the process's own operations, and
+      optionally everyone's (the two views the proofs exploit);
+    - at stabilization, the full log is merged in announcement order
+      into a committed state and the object behaves atomically
+      thereafter.
+
+    Weak consistency of every pre-stabilization answer holds by
+    construction (the view contains all of the caller's own preceding
+    operations, only announced operations, and ends with the current
+    operation); the test-suite re-checks it with [Elin_checker.Weak],
+    and checks t-linearizability of full object histories with the
+    stabilization step as the cut. *)
+
+open Elin_spec
+
+type stabilization =
+  | At_step of int         (* global scheduler step reaches the bound *)
+  | After_accesses of int  (* the object has served this many accesses *)
+  | Never                  (* a purely adversarial prefix, for negative runs *)
+  | Immediately            (* degenerates to a linearizable object *)
+
+type view_policy =
+  | Own_only     (* deterministic: local-copy semantics until stabilization *)
+  | Own_or_all   (* adversary branching: local view or full-log view *)
+
+type config = {
+  spec : Spec.t;          (* must be deterministic *)
+  stabilization : stabilization;
+  view : view_policy;
+}
+
+(* State encoding: [committed; log; stabilized; accesses]. *)
+
+let encode ~committed ~log ~stabilized ~accesses =
+  Value.list [ committed; Value.list log; Value.bool stabilized; Value.int accesses ]
+
+let decode state =
+  match Value.to_list state with
+  | [ committed; log; stabilized; accesses ] ->
+    (committed, Value.to_list log, Value.to_bool stabilized, Value.to_int accesses)
+  | _ -> invalid_arg "Ev_base.decode: malformed state"
+
+let replay spec ops =
+  List.fold_left
+    (fun q op ->
+      match Spec.apply spec q op with
+      | (_, q') :: _ -> q'
+      | [] -> invalid_arg "Ev_base.replay: operation not applicable")
+    (Spec.initial spec) ops
+
+let respond_after spec prefix_ops op =
+  let q = replay spec prefix_ops in
+  match Spec.apply spec q op with
+  | (r, _) :: _ -> r
+  | [] -> invalid_arg "Ev_base.respond_after: operation not applicable"
+
+let triggered cfg ~step ~accesses =
+  match cfg.stabilization with
+  | At_step k -> step >= k
+  | After_accesses k -> accesses >= k
+  | Never -> false
+  | Immediately -> true
+
+(** [stabilized_state cfg state] — force stabilization now: merge the
+    log into the committed state.  Idempotent. *)
+let stabilized_state cfg state =
+  let _, log, stabilized, accesses = decode state in
+  if stabilized then state
+  else begin
+    let ops = List.map (fun e -> snd (Codec.decode_entry e)) log in
+    let merged = replay cfg.spec ops in
+    encode ~committed:merged ~log ~stabilized:true ~accesses
+  end
+
+let make cfg : Base.t =
+  let access ~state ~proc ~step op =
+    let committed, log, stabilized, accesses = decode state in
+    let accesses = accesses + 1 in
+    let stabilize_now = (not stabilized) && triggered cfg ~step ~accesses in
+    let committed, stabilized =
+      if stabilize_now then
+        let ops = List.map (fun e -> snd (Codec.decode_entry e)) log in
+        (replay cfg.spec ops, true)
+      else (committed, stabilized)
+    in
+    let log' = log @ [ Codec.encode_entry ~proc op ] in
+    if stabilized then begin
+      match Spec.apply cfg.spec committed op with
+      | [] -> invalid_arg "Ev_base: operation not applicable"
+      | transitions ->
+        List.map
+          (fun (r, q') ->
+            (r, encode ~committed:q' ~log:log' ~stabilized:true ~accesses))
+          transitions
+    end
+    else begin
+      let entries = List.map Codec.decode_entry log in
+      let own_ops =
+        List.filter_map
+          (fun (p, o) -> if p = proc then Some o else None)
+          entries
+      in
+      let all_ops = List.map snd entries in
+      let state' =
+        encode ~committed ~log:log' ~stabilized:false ~accesses
+      in
+      let views =
+        match cfg.view with
+        | Own_only -> [ own_ops ]
+        | Own_or_all -> [ own_ops; all_ops ]
+      in
+      let choices =
+        List.map (fun view -> (respond_after cfg.spec view op, state')) views
+      in
+      (* Deduplicate identical (response, state) choices. *)
+      List.sort_uniq
+        (fun (r1, s1) (r2, s2) ->
+          let c = Value.compare r1 r2 in
+          if c <> 0 then c else Value.compare s1 s2)
+        choices
+    end
+  in
+  {
+    Base.name = Spec.name cfg.spec ^ "~ev";
+    init =
+      encode ~committed:(Spec.initial cfg.spec) ~log:[] ~stabilized:false
+        ~accesses:0;
+    access;
+  }
+
+(** Convenience constructors. *)
+let local_until_step spec k =
+  make { spec; stabilization = At_step k; view = Own_only }
+
+let local_until_accesses spec k =
+  make { spec; stabilization = After_accesses k; view = Own_only }
+
+let adversarial_until_step spec k =
+  make { spec; stabilization = At_step k; view = Own_or_all }
+
+let never_stabilizing spec = make { spec; stabilization = Never; view = Own_only }

@@ -1,0 +1,52 @@
+(** Adversarial eventually-linearizable base objects.
+
+    Realizes the behaviours the paper's negative results quantify over:
+    every access is announced in the object's in-state log; before
+    stabilization, responses come from a weakly-consistency-preserving
+    {e view} (the caller's own operations, optionally everyone's); at
+    stabilization the log is merged in announcement order and the
+    object behaves atomically thereafter.  Weak consistency of every
+    pre-stabilization answer holds by construction. *)
+
+open Elin_spec
+
+type stabilization =
+  | At_step of int         (** global scheduler step reaches the bound *)
+  | After_accesses of int  (** the object has served this many accesses *)
+  | Never                  (** purely adversarial, for negative runs *)
+  | Immediately            (** degenerates to a linearizable object *)
+
+type view_policy =
+  | Own_only    (** deterministic local-copy semantics until stabilization *)
+  | Own_or_all  (** adversary branching: local view or full-log view *)
+
+type config = {
+  spec : Spec.t;  (** must be deterministic *)
+  stabilization : stabilization;
+  view : view_policy;
+}
+
+(** State encoding, exposed for white-box tests:
+    [[committed; log; stabilized; accesses]]. *)
+
+val encode :
+  committed:Value.t ->
+  log:Value.t list ->
+  stabilized:bool ->
+  accesses:int ->
+  Value.t
+
+val decode : Value.t -> Value.t * Value.t list * bool * int
+
+(** [stabilized_state cfg state] — force stabilization now (merge the
+    log into the committed state).  Idempotent. *)
+val stabilized_state : config -> Value.t -> Value.t
+
+val make : config -> Base.t
+
+(** Convenience constructors. *)
+
+val local_until_step : Spec.t -> int -> Base.t
+val local_until_accesses : Spec.t -> int -> Base.t
+val adversarial_until_step : Spec.t -> int -> Base.t
+val never_stabilizing : Spec.t -> Base.t

@@ -1,0 +1,40 @@
+(** Implementations of shared objects from base objects.
+
+    An implementation provides, for each operation of the implemented
+    type, a programme over the base objects (Section 3 of the paper).
+    Processes additionally carry a persistent *local* state value
+    across their operations — the paper's programmes are free to use
+    unbounded process-local memory (e.g. the counters [c_i] of
+    Figure 1, or the trivial eventually linearizable test&set). *)
+
+open Elin_spec
+
+type t = {
+  name : string;
+  bases : Base.t array;
+  local_init : Value.t;
+  (* [program ~proc ~local op] computes [op]'s response and the new
+     local state. *)
+  program : proc:int -> local:Value.t -> Op.t -> (Value.t * Value.t) Program.t;
+}
+
+(** [direct base] — the implemented object *is* base object 0: every
+    operation is a single atomic access.  Wrapping an
+    [Ev_base]-constructed object this way yields an eventually
+    linearizable implementation whose only base object is one
+    linearizable "board" (the log+committed state machine accessed
+    atomically). *)
+let direct base =
+  {
+    name = base.Base.name;
+    bases = [| base |];
+    local_init = Value.unit;
+    program =
+      (fun ~proc:_ ~local op ->
+        Program.bind (Program.access 0 op) (fun r ->
+            Program.return (r, local)));
+  }
+
+(** [of_spec spec] — a linearizable implementation by a single atomic
+    object; the trivial baseline. *)
+let of_spec spec = direct (Base.linearizable spec)

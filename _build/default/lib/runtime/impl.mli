@@ -1,0 +1,24 @@
+(** Implementations of shared objects from base objects: for each
+    operation of the implemented type, a programme over the base
+    objects (Section 3).  Processes carry a persistent local state
+    value across their operations (as the paper's programmes do, e.g.
+    the counters of Figure 1). *)
+
+open Elin_spec
+
+type t = {
+  name : string;
+  bases : Base.t array;
+  local_init : Value.t;
+  program :
+    proc:int -> local:Value.t -> Op.t -> (Value.t * Value.t) Program.t;
+      (** computes the operation's response and the new local state *)
+}
+
+(** [direct base] — the implemented object {e is} base object 0: every
+    operation is a single atomic access. *)
+val direct : Base.t -> t
+
+(** [of_spec spec] — a linearizable implementation by a single atomic
+    object; the trivial baseline. *)
+val of_spec : Spec.t -> t

@@ -1,0 +1,121 @@
+(** Concrete implementations used across experiments and benchmarks.
+
+    - [fai_from_cas]: the introduction's classic lock-free linearizable
+      fetch&increment from compare&swap (baseline of experiment B1);
+    - [fai_from_board]: a wait-free linearizable fetch&increment whose
+      single base object is an announce board (announcement order *is*
+      the linearization order);
+    - [fai_ev_board ~k]: an eventually linearizable fetch&increment
+      that "gives up synchronizing" for its first [k] announcements —
+      the introduction's scenario made concrete, and the concrete
+      algorithm A fed to the Prop. 18 stabilization construction;
+    - [sum_counter]: inc/read counter from single-writer registers
+      (wait-free; weakly consistent reads). *)
+
+open Elin_spec
+
+let ( let* ) = Program.bind
+
+(* ------------------------------------------------------------------ *)
+(* Linearizable fetch&increment from compare&swap (lock-free).        *)
+(* ------------------------------------------------------------------ *)
+
+let fai_from_cas () : Impl.t =
+  let cas_spec = Cas_object.spec () in
+  let rec attempt () =
+    let* v = Program.access 0 Op.read in
+    let v = Value.to_int v in
+    let* ok = Program.access 0 (Op.cas ~expected:v ~desired:(v + 1)) in
+    if Value.to_bool ok then Program.return (Value.int v) else attempt ()
+  in
+  {
+    Impl.name = "fai/cas";
+    bases = [| Base.linearizable cas_spec |];
+    local_init = Value.unit;
+    program =
+      (fun ~proc:_ ~local op ->
+        match Op.name op with
+        | "fetch&inc" ->
+          let* v = attempt () in
+          Program.return (v, local)
+        | other -> invalid_arg ("fai/cas: unknown operation " ^ other));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Wait-free linearizable fetch&increment from an announce board.     *)
+(* ------------------------------------------------------------------ *)
+
+let fai_from_board () : Impl.t =
+  {
+    Impl.name = "fai/board";
+    bases = [| Base.linearizable (Announce_board.spec ()) |];
+    local_init = Value.unit;
+    program =
+      (fun ~proc ~local op ->
+        match Op.name op with
+        | "fetch&inc" ->
+          let* idx = Program.access 0 (Announce_board.announce (Value.int proc)) in
+          Program.return (idx, local)
+        | other -> invalid_arg ("fai/board: unknown operation " ^ other));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Eventually linearizable fetch&increment: algorithm A of E13.       *)
+(*                                                                    *)
+(* Each fetch&inc announces itself on the board.  If the announcement *)
+(* is among the first [k], the process "fails to synchronize": it     *)
+(* returns only its own operation count (weakly consistent — the      *)
+(* local view contains exactly its own preceding operations).  From   *)
+(* the k-th announcement on, the announcement index is returned, so   *)
+(* the object behaves like a linearizable fetch&increment thereafter. *)
+(* ------------------------------------------------------------------ *)
+
+let fai_ev_board ~k () : Impl.t =
+  {
+    Impl.name = Printf.sprintf "fai/ev-board(k=%d)" k;
+    bases = [| Base.linearizable (Announce_board.spec ()) |];
+    local_init = Value.int 0; (* own completed fetch&inc count *)
+    program =
+      (fun ~proc ~local op ->
+        match Op.name op with
+        | "fetch&inc" ->
+          let own = Value.to_int local in
+          let* idx = Program.access 0 (Announce_board.announce (Value.int proc)) in
+          let idx = Value.to_int idx in
+          let resp = if idx >= k - 1 then idx else own in
+          Program.return (Value.int resp, Value.int (own + 1))
+        | other -> invalid_arg ("fai/ev-board: unknown operation " ^ other));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Counter from single-writer registers: inc writes your own cell,    *)
+(* read sums all cells one register at a time.  Wait-free; reads are  *)
+(* weakly consistent but not linearizable under concurrent updates.   *)
+(* ------------------------------------------------------------------ *)
+
+let sum_counter ~procs () : Impl.t =
+  let reg = Register.spec () in
+  let rec sum p acc =
+    if p >= procs then Program.return acc
+    else
+      let* v = Program.access p Op.read in
+      sum (p + 1) (acc + Value.to_int v)
+  in
+  {
+    Impl.name = "counter/sum-registers";
+    bases = Array.init procs (fun _ -> Base.linearizable reg);
+    local_init = Value.int 0; (* own increment count *)
+    program =
+      (fun ~proc ~local op ->
+        match Op.name op with
+        | "inc" ->
+          let own = Value.to_int local + 1 in
+          let* () =
+            Program.map Value.to_unit (Program.access proc (Op.write own))
+          in
+          Program.return (Value.unit, Value.int own)
+        | "read" ->
+          let* total = sum 0 0 in
+          Program.return (Value.int total, local)
+        | other -> invalid_arg ("counter/sum: unknown operation " ^ other));
+  }

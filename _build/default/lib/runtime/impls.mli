@@ -1,0 +1,22 @@
+(** Concrete implementations used across experiments and benchmarks. *)
+
+(** The classic lock-free linearizable fetch&increment from
+    compare&swap (read, CAS, retry) — baseline of experiment B1. *)
+val fai_from_cas : unit -> Impl.t
+
+(** A wait-free linearizable fetch&increment whose single base object
+    is an announce board: announcement order is the linearization
+    order (one access per operation). *)
+val fai_from_board : unit -> Impl.t
+
+(** An eventually linearizable fetch&increment that "gives up
+    synchronizing" for its first [k] announcements, returning its own
+    operation count instead (weakly consistent by construction); from
+    the k-th announcement on it returns the announcement index.  The
+    concrete algorithm A of experiment E13. *)
+val fai_ev_board : k:int -> unit -> Impl.t
+
+(** Counter from single-writer registers: [inc] writes the process's
+    own cell, [read] sums all cells.  Wait-free; reads are weakly
+    consistent but not linearizable under concurrent updates. *)
+val sum_counter : procs:int -> unit -> Impl.t

@@ -1,0 +1,42 @@
+(** Process programmes as a free monad over base-object accesses.
+
+    One [Access] is one atomic step on a base object, the standard
+    asynchronous shared-memory model: the scheduler interleaves
+    processes between accesses, and each access invokes an operation on
+    a base object and awaits its response.  Programmes are immutable
+    values, so the execution-tree explorers can hold continuations in
+    search nodes and branch without replay. *)
+
+open Elin_spec
+
+type 'a t =
+  | Return of 'a
+  | Access of int * Op.t * (Value.t -> 'a t)
+
+let return x = Return x
+
+(** [access obj op] performs [op] on base object [obj] and yields the
+    response. *)
+let access obj op = Access (obj, op, fun v -> Return v)
+
+let rec bind m f =
+  match m with
+  | Return x -> f x
+  | Access (obj, op, k) -> Access (obj, op, fun v -> bind (k v) f)
+
+let map f m = bind m (fun x -> return (f x))
+
+module Syntax = struct
+  let ( let* ) = bind
+  let ( let+ ) m f = map f m
+end
+
+(** [steps_bound m ~fuel] — counts accesses of a straight-line
+    programme fed constant responses; diagnostic only. *)
+let rec iter_list f = function
+  | [] -> return ()
+  | x :: rest -> bind (f x) (fun () -> iter_list f rest)
+
+(** Sequentially run [f] over [0 .. n-1]. *)
+let rec for_ i n f =
+  if i >= n then return () else bind (f i) (fun () -> for_ (i + 1) n f)

@@ -1,0 +1,34 @@
+(** Process programmes as a free monad over base-object accesses.
+
+    One [Access] is one atomic step on a base object (the standard
+    asynchronous shared-memory model).  Programmes are immutable
+    values, so explorers can hold continuations in search nodes and
+    branch without replay; the constructors are exposed for the
+    transformation passes (Theorem 12's redirection, Prop. 18's
+    response shifting). *)
+
+open Elin_spec
+
+type 'a t =
+  | Return of 'a
+  | Access of int * Op.t * (Value.t -> 'a t)
+
+val return : 'a -> 'a t
+
+(** [access obj op] performs [op] on base object [obj] and yields the
+    response. *)
+val access : int -> Op.t -> Value.t t
+
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+module Syntax : sig
+  val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+  val ( let+ ) : 'a t -> ('a -> 'b) -> 'b t
+end
+
+(** [iter_list f xs] — run [f] over [xs] sequentially. *)
+val iter_list : ('a -> unit t) -> 'a list -> unit t
+
+(** [for_ i n f] — run [f] over [i .. n-1] sequentially. *)
+val for_ : int -> int -> (int -> unit t) -> unit t

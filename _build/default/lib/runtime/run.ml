@@ -1,0 +1,140 @@
+(** The run harness: execute an implementation under a scheduler and
+    emit the implemented-object history.
+
+    Each scheduler step advances one process by one atomic action:
+    invoking its next operation (emits the invocation event), one base
+    object access, or returning (emits the response event).  The
+    resulting history of invocations and responses on the implemented
+    object — object id 0 — is what the checkers consume. *)
+
+open Elin_spec
+open Elin_history
+
+type proc_runtime = {
+  mutable workload : Op.t list;
+  mutable local : Value.t;
+  mutable running : (Value.t * Value.t) Program.t option;
+  (* Stats: scheduler step at which the current operation was invoked. *)
+  mutable invoked_at : int;
+  mutable steps_in_op : int;
+}
+
+type stats = {
+  steps : int;                  (* scheduler steps consumed *)
+  completed : int;              (* implemented operations completed *)
+  max_steps_per_op : int;       (* wait-freedom witness *)
+  op_step_counts : int list;    (* per completed op, in completion order *)
+}
+
+type outcome = {
+  history : History.t;
+  stats : stats;
+  final_base_states : Value.t array;
+  (* Per-process local state at the end of the run. *)
+  final_locals : Value.t array;
+  (* True iff every workload operation completed. *)
+  all_done : bool;
+}
+
+(** [execute impl ~workloads ~sched ~max_steps ~seed] runs the
+    implementation.  [workloads.(p)] is the list of operations process
+    [p] performs, in order.  [seed] resolves base-object adversary
+    branching. *)
+let execute (impl : Impl.t) ~workloads ~(sched : Sched.t) ?(max_steps = 100_000)
+    ?(seed = 0) () =
+  let n = Array.length workloads in
+  let rng = Elin_kernel.Prng.create seed in
+  let bases =
+    Array.map
+      (fun b ->
+        Base.Live.create ~seed:(Elin_kernel.Prng.bits rng) b)
+      impl.Impl.bases
+  in
+  let procs =
+    Array.init n (fun p ->
+        {
+          workload = workloads.(p);
+          local = impl.Impl.local_init;
+          running = None;
+          invoked_at = 0;
+          steps_in_op = 0;
+        })
+  in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  let step = ref 0 in
+  let completed = ref 0 in
+  let op_steps = ref [] in
+  let runnable () =
+    List.filter
+      (fun p ->
+        let pr = procs.(p) in
+        Option.is_some pr.running || pr.workload <> [])
+      (List.init n (fun p -> p))
+  in
+  let advance p =
+    let pr = procs.(p) in
+    match pr.running with
+    | None -> (
+      match pr.workload with
+      | [] -> ()
+      | op :: rest ->
+        pr.workload <- rest;
+        emit (Event.invoke ~proc:p ~obj:0 op);
+        pr.invoked_at <- !step;
+        pr.steps_in_op <- 0;
+        pr.running <- Some (impl.Impl.program ~proc:p ~local:pr.local op))
+    | Some (Program.Return (resp, local')) ->
+      emit (Event.respond ~proc:p ~obj:0 resp);
+      pr.local <- local';
+      pr.running <- None;
+      incr completed;
+      op_steps := pr.steps_in_op :: !op_steps
+    | Some (Program.Access (obj, op, k)) ->
+      let resp = Base.Live.access bases.(obj) ~proc:p ~step:!step op in
+      pr.steps_in_op <- pr.steps_in_op + 1;
+      pr.running <- Some (k resp)
+  in
+  let stop = ref false in
+  while (not !stop) && !step < max_steps do
+    match runnable () with
+    | [] -> stop := true
+    | rs -> (
+      match sched.Sched.choose ~runnable:rs ~step:!step with
+      | None -> stop := true
+      | Some p ->
+        advance p;
+        incr step)
+  done;
+  let history = History.of_events (List.rev !events) in
+  let all_done =
+    Array.for_all
+      (fun pr -> pr.workload = [] && Option.is_none pr.running)
+      procs
+  in
+  {
+    history;
+    stats =
+      {
+        steps = !step;
+        completed = !completed;
+        max_steps_per_op = List.fold_left max 0 !op_steps;
+        op_step_counts = List.rev !op_steps;
+      };
+    final_base_states = Array.map Base.Live.state bases;
+    final_locals = Array.map (fun pr -> pr.local) procs;
+    all_done;
+  }
+
+(** [uniform_workload op ~procs ~per_proc] — every process performs
+    [per_proc] copies of [op]. *)
+let uniform_workload op ~procs ~per_proc =
+  Array.init procs (fun _ -> List.init per_proc (fun _ -> op))
+
+(** [random_workload rng spec ~procs ~per_proc] — every process
+    performs [per_proc] operations drawn uniformly from
+    [Spec.all_ops]. *)
+let random_workload rng spec ~procs ~per_proc =
+  Array.init procs (fun _ ->
+      List.init per_proc (fun _ ->
+          Elin_kernel.Prng.choose rng (Spec.all_ops spec)))

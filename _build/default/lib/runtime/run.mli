@@ -1,0 +1,43 @@
+(** The run harness: execute an implementation under a scheduler and
+    emit the implemented-object history (object id 0).  Each scheduler
+    step advances one process by one atomic action: invoking its next
+    operation, one base-object access, or responding. *)
+
+open Elin_spec
+open Elin_history
+
+type stats = {
+  steps : int;                (** scheduler steps consumed *)
+  completed : int;            (** implemented operations completed *)
+  max_steps_per_op : int;     (** wait-freedom witness (base accesses) *)
+  op_step_counts : int list;  (** per completed op, in completion order *)
+}
+
+type outcome = {
+  history : History.t;
+  stats : stats;
+  final_base_states : Value.t array;
+  final_locals : Value.t array;
+  all_done : bool;  (** every workload operation completed *)
+}
+
+(** [execute impl ~workloads ~sched ?max_steps ?seed ()] —
+    [workloads.(p)] lists process [p]'s operations in order; [seed]
+    resolves base-object adversary branching. *)
+val execute :
+  Impl.t ->
+  workloads:Op.t list array ->
+  sched:Sched.t ->
+  ?max_steps:int ->
+  ?seed:int ->
+  unit ->
+  outcome
+
+(** [uniform_workload op ~procs ~per_proc] — every process performs
+    [per_proc] copies of [op]. *)
+val uniform_workload : Op.t -> procs:int -> per_proc:int -> Op.t list array
+
+(** [random_workload rng spec ~procs ~per_proc] — operations drawn
+    uniformly from [Spec.all_ops]. *)
+val random_workload :
+  Elin_kernel.Prng.t -> Spec.t -> procs:int -> per_proc:int -> Op.t list array

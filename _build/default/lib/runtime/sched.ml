@@ -1,0 +1,122 @@
+(** Schedulers: adversaries that pick which process steps next.
+
+    A scheduler is a stateful policy consulted once per step with the
+    set of runnable processes; returning [None] abandons the run (used
+    by crash adversaries that have killed everyone they intend to).
+    All randomness is seeded. *)
+
+open Elin_kernel
+
+type t = {
+  name : string;
+  choose : runnable:int list -> step:int -> int option;
+}
+
+let round_robin () =
+  let last = ref (-1) in
+  let choose ~runnable ~step:_ =
+    match runnable with
+    | [] -> None
+    | _ ->
+      (* Smallest runnable process strictly greater than [!last],
+         wrapping around. *)
+      let next =
+        match List.filter (fun p -> p > !last) runnable with
+        | p :: _ -> p
+        | [] -> List.hd runnable
+      in
+      last := next;
+      Some next
+  in
+  { name = "round-robin"; choose }
+
+let random ~seed =
+  let rng = Prng.create seed in
+  let choose ~runnable ~step:_ =
+    match runnable with [] -> None | rs -> Some (Prng.choose rng rs)
+  in
+  { name = Printf.sprintf "random(%d)" seed; choose }
+
+(** [solo_after ~proc ~step inner] runs [inner] until global step
+    [step], then lets only [proc] run — the obstruction-freedom /
+    solo-termination adversary. *)
+let solo_after ~proc ~step:cut inner =
+  let choose ~runnable ~step =
+    if step < cut then inner.choose ~runnable ~step
+    else if List.mem proc runnable then Some proc
+    else None
+  in
+  { name = Printf.sprintf "%s;solo(p%d)@%d" inner.name proc cut; choose }
+
+(** [crash ~crashes inner] removes process [p] from the runnable set
+    for good once global step reaches [s], for each [(p, s)] in
+    [crashes] — the paper's "swapped or paged out forever" scenario
+    that wait-freedom must tolerate. *)
+let crash ~crashes inner =
+  let choose ~runnable ~step =
+    let alive =
+      List.filter
+        (fun p ->
+          not (List.exists (fun (q, s) -> q = p && step >= s) crashes))
+        runnable
+    in
+    inner.choose ~runnable:alive ~step
+  in
+  let pp_crash (p, s) = Printf.sprintf "p%d@%d" p s in
+  {
+    name =
+      Printf.sprintf "%s;crash[%s]" inner.name
+        (String.concat "," (List.map pp_crash crashes));
+    choose;
+  }
+
+(** [pause ~proc ~from_step ~until_step inner] suspends [proc] during
+    the window — a transient page-out.  If nobody else can run, the
+    pause ends early: in an asynchronous model a step where no process
+    moves is not an event, so a global stall gains the adversary
+    nothing. *)
+let pause ~proc ~from_step ~until_step inner =
+  let choose ~runnable ~step =
+    let alive =
+      if step >= from_step && step < until_step then
+        match List.filter (fun p -> p <> proc) runnable with
+        | [] -> runnable
+        | others -> others
+      else runnable
+    in
+    inner.choose ~runnable:alive ~step
+  in
+  {
+    name = Printf.sprintf "%s;pause(p%d,[%d,%d))" inner.name proc from_step until_step;
+    choose;
+  }
+
+(** [weighted ~seed ~weights] favours processes proportionally to their
+    weight — a contention-skew adversary for the benchmarks. *)
+let weighted ~seed ~weights =
+  let rng = Prng.create seed in
+  let choose ~runnable ~step:_ =
+    match runnable with
+    | [] -> None
+    | rs ->
+      let total =
+        List.fold_left
+          (fun acc p ->
+            acc + (try weights.(p) with Invalid_argument _ -> 1))
+          0 rs
+      in
+      if total <= 0 then Some (Prng.choose rng rs)
+      else begin
+        let x = ref (Prng.int rng total) in
+        let found = ref None in
+        List.iter
+          (fun p ->
+            if Option.is_none !found then begin
+              let w = try weights.(p) with Invalid_argument _ -> 1 in
+              if !x < w then found := Some p else x := !x - w
+            end)
+          rs;
+        !found
+      end
+  in
+  { name = "weighted"; choose }

@@ -1,0 +1,27 @@
+(** Schedulers: adversaries that pick which process steps next.
+    Returning [None] abandons the run.  All randomness is seeded. *)
+
+type t = {
+  name : string;
+  choose : runnable:int list -> step:int -> int option;
+}
+
+val round_robin : unit -> t
+val random : seed:int -> t
+
+(** [solo_after ~proc ~step inner] — run [inner] until the given global
+    step, then let only [proc] run (the obstruction-freedom
+    adversary). *)
+val solo_after : proc:int -> step:int -> t -> t
+
+(** [crash ~crashes inner] — remove process [p] for good once the step
+    reaches [s], for each [(p, s)]. *)
+val crash : crashes:(int * int) list -> t -> t
+
+(** [pause ~proc ~from_step ~until_step inner] — suspend [proc] during
+    the window (a transient page-out). *)
+val pause : proc:int -> from_step:int -> until_step:int -> t -> t
+
+(** [weighted ~seed ~weights] — favour processes proportionally to
+    their weight (contention skew for the benchmarks). *)
+val weighted : seed:int -> weights:int array -> t

@@ -1,0 +1,1 @@
+lib/spec/announce_board.ml: List Op Spec Value

@@ -1,0 +1,1 @@
+lib/spec/announce_board.mli: Op Spec Value

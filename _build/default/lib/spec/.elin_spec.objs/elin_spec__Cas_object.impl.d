@@ -1,0 +1,1 @@
+lib/spec/cas_object.ml: List Op Spec Value

@@ -1,0 +1,1 @@
+lib/spec/cas_object.mli: Op Spec Value

@@ -1,0 +1,1 @@
+lib/spec/codec.mli: Op Value

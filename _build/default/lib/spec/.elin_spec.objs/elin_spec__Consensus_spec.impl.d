@@ -1,0 +1,1 @@
+lib/spec/consensus_spec.ml: List Op Spec Value

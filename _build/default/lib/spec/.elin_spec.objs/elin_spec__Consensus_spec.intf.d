@@ -1,0 +1,1 @@
+lib/spec/consensus_spec.mli: Op Spec Value

@@ -1,0 +1,1 @@
+lib/spec/constant_object.ml: Op Spec Value

@@ -1,0 +1,1 @@
+lib/spec/constant_object.mli: Op Spec Value

@@ -1,0 +1,1 @@
+lib/spec/counter.ml: Op Spec Value

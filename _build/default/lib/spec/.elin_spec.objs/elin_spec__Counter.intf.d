@@ -1,0 +1,1 @@
+lib/spec/counter.mli: Op Spec Value

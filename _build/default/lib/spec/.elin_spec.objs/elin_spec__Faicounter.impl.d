@@ -1,0 +1,1 @@
+lib/spec/faicounter.ml: Op Spec Value

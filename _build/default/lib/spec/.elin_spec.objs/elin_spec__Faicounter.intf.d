@@ -1,0 +1,1 @@
+lib/spec/faicounter.mli: Op Spec Value

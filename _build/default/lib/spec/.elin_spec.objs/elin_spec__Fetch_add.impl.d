@@ -1,0 +1,1 @@
+lib/spec/fetch_add.ml: List Op Spec Value

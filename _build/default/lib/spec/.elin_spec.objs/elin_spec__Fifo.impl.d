@@ -1,0 +1,1 @@
+lib/spec/fifo.ml: List Op Spec Value

@@ -1,0 +1,1 @@
+lib/spec/fifo.mli: Op Spec Value

@@ -1,0 +1,1 @@
+lib/spec/legal.ml: Format List Op Spec Value

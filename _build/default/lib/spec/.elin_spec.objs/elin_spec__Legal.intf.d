@@ -1,0 +1,1 @@
+lib/spec/legal.mli: Format Op Spec Value

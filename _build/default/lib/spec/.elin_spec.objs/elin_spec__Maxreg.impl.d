@@ -1,0 +1,1 @@
+lib/spec/maxreg.ml: List Op Spec Value

@@ -1,0 +1,1 @@
+lib/spec/maxreg.mli: Op Spec Value

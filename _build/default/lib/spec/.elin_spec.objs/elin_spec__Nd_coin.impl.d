@@ -1,0 +1,1 @@
+lib/spec/nd_coin.ml: Op Spec Value

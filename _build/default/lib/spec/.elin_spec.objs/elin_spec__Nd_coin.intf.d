@@ -1,0 +1,1 @@
+lib/spec/nd_coin.mli: Op Spec Value

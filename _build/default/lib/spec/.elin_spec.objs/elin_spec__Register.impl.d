@@ -1,0 +1,1 @@
+lib/spec/register.ml: List Op Spec Value

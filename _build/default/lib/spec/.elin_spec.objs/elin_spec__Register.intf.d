@@ -1,0 +1,1 @@
+lib/spec/register.mli: Op Spec Value

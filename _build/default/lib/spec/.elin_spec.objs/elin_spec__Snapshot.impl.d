@@ -1,0 +1,1 @@
+lib/spec/snapshot.ml: List Op Spec Value

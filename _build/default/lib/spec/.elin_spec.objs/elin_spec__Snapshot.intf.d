@@ -1,0 +1,1 @@
+lib/spec/snapshot.mli: Op Spec Value

@@ -1,0 +1,1 @@
+lib/spec/spec.ml: Format Hashtbl List Op Printf Queue Value

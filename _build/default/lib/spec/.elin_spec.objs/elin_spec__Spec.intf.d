@@ -1,0 +1,1 @@
+lib/spec/spec.mli: Format Op Value

@@ -1,0 +1,1 @@
+lib/spec/stack.ml: List Op Spec Value

@@ -1,0 +1,1 @@
+lib/spec/stack.mli: Op Spec Value

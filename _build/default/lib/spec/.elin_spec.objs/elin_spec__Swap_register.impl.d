@@ -1,0 +1,1 @@
+lib/spec/swap_register.ml: List Op Spec Value

@@ -1,0 +1,1 @@
+lib/spec/swap_register.mli: Op Spec Value

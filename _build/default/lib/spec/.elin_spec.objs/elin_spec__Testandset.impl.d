@@ -1,0 +1,1 @@
+lib/spec/testandset.ml: Op Spec Value

@@ -1,0 +1,1 @@
+lib/spec/testandset.mli: Op Spec Value

@@ -1,0 +1,1 @@
+lib/spec/value.ml: Format Hashtbl Stdlib

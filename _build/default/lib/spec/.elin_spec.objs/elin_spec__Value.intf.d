@@ -1,0 +1,1 @@
+lib/spec/value.mli: Format

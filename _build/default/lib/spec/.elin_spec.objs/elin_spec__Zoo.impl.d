@@ -1,0 +1,1 @@
+lib/spec/zoo.ml: Cas_object Consensus_spec Constant_object Counter Faicounter Fetch_add Fifo List Maxreg Register Snapshot Spec Stack Swap_register Testandset

@@ -1,0 +1,1 @@
+lib/spec/zoo.mli: Spec

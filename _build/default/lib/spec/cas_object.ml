@@ -1,0 +1,27 @@
+(** Compare&swap register.
+
+    The hardware primitive of the paper's introduction.  [cas e d]
+    returns the old value and installs [d] iff the old value was [e];
+    [read] and [write] are also provided.  Deterministic, universal
+    consensus number — our linearizable fetch&increment baseline
+    (experiment B1) is built from it. *)
+
+let default_domain = [ 0; 1; 2 ]
+
+let apply q op =
+  match Op.name op, Op.args op with
+  | "read", [] -> (q, q)
+  | "write", [ v ] -> (Value.unit, v)
+  | "cas", [ expected; desired ] ->
+    if Value.equal q expected then (Value.bool true, desired)
+    else (Value.bool false, q)
+  | other, _ -> invalid_arg ("cas: unknown operation " ^ other)
+
+let spec ?(initial = 0) ?(domain = default_domain) () =
+  let cas_ops =
+    List.concat_map
+      (fun e -> List.map (fun d -> Op.cas ~expected:e ~desired:d) domain)
+      domain
+  in
+  Spec.deterministic ~name:"compare&swap" ~initial:(Value.int initial) ~apply
+    ~all_ops:((Op.read :: List.map Op.write domain) @ cas_ops)

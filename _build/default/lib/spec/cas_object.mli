@@ -1,0 +1,8 @@
+(** Compare&swap register — the hardware primitive of the paper's
+    introduction.  [cas e d] returns whether the old value was [e]
+    (installing [d] if so); [read]/[write] included.  Universal
+    consensus number. *)
+
+val default_domain : int list
+val apply : Value.t -> Op.t -> Value.t * Value.t
+val spec : ?initial:int -> ?domain:int list -> unit -> Spec.t

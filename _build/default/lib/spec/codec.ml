@@ -1,0 +1,20 @@
+(** Encoding operations (and tagged records) as universal values.
+
+    The adversarial eventually-linearizable base objects keep their
+    announcement log *inside* their state value so that the explorer
+    can snapshot/restore and hash object states structurally; this
+    module provides the op <-> value round-trip. *)
+
+let encode_op (op : Op.t) : Value.t =
+  Value.pair (Value.str (Op.name op)) (Value.list (Op.args op))
+
+let decode_op (v : Value.t) : Op.t =
+  let name, args = Value.to_pair v in
+  Op.make (Value.to_str name) ~args:(Value.to_list args)
+
+(** Announcement-log entries: process id paired with the operation. *)
+let encode_entry ~proc op = Value.pair (Value.int proc) (encode_op op)
+
+let decode_entry (v : Value.t) =
+  let proc, op = Value.to_pair v in
+  (Value.to_int proc, decode_op op)

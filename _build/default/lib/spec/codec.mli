@@ -1,0 +1,11 @@
+(** Encoding operations (and announcement-log entries) as universal
+    values, so adversarial objects can keep their logs inside their
+    state values and explorers can hash them structurally. *)
+
+val encode_op : Op.t -> Value.t
+val decode_op : Value.t -> Op.t
+
+(** Announcement-log entries: process id paired with the operation. *)
+
+val encode_entry : proc:int -> Op.t -> Value.t
+val decode_entry : Value.t -> int * Op.t

@@ -1,0 +1,15 @@
+(** Constant object — the paradigm of a trivial type (Definition 13).
+
+    Every operation returns a value computed from the initial state
+    only, and the state never changes; such a type "can be implemented
+    without inter-process communication".  Used as the positive case of
+    the Prop. 14 triviality classifier. *)
+
+let apply q op =
+  match Op.name op with
+  | "read" -> (q, q)
+  | other -> invalid_arg ("constant: unknown operation " ^ other)
+
+let spec ?(value = 42) () =
+  Spec.deterministic ~name:"constant" ~initial:(Value.int value) ~apply
+    ~all_ops:[ Op.read ]

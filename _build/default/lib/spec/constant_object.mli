@@ -1,0 +1,6 @@
+(** Constant object — the paradigm of a trivial type (Definition 13):
+    every operation's response is computable from the initial state
+    alone.  The positive case of the Prop. 14 classifier. *)
+
+val apply : Value.t -> Op.t -> Value.t * Value.t
+val spec : ?value:int -> unit -> Spec.t

@@ -1,0 +1,16 @@
+(** Plain counter (inc / read).
+
+    Unlike fetch&increment, [inc] returns no information, so the type
+    is strictly weaker (consensus number 1); it is the natural object
+    for the introduction's reference-counting scenario and lets the
+    benchmarks contrast "counting without reading" with fetch&inc. *)
+
+let apply q op =
+  match Op.name op with
+  | "inc" -> (Value.unit, Value.int (Value.to_int q + 1))
+  | "read" -> (q, q)
+  | other -> invalid_arg ("counter: unknown operation " ^ other)
+
+let spec ?(initial = 0) () =
+  Spec.deterministic ~name:"counter" ~initial:(Value.int initial) ~apply
+    ~all_ops:[ Op.inc; Op.read ]

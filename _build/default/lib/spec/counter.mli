@@ -1,0 +1,7 @@
+(** Plain counter (inc/read).  Unlike fetch&increment, [inc] returns no
+    information, so the type is strictly weaker (consensus number 1);
+    the natural object for the introduction's reference-counting
+    scenario. *)
+
+val apply : Value.t -> Op.t -> Value.t * Value.t
+val spec : ?initial:int -> unit -> Spec.t

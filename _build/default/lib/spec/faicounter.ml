@@ -1,0 +1,23 @@
+(** Fetch&increment counter.
+
+    The paper's central example: "stores a natural number and provides
+    a single operation, fetch&inc, which adds one to the value stored
+    and returns the old value" (Section 3.2).  Deterministic, infinite
+    state space, consensus number 2 — and the object for which eventual
+    linearizability is provably as hard as linearizability (Prop. 18). *)
+
+let apply q op =
+  match Op.name op with
+  | "fetch&inc" ->
+    let n = Value.to_int q in
+    (Value.int n, Value.int (n + 1))
+  | "read" ->
+    (* A read-only probe; not part of the paper's minimal type but
+       convenient for examples.  Excluded from [all_ops] so that
+       theorem-level experiments use the pure one-operation type. *)
+    (q, q)
+  | other -> invalid_arg ("fetch&increment: unknown operation " ^ other)
+
+let spec ?(initial = 0) () =
+  Spec.deterministic ~name:"fetch&increment" ~initial:(Value.int initial)
+    ~apply ~all_ops:[ Op.fetch_inc ]

@@ -1,0 +1,17 @@
+(** Fetch&add: [fetch&add k] adds [k] and returns the old value — the
+    k-ary generalization of fetch&increment ([fetch&inc] is accepted as
+    an alias for [fetch&add 1]).  Same consensus power and the same
+    "synchronization forever" character. *)
+
+let fetch_add k = Op.make "fetch&add" ~args:[ Value.int k ]
+
+let apply q op =
+  match Op.name op, Op.args op with
+  | "fetch&add", [ k ] -> (q, Value.int (Value.to_int q + Value.to_int k))
+  | "fetch&inc", [] -> (q, Value.int (Value.to_int q + 1))
+  | "read", [] -> (q, q)
+  | other, _ -> invalid_arg ("fetch&add: unknown operation " ^ other)
+
+let spec ?(initial = 0) ?(increments = [ 1; 2; 5 ]) () =
+  Spec.deterministic ~name:"fetch&add" ~initial:(Value.int initial) ~apply
+    ~all_ops:(List.map fetch_add increments)

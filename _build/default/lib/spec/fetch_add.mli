@@ -1,0 +1,6 @@
+(** Fetch&add: the k-ary generalization of fetch&increment
+    ([fetch&inc] accepted as an alias for [fetch&add 1]). *)
+
+val fetch_add : int -> Op.t
+val apply : Value.t -> Op.t -> Value.t * Value.t
+val spec : ?initial:int -> ?increments:int list -> unit -> Spec.t

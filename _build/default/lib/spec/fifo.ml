@@ -1,0 +1,22 @@
+(** FIFO queue of integers.
+
+    [enq v] appends; [deq] removes and returns the head, or the
+    distinguished value [empty] when there is none.  Deterministic,
+    consensus number 2 — another "requires synchronization forever"
+    type in the sense of the paper's paradox discussion. *)
+
+let empty_response = Value.str "empty"
+
+let apply q op =
+  let items = Value.to_list q in
+  match Op.name op, Op.args op with
+  | "enq", [ v ] -> (Value.unit, Value.list (items @ [ v ]))
+  | "deq", [] -> (
+    match items with
+    | [] -> (empty_response, q)
+    | hd :: tl -> (hd, Value.list tl))
+  | other, _ -> invalid_arg ("queue: unknown operation " ^ other)
+
+let spec ?(domain = [ 0; 1; 2 ]) () =
+  Spec.deterministic ~name:"queue" ~initial:(Value.list []) ~apply
+    ~all_ops:(Op.deq :: List.map Op.enq domain)

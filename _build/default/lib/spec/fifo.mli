@@ -1,0 +1,7 @@
+(** FIFO queue of integers; [deq] on empty returns {!empty_response}.
+    Consensus number 2 — like fetch&increment, it "requires
+    synchronization forever". *)
+
+val empty_response : Value.t
+val apply : Value.t -> Op.t -> Value.t * Value.t
+val spec : ?domain:int list -> unit -> Spec.t

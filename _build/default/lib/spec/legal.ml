@@ -1,0 +1,47 @@
+(** Legality of sequential behaviours (Section 3's "legal" histories).
+
+    A sequential behaviour is a list of [(op, response)] pairs; it is
+    legal for a spec iff there is a state sequence threading the
+    transition relation from the initial state.  Nondeterministic specs
+    make this a reachability question over state *sets*. *)
+
+(** [states_after spec behaviour] is the list of states the object may
+    be in after exhibiting [behaviour] (empty iff illegal).  The list
+    is deduplicated. *)
+let states_after spec behaviour =
+  let dedup states =
+    List.sort_uniq Value.compare states
+  in
+  List.fold_left
+    (fun states (op, resp) ->
+      dedup
+        (List.concat_map (fun q -> Spec.successors spec q op resp) states))
+    [ Spec.initial spec ] behaviour
+
+let is_legal spec behaviour = states_after spec behaviour <> []
+
+(** [complete spec ops] assigns responses to [ops] greedily using the
+    deterministic transition, returning the legal behaviour.  Only for
+    deterministic specs. *)
+let complete spec ops =
+  let _, rev =
+    List.fold_left
+      (fun (q, acc) op ->
+        let r, q' = Spec.apply_det spec q op in
+        (q', (op, r) :: acc))
+      (Spec.initial spec, []) ops
+  in
+  List.rev rev
+
+(** [legal_responses spec prefix op] enumerates responses [r] such that
+    [prefix @ [(op, r)]] is legal. *)
+let legal_responses spec prefix op =
+  let states = states_after spec prefix in
+  List.sort_uniq Value.compare
+    (List.concat_map (fun q -> Spec.responses spec q op) states)
+
+let pp_behaviour ppf behaviour =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+    (fun ppf (op, r) -> Format.fprintf ppf "%a->%a" Op.pp op Value.pp r)
+    ppf behaviour

@@ -1,0 +1,21 @@
+(** Legality of sequential behaviours (Section 3's "legal" histories).
+
+    A sequential behaviour is a list of [(op, response)] pairs; it is
+    legal for a spec iff some state sequence threads the transition
+    relation from the initial state. *)
+
+(** [states_after spec behaviour] — the deduplicated set of states the
+    object may be in after exhibiting [behaviour] (empty iff illegal). *)
+val states_after : Spec.t -> (Op.t * Value.t) list -> Value.t list
+
+val is_legal : Spec.t -> (Op.t * Value.t) list -> bool
+
+(** [complete spec ops] assigns responses via the deterministic
+    transition, returning the legal behaviour. *)
+val complete : Spec.t -> Op.t list -> (Op.t * Value.t) list
+
+(** [legal_responses spec prefix op] — responses [r] such that
+    [prefix @ [(op, r)]] is legal. *)
+val legal_responses : Spec.t -> (Op.t * Value.t) list -> Op.t -> Value.t list
+
+val pp_behaviour : Format.formatter -> (Op.t * Value.t) list -> unit

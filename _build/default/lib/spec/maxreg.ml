@@ -1,0 +1,21 @@
+(** Max register.
+
+    [max-write v] raises the stored maximum; [max-read] returns it.
+    A standard intermediate-strength type: like test&set it "calms
+    down" once the maximum of all written values is reached, making it
+    a useful extra probe for the triviality classifier and the
+    eventual-linearizability experiments. *)
+
+let default_domain = [ 0; 1; 2; 3 ]
+
+let apply q op =
+  match Op.name op, Op.args op with
+  | "max-read", [] -> (q, q)
+  | "max-write", [ v ] ->
+    let m = max (Value.to_int q) (Value.to_int v) in
+    (Value.unit, Value.int m)
+  | other, _ -> invalid_arg ("max-register: unknown operation " ^ other)
+
+let spec ?(initial = 0) ?(domain = default_domain) () =
+  Spec.deterministic ~name:"max-register" ~initial:(Value.int initial) ~apply
+    ~all_ops:(Op.max_read :: List.map Op.max_write domain)

@@ -1,0 +1,7 @@
+(** Max register: [max-write v] raises the stored maximum, [max-read]
+    returns it.  Register-equivalent in power; "calms down" once the
+    maximal value is written. *)
+
+val default_domain : int list
+val apply : Value.t -> Op.t -> Value.t * Value.t
+val spec : ?initial:int -> ?domain:int list -> unit -> Spec.t

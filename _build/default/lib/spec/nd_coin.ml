@@ -1,0 +1,16 @@
+(** Nondeterministic coin — a finite-nondeterminism type.
+
+    [flip] may return 0 or 1, nondeterministically, and the state never
+    changes.  The paper's results are stated for types with finite
+    nondeterminism (e.g. Theorem 12); this type exercises the
+    checkers' handling of a genuine transition *relation*. *)
+
+let flip = Op.make "flip"
+
+let apply q op =
+  match Op.name op with
+  | "flip" -> [ (Value.int 0, q); (Value.int 1, q) ]
+  | other -> invalid_arg ("coin: unknown operation " ^ other)
+
+let spec () =
+  Spec.make ~name:"nd-coin" ~initial:Value.unit ~apply ~all_ops:[ flip ]

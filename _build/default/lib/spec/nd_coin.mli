@@ -1,0 +1,7 @@
+(** Nondeterministic coin: [flip] may return 0 or 1.  Exercises
+    genuine transition relations (the paper's results are stated for
+    finite nondeterminism). *)
+
+val flip : Op.t
+val apply : Value.t -> Op.t -> (Value.t * Value.t) list
+val spec : unit -> Spec.t

@@ -1,0 +1,52 @@
+(** Operation invocations.
+
+    Following the paper's convention (Section 3), "the name of an
+    operation includes all of the operation's arguments": an [Op.t]
+    pairs an operation name with its argument values, and two
+    invocations are the same operation invocation iff they are
+    structurally equal. *)
+
+type t = { name : string; args : Value.t list }
+
+let make ?(args = []) name = { name; args }
+
+let name t = t.name
+let args t = t.args
+
+let equal a b = a.name = b.name && List.equal Value.equal a.args b.args
+let compare a b =
+  let c = String.compare a.name b.name in
+  if c <> 0 then c else List.compare Value.compare a.args b.args
+
+let hash t = Hashtbl.hash (t.name, t.args)
+
+let pp ppf t =
+  match t.args with
+  | [] -> Format.fprintf ppf "%s" t.name
+  | args ->
+    Format.fprintf ppf "%s(%a)" t.name
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Value.pp)
+      args
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* Common constructors shared by the concrete specs, so that tests,
+   generators and implementations all spell invocations identically. *)
+
+let read = make "read"
+let write v = make "write" ~args:[ Value.int v ]
+let write_value v = make "write" ~args:[ v ]
+let fetch_inc = make "fetch&inc"
+let test_and_set = make "test&set"
+let propose v = make "propose" ~args:[ Value.int v ]
+let cas ~expected ~desired =
+  make "cas" ~args:[ Value.int expected; Value.int desired ]
+let inc = make "inc"
+let enq v = make "enq" ~args:[ Value.int v ]
+let deq = make "deq"
+let push v = make "push" ~args:[ Value.int v ]
+let pop = make "pop"
+let max_write v = make "max-write" ~args:[ Value.int v ]
+let max_read = make "max-read"
+let update ~index v = make "update" ~args:[ Value.int index; Value.int v ]
+let scan = make "scan"

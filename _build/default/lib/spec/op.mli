@@ -1,0 +1,41 @@
+(** Operation invocations.
+
+    Following the paper's convention (Section 3), "the name of an
+    operation includes all of the operation's arguments": an [Op.t]
+    pairs an operation name with its argument values, and two
+    invocations denote the same operation iff structurally equal. *)
+
+type t
+
+(** [make ?args name] — an invocation. *)
+val make : ?args:Value.t list -> string -> t
+
+val name : t -> string
+val args : t -> Value.t list
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Common invocations shared by the concrete specs, so that tests,
+    generators and implementations all spell them identically. *)
+
+val read : t
+val write : int -> t
+val write_value : Value.t -> t
+val fetch_inc : t
+val test_and_set : t
+val propose : int -> t
+val cas : expected:int -> desired:int -> t
+val inc : t
+val enq : int -> t
+val deq : t
+val push : int -> t
+val pop : t
+val max_write : int -> t
+val max_read : t
+val update : index:int -> int -> t
+val scan : t

@@ -1,0 +1,5 @@
+(** Atomic snapshot with [components] cells: [update i v] and [scan].
+    Exercises composite state values in the locality experiments. *)
+
+val apply : Value.t -> Op.t -> Value.t * Value.t
+val spec : ?components:int -> ?domain:int list -> unit -> Spec.t

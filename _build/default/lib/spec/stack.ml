@@ -1,0 +1,20 @@
+(** LIFO stack of integers.
+
+    [push v] pushes; [pop] removes and returns the top, or the
+    distinguished value [empty].  Deterministic, consensus number 2. *)
+
+let empty_response = Value.str "empty"
+
+let apply q op =
+  let items = Value.to_list q in
+  match Op.name op, Op.args op with
+  | "push", [ v ] -> (Value.unit, Value.list (v :: items))
+  | "pop", [] -> (
+    match items with
+    | [] -> (empty_response, q)
+    | hd :: tl -> (hd, Value.list tl))
+  | other, _ -> invalid_arg ("stack: unknown operation " ^ other)
+
+let spec ?(domain = [ 0; 1; 2 ]) () =
+  Spec.deterministic ~name:"stack" ~initial:(Value.list []) ~apply
+    ~all_ops:(Op.pop :: List.map Op.push domain)

@@ -1,0 +1,6 @@
+(** LIFO stack of integers; [pop] on empty returns {!empty_response}.
+    Consensus number 2. *)
+
+val empty_response : Value.t
+val apply : Value.t -> Op.t -> Value.t * Value.t
+val spec : ?domain:int list -> unit -> Spec.t

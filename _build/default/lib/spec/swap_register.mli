@@ -1,0 +1,7 @@
+(** Swap register: [swap v] atomically installs [v] and returns the
+    old value.  Consensus number 2; stays "interesting forever", like
+    fetch&increment. *)
+
+val swap : int -> Op.t
+val apply : Value.t -> Op.t -> Value.t * Value.t
+val spec : ?initial:int -> ?domain:int list -> unit -> Spec.t

@@ -1,0 +1,6 @@
+(** Test&set bit — the paper's example of a long-lived type that is
+    "interesting only in a finite prefix" of each execution, hence
+    trivially eventually linearizable (Section 4). *)
+
+val apply : Value.t -> Op.t -> Value.t * Value.t
+val spec : ?initial:int -> unit -> Spec.t

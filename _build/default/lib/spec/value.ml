@@ -1,0 +1,65 @@
+(** Universal values.
+
+    Operations, responses and object states across the whole
+    reproduction are drawn from this single type so that histories over
+    heterogeneous objects can be stored, hashed, compared and printed
+    uniformly — the checkers and the execution-tree explorers depend on
+    structural equality and hashing of states.  Typed front-ends (e.g.
+    [Elin_runtime.Api.Faicounter]) wrap it. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Pair of t * t
+  | List of t list
+
+let unit = Unit
+let bool b = Bool b
+let int n = Int n
+let str s = Str s
+let pair a b = Pair (a, b)
+let list xs = List xs
+
+(* Structural equality/comparison/hashing are exactly what we need:
+   values contain no functions or cycles. *)
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (a : t) = Hashtbl.hash a
+
+exception Type_error of string
+
+let type_error expected got =
+  raise
+    (Type_error
+       (Format.asprintf "expected %s, got %a" expected
+          (fun ppf v ->
+            match v with
+            | Unit -> Format.fprintf ppf "unit"
+            | Bool _ -> Format.fprintf ppf "bool"
+            | Int _ -> Format.fprintf ppf "int"
+            | Str _ -> Format.fprintf ppf "string"
+            | Pair _ -> Format.fprintf ppf "pair"
+            | List _ -> Format.fprintf ppf "list")
+          got))
+
+let to_int = function Int n -> n | v -> type_error "int" v
+let to_bool = function Bool b -> b | v -> type_error "bool" v
+let to_str = function Str s -> s | v -> type_error "string" v
+let to_pair = function Pair (a, b) -> (a, b) | v -> type_error "pair" v
+let to_list = function List xs -> xs | v -> type_error "list" v
+let to_unit = function Unit -> () | v -> type_error "unit" v
+
+let rec pp ppf = function
+  | Unit -> Format.fprintf ppf "()"
+  | Bool b -> Format.fprintf ppf "%b" b
+  | Int n -> Format.fprintf ppf "%d" n
+  | Str s -> Format.fprintf ppf "%S" s
+  | Pair (a, b) -> Format.fprintf ppf "(%a, %a)" pp a pp b
+  | List xs ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp)
+      xs
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,44 @@
+(** Universal values.
+
+    Operations, responses and object states across the whole
+    reproduction are drawn from this single type so that histories over
+    heterogeneous objects can be stored, hashed, compared and printed
+    uniformly — the checkers and the execution-tree explorers depend on
+    structural equality and hashing of states. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Pair of t * t
+  | List of t list
+
+(** Constructors. *)
+
+val unit : t
+val bool : bool -> t
+val int : int -> t
+val str : string -> t
+val pair : t -> t -> t
+val list : t list -> t
+
+(** Structural equality, total order, and hashing. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** Accessors; raise {!Type_error} on shape mismatch. *)
+
+exception Type_error of string
+
+val to_int : t -> int
+val to_bool : t -> bool
+val to_str : t -> string
+val to_pair : t -> t * t
+val to_list : t -> t list
+val to_unit : t -> unit
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

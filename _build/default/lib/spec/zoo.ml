@@ -1,0 +1,49 @@
+(** The object-type zoo: every concrete spec in one list, with the
+    properties the paper's results depend on, for table-driven tests
+    and the Prop. 14 classifier experiments. *)
+
+type entry = {
+  spec : Spec.t;
+  deterministic : bool;
+  finite_state : bool;
+  (* Expected verdict of the Prop. 14 triviality classifier. *)
+  trivial : bool;
+  (* Can the type solve wait-free 2-process consensus (with registers)?
+     Documented consensus-power facts used by experiment E9. *)
+  solves_two_consensus : bool;
+}
+
+let all () =
+  [
+    { spec = Register.spec (); deterministic = true; finite_state = true;
+      trivial = false; solves_two_consensus = false };
+    { spec = Faicounter.spec (); deterministic = true; finite_state = false;
+      trivial = false; solves_two_consensus = true };
+    { spec = Cas_object.spec (); deterministic = true; finite_state = true;
+      trivial = false; solves_two_consensus = true };
+    { spec = Testandset.spec (); deterministic = true; finite_state = true;
+      trivial = false; solves_two_consensus = true };
+    { spec = Consensus_spec.spec (); deterministic = true; finite_state = true;
+      trivial = false; solves_two_consensus = true };
+    { spec = Maxreg.spec (); deterministic = true; finite_state = true;
+      trivial = false; solves_two_consensus = false };
+    { spec = Fifo.spec (); deterministic = true; finite_state = false;
+      trivial = false; solves_two_consensus = true };
+    { spec = Stack.spec (); deterministic = true; finite_state = false;
+      trivial = false; solves_two_consensus = true };
+    { spec = Counter.spec (); deterministic = true; finite_state = false;
+      trivial = false; solves_two_consensus = false };
+    { spec = Snapshot.spec (); deterministic = true; finite_state = true;
+      trivial = false; solves_two_consensus = false };
+    { spec = Constant_object.spec (); deterministic = true; finite_state = true;
+      trivial = true; solves_two_consensus = false };
+    { spec = Swap_register.spec (); deterministic = true; finite_state = true;
+      trivial = false; solves_two_consensus = true };
+    { spec = Fetch_add.spec (); deterministic = true; finite_state = false;
+      trivial = false; solves_two_consensus = true };
+  ]
+
+let find name =
+  match List.find_opt (fun e -> Spec.name e.spec = name) (all ()) with
+  | Some e -> e
+  | None -> invalid_arg ("Zoo.find: unknown spec " ^ name)

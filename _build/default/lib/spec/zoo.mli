@@ -1,0 +1,17 @@
+(** The object-type zoo: every concrete spec with the properties the
+    paper's results depend on, for table-driven tests and the Prop. 14
+    classifier experiments. *)
+
+type entry = {
+  spec : Spec.t;
+  deterministic : bool;
+  finite_state : bool;
+  trivial : bool;  (** expected Prop. 14 verdict *)
+  solves_two_consensus : bool;
+      (** documented consensus-power fact used by experiment E9 *)
+}
+
+val all : unit -> entry list
+
+(** [find name] — raises [Invalid_argument] on unknown names. *)
+val find : string -> entry

@@ -1,0 +1,1 @@
+lib/valency/protocols.ml: Base Cas_object Elin_runtime Elin_spec Ev_base Faicounter Fifo Op Program Register Spec Testandset Valency Value

@@ -1,0 +1,1 @@
+lib/valency/protocols.mli: Base Elin_runtime Elin_spec Spec Valency Value

@@ -1,0 +1,1 @@
+lib/valency/valency.ml: Array Base Elin_runtime Elin_spec List Program Value

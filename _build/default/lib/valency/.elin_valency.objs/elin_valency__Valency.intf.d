@@ -1,0 +1,1 @@
+lib/valency/valency.mli: Base Elin_runtime Elin_spec Program Value

@@ -1,0 +1,172 @@
+(** Candidate two-process consensus protocols for the Prop. 15
+    experiments.
+
+    - [naive_registers]: the textbook flawed attempt from read/write
+      registers alone — the explorer exhibits its agreement violation
+      (the mechanical face of FLP/Loui–Abu-Amara [12]);
+    - [cas]: correct wait-free consensus from one compare&swap object —
+      the positive control, and the protocol on which [find_critical]
+      locates a critical configuration whose poised steps both target
+      the compare&swap object;
+    - [registers_plus_ev_testandset]: registers plus an *eventually
+      linearizable* test&set.  With a linearizable test&set the same
+      code solves consensus; with the adversarial eventually
+      linearizable one, both processes may win the prefix, and the
+      explorer finds the disagreement — eventually linearizable objects
+      do not boost the consensus power of registers (Prop. 15). *)
+
+open Elin_spec
+open Elin_runtime
+
+let ( let* ) = Program.bind
+
+let bot = Value.str "bot"
+
+let value_register ~domain =
+  Register.spec_value ~initial:bot ~domain:(bot :: domain) ()
+
+(* ------------------------------------------------------------------ *)
+
+let naive_registers ?(domain = [ Value.int 0; Value.int 1 ]) () : Valency.protocol
+    =
+  let reg = value_register ~domain in
+  {
+    Valency.name = "naive-registers";
+    bases = [| Base.linearizable reg; Base.linearizable reg |];
+    code =
+      (fun ~proc ~input ->
+        (* Write own input to own register, read the other's; decide
+           the other's value if visible and smaller, else own. *)
+        let* _ = Program.access proc (Op.write_value input) in
+        let* other = Program.access (1 - proc) Op.read in
+        if Value.equal other bot then Program.return input
+        else
+          (* Deterministic tie-break: the smaller value. *)
+          Program.return (if Value.compare other input < 0 then other else input));
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let cas ?(domain = [ 0; 1 ]) () : Valency.protocol =
+  let cas_spec = Cas_object.spec ~initial:(-1) ~domain:(-1 :: domain) () in
+  {
+    Valency.name = "cas";
+    bases = [| Base.linearizable cas_spec |];
+    code =
+      (fun ~proc:_ ~input ->
+        let* _ =
+          Program.access 0 (Op.cas ~expected:(-1) ~desired:(Value.to_int input))
+        in
+        let* winner = Program.access 0 Op.read in
+        Program.return winner);
+  }
+
+(* ------------------------------------------------------------------ *)
+
+(** [registers_plus_testandset ~ts_base] — write own input to own
+    register; fire the test&set; the winner (0) decides its own input,
+    the loser (1) reads and adopts the winner's register. *)
+let registers_plus_testandset ~name ~ts_base
+    ?(domain = [ Value.int 0; Value.int 1 ]) () : Valency.protocol =
+  let reg = value_register ~domain in
+  {
+    Valency.name = name;
+    bases = [| Base.linearizable reg; Base.linearizable reg; ts_base |];
+    code =
+      (fun ~proc ~input ->
+        let* _ = Program.access proc (Op.write_value input) in
+        let* t = Program.access 2 Op.test_and_set in
+        if Value.equal t (Value.int 0) then Program.return input
+        else
+          let* other = Program.access (1 - proc) Op.read in
+          if Value.equal other bot then
+            (* The adversarial test&set can declare us loser before the
+               real winner wrote; fall back to own input (this branch is
+               part of the disagreement evidence). *)
+            Program.return input
+          else Program.return other);
+  }
+
+(* ------------------------------------------------------------------ *)
+
+(** [registers_plus_queue ~queue_base] — Herlihy's queue consensus: the
+    queue is pre-loaded with a "win" token followed by a "lose" token;
+    write your input, dequeue, the winner keeps its input and the loser
+    adopts the winner's register.  Correct with a linearizable queue
+    (queues have consensus number 2); with an eventually linearizable
+    queue both processes can dequeue "win". *)
+let registers_plus_queue ~name ~queue_base
+    ?(domain = [ Value.int 0; Value.int 1 ]) () : Valency.protocol =
+  let reg = value_register ~domain in
+  {
+    Valency.name;
+    bases = [| Base.linearizable reg; Base.linearizable reg; queue_base |];
+    code =
+      (fun ~proc ~input ->
+        let* _ = Program.access proc (Op.write_value input) in
+        let* token = Program.access 2 Op.deq in
+        if Value.equal token (Value.str "win") then Program.return input
+        else
+          let* other = Program.access (1 - proc) Op.read in
+          if Value.equal other bot then Program.return input
+          else Program.return other);
+  }
+
+let preloaded_queue_spec () =
+  Spec.with_initial (Fifo.spec ())
+    (Value.list [ Value.str "win"; Value.str "lose" ])
+
+let registers_plus_linearizable_queue ?domain () =
+  registers_plus_queue ~name:"regs+queue"
+    ~queue_base:(Base.linearizable (preloaded_queue_spec ())) ?domain ()
+
+let registers_plus_ev_queue ?(stabilize_at = 1000) ?domain () =
+  registers_plus_queue ~name:"regs+ev-queue"
+    ~queue_base:
+      (Ev_base.make
+         {
+           Ev_base.spec = preloaded_queue_spec ();
+           stabilization = Ev_base.At_step stabilize_at;
+           view = Ev_base.Own_or_all;
+         })
+    ?domain ()
+
+(* ------------------------------------------------------------------ *)
+
+(** Fetch&increment ticket consensus: write your input, take a ticket;
+    ticket 0 wins. *)
+let registers_plus_fai ?(domain = [ Value.int 0; Value.int 1 ]) () :
+    Valency.protocol =
+  let reg = value_register ~domain in
+  {
+    Valency.name = "regs+fai";
+    bases =
+      [|
+        Base.linearizable reg; Base.linearizable reg;
+        Base.linearizable (Faicounter.spec ());
+      |];
+    code =
+      (fun ~proc ~input ->
+        let* _ = Program.access proc (Op.write_value input) in
+        let* ticket = Program.access 2 Op.fetch_inc in
+        if Value.equal ticket (Value.int 0) then Program.return input
+        else
+          let* other = Program.access (1 - proc) Op.read in
+          if Value.equal other bot then Program.return input
+          else Program.return other);
+  }
+
+let registers_plus_linearizable_testandset ?domain () =
+  registers_plus_testandset ~name:"regs+ts"
+    ~ts_base:(Base.linearizable (Testandset.spec ())) ?domain ()
+
+let registers_plus_ev_testandset ?(stabilize_at = 1000) ?domain () =
+  registers_plus_testandset ~name:"regs+ev-ts"
+    ~ts_base:
+      (Ev_base.make
+         {
+           Ev_base.spec = Testandset.spec ();
+           stabilization = Ev_base.At_step stabilize_at;
+           view = Ev_base.Own_or_all;
+         })
+    ?domain ()

@@ -1,0 +1,60 @@
+(** Candidate two-process consensus protocols for the Prop. 15
+    experiments. *)
+
+open Elin_spec
+open Elin_runtime
+
+val bot : Value.t
+
+(** ⊥-initialized value register over [bot :: domain]. *)
+val value_register : domain:Value.t list -> Spec.t
+
+(** The textbook flawed attempt from registers alone: write own input,
+    read the other's, tie-break deterministically.  Disagrees. *)
+val naive_registers : ?domain:Value.t list -> unit -> Valency.protocol
+
+(** Correct wait-free consensus from one compare&swap object. *)
+val cas : ?domain:int list -> unit -> Valency.protocol
+
+(** Write own input to own register, fire the test&set at base 2; the
+    winner keeps its input, the loser adopts the winner's register. *)
+val registers_plus_testandset :
+  name:string ->
+  ts_base:Base.t ->
+  ?domain:Value.t list ->
+  unit ->
+  Valency.protocol
+
+(** Herlihy's queue consensus: the queue at base 2 is pre-loaded with a
+    "win" token followed by a "lose" token; the dequeuer of "win" keeps
+    its input. *)
+val registers_plus_queue :
+  name:string ->
+  queue_base:Base.t ->
+  ?domain:Value.t list ->
+  unit ->
+  Valency.protocol
+
+(** The pre-loaded ["win"; "lose"] queue spec. *)
+val preloaded_queue_spec : unit -> Spec.t
+
+val registers_plus_linearizable_queue :
+  ?domain:Value.t list -> unit -> Valency.protocol
+
+(** ... over an adversarial eventually linearizable queue: both
+    processes may dequeue "win" (Prop. 15 again, with a consensus-
+    number-2 object). *)
+val registers_plus_ev_queue :
+  ?stabilize_at:int -> ?domain:Value.t list -> unit -> Valency.protocol
+
+(** Fetch&increment ticket consensus: ticket 0 wins. *)
+val registers_plus_fai : ?domain:Value.t list -> unit -> Valency.protocol
+
+(** The same code over a linearizable test&set: correct consensus. *)
+val registers_plus_linearizable_testandset :
+  ?domain:Value.t list -> unit -> Valency.protocol
+
+(** ... and over an adversarial eventually linearizable test&set: both
+    processes may win, and agreement fails (Prop. 15). *)
+val registers_plus_ev_testandset :
+  ?stabilize_at:int -> ?domain:Value.t list -> unit -> Valency.protocol

@@ -1,0 +1,1 @@
+test/test_corollary19.ml: Alcotest Base Elin_checker Elin_explore Elin_runtime Elin_spec Elin_test_support Elin_valency Explore Faic Impl Impls Op Program Register Run Sched Support Value

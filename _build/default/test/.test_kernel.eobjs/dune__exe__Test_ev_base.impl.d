@@ -1,0 +1,1 @@
+test/test_ev_base.ml: Alcotest Array Base Elin_checker Elin_kernel Elin_runtime Elin_spec Elin_test_support Ev_base Eventual Faic Faicounter Impl List Op Register Run Sched Support Value Weak

@@ -1,0 +1,1 @@
+test/test_ev_base.mli:

@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Elin_checker Elin_explore Elin_history Elin_runtime Elin_spec Elin_test_support Ev_base Explore Faic Faicounter Impl Impls List Op Program Register Run Support Value

@@ -1,0 +1,1 @@
+test/test_faic.ml: Alcotest Elin_checker Elin_history Elin_kernel Elin_runtime Elin_spec Elin_test_support Engine Event Eventual Faic Faicounter Gen History List Op Printf Prng Support Value

@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Elin_checker Elin_history Elin_kernel Elin_spec Elin_test_support Engine Event Faic Faicounter Fifo Gen History List Maxreg Prng Register Support Weak

@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest Array Elin_history Elin_spec Elin_test_support Event Filename Format Fun Gen History List Op Operation Register Support Sys Textio Value

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Bitset Elin_kernel Elin_test_support List Matching Printf Prng QCheck2 Support

@@ -1,0 +1,1 @@
+test/test_lemma17.ml: Alcotest Elin_checker Elin_history Elin_kernel Elin_runtime Elin_spec Elin_test_support Faic History Impls List Op Prng Run Sched Support

@@ -1,0 +1,1 @@
+test/test_lemma17.mli:

@@ -1,0 +1,1 @@
+test/test_locality.ml: Alcotest Elin_checker Elin_history Elin_spec Elin_test_support Engine Event Eventual Faicounter Gen History List Locality Maxreg Op Printf Register Support Value Weak

@@ -1,0 +1,1 @@
+test/test_monitors.ml: Alcotest Base Elin_core Elin_explore Elin_runtime Elin_spec Elin_test_support Faicounter Impl Impls Monitors Op Program Register Run Sched Support Value

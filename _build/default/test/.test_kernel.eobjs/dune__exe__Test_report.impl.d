@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Elin_checker Elin_history Elin_spec Elin_test_support Faic Faicounter Format Gen Op Operation Report String Support Value

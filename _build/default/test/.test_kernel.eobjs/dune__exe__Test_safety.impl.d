@@ -1,0 +1,1 @@
+test/test_safety.ml: Alcotest Elin_checker Elin_history Elin_spec Elin_test_support Engine Faic Faicounter Gen History List Op Operation Printf Support

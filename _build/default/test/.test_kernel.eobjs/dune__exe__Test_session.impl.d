@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Elin_api Elin_checker Elin_history Elin_runtime Elin_spec Elin_test_support Ev_base Faicounter Impl Impls Op Option Register Sched Session Support Typed Value

@@ -1,0 +1,1 @@
+test/test_tlin.ml: Alcotest Elin_checker Elin_history Elin_spec Elin_test_support Engine Eventual Faicounter Fifo Gen History List Maxreg Op Register Stack Support Value

@@ -1,0 +1,1 @@
+test/test_valency.ml: Alcotest Array Elin_runtime Elin_spec Elin_test_support Elin_valency List Op Printf Protocols Register Support Valency Value

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Codec Elin_spec Elin_test_support List Op Support Value

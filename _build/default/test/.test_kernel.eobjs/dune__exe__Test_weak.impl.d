@@ -1,0 +1,1 @@
+test/test_weak.ml: Alcotest Elin_checker Elin_history Elin_spec Elin_test_support Event Faic Faicounter Gen History Justify List Nd_coin Op Operation Printf Register Support Value Weak

@@ -1,0 +1,1 @@
+test/support/support.ml: Alcotest Elin_history Elin_kernel Elin_spec Event Gen History List Op QCheck2 QCheck_alcotest Value

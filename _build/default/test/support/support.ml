@@ -1,0 +1,54 @@
+(** Shared helpers for the test suites. *)
+
+open Elin_spec
+open Elin_history
+
+(* --- Alcotest testables --- *)
+
+let value : Value.t Alcotest.testable = Alcotest.testable Value.pp Value.equal
+let op : Op.t Alcotest.testable = Alcotest.testable Op.pp Op.equal
+
+let history : History.t Alcotest.testable =
+  Alcotest.testable History.pp (fun a b ->
+      List.equal Event.equal (History.events a) (History.events b))
+
+(* --- Event shorthand --- *)
+
+let inv ?(obj = 0) proc o = Event.invoke ~proc ~obj o
+let res ?(obj = 0) proc v = Event.respond ~proc ~obj v
+let resi ?obj proc n = res ?obj proc (Value.int n)
+
+let h events = History.of_events events
+
+(** A sequential single-process history from op names/responses. *)
+let seq ?(proc = 0) ?(obj = 0) behaviour =
+  History.of_behaviour ~proc ~obj behaviour
+
+(* --- The paper's running examples --- *)
+
+(** Section 3.2's fetch&increment family: p gets 0, then q gets
+    0, 1, ..., k-1.  Every finite instance is 2-linearizable but not
+    linearizable (for k >= 2). *)
+let paper_fai_family k =
+  h
+    ([ inv 0 Op.fetch_inc; resi 0 0 ]
+    @ List.concat_map
+        (fun i -> [ inv 1 Op.fetch_inc; resi 1 i ])
+        (List.init k (fun i -> i)))
+
+(* --- QCheck plumbing --- *)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+(** Seeded-run property: [prop] receives a fresh [Prng.t]. *)
+let seeded_prop ?(count = 200) name prop =
+  qtest ~count name Gen.qcheck_seed (fun seed ->
+      prop (Elin_kernel.Prng.create seed))
+
+let check_bool name expected actual () =
+  Alcotest.(check bool) name expected actual
+
+let quick name f = Alcotest.test_case name `Quick f
+let slow name f = Alcotest.test_case name `Slow f

@@ -1,0 +1,311 @@
+(** Tests for the generic linearizability engine (t = 0): classic
+    textbook histories, pending-operation handling, nondeterministic
+    types, multi-object histories, witnesses, budgets. *)
+
+open Elin_spec
+open Elin_history
+open Elin_checker
+open Elin_test_support
+open Support
+
+let reg = Register.spec ()
+let rcfg = Engine.for_spec reg
+let fai = Faicounter.spec ()
+let fcfg = Engine.for_spec fai
+
+let empty_history () =
+  Alcotest.(check bool) "empty linearizable" true
+    (Engine.linearizable rcfg (h []))
+
+let sequential_legal () =
+  Alcotest.(check bool) "legal sequential" true
+    (Engine.linearizable rcfg
+       (seq [ (Op.write 1, Value.unit); (Op.read, Value.int 1) ]))
+
+let sequential_illegal () =
+  Alcotest.(check bool) "stale sequential read" false
+    (Engine.linearizable rcfg
+       (seq [ (Op.write 1, Value.unit); (Op.read, Value.int 0) ]))
+
+(* Herlihy–Wing's classic: overlapping write/read can be ordered
+   either way. *)
+let overlapping_either_order () =
+  let hist =
+    h [ inv 0 (Op.write 1); inv 1 Op.read; resi 1 1; res 0 Value.unit ]
+  in
+  Alcotest.(check bool) "read new value" true (Engine.linearizable rcfg hist);
+  let hist =
+    h [ inv 0 (Op.write 1); inv 1 Op.read; resi 1 0; res 0 Value.unit ]
+  in
+  Alcotest.(check bool) "read old value" true (Engine.linearizable rcfg hist)
+
+let real_time_respected () =
+  (* Write completes strictly before the read is invoked: the read must
+     see it. *)
+  let hist = h [ inv 0 (Op.write 1); res 0 Value.unit; inv 1 Op.read; resi 1 0 ] in
+  Alcotest.(check bool) "stale read after write" false
+    (Engine.linearizable rcfg hist)
+
+let out_of_thin_air () =
+  let hist = h [ inv 0 Op.read; resi 0 7 ] in
+  Alcotest.(check bool) "value from nowhere" false
+    (Engine.linearizable rcfg hist)
+
+(* Pending operations: a pending write can justify a read. *)
+let pending_write_takes_effect () =
+  let hist = h [ inv 0 (Op.write 1); inv 1 Op.read; resi 1 1 ] in
+  Alcotest.(check bool) "pending write may linearize" true
+    (Engine.linearizable rcfg hist)
+
+let pending_op_may_be_dropped () =
+  let hist = h [ inv 0 (Op.write 1); inv 1 Op.read; resi 1 0 ] in
+  Alcotest.(check bool) "pending write may be dropped" true
+    (Engine.linearizable rcfg hist)
+
+(* fetch&inc: duplicates and gaps. *)
+let fai_duplicate_values () =
+  let hist =
+    h [ inv 0 Op.fetch_inc; inv 1 Op.fetch_inc; resi 0 0; resi 1 0 ]
+  in
+  Alcotest.(check bool) "duplicate fetch&inc results" false
+    (Engine.linearizable fcfg hist)
+
+let fai_gap_requires_pending () =
+  (* A single completed op returning 1 needs another op in slot 0: a
+     pending op can fill it... *)
+  let hist = h [ inv 1 Op.fetch_inc; inv 0 Op.fetch_inc; resi 0 1 ] in
+  Alcotest.(check bool) "pending fills the gap" true
+    (Engine.linearizable fcfg hist);
+  (* ... but with no pending op the gap is fatal. *)
+  let hist = h [ inv 0 Op.fetch_inc; resi 0 1 ] in
+  Alcotest.(check bool) "gap with no filler" false
+    (Engine.linearizable fcfg hist)
+
+(* Queue: the classic non-linearizable dequeue order. *)
+let queue_order_violation () =
+  let q = Fifo.spec () in
+  let qcfg = Engine.for_spec q in
+  let hist =
+    h
+      [
+        inv 0 (Op.enq 1); res 0 Value.unit; inv 0 (Op.enq 2); res 0 Value.unit;
+        inv 1 Op.deq; resi 1 2;
+      ]
+  in
+  Alcotest.(check bool) "FIFO violated" false (Engine.linearizable qcfg hist);
+  let hist =
+    h
+      [
+        inv 0 (Op.enq 1); res 0 Value.unit; inv 0 (Op.enq 2); res 0 Value.unit;
+        inv 1 Op.deq; resi 1 1;
+      ]
+  in
+  Alcotest.(check bool) "FIFO respected" true (Engine.linearizable qcfg hist)
+
+(* Nondeterministic type: any flip outcome is fine; states branch. *)
+let nondeterministic_ok () =
+  let coin = Nd_coin.spec () in
+  let ccfg = Engine.for_spec coin in
+  let hist =
+    h [ inv 0 Nd_coin.flip; resi 0 1; inv 1 Nd_coin.flip; resi 1 0 ]
+  in
+  Alcotest.(check bool) "coin histories linearizable" true
+    (Engine.linearizable ccfg hist);
+  let hist = h [ inv 0 Nd_coin.flip; resi 0 2 ] in
+  Alcotest.(check bool) "illegal coin value" false
+    (Engine.linearizable ccfg hist)
+
+(* Multi-object histories. *)
+let multi_object () =
+  let spec_of_obj = function
+    | 0 -> reg
+    | 1 -> fai
+    | _ -> invalid_arg "unknown object"
+  in
+  let cfg = Engine.config spec_of_obj in
+  let hist =
+    h
+      [
+        inv ~obj:0 0 (Op.write 1); res ~obj:0 0 Value.unit;
+        inv ~obj:1 1 Op.fetch_inc; res ~obj:1 1 (Value.int 0);
+        inv ~obj:0 1 Op.read; res ~obj:0 1 (Value.int 1);
+      ]
+  in
+  Alcotest.(check bool) "multi-object linearizable" true
+    (Engine.linearizable cfg hist);
+  let hist =
+    h
+      [
+        inv ~obj:0 0 (Op.write 1); res ~obj:0 0 Value.unit;
+        inv ~obj:0 1 Op.read; res ~obj:0 1 (Value.int 0);
+        inv ~obj:1 1 Op.fetch_inc; res ~obj:1 1 (Value.int 0);
+      ]
+  in
+  Alcotest.(check bool) "violation in one object dooms the whole" false
+    (Engine.linearizable cfg hist)
+
+(* Witness reconstruction. *)
+let witness_is_legal () =
+  let hist =
+    h [ inv 0 (Op.write 1); inv 1 Op.read; resi 1 1; res 0 Value.unit ]
+  in
+  match Engine.witness rcfg hist ~t:0 with
+  | None -> Alcotest.fail "expected witness"
+  | Some w ->
+    let behaviour = List.map (fun ((o : Operation.t), r) -> (o.Operation.op, r)) w in
+    Alcotest.(check bool) "witness legal" true (Legal.is_legal reg behaviour);
+    Alcotest.(check int) "witness covers completed ops" 2 (List.length w)
+
+let witness_none_when_unlinearizable () =
+  let hist = h [ inv 0 Op.read; resi 0 7 ] in
+  Alcotest.(check bool) "no witness" true
+    (Engine.witness rcfg hist ~t:0 = None)
+
+(* Node budget. *)
+let budget_respected () =
+  let cfg = Engine.for_spec ~node_budget:1 fai in
+  let hist = paper_fai_family 5 in
+  Alcotest.(check bool) "budget raises" true
+    (match Engine.t_linearizable cfg hist ~t:0 with
+    | exception Engine.Budget_exceeded -> true
+    | _ -> false)
+
+(* Property: generated linearizable histories always pass. *)
+let generated_pass =
+  Support.seeded_prop ~count:100 "generated histories linearizable" (fun rng ->
+      let h = Gen.linearizable rng ~spec:fai ~procs:3 ~n_ops:7 () in
+      Engine.linearizable fcfg h)
+
+(* The adversarial refutation family from the A1 ablation: k concurrent
+   pending writes and an unsatisfiable read sequence.  Exercises deep
+   backtracking with memoization. *)
+let pending_writes_refuted () =
+  let k = 7 in
+  let reg_k = Register.spec ~domain:(List.init k (fun i -> i + 1)) () in
+  let events =
+    List.init k (fun i -> inv (i + 1) (Op.write (i + 1)))
+    @ List.concat_map
+        (fun i -> [ inv 0 Op.read; resi 0 (i + 1) ])
+        (List.init k (fun i -> i))
+    @ [ inv 0 Op.read; resi 0 1 ]
+  in
+  let hist = h events in
+  Alcotest.(check bool) "refuted" false
+    (Engine.linearizable (Engine.for_spec reg_k) hist);
+  (* The satisfiable variant (final read repeats the last value). *)
+  let events_sat =
+    List.init k (fun i -> inv (i + 1) (Op.write (i + 1)))
+    @ List.concat_map
+        (fun i -> [ inv 0 Op.read; resi 0 (i + 1) ])
+        (List.init k (fun i -> i))
+    @ [ inv 0 Op.read; resi 0 k ]
+  in
+  Alcotest.(check bool) "satisfiable variant accepted" true
+    (Engine.linearizable (Engine.for_spec reg_k) (h events_sat))
+
+(* Witness validity: whenever the engine accepts, its reconstructed
+   witness satisfies all four Definition 2 conditions. *)
+let witness_valid =
+  Support.seeded_prop ~count:80 "witnesses satisfy Definition 2" (fun rng ->
+      let h =
+        match Elin_kernel.Prng.int rng 2 with
+        | 0 -> Gen.linearizable rng ~spec:fai ~procs:3 ~n_ops:6 ()
+        | _ ->
+          fst
+            (Gen.eventually_linearizable rng ~spec:fai ~procs:2 ~prefix_ops:2
+               ~suffix_ops:3 ())
+      in
+      let t = Option.value ~default:0 (Eventual.min_t fcfg h) in
+      match Engine.witness fcfg h ~t with
+      | None -> false
+      | Some w ->
+        (* legal *)
+        let behaviour =
+          List.map (fun ((o : Operation.t), r) -> (o.Operation.op, r)) w
+        in
+        Legal.is_legal fai behaviour
+        (* completed ops covered *)
+        && List.for_all
+             (fun (o : Operation.t) ->
+               List.exists
+                 (fun ((o' : Operation.t), _) -> o'.Operation.id = o.Operation.id)
+                 w)
+             (History.complete_ops h)
+        (* responses after the cut preserved *)
+        && List.for_all
+             (fun ((o : Operation.t), r) ->
+               match o.Operation.resp with
+               | Some (v, ri) when ri >= t -> Value.equal v r
+               | Some _ | None -> true)
+             w
+        (* real-time order among surviving pairs *)
+        &&
+        let pos id =
+          let rec go i = function
+            | [] -> None
+            | ((o : Operation.t), _) :: rest ->
+              if o.Operation.id = id then Some i else go (i + 1) rest
+          in
+          go 0 w
+        in
+        List.for_all
+          (fun (o1 : Operation.t) ->
+            match o1.Operation.resp with
+            | Some (_, r1) when r1 >= t ->
+              List.for_all
+                (fun (o2 : Operation.t) ->
+                  if o2.Operation.inv >= t && r1 < o2.Operation.inv then
+                    match pos o1.Operation.id, pos o2.Operation.id with
+                    | Some p1, Some p2 -> p1 < p2
+                    | _, None -> true
+                    | None, Some _ -> false
+                  else true)
+                (History.ops h)
+            | Some _ | None -> true)
+          (History.ops h))
+
+let verdict_counts_nodes () =
+  let hist = paper_fai_family 3 in
+  let v = Engine.search fcfg hist ~t:0 in
+  Alcotest.(check bool) "nodes counted" true (v.Engine.nodes_explored > 0);
+  Alcotest.(check bool) "not linearizable" false v.Engine.ok
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "register",
+        [
+          Support.quick "empty" empty_history;
+          Support.quick "sequential legal" sequential_legal;
+          Support.quick "sequential illegal" sequential_illegal;
+          Support.quick "overlap orders" overlapping_either_order;
+          Support.quick "real time" real_time_respected;
+          Support.quick "thin air" out_of_thin_air;
+        ] );
+      ( "pending",
+        [
+          Support.quick "pending write effects" pending_write_takes_effect;
+          Support.quick "pending write dropped" pending_op_may_be_dropped;
+        ] );
+      ( "types",
+        [
+          Support.quick "fai duplicates" fai_duplicate_values;
+          Support.quick "fai gaps" fai_gap_requires_pending;
+          Support.quick "queue order" queue_order_violation;
+          Support.quick "nondeterministic" nondeterministic_ok;
+          Support.quick "multi-object" multi_object;
+        ] );
+      ( "witness",
+        [
+          Support.quick "legal witness" witness_is_legal;
+          Support.quick "no witness" witness_none_when_unlinearizable;
+        ] );
+      ( "mechanics",
+        [
+          Support.quick "budget" budget_respected;
+          Support.quick "verdict stats" verdict_counts_nodes;
+          Support.quick "pending-writes family" pending_writes_refuted;
+          generated_pass;
+          witness_valid;
+        ] );
+    ]

@@ -1,0 +1,145 @@
+(** Tests for the adversarial eventually-linearizable base objects:
+    weak consistency by construction, stabilization semantics, and
+    full-run eventual linearizability of the object histories. *)
+
+open Elin_spec
+open Elin_runtime
+open Elin_checker
+open Elin_test_support
+
+let reg = Register.spec ()
+let fai = Faicounter.spec ()
+
+let run_object base ~workloads ~seed =
+  Run.execute (Impl.direct base) ~workloads ~sched:(Sched.random ~seed) ()
+
+let local_view_register () =
+  (* Until stabilization each process sees only its own writes. *)
+  let base = Ev_base.local_until_step reg 1000 in
+  let wl = [| [ Op.write 1; Op.read ]; [ Op.read; Op.write 2; Op.read ] |] in
+  let out = run_object base ~workloads:wl ~seed:3 in
+  Alcotest.(check bool) "weakly consistent" true
+    (Weak.is_weakly_consistent (Weak.for_spec reg) out.Run.history)
+
+let immediate_is_linearizable () =
+  let base = Ev_base.make
+      { Ev_base.spec = fai; stabilization = Ev_base.Immediately;
+        view = Ev_base.Own_only }
+  in
+  let wl = Run.uniform_workload Op.fetch_inc ~procs:3 ~per_proc:5 in
+  let out = run_object base ~workloads:wl ~seed:1 in
+  Alcotest.(check bool) "degenerates to linearizable" true
+    (Faic.t_linearizable out.Run.history ~t:0)
+
+let never_stabilizing_is_local () =
+  let base = Ev_base.never_stabilizing fai in
+  let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc:4 in
+  let out = run_object base ~workloads:wl ~seed:2 in
+  (* Each process counts alone: histories full of duplicates, not
+     linearizable, but weakly consistent. *)
+  Alcotest.(check bool) "not linearizable" false
+    (Faic.t_linearizable out.Run.history ~t:0);
+  Alcotest.(check bool) "weakly consistent" true
+    (Faic.weakly_consistent out.Run.history)
+
+let stabilization_by_step =
+  Support.seeded_prop ~count:50 "histories eventually linearizable"
+    (fun rng ->
+      let k = 2 + Elin_kernel.Prng.int rng 10 in
+      let seed = Elin_kernel.Prng.int rng 10000 in
+      let base = Ev_base.local_until_step fai k in
+      let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc:4 in
+      let out = run_object base ~workloads:wl ~seed in
+      Eventual.is_eventually_linearizable (Faic.check out.Run.history))
+
+let stabilization_by_accesses =
+  Support.seeded_prop ~count:50 "access-triggered stabilization" (fun rng ->
+      let k = 1 + Elin_kernel.Prng.int rng 6 in
+      let seed = Elin_kernel.Prng.int rng 10000 in
+      let base = Ev_base.local_until_accesses fai k in
+      let wl = Run.uniform_workload Op.fetch_inc ~procs:3 ~per_proc:3 in
+      let out = run_object base ~workloads:wl ~seed in
+      Eventual.is_eventually_linearizable (Faic.check out.Run.history))
+
+let adversarial_branching_weakly_consistent =
+  Support.seeded_prop ~count:50 "Own_or_all views stay weakly consistent"
+    (fun rng ->
+      let seed = Elin_kernel.Prng.int rng 10000 in
+      let base = Ev_base.adversarial_until_step reg 12 in
+      let wl =
+        [|
+          [ Op.write 1; Op.read; Op.read ];
+          [ Op.read; Op.write 2; Op.read ];
+        |]
+      in
+      let out = run_object base ~workloads:wl ~seed in
+      Weak.is_weakly_consistent (Weak.for_spec reg) out.Run.history)
+
+let merged_state_reflects_log () =
+  (* After stabilization the committed state contains every announced
+     op in announcement order. *)
+  let base = Ev_base.local_until_accesses fai 3 in
+  let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc:4 in
+  let out = run_object base ~workloads:wl ~seed:7 in
+  let committed, log, stabilized, accesses =
+    Ev_base.decode out.Run.final_base_states.(0)
+  in
+  Alcotest.(check bool) "stabilized" true stabilized;
+  Alcotest.(check int) "all accesses logged" 8 (List.length log);
+  Alcotest.(check int) "access counter" 8 accesses;
+  Alcotest.(check Support.value) "merged counter value" (Value.int 8) committed
+
+let stabilized_state_idempotent () =
+  let base = Ev_base.never_stabilizing fai in
+  let cfg =
+    { Ev_base.spec = fai; stabilization = Ev_base.Never; view = Ev_base.Own_only }
+  in
+  let s0 = base.Base.init in
+  let s1 = Ev_base.stabilized_state cfg s0 in
+  let s2 = Ev_base.stabilized_state cfg s1 in
+  Alcotest.check Support.value "idempotent" s1 s2
+
+let choices_deduplicated () =
+  (* In the initial state, own view and all view coincide: one choice. *)
+  let base = Ev_base.adversarial_until_step reg 100 in
+  let choices =
+    base.Base.access ~state:base.Base.init ~proc:0 ~step:0 Op.read
+  in
+  Alcotest.(check int) "single deduped choice" 1 (List.length choices)
+
+let divergent_views_branch () =
+  (* After p1 writes, p0's read has two distinct views: own (initial)
+     and all (sees the write). *)
+  let base = Ev_base.adversarial_until_step reg 100 in
+  let s1 =
+    match base.Base.access ~state:base.Base.init ~proc:1 ~step:0 (Op.write 1) with
+    | [ (_, s) ] -> s
+    | _ -> Alcotest.fail "write should have one choice"
+  in
+  let choices = base.Base.access ~state:s1 ~proc:0 ~step:1 Op.read in
+  Alcotest.(check int) "two views" 2 (List.length choices);
+  let resps = List.map fst choices in
+  Alcotest.(check bool) "0 and 1 offered" true
+    (List.exists (Value.equal (Value.int 0)) resps
+    && List.exists (Value.equal (Value.int 1)) resps)
+
+let () =
+  Alcotest.run "ev_base"
+    [
+      ( "views",
+        [
+          Support.quick "local view register" local_view_register;
+          Support.quick "immediate = linearizable" immediate_is_linearizable;
+          Support.quick "never stabilizing" never_stabilizing_is_local;
+          Support.quick "choices deduplicated" choices_deduplicated;
+          Support.quick "divergent views branch" divergent_views_branch;
+          adversarial_branching_weakly_consistent;
+        ] );
+      ( "stabilization",
+        [
+          stabilization_by_step;
+          stabilization_by_accesses;
+          Support.quick "merged state" merged_state_reflects_log;
+          Support.quick "idempotent" stabilized_state_idempotent;
+        ] );
+    ]

@@ -1,0 +1,231 @@
+(** The fast fetch&increment checker (Lemma 17's slot argument as a
+    decision procedure), and its cross-validation against the generic
+    engine — the strongest internal-soundness evidence in the repo. *)
+
+open Elin_kernel
+open Elin_spec
+open Elin_history
+open Elin_checker
+open Elin_test_support
+open Support
+
+let fai = Faicounter.spec ()
+let fcfg = Engine.for_spec fai
+
+(* --- unit --- *)
+
+let sequential_counting () =
+  let hist = seq [ (Op.fetch_inc, Value.int 0); (Op.fetch_inc, Value.int 1) ] in
+  Alcotest.(check bool) "t=0" true (Faic.t_linearizable hist ~t:0)
+
+let duplicate_rejected () =
+  let hist =
+    h [ inv 0 Op.fetch_inc; inv 1 Op.fetch_inc; resi 0 0; resi 1 0 ]
+  in
+  Alcotest.(check bool) "duplicates" false (Faic.t_linearizable hist ~t:0)
+
+let gap_with_pending () =
+  let hist = h [ inv 1 Op.fetch_inc; inv 0 Op.fetch_inc; resi 0 1 ] in
+  Alcotest.(check bool) "pending filler" true (Faic.t_linearizable hist ~t:0)
+
+let gap_without_filler () =
+  let hist = h [ inv 0 Op.fetch_inc; resi 0 1 ] in
+  Alcotest.(check bool) "unfillable gap" false (Faic.t_linearizable hist ~t:0)
+
+let late_pending_cannot_fill_early_slot () =
+  (* Op returning 1 completes; only then is the would-be filler
+     invoked: slot 0 cannot be filled by it (lower bound 2). *)
+  let hist =
+    h [ inv 0 Op.fetch_inc; resi 0 1; inv 1 Op.fetch_inc ]
+  in
+  Alcotest.(check bool) "late filler blocked" false
+    (Faic.t_linearizable hist ~t:0)
+
+let real_time_violation () =
+  let hist =
+    h [ inv 0 Op.fetch_inc; resi 0 1; inv 1 Op.fetch_inc; resi 1 0 ]
+  in
+  Alcotest.(check bool) "descending across precedence" false
+    (Faic.t_linearizable hist ~t:0)
+
+let initial_value_respected () =
+  let hist = seq [ (Op.fetch_inc, Value.int 5); (Op.fetch_inc, Value.int 6) ] in
+  Alcotest.(check bool) "initial 5 ok" true
+    (Faic.t_linearizable ~initial:5 hist ~t:0);
+  Alcotest.(check bool) "initial 0 needs fillers" false
+    (Faic.t_linearizable ~initial:0 hist ~t:0);
+  let hist = seq [ (Op.fetch_inc, Value.int 3) ] in
+  Alcotest.(check bool) "below initial rejected" false
+    (Faic.t_linearizable ~initial:5 hist ~t:0)
+
+let paper_family_fast () =
+  let hist = paper_fai_family 5 in
+  Alcotest.(check bool) "t=0" false (Faic.t_linearizable hist ~t:0);
+  Alcotest.(check bool) "t=1" false (Faic.t_linearizable hist ~t:1);
+  Alcotest.(check bool) "t=2" true (Faic.t_linearizable hist ~t:2);
+  Alcotest.(check (option int)) "min_t" (Some 2) (Faic.min_t hist)
+
+let cut_frees_responses () =
+  let hist =
+    h [ inv 0 Op.fetch_inc; resi 0 9; inv 1 Op.fetch_inc; resi 1 0 ]
+  in
+  (* 9 is absurd, but its response sits before t=2. *)
+  Alcotest.(check bool) "absurd pre-cut response ok" true
+    (Faic.t_linearizable hist ~t:2)
+
+let empty_fast () =
+  Alcotest.(check bool) "empty" true (Faic.t_linearizable (h []) ~t:0);
+  Alcotest.(check (option int)) "empty min_t" (Some 0) (Faic.min_t (h []))
+
+let classify_partition () =
+  let hist = paper_fai_family 2 in
+  let { Faic.post; pre; pending } = Faic.classify hist ~t:2 in
+  Alcotest.(check int) "post" 2 (List.length post);
+  Alcotest.(check int) "pre" 1 (List.length pre);
+  Alcotest.(check int) "pending" 0 (List.length pending)
+
+(* --- cross-validation against the generic engine --- *)
+
+let history_kinds rng =
+  (* A mix of honest, eventually-linearizable-shaped, corrupted and
+     response-shuffled histories. *)
+  let kind = Prng.int rng 4 in
+  match kind with
+  | 0 -> Gen.linearizable rng ~spec:fai ~procs:3 ~n_ops:6 ()
+  | 1 ->
+    fst
+      (Gen.eventually_linearizable rng ~spec:fai ~procs:2 ~prefix_ops:3
+         ~suffix_ops:3 ())
+  | 2 -> (
+    let h = Gen.linearizable rng ~spec:fai ~procs:2 ~n_ops:5 () in
+    match Gen.corrupt rng h with Some h' -> h' | None -> h)
+  | _ -> Gen.linearizable_with_pending rng ~spec:fai ~procs:3 ~n_ops:5 ()
+
+let cross_validation =
+  Support.seeded_prop ~count:400 "fast = generic on all cuts" (fun rng ->
+      let hist = history_kinds rng in
+      let len = History.length hist in
+      List.for_all
+        (fun t ->
+          Faic.t_linearizable hist ~t = Engine.t_linearizable fcfg hist ~t)
+        (List.init (len + 1) (fun t -> t)))
+
+let min_t_cross_validation =
+  Support.seeded_prop ~count:150 "fast min_t = generic min_t" (fun rng ->
+      let hist = history_kinds rng in
+      Faic.min_t hist = Eventual.min_t fcfg hist)
+
+(* adversarial micro-histories: every fetch&inc history with <= 3 ops
+   and small values, exhaustively *)
+let exhaustive_micro () =
+  (* Enumerate event sequences of bounded shape: 2 procs, up to 2 ops
+     each, response values in 0..3. *)
+  let count = ref 0 in
+  let rec build events procs_pending n_ops =
+    (* try finishing here *)
+    (match History.of_events_result (List.rev events) with
+    | Ok hist ->
+      incr count;
+      let len = History.length hist in
+      List.iter
+        (fun t ->
+          let fast = Faic.t_linearizable hist ~t in
+          let generic = Engine.t_linearizable fcfg hist ~t in
+          if fast <> generic then
+            Alcotest.failf "disagreement at t=%d on:\n%s (fast=%b)" t
+              (History.to_string hist) fast)
+        (List.init (len + 1) (fun t -> t))
+    | Error _ -> ());
+    if n_ops < 3 then begin
+      List.iter
+        (fun p ->
+          if not (List.mem p procs_pending) then
+            build
+              (Event.invoke ~proc:p ~obj:0 Op.fetch_inc :: events)
+              (p :: procs_pending) (n_ops + 1))
+        [ 0; 1 ];
+      List.iter
+        (fun p ->
+          if List.mem p procs_pending then
+            List.iter
+              (fun v ->
+                build
+                  (Event.respond ~proc:p ~obj:0 (Value.int v) :: events)
+                  (List.filter (fun q -> q <> p) procs_pending)
+                  n_ops)
+              [ 0; 1; 2; 3 ])
+        [ 0; 1 ]
+    end
+  in
+  build [] [] 0;
+  Alcotest.(check bool) "covered many histories" true (!count > 100)
+
+let weak_fast_unit () =
+  Alcotest.(check bool) "paper family weak" true
+    (Faic.weakly_consistent (paper_fai_family 4));
+  let bad = h [ inv 0 Op.fetch_inc; resi 0 3 ] in
+  Alcotest.(check bool) "3 out of thin air" false (Faic.weakly_consistent bad)
+
+let full_verdict () =
+  let v = Faic.check (paper_fai_family 4) in
+  Alcotest.(check bool) "eventually linearizable" true
+    (Eventual.is_eventually_linearizable v)
+
+(* Soak: long runs of the real eventually linearizable implementations
+   through the fast checker — the scale the generic engine cannot
+   reach, exercising the incremental/matching machinery on thousands of
+   operations. *)
+let soak_long_runs () =
+  List.iter
+    (fun (k, per_proc, seed) ->
+      let impl = Elin_runtime.Impls.fai_ev_board ~k () in
+      let wl =
+        Elin_runtime.Run.uniform_workload Op.fetch_inc ~procs:4 ~per_proc
+      in
+      let out =
+        Elin_runtime.Run.execute impl ~workloads:wl
+          ~sched:(Elin_runtime.Sched.random ~seed)
+          ~max_steps:1_000_000 ()
+      in
+      let hist = out.Elin_runtime.Run.history in
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d n=%d completed" k (4 * per_proc))
+        true out.Elin_runtime.Run.all_done;
+      let v = Faic.check hist in
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d n=%d eventually linearizable" k (4 * per_proc))
+        true
+        (Eventual.is_eventually_linearizable v);
+      (* And the bound sits inside the misbehaving prefix. *)
+      match v.Eventual.min_t with
+      | Some t -> Alcotest.(check bool) "bound within prefix" true (t <= 4 * k)
+      | None -> Alcotest.fail "missing bound")
+    [ (10, 250, 3); (50, 500, 4); (200, 1000, 5) ]
+
+let () =
+  Alcotest.run "faic"
+    [
+      ( "unit",
+        [
+          Support.quick "sequential" sequential_counting;
+          Support.quick "duplicates" duplicate_rejected;
+          Support.quick "pending filler" gap_with_pending;
+          Support.quick "unfillable gap" gap_without_filler;
+          Support.quick "late filler" late_pending_cannot_fill_early_slot;
+          Support.quick "real time" real_time_violation;
+          Support.quick "initial value" initial_value_respected;
+          Support.quick "paper family" paper_family_fast;
+          Support.quick "cut frees responses" cut_frees_responses;
+          Support.quick "empty" empty_fast;
+          Support.quick "classification" classify_partition;
+          Support.quick "weak fast" weak_fast_unit;
+          Support.quick "full verdict" full_verdict;
+        ] );
+      ( "cross-validation",
+        [
+          cross_validation;
+          min_t_cross_validation;
+          Support.slow "exhaustive micro-histories" exhaustive_micro;
+        ] );
+      ("soak", [ Support.slow "long eventually linearizable runs" soak_long_runs ]);
+    ]

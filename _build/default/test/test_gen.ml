@@ -1,0 +1,105 @@
+(** Tests for the history generators: the linearizable generator only
+    emits linearizable histories; the eventually-linearizable generator
+    emits weakly consistent, t-linearizable-at-the-returned-cut
+    histories; corruption usually breaks linearizability but never
+    well-formedness. *)
+
+open Elin_kernel
+open Elin_spec
+open Elin_history
+open Elin_checker
+open Elin_test_support
+
+let specs_under_test () =
+  [ Register.spec (); Faicounter.spec (); Fifo.spec (); Maxreg.spec () ]
+
+let generator_linearizable =
+  Support.seeded_prop ~count:100 "linearizable generator is linearizable"
+    (fun rng ->
+      List.for_all
+        (fun spec ->
+          let h = Gen.linearizable rng ~spec ~procs:3 ~n_ops:7 () in
+          Engine.linearizable (Engine.for_spec spec) h)
+        (specs_under_test ()))
+
+let generator_exact_op_count =
+  Support.seeded_prop ~count:100 "generator emits requested op count"
+    (fun rng ->
+      let spec = Register.spec () in
+      let h = Gen.linearizable rng ~spec ~procs:4 ~n_ops:9 () in
+      History.n_ops h = 9 && List.length (History.complete_ops h) = 9)
+
+let generator_deterministic_in_seed () =
+  let spec = Register.spec () in
+  let h1 = Gen.linearizable (Prng.create 5) ~spec ~procs:3 ~n_ops:10 () in
+  let h2 = Gen.linearizable (Prng.create 5) ~spec ~procs:3 ~n_ops:10 () in
+  Alcotest.check Support.history "same seed, same history" h1 h2
+
+let generator_with_pending =
+  Support.seeded_prop ~count:100 "pending generator stays linearizable"
+    (fun rng ->
+      let spec = Register.spec () in
+      let h = Gen.linearizable_with_pending rng ~spec ~procs:3 ~n_ops:6 () in
+      Engine.linearizable (Engine.for_spec spec) h)
+
+let ev_generator_weakly_consistent =
+  Support.seeded_prop ~count:60 "ev generator weakly consistent" (fun rng ->
+      let spec = Register.spec () in
+      let h, _ =
+        Gen.eventually_linearizable rng ~spec ~procs:2 ~prefix_ops:4
+          ~suffix_ops:4 ()
+      in
+      Weak.is_weakly_consistent (Weak.for_spec spec) h)
+
+let ev_generator_t_linearizable =
+  Support.seeded_prop ~count:60 "ev generator t-linearizable at cut"
+    (fun rng ->
+      let spec = Faicounter.spec () in
+      let h, t =
+        Gen.eventually_linearizable rng ~spec ~procs:2 ~prefix_ops:4
+          ~suffix_ops:4 ()
+      in
+      Faic.t_linearizable h ~t)
+
+let corrupt_well_formed =
+  Support.seeded_prop ~count:100 "corruption keeps well-formedness"
+    (fun rng ->
+      let spec = Faicounter.spec () in
+      let h = Gen.linearizable rng ~spec ~procs:2 ~n_ops:6 () in
+      match Gen.corrupt rng h with
+      | None -> false (* six complete ops: must be able to corrupt *)
+      | Some h' -> History.length h' = History.length h)
+
+let corrupt_changes_history =
+  Support.seeded_prop ~count:100 "corruption changes a response" (fun rng ->
+      let spec = Faicounter.spec () in
+      let h = Gen.linearizable rng ~spec ~procs:2 ~n_ops:6 () in
+      match Gen.corrupt rng h with
+      | None -> false
+      | Some h' ->
+        not (List.equal Event.equal (History.events h) (History.events h')))
+
+let corrupt_empty () =
+  let rng = Prng.create 0 in
+  Alcotest.(check bool) "no complete ops, no corruption" true
+    (Gen.corrupt rng (History.of_events [  ]) = None)
+
+let () =
+  Alcotest.run "gen"
+    [
+      ( "linearizable",
+        [
+          generator_linearizable;
+          generator_exact_op_count;
+          Support.quick "deterministic in seed" generator_deterministic_in_seed;
+          generator_with_pending;
+        ] );
+      ( "eventually-linearizable",
+        [ ev_generator_weakly_consistent; ev_generator_t_linearizable ] );
+      ( "corrupt",
+        [
+          corrupt_well_formed;
+          corrupt_changes_history;
+          Support.quick "empty history" corrupt_empty;
+        ] );
+    ]

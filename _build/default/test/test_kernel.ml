@@ -1,0 +1,195 @@
+(** Unit and property tests for the kernel substrate: PRNG, bitsets,
+    greedy interval matching. *)
+
+open Elin_kernel
+open Elin_test_support
+
+let prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let xs = List.init 20 (fun _ -> Prng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Prng.int b 1_000_000) in
+  Alcotest.(check bool) "different seeds differ" true (xs <> ys)
+
+let prng_bounds =
+  Support.qtest "int stays in bounds" QCheck2.Gen.(pair int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Prng.create seed in
+      let v = Prng.int rng bound in
+      0 <= v && v < bound)
+
+let prng_split () =
+  let a = Prng.create 7 in
+  let b = Prng.split a in
+  let xs = List.init 10 (fun _ -> Prng.int a 1000) in
+  let ys = List.init 10 (fun _ -> Prng.int b 1000) in
+  Alcotest.(check bool) "split streams independent-ish" true (xs <> ys)
+
+let prng_shuffle_permutes =
+  Support.seeded_prop "shuffle permutes" (fun rng ->
+      let xs = List.init 30 (fun i -> i) in
+      let ys = Prng.shuffle rng xs in
+      List.sort compare ys = xs)
+
+let prng_choose_member =
+  Support.seeded_prop "choose returns member" (fun rng ->
+      let xs = [ 3; 1; 4; 1; 5; 9 ] in
+      List.mem (Prng.choose rng xs) xs)
+
+let prng_float_unit =
+  Support.seeded_prop "float in [0,1)" (fun rng ->
+      let f = Prng.float rng in
+      0.0 <= f && f < 1.0)
+
+(* --- Bitset --- *)
+
+let bitset_empty () =
+  let b = Bitset.empty 100 in
+  Alcotest.(check int) "cardinal" 0 (Bitset.cardinal b);
+  Alcotest.(check bool) "is_empty" true (Bitset.is_empty b);
+  for i = 0 to 99 do
+    Alcotest.(check bool) "not mem" false (Bitset.mem b i)
+  done
+
+let bitset_add_mem () =
+  let b = Bitset.empty 130 in
+  let b = Bitset.add b 0 in
+  let b = Bitset.add b 61 in
+  let b = Bitset.add b 62 in
+  let b = Bitset.add b 129 in
+  List.iter
+    (fun i -> Alcotest.(check bool) (Printf.sprintf "mem %d" i) true (Bitset.mem b i))
+    [ 0; 61; 62; 129 ];
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal b);
+  Alcotest.(check bool) "not mem 63" false (Bitset.mem b 63)
+
+let bitset_add_idempotent () =
+  let b = Bitset.add (Bitset.empty 10) 3 in
+  let b' = Bitset.add b 3 in
+  Alcotest.(check bool) "physical equal on re-add" true (b == b')
+
+let bitset_remove () =
+  let b = Bitset.of_list 70 [ 1; 65; 3 ] in
+  let b = Bitset.remove b 65 in
+  Alcotest.(check bool) "removed" false (Bitset.mem b 65);
+  Alcotest.(check (list int)) "rest" [ 1; 3 ] (Bitset.to_list b)
+
+let bitset_immutable () =
+  let b = Bitset.empty 10 in
+  let b' = Bitset.add b 5 in
+  Alcotest.(check bool) "original untouched" false (Bitset.mem b 5);
+  Alcotest.(check bool) "copy has it" true (Bitset.mem b' 5)
+
+let bitset_equal_hash =
+  Support.seeded_prop "equal sets hash equal" (fun rng ->
+      let xs = List.init 20 (fun _ -> Prng.int rng 90) in
+      let a = Bitset.of_list 90 xs in
+      let b = Bitset.of_list 90 (List.rev xs) in
+      Bitset.equal a b && Bitset.hash a = Bitset.hash b)
+
+let bitset_roundtrip =
+  Support.seeded_prop "of_list/to_list roundtrip" (fun rng ->
+      let xs = List.sort_uniq compare (List.init 15 (fun _ -> Prng.int rng 200)) in
+      Bitset.to_list (Bitset.of_list 200 xs) = xs)
+
+let bitset_full () =
+  let b = Bitset.of_list 5 [ 0; 1; 2; 3; 4 ] in
+  Alcotest.(check bool) "is_full" true (Bitset.is_full b);
+  Alcotest.(check bool) "not full" false (Bitset.is_full (Bitset.remove b 2))
+
+let bitset_out_of_range () =
+  Alcotest.check_raises "mem out of width"
+    (Invalid_argument "Bitset: index 10 out of width 10") (fun () ->
+      ignore (Bitset.mem (Bitset.empty 10) 10))
+
+(* --- Matching --- *)
+
+let matching_simple () =
+  (* slots 0,2; fillers lb [0;0] -> feasible *)
+  Alcotest.(check bool) "feasible" true
+    (Matching.feasible ~slots:[ 0; 2 ] ~lower_bounds:[| 0; 0 |]);
+  (* slot 0 but both fillers need >= 1 -> infeasible *)
+  Alcotest.(check bool) "infeasible" false
+    (Matching.feasible ~slots:[ 0 ] ~lower_bounds:[| 1; 1 |])
+
+let matching_exact_assignment () =
+  match Matching.assign ~slots:[ 1; 3; 5 ] ~lower_bounds:[| 4; 0; 2 |] with
+  | None -> Alcotest.fail "expected assignment"
+  | Some pairs ->
+    (* Greedy: slot 1 <- filler lb 0 (idx 1); slot 3 <- lb 2 (idx 2);
+       slot 5 <- lb 4 (idx 0). *)
+    Alcotest.(check (list (pair int int))) "assignment"
+      [ (1, 1); (3, 2); (5, 0) ]
+      pairs
+
+let matching_insufficient_fillers () =
+  Alcotest.(check bool) "too few fillers" false
+    (Matching.feasible ~slots:[ 0; 1; 2 ] ~lower_bounds:[| 0; 0 |])
+
+let matching_hall_violation () =
+  (* Two fillers both need slot >= 5 but slots are 1 and 6: slot 1
+     unfillable. *)
+  Alcotest.(check bool) "hall violation" false
+    (Matching.feasible ~slots:[ 1; 6 ] ~lower_bounds:[| 5; 5 |])
+
+(* Brute-force cross-check of the greedy matcher. *)
+let matching_matches_bruteforce =
+  Support.seeded_prop ~count:500 "greedy = brute force" (fun rng ->
+      let n_slots = Prng.int rng 5 in
+      let n_fillers = Prng.int rng 6 in
+      let slots =
+        List.sort_uniq compare (List.init n_slots (fun _ -> Prng.int rng 8))
+      in
+      let lbs = Array.init n_fillers (fun _ -> Prng.int rng 8) in
+      let greedy = Matching.feasible ~slots ~lower_bounds:lbs in
+      (* brute force: try all injections slots -> fillers *)
+      let rec brute slots used =
+        match slots with
+        | [] -> true
+        | s :: rest ->
+          List.exists
+            (fun f ->
+              (not (List.mem f used)) && lbs.(f) <= s && brute rest (f :: used))
+            (List.init n_fillers (fun f -> f))
+      in
+      greedy = brute slots [])
+
+let () =
+  Alcotest.run "kernel"
+    [
+      ( "prng",
+        [
+          Support.quick "deterministic" prng_deterministic;
+          Support.quick "seed sensitivity" prng_seed_sensitivity;
+          Support.quick "split" prng_split;
+          prng_bounds;
+          prng_shuffle_permutes;
+          prng_choose_member;
+          prng_float_unit;
+        ] );
+      ( "bitset",
+        [
+          Support.quick "empty" bitset_empty;
+          Support.quick "add/mem across words" bitset_add_mem;
+          Support.quick "add idempotent" bitset_add_idempotent;
+          Support.quick "remove" bitset_remove;
+          Support.quick "immutability" bitset_immutable;
+          Support.quick "is_full" bitset_full;
+          Support.quick "out of range" bitset_out_of_range;
+          bitset_equal_hash;
+          bitset_roundtrip;
+        ] );
+      ( "matching",
+        [
+          Support.quick "simple" matching_simple;
+          Support.quick "exact assignment" matching_exact_assignment;
+          Support.quick "insufficient fillers" matching_insufficient_fillers;
+          Support.quick "hall violation" matching_hall_violation;
+          matching_matches_bruteforce;
+        ] );
+    ]

@@ -1,0 +1,128 @@
+(** Experiment E12: Lemma 17 — for an eventually linearizable
+    fetch&increment implementation, if every finite prefix of a history
+    is t-linearizable then so is the whole history.
+
+    The infinite quantification is approximated two ways:
+    1. on long finite runs of genuinely eventually linearizable
+       implementations, prefix-wise t-linearizability at the minimal
+       bound coincides with whole-history t-linearizability
+       (randomized search for violations — none exist);
+    2. the lemma's *hypothesis* matters: the section 3.2 family
+       (produced by something that is NOT an eventually linearizable
+       implementation, since its t grows without bound) shows prefixes
+       can all be t-linearizable while larger extensions are not —
+       distinguishing the lemma from a general limit-closure claim. *)
+
+open Elin_kernel
+open Elin_spec
+open Elin_history
+open Elin_checker
+open Elin_runtime
+open Elin_test_support
+open Support
+
+(* --- 1. randomized no-violation search on real implementations --- *)
+
+let prefixes_agree_with_whole =
+  Support.seeded_prop ~count:40 "prefix t-lin = whole t-lin on ev runs"
+    (fun rng ->
+      let k = 2 + Prng.int rng 6 in
+      let seed = Prng.int rng 100000 in
+      let impl = Impls.fai_ev_board ~k () in
+      let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc:6 in
+      let out = Run.execute impl ~workloads:wl ~sched:(Sched.random ~seed) () in
+      let hist = out.Run.history in
+      match Faic.min_t hist with
+      | None -> false
+      | Some t ->
+        (* Every prefix is t-linearizable at the whole history's bound
+           (Lemma 6), and — the Lemma 17 direction — whenever all
+           prefixes pass at some t' < t, the whole history passes at
+           t' too (equivalently: some prefix fails at every t' < t). *)
+        List.for_all
+          (fun t' ->
+            let all_prefixes_pass =
+              List.for_all
+                (fun k -> Faic.t_linearizable (History.prefix hist k) ~t:t')
+                (List.init (History.length hist + 1) (fun k -> k))
+            in
+            all_prefixes_pass = Faic.t_linearizable hist ~t:t')
+          (List.init (t + 2) (fun t' -> t')))
+
+(* --- 2. the hypothesis matters --- *)
+
+let family_prefixes_pass_extension_fails () =
+  (* For the paper family with the culprit *last*, every proper prefix
+     is 0-linearizable, the full history is not: t-linearizability of
+     all prefixes does not transfer in general.  (No eventually
+     linearizable implementation can produce this family for growing k
+     with a FIXED t — exactly Lemma 17's content.) *)
+  let family k =
+    h
+      (List.concat_map
+         (fun i -> [ inv 1 Op.fetch_inc; resi 1 i ])
+         (List.init k (fun i -> i))
+      @ [ inv 0 Op.fetch_inc; resi 0 0 ])
+  in
+  let hist = family 5 in
+  let len = History.length hist in
+  (* all proper prefixes (before the culprit's response) linearizable *)
+  Alcotest.(check bool) "proper prefixes pass" true
+    (List.for_all
+       (fun k -> Faic.t_linearizable (History.prefix hist k) ~t:0)
+       (List.init len (fun k -> k)));
+  Alcotest.(check bool) "whole fails" false (Faic.t_linearizable hist ~t:0)
+
+(* The incremental form used by long-run checking: appending events to
+   a t-linearizable history can only break t-linearizability via the
+   new events; min_t is monotone under extension. *)
+let min_t_monotone_under_extension =
+  Support.seeded_prop ~count:40 "min_t monotone under extension" (fun rng ->
+      let k = 2 + Prng.int rng 5 in
+      let seed = Prng.int rng 100000 in
+      let impl = Impls.fai_ev_board ~k () in
+      let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc:5 in
+      let out = Run.execute impl ~workloads:wl ~sched:(Sched.random ~seed) () in
+      let hist = out.Run.history in
+      let rec check_chain prev k =
+        if k > History.length hist then true
+        else
+          match Faic.min_t (History.prefix hist k) with
+          | None -> false
+          | Some t -> t >= prev && check_chain t (k + 1)
+      in
+      check_chain 0 0)
+
+(* Long-run stress: stabilization bound of the ev-board implementation
+   never exceeds (roughly) the moment the k-th op completes — the
+   mechanical content of "the implementation is eventually
+   linearizable with a bound tied to its stabilization event". *)
+let stabilization_bound_tracks_k =
+  Support.seeded_prop ~count:30 "min_t lands near the k-th completion"
+    (fun rng ->
+      let k = 2 + Prng.int rng 4 in
+      let seed = Prng.int rng 100000 in
+      let impl = Impls.fai_ev_board ~k () in
+      let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc:8 in
+      let out = Run.execute impl ~workloads:wl ~sched:(Sched.random ~seed) () in
+      let hist = out.Run.history in
+      match Faic.min_t hist with
+      | None -> false
+      | Some t ->
+        (* The bound cannot exceed the index right after the last
+           misbehaving response; misbehaving ops are those among the
+           first k announcements, which complete within the first 4k
+           events. *)
+        t <= 4 * k)
+
+let () =
+  Alcotest.run "lemma17"
+    [
+      ( "E12",
+        [
+          prefixes_agree_with_whole;
+          Support.quick "hypothesis matters" family_prefixes_pass_extension_fails;
+          min_t_monotone_under_extension;
+          stabilization_bound_tracks_k;
+        ] );
+    ]

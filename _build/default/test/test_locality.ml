@@ -1,0 +1,179 @@
+(** Experiment E3: locality of eventual linearizability (Lemmas 7–8,
+    Proposition 9), including the paper's register-family
+    counterexample showing why the object set must be finite. *)
+
+open Elin_spec
+open Elin_history
+open Elin_checker
+open Elin_test_support
+open Support
+
+let reg = Register.spec ()
+let rcfg = Engine.for_spec reg
+let wreg = Weak.for_spec reg
+
+(* --- Lemma 7: composing per-object bounds --- *)
+
+let per_object_bounds () =
+  let hist = Locality.register_family 3 in
+  let per = Locality.per_object_min_t rcfg hist in
+  Alcotest.(check int) "three objects" 3 (List.length per);
+  List.iter
+    (fun (o, t) ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "object %d stabilizes at 2" o)
+        (Some 2) t)
+    per
+
+let composed_bound_sound () =
+  let hist = Locality.register_family 3 in
+  let per = Locality.per_object_min_t rcfg hist in
+  match Locality.compose_min_t hist per with
+  | None -> Alcotest.fail "expected a composed bound"
+  | Some t ->
+    Alcotest.(check bool) "composed bound t-linearizes H" true
+      (Engine.t_linearizable rcfg hist ~t)
+
+(* The paper's point: per-object min_t stays constant while the
+   whole-history bound diverges linearly with the family size. *)
+let family_bound_diverges () =
+  let bound k =
+    let hist = Locality.register_family k in
+    match Eventual.min_t rcfg hist with
+    | Some t -> t
+    | None -> Alcotest.fail "family member must stabilize"
+  in
+  let b1 = bound 1 and b3 = bound 3 and b5 = bound 5 in
+  Alcotest.(check bool) "strictly growing" true (b1 < b3 && b3 < b5);
+  (* Exact values: the read of the last register must fall after the
+     cut's write, so t must cover 4(k-1)+2 events. *)
+  Alcotest.(check int) "k=1" 2 b1;
+  Alcotest.(check int) "k=3" 10 b3;
+  Alcotest.(check int) "k=5" 18 b5
+
+let family_projections_stable () =
+  let hist = Locality.register_family 5 in
+  List.iter
+    (fun o ->
+      let v = Eventual.check_spec reg (History.proj_obj hist o) in
+      Alcotest.(check bool)
+        (Printf.sprintf "H|R%d eventually linearizable" o)
+        true
+        (Eventual.is_eventually_linearizable v))
+    (History.objs hist)
+
+(* --- Proposition 9 as a decision procedure --- *)
+
+let local_decision_matches_direct =
+  Support.seeded_prop ~count:30 "local = direct verdict" (fun rng ->
+      (* Two-object history: object 0 honest, object 1 eventually
+         linearizable shaped. *)
+      let h0 = Gen.linearizable rng ~spec:reg ~procs:2 ~n_ops:3 () in
+      let h1, _ =
+        Gen.eventually_linearizable rng ~spec:reg ~procs:2 ~prefix_ops:2
+          ~suffix_ops:2 ()
+      in
+      let relabel obj hist =
+        List.map (fun (e : Event.t) -> { e with Event.obj }) (History.events hist)
+      in
+      let hist = History.of_events (relabel 0 h0 @ relabel 1 h1) in
+      let local = Locality.eventually_linearizable_local rcfg wreg hist in
+      let direct =
+        {
+          Eventual.weakly_consistent = Weak.is_weakly_consistent wreg hist;
+          min_t = Eventual.min_t rcfg hist;
+        }
+      in
+      (* The min_t bounds may differ (composition is an upper bound);
+         existence and weak consistency must agree. *)
+      Eventual.is_eventually_linearizable local
+      = Eventual.is_eventually_linearizable direct)
+
+let composed_bound_upper =
+  Support.seeded_prop ~count:30 "composed bound dominates direct min_t"
+    (fun rng ->
+      let h0 = Gen.linearizable rng ~spec:reg ~procs:2 ~n_ops:3 () in
+      let h1, _ =
+        Gen.eventually_linearizable rng ~spec:reg ~procs:2 ~prefix_ops:2
+          ~suffix_ops:2 ()
+      in
+      let relabel obj hist =
+        List.map (fun (e : Event.t) -> { e with Event.obj }) (History.events hist)
+      in
+      let hist = History.of_events (relabel 0 h0 @ relabel 1 h1) in
+      match
+        ( Locality.compose_min_t hist (Locality.per_object_min_t rcfg hist),
+          Eventual.min_t rcfg hist )
+      with
+      | Some composed, Some direct ->
+        composed >= direct && Engine.t_linearizable rcfg hist ~t:composed
+      | None, None -> true
+      | Some _, None | None, Some _ -> false)
+
+(* Three objects of three different types in one history. *)
+let mixed_type_composition () =
+  let reg = Register.spec () in
+  let fai = Faicounter.spec () in
+  let mreg = Maxreg.spec () in
+  let spec_of = function
+    | 0 -> reg
+    | 1 -> fai
+    | 2 -> mreg
+    | _ -> invalid_arg "unknown object"
+  in
+  let cfg = Engine.config spec_of in
+  let wcfg = Weak.config spec_of in
+  (* Object 0 honest; object 1 carries a repaired-by-cut duplicate;
+     object 2 honest. *)
+  let hist =
+    h
+      [
+        inv ~obj:1 0 Op.fetch_inc; res ~obj:1 0 (Value.int 0);
+        inv ~obj:0 0 (Op.write 1); res ~obj:0 0 Value.unit;
+        inv ~obj:1 1 Op.fetch_inc; res ~obj:1 1 (Value.int 0);
+        inv ~obj:2 1 (Op.max_write 2); res ~obj:2 1 Value.unit;
+        inv ~obj:2 0 Op.max_read; res ~obj:2 0 (Value.int 2);
+        inv ~obj:0 1 Op.read; res ~obj:0 1 (Value.int 1);
+      ]
+  in
+  let v = Locality.eventually_linearizable_local cfg wcfg hist in
+  Alcotest.(check bool) "locally eventually linearizable" true
+    (Eventual.is_eventually_linearizable v);
+  (* The composed bound linearizes the whole history directly too. *)
+  match v.Eventual.min_t with
+  | Some t ->
+    Alcotest.(check bool) "composed bound valid directly" true
+      (Engine.t_linearizable cfg hist ~t)
+  | None -> Alcotest.fail "expected a composed bound"
+
+let compose_empty () =
+  Alcotest.(check (option int)) "empty composition" (Some 0)
+    (Locality.compose_min_t (h []) [])
+
+let compose_missing_bound () =
+  let hist = Locality.register_family 1 in
+  Alcotest.(check (option int)) "missing per-object bound poisons" None
+    (Locality.compose_min_t hist [ (0, None) ])
+
+let () =
+  Alcotest.run "locality"
+    [
+      ( "lemma 7",
+        [
+          Support.quick "per-object bounds" per_object_bounds;
+          Support.quick "composed bound sound" composed_bound_sound;
+          Support.quick "compose empty" compose_empty;
+          Support.quick "compose missing" compose_missing_bound;
+        ] );
+      ( "proposition 9 counterexample",
+        [
+          Support.quick "whole-history bound diverges" family_bound_diverges;
+          Support.quick "projections stay stable" family_projections_stable;
+        ] );
+      ( "decision procedure",
+        [
+          local_decision_matches_direct;
+          composed_bound_upper;
+          Support.quick "mixed-type composition" mixed_type_composition;
+        ] );
+    ]

@@ -1,0 +1,115 @@
+(** Tests for the empirical progress monitors: the wait-free /
+    lock-free / obstruction-free hierarchy, witnessed on the concrete
+    implementations (Section 1's progress-condition landscape). *)
+
+open Elin_spec
+open Elin_runtime
+open Elin_explore
+open Elin_test_support
+
+let fai_wl procs per_proc = Run.uniform_workload Op.fetch_inc ~procs ~per_proc
+
+let board_wait_free_bound () =
+  let out =
+    Run.execute (Impls.fai_from_board ()) ~workloads:(fai_wl 4 6)
+      ~sched:(Sched.random ~seed:3) ()
+  in
+  Alcotest.(check int) "board impl: 1 access/op under any schedule" 1
+    (Monitors.wait_free_bound out)
+
+let cas_starvation () =
+  (* The classic lock-free-but-not-wait-free witness: the adversary
+     lets the victim read, then lets the other process complete a full
+     fetch&inc (invalidating the victim's CAS), forever. *)
+  let victim, other =
+    Monitors.starvation_schedule (Impls.fai_from_cas ()) ~victim:0 ~other:1
+      ~op:Op.fetch_inc ~rounds:40
+  in
+  Alcotest.(check int) "victim starves" 0 victim;
+  Alcotest.(check bool) "other makes progress" true (other >= 30)
+
+let board_immune_to_starvation () =
+  (* The wait-free implementation completes under the same adversary. *)
+  let victim, other =
+    Monitors.starvation_schedule (Impls.fai_from_board ()) ~victim:0 ~other:1
+      ~op:Op.fetch_inc ~rounds:40
+  in
+  Alcotest.(check bool) "victim progresses" true (victim > 0);
+  Alcotest.(check bool) "other progresses" true (other > 0)
+
+let cas_non_blocking () =
+  Alcotest.(check bool) "cas impl non-blocking" true
+    (Monitors.non_blocking_probe (Impls.fai_from_cas ())
+       ~workloads:(fai_wl 3 5) ~seed:4 ())
+
+let cas_obstruction_free () =
+  Alcotest.(check bool) "cas impl obstruction-free" true
+    (Monitors.obstruction_free_probe (Impls.fai_from_cas ())
+       ~workloads:(fai_wl 2 4) ~samples:15 ~fuel:100 ~seed:5 ())
+
+let ev_board_obstruction_free () =
+  Alcotest.(check bool) "ev board obstruction-free" true
+    (Monitors.obstruction_free_probe (Impls.fai_ev_board ~k:4 ())
+       ~workloads:(fai_wl 2 4) ~samples:15 ~fuel:100 ~seed:6 ())
+
+let guard_obstruction_free () =
+  let guarded =
+    Elin_core.Guard.wrap ~spec:(Faicounter.spec ()) (Impls.fai_ev_board ~k:3 ())
+  in
+  Alcotest.(check bool) "guarded impl obstruction-free" true
+    (Monitors.obstruction_free_probe guarded ~workloads:(fai_wl 2 3)
+       ~samples:10 ~fuel:200 ~seed:7 ())
+
+let spinner_fails_obstruction_probe () =
+  (* An implementation that spins forever on a flag that is never set:
+     the probe must report failure. *)
+  let ( let* ) = Program.bind in
+  let spinner : Impl.t =
+    {
+      Impl.name = "spinner";
+      bases = [| Base.linearizable (Register.spec ()) |];
+      local_init = Value.unit;
+      program =
+        (fun ~proc:_ ~local _op ->
+          let rec wait () =
+            let* v = Program.access 0 Op.read in
+            if Value.equal v (Value.int 1) then Program.return (Value.unit, local)
+            else wait ()
+          in
+          wait ());
+    }
+  in
+  Alcotest.(check bool) "spinner fails the probe" false
+    (Monitors.obstruction_free_probe spinner
+       ~workloads:[| [ Op.read ] |]
+       ~samples:5 ~fuel:50 ~seed:8 ())
+
+let universal_lock_free_not_wait_free () =
+  (* The log-based universal construction: under the starvation
+     adversary the victim keeps losing consensus cells. *)
+  let impl =
+    Elin_core.Universal.construction ~spec:(Faicounter.spec ()) ~cells:128 ()
+  in
+  let victim, other =
+    Monitors.starvation_schedule impl ~victim:0 ~other:1 ~op:Op.fetch_inc
+      ~rounds:30
+  in
+  Alcotest.(check bool) "other progresses" true (other >= 20);
+  Alcotest.(check bool) "victim lags behind" true (victim < other)
+
+let () =
+  Alcotest.run "monitors"
+    [
+      ( "hierarchy",
+        [
+          Support.quick "board wait-free bound" board_wait_free_bound;
+          Support.quick "cas starvation" cas_starvation;
+          Support.quick "board immune" board_immune_to_starvation;
+          Support.quick "cas non-blocking" cas_non_blocking;
+          Support.quick "cas obstruction-free" cas_obstruction_free;
+          Support.quick "ev board obstruction-free" ev_board_obstruction_free;
+          Support.quick "guard obstruction-free" guard_obstruction_free;
+          Support.quick "spinner fails" spinner_fails_obstruction_probe;
+          Support.quick "universal lock-free" universal_lock_free_not_wait_free;
+        ] );
+    ]

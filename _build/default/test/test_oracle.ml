@@ -1,0 +1,136 @@
+(** Definitional ground truth: the optimized checkers ([Engine],
+    [Weak], [Faic]) agree with the brute-force [Oracle] — a literal,
+    structurally independent transcription of Definitions 1 and 2 —
+    on randomly generated and exhaustively enumerated micro-histories
+    over several object types. *)
+
+open Elin_kernel
+open Elin_spec
+open Elin_history
+open Elin_checker
+open Elin_test_support
+
+let specs = [ Register.spec (); Faicounter.spec (); Testandset.spec () ]
+
+(* Random micro-history over [spec]: a mix of honest, pending and
+   corrupted shapes, small enough for the oracle. *)
+let gen_micro rng spec =
+  let n_ops = 2 + Prng.int rng 2 in
+  let h =
+    match Prng.int rng 3 with
+    | 0 -> Gen.linearizable rng ~spec ~procs:2 ~n_ops ()
+    | 1 -> Gen.linearizable_with_pending rng ~spec ~procs:2 ~n_ops ()
+    | _ -> (
+      let h = Gen.linearizable rng ~spec ~procs:2 ~n_ops () in
+      match Gen.corrupt rng h with Some h' -> h' | None -> h)
+  in
+  h
+
+let engine_matches_oracle =
+  Support.seeded_prop ~count:150 "engine = oracle (all cuts, all specs)"
+    (fun rng ->
+      List.for_all
+        (fun spec ->
+          let h = gen_micro rng spec in
+          let cfg = Engine.for_spec spec in
+          let spec_of _ = spec in
+          List.for_all
+            (fun t ->
+              Engine.t_linearizable cfg h ~t = Oracle.t_linearizable spec_of h ~t)
+            (List.init (History.length h + 1) (fun t -> t)))
+        specs)
+
+let min_t_matches_oracle =
+  Support.seeded_prop ~count:100 "min_t = oracle min_t" (fun rng ->
+      List.for_all
+        (fun spec ->
+          let h = gen_micro rng spec in
+          Eventual.min_t (Engine.for_spec spec) h
+          = Oracle.min_t (fun _ -> spec) h)
+        specs)
+
+let weak_matches_oracle =
+  Support.seeded_prop ~count:100 "weak = oracle weak" (fun rng ->
+      List.for_all
+        (fun spec ->
+          let h = gen_micro rng spec in
+          Weak.is_weakly_consistent (Weak.for_spec spec) h
+          = Oracle.weakly_consistent (fun _ -> spec) h)
+        specs)
+
+let faic_matches_oracle =
+  Support.seeded_prop ~count:100 "fast faic = oracle" (fun rng ->
+      let spec = Faicounter.spec () in
+      let h = gen_micro rng spec in
+      let spec_of _ = spec in
+      List.for_all
+        (fun t -> Faic.t_linearizable h ~t = Oracle.t_linearizable spec_of h ~t)
+        (List.init (History.length h + 1) (fun t -> t))
+      && Faic.weakly_consistent h = Oracle.weakly_consistent spec_of h)
+
+(* Exhaustive: every well-formed register history with <= 2 ops over a
+   tiny domain, at every cut, against the oracle. *)
+let exhaustive_register_micro () =
+  let reg = Register.spec ~domain:[ 0; 1 ] () in
+  let cfg = Engine.for_spec reg in
+  let wcfg = Weak.for_spec reg in
+  let spec_of _ = reg in
+  let ops = [ Op.read; Op.write 1 ] in
+  let resps = [ Value.int 0; Value.int 1; Value.unit ] in
+  let count = ref 0 in
+  let rec build events pending n_ops =
+    (match History.of_events_result (List.rev events) with
+    | Ok h ->
+      incr count;
+      List.iter
+        (fun t ->
+          let e = Engine.t_linearizable cfg h ~t in
+          let o = Oracle.t_linearizable spec_of h ~t in
+          if e <> o then
+            Alcotest.failf "t=%d engine=%b oracle=%b on:\n%s" t e o
+              (History.to_string h))
+        (List.init (History.length h + 1) (fun t -> t));
+      let w = Weak.is_weakly_consistent wcfg h in
+      let ow = Oracle.weakly_consistent spec_of h in
+      if w <> ow then
+        Alcotest.failf "weak=%b oracle=%b on:\n%s" w ow (History.to_string h)
+    | Error _ -> ());
+    if n_ops < 3 then begin
+      List.iter
+        (fun p ->
+          if not (List.mem p pending) then
+            List.iter
+              (fun op ->
+                build
+                  (Event.invoke ~proc:p ~obj:0 op :: events)
+                  (p :: pending) (n_ops + 1))
+              ops)
+        [ 0; 1 ];
+      List.iter
+        (fun p ->
+          if List.mem p pending then
+            List.iter
+              (fun r ->
+                build
+                  (Event.respond ~proc:p ~obj:0 r :: events)
+                  (List.filter (fun q -> q <> p) pending)
+                  n_ops)
+              resps)
+        [ 0; 1 ]
+    end
+  in
+  build [] [] 0;
+  Alcotest.(check bool) "covered enough histories" true (!count > 500)
+
+let () =
+  Alcotest.run "oracle"
+    [
+      ( "cross-validation",
+        [
+          engine_matches_oracle;
+          min_t_matches_oracle;
+          weak_matches_oracle;
+          faic_matches_oracle;
+          Support.slow "exhaustive register micro" exhaustive_register_micro;
+        ] );
+    ]

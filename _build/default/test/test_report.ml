@@ -1,0 +1,88 @@
+(** Tests for the analysis-report module. *)
+
+open Elin_spec
+open Elin_history
+open Elin_checker
+open Elin_test_support
+open Support
+
+let fai = Faicounter.spec ()
+
+let report_of_paper_family () =
+  let r = Report.analyze fai (paper_fai_family 3) in
+  Alcotest.(check int) "events" 8 r.Report.events;
+  Alcotest.(check int) "operations" 4 r.Report.operations;
+  Alcotest.(check int) "complete" 4 r.Report.complete;
+  Alcotest.(check int) "pending" 0 r.Report.pending;
+  Alcotest.(check bool) "not linearizable" false r.Report.linearizable;
+  Alcotest.(check bool) "weakly consistent" true r.Report.weakly_consistent;
+  Alcotest.(check (option int)) "min_t" (Some 2) r.Report.min_t;
+  Alcotest.(check bool) "eventually linearizable" true
+    (Report.is_eventually_linearizable r);
+  Alcotest.(check bool) "witness present" true (r.Report.witness <> None)
+
+let report_flags_violation () =
+  let hist =
+    h [ inv 0 Op.fetch_inc; resi 0 0; inv 0 Op.fetch_inc; resi 0 0 ]
+  in
+  let r = Report.analyze fai hist in
+  Alcotest.(check bool) "weak violated" false r.Report.weakly_consistent;
+  (match r.Report.violating_op with
+  | Some o -> Alcotest.(check int) "culprit id" 1 o.Operation.id
+  | None -> Alcotest.fail "expected a culprit");
+  Alcotest.(check bool) "not eventually linearizable" false
+    (Report.is_eventually_linearizable r)
+
+let concurrency_shape () =
+  (* Two fully overlapping ops: peak overlap 2. *)
+  let hist =
+    h [ inv 0 Op.fetch_inc; inv 1 Op.fetch_inc; resi 0 0; resi 1 1 ]
+  in
+  let c = Report.concurrency_of hist in
+  Alcotest.(check int) "max overlap" 2 c.Report.max_overlap;
+  (* Sequential ops: peak overlap 1. *)
+  let hist = seq [ (Op.fetch_inc, Value.int 0); (Op.fetch_inc, Value.int 1) ] in
+  let c = Report.concurrency_of hist in
+  Alcotest.(check int) "sequential overlap" 1 c.Report.max_overlap
+
+let empty_history_report () =
+  let r = Report.analyze fai (h []) in
+  Alcotest.(check int) "no events" 0 r.Report.events;
+  Alcotest.(check bool) "linearizable" true r.Report.linearizable;
+  Alcotest.(check bool) "weakly consistent" true r.Report.weakly_consistent
+
+let pending_counted () =
+  let hist = h [ inv 0 Op.fetch_inc; inv 1 Op.fetch_inc; resi 1 0 ] in
+  let r = Report.analyze fai hist in
+  Alcotest.(check int) "pending" 1 r.Report.pending;
+  Alcotest.(check int) "complete" 1 r.Report.complete
+
+let pp_smoke () =
+  let s = Format.asprintf "%a" Report.pp (Report.analyze fai (paper_fai_family 2)) in
+  Alcotest.(check bool) "renders" true (String.length s > 50)
+
+let report_consistent_with_checkers =
+  Support.seeded_prop ~count:50 "report = component checkers" (fun rng ->
+      let hist = Gen.linearizable rng ~spec:fai ~procs:2 ~n_ops:5 () in
+      let hist =
+        match Gen.corrupt rng hist with Some h' -> h' | None -> hist
+      in
+      let r = Report.analyze fai hist in
+      r.Report.linearizable = Faic.t_linearizable hist ~t:0
+      && r.Report.weakly_consistent = Faic.weakly_consistent hist
+      && r.Report.min_t = Faic.min_t hist)
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "analysis",
+        [
+          Support.quick "paper family" report_of_paper_family;
+          Support.quick "violation flagged" report_flags_violation;
+          Support.quick "concurrency shape" concurrency_shape;
+          Support.quick "empty history" empty_history_report;
+          Support.quick "pending counted" pending_counted;
+          Support.quick "pp" pp_smoke;
+          report_consistent_with_checkers;
+        ] );
+    ]

@@ -1,0 +1,194 @@
+(** Tests for the run harness and schedulers: determinism in seeds,
+    well-formedness of emitted histories, workload completion, crash
+    and pause adversaries, and progress statistics. *)
+
+open Elin_spec
+open Elin_runtime
+open Elin_history
+open Elin_checker
+open Elin_test_support
+
+let fai_wl procs per_proc =
+  Run.uniform_workload Op.fetch_inc ~procs ~per_proc
+
+let direct_fai () = Impl.of_spec (Faicounter.spec ())
+
+let direct_impl_linearizable () =
+  let out =
+    Run.execute (direct_fai ()) ~workloads:(fai_wl 3 5)
+      ~sched:(Sched.random ~seed:11) ()
+  in
+  Alcotest.(check bool) "all done" true out.Run.all_done;
+  Alcotest.(check int) "completed" 15 out.Run.stats.Run.completed;
+  Alcotest.(check bool) "linearizable" true
+    (Faic.t_linearizable out.Run.history ~t:0)
+
+let deterministic_in_seed () =
+  let run seed =
+    (Run.execute (Impls.fai_from_cas ()) ~workloads:(fai_wl 3 6)
+       ~sched:(Sched.random ~seed) ())
+      .Run.history
+  in
+  Alcotest.check Support.history "same seed" (run 5) (run 5);
+  Alcotest.(check bool) "different seeds usually differ" true
+    (History.events (run 5) <> History.events (run 6))
+
+let histories_well_formed =
+  Support.seeded_prop ~count:50 "emitted histories well-formed" (fun rng ->
+      let seed = Elin_kernel.Prng.int rng 100000 in
+      let out =
+        Run.execute (Impls.fai_from_cas ()) ~workloads:(fai_wl 3 5)
+          ~sched:(Sched.random ~seed) ()
+      in
+      (* of_events inside execute would have raised otherwise; check
+         the derived record consistency too. *)
+      History.n_ops out.Run.history = 15
+      && List.length (History.complete_ops out.Run.history) = 15)
+
+let round_robin_fair () =
+  let out =
+    Run.execute (direct_fai ()) ~workloads:(fai_wl 2 3)
+      ~sched:(Sched.round_robin ()) ()
+  in
+  Alcotest.(check bool) "all done" true out.Run.all_done;
+  (* Round-robin on a 2-step op (invoke, respond): perfect alternation
+     of processes in the event sequence. *)
+  let procs =
+    List.map (fun (e : Event.t) -> e.Event.proc) (History.events out.Run.history)
+  in
+  Alcotest.(check (list int)) "alternation" [ 0; 1; 0; 1; 0; 1; 0; 1; 0; 1; 0; 1 ]
+    procs
+
+let max_steps_cutoff () =
+  let out =
+    Run.execute (direct_fai ()) ~workloads:(fai_wl 2 100)
+      ~sched:(Sched.round_robin ()) ~max_steps:20 ()
+  in
+  Alcotest.(check bool) "not all done" false out.Run.all_done;
+  Alcotest.(check int) "steps" 20 out.Run.stats.Run.steps
+
+let crash_scheduler () =
+  let sched = Sched.crash ~crashes:[ (0, 4) ] (Sched.round_robin ()) in
+  let out = Run.execute (direct_fai ()) ~workloads:(fai_wl 2 5) ~sched () in
+  (* Process 0 is dead from step 4 on; process 1 finishes everything. *)
+  Alcotest.(check bool) "p0 incomplete" false out.Run.all_done;
+  let by_proc p =
+    List.length
+      (List.filter
+         (fun (o : Operation.t) -> o.Operation.proc = p && Operation.is_complete o)
+         (History.ops out.Run.history))
+  in
+  Alcotest.(check int) "p1 all complete" 5 (by_proc 1);
+  Alcotest.(check bool) "p0 stopped early" true (by_proc 0 < 5)
+
+let pause_scheduler () =
+  let sched =
+    Sched.pause ~proc:0 ~from_step:2 ~until_step:10 (Sched.round_robin ())
+  in
+  let out = Run.execute (direct_fai ()) ~workloads:(fai_wl 2 4) ~sched () in
+  Alcotest.(check bool) "paused process still finishes" true out.Run.all_done
+
+let solo_after_scheduler () =
+  let sched = Sched.solo_after ~proc:1 ~step:3 (Sched.round_robin ()) in
+  let out = Run.execute (direct_fai ()) ~workloads:(fai_wl 2 4) ~sched () in
+  (* After step 3 only p1 runs; p1 completes all its ops. *)
+  let p1_complete =
+    List.length
+      (List.filter
+         (fun (o : Operation.t) -> o.Operation.proc = 1 && Operation.is_complete o)
+         (History.ops out.Run.history))
+  in
+  Alcotest.(check int) "p1 done" 4 p1_complete
+
+let weighted_scheduler_biased () =
+  let sched = Sched.weighted ~seed:3 ~weights:[| 10; 1 |] in
+  let out =
+    Run.execute (direct_fai ()) ~workloads:(fai_wl 2 20) ~sched ~max_steps:50 ()
+  in
+  let p0_events =
+    List.length
+      (List.filter (fun (e : Event.t) -> e.Event.proc = 0)
+         (History.events out.Run.history))
+  in
+  let p1_events = History.length out.Run.history - p0_events in
+  Alcotest.(check bool) "p0 heavily favoured" true (p0_events > p1_events)
+
+let wait_freedom_stat () =
+  (* The direct implementation needs exactly 1 base access per op. *)
+  let out =
+    Run.execute (direct_fai ()) ~workloads:(fai_wl 2 5)
+      ~sched:(Sched.random ~seed:1) ()
+  in
+  Alcotest.(check int) "direct impl max steps/op" 1
+    out.Run.stats.Run.max_steps_per_op;
+  (* CAS loop may retry under contention but stays bounded here. *)
+  let out =
+    Run.execute (Impls.fai_from_cas ()) ~workloads:(fai_wl 3 5)
+      ~sched:(Sched.random ~seed:1) ()
+  in
+  Alcotest.(check bool) "cas impl takes >= 2 accesses" true
+    (out.Run.stats.Run.max_steps_per_op >= 2);
+  Alcotest.(check int) "per-op stats recorded" 15
+    (List.length out.Run.stats.Run.op_step_counts)
+
+let local_state_threaded () =
+  (* An implementation that counts its own ops in local state. *)
+  let impl =
+    {
+      Impl.name = "own-counter";
+      bases = [||];
+      local_init = Value.int 0;
+      program =
+        (fun ~proc:_ ~local _op ->
+          let n = Value.to_int local in
+          Program.return (Value.int n, Value.int (n + 1)));
+    }
+  in
+  let out =
+    Run.execute impl ~workloads:(fai_wl 2 3) ~sched:(Sched.random ~seed:2) ()
+  in
+  Alcotest.(check (array Support.value)) "locals reflect op counts"
+    [| Value.int 3; Value.int 3 |]
+    out.Run.final_locals
+
+let program_monad_laws () =
+  (* Straight-line behaviour of the free monad. *)
+  let open Program in
+  let prog = bind (return 1) (fun x -> return (x + 1)) in
+  (match prog with
+  | Return 2 -> ()
+  | _ -> Alcotest.fail "left identity");
+  let prog = map (fun x -> x * 2) (return 21) in
+  (match prog with
+  | Return 42 -> ()
+  | _ -> Alcotest.fail "map");
+  (* bind over access preserves the access structure *)
+  match bind (access 3 Op.read) (fun v -> return v) with
+  | Access (3, op, _) when Op.equal op Op.read -> ()
+  | _ -> Alcotest.fail "bind/access"
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "execution",
+        [
+          Support.quick "direct impl linearizable" direct_impl_linearizable;
+          Support.quick "deterministic in seed" deterministic_in_seed;
+          Support.quick "round robin" round_robin_fair;
+          Support.quick "max steps cutoff" max_steps_cutoff;
+          histories_well_formed;
+        ] );
+      ( "adversaries",
+        [
+          Support.quick "crash" crash_scheduler;
+          Support.quick "pause" pause_scheduler;
+          Support.quick "solo after" solo_after_scheduler;
+          Support.quick "weighted" weighted_scheduler_biased;
+        ] );
+      ( "mechanics",
+        [
+          Support.quick "wait-freedom stats" wait_freedom_stat;
+          Support.quick "local state" local_state_threaded;
+          Support.quick "program monad" program_monad_laws;
+        ] );
+    ]

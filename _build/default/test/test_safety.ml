@@ -1,0 +1,151 @@
+(** Experiment E4: the paper's Section 3.2 analysis of which
+    properties are safety/liveness properties, reproduced mechanically
+    on the exact history families the paper uses.
+
+    - t-linearizability (t > 0) is NOT a safety property: the paper's
+      fetch&increment history has every finite prefix t-linearizable
+      while the limit is not — we verify prefixes pass and that the
+      "limit behaviour" (growing prefixes with the culprit operation
+      completed) has unbounded min_t.
+    - linearizability IS prefix-closed on these families.
+    - being t-linearizable for some t is a liveness property: every
+      finite history satisfies it. *)
+
+open Elin_spec
+open Elin_history
+open Elin_checker
+open Elin_test_support
+open Support
+
+let fai = Faicounter.spec ()
+let fcfg = Engine.for_spec fai
+
+(* The paper's history: p's fetch&inc returns 0, then q performs
+   fetch&inc forever getting 0, 1, 2, ...  (p's op is moved to the end
+   of the t-linearization in every finite prefix; in the limit it can
+   never be placed). *)
+
+let prefix_t_linearizable () =
+  (* every finite instance is 2-linearizable (t = index just past the
+     first response) *)
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "prefix k=%d is 2-linearizable" k)
+        true
+        (Faic.t_linearizable (paper_fai_family k) ~t:2))
+    [ 0; 1; 2; 5; 10; 20 ]
+
+let prefix_not_0_linearizable () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "prefix k=%d not linearizable" k)
+        false
+        (Faic.t_linearizable (paper_fai_family k) ~t:0))
+    [ 2; 5; 10 ]
+
+(* The limit escape: the paper's argument is that the infinite history
+   is not 2-linearizable because p's operation (returning 0, same as
+   q's first) can never be placed.  Mechanically: in every finite
+   prefix the t-linearization must place p's op *after* all of q's —
+   i.e. at slot k — which works only because the history is finite.
+   We witness this by showing that the t-linearization of the k-family
+   forces p's op into the last slot. *)
+let culprit_pushed_to_end () =
+  let hist = paper_fai_family 4 in
+  match Engine.witness fcfg hist ~t:2 with
+  | None -> Alcotest.fail "expected 2-linearization"
+  | Some w ->
+    let last, _ = List.nth w (List.length w - 1) in
+    Alcotest.(check int) "p's op is last" 0 last.Operation.proc
+
+(* If we *fix* p's response as post-cut (t <= 1), no prefix with k >= 2
+   is t-linearizable: the duplicate 0 is fatal.  This is the
+   mechanical content of "the infinite history is not t-linearizable
+   for t that keeps p's response". *)
+let duplicate_fatal_when_kept () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d, t=1" k)
+        false
+        (Faic.t_linearizable (paper_fai_family k) ~t:1))
+    [ 2; 5; 10 ]
+
+(* Liveness: every finite history is t-linearizable for some t. *)
+let liveness_every_finite_history =
+  Support.seeded_prop ~count:80 "some t always exists (total types)"
+    (fun rng ->
+      let hist = Gen.linearizable rng ~spec:fai ~procs:2 ~n_ops:5 () in
+      let hist =
+        match Gen.corrupt rng hist with Some h' -> h' | None -> hist
+      in
+      match Faic.min_t hist with
+      | Some t -> t <= History.length hist
+      | None -> false)
+
+(* Linearizability (t = 0) is prefix-closed (safety, Lynch).  *)
+let linearizability_prefix_closed =
+  Support.seeded_prop ~count:60 "0-linearizability prefix closed" (fun rng ->
+      let hist = Gen.linearizable rng ~spec:fai ~procs:3 ~n_ops:6 () in
+      List.for_all
+        (fun k -> Faic.t_linearizable (History.prefix hist k) ~t:0)
+        (List.init (History.length hist + 1) (fun k -> k)))
+
+(* t-linearizability for fixed t > 0 is NOT limit-closed: min_t of the
+   growing family under "keep the first response" diverges... more
+   precisely: min_t is 2 for every member, but if we make the culprit's
+   response land ever later (delaying its response event), the required
+   t grows without bound. *)
+let delayed_culprit_needs_growing_t () =
+  (* variant family: q gets 0..k-1 first, THEN p's duplicate 0 arrives *)
+  let family k =
+    h
+      (List.concat_map
+         (fun i -> [ inv 1 Op.fetch_inc; resi 1 i ])
+         (List.init k (fun i -> i))
+      @ [ inv 0 Op.fetch_inc; resi 0 0 ])
+  in
+  let bounds =
+    List.map
+      (fun k ->
+        match Faic.min_t (family k) with
+        | Some t -> t
+        | None -> Alcotest.fail "must stabilize")
+      [ 1; 3; 6 ]
+  in
+  match bounds with
+  | [ b1; b3; b6 ] ->
+    Alcotest.(check bool) "diverges" true (b1 < b3 && b3 < b6)
+  | _ -> assert false
+
+(* Cross-check with the generic engine on the paper family. *)
+let generic_agrees () =
+  List.iter
+    (fun k ->
+      let hist = paper_fai_family k in
+      List.iter
+        (fun t ->
+          Alcotest.(check bool)
+            (Printf.sprintf "k=%d t=%d" k t)
+            (Faic.t_linearizable hist ~t)
+            (Engine.t_linearizable fcfg hist ~t))
+        [ 0; 1; 2; 3 ])
+    [ 0; 1; 2; 3; 4 ]
+
+let () =
+  Alcotest.run "safety"
+    [
+      ( "paper family (E4)",
+        [
+          Support.quick "prefixes 2-linearizable" prefix_t_linearizable;
+          Support.quick "prefixes not linearizable" prefix_not_0_linearizable;
+          Support.quick "culprit pushed to end" culprit_pushed_to_end;
+          Support.quick "duplicate fatal if kept" duplicate_fatal_when_kept;
+          Support.quick "delayed culprit diverges" delayed_culprit_needs_growing_t;
+          Support.quick "generic agrees" generic_agrees;
+        ] );
+      ( "classification",
+        [ liveness_every_finite_history; linearizability_prefix_closed ] );
+    ]

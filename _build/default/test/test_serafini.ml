@@ -1,0 +1,151 @@
+(** Experiment E16 (extension): the quantifier gap between the two
+    definitions of eventual linearizability (Section 2).
+
+    Serafini et al. demand one bound t for all executions; Guerraoui &
+    Ruppert allow a different (even unbounded) bound per execution.
+    The communication-free test&set separates them: every execution
+    stabilizes, but the bound chases the arrival of the last "first
+    invocation", which an adversary can delay arbitrarily. *)
+
+open Elin_spec
+open Elin_history
+open Elin_checker
+open Elin_runtime
+open Elin_test_support
+
+let ts = Testandset.spec ()
+let tcfg = Engine.for_spec ts
+
+let min_t_ts h = Eventual.min_t tcfg h
+
+(* --- the separating family --- *)
+
+let family_members_eventually_linearizable () =
+  List.iter
+    (fun n ->
+      let h = Serafini.delayed_winner_family n in
+      let v = Eventual.check_spec ts h in
+      Alcotest.(check bool)
+        (Printf.sprintf "member %d eventually linearizable" n)
+        true
+        (Eventual.is_eventually_linearizable v))
+    [ 0; 2; 5; 9 ]
+
+let family_diverges () =
+  let table =
+    Serafini.family_min_ts Serafini.delayed_winner_family ~min_t:min_t_ts
+      ~probes:[ 1; 3; 6; 9 ]
+  in
+  match Serafini.classify table with
+  | Serafini.Diverging bounds ->
+    (* the bound must exceed the delayed winner's position *)
+    List.iter
+      (fun (n, t) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "bound at probe %d covers the delay" n)
+          true
+          (t >= 2 * n))
+      bounds
+  | Serafini.Uniformly_bounded t ->
+    Alcotest.failf "unexpected uniform bound %d" t
+  | Serafini.Not_eventually_linearizable i ->
+    Alcotest.failf "member %d not eventually linearizable" i
+
+(* --- a uniformly bounded family --- *)
+
+let board_family_uniform () =
+  (* fai/ev-board with fixed k under a fixed scheduler: the bound
+     freezes once the k-th announcement happens, independent of run
+     length. *)
+  let family per_proc =
+    let impl = Impls.fai_ev_board ~k:3 () in
+    let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc in
+    (Run.execute impl ~workloads:wl ~sched:(Sched.round_robin ()) ()).Run.history
+  in
+  let table =
+    Serafini.family_min_ts family ~min_t:Faic.min_t ~probes:[ 4; 8; 12; 16 ]
+  in
+  match Serafini.classify table with
+  | Serafini.Uniformly_bounded t ->
+    Alcotest.(check bool) "small frozen bound" true (t > 0 && t <= 12)
+  | Serafini.Diverging _ -> Alcotest.fail "expected a frozen bound"
+  | Serafini.Not_eventually_linearizable i ->
+    Alcotest.failf "member %d not eventually linearizable" i
+
+(* --- a family violating even the weak definition --- *)
+
+let missing_bound_detected () =
+  (* Histories over a partial exotic spec can fail every cut; simulate
+     with a None-returning min_t. *)
+  let table = [ (1, Some 2); (2, None); (3, Some 4) ] in
+  match Serafini.classify table with
+  | Serafini.Not_eventually_linearizable 2 -> ()
+  | v ->
+    Alcotest.failf "expected failure at probe 2, got %s"
+      (Format.asprintf "%a" Serafini.pp_verdict v)
+
+(* --- classify mechanics --- *)
+
+let classify_plateau () =
+  match Serafini.classify [ (1, Some 3); (2, Some 5); (3, Some 5) ] with
+  | Serafini.Uniformly_bounded 5 -> ()
+  | v ->
+    Alcotest.failf "expected bounded 5, got %s"
+      (Format.asprintf "%a" Serafini.pp_verdict v)
+
+let classify_strict_growth () =
+  match Serafini.classify [ (1, Some 2); (2, Some 4); (3, Some 6) ] with
+  | Serafini.Diverging _ -> ()
+  | v ->
+    Alcotest.failf "expected diverging, got %s"
+      (Format.asprintf "%a" Serafini.pp_verdict v)
+
+(* On finite single histories the two definitions coincide: min_t is
+   the uniform bound for the singleton family. *)
+let singleton_families_coincide =
+  Support.seeded_prop ~count:40 "singleton family = per-history min_t"
+    (fun rng ->
+      let h, _ =
+        Gen.eventually_linearizable rng ~spec:(Faicounter.spec ()) ~procs:2
+          ~prefix_ops:3 ~suffix_ops:3 ()
+      in
+      match Faic.min_t h with
+      | None -> false
+      | Some t -> (
+        match
+          Serafini.classify
+            (Serafini.family_min_ts (fun _ -> h) ~min_t:Faic.min_t
+               ~probes:[ 1; 2 ])
+        with
+        | Serafini.Uniformly_bounded t' -> t = t'
+        | Serafini.Diverging _ | Serafini.Not_eventually_linearizable _ ->
+          false))
+
+let delayed_family_well_formed () =
+  List.iter
+    (fun n ->
+      let h = Serafini.delayed_winner_family n in
+      Alcotest.(check int)
+        (Printf.sprintf "member %d has %d events" n ((2 * n) + 4))
+        ((2 * n) + 4) (History.length h))
+    [ 0; 1; 5 ]
+
+let () =
+  Alcotest.run "serafini"
+    [
+      ( "the quantifier gap (E16)",
+        [
+          Support.quick "members eventually linearizable"
+            family_members_eventually_linearizable;
+          Support.quick "family diverges" family_diverges;
+          Support.quick "board family uniform" board_family_uniform;
+        ] );
+      ( "mechanics",
+        [
+          Support.quick "missing bound" missing_bound_detected;
+          Support.quick "plateau" classify_plateau;
+          Support.quick "strict growth" classify_strict_growth;
+          Support.quick "family shape" delayed_family_well_formed;
+          singleton_families_coincide;
+        ] );
+    ]

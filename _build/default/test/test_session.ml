@@ -1,0 +1,160 @@
+(** Tests for the interactive session API. *)
+
+open Elin_spec
+open Elin_runtime
+open Elin_api
+open Elin_test_support
+
+let fai = Faicounter.spec ()
+
+let solo_ops_count () =
+  let s = Session.create (Impls.fai_from_cas ()) ~procs:2 in
+  let r0 = Session.run_op s ~proc:0 Op.fetch_inc in
+  let r1 = Session.run_op s ~proc:0 Op.fetch_inc in
+  let r2 = Session.run_op s ~proc:1 Op.fetch_inc in
+  Alcotest.check Support.value "first" (Value.int 0) r0;
+  Alcotest.check Support.value "second" (Value.int 1) r1;
+  Alcotest.check Support.value "third (other proc)" (Value.int 2) r2;
+  Alcotest.(check bool) "linearizable so far" true
+    (Session.is_linearizable s ~spec:fai)
+
+let interleaved_steps () =
+  (* Drive a genuine overlap by hand: both invoke, then alternate. *)
+  let s = Session.create (Impls.fai_from_cas ()) ~procs:2 in
+  Session.invoke s ~proc:0 Op.fetch_inc;
+  Session.invoke s ~proc:1 Op.fetch_inc;
+  Session.step s ~proc:0 (* inv *);
+  Session.step s ~proc:1 (* inv *);
+  Alcotest.(check bool) "p0 busy" true (Session.busy s ~proc:0);
+  Alcotest.(check bool) "p1 busy" true (Session.busy s ~proc:1);
+  let _ = Session.drain s ~sched:(Sched.round_robin ()) in
+  Alcotest.(check bool) "both idle" true
+    ((not (Session.busy s ~proc:0)) && not (Session.busy s ~proc:1));
+  (* Both completed with distinct values. *)
+  let r0 = Session.last_response s ~proc:0 in
+  let r1 = Session.last_response s ~proc:1 in
+  Alcotest.(check bool) "distinct responses" true (r0 <> r1 && r0 <> None);
+  Alcotest.(check bool) "linearizable" true (Session.is_linearizable s ~spec:fai)
+
+let queued_invocations () =
+  let s = Session.create (Impl.of_spec fai) ~procs:1 in
+  Session.invoke s ~proc:0 Op.fetch_inc;
+  Session.invoke s ~proc:0 Op.fetch_inc;
+  Alcotest.(check bool) "has work" true (Session.has_work s ~proc:0);
+  let _ = Session.drain s ~sched:(Sched.round_robin ()) in
+  Alcotest.check Support.value "second response" (Value.int 1)
+    (Option.get (Session.last_response s ~proc:0));
+  Alcotest.(check int) "four events"
+    4
+    (Elin_history.History.length (Session.history s))
+
+let no_step_raises () =
+  let s = Session.create (Impl.of_spec fai) ~procs:1 in
+  Alcotest.(check bool) "no work -> No_step" true
+    (match Session.step s ~proc:0 with
+    | exception Session.No_step 0 -> true
+    | _ -> false)
+
+let bad_proc_rejected () =
+  let s = Session.create (Impl.of_spec fai) ~procs:2 in
+  Alcotest.(check bool) "bad process id" true
+    (match Session.invoke s ~proc:5 Op.fetch_inc with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let deterministic_in_seed () =
+  let run seed =
+    let s = Session.create ~seed (Impl.direct (Ev_base.adversarial_until_step (Register.spec ()) 50)) ~procs:2 in
+    Session.invoke s ~proc:1 (Op.write 1);
+    Session.invoke s ~proc:0 Op.read;
+    Session.invoke s ~proc:0 Op.read;
+    let _ = Session.drain s ~sched:(Sched.round_robin ()) in
+    Elin_history.History.to_string (Session.history s)
+  in
+  Alcotest.(check string) "same seed, same session" (run 7) (run 7)
+
+let verdict_midflight () =
+  (* Build the duplicate-0 history interactively on an eventually
+     linearizable counter and ask for the verdict. *)
+  let s =
+    Session.create (Impls.fai_ev_board ~k:100 ()) ~procs:2
+  in
+  let r0 = Session.run_op s ~proc:0 Op.fetch_inc in
+  let r1 = Session.run_op s ~proc:1 Op.fetch_inc in
+  Alcotest.check Support.value "p0 counts alone" (Value.int 0) r0;
+  Alcotest.check Support.value "p1 counts alone" (Value.int 0) r1;
+  Alcotest.(check bool) "not linearizable" false
+    (Session.is_linearizable s ~spec:fai);
+  let v = Session.verdict s ~spec:fai in
+  Alcotest.(check bool) "eventually linearizable" true
+    (Elin_checker.Eventual.is_eventually_linearizable v)
+
+let steps_counted () =
+  let s = Session.create (Impl.of_spec fai) ~procs:1 in
+  let _ = Session.run_op s ~proc:0 Op.fetch_inc in
+  (* invoke + one base access + respond *)
+  Alcotest.(check int) "three steps" 3 (Session.steps s)
+
+(* --- typed handles --- *)
+
+let typed_counter () =
+  let s = Typed.Counter.create ~procs:2 () in
+  let c0 = Typed.handle s ~proc:0 in
+  let c1 = Typed.handle s ~proc:1 in
+  Alcotest.(check int) "p0 first" 0 (Typed.Counter.fetch_inc c0);
+  Alcotest.(check int) "p1 second" 1 (Typed.Counter.fetch_inc c1);
+  Alcotest.(check int) "p0 third" 2 (Typed.Counter.fetch_inc c0)
+
+let typed_register () =
+  let s = Typed.Register_handle.create ~procs:2 () in
+  let r0 = Typed.handle s ~proc:0 in
+  let r1 = Typed.handle s ~proc:1 in
+  Alcotest.(check int) "initial" 0 (Typed.Register_handle.read r1);
+  Typed.Register_handle.write r0 7;
+  Alcotest.(check int) "visible" 7 (Typed.Register_handle.read r1)
+
+let typed_test_and_set () =
+  (* The default implementation is the paper's eventually linearizable
+     one: under solo sequential use both processes "win" their first
+     call — exactly its documented misbehaviour. *)
+  let s = Typed.Test_and_set.create ~procs:2 () in
+  let t0 = Typed.handle s ~proc:0 in
+  let t1 = Typed.handle s ~proc:1 in
+  Alcotest.(check bool) "p0 wins" true (Typed.Test_and_set.test_and_set t0);
+  Alcotest.(check bool) "p1 also wins (eventual)" true
+    (Typed.Test_and_set.test_and_set t1);
+  Alcotest.(check bool) "p1 second call loses" false
+    (Typed.Test_and_set.test_and_set t1)
+
+let typed_consensus () =
+  let s = Typed.Consensus.create ~procs:3 () in
+  let c p = Typed.handle s ~proc:p in
+  let d0 = Typed.Consensus.propose (c 0) 1 in
+  let d1 = Typed.Consensus.propose (c 1) 0 in
+  let d2 = Typed.Consensus.propose (c 2) 0 in
+  Alcotest.(check int) "first proposal wins" 1 d0;
+  Alcotest.(check int) "p1 adopts" 1 d1;
+  Alcotest.(check int) "p2 adopts" 1 d2
+
+let () =
+  Alcotest.run "session"
+    [
+      ( "typed",
+        [
+          Support.quick "counter" typed_counter;
+          Support.quick "register" typed_register;
+          Support.quick "test&set" typed_test_and_set;
+          Support.quick "consensus" typed_consensus;
+        ] );
+      ( "api",
+        [
+          Support.quick "solo ops" solo_ops_count;
+          Support.quick "interleaving" interleaved_steps;
+          Support.quick "queued invocations" queued_invocations;
+          Support.quick "no step" no_step_raises;
+          Support.quick "bad proc" bad_proc_rejected;
+          Support.quick "deterministic" deterministic_in_seed;
+          Support.quick "mid-flight verdict" verdict_midflight;
+          Support.quick "steps counted" steps_counted;
+        ] );
+    ]

@@ -1,0 +1,223 @@
+(** Experiments E1/E2 and unit tests for t-linearizability
+    (Definition 2): monotonicity in t (Lemma 5), prefix closure
+    (Lemma 6), the relaxation of responses and real-time order before
+    the cut, and minimal-t search. *)
+
+open Elin_spec
+open Elin_history
+open Elin_checker
+open Elin_test_support
+open Support
+
+let reg = Register.spec ()
+let rcfg = Engine.for_spec reg
+let fai = Faicounter.spec ()
+let fcfg = Engine.for_spec fai
+
+(* --- Unit cases --- *)
+
+(* Sequential write;read->stale is not linearizable, but dropping the
+   write's response event (t=2) frees the order. *)
+let stale_read_repaired_by_cut () =
+  let hist =
+    h [ inv 0 (Op.write 1); res 0 Value.unit; inv 1 Op.read; resi 1 0 ]
+  in
+  Alcotest.(check bool) "t=0" false (Engine.t_linearizable rcfg hist ~t:0);
+  Alcotest.(check bool) "t=1" false (Engine.t_linearizable rcfg hist ~t:1);
+  Alcotest.(check bool) "t=2" true (Engine.t_linearizable rcfg hist ~t:2);
+  Alcotest.(check (option int)) "min_t" (Some 2) (Eventual.min_t rcfg hist)
+
+(* Responses before the cut may change: two fetch&incs both returning 0
+   are fine once one response is cut away. *)
+let pre_cut_response_free () =
+  let hist =
+    h [ inv 0 Op.fetch_inc; resi 0 0; inv 1 Op.fetch_inc; resi 1 0 ]
+  in
+  Alcotest.(check bool) "t=0 duplicate" false
+    (Engine.t_linearizable fcfg hist ~t:0);
+  Alcotest.(check bool) "t=2 repaired" true
+    (Engine.t_linearizable fcfg hist ~t:2)
+
+(* The paper's family: p:0 then q:0,1,2,... is 2-linearizable. *)
+let paper_family_cut_two () =
+  let hist = paper_fai_family 4 in
+  Alcotest.(check bool) "not linearizable" false
+    (Engine.t_linearizable fcfg hist ~t:0);
+  Alcotest.(check bool) "2-linearizable" true
+    (Engine.t_linearizable fcfg hist ~t:2)
+
+(* t >= length trivially linearizes any total-type history. *)
+let full_cut_always_works =
+  Support.seeded_prop ~count:60 "t = |H| always linearizes" (fun rng ->
+      let h = Gen.linearizable rng ~spec:reg ~procs:2 ~n_ops:5 () in
+      match Gen.corrupt rng h with
+      | None -> true
+      | Some h' -> Engine.t_linearizable rcfg h' ~t:(History.length h'))
+
+(* --- E1: Lemma 5 (monotonicity) --- *)
+
+let lemma5_monotone =
+  Support.seeded_prop ~count:60 "E1: t-lin implies t'-lin for t' > t"
+    (fun rng ->
+      let spec = fai in
+      let h, _ =
+        Gen.eventually_linearizable rng ~spec ~procs:2 ~prefix_ops:3
+          ~suffix_ops:3 ()
+      in
+      match Eventual.min_t fcfg h with
+      | None -> false
+      | Some t ->
+        (* check a few larger cuts *)
+        List.for_all
+          (fun dt -> Engine.t_linearizable fcfg h ~t:(t + dt))
+          [ 1; 2; 5 ]
+        && (t = 0 || not (Engine.t_linearizable fcfg h ~t:(t - 1))))
+
+(* --- E2: Lemma 6 (prefix closure) --- *)
+
+let lemma6_prefix_closed =
+  Support.seeded_prop ~count:40 "E2: t-lin implies prefix t-lin" (fun rng ->
+      let h, _ =
+        Gen.eventually_linearizable rng ~spec:fai ~procs:2 ~prefix_ops:3
+          ~suffix_ops:3 ()
+      in
+      match Eventual.min_t fcfg h with
+      | None -> false
+      | Some t ->
+        List.for_all
+          (fun k -> Engine.t_linearizable fcfg (History.prefix h k) ~t)
+          (List.init (History.length h + 1) (fun k -> k)))
+
+(* Monotonicity holds across object types, not just fetch&increment. *)
+let lemma5_monotone_cross_type =
+  Support.seeded_prop ~count:40 "E1 across types (register, queue, maxreg)"
+    (fun rng ->
+      List.for_all
+        (fun spec ->
+          let cfg = Engine.for_spec spec in
+          let h, _ =
+            Gen.eventually_linearizable rng ~spec ~procs:2 ~prefix_ops:2
+              ~suffix_ops:2 ()
+          in
+          match Eventual.min_t cfg h with
+          | None -> false
+          | Some t ->
+            Engine.t_linearizable cfg h ~t:(t + 1)
+            && Engine.t_linearizable cfg h ~t:(t + 3)
+            && (t = 0 || not (Engine.t_linearizable cfg h ~t:(t - 1))))
+        [ Register.spec (); Fifo.spec (); Maxreg.spec () ])
+
+let lemma6_prefix_closed_cross_type =
+  Support.seeded_prop ~count:30 "E2 across types" (fun rng ->
+      List.for_all
+        (fun spec ->
+          let cfg = Engine.for_spec spec in
+          let h, _ =
+            Gen.eventually_linearizable rng ~spec ~procs:2 ~prefix_ops:2
+              ~suffix_ops:2 ()
+          in
+          match Eventual.min_t cfg h with
+          | None -> false
+          | Some t ->
+            List.for_all
+              (fun k -> Engine.t_linearizable cfg (History.prefix h k) ~t)
+              (List.init (History.length h + 1) (fun k -> k)))
+        [ Register.spec (); Stack.spec () ])
+
+(* --- min_t binary search matches linear scan --- *)
+
+let min_t_matches_linear_scan =
+  Support.seeded_prop ~count:30 "binary search = linear scan" (fun rng ->
+      let h, _ =
+        Gen.eventually_linearizable rng ~spec:fai ~procs:2 ~prefix_ops:3
+          ~suffix_ops:2 ()
+      in
+      let binary = Eventual.min_t fcfg h in
+      let rec linear t =
+        if t > History.length h then None
+        else if Engine.t_linearizable fcfg h ~t then Some t
+        else linear (t + 1)
+      in
+      binary = linear 0)
+
+(* --- real-time order applies only to post-cut event pairs --- *)
+
+let pre_cut_order_free () =
+  (* Two strictly ordered reads; the earlier one has an impossible
+     value.  Cutting past its response frees it. *)
+  let hist =
+    h
+      [
+        inv 0 Op.read; resi 0 5; (* impossible *)
+        inv 1 (Op.write 1); res 1 Value.unit;
+        inv 0 Op.read; resi 0 1;
+      ]
+  in
+  Alcotest.(check bool) "t=0" false (Engine.t_linearizable rcfg hist ~t:0);
+  Alcotest.(check bool) "t=2" true (Engine.t_linearizable rcfg hist ~t:2)
+
+(* An operation pending at the cut whose response is post-cut must keep
+   its response. *)
+let straddling_op_keeps_response () =
+  let hist =
+    h [ inv 0 Op.read; inv 1 (Op.write 1); res 1 Value.unit; resi 0 7 ]
+  in
+  (* read -> 7 is never legal whatever the cut below its response. *)
+  Alcotest.(check bool) "t=1" false (Engine.t_linearizable rcfg hist ~t:1);
+  Alcotest.(check bool) "t=3" false (Engine.t_linearizable rcfg hist ~t:3);
+  Alcotest.(check bool) "t=4 (cut response)" true
+    (Engine.t_linearizable rcfg hist ~t:4)
+
+(* Eventual verdicts *)
+
+let eventual_verdict () =
+  let hist = paper_fai_family 3 in
+  let v = Eventual.check_spec fai hist in
+  Alcotest.(check bool) "weakly consistent" true v.Eventual.weakly_consistent;
+  Alcotest.(check (option int)) "min_t" (Some 2) v.Eventual.min_t;
+  Alcotest.(check bool) "eventually linearizable" true
+    (Eventual.is_eventually_linearizable v)
+
+let eventual_verdict_weak_violation () =
+  (* p0 itself saw 0 twice: weak consistency broken, though min_t
+     exists. *)
+  let hist =
+    h [ inv 0 Op.fetch_inc; resi 0 0; inv 0 Op.fetch_inc; resi 0 0 ]
+  in
+  let v = Eventual.check_spec fai hist in
+  Alcotest.(check bool) "weak violated" false v.Eventual.weakly_consistent;
+  Alcotest.(check bool) "min_t exists anyway" true (v.Eventual.min_t <> None);
+  Alcotest.(check bool) "not eventually linearizable" false
+    (Eventual.is_eventually_linearizable v)
+
+let min_t_search_generic () =
+  (* Monotone predicate search helper. *)
+  Alcotest.(check (option int)) "first true at 3" (Some 3)
+    (Eventual.min_t_search (fun t -> t >= 3) ~len:10);
+  Alcotest.(check (option int)) "always true" (Some 0)
+    (Eventual.min_t_search (fun _ -> true) ~len:10);
+  Alcotest.(check (option int)) "never true" None
+    (Eventual.min_t_search (fun _ -> false) ~len:10)
+
+let () =
+  Alcotest.run "tlin"
+    [
+      ( "unit",
+        [
+          Support.quick "stale read repaired" stale_read_repaired_by_cut;
+          Support.quick "pre-cut responses free" pre_cut_response_free;
+          Support.quick "paper family" paper_family_cut_two;
+          Support.quick "pre-cut order free" pre_cut_order_free;
+          Support.quick "straddling op" straddling_op_keeps_response;
+          full_cut_always_works;
+        ] );
+      ("lemma5 (E1)", [ lemma5_monotone; lemma5_monotone_cross_type ]);
+      ("lemma6 (E2)", [ lemma6_prefix_closed; lemma6_prefix_closed_cross_type ]);
+      ( "min_t",
+        [
+          min_t_matches_linear_scan;
+          Support.quick "verdict" eventual_verdict;
+          Support.quick "weak violation" eventual_verdict_weak_violation;
+          Support.quick "search helper" min_t_search_generic;
+        ] );
+    ]

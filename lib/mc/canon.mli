@@ -1,0 +1,62 @@
+(** Canonical encodings and fingerprints for {!Elin_explore.Explore}
+    configurations.
+
+    A mid-operation process holds a [Program.t] continuation — a
+    closure, not hashable.  But the continuation is a deterministic
+    function of observable data (the operation, the local state at
+    invocation, the base responses consumed so far), so each {!node}
+    carries a per-process running {e digest} of exactly that data, and
+    (config-without-closures, digests) is a faithful canonical key.
+    Stepping must therefore go through {!step}/{!successors}, which
+    wrap [Explore.step] (still the single source of truth for the
+    transition semantics) and label each branch with the response the
+    continuation consumed. *)
+
+open Elin_history
+open Elin_runtime
+open Elin_explore
+
+type node = {
+  config : Explore.config;
+  digests : int64 array;
+      (** per-process continuation digests; [0L] when idle or still
+          inside the operation that was running at the search root *)
+  depth : int;  (** steps taken from the search root *)
+}
+
+val root : Explore.config -> node
+
+(** [step impl node p] — [Explore.step] with digest maintenance. *)
+val step : Impl.t -> node -> int -> node list
+
+val successors : Impl.t -> node -> node list
+
+(** [fingerprint ?symmetry node] — seeded 64-bit fingerprint of the
+    canonical encoding.  With [~symmetry:true], the minimum over all
+    process renamings (ids renamed in the process array {e and} the
+    accumulated history) — sound only for identical workloads,
+    process-oblivious implementations, and renaming-invariant
+    predicates; capped at 6 processes.  @raise Invalid_argument beyond
+    the cap. *)
+val fingerprint : ?symmetry:bool -> node -> int64
+
+(** Structural order on events: process, object, then payload
+    (invocations before responses). *)
+val compare_event : Event.t -> Event.t -> int
+
+(** Lexicographic order on event sequences: the deterministic
+    tie-break for counterexample selection. *)
+val compare_history : History.t -> History.t -> int
+
+(** Absorbers for the vocabulary types, shared by every state-space
+    instantiation so encodings stay consistent. *)
+val absorb_value :
+  Elin_kernel.Fingerprint.acc -> Elin_spec.Value.t -> Elin_kernel.Fingerprint.acc
+
+val absorb_op :
+  Elin_kernel.Fingerprint.acc -> Elin_spec.Op.t -> Elin_kernel.Fingerprint.acc
+
+(** [digest_access prev ~obj ~op ~resp] — fold one consumed base
+    response into a continuation digest. *)
+val digest_access :
+  int64 -> obj:int -> op:Elin_spec.Op.t -> resp:Elin_spec.Value.t -> int64

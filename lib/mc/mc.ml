@@ -1,0 +1,114 @@
+(** The model checker, specialized to implementation execution trees.
+
+    Same exhaustive semantics as [Explore.for_all_histories] — every
+    interleaving of process steps and every adversary branch of the
+    base objects, to a step bound — but run through {!Search}'s
+    parallel fingerprint-dedup BFS:
+
+    - syntactically identical configurations reached along different
+      interleavings (e.g. commuting base accesses) are expanded once;
+    - BFS levels are partitioned across OCaml 5 domains;
+    - the verdict is deterministic and domain-count-independent: when
+      the predicate fails, the reported counterexample is the
+      lexicographically minimal violating history of the shallowest
+      violating level.
+
+    Because a configuration's fingerprint covers the accumulated
+    history (events are part of the canonical encoding), dedup merges
+    only configurations with identical pasts {e and} futures: the set
+    of reachable leaf histories — hence any history predicate's
+    verdict — is preserved exactly, modulo 64-bit fingerprint
+    collisions. *)
+
+open Elin_spec
+open Elin_history
+open Elin_runtime
+open Elin_explore
+
+type outcome = {
+  ok : bool;
+  counterexample : History.t option;
+      (** the minimal violating history under {!Canon.compare_history} *)
+  stats : Search.stats;
+}
+
+let workloads_symmetric workloads =
+  let n = Array.length workloads in
+  n = 0
+  || Array.for_all (fun wl -> List.equal Op.equal wl workloads.(0)) workloads
+
+let check_symmetry ~symmetry ~workloads =
+  if symmetry && not (workloads_symmetric workloads) then
+    invalid_arg "Mc: symmetry reduction requires identical workloads"
+
+(* Shared driver: explore every extension of [root] whose step count
+   stays below [budget], classifying leaves with [leaf]. *)
+let drive (impl : Impl.t) ?domains ?(dedup = true) ?(symmetry = false)
+    ?(stop_early = true) ~budget ~leaf root =
+  let expand (node : Canon.node) =
+    let c = node.Canon.config in
+    if Explore.is_done c then Search.Leaf (leaf c)
+    else if c.Explore.steps >= budget then Search.Cut (leaf c)
+    else Search.Children (Canon.successors impl node)
+  in
+  Search.bfs ?domains ~dedup ~stop_early
+    ~fingerprint:(Canon.fingerprint ~symmetry)
+    ~expand ~compare:Canon.compare_history (Canon.root root)
+
+let outcome_of (violations, stats) =
+  match violations with
+  | [] -> { ok = true; counterexample = None; stats }
+  | h :: _ -> { ok = false; counterexample = Some h; stats }
+
+(** [check impl ~workloads p] — does [p] hold on every leaf history
+    (finished or cut at [max_steps])?  The [Explore.for_all_histories]
+    contract, parallel and deduplicated. *)
+let check (impl : Impl.t) ~workloads ?locals ?(max_steps = 40) ?domains
+    ?dedup ?(symmetry = false) p =
+  check_symmetry ~symmetry ~workloads;
+  let leaf c =
+    let h = Explore.history c in
+    if p h then None else Some h
+  in
+  outcome_of
+    (drive impl ?domains ?dedup ~symmetry ~budget:max_steps ~leaf
+       (Explore.initial_config impl ~workloads ?locals ()))
+
+(** [check_from impl c0 ~max_extra_steps p] — [check] over every
+    extension of configuration [c0] by at most [max_extra_steps] steps
+    (the Prop. 18 stability certificate's shape).  No symmetry
+    reduction: the processes' in-flight operations break it. *)
+let check_from (impl : Impl.t) (c0 : Explore.config) ~max_extra_steps ?domains
+    ?dedup p =
+  let leaf c =
+    let h = Explore.history c in
+    if p h then None else Some h
+  in
+  outcome_of
+    (drive impl ?domains ?dedup ~budget:(c0.Explore.steps + max_extra_steps)
+       ~leaf c0)
+
+(** [count_states impl ~workloads ()] — exhaust the bounded space with
+    no predicate; the stats are the result. *)
+let count_states (impl : Impl.t) ~workloads ?locals ?(max_steps = 40) ?domains
+    ?dedup ?(symmetry = false) () =
+  check_symmetry ~symmetry ~workloads;
+  let _, stats =
+    drive impl ?domains ?dedup ~symmetry ~stop_early:false ~budget:max_steps
+      ~leaf:(fun _ -> None)
+      (Explore.initial_config impl ~workloads ?locals ())
+  in
+  stats
+
+(** [leaf_histories impl ~workloads ()] — the {e set} of reachable leaf
+    histories (sorted under {!Canon.compare_history}), plus stats.
+    Used by the dedup-soundness tests: the set is invariant under
+    [~dedup]. *)
+let leaf_histories (impl : Impl.t) ~workloads ?locals ?(max_steps = 40)
+    ?domains ?dedup () =
+  let hs, stats =
+    drive impl ?domains ?dedup ~stop_early:false ~budget:max_steps
+      ~leaf:(fun c -> Some (Explore.history c))
+      (Explore.initial_config impl ~workloads ?locals ())
+  in
+  (hs, stats)

@@ -1,0 +1,84 @@
+(** The model checker, specialized to implementation execution trees:
+    [Explore.for_all_histories]'s exhaustive semantics, run through
+    {!Search}'s parallel fingerprint-dedup BFS.
+
+    Dedup is exact for history predicates because fingerprints cover
+    the accumulated history: only configurations with identical pasts
+    and futures merge (modulo 64-bit fingerprint collisions).  The
+    verdict — including the reported counterexample, which is the
+    lexicographically minimal violating history of the shallowest
+    violating level — is independent of the domain count. *)
+
+open Elin_spec
+open Elin_history
+open Elin_runtime
+open Elin_explore
+
+type outcome = {
+  ok : bool;
+  counterexample : History.t option;
+      (** the minimal violating history under {!Canon.compare_history} *)
+  stats : Search.stats;
+}
+
+(** All workloads structurally equal (the precondition for symmetry
+    reduction). *)
+val workloads_symmetric : Op.t list array -> bool
+
+(** [check impl ~workloads p] — does [p] hold on every leaf history
+    (finished, or cut at [max_steps], default 40)?
+
+    [domains] defaults to [Domain.recommended_domain_count ()];
+    [dedup] defaults to [true]; [symmetry] (default [false]) enables
+    the process-renaming quotient of {!Canon.fingerprint} — requires
+    identical workloads (checked: @raise Invalid_argument), a
+    process-oblivious implementation and a renaming-invariant
+    predicate (the caller's obligation). *)
+val check :
+  Impl.t ->
+  workloads:Op.t list array ->
+  ?locals:Value.t array ->
+  ?max_steps:int ->
+  ?domains:int ->
+  ?dedup:bool ->
+  ?symmetry:bool ->
+  (History.t -> bool) ->
+  outcome
+
+(** [check_from impl c0 ~max_extra_steps p] — [check] over every
+    extension of [c0] by at most [max_extra_steps] steps (the Prop. 18
+    stability certificate's shape). *)
+val check_from :
+  Impl.t ->
+  Explore.config ->
+  max_extra_steps:int ->
+  ?domains:int ->
+  ?dedup:bool ->
+  (History.t -> bool) ->
+  outcome
+
+(** Exhaust the bounded space with no predicate; the stats are the
+    result. *)
+val count_states :
+  Impl.t ->
+  workloads:Op.t list array ->
+  ?locals:Value.t array ->
+  ?max_steps:int ->
+  ?domains:int ->
+  ?dedup:bool ->
+  ?symmetry:bool ->
+  unit ->
+  Search.stats
+
+(** The {e set} of reachable leaf histories, sorted under
+    {!Canon.compare_history} — invariant under [~dedup] (the
+    dedup-soundness tests rely on this). *)
+val leaf_histories :
+  Impl.t ->
+  workloads:Op.t list array ->
+  ?locals:Value.t array ->
+  ?max_steps:int ->
+  ?domains:int ->
+  ?dedup:bool ->
+  unit ->
+  History.t list * Search.stats

@@ -1,0 +1,41 @@
+(** The model checker, specialized to the valency analysis's protocol
+    configurations (the E9 workload): [Valency.check_consensus]'s
+    exhaustive semantics through {!Search}'s parallel
+    fingerprint-dedup BFS.  Protocol steps on different base objects
+    commute, so the interleaving tree collapses heavily under dedup. *)
+
+open Elin_spec
+open Elin_valency
+
+type node = {
+  config : Valency.config;
+  digests : int64 array;
+}
+
+val root : Valency.protocol -> inputs:Value.t array -> node
+
+(** [Valency.step] with continuation-digest maintenance. *)
+val step : Valency.protocol -> node -> int -> node list
+
+val successors : Valency.protocol -> node -> node list
+val fingerprint : node -> int64
+
+type report = {
+  decisions : Value.t array list;  (** sorted, duplicate-free *)
+  agreement_violation : Value.t array option;
+  validity_violation : Value.t array option;
+  terminated : bool;
+  stats : Search.stats;
+}
+
+(** Unlike the DFS original ([Valency.check_consensus]), [decisions]
+    is still reported when termination fails: the decision set of the
+    paths that did decide within the bound. *)
+val check_consensus :
+  Valency.protocol ->
+  inputs:Value.t array ->
+  max_steps:int ->
+  ?domains:int ->
+  ?dedup:bool ->
+  unit ->
+  report

@@ -1,0 +1,207 @@
+(** The generic parallel model-checking engine: level-synchronous BFS
+    with fingerprint dedup over an abstract state space.
+
+    The state space is given by three functions — [fingerprint],
+    [expand], and a verdict [compare] — so both the [Explore.config]
+    execution trees (via {!Canon}/{!Mc}) and the valency analysis's
+    protocol configurations (via {!Mc_valency}) run through the same
+    engine.
+
+    {2 Parallelism}
+
+    Each BFS level is partitioned round-robin across [domains] OCaml 5
+    domains ([Domain.spawn]; the stripe-locked visited set is the only
+    shared mutable structure).  Levels are a barrier: every domain
+    finishes its share of level [d] before any state of level [d+1] is
+    expanded.  Small levels (fewer than [2 * domains] states) are
+    expanded on the spawning domain — spawning would cost more than it
+    buys.  With [domains = 1] no domain is ever spawned: the engine
+    degrades to a plain sequential BFS.
+
+    {2 Determinism contract}
+
+    The result is a function of the state space and the bounds alone —
+    {e not} of the domain count — because:
+
+    - the set of states at each level is dedup-independent of the
+      partition: the visited set's [add] is atomic, racing inserts of
+      the same fingerprint keep exactly one copy, and (modulo 64-bit
+      fingerprint collisions) equal fingerprints mean equal states, so
+      {e which} racing copy survives is unobservable;
+    - verdicts are never acted on mid-level.  When a verdict is found,
+      every domain still completes the current level, the verdicts of
+      that level are gathered from all domains, and the minimum under
+      [compare] is reported first — "lexicographically minimal
+      counterexample", independent of which domain found it first.
+
+    Only the {e observability} fields ([per_domain], [wall]) depend on
+    scheduling. *)
+
+type stats = {
+  states : int;           (** states expanded (dequeued from the frontier) *)
+  dedup_hits : int;       (** successors dropped because already visited *)
+  kept : int;             (** successors enqueued (dedup survivors) *)
+  frontier_peak : int;    (** widest BFS level *)
+  leaves : int;           (** terminal states (finished or cut) *)
+  cut : int;              (** terminal only because of the bound *)
+  levels : int;           (** BFS depth reached *)
+  per_domain : int array; (** states expanded by each domain (scheduling-
+                              dependent: partitions follow frontier order) *)
+  domains : int;
+  wall : float;           (** seconds *)
+}
+
+(** Fraction of generated successors that dedup discarded. *)
+let dedup_rate stats =
+  let generated = stats.dedup_hits + stats.kept in
+  if generated <= 0 then 0.
+  else float_of_int stats.dedup_hits /. float_of_int generated
+
+type ('s, 'v) expansion =
+  | Children of 's list  (** interior state ([[]] = dead end, not a leaf —
+                             matching [Explore]'s node accounting) *)
+  | Leaf of 'v option    (** terminal; [Some v] records a verdict *)
+  | Cut of 'v option     (** terminal because of the depth bound *)
+
+(* Results of one domain's share of one level. *)
+type ('s, 'v) share = {
+  next : 's list;   (* kept successors, in expansion order *)
+  found : 'v list;
+  hits : int;
+  n_states : int;
+  n_leaves : int;
+  n_cut : int;
+}
+
+let expand_share ~expand ~fingerprint ~visited frontier ~stride ~offset =
+  let n = Array.length frontier in
+  let next = ref [] and found = ref [] in
+  let hits = ref 0 and n_states = ref 0 and n_leaves = ref 0 and n_cut = ref 0 in
+  let keep s' =
+    match visited with
+    | None -> next := s' :: !next
+    | Some visited ->
+      if Elin_kernel.Striped_set.add visited (fingerprint s') then
+        next := s' :: !next
+      else incr hits
+  in
+  let i = ref offset in
+  while !i < n do
+    incr n_states;
+    (match expand frontier.(!i) with
+    | Children succs -> List.iter keep succs
+    | Leaf v ->
+      incr n_leaves;
+      Option.iter (fun v -> found := v :: !found) v
+    | Cut v ->
+      incr n_leaves;
+      incr n_cut;
+      Option.iter (fun v -> found := v :: !found) v);
+    i := !i + stride
+  done;
+  {
+    next = List.rev !next;
+    found = !found;
+    hits = !hits;
+    n_states = !n_states;
+    n_leaves = !n_leaves;
+    n_cut = !n_cut;
+  }
+
+(** [bfs ?domains ?dedup ?stripes ?stop_early ~fingerprint ~expand
+    ~compare root] — explore the space rooted at [root].  Returns the
+    verdicts (sorted and deduplicated under [compare]: the head is the
+    minimal one) and the exploration stats.  With [stop_early] (the
+    default) the search stops at the end of the first level that
+    produced a verdict; otherwise it exhausts the bounded space and
+    returns every verdict. *)
+let bfs ?domains ?(dedup = true) ?(stripes = 64) ?(stop_early = true)
+    ~fingerprint ~expand ~compare root =
+  let n_domains =
+    match domains with
+    | Some n ->
+      if n < 1 then invalid_arg "Search.bfs: domains must be >= 1";
+      n
+    | None -> Domain.recommended_domain_count ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let visited =
+    if dedup then begin
+      let v = Elin_kernel.Striped_set.create ~stripes () in
+      ignore (Elin_kernel.Striped_set.add v (fingerprint root));
+      Some v
+    end
+    else None
+  in
+  let states = ref 0 and hits = ref 0 and kept = ref 0 and peak = ref 0 in
+  let leaves = ref 0 and cut = ref 0 and levels = ref 0 in
+  let per_domain = Array.make n_domains 0 in
+  let verdicts = ref [] in
+  let frontier = ref [| root |] in
+  let stop = ref false in
+  while (not !stop) && Array.length !frontier > 0 do
+    let fr = !frontier in
+    let n = Array.length fr in
+    if n > !peak then peak := n;
+    let shares =
+      if n_domains = 1 || n < 2 * n_domains then
+        [|
+          expand_share ~expand ~fingerprint ~visited fr ~stride:1 ~offset:0;
+        |]
+      else begin
+        let workers =
+          Array.init (n_domains - 1) (fun d ->
+              Domain.spawn (fun () ->
+                  expand_share ~expand ~fingerprint ~visited fr
+                    ~stride:n_domains ~offset:(d + 1)))
+        in
+        let mine =
+          expand_share ~expand ~fingerprint ~visited fr ~stride:n_domains
+            ~offset:0
+        in
+        Array.append [| mine |] (Array.map Domain.join workers)
+      end
+    in
+    let level_found = ref [] in
+    Array.iteri
+      (fun d share ->
+        per_domain.(d) <- per_domain.(d) + share.n_states;
+        states := !states + share.n_states;
+        hits := !hits + share.hits;
+        kept := !kept + List.length share.next;
+        leaves := !leaves + share.n_leaves;
+        cut := !cut + share.n_cut;
+        level_found := List.rev_append share.found !level_found)
+      shares;
+    verdicts := List.rev_append !level_found !verdicts;
+    incr levels;
+    if stop_early && !level_found <> [] then stop := true
+    else
+      frontier :=
+        Array.concat (List.map (fun s -> Array.of_list s.next)
+                        (Array.to_list shares))
+  done;
+  let stats =
+    {
+      states = !states;
+      dedup_hits = !hits;
+      kept = !kept;
+      frontier_peak = !peak;
+      leaves = !leaves;
+      cut = !cut;
+      levels = !levels;
+      per_domain;
+      domains = n_domains;
+      wall = Unix.gettimeofday () -. t0;
+    }
+  in
+  (List.sort_uniq compare !verdicts, stats)
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "states %d  dedup-hits %d (rate %.1f%%)  frontier-peak %d  leaves %d  \
+     cut %d  levels %d  domains %d  per-domain [%s]  wall %.3fs"
+    s.states s.dedup_hits (100. *. dedup_rate s) s.frontier_peak s.leaves
+    s.cut s.levels s.domains
+    (String.concat "; " (List.map string_of_int (Array.to_list s.per_domain)))
+    s.wall

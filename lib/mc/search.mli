@@ -1,0 +1,65 @@
+(** The generic parallel model-checking engine: level-synchronous BFS
+    with fingerprint dedup over an abstract state space, partitioned
+    across OCaml 5 domains.
+
+    {2 Determinism contract}
+
+    The returned verdict list and every stats field except
+    [per_domain] and [wall] are functions of the state space and the
+    bounds alone, {e independent of the domain count} (modulo 64-bit
+    fingerprint collisions): levels are barriers, racing inserts of
+    equal fingerprints keep exactly one (identical) state, verdicts
+    are only acted on at level boundaries, and the verdicts of the
+    stopping level are totally ordered by [compare] — the head of the
+    result is the {e minimal} verdict, e.g. the lexicographically
+    minimal counterexample trace. *)
+
+type stats = {
+  states : int;           (** states expanded (dequeued from the frontier) *)
+  dedup_hits : int;       (** successors dropped because already visited *)
+  kept : int;             (** successors enqueued (dedup survivors) *)
+  frontier_peak : int;    (** widest BFS level *)
+  leaves : int;           (** terminal states (finished or cut) *)
+  cut : int;              (** terminal only because of the bound *)
+  levels : int;           (** BFS depth reached *)
+  per_domain : int array; (** states expanded by each domain (the only
+                              scheduling-dependent field besides [wall]) *)
+  domains : int;
+  wall : float;           (** seconds *)
+}
+
+(** Fraction of generated successors that dedup discarded:
+    [dedup_hits / (dedup_hits + kept)]. *)
+val dedup_rate : stats -> float
+
+type ('s, 'v) expansion =
+  | Children of 's list  (** interior state ([[]] = dead end, not a leaf) *)
+  | Leaf of 'v option    (** terminal; [Some v] records a verdict *)
+  | Cut of 'v option     (** terminal because of the depth bound *)
+
+(** [bfs ?domains ?dedup ?stripes ?stop_early ~fingerprint ~expand
+    ~compare root] — explore the space rooted at [root]; returns the
+    verdicts (sorted and deduplicated under [compare]) and the stats.
+
+    - [domains] defaults to [Domain.recommended_domain_count ()]; with
+      [1] the engine is a plain sequential BFS (no domain is spawned).
+    - [dedup] (default [true]) keys a {!Elin_kernel.Striped_set} on
+      [fingerprint]; with [false] every generated successor is kept —
+      the BFS then expands exactly the nodes a dedup-free tree search
+      would.
+    - [stop_early] (default [true]) stops at the end of the first
+      level that produced a verdict; with [false] the bounded space is
+      exhausted and every verdict is returned (used to {e collect},
+      e.g. the valency analysis's decision vectors). *)
+val bfs :
+  ?domains:int ->
+  ?dedup:bool ->
+  ?stripes:int ->
+  ?stop_early:bool ->
+  fingerprint:('s -> int64) ->
+  expand:('s -> ('s, 'v) expansion) ->
+  compare:('v -> 'v -> int) ->
+  's ->
+  'v list * stats
+
+val pp_stats : Format.formatter -> stats -> unit

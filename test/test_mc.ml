@@ -1,0 +1,348 @@
+(** Tests for the parallel model-checking engine (lib/mc): determinism
+    under parallelism (1/2/4 domains agree on state counts and on the
+    lexicographically minimal counterexample), equivalence with the
+    sequential [Explore] tree search, fingerprint collision smoke
+    tests, dedup soundness (the reachable-history set is preserved),
+    symmetry reduction, and the rewired users (valency analysis,
+    Prop. 18 stability certificates). *)
+
+open Elin_spec
+open Elin_runtime
+open Elin_explore
+open Elin_checker
+open Elin_mc
+open Elin_test_support
+
+let direct_fai () = Impl.of_spec (Faicounter.spec ())
+
+let domain_counts = [ 1; 2; 4 ]
+
+(* --- determinism under parallelism ------------------------------- *)
+
+(* Trivial (communication-free) test&set: not linearizable — the
+   engine must report the same two-winners counterexample whatever the
+   domain count. *)
+let tands_same_verdict_all_domains () =
+  let impl = Elin_core.Ev_testandset.impl () in
+  let wl = Run.uniform_workload Op.test_and_set ~procs:2 ~per_proc:1 in
+  let cfg = Engine.for_spec (Testandset.spec ()) in
+  let outs =
+    List.map
+      (fun domains ->
+        Mc.check impl ~workloads:wl ~max_steps:12 ~domains (fun h ->
+            Engine.linearizable cfg h))
+      domain_counts
+  in
+  match outs with
+  | first :: rest ->
+    Alcotest.(check bool) "violation found" false first.Mc.ok;
+    let cex =
+      match first.Mc.counterexample with
+      | Some h -> h
+      | None -> Alcotest.fail "expected a counterexample"
+    in
+    Alcotest.(check bool) "counterexample violates" false
+      (Engine.linearizable cfg cex);
+    List.iteri
+      (fun i out ->
+        let name n = Printf.sprintf "%s (domains=%d)" n (List.nth domain_counts (i + 1)) in
+        Alcotest.(check int) (name "states") first.Mc.stats.Search.states
+          out.Mc.stats.Search.states;
+        Alcotest.(check int) (name "leaves") first.Mc.stats.Search.leaves
+          out.Mc.stats.Search.leaves;
+        Alcotest.check Support.history (name "counterexample") cex
+          (Option.get out.Mc.counterexample))
+      rest
+  | [] -> assert false
+
+(* The minimal counterexample must also be minimal under the trace
+   order, not merely some violation. *)
+let tands_counterexample_is_minimal () =
+  let impl = Elin_core.Ev_testandset.impl () in
+  let wl = Run.uniform_workload Op.test_and_set ~procs:2 ~per_proc:1 in
+  let cfg = Engine.for_spec (Testandset.spec ()) in
+  let out =
+    Mc.check impl ~workloads:wl ~max_steps:12 ~domains:2 (fun h ->
+        Engine.linearizable cfg h)
+  in
+  let cex = Option.get out.Mc.counterexample in
+  (* Collect every violating leaf by exhaustive enumeration and check
+     none of equal-or-shallower depth precedes it lexicographically. *)
+  let violations = ref [] in
+  let _ =
+    Explore.iter_leaves impl ~workloads:wl ~max_steps:12 (fun c ->
+        let h = Explore.history c in
+        if not (Engine.linearizable cfg h) then violations := h :: !violations)
+  in
+  Alcotest.(check bool) "explore also finds violations" true
+    (!violations <> []);
+  let min_len =
+    List.fold_left
+      (fun m h -> min m (Elin_history.History.length h))
+      max_int !violations
+  in
+  let same_level =
+    List.filter (fun h -> Elin_history.History.length h = min_len) !violations
+  in
+  (* BFS levels are steps, not events, but for this workload every
+     leaf is a finished execution: the shallowest violating level
+     contains exactly the shortest violating histories. *)
+  List.iter
+    (fun h ->
+      Alcotest.(check bool) "lex-minimal among shallowest" true
+        (Canon.compare_history cex h <= 0))
+    same_level
+
+(* The Figure-1 guard wrapped around the misbehaving board: engine
+   verdict and state counts agree across domain counts, and with the
+   sequential explorer's verdict. *)
+let guard_agrees_with_explore () =
+  let impl =
+    Elin_core.Guard.wrap ~spec:(Faicounter.spec ()) (Impls.fai_ev_board ~k:8 ())
+  in
+  let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc:1 in
+  let p h = Faic.t_linearizable h ~t:0 in
+  let ok_explore, _, _ =
+    Explore.for_all_histories impl ~workloads:wl ~max_steps:14 p
+  in
+  let outs =
+    List.map
+      (fun domains -> Mc.check impl ~workloads:wl ~max_steps:14 ~domains p)
+      domain_counts
+  in
+  match outs with
+  | first :: rest ->
+    Alcotest.(check bool) "verdict matches explore" ok_explore first.Mc.ok;
+    List.iter
+      (fun out ->
+        Alcotest.(check int) "states agree" first.Mc.stats.Search.states
+          out.Mc.stats.Search.states;
+        Alcotest.(check bool) "verdict agrees" first.Mc.ok out.Mc.ok;
+        match first.Mc.counterexample, out.Mc.counterexample with
+        | None, None -> ()
+        | Some a, Some b -> Alcotest.check Support.history "same counterexample" a b
+        | _ -> Alcotest.fail "counterexample presence differs")
+      rest
+  | [] -> assert false
+
+(* --- equivalence with the sequential explorer -------------------- *)
+
+(* With dedup off, the BFS expands exactly the tree [Explore] walks. *)
+let no_dedup_matches_explore_node_counts () =
+  List.iter
+    (fun (impl, per_proc, max_steps) ->
+      let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc in
+      let explore_stats =
+        Explore.iter_leaves impl ~workloads:wl ~max_steps (fun _ -> ())
+      in
+      let stats =
+        Mc.count_states impl ~workloads:wl ~max_steps ~domains:2 ~dedup:false
+          ()
+      in
+      Alcotest.(check int) "nodes" explore_stats.Explore.nodes
+        stats.Search.states;
+      Alcotest.(check int) "leaves" explore_stats.Explore.leaves
+        stats.Search.leaves;
+      Alcotest.(check int) "truncated" explore_stats.Explore.truncated
+        stats.Search.cut)
+    [
+      (direct_fai (), 2, 16);
+      (Impls.fai_from_board (), 1, 20);
+      (Impls.fai_from_cas (), 2, 10) (* truncates: cut-leaf accounting *);
+    ]
+
+(* --- fingerprints ------------------------------------------------- *)
+
+let fingerprint_collision_smoke () =
+  let open Elin_kernel in
+  let n = 100_000 in
+  let seen = Hashtbl.create (2 * n) in
+  let collisions = ref 0 in
+  let record fp = if Hashtbl.mem seen fp then incr collisions else Hashtbl.add seen fp () in
+  (* Distinct ints, pairs, and strings: ~3n distinct encodings. *)
+  for i = 0 to n - 1 do
+    record (Fingerprint.(finish (int (start ()) i)));
+    record
+      (Fingerprint.(finish (int (int (start ()) (i land 0xff)) (i lsr 8))));
+    record (Fingerprint.(finish (string (start ()) (string_of_int i))))
+  done;
+  Alcotest.(check int) "no collisions" 0 !collisions
+
+(* ~10^5 generated configurations: step through a real execution tree
+   and fingerprint every node reached; distinct nodes (by canonical
+   identity) must not collide.  We approximate "distinct" by the full
+   history+state encoding differing, which holds for BFS nodes with
+   dedup on: every kept node is new. *)
+let fingerprint_distinct_configs () =
+  let impl = Impls.fai_from_board () in
+  let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc:3 in
+  let stats = Mc.count_states impl ~workloads:wl ~max_steps:22 ~domains:1 () in
+  (* With dedup on, [states] counts exactly the distinct fingerprints
+     inserted; re-running without dedup must expand at least as many
+     nodes — if distinct states collided, dedup would drop real states
+     and [states] would fall short of the true distinct count. *)
+  let stats_nodedup =
+    Mc.count_states impl ~workloads:wl ~max_steps:22 ~domains:1 ~dedup:false ()
+  in
+  Alcotest.(check bool) "scale reached (~10^5 configs)" true
+    (stats_nodedup.Search.states >= 100_000);
+  Alcotest.(check bool) "dedup found duplicates" true
+    (stats.Search.dedup_hits > 0);
+  (* Leaf-history sets agree (collision-freedom witness: a collision
+     between distinct states would lose some reachable history). *)
+  let hs_dedup, _ = Mc.leaf_histories impl ~workloads:wl ~max_steps:22 () in
+  let hs_plain, _ =
+    Mc.leaf_histories impl ~workloads:wl ~max_steps:22 ~dedup:false ()
+  in
+  Alcotest.(check int) "history sets equal" 0
+    (List.compare Canon.compare_history hs_dedup hs_plain)
+
+(* --- dedup soundness --------------------------------------------- *)
+
+let dedup_preserves_reachable_histories () =
+  List.iter
+    (fun (impl, per_proc, max_steps) ->
+      let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc in
+      let with_dedup, stats =
+        Mc.leaf_histories impl ~workloads:wl ~max_steps ()
+      in
+      let without, _ =
+        Mc.leaf_histories impl ~workloads:wl ~max_steps ~dedup:false ()
+      in
+      (* The engine's own two modes agree... *)
+      Alcotest.(check int) "dedup on = off" 0
+        (List.compare Canon.compare_history with_dedup without);
+      (* ...and match the sequential explorer's reachable set. *)
+      let explore_set = ref [] in
+      let _ =
+        Explore.iter_leaves impl ~workloads:wl ~max_steps (fun c ->
+            explore_set := Explore.history c :: !explore_set)
+      in
+      let explore_set =
+        List.sort_uniq Canon.compare_history !explore_set
+      in
+      Alcotest.(check int) "matches explore" 0
+        (List.compare Canon.compare_history with_dedup explore_set);
+      Alcotest.(check bool) "dedup did work" true
+        (stats.Search.dedup_hits > 0))
+    [ (Impls.fai_from_board (), 1, 20); (direct_fai (), 2, 16) ]
+
+(* --- symmetry reduction ------------------------------------------ *)
+
+let symmetry_reduces_and_preserves_verdict () =
+  let impl = direct_fai () in
+  let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc:2 in
+  let plain = Mc.count_states impl ~workloads:wl ~max_steps:16 () in
+  let sym = Mc.count_states impl ~workloads:wl ~max_steps:16 ~symmetry:true () in
+  Alcotest.(check bool) "fewer states under symmetry" true
+    (sym.Search.states < plain.Search.states);
+  let out =
+    Mc.check impl ~workloads:wl ~max_steps:16 ~symmetry:true (fun h ->
+        Faic.t_linearizable h ~t:0)
+  in
+  Alcotest.(check bool) "linearizable (renaming-invariant predicate)" true
+    out.Mc.ok
+
+let symmetry_requires_identical_workloads () =
+  let impl = direct_fai () in
+  let wl = [| [ Op.fetch_inc ]; [ Op.fetch_inc; Op.fetch_inc ] |] in
+  Alcotest.check_raises "asymmetric workloads rejected"
+    (Invalid_argument "Mc: symmetry reduction requires identical workloads")
+    (fun () ->
+      ignore (Mc.count_states impl ~workloads:wl ~max_steps:8 ~symmetry:true ()))
+
+(* --- rewired users ----------------------------------------------- *)
+
+let valency_mc_matches_dfs () =
+  let open Elin_valency in
+  let inputs = [| Value.int 0; Value.int 1 |] in
+  let norm ds =
+    List.sort_uniq
+      (fun a b -> List.compare Value.compare (Array.to_list a) (Array.to_list b))
+      ds
+  in
+  (* Correct protocol: same decision set, no violations, dedup hits. *)
+  let dfs = Valency.check_consensus (Protocols.cas ()) ~inputs ~max_steps:20 in
+  List.iter
+    (fun domains ->
+      let mc =
+        Mc_valency.check_consensus (Protocols.cas ()) ~inputs ~max_steps:20
+          ~domains ()
+      in
+      Alcotest.(check bool) "terminated" dfs.Valency.terminated
+        mc.Mc_valency.terminated;
+      Alcotest.(check int) "decision sets equal" 0
+        (List.compare
+           (fun a b ->
+             List.compare Value.compare (Array.to_list a) (Array.to_list b))
+           (norm dfs.Valency.decisions)
+           (norm mc.Mc_valency.decisions));
+      Alcotest.(check bool) "agreement holds" true
+        (mc.Mc_valency.agreement_violation = None);
+      Alcotest.(check bool) "dedup hit-rate > 0" true
+        (mc.Mc_valency.stats.Search.dedup_hits > 0))
+    domain_counts;
+  (* Broken protocol: the ev-lin test&set disagreement is found. *)
+  let p = Protocols.registers_plus_ev_testandset ~stabilize_at:1000 () in
+  let dfs = Valency.check_consensus p ~inputs ~max_steps:30 in
+  let mc = Mc_valency.check_consensus p ~inputs ~max_steps:30 ~domains:2 () in
+  Alcotest.(check bool) "dfs finds disagreement" true
+    (dfs.Valency.agreement_violation <> None);
+  Alcotest.(check bool) "mc finds disagreement" true
+    (mc.Mc_valency.agreement_violation <> None)
+
+let stabilize_mc_engine_matches_dfs () =
+  let check h ~t = Faic.t_linearizable h ~t in
+  let impl = Impls.fai_ev_board ~k:1 () in
+  let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc:8 in
+  let via engine =
+    Elin_core.Stabilize.construct ~engine impl ~workloads:wl ~depth:8 ~check ()
+  in
+  match via Elin_core.Stabilize.Dfs,
+        via (Elin_core.Stabilize.Mc { domains = Some 2; dedup = true }) with
+  | Some dfs, Some mc ->
+    let open Elin_core.Stabilize in
+    Alcotest.(check int) "same cut" dfs.certificate.cut mc.certificate.cut;
+    Alcotest.(check int) "same v0" dfs.anchor.v0 mc.anchor.v0;
+    Alcotest.(check bool) "same derived name" true
+      (dfs.derived.Impl.name = mc.derived.Impl.name)
+  | _ -> Alcotest.fail "both engines must certify a stable configuration"
+
+let () =
+  Alcotest.run "mc"
+    [
+      ( "determinism",
+        [
+          Support.quick "test&set verdict, 1/2/4 domains"
+            tands_same_verdict_all_domains;
+          Support.quick "counterexample lex-minimal"
+            tands_counterexample_is_minimal;
+          Support.quick "guard agrees with explore" guard_agrees_with_explore;
+        ] );
+      ( "equivalence",
+        [
+          Support.quick "no-dedup node counts" no_dedup_matches_explore_node_counts;
+          Support.quick "dedup preserves histories"
+            dedup_preserves_reachable_histories;
+        ] );
+      ( "fingerprints",
+        [
+          Support.quick "collision smoke (3x10^5 encodings)"
+            fingerprint_collision_smoke;
+          Support.slow "distinct configs at 10^5 scale"
+            fingerprint_distinct_configs;
+        ] );
+      ( "symmetry",
+        [
+          Support.quick "reduces and preserves verdict"
+            symmetry_reduces_and_preserves_verdict;
+          Support.quick "requires identical workloads"
+            symmetry_requires_identical_workloads;
+        ] );
+      ( "rewired users",
+        [
+          Support.quick "valency mc = dfs" valency_mc_matches_dfs;
+          Support.quick "stabilize mc engine = dfs"
+            stabilize_mc_engine_matches_dfs;
+        ] );
+    ]

@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build release test bench check doc clean
+.PHONY: all build release test bench bench-smoke check doc clean
 
 all: build
 
@@ -18,12 +18,17 @@ test:
 bench:
 	$(DUNE) exec bench/main.exe
 
+# B4 at tiny sizes: asserts nonzero exploration counts and exits
+# nonzero if a Budget_exceeded leaks out of any checker.
+bench-smoke:
+	$(DUNE) exec bench/main.exe -- --smoke
+
 doc:
 	$(DUNE) build @doc
 
 # CI gate: full build, full test suite, and a guard against anyone
 # re-adding build artefacts to the index (PR 1 untracked _build/).
-check: build test
+check: build test bench-smoke
 	@if git ls-files | grep -E '^_build/|\.install$$|^\.merlin$$' >/dev/null; then \
 	  echo "error: build artefacts are tracked in git (see .gitignore)"; \
 	  git ls-files | grep -E '^_build/|\.install$$|^\.merlin$$' | head; \

@@ -408,8 +408,9 @@ let a1 () =
      and exponential: k concurrent pending writes of distinct values
      plus a reader whose read sequence is unsatisfiable — the whole
      ordering space must be refuted.  (At k = 9 the memo-free search
-     explores ~2.4M nodes vs ~17k memoized; k = 12 without memoization
-     does not terminate in reasonable time and is omitted.) *)
+     explores ~2.4M nodes vs ~4.6k memoized-with-lookahead; k = 12
+     without memoization does not terminate in reasonable time and is
+     omitted.) *)
   let pending_writes_family k =
     let reg = Register.spec ~domain:(List.init k (fun i -> i + 1)) () in
     let open Elin_history in
@@ -471,6 +472,108 @@ let a1 () =
     (memo_specs @ guard_specs)
 
 (* ------------------------------------------------------------------ *)
+(* B4: the min_t hot path                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-PR probing strategy, for the comparison column: check
+   t = len, then bisect, re-preparing the history at every cut. *)
+let binary_min_t (cfg : Engine.config) h =
+  let len = History.length h in
+  let check t = Engine.t_linearizable cfg h ~t in
+  if not (check len) then None
+  else begin
+    let lo = ref 0 and hi = ref len in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if check mid then hi := mid else lo := mid + 1
+    done;
+    Some !lo
+  end
+
+(* Families and seeds match the pre-PR baseline recorded in
+   EXPERIMENTS.md §B4 (fai / register / queue eventually-linearizable
+   shapes, plus the E16 delayed-winner test&set family). *)
+let b4 ?(smoke = false) () =
+  let sizes = if smoke then [ 6 ] else [ 8; 12; 16 ] in
+  let dw_sizes = if smoke then [ 4 ] else [ 8; 12 ] in
+  let ev name spec seed n =
+    let rng = Elin_kernel.Prng.create seed in
+    let h, _ =
+      Gen.eventually_linearizable rng ~spec ~procs:2 ~prefix_ops:(n / 4)
+        ~suffix_ops:(3 * n / 4) ()
+    in
+    (Printf.sprintf "%s n=%d" name n, spec, h)
+  in
+  let families =
+    List.concat_map
+      (fun n ->
+        [
+          ev "fai-ev" (Faicounter.spec ()) 7 n;
+          ev "register-ev" (Register.spec ()) 5 n;
+          ev "queue-ev" (Fifo.spec ()) 9 n;
+        ])
+      sizes
+    @ List.map
+        (fun n ->
+          ( Printf.sprintf "delayed-winner n=%d" n,
+            Testandset.spec (),
+            Serafini.delayed_winner_family n ))
+        dw_sizes
+  in
+  (* Exact per-family exploration counts (single run): galloping +
+     prepared cuts vs the binary baseline. *)
+  Printf.printf
+    "\n== B4: min_t hot path — nodes and cuts (galloping vs binary) ==\n";
+  Printf.printf "%-24s %6s %9s %11s %9s %11s %9s\n" "family" "min_t"
+    "cuts-gal" "nodes-gal" "memo-gal" "nodes-bin" "cuts-bin";
+  List.iter
+    (fun (name, spec, h) ->
+      let cfg = Engine.for_spec spec in
+      let mt, st = Eventual.min_t_stats cfg h in
+      let bin_nodes = ref 0 and bin_cuts = ref 0 in
+      let check t =
+        incr bin_cuts;
+        let v = Engine.search cfg h ~t in
+        bin_nodes := !bin_nodes + v.Engine.nodes_explored;
+        v.Engine.ok
+      in
+      let len = History.length h in
+      if check len then begin
+        let lo = ref 0 and hi = ref len in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if check mid then hi := mid else lo := mid + 1
+        done
+      end;
+      assert (mt <> None);
+      assert (st.Eventual.nodes > 0 && st.Eventual.cuts_probed > 0);
+      assert (!bin_nodes > 0);
+      Printf.printf "%-24s %6s %9d %11d %9d %11d %9d\n" name
+        (match mt with Some t -> string_of_int t | None -> "none")
+        st.Eventual.cuts_probed st.Eventual.nodes st.Eventual.memo_hits
+        !bin_nodes !bin_cuts)
+    families;
+  flush stdout;
+  if not smoke then begin
+    let specs =
+      List.concat_map
+        (fun (name, spec, h) ->
+          let cfg = Engine.for_spec spec in
+          [
+            ( Printf.sprintf "min_t/galloping %s" name,
+              None,
+              fun () -> assert (Eventual.min_t cfg h <> None) );
+            ( Printf.sprintf "min_t/binary-baseline %s" name,
+              None,
+              fun () -> assert (binary_min_t cfg h <> None) );
+          ])
+        families
+    in
+    group "B4: incremental min_t search (ns per whole min_t computation)"
+      specs
+  end
+
+(* ------------------------------------------------------------------ *)
 (* E15: the universal construction                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -498,15 +601,28 @@ let e15 () =
   group "E15: log-based universal construction from consensus cells" specs
 
 let () =
-  Printf.printf
-    "elin benchmark harness — experiment series from DESIGN.md section 5\n";
-  b1 ();
-  b2 ();
-  b3 ();
-  e6 ();
-  e10 ();
-  e9 ();
-  e13 ();
-  e15 ();
-  a1 ();
-  Printf.printf "\nAll benchmark groups completed.\n"
+  if Array.exists (fun a -> a = "--smoke") Sys.argv then begin
+    (* CI smoke: B4 at tiny sizes; the asserts inside [b4] require
+       nonzero exploration counts, and any Budget_exceeded escaping is
+       a leak (no budget is configured anywhere in the series). *)
+    (try b4 ~smoke:true ()
+     with Engine.Budget_exceeded ->
+       prerr_endline "bench-smoke: Budget_exceeded leaked";
+       exit 1);
+    Printf.printf "\nbench-smoke OK\n"
+  end
+  else begin
+    Printf.printf
+      "elin benchmark harness — experiment series from DESIGN.md section 5\n";
+    b1 ();
+    b2 ();
+    b3 ();
+    b4 ();
+    e6 ();
+    e10 ();
+    e9 ();
+    e13 ();
+    e15 ();
+    a1 ();
+    Printf.printf "\nAll benchmark groups completed.\n"
+  end

@@ -51,7 +51,7 @@ let procs_arg =
 (* elin check                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let do_check spec_name file t_flag min_t_flag weak_flag =
+let do_check spec_name file t_flag min_t_flag weak_flag stats_flag budget =
   match spec_of_name spec_name with
   | Error e -> `Error (false, e)
   | Ok spec ->
@@ -64,16 +64,30 @@ let do_check spec_name file t_flag min_t_flag weak_flag =
     in
     (match hist with
     | Error e -> `Error (false, e)
-    | Ok hist ->
-      (match t_flag with
-      | Some t ->
-        let cfg = Engine.for_spec spec in
-        Printf.printf "%d-linearizable: %b\n" t
-          (Engine.t_linearizable cfg hist ~t)
-      | None -> ());
-      if t_flag = None || min_t_flag || weak_flag then
-        Format.printf "%a@." Report.pp (Report.analyze spec hist);
-      `Ok ())
+    | Ok hist -> (
+      try
+        (match t_flag with
+        | Some t ->
+          let cfg = Engine.for_spec ?node_budget:budget spec in
+          let v = Engine.search cfg hist ~t in
+          Printf.printf "%d-linearizable: %b\n" t v.Engine.ok;
+          if stats_flag then
+            Printf.printf "search stats: %d nodes explored, %d memo hits\n"
+              v.Engine.nodes_explored v.Engine.memo_hits
+        | None -> ());
+        if t_flag = None || min_t_flag || weak_flag then begin
+          let r = Report.analyze ?node_budget:budget spec hist in
+          Format.printf "%a@." Report.pp r;
+          if stats_flag then Format.printf "%a@." Report.pp_stats r
+        end;
+        `Ok ()
+      with Engine.Budget_exceeded ->
+        (* Uniform for every checker: Weak.Budget_exceeded and
+           Engine.Budget_exceeded are the same exception. *)
+        `Error
+          ( false,
+            Printf.sprintf "node budget (%s) exhausted before a verdict"
+              (match budget with Some b -> string_of_int b | None -> "?") )))
 
 let check_cmd =
   let file =
@@ -89,9 +103,23 @@ let check_cmd =
   let weak_flag =
     Arg.(value & flag & info [ "weak" ] ~doc:"Check weak consistency.")
   in
+  let stats_flag =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print exploration statistics (nodes, memo hits, cuts \
+                   probed by the min-t search).")
+  in
+  let budget =
+    Arg.(value & opt (some int) None
+         & info [ "budget" ]
+             ~doc:"Node budget: give up after this many DFS expansions.")
+  in
   Cmd.v
     (Cmd.info "check" ~doc:"Check a history file against a specification")
-    Term.(ret (const do_check $ spec_arg $ file $ t_flag $ min_t_flag $ weak_flag))
+    Term.(
+      ret
+        (const do_check $ spec_arg $ file $ t_flag $ min_t_flag $ weak_flag
+       $ stats_flag $ budget))
 
 (* ------------------------------------------------------------------ *)
 (* elin generate                                                      *)

@@ -18,6 +18,20 @@
     the first [t] events may be reordered arbitrarily and may change
     responses; pending operations may be included or dropped.
 
+    {2 Hot-path structure}
+
+    A single parameterized DFS core ([run]) serves both {!search} and
+    {!witness}, so budget and memoization semantics cannot diverge
+    between the two (they had: witness used to ignore both).  The
+    per-history structures that do not depend on the cut — operation
+    array, object slots, initial spec states — are built once by
+    {!prepare} and reused across every cut [Eventual.min_t] probes;
+    only the cut-dependent [fixed_resp]/predecessor tables are rebuilt
+    per cut.  Readiness ("all real-time predecessors placed") is
+    tracked incrementally with predecessor counts and a forward
+    adjacency, replacing a per-candidate scan of predecessor lists at
+    every DFS node.
+
     Multi-object histories are handled directly (a sequential history
     is legal iff each per-object projection is legal, cf. [11]), which
     the locality experiments (Lemma 7) exploit. *)
@@ -37,7 +51,7 @@ type config = {
   memoize : bool;
 }
 
-exception Budget_exceeded
+exception Budget_exceeded = Budget.Exceeded
 
 let config ?node_budget ?(memoize = true) spec_of_obj =
   { spec_of_obj; node_budget; memoize }
@@ -46,21 +60,27 @@ let config ?node_budget ?(memoize = true) spec_of_obj =
 let for_spec ?node_budget ?memoize spec =
   config ?node_budget ?memoize (fun _ -> spec)
 
-type verdict = { ok : bool; nodes_explored : int }
+type verdict = { ok : bool; nodes_explored : int; memo_hits : int }
 
-(* A memo key: placed-set plus the per-object state vector. *)
-module Key = struct
-  type t = Bitset.t * Value.t array
+(* ------------------------------------------------------------------ *)
+(* Prepared histories: cut-independent structures                     *)
+(* ------------------------------------------------------------------ *)
 
-  let equal (b1, s1) (b2, s2) = Bitset.equal b1 b2 && s1 = s2
-  let hash (b, s) = Hashtbl.hash (Bitset.hash b, Array.map Value.hash s)
-end
+type prepared = {
+  cfg : config;
+  len : int;                    (* history length in events *)
+  n : int;                      (* operations *)
+  ops : Operation.t array;      (* indexed by operation id *)
+  specs : Spec.t array;         (* per object slot *)
+  slot : int array;             (* operation id -> object slot *)
+  init_states : Value.t array;  (* per object slot *)
+  completed : bool array;
+  n_completed : int;
+}
 
-module Memo = Hashtbl.Make (Key)
-
-(** [search cfg h ~t] decides t-linearizability of [h]. *)
-let search cfg h ~t =
-  let n = History.n_ops h in
+(** [prepare cfg h] — build the cut-independent search structures once;
+    {!check_at} / {!witness_at} then decide any cut against them. *)
+let prepare cfg h =
   let ops = History.ops_array h in
   let objs = Array.of_list (History.objs h) in
   let obj_slot =
@@ -68,90 +88,167 @@ let search cfg h ~t =
     Array.iteri (fun i o -> Hashtbl.replace tbl o i) objs;
     fun o -> Hashtbl.find tbl o
   in
-  let init_states = Array.map (fun o -> Spec.initial (cfg.spec_of_obj o)) objs in
-  (* completed_mask: operations that must be placed. *)
   let completed = Array.map Operation.is_complete ops in
-  let n_completed = Array.fold_left (fun acc c -> acc + Bool.to_int c) 0 completed in
+  {
+    cfg;
+    len = History.length h;
+    n = Array.length ops;
+    ops;
+    specs = Array.map cfg.spec_of_obj objs;
+    slot = Array.map (fun (o : Operation.t) -> obj_slot o.Operation.obj) ops;
+    init_states = Array.map (fun o -> Spec.initial (cfg.spec_of_obj o)) objs;
+    completed;
+    n_completed =
+      Array.fold_left (fun acc c -> acc + Bool.to_int c) 0 completed;
+  }
+
+let history_length p = p.len
+
+(* Cut-dependent tables.  At cut [t], op j is a real-time predecessor
+   of op i iff j's response index r_j and i's invocation index both
+   survive the cut (>= t) and r_j < inv_i.  We store predecessor
+   COUNTS ([n_preds]) plus the forward adjacency ([succs]), so the DFS
+   maintains the ready set incrementally — O(out-degree) bookkeeping
+   per placement and an O(1) readiness test per candidate — instead of
+   re-running [List.for_all] over predecessor lists for every
+   candidate at every node. *)
+let cut_tables p ~t =
+  let n = p.n and ops = p.ops in
   (* Response constraint: Some r if the response event index >= t. *)
   let fixed_resp =
     Array.map
       (fun (o : Operation.t) ->
-        match o.resp with
+        match o.Operation.resp with
         | Some (v, ri) when ri >= t -> Some v
         | Some _ | None -> None)
       ops
   in
-  (* Real-time predecessors: pred.(i) lists ops that must precede op i
-     whenever op i is placed.  Only pairs whose response/invocation
-     events both survive the cut count. *)
-  let pred =
-    Array.init n (fun i ->
-        let oi = ops.(i) in
-        if oi.Operation.inv < t then []
-        else
-          List.filter_map
-            (fun (oj : Operation.t) ->
-              match oj.resp with
-              | Some (_, rj) when rj >= t && rj < oi.Operation.inv ->
-                Some oj.Operation.id
-              | Some _ | None -> None)
-            (Array.to_list ops))
-  in
-  let nodes = ref 0 in
-  let bump () =
-    incr nodes;
-    match cfg.node_budget with
-    | Some b when !nodes > b -> raise Budget_exceeded
-    | _ -> ()
-  in
-  let memo = Memo.create 1024 in
-  let rec dfs placed states n_placed_completed =
-    bump ();
-    if n_placed_completed = n_completed then true
-    else begin
-      let key = (placed, states) in
-      if cfg.memoize && Memo.mem memo key then false
-      else begin
-        let success = ref false in
-        let i = ref 0 in
-        while (not !success) && !i < n do
-          let id = !i in
-          incr i;
-          if not (Bitset.mem placed id) then begin
-            let o = ops.(id) in
-            let ready = List.for_all (Bitset.mem placed) pred.(id) in
-            if ready then begin
-              let slot = obj_slot o.Operation.obj in
-              let spec = cfg.spec_of_obj o.Operation.obj in
-              let transitions = Spec.apply spec states.(slot) o.Operation.op in
-              let transitions =
-                match fixed_resp.(id) with
-                | Some r ->
-                  List.filter (fun (r', _) -> Value.equal r r') transitions
-                | None -> transitions
-              in
-              List.iter
-                (fun (_, q') ->
-                  if not !success then begin
-                    let states' = Array.copy states in
-                    states'.(slot) <- q';
-                    let placed' = Bitset.add placed id in
-                    let n' =
-                      n_placed_completed + Bool.to_int completed.(id)
-                    in
-                    if dfs placed' states' n' then success := true
-                  end)
-                transitions
-            end
+  let n_preds = Array.make n 0 in
+  let succs = Array.make n [||] in
+  Array.iter
+    (fun (oj : Operation.t) ->
+      match oj.Operation.resp with
+      | Some (_, rj) when rj >= t ->
+        let out = ref [] in
+        for i = n - 1 downto 0 do
+          let oi = ops.(i) in
+          if oi.Operation.inv >= t && rj < oi.Operation.inv then begin
+            n_preds.(i) <- n_preds.(i) + 1;
+            out := i :: !out
           end
         done;
-        if cfg.memoize && not !success then Memo.replace memo key ();
-        !success
-      end
+        succs.(oj.Operation.id) <- Array.of_list !out
+      | Some _ | None -> ())
+    ops;
+  (fixed_resp, n_preds, succs)
+
+(* ------------------------------------------------------------------ *)
+(* The shared DFS core                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* [run p ~t ~trace] — the one DFS behind search AND witness.  When
+   [trace] is given, it accumulates the (operation, response) choices
+   of the current branch (reversed); on success it holds the
+   linearization.  Budget and memoization apply identically in both
+   modes. *)
+let run p ~t ~trace =
+  let { cfg; n; ops; specs; slot; init_states; completed; n_completed; _ } =
+    p
+  in
+  let fixed_resp, n_preds, succs = cut_tables p ~t in
+  (* missing.(i): i's real-time predecessors not yet placed; the ready
+     set is { i | not placed, missing.(i) = 0 }.  [cut_tables] is
+     fresh per run, so we mutate [n_preds] in place. *)
+  let missing = n_preds in
+  let budget = Budget.counter ?limit:cfg.node_budget () in
+  let memo_hits = ref 0 in
+  let memo = Memo_key.Memo.create 1024 in
+  (* One state vector, mutated in place and restored on backtrack; the
+     memo snapshots it ([Array.copy]) only when inserting a failure, so
+     the hot path allocates nothing per transition. *)
+  let states = Array.copy init_states in
+  (* Memo lookahead: a child whose (placed set, state vector) failure
+     is already memoized is pruned {e before} expansion, not bumped and
+     re-entered — memoized children cost one table lookup, not a DFS
+     node.  Lookups read the live [states]; [Memo_key.Key.equal]
+     compares contents. *)
+  let memoized placed =
+    cfg.memoize && Memo_key.Memo.mem memo (placed, states)
+  in
+  let rec dfs placed n_placed_completed =
+    Budget.bump budget;
+    if n_placed_completed = n_completed then true
+    else begin
+      let success = ref false in
+      let i = ref 0 in
+      while (not !success) && !i < n do
+        let id = !i in
+        incr i;
+        if (not (Bitset.mem placed id)) && missing.(id) = 0 then begin
+          let o = ops.(id) in
+          let sl = slot.(id) in
+          let transitions = Spec.apply specs.(sl) states.(sl) o.Operation.op in
+          let transitions =
+            match fixed_resp.(id) with
+            | Some r ->
+              List.filter (fun (r', _) -> Value.equal r r') transitions
+            | None -> transitions
+          in
+          if transitions <> [] then begin
+            let placed' = Bitset.add placed id in
+            let n' = n_placed_completed + Bool.to_int completed.(id) in
+            let out = succs.(id) in
+            Array.iter (fun s -> missing.(s) <- missing.(s) - 1) out;
+            let saved = states.(sl) in
+            List.iter
+              (fun (r, q') ->
+                if not !success then begin
+                  states.(sl) <- q';
+                  if memoized placed' then incr memo_hits
+                  else begin
+                    (match trace with
+                    | Some tr -> tr := (o, r) :: !tr
+                    | None -> ());
+                    if dfs placed' n' then success := true
+                    else
+                      match trace with
+                      | Some tr -> tr := List.tl !tr
+                      | None -> ()
+                  end
+                end)
+              transitions;
+            if not !success then begin
+              states.(sl) <- saved;
+              Array.iter (fun s -> missing.(s) <- missing.(s) + 1) out
+            end
+          end
+        end
+      done;
+      if cfg.memoize && not !success then
+        Memo_key.Memo.replace memo (placed, Array.copy states) ();
+      !success
     end
   in
-  let ok = dfs (Bitset.empty n) init_states 0 in
-  { ok; nodes_explored = !nodes }
+  let ok = dfs (Bitset.empty n) 0 in
+  { ok; nodes_explored = Budget.spent budget; memo_hits = !memo_hits }
+
+(* ------------------------------------------------------------------ *)
+(* Public entry points                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** [check_at p ~t] — decide t-linearizability against a prepared
+    history. *)
+let check_at p ~t = run p ~t ~trace:None
+
+(** [witness_at p ~t] — additionally reconstruct a t-linearization as
+    a behaviour list (operation, response) in linearization order. *)
+let witness_at p ~t =
+  let tr = ref [] in
+  let v = run p ~t ~trace:(Some tr) in
+  if v.ok then Some (List.rev !tr) else None
+
+(** [search cfg h ~t] decides t-linearizability of [h]. *)
+let search cfg h ~t = check_at (prepare cfg h) ~t
 
 (** [t_linearizable cfg h ~t] — the boolean verdict. *)
 let t_linearizable cfg h ~t = (search cfg h ~t).ok
@@ -160,86 +257,6 @@ let t_linearizable cfg h ~t = (search cfg h ~t).ok
     linearizability [11]. *)
 let linearizable cfg h = t_linearizable cfg h ~t:0
 
-(** [witness cfg h ~t] additionally reconstructs a t-linearization as a
-    behaviour list (operation, response) in linearization order, or
-    [None]. *)
-let witness cfg h ~t =
-  let n = History.n_ops h in
-  let ops = History.ops_array h in
-  let objs = Array.of_list (History.objs h) in
-  let obj_slot =
-    let tbl = Hashtbl.create 8 in
-    Array.iteri (fun i o -> Hashtbl.replace tbl o i) objs;
-    fun o -> Hashtbl.find tbl o
-  in
-  let init_states = Array.map (fun o -> Spec.initial (cfg.spec_of_obj o)) objs in
-  let completed = Array.map Operation.is_complete ops in
-  let n_completed = Array.fold_left (fun acc c -> acc + Bool.to_int c) 0 completed in
-  let fixed_resp =
-    Array.map
-      (fun (o : Operation.t) ->
-        match o.resp with
-        | Some (v, ri) when ri >= t -> Some v
-        | Some _ | None -> None)
-      ops
-  in
-  let pred =
-    Array.init n (fun i ->
-        let oi = ops.(i) in
-        if oi.Operation.inv < t then []
-        else
-          List.filter_map
-            (fun (oj : Operation.t) ->
-              match oj.resp with
-              | Some (_, rj) when rj >= t && rj < oi.Operation.inv ->
-                Some oj.Operation.id
-              | Some _ | None -> None)
-            (Array.to_list ops))
-  in
-  let memo = Memo.create 1024 in
-  let rec dfs placed states n_placed_completed acc =
-    if n_placed_completed = n_completed then Some (List.rev acc)
-    else begin
-      let key = (placed, states) in
-      if Memo.mem memo key then None
-      else begin
-        let result = ref None in
-        let i = ref 0 in
-        while Option.is_none !result && !i < n do
-          let id = !i in
-          incr i;
-          if not (Bitset.mem placed id) then begin
-            let o = ops.(id) in
-            if List.for_all (Bitset.mem placed) pred.(id) then begin
-              let slot = obj_slot o.Operation.obj in
-              let spec = cfg.spec_of_obj o.Operation.obj in
-              let transitions = Spec.apply spec states.(slot) o.Operation.op in
-              let transitions =
-                match fixed_resp.(id) with
-                | Some r ->
-                  List.filter (fun (r', _) -> Value.equal r r') transitions
-                | None -> transitions
-              in
-              List.iter
-                (fun (r, q') ->
-                  if Option.is_none !result then begin
-                    let states' = Array.copy states in
-                    states'.(slot) <- q';
-                    match
-                      dfs (Bitset.add placed id) states'
-                        (n_placed_completed + Bool.to_int completed.(id))
-                        ((o, r) :: acc)
-                    with
-                    | Some _ as w -> result := w
-                    | None -> ()
-                  end)
-                transitions
-            end
-          end
-        done;
-        if Option.is_none !result then Memo.replace memo key ();
-        !result
-      end
-    end
-  in
-  dfs (Bitset.empty n) init_states 0 []
+(** [witness cfg h ~t] — witness reconstruction, honoring the same
+    node budget and memoization flags as {!search}. *)
+let witness cfg h ~t = witness_at (prepare cfg h) ~t

@@ -7,15 +7,23 @@
     operations both of whose relevant events survive removal of the
     first [t] events; and responses that survive the removal are kept.
 
-    Wing–Gong-style DFS with failure memoization on (placed-operation
-    set, object-state vector); handles multi-object histories
-    directly. *)
+    One Wing–Gong-style DFS core — failure memoization on
+    (placed-operation set, object-state vector), incremental readiness
+    tracking via predecessor counts — serves both {!search} and
+    {!witness}, so budget and memoization semantics are identical in
+    both.  {!prepare} builds the cut-independent structures once so
+    that [Eventual.min_t] can probe many cuts against the same
+    history cheaply.  Multi-object histories are handled directly. *)
 
 open Elin_spec
 open Elin_history
 
 type config
 
+(** Raised when [node_budget] is exhausted.  This is an alias of
+    {!Elin_kernel.Budget.Exceeded} (as is [Weak.Budget_exceeded]), so
+    catching any one of them catches budget exhaustion from every
+    checker. *)
 exception Budget_exceeded
 
 (** [config ?node_budget ?memoize spec_of_obj] — [spec_of_obj] maps
@@ -28,7 +36,31 @@ val config : ?node_budget:int -> ?memoize:bool -> (int -> Spec.t) -> config
 (** One-object convenience. *)
 val for_spec : ?node_budget:int -> ?memoize:bool -> Spec.t -> config
 
-type verdict = { ok : bool; nodes_explored : int }
+type verdict = {
+  ok : bool;
+  nodes_explored : int;  (** DFS node expansions *)
+  memo_hits : int;       (** searches cut short by the failure memo *)
+}
+
+(** A history with its cut-independent search structures prebuilt:
+    operations, object slots, initial spec states.  Probing a cut via
+    {!check_at}/{!witness_at} only rebuilds the cut-dependent
+    response/predecessor tables. *)
+type prepared
+
+val prepare : config -> History.t -> prepared
+
+(** Event count of the underlying history (the maximal useful cut). *)
+val history_length : prepared -> int
+
+(** [check_at p ~t] — full verdict at cut [t] against a prepared
+    history. *)
+val check_at : prepared -> t:int -> verdict
+
+(** [witness_at p ~t] — reconstruct a t-linearization (operations
+    paired with responses, in linearization order) against a prepared
+    history. *)
+val witness_at : prepared -> t:int -> (Operation.t * Value.t) list option
 
 (** [search cfg h ~t] — full verdict with exploration stats. *)
 val search : config -> History.t -> t:int -> verdict
@@ -40,6 +72,8 @@ val t_linearizable : config -> History.t -> t:int -> bool
 val linearizable : config -> History.t -> bool
 
 (** [witness cfg h ~t] additionally reconstructs a t-linearization, as
-    operations paired with their responses in linearization order. *)
+    operations paired with their responses in linearization order.
+    Honors the same [node_budget] (raising {!Budget_exceeded}) and
+    [memoize] flags as {!search}. *)
 val witness :
   config -> History.t -> t:int -> (Operation.t * Value.t) list option

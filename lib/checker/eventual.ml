@@ -5,13 +5,17 @@
     some t is trivially a liveness property), so the interesting
     quantity is the *minimal* stabilization bound [min_t].  By
     Lemma 5 t-linearizability is monotone in [t], so [min_t] is
-    found by binary search over the engine.
+    found by any monotone search; we gallop from [t = 0]
+    (exponential probing, then binary refinement), which costs
+    O(log min_t) probes — for the common small-[min_t] histories
+    that is a constant number of cheap cuts instead of the
+    O(log len) mid-range cuts a plain binary search pays, and every
+    probe reuses the cut-independent structures of one
+    {!Engine.prepare}.
 
     The full verdict pairs the liveness part with the safety part
     (weak consistency, Definition 1): a history is eventually
     linearizable iff both hold. *)
-
-open Elin_history
 
 type verdict = {
   weakly_consistent : bool;
@@ -23,24 +27,56 @@ type verdict = {
 let is_eventually_linearizable v =
   v.weakly_consistent && Option.is_some v.min_t
 
-(** [min_t check ~len] — generic monotone binary search: [check t]
-    must be monotone in [t] (Lemma 5).  Returns the least [t in
-    [0, len]] with [check t], or [None]. *)
+(** [min_t_search check ~len] — generic monotone least-t search:
+    [check t] must be monotone in [t] (Lemma 5).  Galloping: probe
+    t = 0, 1, 2, 4, ... until the first success (or [len] proves
+    unreachable), then binary-refine inside the last doubling
+    interval.  Returns the least [t in [0, len]] with [check t], or
+    [None].  Agrees with binary search on every monotone predicate,
+    in O(log min_t) probes. *)
 let min_t_search check ~len =
-  if not (check len) then None
+  if check 0 then Some 0
+  else if len = 0 then None
   else begin
-    (* Invariant: check hi holds, check (lo - 1) fails (lo = 0 ok). *)
-    let lo = ref 0 and hi = ref len in
-    while !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      if check mid then hi := mid else lo := mid + 1
-    done;
-    Some !lo
+    (* gallop invariant: check lo fails, 0 <= lo < hi <= len.
+       refine invariant: check lo fails, check hi holds. *)
+    let rec gallop lo hi =
+      if check hi then refine lo hi
+      else if hi >= len then None
+      else gallop hi (min len (2 * hi))
+    and refine lo hi =
+      if hi - lo <= 1 then Some hi
+      else
+        let mid = (lo + hi) / 2 in
+        if check mid then refine lo mid else refine mid hi
+    in
+    gallop 0 1
   end
 
+type search_stats = { cuts_probed : int; nodes : int; memo_hits : int }
+
+(** [min_t_prepared p] — least stabilization bound against a prepared
+    history, with aggregate exploration statistics over all probed
+    cuts.  The cut-independent structures of [p] are shared by every
+    probe. *)
+let min_t_prepared (p : Engine.prepared) =
+  let cuts = ref 0 and nodes = ref 0 and hits = ref 0 in
+  let check t =
+    let v = Engine.check_at p ~t in
+    incr cuts;
+    nodes := !nodes + v.Engine.nodes_explored;
+    hits := !hits + v.Engine.memo_hits;
+    v.Engine.ok
+  in
+  let mt = min_t_search check ~len:(Engine.history_length p) in
+  (mt, { cuts_probed = !cuts; nodes = !nodes; memo_hits = !hits })
+
+(** [min_t_stats cfg h] — [min_t] plus exploration statistics. *)
+let min_t_stats (cfg : Engine.config) h =
+  min_t_prepared (Engine.prepare cfg h)
+
 (** [min_t cfg h] — least stabilization bound via the generic engine. *)
-let min_t (cfg : Engine.config) h =
-  min_t_search (fun t -> Engine.t_linearizable cfg h ~t) ~len:(History.length h)
+let min_t (cfg : Engine.config) h = fst (min_t_stats cfg h)
 
 (** [check ecfg wcfg h] — full eventual-linearizability verdict. *)
 let check (ecfg : Engine.config) (wcfg : Weak.config) h =
@@ -59,3 +95,7 @@ let pp_verdict ppf v =
        ~none:(fun ppf () -> Format.fprintf ppf "none")
        Format.pp_print_int)
     v.min_t
+
+let pp_stats ppf s =
+  Format.fprintf ppf "{cuts=%d; nodes=%d; memo_hits=%d}" s.cuts_probed s.nodes
+    s.memo_hits

@@ -2,8 +2,9 @@
     the conjunction of weak consistency and t-linearizability for some
     t.  For finite histories over total types some [t <= length]
     always works, so the informative quantity is the minimal
-    stabilization bound [min_t], found by binary search (monotonicity
-    is Lemma 5). *)
+    stabilization bound [min_t], found by a galloping monotone search
+    from [t = 0] (monotonicity is Lemma 5) — O(log min_t) probes, each
+    reusing one {!Engine.prepare}. *)
 
 open Elin_spec
 open Elin_history
@@ -18,8 +19,22 @@ type verdict = {
 val is_eventually_linearizable : verdict -> bool
 
 (** [min_t_search check ~len] — generic least-t search for a monotone
-    predicate over [0, len]. *)
+    predicate over [0, len]: galloping (0, 1, 2, 4, ...) then binary
+    refinement, agreeing with plain binary search on every monotone
+    predicate in O(log min_t) probes. *)
 val min_t_search : (int -> bool) -> len:int -> int option
+
+(** Aggregate exploration statistics over all cuts probed by a
+    [min_t] search. *)
+type search_stats = { cuts_probed : int; nodes : int; memo_hits : int }
+
+(** [min_t_prepared p] — least stabilization bound against a prepared
+    history, sharing its cut-independent structures across every
+    probed cut, plus the aggregate statistics. *)
+val min_t_prepared : Engine.prepared -> int option * search_stats
+
+(** [min_t_stats cfg h] — {!min_t} plus exploration statistics. *)
+val min_t_stats : Engine.config -> History.t -> int option * search_stats
 
 val min_t : Engine.config -> History.t -> int option
 
@@ -29,3 +44,4 @@ val check : Engine.config -> Weak.config -> History.t -> verdict
 val check_spec : ?node_budget:int -> Spec.t -> History.t -> verdict
 
 val pp_verdict : Format.formatter -> verdict -> unit
+val pp_stats : Format.formatter -> search_stats -> unit

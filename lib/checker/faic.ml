@@ -120,7 +120,7 @@ let t_linearizable ?(initial = 0) h ~t =
         Matching.feasible ~slots ~lower_bounds:(Array.of_list fillers)
   end
 
-(** [min_t ?initial h] — least stabilization bound, by binary search
+(** [min_t ?initial h] — least stabilization bound, by galloping search
     (Lemma 5 gives monotonicity). *)
 let min_t ?(initial = 0) h =
   Eventual.min_t_search

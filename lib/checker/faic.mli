@@ -21,7 +21,8 @@ val classify : History.t -> t:int -> classified
     history; [initial] is the counter's starting value. *)
 val t_linearizable : ?initial:int -> History.t -> t:int -> bool
 
-(** Least stabilization bound (binary search over {!t_linearizable}). *)
+(** Least stabilization bound (galloping search over
+    {!t_linearizable}, via [Eventual.min_t_search]). *)
 val min_t : ?initial:int -> History.t -> int option
 
 (** Definition 1 specialized: a completed fetch&inc by process [p]

@@ -1,0 +1,29 @@
+(** The failure-memoization key shared by the DFS checkers: the set of
+    operations already placed plus the per-object state vector.
+
+    Equality and hashing route through [Value.equal] / [Value.hash] so
+    the memo contract matches the documented structural equality of
+    [Value.t] (the engine and the weak-consistency checker used to
+    compare state vectors with polymorphic [=], which only happens to
+    coincide for today's [Value.t] representation). *)
+
+open Elin_kernel
+open Elin_spec
+
+module Key = struct
+  type t = Bitset.t * Value.t array
+
+  let equal (b1, s1) (b2, s2) =
+    Bitset.equal b1 b2
+    && Array.length s1 = Array.length s2
+    && Array.for_all2 Value.equal s1 s2
+
+  (* Allocation-free fold: lookups run once per DFS child, so hashing
+     must not build an intermediate array. *)
+  let hash (b, s) =
+    let acc = ref (Bitset.hash b) in
+    Array.iter (fun v -> acc := (!acc * 31) + Value.hash v) s;
+    !acc land max_int
+end
+
+module Memo = Hashtbl.Make (Key)

@@ -1,0 +1,15 @@
+(** The failure-memoization key shared by the DFS checkers: (placed
+    operation set, per-object state vector), with equality and hashing
+    routed through [Value.equal] / [Value.hash]. *)
+
+open Elin_kernel
+open Elin_spec
+
+module Key : sig
+  type t = Bitset.t * Value.t array
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module Memo : Hashtbl.S with type key = Key.t

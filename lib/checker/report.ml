@@ -2,6 +2,7 @@
     about a history, in one record with a pretty-printer — the payload
     behind [elin check] and handy for interactive debugging. *)
 
+open Elin_kernel
 open Elin_spec
 open Elin_history
 
@@ -24,6 +25,11 @@ type t = {
   min_t : int option;
   (* A witness linearization at the minimal cut, when one exists. *)
   witness : (Operation.t * Value.t) list option;
+  (* Exploration statistics of the min_t search, when it completed. *)
+  search : Eventual.search_stats option;
+  (* True when any phase ran out of node budget; the affected fields
+     then report the conservative "unknown" value. *)
+  budget_exhausted : bool;
 }
 
 let concurrency_of h =
@@ -47,13 +53,29 @@ let concurrency_of h =
 
 (** [analyze ?node_budget spec h] — the full report (single-object
     histories; use per-object projections plus [Locality] for
-    multi-object ones). *)
+    multi-object ones).  The min_t search and the witness share one
+    {!Engine.prepare}.  Budget exhaustion in any phase is absorbed
+    into [budget_exhausted] rather than escaping, so a bounded
+    analysis always yields a (partial) report. *)
 let analyze ?node_budget spec h =
   let ecfg = Engine.for_spec ?node_budget spec in
   let wcfg = Weak.for_spec ?node_budget spec in
-  let min_t = Eventual.min_t ecfg h in
+  let exhausted = ref false in
+  let guard default f =
+    try f ()
+    with Budget.Exceeded ->
+      exhausted := true;
+      default
+  in
+  let prep = Engine.prepare ecfg h in
+  let min_t, search =
+    guard (None, None) (fun () ->
+        let mt, st = Eventual.min_t_prepared prep in
+        (mt, Some st))
+  in
+  let weak_result = guard None (fun () -> Some (Weak.check wcfg h)) in
   let violating_op =
-    match Weak.check wcfg h with Ok () -> None | Error o -> Some o
+    match weak_result with Some (Error o) -> Some o | Some (Ok ()) | None -> None
   in
   {
     events = History.length h;
@@ -64,10 +86,14 @@ let analyze ?node_budget spec h =
     objs = List.length (History.objs h);
     concurrency = concurrency_of h;
     linearizable = min_t = Some 0;
-    weakly_consistent = Option.is_none violating_op;
+    weakly_consistent = (match weak_result with Some (Ok ()) -> true | _ -> false);
     violating_op;
     min_t;
-    witness = Option.bind min_t (fun t -> Engine.witness ecfg h ~t);
+    witness =
+      guard None (fun () ->
+          Option.bind min_t (fun t -> Engine.witness_at prep ~t));
+    search;
+    budget_exhausted = !exhausted;
   }
 
 let is_eventually_linearizable r = r.weakly_consistent && r.min_t <> None
@@ -79,7 +105,7 @@ let pp ppf r =
      linearizable: %b@,\
      weakly consistent: %b%a@,\
      min stabilization bound: %a@,\
-     eventually linearizable: %b%a@]"
+     eventually linearizable: %b%a%a@]"
     r.events r.operations r.complete r.pending r.procs r.objs
     r.concurrency.max_overlap r.concurrency.mean_overlap r.linearizable
     r.weakly_consistent
@@ -103,3 +129,17 @@ let pp ppf r =
           w
       | Some _ | None -> ())
     r.witness
+    (fun ppf exhausted ->
+      if exhausted then
+        Format.fprintf ppf "@,(node budget exhausted: partial verdicts)")
+    r.budget_exhausted
+
+(** [pp_stats] — the exploration-statistics line behind
+    [elin check --stats]. *)
+let pp_stats ppf r =
+  match r.search with
+  | None -> Format.fprintf ppf "search stats: unavailable"
+  | Some s ->
+    Format.fprintf ppf
+      "search stats: %d cuts probed, %d nodes explored, %d memo hits"
+      s.Eventual.cuts_probed s.Eventual.nodes s.Eventual.memo_hits

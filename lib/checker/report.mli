@@ -1,6 +1,7 @@
 (** Full per-history analysis reports: size, concurrency shape, all
-    consistency verdicts, a violation culprit, and a witness
-    linearization at the minimal cut. *)
+    consistency verdicts, a violation culprit, a witness linearization
+    at the minimal cut, and exploration statistics of the min_t
+    search. *)
 
 open Elin_spec
 open Elin_history
@@ -20,13 +21,25 @@ type t = {
   violating_op : Operation.t option;
   min_t : int option;
   witness : (Operation.t * Value.t) list option;
+  search : Eventual.search_stats option;
+      (** min_t-search exploration statistics, when that phase
+          completed within budget *)
+  budget_exhausted : bool;
+      (** true when any phase ran out of node budget; affected fields
+          hold the conservative "unknown" value instead of escaping
+          with an exception *)
 }
 
 val concurrency_of : History.t -> concurrency
 
 (** Single-object histories; project and use [Locality] for
-    multi-object ones. *)
+    multi-object ones.  The min_t search and the witness share one
+    [Engine.prepare]; budget exhaustion is absorbed into
+    [budget_exhausted]. *)
 val analyze : ?node_budget:int -> Spec.t -> History.t -> t
 
 val is_eventually_linearizable : t -> bool
 val pp : Format.formatter -> t -> unit
+
+(** Exploration-statistics line ([elin check --stats]). *)
+val pp_stats : Format.formatter -> t -> unit

@@ -20,16 +20,9 @@ type config = { spec_of_obj : int -> Spec.t; node_budget : int option }
 let config ?node_budget spec_of_obj = { spec_of_obj; node_budget }
 let for_spec ?node_budget spec = config ?node_budget (fun _ -> spec)
 
-exception Budget_exceeded
+exception Budget_exceeded = Budget.Exceeded
 
-module Key = struct
-  type t = Bitset.t * Value.t array
-
-  let equal (b1, s1) (b2, s2) = Bitset.equal b1 b2 && s1 = s2
-  let hash (b, s) = Hashtbl.hash (Bitset.hash b, Array.map Value.hash s)
-end
-
-module Memo = Hashtbl.Make (Key)
+module Memo = Memo_key.Memo
 
 (** [op_ok cfg h target] decides Definition 1 for one completed
     operation [target] of [h]. *)
@@ -68,13 +61,8 @@ let op_ok cfg h (target : Operation.t) =
     fun o -> Hashtbl.find tbl o
   in
   let init_states = Array.map (fun o -> Spec.initial (cfg.spec_of_obj o)) objs in
-  let nodes = ref 0 in
-  let bump () =
-    incr nodes;
-    match cfg.node_budget with
-    | Some b when !nodes > b -> raise Budget_exceeded
-    | _ -> ()
-  in
+  let budget = Budget.counter ?limit:cfg.node_budget () in
+  let bump () = Budget.bump budget in
   let memo = Memo.create 256 in
   let is_required = Array.make n false in
   List.iter (fun id -> is_required.(id) <- true) required;

@@ -8,6 +8,9 @@ open Elin_history
 
 type config
 
+(** Alias of {!Elin_kernel.Budget.Exceeded} (and hence of
+    [Engine.Budget_exceeded]): one handler catches budget exhaustion
+    from every checker. *)
 exception Budget_exceeded
 
 val config : ?node_budget:int -> (int -> Spec.t) -> config

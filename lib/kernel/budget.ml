@@ -1,0 +1,23 @@
+(** Node-budget accounting shared by the checkers.
+
+    Every bounded search in the repo (the t-linearization engine, the
+    weak-consistency checker) signals exhaustion with the single
+    exception {!Exceeded}, so callers catch one exception no matter
+    which checker blew its budget.  The checkers re-export it under
+    their historical names ([Engine.Budget_exceeded],
+    [Weak.Budget_exceeded]) via exception rebinding, so existing
+    handlers keep working and now also catch each other's overruns. *)
+
+exception Exceeded
+
+type counter = { limit : int option; mutable spent : int }
+
+let counter ?limit () = { limit; spent = 0 }
+
+let spent c = c.spent
+
+(** [bump c] — account one unit of work; raises {!Exceeded} once the
+    limit is passed ([None] = unbounded). *)
+let bump c =
+  c.spent <- c.spent + 1;
+  match c.limit with Some b when c.spent > b -> raise Exceeded | _ -> ()

@@ -1,0 +1,15 @@
+(** Node-budget accounting shared by the checkers: one exception for
+    every bounded search, so a caller's handler is checker-agnostic. *)
+
+exception Exceeded
+
+type counter
+
+(** [counter ?limit ()] — a fresh spend counter; [None] = unbounded. *)
+val counter : ?limit:int -> unit -> counter
+
+(** Units spent so far. *)
+val spent : counter -> int
+
+(** [bump c] — account one unit; raises {!Exceeded} past the limit. *)
+val bump : counter -> unit

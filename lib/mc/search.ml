@@ -149,17 +149,27 @@ let bfs ?domains ?(dedup = true) ?(stripes = 64) ?(stop_early = true)
           expand_share ~expand ~fingerprint ~visited fr ~stride:1 ~offset:0;
         |]
       else begin
+        (* Shares run under [Fun.protect]-style discipline: capture any
+           exception (e.g. a budget-bounded [expand] raising
+           [Budget.Exceeded]), join EVERY domain, then re-raise — a
+           raise must never leak unjoined domains. *)
+        let guarded f = try Ok (f ()) with e -> Error e in
         let workers =
           Array.init (n_domains - 1) (fun d ->
               Domain.spawn (fun () ->
-                  expand_share ~expand ~fingerprint ~visited fr
-                    ~stride:n_domains ~offset:(d + 1)))
+                  guarded (fun () ->
+                      expand_share ~expand ~fingerprint ~visited fr
+                        ~stride:n_domains ~offset:(d + 1))))
         in
         let mine =
-          expand_share ~expand ~fingerprint ~visited fr ~stride:n_domains
-            ~offset:0
+          guarded (fun () ->
+              expand_share ~expand ~fingerprint ~visited fr ~stride:n_domains
+                ~offset:0)
         in
-        Array.append [| mine |] (Array.map Domain.join workers)
+        let all = Array.append [| mine |] (Array.map Domain.join workers) in
+        Array.map
+          (function Ok s -> s | Error e -> raise e)
+          all
       end
     in
     let level_found = ref [] in

@@ -170,6 +170,94 @@ let budget_respected () =
     | exception Engine.Budget_exceeded -> true
     | _ -> false)
 
+(* Regression: witness must honor the node budget exactly like search
+   (it used to explore the whole tree unbounded). *)
+let witness_honors_budget () =
+  let hist = paper_fai_family 5 in
+  let cfg = Engine.for_spec ~node_budget:1 fai in
+  Alcotest.(check bool) "search raises" true
+    (match Engine.t_linearizable cfg hist ~t:0 with
+    | exception Engine.Budget_exceeded -> true
+    | _ -> false);
+  Alcotest.(check bool) "witness raises on the same budget" true
+    (match Engine.witness cfg hist ~t:0 with
+    | exception Engine.Budget_exceeded -> true
+    | _ -> false);
+  (* Both run the identical tree: a budget covering search's
+     exploration also covers witness reconstruction. *)
+  let t = History.length hist in
+  let nodes = (Engine.search fcfg hist ~t).Engine.nodes_explored in
+  let cfg = Engine.for_spec ~node_budget:nodes fai in
+  Alcotest.(check bool) "witness fits search's node count" true
+    (Engine.witness cfg hist ~t <> None)
+
+(* The unsatisfiable pending-writes family again, as a budget
+   discriminator: within the memoized node count, a memoized witness
+   search refutes cleanly while a memo-free one must blow the budget —
+   so witness observably honors [memoize] too. *)
+let witness_honors_memoize () =
+  let k = 6 in
+  let reg_k = Register.spec ~domain:(List.init k (fun i -> i + 1)) () in
+  let events =
+    List.init k (fun i -> inv (i + 1) (Op.write (i + 1)))
+    @ List.concat_map
+        (fun i -> [ inv 0 Op.read; resi 0 (i + 1) ])
+        (List.init k (fun i -> i))
+    @ [ inv 0 Op.read; resi 0 1 ]
+  in
+  let hist = h events in
+  let memo_nodes =
+    (Engine.search (Engine.for_spec reg_k) hist ~t:0).Engine.nodes_explored
+  in
+  let with_memo = Engine.for_spec ~node_budget:memo_nodes reg_k in
+  Alcotest.(check bool) "memoized witness refutes within budget" true
+    (Engine.witness with_memo hist ~t:0 = None);
+  let no_memo = Engine.for_spec ~node_budget:memo_nodes ~memoize:false reg_k in
+  Alcotest.(check bool) "memo-free witness exceeds the same budget" true
+    (match Engine.witness no_memo hist ~t:0 with
+    | exception Engine.Budget_exceeded -> true
+    | _ -> false)
+
+(* The two historically distinct budget exceptions are now one: a raise
+   from the weak-consistency checker is caught by a handler naming the
+   engine's exception (and by the kernel's). *)
+let unified_budget_exception () =
+  let hist = paper_fai_family 4 in
+  let wcfg = Weak.for_spec ~node_budget:1 fai in
+  Alcotest.(check bool) "Weak raise caught as Engine.Budget_exceeded" true
+    (match Weak.is_weakly_consistent wcfg hist with
+    | exception Engine.Budget_exceeded -> true
+    | _ -> false);
+  Alcotest.(check bool) "Weak raise caught as Budget.Exceeded" true
+    (match Weak.is_weakly_consistent wcfg hist with
+    | exception Elin_kernel.Budget.Exceeded -> true
+    | _ -> false);
+  Alcotest.(check bool) "Engine raise caught as Weak.Budget_exceeded" true
+    (match
+       Engine.t_linearizable (Engine.for_spec ~node_budget:1 fai) hist ~t:0
+     with
+    | exception Weak.Budget_exceeded -> true
+    | _ -> false)
+
+let memo_hits_counted () =
+  let k = 6 in
+  let reg_k = Register.spec ~domain:(List.init k (fun i -> i + 1)) () in
+  let events =
+    List.init k (fun i -> inv (i + 1) (Op.write (i + 1)))
+    @ List.concat_map
+        (fun i -> [ inv 0 Op.read; resi 0 (i + 1) ])
+        (List.init k (fun i -> i))
+    @ [ inv 0 Op.read; resi 0 1 ]
+  in
+  let hist = h events in
+  let v = Engine.search (Engine.for_spec reg_k) hist ~t:0 in
+  Alcotest.(check bool) "memo hits on refutation-heavy family" true
+    (v.Engine.memo_hits > 0);
+  let v' = Engine.search (Engine.for_spec ~memoize:false reg_k) hist ~t:0 in
+  Alcotest.(check int) "no hits with memo off" 0 v'.Engine.memo_hits;
+  Alcotest.(check bool) "memo explores strictly less" true
+    (v.Engine.nodes_explored < v'.Engine.nodes_explored)
+
 (* Property: generated linearizable histories always pass. *)
 let generated_pass =
   Support.seeded_prop ~count:100 "generated histories linearizable" (fun rng ->
@@ -303,6 +391,10 @@ let () =
       ( "mechanics",
         [
           Support.quick "budget" budget_respected;
+          Support.quick "witness honors budget" witness_honors_budget;
+          Support.quick "witness honors memoize" witness_honors_memoize;
+          Support.quick "unified budget exception" unified_budget_exception;
+          Support.quick "memo hits" memo_hits_counted;
           Support.quick "verdict stats" verdict_counts_nodes;
           Support.quick "pending-writes family" pending_writes_refuted;
           generated_pass;

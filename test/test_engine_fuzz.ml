@@ -1,0 +1,158 @@
+(** Differential fuzzing of the rebuilt DFS engine.
+
+    The engine is compared against two structurally independent
+    deciders at randomized cuts — the brute-force [Oracle]
+    (definitional ground truth, micro-histories only) and the
+    Lemma-17 slot checker [Faic] (fetch&increment histories of any
+    size) — plus fixed-seed min_t tables pinning the galloping search
+    to plain binary search on the paper's E3/E16 families, and a
+    randomized search/witness budget-parity property (both run the
+    identical tree, so they must exhaust any budget together). *)
+
+open Elin_spec
+open Elin_history
+open Elin_checker
+open Elin_test_support
+
+let fai = Faicounter.spec ()
+
+(* A small random history: linearizable / pending / eventually
+   linearizable / corrupted shape, over [spec]. *)
+let random_history rng spec ~n_ops =
+  match Elin_kernel.Prng.int rng 4 with
+  | 0 -> Gen.linearizable rng ~spec ~procs:2 ~n_ops ()
+  | 1 -> Gen.linearizable_with_pending rng ~spec ~procs:2 ~n_ops ()
+  | 2 ->
+    fst
+      (Gen.eventually_linearizable rng ~spec ~procs:2
+         ~prefix_ops:(n_ops / 2)
+         ~suffix_ops:(n_ops - (n_ops / 2))
+         ())
+  | _ -> (
+    let h = Gen.linearizable rng ~spec ~procs:2 ~n_ops () in
+    match Gen.corrupt rng h with Some h' -> h' | None -> h)
+
+let random_cut rng h = Elin_kernel.Prng.int rng (History.length h + 1)
+
+(* --- engine vs brute-force Oracle, randomized cuts, three specs --- *)
+
+let vs_oracle name spec =
+  (* Oracle enumerates all orderings: keep histories micro. *)
+  Support.seeded_prop ~count:120 (Printf.sprintf "engine = oracle (%s)" name)
+    (fun rng ->
+      let h = random_history rng spec ~n_ops:4 in
+      let t = random_cut rng h in
+      let engine = Engine.t_linearizable (Engine.for_spec spec) h ~t in
+      let oracle = Oracle.t_linearizable (fun _ -> spec) h ~t in
+      engine = oracle)
+
+(* --- engine vs the Lemma-17 slot checker, randomized cuts --- *)
+
+let vs_faic =
+  Support.seeded_prop ~count:150 "engine = faic at random cuts" (fun rng ->
+      let h = random_history rng fai ~n_ops:6 in
+      let t = random_cut rng h in
+      Engine.t_linearizable (Engine.for_spec fai) h ~t
+      = Faic.t_linearizable h ~t)
+
+(* --- galloping min_t = binary-search min_t --- *)
+
+(* Plain binary search (the pre-galloping strategy), inlined so the
+   suite does not depend on the optimized implementation under test. *)
+let binary_min_t check ~len =
+  if not (check len) then None
+  else begin
+    let lo = ref 0 and hi = ref len in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if check mid then hi := mid else lo := mid + 1
+    done;
+    Some !lo
+  end
+
+let min_t_opt = Alcotest.(option int)
+
+(* Fixed-seed tables over the paper's two named families: E3 (the
+   Proposition 9 register family — min_t grows with k) and E16 (the
+   Serafini delayed-winner test&set family — min_t ~ history length). *)
+let galloping_matches_binary_families () =
+  List.iter
+    (fun k ->
+      let h = Locality.register_family k in
+      let cfg = Engine.config (fun _ -> Register.spec ()) in
+      let check t = Engine.t_linearizable cfg h ~t in
+      let len = History.length h in
+      Alcotest.check min_t_opt
+        (Printf.sprintf "register_family %d" k)
+        (binary_min_t check ~len)
+        (Eventual.min_t_search check ~len))
+    [ 1; 3; 5 ];
+  let ts = Testandset.spec () in
+  let cfg = Engine.for_spec ts in
+  List.iter
+    (fun n ->
+      let h = Serafini.delayed_winner_family n in
+      let check t = Engine.t_linearizable cfg h ~t in
+      let len = History.length h in
+      Alcotest.check min_t_opt
+        (Printf.sprintf "delayed_winner_family %d" n)
+        (binary_min_t check ~len)
+        (Eventual.min_t_search check ~len))
+    [ 2; 4; 6; 8 ]
+
+(* Randomized: the two monotone searches agree on arbitrary histories,
+   and min_t through the prepared path agrees with the one-shot path. *)
+let galloping_matches_binary_random =
+  Support.seeded_prop ~count:150 "galloping = binary min_t (random)"
+    (fun rng ->
+      let h = random_history rng fai ~n_ops:6 in
+      let cfg = Engine.for_spec fai in
+      let check t = Engine.t_linearizable cfg h ~t in
+      let len = History.length h in
+      Eventual.min_t_search check ~len = binary_min_t check ~len
+      && Eventual.min_t cfg h
+         = fst (Eventual.min_t_prepared (Engine.prepare cfg h)))
+
+(* --- search/witness budget parity --- *)
+
+let budget_parity =
+  Support.seeded_prop ~count:150 "search and witness share budgets"
+    (fun rng ->
+      let h = random_history rng fai ~n_ops:5 in
+      let t = random_cut rng h in
+      let full = Engine.search (Engine.for_spec fai) h ~t in
+      (* A budget drawn from [1, nodes + 1]: sometimes binding,
+         sometimes not. *)
+      let b = 1 + Elin_kernel.Prng.int rng (full.Engine.nodes_explored + 1) in
+      let cfg = Engine.for_spec ~node_budget:b fai in
+      let s =
+        match Engine.search cfg h ~t with
+        | v -> `Done v.Engine.ok
+        | exception Engine.Budget_exceeded -> `Exceeded
+      in
+      let w =
+        match Engine.witness cfg h ~t with
+        | Some _ -> `Done true
+        | None -> `Done false
+        | exception Engine.Budget_exceeded -> `Exceeded
+      in
+      s = w)
+
+let () =
+  Alcotest.run "engine_fuzz"
+    [
+      ( "differential",
+        [
+          vs_oracle "fetch&increment" fai;
+          vs_oracle "register" (Register.spec ());
+          vs_oracle "queue" (Fifo.spec ());
+          vs_faic;
+        ] );
+      ( "min_t",
+        [
+          Support.quick "galloping = binary on E3/E16 families"
+            galloping_matches_binary_families;
+          galloping_matches_binary_random;
+        ] );
+      ( "budget", [ budget_parity ] );
+    ]

@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build release test bench bench-smoke check doc clean
+.PHONY: all build release test bench bench-smoke svc-smoke check doc clean
 
 all: build
 
@@ -23,12 +23,29 @@ bench:
 bench-smoke:
 	$(DUNE) exec bench/main.exe -- --smoke
 
+# Round-trips the committed 50-job corpus through the checking service
+# on 2 worker domains: the verdict stream must be byte-identical to
+# the golden file, and the exit code must be 3 (the corpus contains
+# budget-exhausted jobs; Exhausted outranks Violation outranks Ok).
+svc-smoke: build
+	@mkdir -p _build/svc-smoke
+	@$(DUNE) exec --no-build -- elin batch --domains 2 \
+	  test/support/corpus_50.jobs > _build/svc-smoke/corpus_50.verdicts; \
+	status=$$?; \
+	if [ $$status -ne 3 ]; then \
+	  echo "svc-smoke: expected exit code 3, got $$status"; exit 1; \
+	fi
+	@diff -u test/support/corpus_50.verdicts.golden \
+	  _build/svc-smoke/corpus_50.verdicts \
+	  || { echo "svc-smoke: verdicts differ from the golden file"; exit 1; }
+	@echo "svc-smoke OK"
+
 doc:
 	$(DUNE) build @doc
 
 # CI gate: full build, full test suite, and a guard against anyone
 # re-adding build artefacts to the index (PR 1 untracked _build/).
-check: build test bench-smoke
+check: build test bench-smoke svc-smoke
 	@if git ls-files | grep -E '^_build/|\.install$$|^\.merlin$$' >/dev/null; then \
 	  echo "error: build artefacts are tracked in git (see .gitignore)"; \
 	  git ls-files | grep -E '^_build/|\.install$$|^\.merlin$$' | head; \

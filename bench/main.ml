@@ -22,11 +22,16 @@
     - E9 [valency-scaling]: exhaustive valency analysis cost vs depth;
     - E13 [stabilize-sweep]: the Prop. 18 construction (stable-node
       search + certification + derivation) for a sweep of stabilization
-      parameters k.
+      parameters k;
+    - B5 [svc-throughput]: the lib/svc checking service — jobs/s of a
+      50-job batch vs worker-domain count, with and without
+      prepared-history reuse.
 
     Every workload is deterministic (seeded); numbers are ns per
     whole-scenario run, with per-op normalization printed where the
-    scenario has a natural op count. *)
+    scenario has a natural op count.  With [--json], every series also
+    writes its rows to [BENCH_<series>.json] in the working
+    directory. *)
 
 open Bechamel
 open Toolkit
@@ -68,18 +73,19 @@ let is_suffix ~affix s =
   let la = String.length affix and ls = String.length s in
   la <= ls && String.sub s (ls - la) la = affix
 
+let est_of results name =
+  match
+    List.find_opt
+      (fun (n, _) -> n = name || is_suffix ~affix:("/" ^ name) n)
+      results
+  with
+  | Some (_, est) -> est
+  | None -> nan
+
 let print_rows specs results =
   List.iter
     (fun (name, ops, _) ->
-      let est =
-        match
-          List.find_opt
-            (fun (n, _) -> n = name || is_suffix ~affix:("/" ^ name) n)
-            results
-        with
-        | Some (_, est) -> est
-        | None -> nan
-      in
+      let est = est_of results name in
       let per_op =
         match ops with
         | Some n when n > 0 -> Printf.sprintf "%14.1f" (est /. float_of_int n)
@@ -88,14 +94,51 @@ let print_rows specs results =
       Printf.printf "%-46s %14.1f %s\n" name est per_op)
     specs
 
+(* ------------------------------------------------------------------ *)
+(* --json output                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let json_mode = Array.exists (fun a -> a = "--json") Sys.argv
+
+(* NaN has no JSON spelling; a missing estimate becomes null. *)
+let jnum f = if Float.is_nan f then Elin_svc.Jsonl.Null else Elin_svc.Jsonl.Float f
+
+let write_series series rows =
+  if json_mode then begin
+    let open Elin_svc.Jsonl in
+    let path = Printf.sprintf "BENCH_%s.json" series in
+    let oc = open_out path in
+    output_string oc
+      (to_string (Obj [ ("series", Str series); ("results", Arr rows) ]));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  end
+
+let rows_of_specs specs results =
+  let open Elin_svc.Jsonl in
+  List.map
+    (fun (name, ops, _) ->
+      let est = est_of results name in
+      Obj
+        (("name", Str name)
+         :: ("ns_per_run", jnum est)
+         ::
+         (match ops with
+         | Some n when n > 0 ->
+           [ ("ns_per_op", jnum (est /. float_of_int n)) ]
+         | _ -> [])))
+    specs
+
 (* [specs] : (name, op-count option, thunk) list *)
-let group title specs =
+let group ~series title specs =
   print_header title;
   let tests =
     List.map (fun (name, _, f) -> Test.make ~name (Staged.stage f)) specs
   in
   let results = measure_group tests in
   print_rows specs results;
+  write_series series (rows_of_specs specs results);
   flush stdout
 
 (* ------------------------------------------------------------------ *)
@@ -129,7 +172,7 @@ let b1 () =
         ])
       [ 1; 2; 4; 8 ]
   in
-  group "B1: fetch&increment implementations under contention" specs
+  group ~series:"b1" "B1: fetch&increment implementations under contention" specs
 
 (* ------------------------------------------------------------------ *)
 (* B2: checker scaling                                                *)
@@ -173,7 +216,7 @@ let b2 () =
           fun () -> assert (Faic.min_t h <> None) ))
       [ 64; 256; 1024 ]
   in
-  group "B2: t-linearizability checker scaling" (generic @ fast @ min_t)
+  group ~series:"b2" "B2: t-linearizability checker scaling" (generic @ fast @ min_t)
 
 (* ------------------------------------------------------------------ *)
 (* E6: guard overhead                                                 *)
@@ -198,7 +241,7 @@ let e6 () =
         fai_run (Guard.wrap ~spec:fai (inner ())) ~procs:3 ~per_proc:6 ~seed:3 );
     ]
   in
-  group "E6: Figure-1 weak-consistency guard overhead" specs
+  group ~series:"e6" "E6: Figure-1 weak-consistency guard overhead" specs
 
 (* ------------------------------------------------------------------ *)
 (* E10: consensus                                                     *)
@@ -224,7 +267,7 @@ let e10 () =
         ])
       [ 2; 4; 8 ]
   in
-  group "E10: Proposals-array consensus (Prop. 16)" specs
+  group ~series:"e10" "E10: Proposals-array consensus (Prop. 16)" specs
 
 (* ------------------------------------------------------------------ *)
 (* E9: valency analysis                                               *)
@@ -262,7 +305,7 @@ let e9 () =
               <> None) );
       ]
   in
-  group "E9: exhaustive valency analysis (Prop. 15)" specs
+  group ~series:"e9" "E9: exhaustive valency analysis (Prop. 15)" specs
 
 (* ------------------------------------------------------------------ *)
 (* B3: model-checking engine scaling                                  *)
@@ -344,7 +387,7 @@ let b3 () =
         ("mc domains=4", Stabilize.Mc { domains = Some 4; dedup = true });
       ]
   in
-  group "B3: model-checking engine scaling (sequential vs domains, dedup)"
+  group ~series:"b3" "B3: model-checking engine scaling (sequential vs domains, dedup)"
     (explore_specs @ valency_specs @ certify_specs)
 
 (* ------------------------------------------------------------------ *)
@@ -367,7 +410,7 @@ let e13 () =
               Stabilize.construct impl ~workloads:wl ~depth:8 ~check () <> None) ))
       [ 1; 2; 3 ]
   in
-  group "E13: Prop. 18 stable-configuration construction" specs
+  group ~series:"e13" "E13: Prop. 18 stable-configuration construction" specs
 
 (* ------------------------------------------------------------------ *)
 (* A1: ablations of the checker design choices                        *)
@@ -468,7 +511,7 @@ let a1 () =
           ~procs:2 ~per_proc:5 ~seed:9 );
     ]
   in
-  group "A1: ablations (engine memoization; guard substrate)"
+  group ~series:"a1" "A1: ablations (engine memoization; guard substrate)"
     (memo_specs @ guard_specs)
 
 (* ------------------------------------------------------------------ *)
@@ -569,7 +612,7 @@ let b4 ?(smoke = false) () =
           ])
         families
     in
-    group "B4: incremental min_t search (ns per whole min_t computation)"
+    group ~series:"b4" "B4: incremental min_t search (ns per whole min_t computation)"
       specs
   end
 
@@ -598,7 +641,76 @@ let e15 () =
         ])
       [ 1; 2; 4 ]
   in
-  group "E15: log-based universal construction from consensus cells" specs
+  group ~series:"e15" "E15: log-based universal construction from consensus cells" specs
+
+(* ------------------------------------------------------------------ *)
+(* B5: checking-service throughput                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock of whole batches (not bechamel): the quantity of
+   interest is end-to-end jobs/s through the pool, channels and
+   batcher included.  10 histories x 5 checker kinds = 50 jobs; the 5
+   checks per history are exactly what prepared-history reuse is
+   for. *)
+let b5 () =
+  let open Elin_svc in
+  let fai = Faicounter.spec () in
+  let jobs =
+    List.concat
+      (List.init 10 (fun i ->
+           let rng = Elin_kernel.Prng.create (100 + i) in
+           let h = Gen.linearizable rng ~spec:fai ~procs:4 ~n_ops:24 () in
+           let text = Textio.to_string h in
+           List.mapi
+             (fun j check ->
+               {
+                 Job.id = Printf.sprintf "b5-%d-%d" i j;
+                 seq = (i * 5) + j;
+                 spec = "fetch&increment";
+                 check;
+                 node_budget = None;
+                 timeout_ms = None;
+                 history_text = text;
+               })
+             [ Job.Linearizable; Job.T_lin 2; Job.Min_t; Job.Weak; Job.Full ]))
+  in
+  let n = List.length jobs in
+  let throughput ~domains ~reuse =
+    (* Best of 3: batches are deterministic, so the best run is the
+       least-perturbed one. *)
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      let vs = Pool.run_batch ~reuse ~domains jobs in
+      let dt = Unix.gettimeofday () -. t0 in
+      assert (List.length vs = n);
+      assert (
+        List.for_all (fun v -> v.Verdict.status = Verdict.Pass) vs);
+      if dt < !best then best := dt
+    done;
+    float_of_int n /. !best
+  in
+  Printf.printf "\n== B5: checking-service throughput (%d jobs) ==\n" n;
+  Printf.printf "%-10s %18s %18s\n" "domains" "jobs/s (reuse)"
+    "jobs/s (no reuse)";
+  let rows =
+    List.map
+      (fun domains ->
+        let r = throughput ~domains ~reuse:true in
+        let nr = throughput ~domains ~reuse:false in
+        Printf.printf "%-10d %18.0f %18.0f\n" domains r nr;
+        flush stdout;
+        let open Jsonl in
+        Obj
+          [
+            ("domains", Int domains);
+            ("jobs", Int n);
+            ("jobs_per_s_reuse", jnum r);
+            ("jobs_per_s_no_reuse", jnum nr);
+          ])
+      [ 1; 2; 4; 8 ]
+  in
+  write_series "svc" rows
 
 let () =
   if Array.exists (fun a -> a = "--smoke") Sys.argv then begin
@@ -611,6 +723,7 @@ let () =
        exit 1);
     Printf.printf "\nbench-smoke OK\n"
   end
+  else if Array.exists (fun a -> a = "--svc") Sys.argv then b5 ()
   else begin
     Printf.printf
       "elin benchmark harness — experiment series from DESIGN.md section 5\n";
@@ -624,5 +737,6 @@ let () =
     e13 ();
     e15 ();
     a1 ();
+    b5 ();
     Printf.printf "\nAll benchmark groups completed.\n"
   end

@@ -8,13 +8,23 @@
     elin paradox    — run the Prop. 18 construction end to end
     elin mc         — parallel fingerprint-dedup model checking
     elin experiments— run the experiment suite and print the report
-    v} *)
+    elin batch      — run a JSONL job stream through the checking service
+    elin serve      — watch a spool directory of *.jobs files
+    v}
+
+    Exit codes are uniform across subcommands ({!Elin_svc.Exit_code}):
+    0 every verdict ok, 1 a violation/refutation was found, 2 usage or
+    parse error, 3 a budget or timeout was exhausted before a
+    verdict. *)
 
 open Cmdliner
 open Elin_spec
 open Elin_history
 open Elin_checker
 open Elin_runtime
+module Exit_code = Elin_svc.Exit_code
+
+let ok_exit code = `Ok (Exit_code.to_int code)
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                   *)
@@ -66,11 +76,14 @@ let do_check spec_name file t_flag min_t_flag weak_flag stats_flag budget =
     | Error e -> `Error (false, e)
     | Ok hist -> (
       try
+        let code = ref Exit_code.Ok in
+        let note c = code := Exit_code.combine !code c in
         (match t_flag with
         | Some t ->
           let cfg = Engine.for_spec ?node_budget:budget spec in
           let v = Engine.search cfg hist ~t in
           Printf.printf "%d-linearizable: %b\n" t v.Engine.ok;
+          if not v.Engine.ok then note Exit_code.Violation;
           if stats_flag then
             Printf.printf "search stats: %d nodes explored, %d memo hits\n"
               v.Engine.nodes_explored v.Engine.memo_hits
@@ -78,16 +91,18 @@ let do_check spec_name file t_flag min_t_flag weak_flag stats_flag budget =
         if t_flag = None || min_t_flag || weak_flag then begin
           let r = Report.analyze ?node_budget:budget spec hist in
           Format.printf "%a@." Report.pp r;
-          if stats_flag then Format.printf "%a@." Report.pp_stats r
+          if stats_flag then Format.printf "%a@." Report.pp_stats r;
+          if r.Report.budget_exhausted then note Exit_code.Exhausted
+          else if not (Report.is_eventually_linearizable r) then
+            note Exit_code.Violation
         end;
-        `Ok ()
+        ok_exit !code
       with Engine.Budget_exceeded ->
         (* Uniform for every checker: Weak.Budget_exceeded and
            Engine.Budget_exceeded are the same exception. *)
-        `Error
-          ( false,
-            Printf.sprintf "node budget (%s) exhausted before a verdict"
-              (match budget with Some b -> string_of_int b | None -> "?") )))
+        Printf.eprintf "node budget (%s) exhausted before a verdict\n%!"
+          (match budget with Some b -> string_of_int b | None -> "?");
+        ok_exit Exit_code.Exhausted))
 
 let check_cmd =
   let file =
@@ -153,7 +168,7 @@ let do_generate spec_name procs n_ops seed kind out =
       Textio.to_file path hist;
       Printf.printf "wrote %d events to %s\n" (History.length hist) path
     | None -> print_string (Textio.to_string hist));
-    `Ok ()
+    ok_exit Exit_code.Ok
 
 let generate_cmd =
   let n_ops =
@@ -235,7 +250,9 @@ let do_run impl_name procs per_proc seed verbose =
       (Engine.linearizable (Engine.for_spec spec) out.Run.history);
     Format.printf "eventual-linearizability verdict: %a@."
       Eventual.pp_verdict v;
-    `Ok ()
+    ok_exit
+      (if Eventual.is_eventually_linearizable v then Exit_code.Ok
+       else Exit_code.Violation)
 
 let run_cmd =
   let impl_name =
@@ -266,7 +283,9 @@ let do_paradox k depth =
      first %d announcements)\n"
     impl.Impl.name k;
   match Elin_core.Stabilize.construct impl ~workloads ~depth ~check () with
-  | None -> `Error (false, "construction failed (increase depth?)")
+  | None ->
+    Printf.eprintf "construction failed (increase depth?)\n%!";
+    ok_exit Exit_code.Violation
   | Some o ->
     let cert = o.Elin_core.Stabilize.certificate in
     Printf.printf
@@ -292,9 +311,12 @@ let do_paradox k depth =
         "the paradox, mechanized: the eventually linearizable implementation \
          A contained a fully linearizable implementation A' of the same \
          fetch&increment, over the same base objects.\n";
-      `Ok ()
+      ok_exit Exit_code.Ok
     end
-    else `Error (false, "derived implementation not linearizable!")
+    else begin
+      Printf.eprintf "derived implementation not linearizable!\n%!";
+      ok_exit Exit_code.Violation
+    end
 
 let paradox_cmd =
   let k = Arg.(value & opt int 3 & info [ "k" ] ~doc:"Misbehaving prefix length.") in
@@ -366,7 +388,12 @@ let do_valency protocol_name stabilize_at depth =
                 match o with Some o -> string_of_int o | None -> "-")
               (Array.to_list crit.Valency.moves)))
     | None -> Printf.printf "no critical configuration (protocol univalent or undetermined)\n");
-    `Ok ()
+    ok_exit
+      (if
+         r.Valency.agreement_violation <> None
+         || r.Valency.validity_violation <> None
+       then Exit_code.Violation
+       else Exit_code.Ok)
 
 let valency_cmd =
   let protocol =
@@ -447,7 +474,12 @@ let do_mc impl_name protocol_name stabilize_at procs per_proc depth domains
       (match r.Mc_valency.validity_violation with
       | Some _ -> Printf.printf "VALIDITY VIOLATION\n"
       | None -> Printf.printf "validity: holds on all schedules\n");
-      `Ok ())
+      ok_exit
+        (if
+           r.Mc_valency.agreement_violation <> None
+           || r.Mc_valency.validity_violation <> None
+         then Exit_code.Violation
+         else Exit_code.Ok))
   | Some impl_name -> (
     match impl_of_name impl_name ~procs with
     | Error e -> `Error (false, e)
@@ -482,7 +514,7 @@ let do_mc impl_name protocol_name stabilize_at procs per_proc depth domains
         Printf.printf
           "NOT linearizable; lexicographically minimal counterexample:\n%s"
           (History.to_string h));
-      `Ok ())
+      ok_exit (if out.Mc.ok then Exit_code.Ok else Exit_code.Violation))
 
 let mc_cmd =
   let impl_name =
@@ -567,7 +599,7 @@ let do_serafini family probes =
           (match t with Some t -> string_of_int t | None -> "none"))
       table;
     Format.printf "verdict: %a@." Serafini.pp_verdict (Serafini.classify table);
-    `Ok ()
+    ok_exit Exit_code.Ok
 
 let serafini_cmd =
   let family =
@@ -592,7 +624,142 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Run the experiment suite (quick versions) and print the report")
-    Term.(ret (const (fun () -> `Ok (Experiments.run_all ())) $ const ()))
+    Term.(
+      ret
+        (const (fun () ->
+             Experiments.run_all ();
+             ok_exit Exit_code.Ok)
+        $ const ()))
+
+(* ------------------------------------------------------------------ *)
+(* elin batch / elin serve                                            *)
+(* ------------------------------------------------------------------ *)
+
+let domains_svc_arg =
+  Arg.(value & opt int 1
+       & info [ "domains" ] ~doc:"Worker domains in the checking pool.")
+
+let job_budget_arg =
+  Arg.(value & opt (some int) None
+       & info [ "job-budget" ]
+           ~doc:"Default node budget per job (jobs may override).")
+
+let timeout_ms_arg =
+  Arg.(value & opt (some int) None
+       & info [ "timeout-ms" ]
+           ~doc:"Default wall-clock timeout per job, in milliseconds \
+                 (jobs may override).")
+
+let no_reuse_arg =
+  Arg.(value & flag
+       & info [ "no-reuse" ]
+           ~doc:"Disable prepared-history reuse across jobs sharing a \
+                 (spec, history) pair.")
+
+let svc_stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Include per-job wall_ms in verdicts and print a pool \
+                 metrics line on stderr.  Off by default so output is \
+                 byte-deterministic.")
+
+let read_all_lines ic =
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []
+
+let do_batch domains job_budget timeout_ms no_reuse stats input =
+  if domains < 1 then
+    `Error (false, Printf.sprintf "--domains must be >= 1, got %d" domains)
+  else
+    let lines =
+      match input with
+      | None -> read_all_lines stdin
+      | Some path ->
+        let ic = open_in path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> read_all_lines ic)
+    in
+    let metrics = Elin_svc.Metrics.create () in
+    let verdicts =
+      Elin_svc.Pool.run_lines ?default_budget:job_budget
+        ?default_timeout_ms:timeout_ms ~reuse:(not no_reuse) ~metrics ~domains
+        lines
+    in
+    List.iter
+      (fun v -> print_endline (Elin_svc.Verdict.to_line ~stats v))
+      verdicts;
+    if stats then
+      Format.eprintf "%a@." Elin_svc.Metrics.pp_snapshot
+        (Elin_svc.Metrics.snapshot metrics);
+    ok_exit (Exit_code.of_verdicts verdicts)
+
+let batch_cmd =
+  let input =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"JOBS-FILE"
+             ~doc:"JSONL job file; reads stdin when absent.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Run a JSONL stream of checking jobs through the worker pool \
+             and print one JSONL verdict per job, in submission order \
+             (independent of --domains)")
+    Term.(
+      ret
+        (const do_batch $ domains_svc_arg $ job_budget_arg $ timeout_ms_arg
+       $ no_reuse_arg $ svc_stats_arg $ input))
+
+let do_serve domains job_budget timeout_ms no_reuse stats dir once poll_ms =
+  if domains < 1 then
+    `Error (false, Printf.sprintf "--domains must be >= 1, got %d" domains)
+  else if not (Sys.file_exists dir && Sys.is_directory dir) then
+    `Error (false, Printf.sprintf "--watch %s: not a directory" dir)
+  else if once then begin
+    let n =
+      Elin_svc.Spool.scan_once ?default_budget:job_budget
+        ?default_timeout_ms:timeout_ms ~reuse:(not no_reuse) ~stats ~domains
+        ~dir ()
+    in
+    Printf.printf "processed %d job file(s)\n" n;
+    ok_exit Exit_code.Ok
+  end
+  else begin
+    Printf.printf "watching %s (poll every %dms; Ctrl-C to stop)\n%!" dir
+      poll_ms;
+    Elin_svc.Spool.watch ?default_budget:job_budget
+      ?default_timeout_ms:timeout_ms ~reuse:(not no_reuse) ~stats ~poll_ms
+      ~domains ~dir ();
+    ok_exit Exit_code.Ok
+  end
+
+let serve_cmd =
+  let dir =
+    Arg.(required & opt (some dir) None
+         & info [ "watch" ] ~docv:"DIR"
+             ~doc:"Spool directory: NAME.jobs files are answered with \
+                   NAME.verdicts files (written atomically).")
+  in
+  let once =
+    Arg.(value & flag
+         & info [ "once" ] ~doc:"Process pending job files once and exit.")
+  in
+  let poll_ms =
+    Arg.(value & opt int 200
+         & info [ "poll-ms" ] ~doc:"Idle polling interval.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a spool directory: each *.jobs file (JSONL jobs) is \
+             answered with a *.verdicts file")
+    Term.(
+      ret
+        (const do_serve $ domains_svc_arg $ job_budget_arg $ timeout_ms_arg
+       $ no_reuse_arg $ svc_stats_arg $ dir $ once $ poll_ms))
 
 (* ------------------------------------------------------------------ *)
 
@@ -603,6 +770,14 @@ let main =
          "Eventual linearizability in shared memory — executable reproduction \
           of Guerraoui & Ruppert, PODC 2014")
     [ check_cmd; generate_cmd; run_cmd; paradox_cmd; valency_cmd; mc_cmd;
-      serafini_cmd; experiments_cmd ]
+      serafini_cmd; experiments_cmd; batch_cmd; serve_cmd ]
 
-let () = exit (Cmd.eval main)
+(* The uniform exit-code policy: term values ARE the exit codes;
+   cmdliner-level usage/parse problems map to Exit_code.Usage. *)
+let () =
+  exit
+    (match Cmd.eval_value main with
+    | Ok (`Ok code) -> code
+    | Ok (`Help | `Version) -> 0
+    | Error (`Parse | `Term) -> Exit_code.to_int Exit_code.Usage
+    | Error `Exn -> 125)

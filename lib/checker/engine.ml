@@ -49,16 +49,20 @@ type config = {
   (* Failure memoization on (placed set, state vector); disabling it
      exists only for the ablation benchmark. *)
   memoize : bool;
+  (* Cooperative hook run every [Budget.poll_interval] DFS expansions
+     (see [Budget.counter]); the serving layer's wall-clock timeouts
+     and job cancellation raise from here. *)
+  poll : (unit -> unit) option;
 }
 
 exception Budget_exceeded = Budget.Exceeded
 
-let config ?node_budget ?(memoize = true) spec_of_obj =
-  { spec_of_obj; node_budget; memoize }
+let config ?node_budget ?(memoize = true) ?poll spec_of_obj =
+  { spec_of_obj; node_budget; memoize; poll }
 
 (** One-object convenience. *)
-let for_spec ?node_budget ?memoize spec =
-  config ?node_budget ?memoize (fun _ -> spec)
+let for_spec ?node_budget ?memoize ?poll spec =
+  config ?node_budget ?memoize ?poll (fun _ -> spec)
 
 type verdict = { ok : bool; nodes_explored : int; memo_hits : int }
 
@@ -103,6 +107,15 @@ let prepare cfg h =
   }
 
 let history_length p = p.len
+
+(** [rebudget p ~node_budget ~poll] — the same prepared history with
+    the per-run budget accounting replaced: the serving layer's
+    prepared-reuse hook.  One [prepare] (shared, read-only — each run
+    builds its own cut tables, memo, and state vector, so concurrent
+    runs against one [prepared] are safe) serves jobs with different
+    budgets, deadlines, and cancellation hooks. *)
+let rebudget p ~node_budget ~poll =
+  { p with cfg = { p.cfg with node_budget; poll } }
 
 (* Cut-dependent tables.  At cut [t], op j is a real-time predecessor
    of op i iff j's response index r_j and i's invocation index both
@@ -160,7 +173,7 @@ let run p ~t ~trace =
      set is { i | not placed, missing.(i) = 0 }.  [cut_tables] is
      fresh per run, so we mutate [n_preds] in place. *)
   let missing = n_preds in
-  let budget = Budget.counter ?limit:cfg.node_budget () in
+  let budget = Budget.counter ?limit:cfg.node_budget ?poll:cfg.poll () in
   let memo_hits = ref 0 in
   let memo = Memo_key.Memo.create 1024 in
   (* One state vector, mutated in place and restored on backtrack; the

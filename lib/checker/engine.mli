@@ -26,15 +26,24 @@ type config
     checker. *)
 exception Budget_exceeded
 
-(** [config ?node_budget ?memoize spec_of_obj] — [spec_of_obj] maps
-    each object id appearing in checked histories to its spec;
+(** [config ?node_budget ?memoize ?poll spec_of_obj] — [spec_of_obj]
+    maps each object id appearing in checked histories to its spec;
     exceeding [node_budget] DFS expansions raises {!Budget_exceeded};
     [memoize] (default true) toggles failure memoization — exposed only
-    for the ablation benchmark. *)
-val config : ?node_budget:int -> ?memoize:bool -> (int -> Spec.t) -> config
+    for the ablation benchmark.  [poll] is run every
+    [Elin_kernel.Budget.poll_interval] expansions and may raise to
+    abort the search cooperatively (wall-clock timeouts, cancellation
+    — see [lib/svc]). *)
+val config :
+  ?node_budget:int ->
+  ?memoize:bool ->
+  ?poll:(unit -> unit) ->
+  (int -> Spec.t) ->
+  config
 
 (** One-object convenience. *)
-val for_spec : ?node_budget:int -> ?memoize:bool -> Spec.t -> config
+val for_spec :
+  ?node_budget:int -> ?memoize:bool -> ?poll:(unit -> unit) -> Spec.t -> config
 
 type verdict = {
   ok : bool;
@@ -52,6 +61,15 @@ val prepare : config -> History.t -> prepared
 
 (** Event count of the underlying history (the maximal useful cut). *)
 val history_length : prepared -> int
+
+(** [rebudget p ~node_budget ~poll] — the same prepared history with
+    the per-run budget/poll configuration replaced (a cheap record
+    update): the serving layer's prepared-reuse hook, letting one
+    {!prepare} serve many jobs with per-job budgets and deadlines.  A
+    [prepared] is read-only during runs, so it may be shared across
+    domains; each {!check_at} builds its own mutable search state. *)
+val rebudget :
+  prepared -> node_budget:int option -> poll:(unit -> unit) option -> prepared
 
 (** [check_at p ~t] — full verdict at cut [t] against a prepared
     history. *)

@@ -57,9 +57,9 @@ let concurrency_of h =
     {!Engine.prepare}.  Budget exhaustion in any phase is absorbed
     into [budget_exhausted] rather than escaping, so a bounded
     analysis always yields a (partial) report. *)
-let analyze ?node_budget spec h =
-  let ecfg = Engine.for_spec ?node_budget spec in
-  let wcfg = Weak.for_spec ?node_budget spec in
+let analyze ?node_budget ?poll spec h =
+  let ecfg = Engine.for_spec ?node_budget ?poll spec in
+  let wcfg = Weak.for_spec ?node_budget ?poll spec in
   let exhausted = ref false in
   let guard default f =
     try f ()

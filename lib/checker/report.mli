@@ -35,8 +35,10 @@ val concurrency_of : History.t -> concurrency
 (** Single-object histories; project and use [Locality] for
     multi-object ones.  The min_t search and the witness share one
     [Engine.prepare]; budget exhaustion is absorbed into
-    [budget_exhausted]. *)
-val analyze : ?node_budget:int -> Spec.t -> History.t -> t
+    [budget_exhausted].  [poll] (cooperative timeouts/cancellation,
+    see [Elin_kernel.Budget.counter]) is threaded to every phase;
+    what it raises escapes rather than being absorbed. *)
+val analyze : ?node_budget:int -> ?poll:(unit -> unit) -> Spec.t -> History.t -> t
 
 val is_eventually_linearizable : t -> bool
 val pp : Format.formatter -> t -> unit

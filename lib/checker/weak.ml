@@ -15,10 +15,17 @@ open Elin_kernel
 open Elin_spec
 open Elin_history
 
-type config = { spec_of_obj : int -> Spec.t; node_budget : int option }
+type config = {
+  spec_of_obj : int -> Spec.t;
+  node_budget : int option;
+  (* Cooperative timeout/cancellation hook; see [Budget.counter]. *)
+  poll : (unit -> unit) option;
+}
 
-let config ?node_budget spec_of_obj = { spec_of_obj; node_budget }
-let for_spec ?node_budget spec = config ?node_budget (fun _ -> spec)
+let config ?node_budget ?poll spec_of_obj = { spec_of_obj; node_budget; poll }
+
+let for_spec ?node_budget ?poll spec =
+  config ?node_budget ?poll (fun _ -> spec)
 
 exception Budget_exceeded = Budget.Exceeded
 
@@ -61,7 +68,7 @@ let op_ok cfg h (target : Operation.t) =
     fun o -> Hashtbl.find tbl o
   in
   let init_states = Array.map (fun o -> Spec.initial (cfg.spec_of_obj o)) objs in
-  let budget = Budget.counter ?limit:cfg.node_budget () in
+  let budget = Budget.counter ?limit:cfg.node_budget ?poll:cfg.poll () in
   let bump () = Budget.bump budget in
   let memo = Memo.create 256 in
   let is_required = Array.make n false in

@@ -13,8 +13,13 @@ type config
     from every checker. *)
 exception Budget_exceeded
 
-val config : ?node_budget:int -> (int -> Spec.t) -> config
-val for_spec : ?node_budget:int -> Spec.t -> config
+(** [poll] — cooperative hook run every
+    [Elin_kernel.Budget.poll_interval] expansions; may raise to abort
+    (timeouts/cancellation, see [lib/svc]). *)
+val config :
+  ?node_budget:int -> ?poll:(unit -> unit) -> (int -> Spec.t) -> config
+
+val for_spec : ?node_budget:int -> ?poll:(unit -> unit) -> Spec.t -> config
 
 (** [op_ok cfg h target] — Definition 1 for one completed operation. *)
 val op_ok : config -> History.t -> Operation.t -> bool

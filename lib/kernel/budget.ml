@@ -6,18 +6,37 @@
     which checker blew its budget.  The checkers re-export it under
     their historical names ([Engine.Budget_exceeded],
     [Weak.Budget_exceeded]) via exception rebinding, so existing
-    handlers keep working and now also catch each other's overruns. *)
+    handlers keep working and now also catch each other's overruns.
+
+    A counter can additionally carry a [poll] hook, invoked every
+    {!poll_interval} bumps: the serving layer's cooperative
+    wall-clock-timeout and cancellation checks live there,
+    piggybacking on the bump the hot DFS loop already pays instead of
+    adding a second per-node test. *)
 
 exception Exceeded
 
-type counter = { limit : int option; mutable spent : int }
+(* Polling every 256 bumps keeps the hook off the hot path (a land +
+   branch per bump) while bounding how long a search can overrun its
+   deadline: 256 DFS expansions are microseconds. *)
+let poll_interval = 256
 
-let counter ?limit () = { limit; spent = 0 }
+type counter = {
+  limit : int option;
+  poll : (unit -> unit) option;
+  mutable spent : int;
+}
+
+let counter ?limit ?poll () = { limit; poll; spent = 0 }
 
 let spent c = c.spent
 
 (** [bump c] — account one unit of work; raises {!Exceeded} once the
-    limit is passed ([None] = unbounded). *)
+    limit is passed ([None] = unbounded).  Runs the [poll] hook every
+    {!poll_interval} bumps; whatever it raises propagates. *)
 let bump c =
   c.spent <- c.spent + 1;
+  (match c.poll with
+  | Some f when c.spent land (poll_interval - 1) = 0 -> f ()
+  | Some _ | None -> ());
   match c.limit with Some b when c.spent > b -> raise Exceeded | _ -> ()

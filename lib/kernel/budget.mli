@@ -1,15 +1,25 @@
 (** Node-budget accounting shared by the checkers: one exception for
-    every bounded search, so a caller's handler is checker-agnostic. *)
+    every bounded search, so a caller's handler is checker-agnostic.
+    Counters optionally carry a cooperative [poll] hook (timeouts,
+    cancellation) run every {!poll_interval} bumps. *)
 
 exception Exceeded
 
 type counter
 
-(** [counter ?limit ()] — a fresh spend counter; [None] = unbounded. *)
-val counter : ?limit:int -> unit -> counter
+(** Bumps between two invocations of the [poll] hook (a power of
+    two). *)
+val poll_interval : int
+
+(** [counter ?limit ?poll ()] — a fresh spend counter; [None] = no
+    limit.  [poll] is called every {!poll_interval} bumps and may
+    raise (e.g. a timeout exception) to abort the search
+    cooperatively. *)
+val counter : ?limit:int -> ?poll:(unit -> unit) -> unit -> counter
 
 (** Units spent so far. *)
 val spent : counter -> int
 
-(** [bump c] — account one unit; raises {!Exceeded} past the limit. *)
+(** [bump c] — account one unit; raises {!Exceeded} past the limit;
+    propagates whatever [poll] raises. *)
 val bump : counter -> unit

@@ -1,0 +1,85 @@
+(** Bounded MPMC channels (mutex + two condition variables).
+
+    Invariants, with [m] held:
+    - [Queue.length q <= cap] always; {!put} waits on [not_full]
+      until there is room or the channel closes;
+    - {!take} waits on [not_empty] until there is an element or the
+      channel closes; a closed channel still drains, so the only
+      terminal answer is "closed and empty";
+    - {!close} broadcasts both conditions so every blocked producer
+      and consumer re-examines the state. *)
+
+type 'a t = {
+  cap : int;
+  q : 'a Queue.t;
+  m : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  mutable closed : bool;
+}
+
+exception Closed
+
+let create ~capacity () =
+  if capacity < 1 then invalid_arg "Chan.create: capacity must be >= 1";
+  {
+    cap = capacity;
+    q = Queue.create ();
+    m = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    closed = false;
+  }
+
+let with_lock t f =
+  Mutex.lock t.m;
+  match f () with
+  | v ->
+    Mutex.unlock t.m;
+    v
+  | exception e ->
+    Mutex.unlock t.m;
+    raise e
+
+let put t x =
+  with_lock t (fun () ->
+      while (not t.closed) && Queue.length t.q >= t.cap do
+        Condition.wait t.not_full t.m
+      done;
+      if t.closed then raise Closed;
+      Queue.push x t.q;
+      Condition.signal t.not_empty)
+
+let try_put t x =
+  with_lock t (fun () ->
+      if t.closed then raise Closed
+      else if Queue.length t.q >= t.cap then false
+      else begin
+        Queue.push x t.q;
+        Condition.signal t.not_empty;
+        true
+      end)
+
+let take t =
+  with_lock t (fun () ->
+      while Queue.is_empty t.q && not t.closed do
+        Condition.wait t.not_empty t.m
+      done;
+      if Queue.is_empty t.q then None (* closed and drained *)
+      else begin
+        let x = Queue.pop t.q in
+        Condition.signal t.not_full;
+        Some x
+      end)
+
+let close t =
+  with_lock t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        Condition.broadcast t.not_empty;
+        Condition.broadcast t.not_full
+      end)
+
+let is_closed t = with_lock t (fun () -> t.closed)
+let length t = with_lock t (fun () -> Queue.length t.q)
+let capacity t = t.cap

@@ -1,0 +1,50 @@
+(** Bounded multi-producer multi-consumer channels: the backpressure
+    substrate of the serving layer ([lib/svc]).
+
+    A channel holds at most [capacity] elements.  {!put} blocks while
+    the channel is full — producers are throttled to the consumers'
+    pace rather than queueing unboundedly — and {!take} blocks while
+    it is empty.  {!close} initiates shutdown: subsequent {!put}s
+    raise {!Closed}, while {!take} keeps draining the elements already
+    enqueued and only then reports end-of-stream ([None]), so no
+    accepted element is ever lost.
+
+    Safe for any number of concurrent producers and consumers across
+    OCaml 5 domains (one mutex, two condition variables; no element is
+    delivered twice). *)
+
+type 'a t
+
+(** Raised by {!put} (and {!try_put}) on a closed channel. *)
+exception Closed
+
+(** [create ~capacity ()] — an empty channel.  [capacity] must
+    be [>= 1]. *)
+val create : capacity:int -> unit -> 'a t
+
+(** [put t x] — enqueue [x], blocking while the channel is full.
+    Raises {!Closed} if the channel is (or becomes, while blocked)
+    closed. *)
+val put : 'a t -> 'a -> unit
+
+(** [try_put t x] — [false] instead of blocking when full; still
+    raises {!Closed} on a closed channel. *)
+val try_put : 'a t -> 'a -> bool
+
+(** [take t] — dequeue the oldest element, blocking while the channel
+    is empty and open.  [None] once the channel is closed {e and}
+    drained. *)
+val take : 'a t -> 'a option
+
+(** [close t] — no further elements are accepted; blocked producers
+    wake up with {!Closed}, blocked consumers drain and then see
+    [None].  Idempotent. *)
+val close : 'a t -> unit
+
+val is_closed : 'a t -> bool
+
+(** Elements currently enqueued (racy by nature; exact at quiescence).
+    Never exceeds [capacity]. *)
+val length : 'a t -> int
+
+val capacity : 'a t -> int

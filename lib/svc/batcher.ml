@@ -1,0 +1,43 @@
+(** Prepared-history cache keyed on (spec name, history text). *)
+
+open Elin_checker
+
+type t = {
+  m : Mutex.t;
+  cache : (string * string, Engine.prepared) Hashtbl.t;
+  metrics : Metrics.t option;
+}
+
+let create ?metrics () =
+  { m = Mutex.create (); cache = Hashtbl.create 64; metrics }
+
+let note f t = Option.iter f t.metrics
+
+let prepared t ~spec_name ~history_text ~spec h =
+  let key = (spec_name, history_text) in
+  Mutex.lock t.m;
+  match Hashtbl.find_opt t.cache key with
+  | Some p ->
+    Mutex.unlock t.m;
+    note Metrics.prepare_hit t;
+    p
+  | None -> (
+    (* Build inside the lock: [prepare] is linear in the history and
+       the guarantee "built once per (history, spec)" is the point of
+       the batcher; a second worker wanting the same key blocks
+       briefly and then hits. *)
+    match Engine.prepare (Engine.for_spec spec) h with
+    | p ->
+      Hashtbl.replace t.cache key p;
+      Mutex.unlock t.m;
+      note Metrics.prepare_miss t;
+      p
+    | exception e ->
+      Mutex.unlock t.m;
+      raise e)
+
+let size t =
+  Mutex.lock t.m;
+  let n = Hashtbl.length t.cache in
+  Mutex.unlock t.m;
+  n

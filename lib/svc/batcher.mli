@@ -1,0 +1,40 @@
+(** The request batcher: service-side reuse of the engine's
+    prepare/check_at split.
+
+    [Engine.prepare] builds the cut-independent search structures of a
+    (history, spec) pair; they are read-only during checks, so jobs
+    that share a history and spec — many cuts probed by a min-t
+    search, several checker kinds over one trace, retries at different
+    budgets — can share one [prepared] across worker domains.  The
+    batcher is that share point: a keyed cache from
+    [(spec name, history text)] to the prepared structures, built once
+    per key under a lock (so concurrent workers never duplicate the
+    preparation work), with hit/miss counts reported to {!Metrics}.
+
+    Per-job budgets and deadlines are layered on afterwards with
+    [Engine.rebudget], which never touches the shared structures. *)
+
+open Elin_spec
+open Elin_history
+open Elin_checker
+
+type t
+
+val create : ?metrics:Metrics.t -> unit -> t
+
+(** [prepared b ~spec_name ~history_text ~spec h] — the cached
+    [Engine.prepared] for the key [(spec_name, history_text)],
+    building (and caching) it from [spec] and [h] on first use.  The
+    caller keys by the job's {e textual} fields, so two jobs share
+    iff their wire representations agree — no structural hashing of
+    histories on the hot path. *)
+val prepared :
+  t ->
+  spec_name:string ->
+  history_text:string ->
+  spec:Spec.t ->
+  History.t ->
+  Engine.prepared
+
+(** Number of distinct (spec, history) keys prepared so far. *)
+val size : t -> int

@@ -1,0 +1,22 @@
+(** CLI exit-code policy: 0 ok, 1 violation, 2 usage, 3 exhausted. *)
+
+type t = Ok | Violation | Usage | Exhausted
+
+let to_int = function Ok -> 0 | Violation -> 1 | Usage -> 2 | Exhausted -> 3
+
+(* Severity is NOT the numeric exit code: usage (2) outranks
+   exhaustion (3), because a malformed input taints the whole run
+   while exhaustion taints only its job. *)
+let severity = function Ok -> 0 | Violation -> 1 | Exhausted -> 2 | Usage -> 3
+
+let combine a b = if severity a >= severity b then a else b
+
+let of_status : Verdict.status -> t = function
+  | Verdict.Pass -> Ok
+  | Verdict.Violation -> Violation
+  | Verdict.Budget_exhausted | Verdict.Timed_out | Verdict.Cancelled ->
+    Exhausted
+  | Verdict.Bad_job _ | Verdict.Failed _ -> Usage
+
+let of_verdicts vs =
+  List.fold_left (fun acc v -> combine acc (of_status v.Verdict.status)) Ok vs

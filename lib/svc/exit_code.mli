@@ -1,0 +1,30 @@
+(** The one CLI exit-code policy, shared by every [elin] subcommand
+    (previously each subcommand improvised):
+
+    {v
+    0  verdict-ok: the command ran and the checked property holds
+    1  violation / refutation found (a verdict, not an error)
+    2  usage or parse error (bad flags, malformed jobs/histories,
+       unknown specs, crashed checkers)
+    3  budget / timeout exhaustion: no verdict within the bounds
+    v}
+
+    When one invocation covers many jobs ([elin batch], [elin serve]),
+    codes combine by severity [Usage > Exhausted > Violation > Ok]: a
+    malformed input dominates (the run is not trustworthy), resource
+    exhaustion dominates a found violation (the verdict set is
+    incomplete), and any violation dominates a clean pass. *)
+
+type t = Ok | Violation | Usage | Exhausted
+
+val to_int : t -> int
+
+(** Severity-max combination (commutative, associative, identity
+    {!Ok}). *)
+val combine : t -> t -> t
+
+val of_status : Verdict.status -> t
+
+(** Fold of {!of_status} over all verdicts; [Ok] for the empty
+    list. *)
+val of_verdicts : Verdict.t list -> t

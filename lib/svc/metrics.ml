@@ -1,0 +1,147 @@
+(** Per-pool service metrics. *)
+
+type t = {
+  submitted : int Atomic.t;
+  completed : int Atomic.t;
+  pass : int Atomic.t;
+  violations : int Atomic.t;
+  budget_exhausted : int Atomic.t;
+  timed_out : int Atomic.t;
+  cancelled : int Atomic.t;
+  bad_jobs : int Atomic.t;
+  failed : int Atomic.t;
+  nodes : int Atomic.t;
+  prepare_hits : int Atomic.t;
+  prepare_misses : int Atomic.t;
+  (* Latencies are appended under a lock: percentile queries need the
+     whole population, and a few mutex ops per job are noise next to a
+     checker run. *)
+  m : Mutex.t;
+  mutable latencies_ms : float list;
+}
+
+let create () =
+  {
+    submitted = Atomic.make 0;
+    completed = Atomic.make 0;
+    pass = Atomic.make 0;
+    violations = Atomic.make 0;
+    budget_exhausted = Atomic.make 0;
+    timed_out = Atomic.make 0;
+    cancelled = Atomic.make 0;
+    bad_jobs = Atomic.make 0;
+    failed = Atomic.make 0;
+    nodes = Atomic.make 0;
+    prepare_hits = Atomic.make 0;
+    prepare_misses = Atomic.make 0;
+    m = Mutex.create ();
+    latencies_ms = [];
+  }
+
+let incr a = Atomic.incr a
+let add a n = ignore (Atomic.fetch_and_add a n)
+
+let job_submitted t = incr t.submitted
+let prepare_hit t = incr t.prepare_hits
+let prepare_miss t = incr t.prepare_misses
+
+let verdict_done t (v : Verdict.t) =
+  incr t.completed;
+  (match v.Verdict.status with
+  | Verdict.Pass -> incr t.pass
+  | Verdict.Violation -> incr t.violations
+  | Verdict.Budget_exhausted -> incr t.budget_exhausted
+  | Verdict.Timed_out -> incr t.timed_out
+  | Verdict.Cancelled -> incr t.cancelled
+  | Verdict.Bad_job _ -> incr t.bad_jobs
+  | Verdict.Failed _ -> incr t.failed);
+  add t.nodes v.Verdict.nodes;
+  Mutex.lock t.m;
+  t.latencies_ms <- v.Verdict.wall_ms :: t.latencies_ms;
+  Mutex.unlock t.m
+
+type snapshot = {
+  submitted : int;
+  completed : int;
+  pass : int;
+  violations : int;
+  budget_exhausted : int;
+  timed_out : int;
+  cancelled : int;
+  bad_jobs : int;
+  failed : int;
+  nodes : int;
+  prepare_hits : int;
+  prepare_misses : int;
+  queue_depth : int;
+  p50_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+(* Nearest-rank percentile on a sorted array. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let snapshot ?(queue_depth = 0) t =
+  let lats =
+    Mutex.lock t.m;
+    let l = t.latencies_ms in
+    Mutex.unlock t.m;
+    let a = Array.of_list l in
+    Array.sort compare a;
+    a
+  in
+  {
+    submitted = Atomic.get t.submitted;
+    completed = Atomic.get t.completed;
+    pass = Atomic.get t.pass;
+    violations = Atomic.get t.violations;
+    budget_exhausted = Atomic.get t.budget_exhausted;
+    timed_out = Atomic.get t.timed_out;
+    cancelled = Atomic.get t.cancelled;
+    bad_jobs = Atomic.get t.bad_jobs;
+    failed = Atomic.get t.failed;
+    nodes = Atomic.get t.nodes;
+    prepare_hits = Atomic.get t.prepare_hits;
+    prepare_misses = Atomic.get t.prepare_misses;
+    queue_depth;
+    p50_ms = percentile lats 50.;
+    p99_ms = percentile lats 99.;
+    max_ms = (if Array.length lats = 0 then 0. else lats.(Array.length lats - 1));
+  }
+
+let snapshot_to_json s =
+  let open Jsonl in
+  Obj
+    [
+      ("submitted", Int s.submitted);
+      ("completed", Int s.completed);
+      ("pass", Int s.pass);
+      ("violations", Int s.violations);
+      ("budget_exhausted", Int s.budget_exhausted);
+      ("timed_out", Int s.timed_out);
+      ("cancelled", Int s.cancelled);
+      ("bad_jobs", Int s.bad_jobs);
+      ("failed", Int s.failed);
+      ("nodes", Int s.nodes);
+      ("prepare_hits", Int s.prepare_hits);
+      ("prepare_misses", Int s.prepare_misses);
+      ("queue_depth", Int s.queue_depth);
+      ("p50_ms", Float s.p50_ms);
+      ("p99_ms", Float s.p99_ms);
+      ("max_ms", Float s.max_ms);
+    ]
+
+let pp_snapshot ppf s =
+  Format.fprintf ppf
+    "jobs %d/%d done (pass %d, violations %d, budget %d, timeout %d, \
+     cancelled %d, bad %d, failed %d)  nodes %d  prepare hits/misses %d/%d  \
+     queue %d  latency p50 %.2fms p99 %.2fms max %.2fms"
+    s.completed s.submitted s.pass s.violations s.budget_exhausted s.timed_out
+    s.cancelled s.bad_jobs s.failed s.nodes s.prepare_hits s.prepare_misses
+    s.queue_depth s.p50_ms s.p99_ms s.max_ms

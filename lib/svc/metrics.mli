@@ -1,0 +1,44 @@
+(** Per-pool service metrics: lock-free counters bumped by worker
+    domains, plus a latency record, snapshotted on demand.
+
+    A snapshot is a consistent-enough (each field individually atomic)
+    view for operational logging; {!snapshot_to_json} renders it as
+    one JSONL line — the pool's structured log record ([elin batch
+    --metrics], one line per spool file under [elin serve]). *)
+
+type t
+
+val create : unit -> t
+
+(** Counter bumps (called by the pool; safe from any domain). *)
+val job_submitted : t -> unit
+
+val prepare_hit : t -> unit
+val prepare_miss : t -> unit
+
+(** [verdict_done m v] — accounts completion, per-status counters,
+    explored nodes, and the job latency [v.wall_ms]. *)
+val verdict_done : t -> Verdict.t -> unit
+
+type snapshot = {
+  submitted : int;
+  completed : int;
+  pass : int;
+  violations : int;
+  budget_exhausted : int;
+  timed_out : int;
+  cancelled : int;
+  bad_jobs : int;
+  failed : int;
+  nodes : int;              (** total DFS expansions across jobs *)
+  prepare_hits : int;       (** Batcher reuses of a prepared history *)
+  prepare_misses : int;
+  queue_depth : int;        (** jobs waiting at snapshot time *)
+  p50_ms : float;           (** latency percentiles over completed jobs *)
+  p99_ms : float;
+  max_ms : float;
+}
+
+val snapshot : ?queue_depth:int -> t -> snapshot
+val pp_snapshot : Format.formatter -> snapshot -> unit
+val snapshot_to_json : snapshot -> Jsonl.t

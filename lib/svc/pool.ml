@@ -1,0 +1,312 @@
+(** Worker-pool execution of checking jobs. *)
+
+open Elin_kernel
+open Elin_spec
+open Elin_history
+open Elin_checker
+
+exception Unknown_spec of string
+
+let default_resolve name =
+  match
+    List.find_opt
+      (fun (e : Zoo.entry) -> Spec.name e.Zoo.spec = name)
+      (Zoo.all ())
+  with
+  | Some e -> e.Zoo.spec
+  | None -> raise (Unknown_spec name)
+
+(* Cooperative aborts, raised from the budget-poll hook. *)
+exception Deadline_passed
+exception Cancel_requested
+
+type t = {
+  input : (Job.t * bool Atomic.t) Chan.t;
+  output : Verdict.t Chan.t;
+  mutable workers : (unit, exn) result Domain.t array;
+  batcher : Batcher.t option;
+  resolve : string -> Spec.t;
+  default_budget : int option;
+  default_timeout_ms : int option;
+  metrics : Metrics.t option;
+  (* Most recent cancellation flag per job id. *)
+  cancels : (string, bool Atomic.t) Hashtbl.t;
+  cancels_m : Mutex.t;
+  mutable shut_down : bool;
+  shutdown_m : Mutex.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Executing one job                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let exec pool (job : Job.t) cancel_flag =
+  let t0 = Unix.gettimeofday () in
+  let finish ?min_t ?(nodes = 0) ?(memo_hits = 0) status =
+    {
+      Verdict.job_id = job.Job.id;
+      seq = job.Job.seq;
+      check = Some job.Job.check;
+      status;
+      min_t;
+      nodes;
+      memo_hits;
+      wall_ms = (Unix.gettimeofday () -. t0) *. 1000.;
+    }
+  in
+  match
+    let spec = pool.resolve job.Job.spec in
+    let h = Textio.of_string job.Job.history_text in
+    let deadline =
+      match
+        (match job.Job.timeout_ms with
+        | Some _ as ms -> ms
+        | None -> pool.default_timeout_ms)
+      with
+      | Some ms -> Some (t0 +. (float_of_int ms /. 1000.))
+      | None -> None
+    in
+    let poll () =
+      if Atomic.get cancel_flag then raise Cancel_requested;
+      match deadline with
+      | Some d when Unix.gettimeofday () > d -> raise Deadline_passed
+      | _ -> ()
+    in
+    (* A job cancelled or expired while queued never starts. *)
+    poll ();
+    let budget =
+      match job.Job.node_budget with
+      | Some _ as b -> b
+      | None -> pool.default_budget
+    in
+    let engine_prepared () =
+      let p =
+        match pool.batcher with
+        | Some b ->
+          Batcher.prepared b ~spec_name:job.Job.spec
+            ~history_text:job.Job.history_text ~spec h
+        | None -> Engine.prepare (Engine.for_spec spec) h
+      in
+      Engine.rebudget p ~node_budget:budget ~poll:(Some poll)
+    in
+    match job.Job.check with
+    | Job.Linearizable | Job.T_lin _ ->
+      let cut = match job.Job.check with Job.T_lin t -> t | _ -> 0 in
+      let p = engine_prepared () in
+      let v = Engine.check_at p ~t:cut in
+      finish
+        (if v.Engine.ok then Verdict.Pass else Verdict.Violation)
+        ~nodes:v.Engine.nodes_explored ~memo_hits:v.Engine.memo_hits
+    | Job.Min_t ->
+      let p = engine_prepared () in
+      let mt, st = Eventual.min_t_prepared p in
+      finish
+        (match mt with Some _ -> Verdict.Pass | None -> Verdict.Violation)
+        ?min_t:mt ~nodes:st.Eventual.nodes ~memo_hits:st.Eventual.memo_hits
+    | Job.Weak -> (
+      let wcfg = Weak.for_spec ?node_budget:budget ~poll spec in
+      match Weak.check wcfg h with
+      | Ok () -> finish Verdict.Pass
+      | Error _violating -> finish Verdict.Violation)
+    | Job.Full ->
+      (* The full battery absorbs budget exhaustion into its report
+         (partial verdicts are still informative); we surface it as
+         the budget_exhausted status.  Poll aborts still escape. *)
+      let r = Report.analyze ?node_budget:budget ~poll spec h in
+      let nodes, memo_hits =
+        match r.Report.search with
+        | Some s -> (s.Eventual.nodes, s.Eventual.memo_hits)
+        | None -> (0, 0)
+      in
+      finish
+        (if r.Report.budget_exhausted then Verdict.Budget_exhausted
+         else if Report.is_eventually_linearizable r then Verdict.Pass
+         else Verdict.Violation)
+        ?min_t:r.Report.min_t ~nodes ~memo_hits
+  with
+  | v -> v
+  | exception Budget.Exceeded -> finish Verdict.Budget_exhausted
+  | exception Deadline_passed -> finish Verdict.Timed_out
+  | exception Cancel_requested -> finish Verdict.Cancelled
+  | exception Unknown_spec name ->
+    finish (Verdict.Bad_job (Printf.sprintf "unknown spec %S" name))
+  | exception Textio.Parse_error m ->
+    finish (Verdict.Bad_job ("history parse error: " ^ m))
+  | exception History.Ill_formed e ->
+    finish
+      (Verdict.Bad_job
+         (Format.asprintf "ill-formed history: %a" History.pp_error e))
+  | exception e ->
+    (* Crash containment: a raising checker (or spec) fails THIS job;
+       the worker keeps serving. *)
+    finish (Verdict.Failed (Printexc.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec worker_loop pool =
+  match Chan.take pool.input with
+  | None -> () (* input closed and drained: clean exit *)
+  | Some (job, cancel_flag) ->
+    let v = exec pool job cancel_flag in
+    Option.iter (fun m -> Metrics.verdict_done m v) pool.metrics;
+    Chan.put pool.output v;
+    worker_loop pool
+
+let create ?(queue_capacity = 64) ?default_budget ?default_timeout_ms
+    ?(reuse = true) ?(resolve = default_resolve) ?metrics ~domains () =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  if queue_capacity < 1 then
+    invalid_arg "Pool.create: queue_capacity must be >= 1";
+  let pool =
+    {
+      input = Chan.create ~capacity:queue_capacity ();
+      output = Chan.create ~capacity:queue_capacity ();
+      workers = [||];
+      batcher = (if reuse then Some (Batcher.create ?metrics ()) else None);
+      resolve;
+      default_budget;
+      default_timeout_ms;
+      metrics;
+      cancels = Hashtbl.create 64;
+      cancels_m = Mutex.create ();
+      shut_down = false;
+      shutdown_m = Mutex.create ();
+    }
+  in
+  pool.workers <-
+    Array.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            try Ok (worker_loop pool) with e -> Error e));
+  pool
+
+let submit pool (job : Job.t) =
+  let flag = Atomic.make false in
+  Mutex.lock pool.cancels_m;
+  Hashtbl.replace pool.cancels job.Job.id flag;
+  Mutex.unlock pool.cancels_m;
+  Chan.put pool.input (job, flag);
+  Option.iter Metrics.job_submitted pool.metrics
+
+let take_verdict pool = Chan.take pool.output
+
+let cancel pool id =
+  Mutex.lock pool.cancels_m;
+  let flag = Hashtbl.find_opt pool.cancels id in
+  Mutex.unlock pool.cancels_m;
+  match flag with
+  | Some f ->
+    Atomic.set f true;
+    true
+  | None -> false
+
+let queue_depth pool = Chan.length pool.input
+
+let shutdown pool =
+  let first_run =
+    Mutex.lock pool.shutdown_m;
+    let fresh = not pool.shut_down in
+    pool.shut_down <- true;
+    Mutex.unlock pool.shutdown_m;
+    fresh
+  in
+  if first_run then begin
+    Chan.close pool.input;
+    (* Join EVERY worker before re-raising anything (the Search.bfs
+       discipline): a failure must never leak unjoined domains. *)
+    let results = Array.map Domain.join pool.workers in
+    Chan.close pool.output;
+    Array.iter (function Ok () -> () | Error e -> raise e) results
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Batch driver                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_batch ?queue_capacity ?default_budget ?default_timeout_ms ?reuse
+    ?resolve ?metrics ~domains jobs =
+  let pool =
+    create ?queue_capacity ?default_budget ?default_timeout_ms ?reuse ?resolve
+      ?metrics ~domains ()
+  in
+  (* Feed from a separate domain so the main domain can drain verdicts
+     concurrently: with both channels bounded, feeding and draining
+     from one thread would deadlock once both fill up. *)
+  let feeder =
+    Domain.spawn (fun () ->
+        match
+          List.iter (fun j -> submit pool j) jobs;
+          shutdown pool
+        with
+        | () -> Ok ()
+        | exception e ->
+          (* Unblock the drain loop, then report. *)
+          Chan.close pool.input;
+          Chan.close pool.output;
+          Error e)
+  in
+  let verdicts = ref [] in
+  let rec drain () =
+    match take_verdict pool with
+    | Some v ->
+      verdicts := v :: !verdicts;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  (match Domain.join feeder with Ok () -> () | Error e -> raise e);
+  List.sort
+    (fun a b -> compare a.Verdict.seq b.Verdict.seq)
+    !verdicts
+
+(* ------------------------------------------------------------------ *)
+(* JSONL front door                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let parse_jobs lines =
+  let is_blank line = String.trim line = "" in
+  let is_comment line =
+    let t = String.trim line in
+    String.length t > 0 && t.[0] = '#'
+  in
+  List.concat
+    (List.mapi
+       (fun i line ->
+         if is_blank line || is_comment line then []
+         else
+           match Job.of_line ~seq:i line with
+           | Ok j -> [ `Job j ]
+           | Error e ->
+             [
+               `Bad
+                 {
+                   Verdict.job_id = Printf.sprintf "line-%d" (i + 1);
+                   seq = i;
+                   check = None;
+                   status = Verdict.Bad_job e;
+                   min_t = None;
+                   nodes = 0;
+                   memo_hits = 0;
+                   wall_ms = 0.;
+                 };
+             ])
+       lines)
+
+let run_lines ?queue_capacity ?default_budget ?default_timeout_ms ?reuse
+    ?resolve ?metrics ~domains lines =
+  let entries = parse_jobs lines in
+  let jobs = List.filter_map (function `Job j -> Some j | `Bad _ -> None) entries in
+  let bads =
+    List.filter_map (function `Bad v -> Some v | `Job _ -> None) entries
+  in
+  (match metrics with
+  | Some m -> List.iter (fun v -> Metrics.verdict_done m v) bads
+  | None -> ());
+  let done_ =
+    run_batch ?queue_capacity ?default_budget ?default_timeout_ms ?reuse
+      ?resolve ?metrics ~domains jobs
+  in
+  List.sort
+    (fun a b -> compare a.Verdict.seq b.Verdict.seq)
+    (bads @ done_)

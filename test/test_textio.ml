@@ -1,0 +1,125 @@
+(** History.Textio round-trip property tests: any generated history —
+    linearizable, with pending operations, eventually-linearizable, or
+    corrupted — survives print → parse unchanged, across several
+    specs; plus unit coverage of tricky value tokens, comments, and
+    Parse_error cases. *)
+
+open Elin_spec
+open Elin_history
+open Elin_test_support
+
+let specs =
+  [
+    ("fai", Faicounter.spec ());
+    ("register", Register.spec ());
+    ("fifo", Fifo.spec ());
+  ]
+
+let roundtrip h = Textio.of_string (Textio.to_string h)
+
+(* Event-list equality, not polymorphic compare: History.t may carry
+   derived structure. *)
+let hist_eq a b = List.equal Event.equal (History.events a) (History.events b)
+
+(* --- property tests, one per (spec, history shape) --- *)
+
+let shape_props =
+  List.concat_map
+    (fun (sname, spec) ->
+      [
+        Support.seeded_prop
+          (Printf.sprintf "roundtrip linearizable/%s" sname)
+          (fun rng ->
+            let h = Gen.linearizable rng ~spec ~procs:3 ~n_ops:12 () in
+            hist_eq (roundtrip h) h);
+        Support.seeded_prop
+          (Printf.sprintf "roundtrip pending/%s" sname)
+          (fun rng ->
+            let h =
+              Gen.linearizable_with_pending rng ~spec ~procs:3 ~n_ops:12 ()
+            in
+            hist_eq (roundtrip h) h);
+        Support.seeded_prop
+          (Printf.sprintf "roundtrip eventual/%s" sname)
+          (fun rng ->
+            let h, _ =
+              Gen.eventually_linearizable rng ~spec ~procs:2 ~prefix_ops:4
+                ~suffix_ops:8 ()
+            in
+            hist_eq (roundtrip h) h);
+        Support.seeded_prop
+          (Printf.sprintf "roundtrip corrupt/%s" sname)
+          (fun rng ->
+            let h = Gen.linearizable rng ~spec ~procs:2 ~n_ops:10 () in
+            match Gen.corrupt rng h with
+            | Some h' -> hist_eq (roundtrip h') h'
+            | None -> true);
+      ])
+    specs
+
+(* --- tricky values --- *)
+
+let test_value_tokens () =
+  (* Exercise every value constructor through an event line. *)
+  let values =
+    [
+      Value.unit;
+      Value.bool true;
+      Value.bool false;
+      Value.int 0;
+      Value.int (-17);
+      Value.str "atom";
+      Value.pair (Value.int 1) (Value.str "x");
+      Value.list [];
+      Value.list [ Value.int 1; Value.pair (Value.bool false) Value.unit ];
+      Value.pair
+        (Value.list [ Value.str "a"; Value.str "b" ])
+        (Value.pair (Value.int 2) (Value.int 3));
+    ]
+  in
+  List.iter
+    (fun v ->
+      let e = Event.respond ~proc:0 ~obj:0 v in
+      match Textio.event_of_line (Textio.event_to_line e) with
+      | Some e' -> Alcotest.(check bool) "event round-trip" true (Event.equal e e')
+      | None -> Alcotest.fail "event line parsed as blank")
+    values;
+  (* Invocation arguments too. *)
+  let e =
+    Event.invoke ~proc:1 ~obj:2
+      (Op.make "op" ~args:[ Value.pair (Value.int 4) (Value.list [ Value.unit ]) ])
+  in
+  match Textio.event_of_line (Textio.event_to_line e) with
+  | Some e' -> Alcotest.(check bool) "invoke round-trip" true (Event.equal e e')
+  | None -> Alcotest.fail "invoke line parsed as blank"
+
+let test_comments_and_blanks () =
+  let h =
+    Textio.of_string
+      "# a comment\n\ninv 0 0 fetch&inc\n   \nres 0 0 0\n# done\n"
+  in
+  Alcotest.(check int) "two events" 2 (History.length h)
+
+let test_parse_errors () =
+  let expect_error line =
+    match Textio.of_string line with
+    | _ -> Alcotest.failf "expected Parse_error on %S" line
+    | exception Textio.Parse_error _ -> ()
+  in
+  expect_error "res 0 0 zz";        (* unrecognized value token *)
+  expect_error "res 0 0 1 2";       (* trailing tokens *)
+  expect_error "res 0 0 (pair 1";   (* unterminated pair *)
+  expect_error "res 0 0"            (* missing value *)
+
+let () =
+  Alcotest.run "textio"
+    [
+      ("roundtrip-properties", shape_props);
+      ( "units",
+        [
+          Support.quick "tricky value tokens round-trip" test_value_tokens;
+          Support.quick "comments and blank lines ignored"
+            test_comments_and_blanks;
+          Support.quick "malformed lines raise Parse_error" test_parse_errors;
+        ] );
+    ]

@@ -2,7 +2,8 @@
 
 DUNE ?= dune
 
-.PHONY: all build release test bench bench-smoke svc-smoke check doc clean
+.PHONY: all build release test bench bench-smoke svc-smoke perf-regress \
+	perf-baseline check doc clean
 
 all: build
 
@@ -18,10 +19,25 @@ test:
 bench:
 	$(DUNE) exec bench/main.exe
 
-# B4 at tiny sizes: asserts nonzero exploration counts and exits
-# nonzero if a Budget_exceeded leaks out of any checker.
+# B4 at tiny sizes (asserts nonzero exploration counts, exits nonzero
+# if a Budget_exceeded leaks out of any checker) plus the B3/B6
+# model-checking count gates: exact node/state counts for the
+# por x dedup grid at the 2x2 size — any drift fails the build.
 bench-smoke:
 	$(DUNE) exec bench/main.exe -- --smoke
+
+# Regenerates the B6 series (por x dedup exploration grid) and diffs
+# it against the committed baseline bench/baselines/BENCH_b6.json:
+# exploration counts must match exactly, wall times must stay within
+# ELIN_PERF_TOL (default 4x — generous because CI wall clocks are
+# noisy; count drift is the precise signal).
+perf-regress:
+	$(DUNE) exec bench/main.exe -- --regress
+
+# Rewrites the committed baseline from a fresh run (use after an
+# intentional engine change, then commit the file).
+perf-baseline:
+	$(DUNE) exec bench/main.exe -- --regress-update
 
 # Round-trips the committed 50-job corpus through the checking service
 # on 2 worker domains: the verdict stream must be byte-identical to

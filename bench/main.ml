@@ -383,8 +383,9 @@ let b3 () =
               <> None) ))
       [
         ("dfs", Stabilize.Dfs);
-        ("mc seq", Stabilize.Mc { domains = Some 1; dedup = true });
-        ("mc domains=4", Stabilize.Mc { domains = Some 4; dedup = true });
+        ("mc seq", Stabilize.Mc { domains = Some 1; dedup = true; por = true });
+        ( "mc domains=4",
+          Stabilize.Mc { domains = Some 4; dedup = true; por = true } );
       ]
   in
   group ~series:"b3" "B3: model-checking engine scaling (sequential vs domains, dedup)"
@@ -712,17 +713,274 @@ let b5 () =
   in
   write_series "svc" rows
 
+(* ------------------------------------------------------------------ *)
+(* B6: partial-order reduction x dedup                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Whole-exploration wall times — each row is one exhaustive
+   [Mc.count_states]/[Mc_valency.check_consensus] run (best of 3:
+   the explorations are deterministic, so the best run is the
+   least-perturbed one) — with the exact exploration counts riding
+   along in the JSON rows.  [--smoke] gates the counts at the 2x2
+   size; [--regress] diffs the whole series against
+   bench/baselines/BENCH_b6.json (counts exactly, walls with
+   tolerance). *)
+let b6 () =
+  let open Elin_mc in
+  let best_of_3 run =
+    let best = ref (run ()) in
+    for _ = 2 to 3 do
+      let s = run () in
+      if s.Search.wall < !best.Search.wall then best := s
+    done;
+    !best
+  in
+  let row name (stats : Search.stats) ~dedup ~por =
+    Printf.printf "%-36s %9d %10d %9d %9d %8d %9.3f\n" name
+      stats.Search.states stats.Search.dedup_hits stats.Search.pruned
+      stats.Search.kept stats.Search.leaves stats.Search.wall;
+    flush stdout;
+    let open Elin_svc.Jsonl in
+    Obj
+      [
+        ("name", Str name);
+        ("dedup", Bool dedup);
+        ("por", Bool por);
+        ("states", Int stats.Search.states);
+        ("dedup_hits", Int stats.Search.dedup_hits);
+        ("kept", Int stats.Search.kept);
+        ("pruned", Int stats.Search.pruned);
+        ("frontier_peak", Int stats.Search.frontier_peak);
+        ("leaves", Int stats.Search.leaves);
+        ("cut", Int stats.Search.cut);
+        ("levels", Int stats.Search.levels);
+        ("wall_s", Float stats.Search.wall);
+      ]
+  in
+  Printf.printf "\n== B6: partial-order reduction x dedup ==\n";
+  Printf.printf "%-36s %9s %10s %9s %9s %8s %9s\n" "benchmark" "states"
+    "dedup-hits" "pruned" "kept" "leaves" "wall-s";
+  let board_rows =
+    List.concat_map
+      (fun (per_proc, depth, tree_too) ->
+        let impl = Impls.fai_from_board () in
+        let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc in
+        let run ~dedup ~por () =
+          Mc.count_states impl ~workloads:wl ~max_steps:depth ~domains:2
+            ~dedup ~por ()
+        in
+        let modes =
+          (* Unreduced tree mode is exponential: omitted at 2x4. *)
+          (if tree_too then
+             [ ("tree", false, false); ("por-tree", false, true) ]
+           else [])
+          @ [ ("dedup", true, false); ("por+dedup", true, true) ]
+        in
+        List.map
+          (fun (mode, dedup, por) ->
+            let name =
+              Printf.sprintf "mc/fai-board 2x%d d%d %s" per_proc depth mode
+            in
+            row name (best_of_3 (run ~dedup ~por)) ~dedup ~por)
+          modes)
+      [ (2, 20, true); (3, 22, true); (4, 26, false) ]
+  in
+  let inputs = [| Value.int 0; Value.int 1 |] in
+  let valency_rows =
+    List.map
+      (fun (mode, por) ->
+        let run () =
+          (Mc_valency.check_consensus (Protocols.cas ()) ~inputs ~max_steps:20
+             ~domains:2 ~dedup:true ~por ())
+            .Mc_valency.stats
+        in
+        row
+          (Printf.sprintf "mc/valency-cas d20 %s" mode)
+          (best_of_3 run) ~dedup:true ~por)
+      [ ("dedup", false); ("por+dedup", true) ]
+  in
+  let rows = board_rows @ valency_rows in
+  write_series "b6" rows;
+  rows
+
+(* --smoke count gates: these exploration counts are exact functions
+   of the engine semantics (no timing, no scheduling) — any drift
+   means the state space or the reduction changed. *)
+let mc_count_gates () =
+  let open Elin_mc in
+  let failed = ref false in
+  let gate name expected actual =
+    if expected <> actual then begin
+      Printf.eprintf "bench-smoke: %s: expected %d, got %d\n" name expected
+        actual;
+      failed := true
+    end
+  in
+  let impl = Impls.fai_from_board () in
+  let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc:2 in
+  let run ~dedup ~por =
+    Mc.count_states impl ~workloads:wl ~max_steps:20 ~domains:2 ~dedup ~por ()
+  in
+  let tree = run ~dedup:false ~por:false in
+  let por_tree = run ~dedup:false ~por:true in
+  let dedup = run ~dedup:true ~por:false in
+  let pd = run ~dedup:true ~por:true in
+  (* No-dedup/no-por is the [Explore] tree, node for node. *)
+  let explore =
+    Elin_explore.Explore.iter_leaves impl ~workloads:wl ~max_steps:20
+      (fun _ -> ())
+  in
+  gate "tree states = explore nodes" explore.Elin_explore.Explore.nodes
+    tree.Search.states;
+  gate "tree leaves = explore leaves" explore.Elin_explore.Explore.leaves
+    tree.Search.leaves;
+  gate "fai-board 2x2 d20 tree states" 3431 tree.Search.states;
+  gate "fai-board 2x2 d20 por-tree states" 985 por_tree.Search.states;
+  gate "fai-board 2x2 d20 dedup states" 985 dedup.Search.states;
+  gate "fai-board 2x2 d20 dedup hits" 138 dedup.Search.dedup_hits;
+  gate "por+dedup states (= dedup states)" dedup.Search.states
+    pd.Search.states;
+  gate "por+dedup leaves (= dedup leaves)" dedup.Search.leaves
+    pd.Search.leaves;
+  gate "por+dedup: nothing left to dedup" 0 pd.Search.dedup_hits;
+  gate "por+dedup pruned (= no-por dedup hits)" dedup.Search.dedup_hits
+    pd.Search.pruned;
+  if 2 * por_tree.Search.states > tree.Search.states then begin
+    Printf.eprintf
+      "bench-smoke: por tree (%d states) not >= 2x smaller than tree (%d)\n"
+      por_tree.Search.states tree.Search.states;
+    failed := true
+  end;
+  (* E9 through the engine: the reduction may not change the explored
+     state set. *)
+  let inputs = [| Value.int 0; Value.int 1 |] in
+  let v ~por =
+    Mc_valency.check_consensus (Protocols.cas ()) ~inputs ~max_steps:20
+      ~domains:2 ~por ()
+  in
+  let von = v ~por:true and voff = v ~por:false in
+  gate "valency-cas d20 states por-invariant"
+    voff.Mc_valency.stats.Search.states von.Mc_valency.stats.Search.states;
+  if von.Mc_valency.stats.Search.pruned <= 0 then begin
+    Printf.eprintf "bench-smoke: valency por pruned nothing\n";
+    failed := true
+  end;
+  if !failed then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* --regress: the B6 series vs the committed baseline                 *)
+(* ------------------------------------------------------------------ *)
+
+let baseline_path = "bench/baselines/BENCH_b6.json"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* [--regress]: regenerate B6 and diff against the baseline — integer
+   exploration counts must match exactly; wall times may not exceed
+   baseline * ELIN_PERF_TOL (default 4: CI boxes are noisy, and an
+   honest perf regression shows up well past 4x on these
+   sub-second runs before the counts ever move).  [--regress-update]
+   rewrites the baseline instead. *)
+let regress ~update () =
+  let open Elin_svc.Jsonl in
+  let rows = b6 () in
+  if update then begin
+    (try Unix.mkdir "bench/baselines" 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let oc = open_out baseline_path in
+    output_string oc
+      (to_string (Obj [ ("series", Str "b6"); ("results", Arr rows) ]));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "\nwrote baseline %s\n" baseline_path
+  end
+  else begin
+    let tol =
+      match Sys.getenv_opt "ELIN_PERF_TOL" with
+      | Some s -> float_of_string s
+      | None -> 4.0
+    in
+    let baseline =
+      match of_string (read_file baseline_path) with
+      | j -> j
+      | exception Sys_error e ->
+        Printf.eprintf
+          "perf-regress: cannot read %s (%s); run 'make perf-baseline' first\n"
+          baseline_path e;
+        exit 2
+    in
+    let brows =
+      match mem "results" baseline with Some (Arr r) -> r | _ -> []
+    in
+    let name_of row = Option.value ~default:"?" (str_mem "name" row) in
+    let current = List.map (fun row -> (name_of row, row)) rows in
+    let failed = ref false in
+    let drift fmt =
+      Printf.ksprintf
+        (fun s ->
+          Printf.eprintf "perf-regress: %s\n" s;
+          failed := true)
+        fmt
+    in
+    List.iter
+      (fun brow ->
+        let name = name_of brow in
+        match List.assoc_opt name current with
+        | None -> drift "row %S missing from current run" name
+        | Some crow ->
+          List.iter
+            (fun (k, bv) ->
+              match (bv, mem k crow) with
+              | _, None -> drift "%s: field %S missing" name k
+              | Int b, Some (Int c) ->
+                if b <> c then
+                  drift "%s: %s drifted: baseline %d, now %d" name k b c
+              | Float b, Some cv ->
+                let c =
+                  match cv with
+                  | Float f -> f
+                  | Int i -> float_of_int i
+                  | _ -> nan
+                in
+                if not (c <= b *. tol) then
+                  drift "%s: %s regressed: baseline %.4f, now %.4f (tol %gx)"
+                    name k b c tol
+              | (Str _ | Bool _ | Null), Some cv ->
+                if bv <> cv then drift "%s: %s differs from baseline" name k
+              | _, Some _ -> drift "%s: %s has an unexpected shape" name k)
+            (match brow with Obj fields -> fields | _ -> []))
+      brows;
+    List.iter
+      (fun (name, _) ->
+        if not (List.exists (fun brow -> name_of brow = name) brows) then
+          drift "new row %S not in baseline (run 'make perf-baseline')" name)
+      current;
+    if !failed then exit 1;
+    Printf.printf "\nperf-regress OK (%d rows, wall tolerance %gx)\n"
+      (List.length brows) tol
+  end
+
 let () =
   if Array.exists (fun a -> a = "--smoke") Sys.argv then begin
     (* CI smoke: B4 at tiny sizes; the asserts inside [b4] require
        nonzero exploration counts, and any Budget_exceeded escaping is
-       a leak (no budget is configured anywhere in the series). *)
+       a leak (no budget is configured anywhere in the series).  Then
+       the B3/B6 exploration-count gates. *)
     (try b4 ~smoke:true ()
      with Engine.Budget_exceeded ->
        prerr_endline "bench-smoke: Budget_exceeded leaked";
        exit 1);
+    mc_count_gates ();
     Printf.printf "\nbench-smoke OK\n"
   end
+  else if Array.exists (fun a -> a = "--regress-update") Sys.argv then
+    regress ~update:true ()
+  else if Array.exists (fun a -> a = "--regress") Sys.argv then
+    regress ~update:false ()
   else if Array.exists (fun a -> a = "--svc") Sys.argv then b5 ()
   else begin
     Printf.printf
@@ -730,6 +988,7 @@ let () =
     b1 ();
     b2 ();
     b3 ();
+    ignore (b6 ());
     b4 ();
     e6 ();
     e10 ();

@@ -421,8 +421,10 @@ let valency_cmd =
 let pp_mc_stats stats =
   let open Elin_mc in
   Printf.printf "states explored: %d\n" stats.Search.states;
-  Printf.printf "dedup hits: %d (hit-rate %.1f%%)\n" stats.Search.dedup_hits
-    (100. *. Search.dedup_rate stats);
+  Printf.printf "dedup hits: %d (hit-rate %.1f%%)  por-pruned: %d\n"
+    stats.Search.dedup_hits
+    (100. *. Search.dedup_rate stats)
+    stats.Search.pruned;
   Printf.printf "frontier peak: %d  leaves: %d (cut %d)  levels: %d\n"
     stats.Search.frontier_peak stats.Search.leaves stats.Search.cut
     stats.Search.levels;
@@ -431,8 +433,28 @@ let pp_mc_stats stats =
        (List.map string_of_int (Array.to_list stats.Search.per_domain)));
   Printf.printf "wall time: %.3fs\n" stats.Search.wall
 
+(* The canonical JSON rendering of the search stats ([--json]; also
+   the shape [bench/main.ml --regress] compares).  Field order is
+   fixed so equal runs print byte-identically. *)
+let json_of_stats stats =
+  let open Elin_mc in
+  let open Elin_svc.Jsonl in
+  Obj
+    [
+      ("states", Int stats.Search.states);
+      ("dedup_hits", Int stats.Search.dedup_hits);
+      ("kept", Int stats.Search.kept);
+      ("pruned", Int stats.Search.pruned);
+      ("frontier_peak", Int stats.Search.frontier_peak);
+      ("leaves", Int stats.Search.leaves);
+      ("cut", Int stats.Search.cut);
+      ("levels", Int stats.Search.levels);
+      ("domains", Int stats.Search.domains);
+      ("wall", Float stats.Search.wall);
+    ]
+
 let do_mc impl_name protocol_name stabilize_at procs per_proc depth domains
-    no_dedup symmetry =
+    no_dedup no_por symmetry json =
   let open Elin_mc in
   if domains < 0 then
     `Error
@@ -442,6 +464,14 @@ let do_mc impl_name protocol_name stabilize_at procs per_proc depth domains
   else
   let domains = if domains = 0 then None else Some domains in
   let dedup = not no_dedup in
+  let por = not no_por in
+  let human fmt =
+    Printf.ksprintf (fun s -> if not json then print_string s) fmt
+  in
+  let emit_json fields =
+    if json then
+      print_endline (Elin_svc.Jsonl.to_string (Elin_svc.Jsonl.Obj fields))
+  in
   match impl_name with
   | None -> (
     (* The E9 valency workload: exhaustive consensus analysis. *)
@@ -449,16 +479,17 @@ let do_mc impl_name protocol_name stabilize_at procs per_proc depth domains
     | Error e -> `Error (false, e)
     | Ok p ->
       let inputs = [| Value.int 0; Value.int 1 |] in
-      Printf.printf
+      human
         "mc: valency protocol %s (inputs 0, 1; exhaustive to depth %d; dedup \
-         %s)\n"
+         %s, por %s)\n"
         p.Elin_valency.Valency.name depth
-        (if dedup then "on" else "off");
+        (if dedup then "on" else "off")
+        (if por then "on" else "off");
       let r = Mc_valency.check_consensus p ~inputs ~max_steps:depth ?domains
-          ~dedup () in
-      pp_mc_stats r.Mc_valency.stats;
-      Printf.printf "terminated within bound: %b\n" r.Mc_valency.terminated;
-      Printf.printf "reachable decision vectors: %s\n"
+          ~dedup ~por () in
+      if not json then pp_mc_stats r.Mc_valency.stats;
+      human "terminated within bound: %b\n" r.Mc_valency.terminated;
+      human "reachable decision vectors: %s\n"
         (String.concat ", "
            (List.map
               (fun d ->
@@ -468,12 +499,30 @@ let do_mc impl_name protocol_name stabilize_at procs per_proc depth domains
               r.Mc_valency.decisions));
       (match r.Mc_valency.agreement_violation with
       | Some d ->
-        Printf.printf "AGREEMENT VIOLATION: p0 decides %s, p1 decides %s\n"
+        human "AGREEMENT VIOLATION: p0 decides %s, p1 decides %s\n"
           (Value.to_string d.(0)) (Value.to_string d.(1))
-      | None -> Printf.printf "agreement: holds on all schedules\n");
+      | None -> human "agreement: holds on all schedules\n");
       (match r.Mc_valency.validity_violation with
-      | Some _ -> Printf.printf "VALIDITY VIOLATION\n"
-      | None -> Printf.printf "validity: holds on all schedules\n");
+      | Some _ -> human "VALIDITY VIOLATION\n"
+      | None -> human "validity: holds on all schedules\n");
+      let open Elin_svc.Jsonl in
+      let jvec d =
+        Arr (List.map (fun v -> Str (Value.to_string v)) (Array.to_list d))
+      in
+      let jvec_opt = function None -> Null | Some d -> jvec d in
+      emit_json
+        [
+          ("mode", Str "valency");
+          ("protocol", Str p.Elin_valency.Valency.name);
+          ("depth", Int depth);
+          ("dedup", Bool dedup);
+          ("por", Bool por);
+          ("terminated", Bool r.Mc_valency.terminated);
+          ("decisions", Arr (List.map jvec r.Mc_valency.decisions));
+          ("agreement_violation", jvec_opt r.Mc_valency.agreement_violation);
+          ("validity_violation", jvec_opt r.Mc_valency.validity_violation);
+          ("stats", json_of_stats r.Mc_valency.stats);
+        ];
       ok_exit
         (if
            r.Mc_valency.agreement_violation <> None
@@ -497,23 +546,43 @@ let do_mc impl_name protocol_name stabilize_at procs per_proc depth domains
         | _ -> Faicounter.spec ()
       in
       let cfg = Engine.for_spec spec in
-      Printf.printf
-        "mc: %s, %d procs x %d ops, exhaustive to depth %d (dedup %s%s)\n"
+      human
+        "mc: %s, %d procs x %d ops, exhaustive to depth %d (dedup %s, por \
+         %s%s)\n"
         impl.Impl.name procs per_proc depth
         (if dedup then "on" else "off")
+        (if por then "on" else "off")
         (if symmetry then ", symmetry reduction" else "");
       let out =
         Mc.check impl ~workloads ~max_steps:depth ?domains ~dedup ~symmetry
+          ~por
           (fun h -> Engine.linearizable cfg h)
       in
-      pp_mc_stats out.Mc.stats;
+      if not json then pp_mc_stats out.Mc.stats;
       (match out.Mc.counterexample with
       | None ->
-        Printf.printf "linearizable on every explored schedule: %b\n" out.Mc.ok
+        human "linearizable on every explored schedule: %b\n" out.Mc.ok
       | Some h ->
-        Printf.printf
-          "NOT linearizable; lexicographically minimal counterexample:\n%s"
+        human "NOT linearizable; lexicographically minimal counterexample:\n%s"
           (History.to_string h));
+      let open Elin_svc.Jsonl in
+      emit_json
+        [
+          ("mode", Str "impl");
+          ("impl", Str impl.Impl.name);
+          ("procs", Int procs);
+          ("per_proc", Int per_proc);
+          ("depth", Int depth);
+          ("dedup", Bool dedup);
+          ("por", Bool por);
+          ("symmetry", Bool symmetry);
+          ("ok", Bool out.Mc.ok);
+          ( "counterexample",
+            match out.Mc.counterexample with
+            | None -> Null
+            | Some h -> Str (History.to_string h) );
+          ("stats", json_of_stats out.Mc.stats);
+        ];
       ok_exit (if out.Mc.ok then Exit_code.Ok else Exit_code.Violation))
 
 let mc_cmd =
@@ -549,11 +618,23 @@ let mc_cmd =
     Arg.(value & flag
          & info [ "no-dedup" ] ~doc:"Disable fingerprinted state dedup.")
   in
+  let no_por =
+    Arg.(value & flag
+         & info [ "no-por" ]
+             ~doc:"Disable sleep-set partial-order reduction (on by default; \
+                   never changes the verdict, only the work done).")
+  in
   let symmetry =
     Arg.(value & flag
          & info [ "symmetry" ]
              ~doc:"Quotient by process renaming (identical workloads and \
-                   process-oblivious implementations only).")
+                   process-oblivious implementations only; disables POR).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the result as one canonical JSON object on stdout \
+                   instead of the human-readable report.")
   in
   Cmd.v
     (Cmd.info "mc"
@@ -562,7 +643,7 @@ let mc_cmd =
     Term.(
       ret
         (const do_mc $ impl_name $ protocol $ stabilize_at $ procs_arg
-       $ per_proc $ depth $ domains $ no_dedup $ symmetry))
+       $ per_proc $ depth $ domains $ no_dedup $ no_por $ symmetry $ json))
 
 (* ------------------------------------------------------------------ *)
 (* elin serafini                                                      *)

@@ -45,8 +45,9 @@ type stable_certificate = {
     [domains = None] means the recommended domain count).  Both decide
     the same bounded property; [Mc] dedups the commuting-access
     diamonds of the extension tree and spreads levels across
-    domains. *)
-type engine = Dfs | Mc of { domains : int option; dedup : bool }
+    domains.  [por] is the sleep-set partial-order reduction
+    (see {!Elin_mc.Indep}); it never changes the certificate. *)
+type engine = Dfs | Mc of { domains : int option; dedup : bool; por : bool }
 
 (** [certify impl config ~depth ~check] — bounded stability check:
     [check h ~t] must decide t-linearizability of the implemented
@@ -73,9 +74,10 @@ let certify ?(engine = Dfs) (impl : Impl.t) (config : Explore.config) ~depth
           extension_depth = depth;
         }
     else None
-  | Mc { domains; dedup } ->
+  | Mc { domains; dedup; por } ->
     let out =
       Elin_mc.Mc.check_from impl config ~max_extra_steps:depth ?domains ~dedup
+        ~por
         (fun h -> check h ~t:cut)
     in
     if out.Elin_mc.Mc.ok then

@@ -23,8 +23,9 @@ type stable_certificate = {
     sequential DFS ([Explore.iter_leaves_from]) or the parallel
     fingerprint-dedup model checker ([Elin_mc.Mc.check_from];
     [domains = None] = recommended domain count).  Both decide the
-    same bounded property. *)
-type engine = Dfs | Mc of { domains : int option; dedup : bool }
+    same bounded property.  [por] enables the sleep-set partial-order
+    reduction (it never changes the certificate). *)
+type engine = Dfs | Mc of { domains : int option; dedup : bool; por : bool }
 
 (** [certify impl config ~depth ~check] — bounded stability check;
     [check h ~t] decides t-linearizability of the implemented type. *)

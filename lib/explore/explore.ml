@@ -70,10 +70,26 @@ let set_proc c p pr =
   procs.(p) <- pr;
   { c with procs }
 
+(** [access_choices impl c p] — the (response, next-state) choices of
+    the base access process [p] is poised on.  Raises when [p]'s next
+    step is not an access.  Callers that need the choices {e and} the
+    stepped configurations ({!Elin_mc}'s digest labelling, footprint
+    computation) evaluate [Base.access] once here and pass the result
+    back through [step]'s [?choices]. *)
+let access_choices (impl : Impl.t) c p =
+  match c.procs.(p).running with
+  | Some (Program.Access (obj, op, _)) ->
+    impl.Impl.bases.(obj).Base.access ~state:c.bases.(obj) ~proc:p
+      ~step:c.steps op
+  | Some (Program.Return _) | None ->
+    invalid_arg "Explore.access_choices: process not poised on an access"
+
 (** [step c p] — all configurations reachable by letting process [p]
     take one atomic step (several when the stepped base object offers
-    an adversary choice). *)
-let step (impl : Impl.t) c p =
+    an adversary choice).  [?choices] short-circuits the [Base.access]
+    enumeration on the access branch; it must be exactly
+    [access_choices impl c p]. *)
+let step ?choices (impl : Impl.t) c p =
   let pr = c.procs.(p) in
   match pr.running with
   | None -> (
@@ -108,9 +124,12 @@ let step (impl : Impl.t) c p =
         steps = c.steps + 1;
       };
     ]
-  | Some (Program.Access (obj, op, k)) ->
-    let base = impl.Impl.bases.(obj) in
-    let choices = base.Base.access ~state:c.bases.(obj) ~proc:p ~step:c.steps op in
+  | Some (Program.Access (obj, _, k)) ->
+    let choices =
+      match choices with
+      | Some cs -> cs
+      | None -> access_choices impl c p
+    in
     List.map
       (fun (resp, state') ->
         let bases = Array.copy c.bases in

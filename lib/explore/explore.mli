@@ -41,10 +41,18 @@ val is_quiescent : config -> bool
 (** All workloads finished. *)
 val is_done : config -> bool
 
+(** [access_choices impl c p] — the (response, next-state) choices of
+    the base access [p] is poised on; raises [Invalid_argument] when
+    [p]'s next step is not an access.  Lets callers that need both the
+    choices and the stepped configurations evaluate [Base.access] once
+    and pass it back through [step]'s [?choices]. *)
+val access_choices : Impl.t -> config -> int -> (Value.t * Value.t) list
+
 (** [step impl c p] — all configurations after process [p]'s next
     atomic step (several when a base object offers an adversary
-    choice). *)
-val step : Impl.t -> config -> int -> config list
+    choice).  [?choices] must be [access_choices impl c p] when
+    given. *)
+val step : ?choices:(Value.t * Value.t) list -> Impl.t -> config -> int -> config list
 
 val successors : Impl.t -> config -> config list
 

@@ -52,6 +52,24 @@ let list f (a : acc) xs : acc =
 let array f (a : acc) xs : acc =
   Array.fold_left f (int a (Array.length xs)) xs
 
+(** Flat-array absorbers for pre-packed state vectors: the model
+    checker folds per-process/per-object summaries into [int64 array]s
+    once and re-absorbs only the flat words on every fingerprint, so
+    the hot path never re-walks structured values. *)
+let int64_array (a : acc) (xs : int64 array) : acc =
+  let a = ref (int a (Array.length xs)) in
+  for i = 0 to Array.length xs - 1 do
+    a := int64 !a (Array.unsafe_get xs i)
+  done;
+  !a
+
+let int_array (a : acc) (xs : int array) : acc =
+  let a = ref (int a (Array.length xs)) in
+  for i = 0 to Array.length xs - 1 do
+    a := int !a (Array.unsafe_get xs i)
+  done;
+  !a
+
 let finish (a : acc) : t =
   (* A final avalanche round (splitmix64-style) so that short inputs
      differing in one low byte still spread across all 64 bits. *)

@@ -28,6 +28,12 @@ val list : (acc -> 'a -> acc) -> acc -> 'a list -> acc
 
 val array : (acc -> 'a -> acc) -> acc -> 'a array -> acc
 
+(** Flat-array absorbers (length-prefixed) for pre-packed state
+    vectors — no closure, no per-element dispatch. *)
+val int64_array : acc -> int64 array -> acc
+
+val int_array : acc -> int array -> acc
+
 val finish : acc -> t
 
 val equal : t -> t -> bool

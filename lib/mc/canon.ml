@@ -81,69 +81,9 @@ let digest_access prev ~obj ~op:o ~resp =
   Fp.finish
     (value (op (Fp.int (Fp.byte (Fp.int64 (Fp.start ()) prev) 2) obj) o) resp)
 
-(* ------------------------------------------------------------------ *)
-(* Search nodes.                                                       *)
-(* ------------------------------------------------------------------ *)
-
-type node = {
-  config : Explore.config;
-  digests : int64 array;  (* per-process continuation digests; 0L idle *)
-  depth : int;            (* steps taken from the search root *)
-}
-
-(** [root config] — digests start at [0L]: within one search, a process
-    still inside the operation it was running at the root holds the
-    root's actual (unique) continuation, so the neutral digest is
-    unambiguous. *)
-let root config =
-  {
-    config;
-    digests = Array.make (Array.length config.Explore.procs) 0L;
-    depth = 0;
-  }
-
-(** [step impl node p] — [Explore.step] on the underlying
-    configuration, with digests updated from the transition's label. *)
-let step (impl : Impl.t) node p =
-  let c = node.config in
-  let pr = c.Explore.procs.(p) in
-  let configs = Explore.step impl c p in
-  let with_digest c' d =
-    let digests = Array.copy node.digests in
-    digests.(p) <- d;
-    { config = c'; digests; depth = node.depth + 1 }
-  in
-  match pr.Explore.running with
-  | None -> (
-    match pr.Explore.todo with
-    | [] -> []
-    | o :: _ ->
-      List.map
-        (fun c' -> with_digest c' (digest_invoke ~op:o ~local:pr.Explore.local))
-        configs)
-  | Some (Program.Return _) ->
-    (* The response and new local state become visible in the config;
-       the continuation is gone. *)
-    List.map (fun c' -> with_digest c' 0L) configs
-  | Some (Program.Access (obj, o, _)) ->
-    (* Re-enumerate the (pure) base transition to label each branch
-       with the response the continuation consumed. *)
-    let base = impl.Impl.bases.(obj) in
-    let choices =
-      base.Base.access ~state:c.Explore.bases.(obj) ~proc:p ~step:c.Explore.steps o
-    in
-    List.map2
-      (fun (resp, _) c' ->
-        with_digest c' (digest_access node.digests.(p) ~obj ~op:o ~resp))
-      choices configs
-
-let successors impl node =
-  List.concat_map (step impl node) (Explore.runnable node.config)
-
-(* ------------------------------------------------------------------ *)
-(* Fingerprints.                                                       *)
-(* ------------------------------------------------------------------ *)
-
+(* Absorb one process's visible state: todo, local, continuation
+   digest.  Shared by the packed per-process summaries and the
+   symmetry-mode full encoding. *)
 let proc_state acc (pr : Explore.proc_state) digest =
   let acc = Fp.list op acc pr.Explore.todo in
   let acc = value acc pr.Explore.local in
@@ -152,6 +92,203 @@ let proc_state acc (pr : Explore.proc_state) digest =
   | Some (Program.Return _) -> Fp.int64 (Fp.byte acc 1) digest
   | Some (Program.Access (obj, o, _)) ->
     op (Fp.int (Fp.int64 (Fp.byte acc 2) digest) obj) o
+
+(* ------------------------------------------------------------------ *)
+(* Search nodes.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Besides the continuation digests, a node carries {e packed} state
+   summaries so the (non-symmetry) fingerprint is computed from flat
+   arrays without re-walking any structured value:
+
+   - [proc_fps.(p)]: digest of process [p]'s full visible state (todo,
+     local, continuation digest) — only the stepped process's entry is
+     recomputed per step;
+   - [base_fps.(i)]: digest of base object [i]'s state value — only
+     the accessed object's entry is recomputed per step;
+   - [events_acc]: a running accumulator over the chronological event
+     log — one event absorbed per invoke/return step, never a walk of
+     the whole history.
+
+   The packed encoding distinguishes exactly the same configurations
+   as a full structural walk (each summary is injective modulo 64-bit
+   collision), so dedup classes — and every count the experiments
+   record — are unchanged.
+
+   [sleep] is the node's sleep set (partial-order reduction): a
+   bitmask of processes whose next step was already explored, at an
+   ancestor, in a provably commuting order.  {!successors} skips slept
+   processes and computes the inherited masks; the mask caps the
+   engine at 62 processes under reduction (callers guard). *)
+
+type node = {
+  config : Explore.config;
+  digests : int64 array;  (* per-process continuation digests; 0L idle *)
+  depth : int;            (* steps taken from the search root *)
+  sleep : int;            (* sleep set as a process bitmask *)
+  proc_fps : int64 array; (* packed per-process state summaries *)
+  base_fps : int64 array; (* packed per-object state summaries *)
+  events_acc : Fp.acc;    (* running digest of the chronological log *)
+}
+
+let proc_fp pr digest =
+  Fp.finish (proc_state (Fp.start ~seed:0x7070L (* "pp" *) ()) pr digest)
+
+let base_fp v = Fp.finish (value (Fp.start ~seed:0x6273L (* "bs" *) ()) v)
+
+let no_rename p = p
+
+(** [root config] — digests start at [0L]: within one search, a process
+    still inside the operation it was running at the root holds the
+    root's actual (unique) continuation, so the neutral digest is
+    unambiguous.  A mid-execution root ([Mc.check_from]) pays one walk
+    of its existing history here; every later step absorbs only its
+    own event. *)
+let root config =
+  let n = Array.length config.Explore.procs in
+  {
+    config;
+    digests = Array.make n 0L;
+    depth = 0;
+    sleep = 0;
+    proc_fps = Array.init n (fun p -> proc_fp config.Explore.procs.(p) 0L);
+    base_fps = Array.map base_fp config.Explore.bases;
+    events_acc =
+      List.fold_left (event ~rename:no_rename)
+        (Fp.start ~seed:0x6576L (* "ev" *) ())
+        (List.rev config.Explore.events_rev);
+  }
+
+(* One successor: refresh the stepped process's digest and packed
+   summary, the touched object's summary (if any), and absorb the
+   appended event (if any).  Successors are born with an empty sleep
+   set; {!successors} overwrites it under reduction. *)
+let succ node p ?obj c' d =
+  let digests = Array.copy node.digests in
+  digests.(p) <- d;
+  let proc_fps = Array.copy node.proc_fps in
+  proc_fps.(p) <- proc_fp c'.Explore.procs.(p) d;
+  let base_fps =
+    match obj with
+    | None -> node.base_fps
+    | Some i ->
+      let b = Array.copy node.base_fps in
+      b.(i) <- base_fp c'.Explore.bases.(i);
+      b
+  in
+  let events_acc =
+    if c'.Explore.n_events > node.config.Explore.n_events then
+      event ~rename:no_rename node.events_acc (List.hd c'.Explore.events_rev)
+    else node.events_acc
+  in
+  {
+    config = c';
+    digests;
+    depth = node.depth + 1;
+    sleep = 0;
+    proc_fps;
+    base_fps;
+    events_acc;
+  }
+
+(** [step impl node p] — [Explore.step] on the underlying
+    configuration, with digests and packed summaries updated from the
+    transition's label.  [?choices] must be
+    [Explore.access_choices impl node.config p] when given (footprint
+    computation already paid for it). *)
+let step ?choices (impl : Impl.t) node p =
+  let c = node.config in
+  let pr = c.Explore.procs.(p) in
+  match pr.Explore.running with
+  | None -> (
+    match pr.Explore.todo with
+    | [] -> []
+    | o :: _ ->
+      List.map
+        (fun c' -> succ node p c' (digest_invoke ~op:o ~local:pr.Explore.local))
+        (Explore.step impl c p))
+  | Some (Program.Return _) ->
+    (* The response and new local state become visible in the config;
+       the continuation is gone. *)
+    List.map (fun c' -> succ node p c' 0L) (Explore.step impl c p)
+  | Some (Program.Access (obj, o, _)) ->
+    (* Enumerate the (pure) base transition once to label each branch
+       with the response the continuation consumed. *)
+    let choices =
+      match choices with
+      | Some cs -> cs
+      | None -> Explore.access_choices impl c p
+    in
+    List.map2
+      (fun (resp, _) c' ->
+        succ node p ~obj c' (digest_access node.digests.(p) ~obj ~op:o ~resp))
+      choices
+      (Explore.step ~choices impl c p)
+
+(** [successors ?por ?pruned impl node] — every configuration one step
+    away.  With [~por:true], sleep-set pruning: processes in
+    [node.sleep] are skipped (counted in [pruned]), and each expanded
+    successor inherits the sleep mask {[
+      { q | q slept-or-explored before p, step(q) independent of step(p) }
+    ]} — processes are taken in ascending id order, so the explored
+    tree keeps exactly the lexicographically minimal interleaving of
+    every Mazurkiewicz trace class.  The reachable {e state} set is
+    preserved (every state still ends some surviving interleaving);
+    only redundant commuted paths to it are pruned. *)
+let successors ?(por = false) ?pruned (impl : Impl.t) node =
+  let c = node.config in
+  let enabled = Explore.runnable c in
+  if not por then List.concat_map (fun p -> step impl node p) enabled
+  else begin
+    let foots = List.map (fun q -> (q, Indep.of_explore impl c q)) enabled in
+    (* Slept processes stay enabled (only a process's own steps change
+       its program state), and their footprints are recomputed fresh
+       here, so inherited independence is judged in the current
+       configuration — no staleness. *)
+    let slept =
+      List.filter_map
+        (fun (q, (fq, _)) ->
+          if node.sleep land (1 lsl q) <> 0 then Some (q, fq) else None)
+        foots
+    in
+    let rec go acc explored = function
+      | [] -> List.concat (List.rev acc)
+      | (p, (fp_p, choices)) :: rest ->
+        if node.sleep land (1 lsl p) <> 0 then begin
+          (match pruned with Some a -> Atomic.incr a | None -> ());
+          go acc explored rest
+        end
+        else begin
+          let inherit_mask m (q, fq) =
+            if Indep.independent fq fp_p then m lor (1 lsl q) else m
+          in
+          let sleep' =
+            List.fold_left inherit_mask
+              (List.fold_left inherit_mask 0 slept)
+              explored
+          in
+          let ss =
+            List.map (fun s -> { s with sleep = sleep' })
+              (step ?choices impl node p)
+          in
+          go (ss :: acc) ((p, fp_p) :: explored) rest
+        end
+    in
+    go [] [] foots
+  end
+
+(** Sleep-set merge for dedup under reduction: when several surviving
+    interleavings reach the same state in the same BFS level, the kept
+    copy's sleep set is the {e intersection} of all copies' — every
+    direction some path still had to explore is explored.  Sound by
+    monotonicity (a smaller sleep set explores a superset tree), and
+    deterministic across domain counts (intersection is
+    order-independent; the copies are equal states). *)
+let merge_sleep a b = { a with sleep = a.sleep land b.sleep }
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints.                                                       *)
+(* ------------------------------------------------------------------ *)
 
 (* [old_of_new] lists, for each canonical position, the original
    process id placed there; [rename] is its inverse. *)
@@ -170,8 +307,6 @@ let encode node ~old_of_new ~rename =
   let acc = Fp.list (event ~rename) acc c.Explore.events_rev in
   Fp.finish acc
 
-let identity_perm n = Array.init n (fun i -> i)
-
 (* All permutations of [0..n-1], as [old_of_new] arrays. *)
 let rec permutations = function
   | [] -> [ [] ]
@@ -180,11 +315,23 @@ let rec permutations = function
       (fun x -> List.map (fun p -> x :: p) (permutations (List.filter (( <> ) x) xs)))
       xs
 
+(* The identity-renaming fingerprint, from the packed summaries: flat
+   int64 arrays plus three scalars — no structured value is walked.
+   Covers exactly the data the full [encode] walk covers (each summary
+   injective modulo collision), so the dedup classes coincide. *)
+let encode_packed node =
+  let c = node.config in
+  let acc = Fp.start ~seed:0x6D63L (* "mc" *) () in
+  let acc = Fp.int acc c.Explore.steps in
+  let acc = Fp.int acc c.Explore.invocations in
+  let acc = Fp.int acc c.Explore.n_events in
+  let acc = Fp.int64_array acc node.proc_fps in
+  let acc = Fp.int64_array acc node.base_fps in
+  Fp.finish (Fp.int64 acc (Fp.finish node.events_acc))
+
 let fingerprint ?(symmetry = false) node =
   let n = Array.length node.config.Explore.procs in
-  if not symmetry then
-    let id = identity_perm n in
-    encode node ~old_of_new:id ~rename:(fun p -> p)
+  if not symmetry then encode_packed node
   else begin
     if n > 6 then
       invalid_arg "Canon.fingerprint: symmetry reduction capped at 6 processes";

@@ -22,14 +22,40 @@ type node = {
       (** per-process continuation digests; [0L] when idle or still
           inside the operation that was running at the search root *)
   depth : int;  (** steps taken from the search root *)
+  sleep : int;
+      (** sleep set (partial-order reduction): bitmask of processes
+          whose next step was already explored, at an ancestor, in a
+          provably commuting order *)
+  proc_fps : int64 array;  (** packed per-process state summaries *)
+  base_fps : int64 array;  (** packed per-object state summaries *)
+  events_acc : Elin_kernel.Fingerprint.acc;
+      (** running digest of the chronological event log *)
 }
 
 val root : Explore.config -> node
 
-(** [step impl node p] — [Explore.step] with digest maintenance. *)
-val step : Impl.t -> node -> int -> node list
+(** [step impl node p] — [Explore.step] with digest and packed-summary
+    maintenance.  [?choices] must be [Explore.access_choices] on the
+    node's configuration when given. *)
+val step :
+  ?choices:(Elin_spec.Value.t * Elin_spec.Value.t) list ->
+  Impl.t ->
+  node ->
+  int ->
+  node list
 
-val successors : Impl.t -> node -> node list
+(** [successors ?por ?pruned impl node] — every configuration one step
+    away.  With [~por:true], sleep-set pruning: slept processes are
+    skipped (counted in [pruned]) and successors inherit the masks
+    that keep exactly the lexicographically minimal interleaving per
+    Mazurkiewicz trace class; the reachable state set is preserved.
+    Caps at 62 processes under reduction (callers guard). *)
+val successors :
+  ?por:bool -> ?pruned:int Atomic.t -> Impl.t -> node -> node list
+
+(** Sleep-set merge for dedup under reduction: keep the first copy
+    with the {e intersection} of both sleep masks. *)
+val merge_sleep : node -> node -> node
 
 (** [fingerprint ?symmetry node] — seeded 64-bit fingerprint of the
     canonical encoding.  With [~symmetry:true], the minimum over all

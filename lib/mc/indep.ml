@@ -1,0 +1,102 @@
+(** The independence relation behind partial-order reduction.
+
+    Two enabled steps are {e independent} when executing them in either
+    order from the current configuration yields the same configuration
+    and neither order enables or disables the other — the Mazurkiewicz
+    trace condition the sleep-set pruning of {!Canon}/{!Mc_valency}
+    relies on.  Rather than proving commutation per step pair, each
+    step is summarized by its {e footprint} over the shared state, and
+    independence is decided footprint-to-footprint:
+
+    - invoke and return steps append to the shared event log (and only
+      to it): footprint {!Log}.  Two log appends never commute — the
+      event order is the history, and histories are the checked
+      observable;
+    - base-access steps touch exactly one base object (and never the
+      log): footprint {!Access}, carrying the object index, whether
+      any adversary branch changes the object state (a {e write}), and
+      whether the access may read the global step counter;
+    - valency decision steps ({!Elin_valency} [Return]s) touch nothing
+      shared: footprint {!Local}.
+
+    The dynamic ingredients: writes are detected from the actual
+    enabled choices (an access all of whose branches leave the state
+    intact is a read, whatever the operation's name), and step
+    sensitivity is delegated to [Base.step_sensitive] in the {e
+    current} object state — a stabilize-at-step object stops being
+    step-sensitive the moment it stabilizes.  A step-sensitive access
+    is dependent with {e every} other step: reordering shifts the
+    global step indices it observes.
+
+    Why footprint disjointness implies commutation here: a process's
+    own program state (todo, local, continuation) is touched only by
+    its own steps, every step increments the global step counter by
+    one regardless of order, and responses/digests of an access are
+    functions of (object state, op, proc) once step-insensitive — so
+    swapping two independent steps reproduces identical configurations
+    {e and} identical continuation digests. *)
+
+open Elin_spec
+open Elin_runtime
+
+type t =
+  | Local  (** touches no shared structure (valency decision steps) *)
+  | Log    (** appends to the shared event log (invoke/return steps) *)
+  | Access of {
+      obj : int;             (** base object index *)
+      writes : bool;         (** some branch changes the object state *)
+      step_sensitive : bool; (** response may depend on the global step *)
+    }  (** a base-object access *)
+
+(** [independent a b] — may the two steps be commuted?  Conservative:
+    [false] is always sound. *)
+let independent a b =
+  match a, b with
+  | Local, _ | _, Local -> true
+  | Log, Log -> false
+  | Log, Access a | Access a, Log -> not a.step_sensitive
+  | Access a, Access b ->
+    (not a.step_sensitive)
+    && (not b.step_sensitive)
+    && (a.obj <> b.obj || (not a.writes && not b.writes))
+
+(* An access is a read iff every enabled branch keeps the state. *)
+let is_read ~state choices =
+  List.for_all (fun (_, state') -> state' == state || Value.equal state' state)
+    choices
+
+let access_footprint (bases : Base.t array) states ~obj ~choices =
+  Access
+    {
+      obj;
+      writes = not (is_read ~state:states.(obj) choices);
+      step_sensitive = bases.(obj).Base.step_sensitive states.(obj);
+    }
+
+(** [of_explore impl c p] — footprint of process [p]'s next step in
+    [c], plus the access choices when that step is an access (so the
+    caller can pass them back through [Explore.step ?choices] and pay
+    for [Base.access] once). *)
+let of_explore (impl : Impl.t) (c : Elin_explore.Explore.config) p =
+  let open Elin_explore in
+  match c.Explore.procs.(p).Explore.running with
+  | None | Some (Program.Return _) -> (Log, None)
+  | Some (Program.Access (obj, _, _)) ->
+    let choices = Explore.access_choices impl c p in
+    ( access_footprint impl.Impl.bases c.Explore.bases ~obj ~choices,
+      Some choices )
+
+(** [of_valency p c i] — footprint of process [i]'s next protocol step.
+    Valency spaces have no event log, so decision steps are {!Local}. *)
+let of_valency (p : Elin_valency.Valency.protocol)
+    (c : Elin_valency.Valency.config) i =
+  let open Elin_valency in
+  match c.Valency.procs.(i) with
+  | Valency.Decided _ | Valency.Running (Program.Return _) -> (Local, None)
+  | Valency.Running (Program.Access (obj, op, _)) ->
+    let choices =
+      p.Valency.bases.(obj).Base.access ~state:c.Valency.bases.(obj) ~proc:i
+        ~step:c.Valency.steps op
+    in
+    ( access_footprint p.Valency.bases c.Valency.bases ~obj ~choices,
+      Some choices )

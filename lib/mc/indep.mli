@@ -1,0 +1,42 @@
+(** The independence relation behind partial-order reduction: each
+    enabled step is summarized by its footprint over the shared state
+    (event log, one base object, or nothing), and two steps commute iff
+    their footprints say so.  Conservative by construction — a
+    dependent verdict only costs pruning. *)
+
+open Elin_spec
+open Elin_runtime
+
+type t =
+  | Local  (** touches no shared structure (valency decision steps) *)
+  | Log    (** appends to the shared event log (invoke/return steps) *)
+  | Access of {
+      obj : int;             (** base object index *)
+      writes : bool;         (** some branch changes the object state *)
+      step_sensitive : bool; (** response may depend on the global step *)
+    }  (** a base-object access *)
+
+(** [independent a b] — may the two steps be commuted?  Holds for
+    [Local] against anything, access against log append (when
+    step-insensitive), accesses on distinct objects, and read-read on
+    the same object.  Two log appends never commute (event order is
+    the history); a step-sensitive access commutes with nothing. *)
+val independent : t -> t -> bool
+
+(** [of_explore impl c p] — footprint of process [p]'s next step, plus
+    the access choices when that step is a base access (pass them back
+    through [Explore.step ?choices] to pay for [Base.access] once). *)
+val of_explore :
+  Impl.t ->
+  Elin_explore.Explore.config ->
+  int ->
+  t * (Value.t * Value.t) list option
+
+(** [of_valency p c i] — footprint of process [i]'s next protocol
+    step; decision steps are {!Local} (valency spaces have no event
+    log). *)
+val of_valency :
+  Elin_valency.Valency.protocol ->
+  Elin_valency.Valency.config ->
+  int ->
+  t * (Value.t * Value.t) list option

@@ -42,18 +42,39 @@ let check_symmetry ~symmetry ~workloads =
     invalid_arg "Mc: symmetry reduction requires identical workloads"
 
 (* Shared driver: explore every extension of [root] whose step count
-   stays below [budget], classifying leaves with [leaf]. *)
+   stays below [budget], classifying leaves with [leaf].
+
+   Partial-order reduction ([por], default on) is silently disabled
+   under symmetry reduction — sleep masks are process-indexed and the
+   renaming quotient merges states across indexings — and beyond 62
+   processes (the mask is an [int] bitmask).  With dedup on, sleep
+   sets and dedup compose through [Search]'s barrier merge: the
+   surviving copy of a state carries the intersection of all copies'
+   sleep masks, so every direction some path still had to explore is
+   explored.  The reachable state set — hence every verdict, decision
+   set and lex-min counterexample, and the [states]/[kept]/[leaves]
+   counts under dedup — is invariant under [por]; only redundant
+   successor generation ([dedup_hits]) shrinks.  In tree mode (no
+   dedup) [por] prunes the node count itself. *)
 let drive (impl : Impl.t) ?domains ?(dedup = true) ?(symmetry = false)
-    ?(stop_early = true) ~budget ~leaf root =
+    ?(por = true) ?(stop_early = true) ~budget ~leaf root =
+  let por =
+    por && (not symmetry) && Array.length root.Explore.procs <= 62
+  in
+  let pruned = Atomic.make 0 in
   let expand (node : Canon.node) =
     let c = node.Canon.config in
     if Explore.is_done c then Search.Leaf (leaf c)
     else if c.Explore.steps >= budget then Search.Cut (leaf c)
-    else Search.Children (Canon.successors impl node)
+    else Search.Children (Canon.successors ~por ~pruned impl node)
   in
-  Search.bfs ?domains ~dedup ~stop_early
-    ~fingerprint:(Canon.fingerprint ~symmetry)
-    ~expand ~compare:Canon.compare_history (Canon.root root)
+  let merge = if por && dedup then Some Canon.merge_sleep else None in
+  let vs, stats =
+    Search.bfs ?domains ~dedup ~stop_early ?merge
+      ~fingerprint:(Canon.fingerprint ~symmetry)
+      ~expand ~compare:Canon.compare_history (Canon.root root)
+  in
+  (vs, { stats with Search.pruned = Atomic.get pruned })
 
 let outcome_of (violations, stats) =
   match violations with
@@ -64,14 +85,14 @@ let outcome_of (violations, stats) =
     (finished or cut at [max_steps])?  The [Explore.for_all_histories]
     contract, parallel and deduplicated. *)
 let check (impl : Impl.t) ~workloads ?locals ?(max_steps = 40) ?domains
-    ?dedup ?(symmetry = false) p =
+    ?dedup ?(symmetry = false) ?por p =
   check_symmetry ~symmetry ~workloads;
   let leaf c =
     let h = Explore.history c in
     if p h then None else Some h
   in
   outcome_of
-    (drive impl ?domains ?dedup ~symmetry ~budget:max_steps ~leaf
+    (drive impl ?domains ?dedup ~symmetry ?por ~budget:max_steps ~leaf
        (Explore.initial_config impl ~workloads ?locals ()))
 
 (** [check_from impl c0 ~max_extra_steps p] — [check] over every
@@ -79,22 +100,23 @@ let check (impl : Impl.t) ~workloads ?locals ?(max_steps = 40) ?domains
     (the Prop. 18 stability certificate's shape).  No symmetry
     reduction: the processes' in-flight operations break it. *)
 let check_from (impl : Impl.t) (c0 : Explore.config) ~max_extra_steps ?domains
-    ?dedup p =
+    ?dedup ?por p =
   let leaf c =
     let h = Explore.history c in
     if p h then None else Some h
   in
   outcome_of
-    (drive impl ?domains ?dedup ~budget:(c0.Explore.steps + max_extra_steps)
-       ~leaf c0)
+    (drive impl ?domains ?dedup ?por
+       ~budget:(c0.Explore.steps + max_extra_steps) ~leaf c0)
 
 (** [count_states impl ~workloads ()] — exhaust the bounded space with
     no predicate; the stats are the result. *)
 let count_states (impl : Impl.t) ~workloads ?locals ?(max_steps = 40) ?domains
-    ?dedup ?(symmetry = false) () =
+    ?dedup ?(symmetry = false) ?por () =
   check_symmetry ~symmetry ~workloads;
   let _, stats =
-    drive impl ?domains ?dedup ~symmetry ~stop_early:false ~budget:max_steps
+    drive impl ?domains ?dedup ~symmetry ?por ~stop_early:false
+      ~budget:max_steps
       ~leaf:(fun _ -> None)
       (Explore.initial_config impl ~workloads ?locals ())
   in
@@ -105,9 +127,9 @@ let count_states (impl : Impl.t) ~workloads ?locals ?(max_steps = 40) ?domains
     Used by the dedup-soundness tests: the set is invariant under
     [~dedup]. *)
 let leaf_histories (impl : Impl.t) ~workloads ?locals ?(max_steps = 40)
-    ?domains ?dedup () =
+    ?domains ?dedup ?por () =
   let hs, stats =
-    drive impl ?domains ?dedup ~stop_early:false ~budget:max_steps
+    drive impl ?domains ?dedup ?por ~stop_early:false ~budget:max_steps
       ~leaf:(fun c -> Some (Explore.history c))
       (Explore.initial_config impl ~workloads ?locals ())
   in

@@ -29,7 +29,12 @@ val workloads_symmetric : Op.t list array -> bool
     (finished, or cut at [max_steps], default 40)?
 
     [domains] defaults to [Domain.recommended_domain_count ()];
-    [dedup] defaults to [true]; [symmetry] (default [false]) enables
+    [dedup] defaults to [true]; [por] (default [true]) enables
+    sleep-set partial-order reduction — verdicts, decision sets, leaf
+    counts and the lex-min counterexample are invariant under it, only
+    redundant successor generation shrinks; it is silently disabled
+    under [symmetry] (sleep masks are process-indexed) and beyond 62
+    processes.  [symmetry] (default [false]) enables
     the process-renaming quotient of {!Canon.fingerprint} — requires
     identical workloads (checked: @raise Invalid_argument), a
     process-oblivious implementation and a renaming-invariant
@@ -42,6 +47,7 @@ val check :
   ?domains:int ->
   ?dedup:bool ->
   ?symmetry:bool ->
+  ?por:bool ->
   (History.t -> bool) ->
   outcome
 
@@ -54,6 +60,7 @@ val check_from :
   max_extra_steps:int ->
   ?domains:int ->
   ?dedup:bool ->
+  ?por:bool ->
   (History.t -> bool) ->
   outcome
 
@@ -67,6 +74,7 @@ val count_states :
   ?domains:int ->
   ?dedup:bool ->
   ?symmetry:bool ->
+  ?por:bool ->
   unit ->
   Search.stats
 
@@ -80,5 +88,6 @@ val leaf_histories :
   ?max_steps:int ->
   ?domains:int ->
   ?dedup:bool ->
+  ?por:bool ->
   unit ->
   History.t list * Search.stats

@@ -24,6 +24,7 @@ module Fp = Elin_kernel.Fingerprint
 type node = {
   config : Valency.config;
   digests : int64 array;
+  sleep : int;  (* sleep set as a process bitmask (POR); see {!Canon} *)
 }
 
 let digest_input input =
@@ -33,17 +34,18 @@ let root (p : Valency.protocol) ~inputs =
   {
     config = Valency.initial p ~inputs;
     digests = Array.map digest_input inputs;
+    sleep = 0;
   }
 
 (** [step p node i] — [Valency.step] with digest maintenance (the
     labelling trick of {!Canon.step}: re-enumerate the pure
     [Base.access] to learn which response each branch consumed). *)
-let step (p : Valency.protocol) node i =
+let step ?choices (p : Valency.protocol) node i =
   let c = node.config in
   let with_digest c' d =
     let digests = Array.copy node.digests in
     digests.(i) <- d;
-    { config = c'; digests }
+    { config = c'; digests; sleep = 0 }
   in
   match c.Valency.procs.(i) with
   | Valency.Decided _ -> []
@@ -51,16 +53,60 @@ let step (p : Valency.protocol) node i =
     List.map (fun c' -> with_digest c' 0L) (Valency.step p c i)
   | Valency.Running (Program.Access (obj, o, _)) ->
     let choices =
-      p.Valency.bases.(obj).Base.access ~state:c.Valency.bases.(obj) ~proc:i
-        ~step:c.Valency.steps o
+      match choices with
+      | Some cs -> cs
+      | None ->
+        p.Valency.bases.(obj).Base.access ~state:c.Valency.bases.(obj) ~proc:i
+          ~step:c.Valency.steps o
     in
     List.map2
       (fun (resp, _) c' ->
         with_digest c' (Canon.digest_access node.digests.(i) ~obj ~op:o ~resp))
-      choices (Valency.step p c i)
+      choices
+      (Valency.step ~choices p c i)
 
-let successors p node =
-  List.concat_map (step p node) (Valency.runnable node.config)
+(** Sleep-set pruning, exactly as in {!Canon.successors} but over
+    {!Indep.of_valency} footprints — decision steps are [Local], so a
+    poised decision commutes with everything and sleeps freely. *)
+let successors ?(por = false) ?pruned (p : Valency.protocol) node =
+  let c = node.config in
+  let enabled = Valency.runnable c in
+  if not por then List.concat_map (fun i -> step p node i) enabled
+  else begin
+    let foots = List.map (fun q -> (q, Indep.of_valency p c q)) enabled in
+    let slept =
+      List.filter_map
+        (fun (q, (fq, _)) ->
+          if node.sleep land (1 lsl q) <> 0 then Some (q, fq) else None)
+        foots
+    in
+    let rec go acc explored = function
+      | [] -> List.concat (List.rev acc)
+      | (i, (fp_i, choices)) :: rest ->
+        if node.sleep land (1 lsl i) <> 0 then begin
+          (match pruned with Some a -> Atomic.incr a | None -> ());
+          go acc explored rest
+        end
+        else begin
+          let inherit_mask m (q, fq) =
+            if Indep.independent fq fp_i then m lor (1 lsl q) else m
+          in
+          let sleep' =
+            List.fold_left inherit_mask
+              (List.fold_left inherit_mask 0 slept)
+              explored
+          in
+          let ss =
+            List.map (fun s -> { s with sleep = sleep' })
+              (step ?choices p node i)
+          in
+          go (ss :: acc) ((i, fp_i) :: explored) rest
+        end
+    in
+    go [] [] foots
+  end
+
+let merge_sleep a b = { a with sleep = a.sleep land b.sleep }
 
 let fingerprint node =
   let c = node.config in
@@ -101,7 +147,10 @@ type report = {
     reported when termination fails ([terminated = false]): the
     decision set of the paths that did decide within the bound. *)
 let check_consensus (p : Valency.protocol) ~inputs ~max_steps ?domains ?dedup
-    () =
+    ?(por = true) () =
+  let por = por && Array.length inputs <= 62 in
+  let dedup_on = match dedup with Some b -> b | None -> true in
+  let pruned = Atomic.make 0 in
   let expand node =
     let c = node.config in
     if Valency.all_decided c then
@@ -114,12 +163,14 @@ let check_consensus (p : Valency.protocol) ~inputs ~max_steps ?domains ?dedup
                    | Valency.Running _ -> assert false)
                  c.Valency.procs)))
     else if c.Valency.steps >= max_steps then Search.Cut (Some Truncated)
-    else Search.Children (successors p node)
+    else Search.Children (successors ~por ~pruned p node)
   in
+  let merge = if por && dedup_on then Some merge_sleep else None in
   let leaves, stats =
-    Search.bfs ?domains ?dedup ~stop_early:false ~fingerprint ~expand
+    Search.bfs ?domains ?dedup ~stop_early:false ?merge ~fingerprint ~expand
       ~compare:compare_leaf (root p ~inputs)
   in
+  let stats = { stats with Search.pruned = Atomic.get pruned } in
   let decisions =
     List.filter_map (function Decision d -> Some d | Truncated -> None) leaves
   in

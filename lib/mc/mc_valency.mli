@@ -10,14 +10,24 @@ open Elin_valency
 type node = {
   config : Valency.config;
   digests : int64 array;
+  sleep : int;  (** sleep set as a process bitmask (POR) *)
 }
 
 val root : Valency.protocol -> inputs:Value.t array -> node
 
-(** [Valency.step] with continuation-digest maintenance. *)
-val step : Valency.protocol -> node -> int -> node list
+(** [Valency.step] with continuation-digest maintenance; [?choices]
+    must be the poised access's [Base.access] enumeration when
+    given. *)
+val step :
+  ?choices:(Value.t * Value.t) list ->
+  Valency.protocol ->
+  node ->
+  int ->
+  node list
 
-val successors : Valency.protocol -> node -> node list
+(** Sleep-set pruning under [~por:true], as {!Canon.successors}. *)
+val successors :
+  ?por:bool -> ?pruned:int Atomic.t -> Valency.protocol -> node -> node list
 val fingerprint : node -> int64
 
 type report = {
@@ -37,5 +47,6 @@ val check_consensus :
   max_steps:int ->
   ?domains:int ->
   ?dedup:bool ->
+  ?por:bool ->
   unit ->
   report

@@ -28,6 +28,12 @@
       the same fingerprint keep exactly one copy, and (modulo 64-bit
       fingerprint collisions) equal fingerprints mean equal states, so
       {e which} racing copy survives is unobservable;
+    - with [?merge] (dedup under partial-order reduction), duplicates
+      are instead resolved at the level barrier, on the spawning
+      domain: the first-generated copy survives with the [merge] of
+      all copies' search metadata.  [merge] must be commutative and
+      associative (sleep-set intersection is), so the outcome is again
+      partition-independent;
     - verdicts are never acted on mid-level.  When a verdict is found,
       every domain still completes the current level, the verdicts of
       that level are gathered from all domains, and the minimum under
@@ -41,6 +47,8 @@ type stats = {
   states : int;           (** states expanded (dequeued from the frontier) *)
   dedup_hits : int;       (** successors dropped because already visited *)
   kept : int;             (** successors enqueued (dedup survivors) *)
+  pruned : int;           (** expansions skipped by partial-order reduction
+                              (filled in by the caller's [expand]; 0 here) *)
   frontier_peak : int;    (** widest BFS level *)
   leaves : int;           (** terminal states (finished or cut) *)
   cut : int;              (** terminal only because of the bound *)
@@ -61,11 +69,23 @@ type ('s, 'v) expansion =
   | Children of 's list  (** interior state ([[]] = dead end, not a leaf —
                              matching [Explore]'s node accounting) *)
   | Leaf of 'v option    (** terminal; [Some v] records a verdict *)
-  | Cut of 'v option     (** terminal because of the depth bound *)
+  | Cut of 'v option     (** terminal because of the bound *)
+
+(* How a domain's share treats generated successors.  [Immediate] is
+   the classic path: filter through the striped visited set at
+   generation time.  [Tag] keeps everything but tags each successor
+   with its fingerprint, for barrier-time merging (dedup under
+   partial-order reduction, where the surviving copy's metadata is the
+   merge of all copies').  [Plain] keeps everything untagged. *)
+type keep_mode =
+  | Plain
+  | Immediate of Elin_kernel.Striped_set.t
+  | Tag
 
 (* Results of one domain's share of one level. *)
 type ('s, 'v) share = {
-  next : 's list;   (* kept successors, in expansion order *)
+  next : (int64 * 's) list;  (* kept successors, in expansion order;
+                                fingerprint tag is 0L in [Plain] mode *)
   found : 'v list;
   hits : int;
   n_states : int;
@@ -73,17 +93,18 @@ type ('s, 'v) share = {
   n_cut : int;
 }
 
-let expand_share ~expand ~fingerprint ~visited frontier ~stride ~offset =
+let expand_share ~expand ~fingerprint ~mode frontier ~stride ~offset =
   let n = Array.length frontier in
   let next = ref [] and found = ref [] in
   let hits = ref 0 and n_states = ref 0 and n_leaves = ref 0 and n_cut = ref 0 in
   let keep s' =
-    match visited with
-    | None -> next := s' :: !next
-    | Some visited ->
-      if Elin_kernel.Striped_set.add visited (fingerprint s') then
-        next := s' :: !next
+    match mode with
+    | Plain -> next := (0L, s') :: !next
+    | Immediate visited ->
+      let fp = fingerprint s' in
+      if Elin_kernel.Striped_set.add visited fp then next := (fp, s') :: !next
       else incr hits
+    | Tag -> next := (fingerprint s', s') :: !next
   in
   let i = ref offset in
   while !i < n do
@@ -108,14 +129,22 @@ let expand_share ~expand ~fingerprint ~visited frontier ~stride ~offset =
     n_cut = !n_cut;
   }
 
-(** [bfs ?domains ?dedup ?stripes ?stop_early ~fingerprint ~expand
-    ~compare root] — explore the space rooted at [root].  Returns the
-    verdicts (sorted and deduplicated under [compare]: the head is the
-    minimal one) and the exploration stats.  With [stop_early] (the
-    default) the search stops at the end of the first level that
-    produced a verdict; otherwise it exhausts the bounded space and
-    returns every verdict. *)
-let bfs ?domains ?(dedup = true) ?(stripes = 64) ?(stop_early = true)
+(** [bfs ?domains ?dedup ?stripes ?stop_early ?merge ~fingerprint
+    ~expand ~compare root] — explore the space rooted at [root].
+    Returns the verdicts (sorted and deduplicated under [compare]: the
+    head is the minimal one) and the exploration stats.  With
+    [stop_early] (the default) the search stops at the end of the
+    first level that produced a verdict; otherwise it exhausts the
+    bounded space and returns every verdict.
+
+    [?merge] (meaningful only with [dedup]) switches duplicate
+    resolution to the level barrier: all generated successors are
+    tagged, grouped by fingerprint on the spawning domain, and the
+    first-generated copy survives carrying [merge] of all copies.
+    Requires a {e level-stratified} space — equal states occur only
+    within one BFS level (true whenever the fingerprint covers a step
+    counter) — and a commutative, associative [merge]. *)
+let bfs ?domains ?(dedup = true) ?(stripes = 64) ?(stop_early = true) ?merge
     ~fingerprint ~expand ~compare root =
   let n_domains =
     match domains with
@@ -133,6 +162,12 @@ let bfs ?domains ?(dedup = true) ?(stripes = 64) ?(stop_early = true)
     end
     else None
   in
+  let mode =
+    match visited, merge with
+    | None, _ -> Plain
+    | Some v, None -> Immediate v
+    | Some _, Some _ -> Tag
+  in
   let states = ref 0 and hits = ref 0 and kept = ref 0 and peak = ref 0 in
   let leaves = ref 0 and cut = ref 0 and levels = ref 0 in
   let per_domain = Array.make n_domains 0 in
@@ -145,9 +180,7 @@ let bfs ?domains ?(dedup = true) ?(stripes = 64) ?(stop_early = true)
     if n > !peak then peak := n;
     let shares =
       if n_domains = 1 || n < 2 * n_domains then
-        [|
-          expand_share ~expand ~fingerprint ~visited fr ~stride:1 ~offset:0;
-        |]
+        [| expand_share ~expand ~fingerprint ~mode fr ~stride:1 ~offset:0 |]
       else begin
         (* Shares run under [Fun.protect]-style discipline: capture any
            exception (e.g. a budget-bounded [expand] raising
@@ -158,18 +191,16 @@ let bfs ?domains ?(dedup = true) ?(stripes = 64) ?(stop_early = true)
           Array.init (n_domains - 1) (fun d ->
               Domain.spawn (fun () ->
                   guarded (fun () ->
-                      expand_share ~expand ~fingerprint ~visited fr
+                      expand_share ~expand ~fingerprint ~mode fr
                         ~stride:n_domains ~offset:(d + 1))))
         in
         let mine =
           guarded (fun () ->
-              expand_share ~expand ~fingerprint ~visited fr ~stride:n_domains
+              expand_share ~expand ~fingerprint ~mode fr ~stride:n_domains
                 ~offset:0)
         in
         let all = Array.append [| mine |] (Array.map Domain.join workers) in
-        Array.map
-          (function Ok s -> s | Error e -> raise e)
-          all
+        Array.map (function Ok s -> s | Error e -> raise e) all
       end
     in
     let level_found = ref [] in
@@ -178,24 +209,63 @@ let bfs ?domains ?(dedup = true) ?(stripes = 64) ?(stop_early = true)
         per_domain.(d) <- per_domain.(d) + share.n_states;
         states := !states + share.n_states;
         hits := !hits + share.hits;
-        kept := !kept + List.length share.next;
         leaves := !leaves + share.n_leaves;
         cut := !cut + share.n_cut;
         level_found := List.rev_append share.found !level_found)
       shares;
+    let next =
+      match mode, merge, visited with
+      | Tag, Some merge_fn, Some visited ->
+        (* Barrier-time duplicate resolution, on the spawning domain:
+           deterministic whatever the partition was, because [merge]
+           is commutative/associative and equal fingerprints mean
+           equal states (modulo collision). *)
+        let tbl = Hashtbl.create 257 in
+        let order = ref [] in
+        Array.iter
+          (fun share ->
+            List.iter
+              (fun (fp, s) ->
+                if Elin_kernel.Striped_set.mem visited fp then incr hits
+                else
+                  match Hashtbl.find_opt tbl fp with
+                  | None ->
+                    Hashtbl.add tbl fp s;
+                    order := fp :: !order
+                  | Some s0 ->
+                    incr hits;
+                    Hashtbl.replace tbl fp (merge_fn s0 s))
+              share.next)
+          shares;
+        let survivors =
+          List.rev_map
+            (fun fp ->
+              ignore (Elin_kernel.Striped_set.add visited fp);
+              Hashtbl.find tbl fp)
+            !order
+        in
+        kept := !kept + List.length survivors;
+        Array.of_list survivors
+      | _ ->
+        let arr =
+          Array.concat
+            (List.map (fun s -> Array.of_list (List.map snd s.next))
+               (Array.to_list shares))
+        in
+        kept := !kept + Array.length arr;
+        arr
+    in
     verdicts := List.rev_append !level_found !verdicts;
     incr levels;
     if stop_early && !level_found <> [] then stop := true
-    else
-      frontier :=
-        Array.concat (List.map (fun s -> Array.of_list s.next)
-                        (Array.to_list shares))
+    else frontier := next
   done;
   let stats =
     {
       states = !states;
       dedup_hits = !hits;
       kept = !kept;
+      pruned = 0;
       frontier_peak = !peak;
       leaves = !leaves;
       cut = !cut;
@@ -209,9 +279,9 @@ let bfs ?domains ?(dedup = true) ?(stripes = 64) ?(stop_early = true)
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "states %d  dedup-hits %d (rate %.1f%%)  frontier-peak %d  leaves %d  \
-     cut %d  levels %d  domains %d  per-domain [%s]  wall %.3fs"
-    s.states s.dedup_hits (100. *. dedup_rate s) s.frontier_peak s.leaves
-    s.cut s.levels s.domains
+    "states %d  dedup-hits %d (rate %.1f%%)  pruned %d  frontier-peak %d  \
+     leaves %d  cut %d  levels %d  domains %d  per-domain [%s]  wall %.3fs"
+    s.states s.dedup_hits (100. *. dedup_rate s) s.pruned s.frontier_peak
+    s.leaves s.cut s.levels s.domains
     (String.concat "; " (List.map string_of_int (Array.to_list s.per_domain)))
     s.wall

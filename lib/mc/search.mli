@@ -18,6 +18,9 @@ type stats = {
   states : int;           (** states expanded (dequeued from the frontier) *)
   dedup_hits : int;       (** successors dropped because already visited *)
   kept : int;             (** successors enqueued (dedup survivors) *)
+  pruned : int;           (** expansions skipped by partial-order reduction
+                              ([bfs] itself reports 0; {!Mc}/{!Mc_valency}
+                              fill it in from their pruning counters) *)
   frontier_peak : int;    (** widest BFS level *)
   leaves : int;           (** terminal states (finished or cut) *)
   cut : int;              (** terminal only because of the bound *)
@@ -50,12 +53,21 @@ type ('s, 'v) expansion =
     - [stop_early] (default [true]) stops at the end of the first
       level that produced a verdict; with [false] the bounded space is
       exhausted and every verdict is returned (used to {e collect},
-      e.g. the valency analysis's decision vectors). *)
+      e.g. the valency analysis's decision vectors).
+    - [merge] (meaningful only with [dedup]) resolves duplicates at
+      the level barrier instead of at generation: the first-generated
+      copy survives carrying [merge] of all same-fingerprint copies of
+      the level — how sleep sets and dedup compose soundly under
+      partial-order reduction.  Requires a level-stratified space
+      (equal states only within one BFS level; true whenever the
+      fingerprint covers a step counter) and a commutative,
+      associative [merge]. *)
 val bfs :
   ?domains:int ->
   ?dedup:bool ->
   ?stripes:int ->
   ?stop_early:bool ->
+  ?merge:('s -> 's -> 's) ->
   fingerprint:('s -> int64) ->
   expand:('s -> ('s, 'v) expansion) ->
   compare:('v -> 'v -> int) ->

@@ -18,6 +18,15 @@ type t = {
   (* [access ~state ~proc ~step op]: [step] is the global scheduler
      step count, used by stabilize-at-step policies. *)
   access : state:Value.t -> proc:int -> step:int -> Op.t -> (Value.t * Value.t) list;
+  (* [step_sensitive state] — may [access] in [state] depend on the
+     global [~step] argument?  Partial-order reduction treats a
+     step-sensitive access as dependent with every other step (any
+     reordering shifts the step indices the access observes); objects
+     that ignore [~step] — every [linearizable] object, and
+     stabilize-at-step objects once stabilized — answer [false] and
+     stay eligible for commutation.  Must over-approximate: answering
+     [true] only costs pruning, answering [false] wrongly is unsound. *)
+  step_sensitive : Value.t -> bool;
 }
 
 (** [linearizable spec] — an atomic object faithful to [spec]; its
@@ -27,6 +36,7 @@ let linearizable spec =
     name = Spec.name spec;
     init = Spec.initial spec;
     access = (fun ~state ~proc:_ ~step:_ op -> Spec.apply spec state op);
+    step_sensitive = (fun _ -> false);
   }
 
 (** [deterministic_pick rng choices] — how the mutable runtime resolves

@@ -16,6 +16,11 @@ type t = {
     state:Value.t -> proc:int -> step:int -> Op.t -> (Value.t * Value.t) list;
       (** [step] is the global scheduler step count, used by
           stabilize-at-step policies. *)
+  step_sensitive : Value.t -> bool;
+      (** May [access] in this state depend on the global [~step]?
+          Partial-order reduction treats step-sensitive accesses as
+          dependent with everything; must over-approximate ([true] is
+          always safe, a wrong [false] is unsound). *)
 }
 
 (** [linearizable spec] — an atomic object faithful to [spec]. *)

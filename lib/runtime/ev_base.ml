@@ -138,6 +138,16 @@ let make cfg : Base.t =
       encode ~committed:(Spec.initial cfg.spec) ~log:[] ~stabilized:false
         ~accesses:0;
     access;
+    step_sensitive =
+      (* Only stabilize-at-step objects read [~step], and only until
+         they stabilize; [After_accesses] counts accesses inside the
+         state, [Never]/[Immediately] ignore the step entirely. *)
+      (fun state ->
+        match cfg.stabilization with
+        | At_step _ ->
+          let _, _, stabilized, _ = decode state in
+          not stabilized
+        | After_accesses _ | Never | Immediately -> false);
   }
 
 (** Convenience constructors. *)

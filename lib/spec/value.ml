@@ -15,18 +15,58 @@ type t =
   | Pair of t * t
   | List of t list
 
+(* --- Atom interning ------------------------------------------------
+
+   The model checker's hot path compares and hashes values millions of
+   times ([Memo_key] lookups, canonical fingerprints, dedup of
+   adversary choices).  The atoms it actually meets — unit, booleans,
+   small ints, the empty list — are hash-consed into immutable pools
+   built once at module initialization, so the smart constructors
+   return physically shared representatives and [equal] can short-cut
+   on [==] before falling back to the structural walk.  The pools are
+   immutable after initialization, hence safe to read from any number
+   of OCaml 5 domains with no locking; values built directly through
+   the (public) constructors simply miss the fast path, never
+   correctness. *)
+
 let unit = Unit
-let bool b = Bool b
-let int n = Int n
+
+let atom_true = Bool true
+let atom_false = Bool false
+let bool b = if b then atom_true else atom_false
+
+let small_lo = -256
+let small_hi = 1024
+let small_ints = Array.init (small_hi - small_lo + 1) (fun i -> Int (small_lo + i))
+let int n = if n >= small_lo && n <= small_hi then small_ints.(n - small_lo) else Int n
+
 let str s = Str s
 let pair a b = Pair (a, b)
-let list xs = List xs
+
+let nil = List []
+let list = function [] -> nil | xs -> List xs
 
 (* Structural equality/comparison/hashing are exactly what we need:
-   values contain no functions or cycles. *)
-let equal (a : t) (b : t) = a = b
+   values contain no functions or cycles.  [equal] takes the
+   physical-equality fast path first — interned atoms (and any shared
+   substructure) succeed without a walk. *)
+let equal (a : t) (b : t) = a == b || a = b
+
+(* [compare] must remain exactly [Stdlib.compare]: adversary-choice
+   dedup ([Ev_base]), verdict ordering and the seeded [Base.pick] all
+   observe this order, and committed golden outputs depend on it. *)
 let compare (a : t) (b : t) = Stdlib.compare a b
-let hash (a : t) = Hashtbl.hash a
+
+let hash (a : t) =
+  (* Atom fast paths: no polymorphic-hash dispatch for the common
+     cases.  Constants chosen to spread small ints; every path must be
+     a function of the value's structure only (interning-oblivious). *)
+  match a with
+  | Unit -> 0x2e5a
+  | Bool false -> 0x3d71
+  | Bool true -> 0x58c9
+  | Int n -> (n * 0x2545f) land max_int
+  | _ -> Hashtbl.hash a
 
 exception Type_error of string
 

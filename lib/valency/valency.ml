@@ -60,8 +60,11 @@ let poised c i =
   | Running (Program.Return _) | Decided _ -> None
 
 (** [step p c i] — all configurations after process [i]'s next atomic
-    step (adversary branching included). *)
-let step (p : protocol) c i =
+    step (adversary branching included).  [?choices] short-circuits
+    the [Base.access] enumeration; it must be exactly that
+    enumeration (callers that already computed it for footprints or
+    digest labels pass it back). *)
+let step ?choices (p : protocol) c i =
   match c.procs.(i) with
   | Decided _ -> []
   | Running (Program.Return v) ->
@@ -70,7 +73,10 @@ let step (p : protocol) c i =
     [ { c with procs; steps = c.steps + 1 } ]
   | Running (Program.Access (obj, op, k)) ->
     let choices =
-      p.bases.(obj).Base.access ~state:c.bases.(obj) ~proc:i ~step:c.steps op
+      match choices with
+      | Some cs -> cs
+      | None ->
+        p.bases.(obj).Base.access ~state:c.bases.(obj) ~proc:i ~step:c.steps op
     in
     List.map
       (fun (resp, state') ->

@@ -33,7 +33,8 @@ val all_decided : config -> bool
 val poised : config -> int -> int option
 
 (** All configurations after process [i]'s next atomic step. *)
-val step : protocol -> config -> int -> config list
+val step :
+  ?choices:(Value.t * Value.t) list -> protocol -> config -> int -> config list
 
 exception Truncated
 

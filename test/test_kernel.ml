@@ -107,6 +107,190 @@ let bitset_out_of_range () =
     (Invalid_argument "Bitset: index 10 out of width 10") (fun () ->
       ignore (Bitset.mem (Bitset.empty 10) 10))
 
+(* --- Fingerprint --- *)
+
+(* Zero/empty inputs must digest deterministically and stay told
+   apart: absorbing nothing, a zero of each width, and an empty
+   string/sequence are all distinct encodings. *)
+let fingerprint_zero_empty () =
+  let fp f = Fingerprint.finish (f (Fingerprint.start ())) in
+  let nothing = fp Fun.id in
+  Alcotest.(check bool) "empty digest deterministic" true
+    (Fingerprint.equal nothing (fp Fun.id));
+  let distinct =
+    [
+      ("nothing", nothing);
+      ("byte 0", fp (fun a -> Fingerprint.byte a 0));
+      ("int 0", fp (fun a -> Fingerprint.int a 0));
+      ("string \"\\000\"", fp (fun a -> Fingerprint.string a "\000"));
+      ("string \"\\000...\"", fp (fun a -> Fingerprint.string a "\000\000"));
+    ]
+  in
+  List.iteri
+    (fun i (ni, di) ->
+      List.iteri
+        (fun j (nj, dj) ->
+          if i < j then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s <> %s" ni nj)
+              false (Fingerprint.equal di dj))
+        distinct)
+    distinct;
+  (* The absorbers are an untyped byte stream (callers tag their
+     encodings): [bool b] is literally [byte (if b then 1 else 0)],
+     [int n] is [int64 (of_int n)], and an empty sequence — string,
+     list, flat array — is exactly its absorbed 0-length prefix. *)
+  let equal_classes =
+    [
+      ( "bool false = byte 0",
+        fp (fun a -> Fingerprint.bool a false),
+        fp (fun a -> Fingerprint.byte a 0) );
+      ( "int 0 = int64 0",
+        fp (fun a -> Fingerprint.int a 0),
+        fp (fun a -> Fingerprint.int64 a 0L) );
+      ( "empty string = int 0",
+        fp (fun a -> Fingerprint.string a ""),
+        fp (fun a -> Fingerprint.int a 0) );
+      ( "empty list = int 0",
+        fp (fun a -> Fingerprint.list Fingerprint.int a []),
+        fp (fun a -> Fingerprint.int a 0) );
+      ( "empty int_array = empty list",
+        fp (fun a -> Fingerprint.int_array a [||]),
+        fp (fun a -> Fingerprint.list Fingerprint.int a []) );
+      ( "empty int64_array = empty list",
+        fp (fun a -> Fingerprint.int64_array a [||]),
+        fp (fun a -> Fingerprint.list Fingerprint.int a []) );
+    ]
+  in
+  List.iter
+    (fun (name, a, b) ->
+      Alcotest.(check bool) name true (Fingerprint.equal a b))
+    equal_classes;
+  Alcotest.(check bool) "bool true <> bool false" false
+    (Fingerprint.equal
+       (fp (fun a -> Fingerprint.bool a true))
+       (fp (fun a -> Fingerprint.bool a false)))
+
+(* The flat-array absorbers are drop-in replacements for the closure
+   folds they optimize. *)
+let fingerprint_flat_absorbers =
+  Support.seeded_prop "flat absorbers match folds" (fun rng ->
+      let n = Prng.int rng 30 in
+      let xs = Array.init n (fun _ -> Prng.int rng 1_000_000) in
+      let ys = Array.map Int64.of_int xs in
+      let fp f = Fingerprint.finish (f (Fingerprint.start ())) in
+      Fingerprint.equal
+        (fp (fun a -> Fingerprint.int_array a xs))
+        (fp (fun a -> Fingerprint.array Fingerprint.int a xs))
+      && Fingerprint.equal
+           (fp (fun a -> Fingerprint.int64_array a ys))
+           (fp (fun a -> Fingerprint.array Fingerprint.int64 a ys)))
+
+(* Distinct seeds give distinct digest families; the same seed
+   reproduces bit-identical digests. *)
+let fingerprint_seeding () =
+  let fp seed i =
+    Fingerprint.finish (Fingerprint.int (Fingerprint.start ~seed ()) i)
+  in
+  for i = 0 to 99 do
+    Alcotest.(check bool) "same seed reproduces" true
+      (Fingerprint.equal (fp 0xabcdL i) (fp 0xabcdL i));
+    Alcotest.(check bool) "distinct seeds differ" false
+      (Fingerprint.equal (fp 0xabcdL i) (fp 0x1234L i))
+  done
+
+(* Seeded-collision smoke: 10^5 distinct short encodings, digested
+   under two independent seeds — any same-family collision at this
+   scale (expected ~ 3x10^-10) is a bug, and no pair may collide
+   under both families at once. *)
+let fingerprint_collision_smoke () =
+  let n = 100_000 in
+  let family seed =
+    let tbl = Hashtbl.create (2 * n) in
+    for i = 0 to n - 1 do
+      let acc = Fingerprint.start ~seed () in
+      let acc = Fingerprint.int (Fingerprint.byte acc (i land 0xff)) i in
+      let d = Fingerprint.finish (Fingerprint.string acc (string_of_int i)) in
+      (match Hashtbl.find_opt tbl d with
+      | Some j ->
+        Alcotest.failf "seed %Lx: encodings %d and %d collide on %s" seed j i
+          (Fingerprint.to_hex d)
+      | None -> ());
+      Hashtbl.add tbl d i
+    done;
+    tbl
+  in
+  let a = family 0x6b65726eL in
+  let b = family 0x736d6f6bL in
+  Alcotest.(check int) "family sizes" (Hashtbl.length a) (Hashtbl.length b)
+
+(* --- Striped_set --- *)
+
+let striped_add_mem () =
+  let s = Striped_set.create () in
+  Alcotest.(check bool) "fresh add" true (Striped_set.add s 42L);
+  Alcotest.(check bool) "re-add" false (Striped_set.add s 42L);
+  Alcotest.(check bool) "mem" true (Striped_set.mem s 42L);
+  Alcotest.(check bool) "not mem" false (Striped_set.mem s 43L);
+  Alcotest.(check int) "cardinal" 1 (Striped_set.cardinal s);
+  Striped_set.clear s;
+  Alcotest.(check int) "cleared" 0 (Striped_set.cardinal s);
+  Alcotest.(check bool) "add after clear" true (Striped_set.add s 42L)
+
+let striped_stripes_pow2 () =
+  List.iter
+    (fun (req, got) ->
+      Alcotest.(check int)
+        (Printf.sprintf "stripes %d -> %d" req got)
+        got
+        (Striped_set.n_stripes (Striped_set.create ~stripes:req ())))
+    [ (1, 1); (3, 4); (64, 64); (65, 128) ]
+
+(* Growth past the per-stripe initial Hashtbl capacity (1024): a
+   1-stripe set forced through many resizes must stay exact. *)
+let striped_growth () =
+  let s = Striped_set.create ~stripes:1 () in
+  let n = 50_000 in
+  for i = 0 to n - 1 do
+    Alcotest.(check bool) "fresh" true (Striped_set.add s (Int64.of_int i))
+  done;
+  Alcotest.(check int) "cardinal after growth" n (Striped_set.cardinal s);
+  for i = 0 to n - 1 do
+    if not (Striped_set.mem s (Int64.of_int i)) then
+      Alcotest.failf "lost %d after growth" i
+  done;
+  Alcotest.(check bool) "absent stays absent" false
+    (Striped_set.mem s (Int64.of_int n))
+
+(* The membership test and insert are one atomic action: when D
+   domains race to add the same fingerprints, each fingerprint is won
+   exactly once, whatever the interleaving.  Exercises both the
+   same-stripe contention path (stripes:2) and concurrent resize
+   (50k keys through 2 stripes). *)
+let striped_concurrent_race () =
+  let n_domains = 4 and n = 50_000 in
+  let s = Striped_set.create ~stripes:2 () in
+  let go = Atomic.make false in
+  let worker () =
+    while not (Atomic.get go) do
+      Domain.cpu_relax ()
+    done;
+    let wins = ref 0 in
+    for i = 0 to n - 1 do
+      if Striped_set.add s (Int64.of_int i) then incr wins
+    done;
+    !wins
+  in
+  let domains = Array.init n_domains (fun _ -> Domain.spawn worker) in
+  Atomic.set go true;
+  let wins = Array.fold_left (fun t d -> t + Domain.join d) 0 domains in
+  Alcotest.(check int) "every fingerprint won exactly once" n wins;
+  Alcotest.(check int) "cardinal" n (Striped_set.cardinal s);
+  for i = 0 to n - 1 do
+    if not (Striped_set.mem s (Int64.of_int i)) then
+      Alcotest.failf "fingerprint %d lost in the race" i
+  done
+
 (* --- Matching --- *)
 
 let matching_simple () =
@@ -183,6 +367,22 @@ let () =
           Support.quick "out of range" bitset_out_of_range;
           bitset_equal_hash;
           bitset_roundtrip;
+        ] );
+      ( "fingerprint",
+        [
+          Support.quick "zero/empty digests" fingerprint_zero_empty;
+          fingerprint_flat_absorbers;
+          Support.quick "seeding" fingerprint_seeding;
+          Support.quick "collision smoke (10^5 x 2 seeds)"
+            fingerprint_collision_smoke;
+        ] );
+      ( "striped_set",
+        [
+          Support.quick "add/mem/clear" striped_add_mem;
+          Support.quick "stripe rounding" striped_stripes_pow2;
+          Support.quick "growth past initial capacity" striped_growth;
+          Support.quick "concurrent same-fingerprint race"
+            striped_concurrent_race;
         ] );
       ( "matching",
         [

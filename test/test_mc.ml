@@ -127,7 +127,8 @@ let guard_agrees_with_explore () =
 
 (* --- equivalence with the sequential explorer -------------------- *)
 
-(* With dedup off, the BFS expands exactly the tree [Explore] walks. *)
+(* With dedup and POR off, the BFS expands exactly the tree [Explore]
+   walks. *)
 let no_dedup_matches_explore_node_counts () =
   List.iter
     (fun (impl, per_proc, max_steps) ->
@@ -137,7 +138,7 @@ let no_dedup_matches_explore_node_counts () =
       in
       let stats =
         Mc.count_states impl ~workloads:wl ~max_steps ~domains:2 ~dedup:false
-          ()
+          ~por:false ()
       in
       Alcotest.(check int) "nodes" explore_stats.Explore.nodes
         stats.Search.states;
@@ -176,13 +177,18 @@ let fingerprint_collision_smoke () =
 let fingerprint_distinct_configs () =
   let impl = Impls.fai_from_board () in
   let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc:3 in
-  let stats = Mc.count_states impl ~workloads:wl ~max_steps:22 ~domains:1 () in
+  (* POR off throughout: this test characterizes the raw state space
+     (the reduced tree is ~8x smaller and generates no duplicates). *)
+  let stats =
+    Mc.count_states impl ~workloads:wl ~max_steps:22 ~domains:1 ~por:false ()
+  in
   (* With dedup on, [states] counts exactly the distinct fingerprints
      inserted; re-running without dedup must expand at least as many
      nodes — if distinct states collided, dedup would drop real states
      and [states] would fall short of the true distinct count. *)
   let stats_nodedup =
-    Mc.count_states impl ~workloads:wl ~max_steps:22 ~domains:1 ~dedup:false ()
+    Mc.count_states impl ~workloads:wl ~max_steps:22 ~domains:1 ~dedup:false
+      ~por:false ()
   in
   Alcotest.(check bool) "scale reached (~10^5 configs)" true
     (stats_nodedup.Search.states >= 100_000);
@@ -190,9 +196,12 @@ let fingerprint_distinct_configs () =
     (stats.Search.dedup_hits > 0);
   (* Leaf-history sets agree (collision-freedom witness: a collision
      between distinct states would lose some reachable history). *)
-  let hs_dedup, _ = Mc.leaf_histories impl ~workloads:wl ~max_steps:22 () in
+  let hs_dedup, _ =
+    Mc.leaf_histories impl ~workloads:wl ~max_steps:22 ~por:false ()
+  in
   let hs_plain, _ =
-    Mc.leaf_histories impl ~workloads:wl ~max_steps:22 ~dedup:false ()
+    Mc.leaf_histories impl ~workloads:wl ~max_steps:22 ~dedup:false ~por:false
+      ()
   in
   Alcotest.(check int) "history sets equal" 0
     (List.compare Canon.compare_history hs_dedup hs_plain)
@@ -204,10 +213,11 @@ let dedup_preserves_reachable_histories () =
     (fun (impl, per_proc, max_steps) ->
       let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc in
       let with_dedup, stats =
-        Mc.leaf_histories impl ~workloads:wl ~max_steps ()
+        Mc.leaf_histories impl ~workloads:wl ~max_steps ~por:false ()
       in
       let without, _ =
-        Mc.leaf_histories impl ~workloads:wl ~max_steps ~dedup:false ()
+        Mc.leaf_histories impl ~workloads:wl ~max_steps ~dedup:false ~por:false
+          ()
       in
       (* The engine's own two modes agree... *)
       Alcotest.(check int) "dedup on = off" 0
@@ -251,6 +261,140 @@ let symmetry_requires_identical_workloads () =
     (fun () ->
       ignore (Mc.count_states impl ~workloads:wl ~max_steps:8 ~symmetry:true ()))
 
+(* --- partial-order reduction ------------------------------------- *)
+
+(* The soundness gate: sleep-set POR must leave every observable —
+   verdicts, reachable-history sets, and (under dedup) the explored
+   state set itself — bit-identical, across domain counts.  Workloads
+   cover write-heavy commuting accesses (board), a universal object
+   (cas), the spec-direct implementation, and the adversarial
+   eventually-linearizable board whose unstabilized accesses are
+   step-sensitive (dependent with everything). *)
+let por_preserves_histories () =
+  List.iter
+    (fun (impl, per_proc, max_steps) ->
+      let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc in
+      let base, base_stats =
+        Mc.leaf_histories impl ~workloads:wl ~max_steps ~por:false ()
+      in
+      List.iter
+        (fun domains ->
+          List.iter
+            (fun dedup ->
+              let name n =
+                Printf.sprintf "%s %s (domains=%d dedup=%b)" impl.Impl.name n
+                  domains dedup
+              in
+              let hs, stats =
+                Mc.leaf_histories impl ~workloads:wl ~max_steps ~domains ~dedup
+                  ~por:true ()
+              in
+              Alcotest.(check int) (name "history sets equal") 0
+                (List.compare Canon.compare_history base hs);
+              (* Under dedup the reduction may only cut *redundant
+                 generation* (dedup_hits): the distinct-state counts
+                 are exactly those of the unreduced run. *)
+              if dedup then begin
+                Alcotest.(check int) (name "states")
+                  base_stats.Search.states stats.Search.states;
+                Alcotest.(check int) (name "kept") base_stats.Search.kept
+                  stats.Search.kept;
+                Alcotest.(check int) (name "leaves")
+                  base_stats.Search.leaves stats.Search.leaves
+              end)
+            [ true; false ])
+        domain_counts)
+    [
+      (Impls.fai_from_board (), 2, 16);
+      (Impls.fai_from_cas (), 2, 10);
+      (direct_fai (), 2, 14);
+      (Impls.fai_ev_board ~k:2 (), 1, 14);
+    ]
+
+(* A failing predicate: the lex-minimal counterexample must survive
+   the reduction unchanged (the violating history's state is still
+   reached, at the same BFS level). *)
+let por_preserves_counterexample () =
+  let impl = Elin_core.Ev_testandset.impl () in
+  let wl = Run.uniform_workload Op.test_and_set ~procs:2 ~per_proc:1 in
+  let cfg = Engine.for_spec (Testandset.spec ()) in
+  let p h = Engine.linearizable cfg h in
+  let off = Mc.check impl ~workloads:wl ~max_steps:12 ~por:false p in
+  Alcotest.(check bool) "violation found without por" false off.Mc.ok;
+  List.iter
+    (fun domains ->
+      let on = Mc.check impl ~workloads:wl ~max_steps:12 ~domains ~por:true p in
+      Alcotest.(check bool) "same verdict" off.Mc.ok on.Mc.ok;
+      Alcotest.check Support.history "same lex-min counterexample"
+        (Option.get off.Mc.counterexample)
+        (Option.get on.Mc.counterexample))
+    domain_counts
+
+(* The perf gate (EXPERIMENTS.md §B6): in tree mode (no dedup) the
+   reduction must cut the explored node count at least in half on the
+   wait-free board fetch&inc.  On this workload sleep sets in fact
+   achieve the perfect trace quotient: one tree node per distinct
+   state — por-tree nodes = dedup distinct states, and under
+   por+dedup nothing is left for dedup to catch. *)
+let por_tree_reduction () =
+  let impl = Impls.fai_from_board () in
+  let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc:2 in
+  let run ~dedup ~por =
+    Mc.count_states impl ~workloads:wl ~max_steps:20 ~domains:2 ~dedup ~por ()
+  in
+  let tree = run ~dedup:false ~por:false in
+  let por_tree = run ~dedup:false ~por:true in
+  let dedup = run ~dedup:true ~por:false in
+  let por_dedup = run ~dedup:true ~por:true in
+  Alcotest.(check bool) ">= 2x fewer tree states" true
+    (2 * por_tree.Search.states <= tree.Search.states);
+  Alcotest.(check bool) "pruning counted" true (por_tree.Search.pruned > 0);
+  Alcotest.(check int) "perfect trace quotient" dedup.Search.states
+    por_tree.Search.states;
+  Alcotest.(check int) "por+dedup states" dedup.Search.states
+    por_dedup.Search.states;
+  Alcotest.(check int) "por+dedup: nothing left to dedup" 0
+    por_dedup.Search.dedup_hits;
+  Alcotest.(check int) "pruned = old dedup hits" dedup.Search.dedup_hits
+    por_dedup.Search.pruned
+
+(* E9: the valency engine's decision sets and (dedup) state counts are
+   por-invariant, for both a correct and a broken protocol. *)
+let por_valency_gate () =
+  let open Elin_valency in
+  let inputs = [| Value.int 0; Value.int 1 |] in
+  let cmp a b = List.compare Value.compare (Array.to_list a) (Array.to_list b) in
+  let norm ds = List.sort_uniq cmp ds in
+  let off =
+    Mc_valency.check_consensus (Protocols.cas ()) ~inputs ~max_steps:20
+      ~domains:1 ~por:false ()
+  in
+  List.iter
+    (fun domains ->
+      let on =
+        Mc_valency.check_consensus (Protocols.cas ()) ~inputs ~max_steps:20
+          ~domains ~por:true ()
+      in
+      let name n = Printf.sprintf "%s (domains=%d)" n domains in
+      Alcotest.(check int) (name "decision sets equal") 0
+        (List.compare cmp
+           (norm off.Mc_valency.decisions)
+           (norm on.Mc_valency.decisions));
+      Alcotest.(check int) (name "states equal")
+        off.Mc_valency.stats.Search.states on.Mc_valency.stats.Search.states;
+      Alcotest.(check bool) (name "terminated") off.Mc_valency.terminated
+        on.Mc_valency.terminated)
+    domain_counts;
+  let p = Protocols.registers_plus_ev_testandset ~stabilize_at:1000 () in
+  let on = Mc_valency.check_consensus p ~inputs ~max_steps:30 ~por:true () in
+  let off = Mc_valency.check_consensus p ~inputs ~max_steps:30 ~por:false () in
+  Alcotest.(check bool) "por still finds disagreement" true
+    (on.Mc_valency.agreement_violation <> None);
+  Alcotest.(check int) "same decision sets on broken protocol" 0
+    (List.compare cmp
+       (norm off.Mc_valency.decisions)
+       (norm on.Mc_valency.decisions))
+
 (* --- rewired users ----------------------------------------------- *)
 
 let valency_mc_matches_dfs () =
@@ -261,13 +405,15 @@ let valency_mc_matches_dfs () =
       (fun a b -> List.compare Value.compare (Array.to_list a) (Array.to_list b))
       ds
   in
-  (* Correct protocol: same decision set, no violations, dedup hits. *)
+  (* Correct protocol: same decision set, no violations, dedup hits.
+     POR off here — under the reduction every duplicate generation is
+     pruned at the source, so [dedup_hits] would be 0. *)
   let dfs = Valency.check_consensus (Protocols.cas ()) ~inputs ~max_steps:20 in
   List.iter
     (fun domains ->
       let mc =
         Mc_valency.check_consensus (Protocols.cas ()) ~inputs ~max_steps:20
-          ~domains ()
+          ~domains ~por:false ()
       in
       Alcotest.(check bool) "terminated" dfs.Valency.terminated
         mc.Mc_valency.terminated;
@@ -298,15 +444,25 @@ let stabilize_mc_engine_matches_dfs () =
   let via engine =
     Elin_core.Stabilize.construct ~engine impl ~workloads:wl ~depth:8 ~check ()
   in
-  match via Elin_core.Stabilize.Dfs,
-        via (Elin_core.Stabilize.Mc { domains = Some 2; dedup = true }) with
-  | Some dfs, Some mc ->
+  match
+    ( via Elin_core.Stabilize.Dfs,
+      via (Elin_core.Stabilize.Mc { domains = Some 2; dedup = true; por = true }),
+      via
+        (Elin_core.Stabilize.Mc { domains = Some 2; dedup = true; por = false })
+    )
+  with
+  | Some dfs, Some mc, Some mc_nopor ->
     let open Elin_core.Stabilize in
     Alcotest.(check int) "same cut" dfs.certificate.cut mc.certificate.cut;
     Alcotest.(check int) "same v0" dfs.anchor.v0 mc.anchor.v0;
     Alcotest.(check bool) "same derived name" true
-      (dfs.derived.Impl.name = mc.derived.Impl.name)
-  | _ -> Alcotest.fail "both engines must certify a stable configuration"
+      (dfs.derived.Impl.name = mc.derived.Impl.name);
+    Alcotest.(check int) "por invariant: cut" mc_nopor.certificate.cut
+      mc.certificate.cut;
+    Alcotest.(check int) "por invariant: leaves checked"
+      mc_nopor.certificate.leaves_checked mc.certificate.leaves_checked;
+    Alcotest.(check int) "por invariant: v0" mc_nopor.anchor.v0 mc.anchor.v0
+  | _ -> Alcotest.fail "all engines must certify a stable configuration"
 
 let () =
   Alcotest.run "mc"
@@ -338,6 +494,15 @@ let () =
             symmetry_reduces_and_preserves_verdict;
           Support.quick "requires identical workloads"
             symmetry_requires_identical_workloads;
+        ] );
+      ( "por",
+        [
+          Support.quick "preserves histories (domains x dedup)"
+            por_preserves_histories;
+          Support.quick "preserves lex-min counterexample"
+            por_preserves_counterexample;
+          Support.quick "tree reduction >= 2x" por_tree_reduction;
+          Support.quick "valency gate" por_valency_gate;
         ] );
       ( "rewired users",
         [

@@ -16,8 +16,9 @@
       log): footprint {!Access}, carrying the object index, whether
       any adversary branch changes the object state (a {e write}), and
       whether the access may read the global step counter;
-    - valency decision steps ({!Elin_valency} [Return]s) touch nothing
-      shared: footprint {!Local}.
+    - valency decision steps ({!Elin_valency} [Return]s) touch no
+      shared structure beyond the global step counter (which every
+      step advances): footprint {!Local}.
 
     The dynamic ingredients: writes are detected from the actual
     enabled choices (an access all of whose branches leave the state
@@ -40,7 +41,8 @@ open Elin_spec
 open Elin_runtime
 
 type t =
-  | Local  (** touches no shared structure (valency decision steps) *)
+  | Local  (** touches no shared structure beyond the step counter
+               (valency decision steps) *)
   | Log    (** appends to the shared event log (invoke/return steps) *)
   | Access of {
       obj : int;             (** base object index *)
@@ -52,6 +54,13 @@ type t =
     [false] is always sound. *)
 let independent a b =
   match a, b with
+  (* Step sensitivity first: a [Local] decision step still advances the
+     global step counter ([Valency.step]'s [Return] branch), so
+     commuting it across a step-sensitive access would move the access
+     across the stabilization threshold and change its enabled
+     responses.  A step-sensitive access is dependent with EVERY other
+     step, [Local] included. *)
+  | Local, Access a | Access a, Local -> not a.step_sensitive
   | Local, _ | _, Local -> true
   | Log, Log -> false
   | Log, Access a | Access a, Log -> not a.step_sensitive

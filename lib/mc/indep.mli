@@ -8,7 +8,8 @@ open Elin_spec
 open Elin_runtime
 
 type t =
-  | Local  (** touches no shared structure (valency decision steps) *)
+  | Local  (** touches no shared structure beyond the step counter
+               (valency decision steps) *)
   | Log    (** appends to the shared event log (invoke/return steps) *)
   | Access of {
       obj : int;             (** base object index *)
@@ -17,10 +18,12 @@ type t =
     }  (** a base-object access *)
 
 (** [independent a b] — may the two steps be commuted?  Holds for
-    [Local] against anything, access against log append (when
-    step-insensitive), accesses on distinct objects, and read-read on
-    the same object.  Two log appends never commute (event order is
-    the history); a step-sensitive access commutes with nothing. *)
+    [Local] against [Local], [Log], or a step-insensitive access,
+    access against log append (when step-insensitive), accesses on
+    distinct objects, and read-read on the same object.  Two log
+    appends never commute (event order is the history); a
+    step-sensitive access commutes with {e nothing} — every step,
+    [Local] included, advances the global step counter it observes. *)
 val independent : t -> t -> bool
 
 (** [of_explore impl c p] — footprint of process [p]'s next step, plus

@@ -73,14 +73,19 @@ type ('s, 'v) expansion =
 
 (* How a domain's share treats generated successors.  [Immediate] is
    the classic path: filter through the striped visited set at
-   generation time.  [Tag] keeps everything but tags each successor
-   with its fingerprint, for barrier-time merging (dedup under
-   partial-order reduction, where the surviving copy's metadata is the
-   merge of all copies').  [Plain] keeps everything untagged. *)
+   generation time.  [Tag] tags each successor with its fingerprint
+   for barrier-time merging (dedup under partial-order reduction,
+   where the surviving copy's metadata is the merge of all copies')
+   but still drops cross-level duplicates at generation time — the
+   visited set only ever holds earlier levels' (final) entries during
+   expansion, so the [mem] answer cannot change before the barrier,
+   and buffering such a copy would only inflate per-level peak memory.
+   Only intra-level copies reach the barrier merge.  [Plain] keeps
+   everything untagged. *)
 type keep_mode =
   | Plain
   | Immediate of Elin_kernel.Striped_set.t
-  | Tag
+  | Tag of Elin_kernel.Striped_set.t
 
 (* Results of one domain's share of one level. *)
 type ('s, 'v) share = {
@@ -104,7 +109,10 @@ let expand_share ~expand ~fingerprint ~mode frontier ~stride ~offset =
       let fp = fingerprint s' in
       if Elin_kernel.Striped_set.add visited fp then next := (fp, s') :: !next
       else incr hits
-    | Tag -> next := (fingerprint s', s') :: !next
+    | Tag visited ->
+      let fp = fingerprint s' in
+      if Elin_kernel.Striped_set.mem visited fp then incr hits
+      else next := (fp, s') :: !next
   in
   let i = ref offset in
   while !i < n do
@@ -166,7 +174,7 @@ let bfs ?domains ?(dedup = true) ?(stripes = 64) ?(stop_early = true) ?merge
     match visited, merge with
     | None, _ -> Plain
     | Some v, None -> Immediate v
-    | Some _, Some _ -> Tag
+    | Some v, Some _ -> Tag v
   in
   let states = ref 0 and hits = ref 0 and kept = ref 0 and peak = ref 0 in
   let leaves = ref 0 and cut = ref 0 and levels = ref 0 in
@@ -215,7 +223,7 @@ let bfs ?domains ?(dedup = true) ?(stripes = 64) ?(stop_early = true) ?merge
       shares;
     let next =
       match mode, merge, visited with
-      | Tag, Some merge_fn, Some visited ->
+      | Tag _, Some merge_fn, Some visited ->
         (* Barrier-time duplicate resolution, on the spawning domain:
            deterministic whatever the partition was, because [merge]
            is commutative/associative and equal fingerprints mean

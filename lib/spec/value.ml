@@ -60,7 +60,10 @@ let compare (a : t) (b : t) = Stdlib.compare a b
 let hash (a : t) =
   (* Atom fast paths: no polymorphic-hash dispatch for the common
      cases.  Constants chosen to spread small ints; every path must be
-     a function of the value's structure only (interning-oblivious). *)
+     a function of the value's structure only (interning-oblivious).
+     The values are in-process only — they differ from [Hashtbl.hash]
+     on atoms and are not stable across versions, so never persist
+     them or compare them against a polymorphic hash. *)
   match a with
   | Unit -> 0x2e5a
   | Bool false -> 0x3d71

@@ -393,7 +393,102 @@ let por_valency_gate () =
   Alcotest.(check int) "same decision sets on broken protocol" 0
     (List.compare cmp
        (norm off.Mc_valency.decisions)
-       (norm on.Mc_valency.decisions))
+       (norm on.Mc_valency.decisions));
+  (* Threshold crossing: with a small stabilize-at the ev test&set
+     flips from step-sensitive to stable mid-run, the regime where a
+     valency decision step must NOT commute with a step-sensitive
+     access (the decision still advances the global step counter).
+     k = 3 stabilizes just before the adversary reaches the test&set
+     (agreement holds), k = 4 just after (disagreement) — the
+     reduction must agree with the full search on both sides. *)
+  List.iter
+    (fun k ->
+      let p = Protocols.registers_plus_ev_testandset ~stabilize_at:k () in
+      let on = Mc_valency.check_consensus p ~inputs ~max_steps:30 ~por:true () in
+      let off =
+        Mc_valency.check_consensus p ~inputs ~max_steps:30 ~por:false ()
+      in
+      let name n = Printf.sprintf "%s (stabilize_at=%d)" n k in
+      Alcotest.(check int) (name "decision sets equal across threshold") 0
+        (List.compare cmp
+           (norm off.Mc_valency.decisions)
+           (norm on.Mc_valency.decisions));
+      Alcotest.(check bool) (name "terminated equal") off.Mc_valency.terminated
+        on.Mc_valency.terminated;
+      Alcotest.(check bool) (name "agreement verdict equal")
+        (off.Mc_valency.agreement_violation = None)
+        (on.Mc_valency.agreement_violation = None))
+    [ 3; 4 ]
+
+(* A step-sensitive access must stay dependent with a valency decision
+   step: the decision still advances the global step counter, so
+   commuting the two moves the access across the stabilization
+   threshold and changes its enabled responses.  First the relation
+   itself, then an end-to-end protocol where the pruning hole would
+   lose a decision vector. *)
+let por_decision_vs_step_sensitive () =
+  let access ~sensitive =
+    Indep.Access { obj = 0; writes = false; step_sensitive = sensitive }
+  in
+  Alcotest.(check bool) "Local dependent with step-sensitive access" false
+    (Indep.independent Indep.Local (access ~sensitive:true));
+  Alcotest.(check bool) "step-sensitive access dependent with Local" false
+    (Indep.independent (access ~sensitive:true) Indep.Local);
+  Alcotest.(check bool) "Local independent of stable access" true
+    (Indep.independent Indep.Local (access ~sensitive:false));
+  Alcotest.(check bool) "Local independent of Local" true
+    (Indep.independent Indep.Local Indep.Local);
+  Alcotest.(check bool) "Local independent of Log" true
+    (Indep.independent Indep.Local Indep.Log);
+  (* Step-oracle protocol: p0 decides its input immediately (a poised
+     decision step from the root); p1 decides what it reads off a
+     step-sensitive oracle — did its read land at step >= 1?
+     Scheduling p1 before p0 decides yields (0, 0); after, (0, 1).
+     Sleeping the decision step across the oracle read prunes the
+     branch that decides (0, 0). *)
+  let open Elin_valency in
+  let oracle =
+    {
+      Base.name = "step-oracle";
+      init = Value.unit;
+      access = (fun ~state ~proc:_ ~step _ -> [ (Value.bool (step >= 1), state) ]);
+      step_sensitive = (fun _ -> true);
+    }
+  in
+  let p =
+    {
+      Valency.name = "step-oracle-race";
+      bases = [| oracle |];
+      code =
+        (fun ~proc ~input ->
+          if proc = 0 then Program.return input
+          else
+            let ( let* ) = Program.bind in
+            let* late = Program.access 0 Op.read in
+            Program.return (Value.int (if Value.to_bool late then 1 else 0)));
+    }
+  in
+  let inputs = [| Value.int 0; Value.int 1 |] in
+  let cmp a b = List.compare Value.compare (Array.to_list a) (Array.to_list b) in
+  let norm ds = List.sort_uniq cmp ds in
+  List.iter
+    (fun dedup ->
+      let on =
+        Mc_valency.check_consensus p ~inputs ~max_steps:8 ~dedup ~por:true ()
+      in
+      let off =
+        Mc_valency.check_consensus p ~inputs ~max_steps:8 ~dedup ~por:false ()
+      in
+      let name n = Printf.sprintf "%s (dedup=%b)" n dedup in
+      Alcotest.(check int) (name "full search sees both decision vectors") 2
+        (List.length (norm off.Mc_valency.decisions));
+      Alcotest.(check int) (name "por preserves the decision set") 0
+        (List.compare cmp
+           (norm off.Mc_valency.decisions)
+           (norm on.Mc_valency.decisions));
+      Alcotest.(check bool) (name "terminated equal") off.Mc_valency.terminated
+        on.Mc_valency.terminated)
+    [ true; false ]
 
 (* --- rewired users ----------------------------------------------- *)
 
@@ -503,6 +598,8 @@ let () =
             por_preserves_counterexample;
           Support.quick "tree reduction >= 2x" por_tree_reduction;
           Support.quick "valency gate" por_valency_gate;
+          Support.quick "decision vs step-sensitive access"
+            por_decision_vs_step_sensitive;
         ] );
       ( "rewired users",
         [

@@ -2,8 +2,8 @@
 
 DUNE ?= dune
 
-.PHONY: all build release test bench bench-smoke svc-smoke perf-regress \
-	perf-baseline check doc clean
+.PHONY: all build release test bench bench-smoke svc-smoke trace-smoke \
+	perf-regress perf-baseline check doc clean
 
 all: build
 
@@ -56,12 +56,38 @@ svc-smoke: build
 	  || { echo "svc-smoke: verdicts differ from the golden file"; exit 1; }
 	@echo "svc-smoke OK"
 
+# Bounded runs with tracing enabled, every artefact linted with
+# `elin trace lint`: regenerates the committed example trace
+# (bench/baselines/trace_b6_2x3_d22.json — the B6 2x3 d22 workload,
+# loads in Perfetto / chrome://tracing with per-domain expansion spans
+# and POR-pruned instants), a canonical-JSONL mc trace, and a batch
+# metrics snapshot over the 50-job corpus.
+trace-smoke: build
+	@mkdir -p _build/trace-smoke
+	@$(DUNE) exec --no-build -- elin mc -i fai/board --procs 2 --per-proc 3 \
+	  --depth 22 --domains 2 --trace bench/baselines/trace_b6_2x3_d22.json \
+	  > _build/trace-smoke/mc.out
+	@$(DUNE) exec --no-build -- elin trace lint \
+	  bench/baselines/trace_b6_2x3_d22.json
+	@$(DUNE) exec --no-build -- elin mc -i fai/board --depth 12 \
+	  --trace _build/trace-smoke/mc.jsonl > /dev/null
+	@$(DUNE) exec --no-build -- elin trace lint _build/trace-smoke/mc.jsonl
+	@$(DUNE) exec --no-build -- elin batch --domains 2 \
+	  --metrics _build/trace-smoke/batch.metrics \
+	  test/support/corpus_50.jobs > /dev/null; \
+	status=$$?; \
+	if [ $$status -ne 3 ]; then \
+	  echo "trace-smoke: batch expected exit code 3, got $$status"; exit 1; \
+	fi
+	@$(DUNE) exec --no-build -- elin trace lint _build/trace-smoke/batch.metrics
+	@echo "trace-smoke OK"
+
 doc:
 	$(DUNE) build @doc
 
 # CI gate: full build, full test suite, and a guard against anyone
 # re-adding build artefacts to the index (PR 1 untracked _build/).
-check: build test bench-smoke svc-smoke
+check: build test bench-smoke svc-smoke trace-smoke
 	@if git ls-files | grep -E '^_build/|\.install$$|^\.merlin$$' >/dev/null; then \
 	  echo "error: build artefacts are tracked in git (see .gitignore)"; \
 	  git ls-files | grep -E '^_build/|\.install$$|^\.merlin$$' | head; \

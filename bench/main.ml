@@ -103,15 +103,16 @@ let json_mode = Array.exists (fun a -> a = "--json") Sys.argv
 (* NaN has no JSON spelling; a missing estimate becomes null. *)
 let jnum f = if Float.is_nan f then Elin_svc.Jsonl.Null else Elin_svc.Jsonl.Float f
 
+(* One line through the one encoder — the same writer the trace
+   export, metrics snapshots, and svc verdicts use. *)
+let series_obj series rows =
+  Elin_svc.Jsonl.Obj
+    [ ("series", Elin_svc.Jsonl.Str series); ("results", Elin_svc.Jsonl.Arr rows) ]
+
 let write_series series rows =
   if json_mode then begin
-    let open Elin_svc.Jsonl in
     let path = Printf.sprintf "BENCH_%s.json" series in
-    let oc = open_out path in
-    output_string oc
-      (to_string (Obj [ ("series", Str series); ("results", Arr rows) ]));
-    output_char oc '\n';
-    close_out oc;
+    Elin_obs.Jsonl.to_file path (series_obj series rows);
     Printf.printf "wrote %s\n" path
   end
 
@@ -681,9 +682,9 @@ let b5 () =
        least-perturbed one. *)
     let best = ref infinity in
     for _ = 1 to 3 do
-      let t0 = Unix.gettimeofday () in
+      let t0 = Elin_obs.Clock.now_s () in
       let vs = Pool.run_batch ~reuse ~domains jobs in
-      let dt = Unix.gettimeofday () -. t0 in
+      let dt = Elin_obs.Clock.now_s () -. t0 in
       assert (List.length vs = n);
       assert (
         List.for_all (fun v -> v.Verdict.status = Verdict.Pass) vs);
@@ -868,6 +869,97 @@ let mc_count_gates () =
   if !failed then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* B7: observability overhead                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The same exploration (the B6 2x3 d22 por+dedup workload) under
+   three observability modes — disabled, metrics-only, full-trace.
+   Two things are on trial: the zero-interference contract (the
+   exploration counts must be bit-identical in every mode — tracing
+   that changes what the checker explores is worse than no tracing)
+   and the cost of the machinery itself (the walls quantify it; the
+   disabled wall is additionally gated against the committed B6
+   baseline by [--regress]).  [--smoke] runs the 2x2 d20 size. *)
+let b7 ?(smoke = false) () =
+  let open Elin_mc in
+  let module Obs = Elin_obs in
+  let per_proc, depth = if smoke then (2, 20) else (3, 22) in
+  let impl = Impls.fai_from_board () in
+  let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc in
+  let run () =
+    Mc.count_states impl ~workloads:wl ~max_steps:depth ~domains:2 ~dedup:true
+      ~por:true ()
+  in
+  let best_of_3 run =
+    let best = ref (run ()) in
+    for _ = 2 to 3 do
+      let s = run () in
+      if s.Search.wall < !best.Search.wall then best := s
+    done;
+    !best
+  in
+  let in_mode mode f =
+    (match mode with
+    | `Disabled -> ()
+    | `Metrics -> Obs.Metrics.enable ()
+    | `Trace ->
+      Obs.Metrics.enable ();
+      Obs.Trace.enable ());
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Trace.disable ();
+        Obs.Metrics.disable ();
+        Obs.Trace.clear ();
+        Obs.Metrics.reset ())
+      f
+  in
+  Printf.printf "\n== B7: observability overhead (mc/fai-board 2x%d d%d por+dedup) ==\n"
+    per_proc depth;
+  Printf.printf "%-12s %9s %9s %8s %9s\n" "mode" "states" "pruned" "leaves"
+    "wall-s";
+  let measured =
+    List.map
+      (fun (name, mode) ->
+        let stats = in_mode mode (fun () -> best_of_3 run) in
+        Printf.printf "%-12s %9d %9d %8d %9.3f\n" name stats.Search.states
+          stats.Search.pruned stats.Search.leaves stats.Search.wall;
+        flush stdout;
+        (name, stats))
+      [ ("disabled", `Disabled); ("metrics", `Metrics); ("full-trace", `Trace) ]
+  in
+  (* Zero-interference gate: identical counts in every mode. *)
+  let _, base = List.hd measured in
+  List.iter
+    (fun (name, (s : Search.stats)) ->
+      if
+        s.Search.states <> base.Search.states
+        || s.Search.leaves <> base.Search.leaves
+        || s.Search.pruned <> base.Search.pruned
+        || s.Search.dedup_hits <> base.Search.dedup_hits
+      then begin
+        Printf.eprintf
+          "b7: exploration counts drift under mode %s (states %d vs %d)\n" name
+          s.Search.states base.Search.states;
+        exit 1
+      end)
+    measured;
+  let rows =
+    List.map
+      (fun (name, (s : Search.stats)) ->
+        let open Elin_svc.Jsonl in
+        Obj
+          [
+            ("name", Str ("obs/" ^ name));
+            ("states", Int s.Search.states);
+            ("leaves", Int s.Search.leaves);
+            ("wall_s", Float s.Search.wall);
+          ])
+      measured
+  in
+  write_series "b7" rows;
+  measured
+
+(* ------------------------------------------------------------------ *)
 (* --regress: the B6 series vs the committed baseline                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -891,11 +983,7 @@ let regress ~update () =
   if update then begin
     (try Unix.mkdir "bench/baselines" 0o755
      with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-    let oc = open_out baseline_path in
-    output_string oc
-      (to_string (Obj [ ("series", Str "b6"); ("results", Arr rows) ]));
-    output_char oc '\n';
-    close_out oc;
+    Elin_obs.Jsonl.to_file baseline_path (series_obj "b6" rows);
     Printf.printf "\nwrote baseline %s\n" baseline_path
   end
   else begin
@@ -959,8 +1047,34 @@ let regress ~update () =
         if not (List.exists (fun brow -> name_of brow = name) brows) then
           drift "new row %S not in baseline (run 'make perf-baseline')" name)
       current;
+    (* B7 disabled-overhead gate: with the observability layer
+       compiled in but switched off, the por+dedup workload must stay
+       within tolerance of the committed B6 baseline wall — the single
+       branch on the disabled flag is not allowed to cost anything a
+       tolerance-scaled wall clock can see.  (b7 itself exits 1 if
+       any mode perturbs the exploration counts.) *)
+    let b7_measured = b7 () in
+    let b6_wall =
+      List.find_map
+        (fun brow ->
+          if name_of brow = "mc/fai-board 2x3 d22 por+dedup" then
+            match mem "wall_s" brow with
+            | Some (Float f) -> Some f
+            | Some (Int i) -> Some (float_of_int i)
+            | _ -> None
+          else None)
+        brows
+    in
+    (match (b6_wall, List.assoc_opt "disabled" b7_measured) with
+    | Some b, Some s ->
+      let c = s.Elin_mc.Search.wall in
+      if not (c <= b *. tol) then
+        drift "b7 disabled-overhead: baseline %.4f, now %.4f (tol %gx)" b c tol
+    | None, _ ->
+      drift "b7: baseline row \"mc/fai-board 2x3 d22 por+dedup\" missing"
+    | _, None -> drift "b7: disabled mode missing from measurement");
     if !failed then exit 1;
-    Printf.printf "\nperf-regress OK (%d rows, wall tolerance %gx)\n"
+    Printf.printf "\nperf-regress OK (%d rows + b7 overhead, wall tolerance %gx)\n"
       (List.length brows) tol
   end
 
@@ -975,6 +1089,7 @@ let () =
        prerr_endline "bench-smoke: Budget_exceeded leaked";
        exit 1);
     mc_count_gates ();
+    ignore (b7 ~smoke:true ());
     Printf.printf "\nbench-smoke OK\n"
   end
   else if Array.exists (fun a -> a = "--regress-update") Sys.argv then
@@ -989,6 +1104,7 @@ let () =
     b2 ();
     b3 ();
     ignore (b6 ());
+    ignore (b7 ());
     b4 ();
     e6 ();
     e10 ();

@@ -10,7 +10,14 @@
     elin experiments— run the experiment suite and print the report
     elin batch      — run a JSONL job stream through the checking service
     elin serve      — watch a spool directory of *.jobs files
+    elin trace      — validate recorded trace / metrics files
     v}
+
+    Observability: [--trace FILE] on check/mc records span+instant
+    events (Chrome trace-event JSON for [.json], canonical JSONL
+    otherwise), [--progress SECS] on mc prints live heartbeats,
+    [--metrics FILE] on batch writes a metrics snapshot; none of them
+    ever change verdicts, output, or exit codes.
 
     Exit codes are uniform across subcommands ({!Elin_svc.Exit_code}):
     0 every verdict ok, 1 a violation/refutation was found, 2 usage or
@@ -25,6 +32,113 @@ open Elin_runtime
 module Exit_code = Elin_svc.Exit_code
 
 let ok_exit code = `Ok (Exit_code.to_int code)
+
+(* ------------------------------------------------------------------ *)
+(* Observability plumbing                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Obs = Elin_obs
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a trace of the run into $(docv): Chrome trace-event JSON \
+           when it ends in .json (loads in Perfetto / chrome://tracing), \
+           canonical JSONL otherwise.  Tracing never changes verdicts, \
+           output, or exit codes.")
+
+(* Tracing implies metrics: the aggregated instants (POR-pruned per
+   worker per level) are computed from metric shards. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    Obs.Metrics.enable ();
+    Obs.Trace.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Trace.disable ();
+        Obs.Metrics.disable ();
+        Obs.Trace.write_file path)
+      f
+
+(* The --progress heartbeat: a sampler domain reads the live registry
+   and prints one stderr line per period.  Purely an observer — it
+   touches no search state, so it cannot perturb determinism. *)
+let progress_loop ~period ~stop =
+  let value name =
+    match Obs.Metrics.find name with
+    | Some (Obs.Metrics.Counter_v n) | Some (Obs.Metrics.Gauge_v n) -> n
+    | _ -> 0
+  in
+  let t_start = Obs.Clock.now_s () in
+  let t_last = ref t_start in
+  let states_last = ref (value "mc.states") in
+  let rec sleep_until target =
+    if (not (Atomic.get stop)) && Obs.Clock.now_s () < target then begin
+      Unix.sleepf 0.05;
+      sleep_until target
+    end
+  in
+  let per_domain_util () =
+    (* Share of this tick's states per worker lane, from the live
+       per-worker counters; only lanes that did work appear. *)
+    let total = ref 0 and parts = ref [] in
+    for d = 63 downto 0 do
+      let n = value (Printf.sprintf "mc.worker%d.states" d) in
+      if n > 0 then begin
+        total := !total + n;
+        parts := (d, n) :: !parts
+      end
+    done;
+    if !total = 0 || List.length !parts < 2 then ""
+    else
+      "  util ["
+      ^ String.concat " "
+          (List.map
+             (fun (d, n) ->
+               Printf.sprintf "d%d %.0f%%" d
+                 (100. *. float_of_int n /. float_of_int !total))
+             !parts)
+      ^ "]"
+  in
+  let rec loop () =
+    if not (Atomic.get stop) then begin
+      sleep_until (!t_last +. period);
+      if not (Atomic.get stop) then begin
+        let now = Obs.Clock.now_s () in
+        let states = value "mc.states" in
+        let dt = now -. !t_last in
+        let rate =
+          if dt > 0. then float_of_int (states - !states_last) /. dt else 0.
+        in
+        Printf.eprintf
+          "[mc %6.1fs] states %d (%.0f/s)  frontier %d  level %d%s\n%!"
+          (now -. t_start) states rate (value "mc.frontier")
+          (value "mc.level") (per_domain_util ());
+        t_last := now;
+        states_last := states;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let with_progress secs f =
+  match secs with
+  | Some s when s > 0. ->
+    Obs.Metrics.enable ();
+    let stop = Atomic.make false in
+    let sampler = Domain.spawn (fun () -> progress_loop ~period:s ~stop) in
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set stop true;
+        Domain.join sampler)
+      f
+  | Some _ | None -> f ()
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                   *)
@@ -61,7 +175,8 @@ let procs_arg =
 (* elin check                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let do_check spec_name file t_flag min_t_flag weak_flag stats_flag budget =
+let do_check spec_name file t_flag min_t_flag weak_flag stats_flag budget trace
+    =
   match spec_of_name spec_name with
   | Error e -> `Error (false, e)
   | Ok spec ->
@@ -76,6 +191,7 @@ let do_check spec_name file t_flag min_t_flag weak_flag stats_flag budget =
     | Error e -> `Error (false, e)
     | Ok hist -> (
       try
+        with_trace trace @@ fun () ->
         let code = ref Exit_code.Ok in
         let note c = code := Exit_code.combine !code c in
         (match t_flag with
@@ -134,7 +250,7 @@ let check_cmd =
     Term.(
       ret
         (const do_check $ spec_arg $ file $ t_flag $ min_t_flag $ weak_flag
-       $ stats_flag $ budget))
+       $ stats_flag $ budget $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* elin generate                                                      *)
@@ -454,7 +570,7 @@ let json_of_stats stats =
     ]
 
 let do_mc impl_name protocol_name stabilize_at procs per_proc depth domains
-    no_dedup no_por symmetry json =
+    no_dedup no_por symmetry json trace progress =
   let open Elin_mc in
   if domains < 0 then
     `Error
@@ -462,6 +578,8 @@ let do_mc impl_name protocol_name stabilize_at procs per_proc depth domains
         Printf.sprintf "--domains must be >= 0 (0 = recommended), got %d"
           domains )
   else
+  with_trace trace @@ fun () ->
+  with_progress progress @@ fun () ->
   let domains = if domains = 0 then None else Some domains in
   let dedup = not no_dedup in
   let por = not no_por in
@@ -636,6 +754,13 @@ let mc_cmd =
              ~doc:"Emit the result as one canonical JSON object on stdout \
                    instead of the human-readable report.")
   in
+  let progress =
+    Arg.(value & opt (some float) None
+         & info [ "progress" ] ~docv:"SECS"
+             ~doc:"Print a live heartbeat line (states/s, frontier size, \
+                   per-domain utilization) to stderr every $(docv) seconds \
+                   during the run.")
+  in
   Cmd.v
     (Cmd.info "mc"
        ~doc:"Parallel fingerprint-dedup model checking of an execution tree \
@@ -643,7 +768,8 @@ let mc_cmd =
     Term.(
       ret
         (const do_mc $ impl_name $ protocol $ stabilize_at $ procs_arg
-       $ per_proc $ depth $ domains $ no_dedup $ no_por $ symmetry $ json))
+       $ per_proc $ depth $ domains $ no_dedup $ no_por $ symmetry $ json
+       $ trace_arg $ progress))
 
 (* ------------------------------------------------------------------ *)
 (* elin serafini                                                      *)
@@ -752,7 +878,35 @@ let read_all_lines ic =
   in
   go []
 
-let do_batch domains job_budget timeout_ms no_reuse stats input =
+(* Fold the pool-level snapshot into the obs registry (counters by
+   dotted name) so the --metrics file is ONE vocabulary: engine/kernel
+   counters collected live during the run plus the svc totals. *)
+let mirror_svc_snapshot (s : Elin_svc.Metrics.snapshot) =
+  let c name v = Obs.Metrics.Counter.add (Obs.Metrics.counter name) v in
+  c "svc.submitted" s.Elin_svc.Metrics.submitted;
+  c "svc.completed" s.Elin_svc.Metrics.completed;
+  c "svc.pass" s.Elin_svc.Metrics.pass;
+  c "svc.violations" s.Elin_svc.Metrics.violations;
+  c "svc.budget_exhausted" s.Elin_svc.Metrics.budget_exhausted;
+  c "svc.timed_out" s.Elin_svc.Metrics.timed_out;
+  c "svc.cancelled" s.Elin_svc.Metrics.cancelled;
+  c "svc.bad_jobs" s.Elin_svc.Metrics.bad_jobs;
+  c "svc.failed" s.Elin_svc.Metrics.failed;
+  c "svc.nodes" s.Elin_svc.Metrics.nodes;
+  c "svc.prepare_hits" s.Elin_svc.Metrics.prepare_hits;
+  c "svc.prepare_misses" s.Elin_svc.Metrics.prepare_misses
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write a metrics snapshot of the run to $(docv) as JSONL (one \
+           metric per line, sorted by name): pool totals plus live \
+           engine/kernel/svc counters and latency histograms.")
+
+let do_batch domains job_budget timeout_ms no_reuse stats metrics_out input =
   if domains < 1 then
     `Error (false, Printf.sprintf "--domains must be >= 1, got %d" domains)
   else
@@ -765,6 +919,7 @@ let do_batch domains job_budget timeout_ms no_reuse stats input =
           ~finally:(fun () -> close_in_noerr ic)
           (fun () -> read_all_lines ic)
     in
+    if metrics_out <> None then Obs.Metrics.enable ();
     let metrics = Elin_svc.Metrics.create () in
     let verdicts =
       Elin_svc.Pool.run_lines ?default_budget:job_budget
@@ -777,6 +932,14 @@ let do_batch domains job_budget timeout_ms no_reuse stats input =
     if stats then
       Format.eprintf "%a@." Elin_svc.Metrics.pp_snapshot
         (Elin_svc.Metrics.snapshot metrics);
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+      mirror_svc_snapshot (Elin_svc.Metrics.snapshot metrics);
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> Obs.Metrics.write_jsonl oc));
     ok_exit (Exit_code.of_verdicts verdicts)
 
 let batch_cmd =
@@ -793,7 +956,7 @@ let batch_cmd =
     Term.(
       ret
         (const do_batch $ domains_svc_arg $ job_budget_arg $ timeout_ms_arg
-       $ no_reuse_arg $ svc_stats_arg $ input))
+       $ no_reuse_arg $ svc_stats_arg $ metrics_out_arg $ input))
 
 let do_serve domains job_budget timeout_ms no_reuse stats dir once poll_ms =
   if domains < 1 then
@@ -812,9 +975,40 @@ let do_serve domains job_budget timeout_ms no_reuse stats dir once poll_ms =
   else begin
     Printf.printf "watching %s (poll every %dms; Ctrl-C to stop)\n%!" dir
       poll_ms;
-    Elin_svc.Spool.watch ?default_budget:job_budget
-      ?default_timeout_ms:timeout_ms ~reuse:(not no_reuse) ~stats ~poll_ms
-      ~domains ~dir ();
+    (* SIGINT requests a stop (checked between scans) instead of
+       killing the process, so the metrics accumulated across every
+       processed file are flushed, not dropped. *)
+    let stop_requested = Atomic.make false in
+    let prev_sigint =
+      try
+        Some
+          (Sys.signal Sys.sigint
+             (Sys.Signal_handle (fun _ -> Atomic.set stop_requested true)))
+      with Invalid_argument _ | Sys_error _ -> None
+    in
+    let metrics = Elin_svc.Metrics.create () in
+    let finish () =
+      (match prev_sigint with
+      | Some h -> ( try Sys.set_signal Sys.sigint h with _ -> ())
+      | None -> ());
+      Printf.eprintf "%s\n%!"
+        (Elin_svc.Jsonl.to_string
+           (Elin_svc.Jsonl.Obj
+              [
+                ("final", Elin_svc.Jsonl.Bool true);
+                ( "metrics",
+                  Elin_svc.Metrics.snapshot_to_json
+                    (Elin_svc.Metrics.snapshot metrics) );
+              ]))
+    in
+    (try
+       Elin_svc.Spool.watch ?default_budget:job_budget
+         ?default_timeout_ms:timeout_ms ~reuse:(not no_reuse) ~stats ~metrics
+         ~poll_ms
+         ~stop:(fun () -> Atomic.get stop_requested)
+         ~domains ~dir ()
+     with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    finish ();
     ok_exit Exit_code.Ok
   end
 
@@ -843,6 +1037,121 @@ let serve_cmd =
        $ no_reuse_arg $ svc_stats_arg $ dir $ once $ poll_ms))
 
 (* ------------------------------------------------------------------ *)
+(* elin trace                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* [elin trace lint FILE] — validate what `--trace` / `--metrics`
+   wrote: every line parses, and the required keys for its kind are
+   present.  Guards the committed example traces and `make
+   trace-smoke` against schema drift. *)
+let do_trace_lint file =
+  let open Obs.Jsonl in
+  let errs = ref [] and n_err = ref 0 in
+  let err ctx fmt =
+    Printf.ksprintf
+      (fun s ->
+        incr n_err;
+        if !n_err <= 20 then errs := Printf.sprintf "%s: %s" ctx s :: !errs)
+      fmt
+  in
+  let need ctx j k ty =
+    match (ty, mem k j) with
+    | `Int, Some (Int _) -> ()
+    | `Num, Some (Int _ | Float _) -> ()
+    | `Str, Some (Str _) -> ()
+    | _, _ ->
+      err ctx "missing %s field %S"
+        (match ty with `Int -> "int" | `Num -> "numeric" | `Str -> "string")
+        k
+  in
+  let events = ref 0 and metrics = ref 0 in
+  let lint_event ~chrome ctx j =
+    incr events;
+    need ctx j "name" `Str;
+    need ctx j "cat" `Str;
+    need ctx j "ts" (if chrome then `Num else `Int);
+    need ctx j "tid" `Int;
+    if chrome then need ctx j "pid" `Int;
+    match str_mem "ph" j with
+    | Some "X" -> need ctx j "dur" (if chrome then `Num else `Int)
+    | Some "i" -> ()
+    | Some p -> err ctx "unknown ph %S" p
+    | None -> err ctx "missing string field \"ph\""
+  in
+  let lint_metric ctx j =
+    incr metrics;
+    need ctx j "metric" `Str;
+    match str_mem "type" j with
+    | Some ("counter" | "gauge") -> need ctx j "value" `Int
+    | Some "histogram" ->
+      need ctx j "count" `Int;
+      need ctx j "sum" `Int
+    | Some t -> err ctx "unknown metric type %S" t
+    | None -> err ctx "missing string field \"type\""
+  in
+  (try
+     if Filename.check_suffix file ".json" then begin
+       let body =
+         let ic = open_in file in
+         Fun.protect
+           ~finally:(fun () -> close_in_noerr ic)
+           (fun () -> really_input_string ic (in_channel_length ic))
+       in
+       match mem "traceEvents" (of_string body) with
+       | Some (Arr evs) ->
+         List.iteri
+           (fun i ev ->
+             lint_event ~chrome:true (Printf.sprintf "traceEvents[%d]" i) ev)
+           evs
+       | _ -> err file "no \"traceEvents\" array"
+     end
+     else
+       let ic = open_in file in
+       Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () ->
+           let lineno = ref 0 in
+           try
+             while true do
+               let line = input_line ic in
+               incr lineno;
+               if String.trim line <> "" then begin
+                 let ctx = Printf.sprintf "%s:%d" file !lineno in
+                 match of_string line with
+                 | j when mem "metric" j <> None -> lint_metric ctx j
+                 | j -> lint_event ~chrome:false ctx j
+                 | exception Parse_error m -> err ctx "parse error: %s" m
+               end
+             done
+           with End_of_file -> ())
+   with Sys_error m -> err file "%s" m);
+  if !n_err = 0 then begin
+    Printf.printf "%s: ok (%d events, %d metrics)\n" file !events !metrics;
+    ok_exit Exit_code.Ok
+  end
+  else begin
+    List.iter (Printf.eprintf "%s\n") (List.rev !errs);
+    if !n_err > 20 then Printf.eprintf "... and %d more\n" (!n_err - 20);
+    Printf.eprintf "%s: %d lint error(s)\n%!" file !n_err;
+    ok_exit Exit_code.Violation
+  end
+
+let trace_lint_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE-FILE")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Validate a trace (.jsonl or Chrome .json) or metrics JSONL \
+             file: every line parses and carries the schema's required keys")
+    Term.(ret (const do_trace_lint $ file))
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Utilities for recorded traces and metrics files")
+    [ trace_lint_cmd ]
+
+(* ------------------------------------------------------------------ *)
 
 let main =
   Cmd.group
@@ -851,7 +1160,7 @@ let main =
          "Eventual linearizability in shared memory — executable reproduction \
           of Guerraoui & Ruppert, PODC 2014")
     [ check_cmd; generate_cmd; run_cmd; paradox_cmd; valency_cmd; mc_cmd;
-      serafini_cmd; experiments_cmd; batch_cmd; serve_cmd ]
+      serafini_cmd; experiments_cmd; batch_cmd; serve_cmd; trace_cmd ]
 
 (* The uniform exit-code policy: term values ARE the exit codes;
    cmdliner-level usage/parse problems map to Exit_code.Usage. *)

@@ -82,9 +82,21 @@ type prepared = {
   n_completed : int;
 }
 
+(* Per-run observability.  [run]/[prepare] are per-cut entry points —
+   a few calls per job, not per-node — so the counter adds live here
+   unguarded; the per-node work is already aggregated in
+   [nodes_explored]/[memo_hits] and folded in at the end. *)
+module Obs = Elin_obs
+
+let m_prepares = Obs.Metrics.counter "engine.prepares"
+let m_runs = Obs.Metrics.counter "engine.runs"
+let m_nodes = Obs.Metrics.counter "engine.nodes"
+let m_memo_hits = Obs.Metrics.counter "engine.memo_hits"
+
 (** [prepare cfg h] — build the cut-independent search structures once;
     {!check_at} / {!witness_at} then decide any cut against them. *)
 let prepare cfg h =
+  let ts = Obs.Trace.begin_ns () in
   let ops = History.ops_array h in
   let objs = Array.of_list (History.objs h) in
   let obj_slot =
@@ -93,18 +105,25 @@ let prepare cfg h =
     fun o -> Hashtbl.find tbl o
   in
   let completed = Array.map Operation.is_complete ops in
-  {
-    cfg;
-    len = History.length h;
-    n = Array.length ops;
-    ops;
-    specs = Array.map cfg.spec_of_obj objs;
-    slot = Array.map (fun (o : Operation.t) -> obj_slot o.Operation.obj) ops;
-    init_states = Array.map (fun o -> Spec.initial (cfg.spec_of_obj o)) objs;
-    completed;
-    n_completed =
-      Array.fold_left (fun acc c -> acc + Bool.to_int c) 0 completed;
-  }
+  let p =
+    {
+      cfg;
+      len = History.length h;
+      n = Array.length ops;
+      ops;
+      specs = Array.map cfg.spec_of_obj objs;
+      slot = Array.map (fun (o : Operation.t) -> obj_slot o.Operation.obj) ops;
+      init_states = Array.map (fun o -> Spec.initial (cfg.spec_of_obj o)) objs;
+      completed;
+      n_completed =
+        Array.fold_left (fun acc c -> acc + Bool.to_int c) 0 completed;
+    }
+  in
+  if Obs.Metrics.on () then Obs.Metrics.Counter.incr m_prepares;
+  if Obs.Trace.on () then
+    Obs.Trace.complete ~cat:"engine" ~ts "engine.prepare"
+      ~args:[ ("ops", Obs.Jsonl.Int p.n) ];
+  p
 
 let history_length p = p.len
 
@@ -165,6 +184,7 @@ let cut_tables p ~t =
    linearization.  Budget and memoization apply identically in both
    modes. *)
 let run p ~t ~trace =
+  let span_ts = Obs.Trace.begin_ns () in
   let { cfg; n; ops; specs; slot; init_states; completed; n_completed; _ } =
     p
   in
@@ -243,7 +263,22 @@ let run p ~t ~trace =
     end
   in
   let ok = dfs (Bitset.empty n) 0 in
-  { ok; nodes_explored = Budget.spent budget; memo_hits = !memo_hits }
+  let v = { ok; nodes_explored = Budget.spent budget; memo_hits = !memo_hits } in
+  if Obs.Metrics.on () then begin
+    Obs.Metrics.Counter.incr m_runs;
+    Obs.Metrics.Counter.add m_nodes v.nodes_explored;
+    Obs.Metrics.Counter.add m_memo_hits v.memo_hits
+  end;
+  if Obs.Trace.on () then
+    Obs.Trace.complete ~cat:"engine" ~ts:span_ts "engine.check_at"
+      ~args:
+        [
+          ("t", Obs.Jsonl.Int t);
+          ("ok", Obs.Jsonl.Bool v.ok);
+          ("nodes", Obs.Jsonl.Int v.nodes_explored);
+          ("memo_hits", Obs.Jsonl.Int v.memo_hits);
+        ];
+  v
 
 (* ------------------------------------------------------------------ *)
 (* Public entry points                                                *)

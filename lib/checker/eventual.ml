@@ -59,7 +59,10 @@ type search_stats = { cuts_probed : int; nodes : int; memo_hits : int }
     history, with aggregate exploration statistics over all probed
     cuts.  The cut-independent structures of [p] are shared by every
     probe. *)
+let m_probes = Elin_obs.Metrics.counter "engine.min_t_probes"
+
 let min_t_prepared (p : Engine.prepared) =
+  let span_ts = Elin_obs.Trace.begin_ns () in
   let cuts = ref 0 and nodes = ref 0 and hits = ref 0 in
   let check t =
     let v = Engine.check_at p ~t in
@@ -69,6 +72,18 @@ let min_t_prepared (p : Engine.prepared) =
     v.Engine.ok
   in
   let mt = min_t_search check ~len:(Engine.history_length p) in
+  if Elin_obs.Metrics.on () then Elin_obs.Metrics.Counter.add m_probes !cuts;
+  if Elin_obs.Trace.on () then
+    Elin_obs.Trace.complete ~cat:"engine" ~ts:span_ts "engine.min_t"
+      ~args:
+        [
+          ( "min_t",
+            match mt with
+            | Some t -> Elin_obs.Jsonl.Int t
+            | None -> Elin_obs.Jsonl.Null );
+          ("cuts_probed", Elin_obs.Jsonl.Int !cuts);
+          ("nodes", Elin_obs.Jsonl.Int !nodes);
+        ];
   (mt, { cuts_probed = !cuts; nodes = !nodes; memo_hits = !hits })
 
 (** [min_t_stats cfg h] — [min_t] plus exploration statistics. *)

@@ -55,6 +55,10 @@ type engine = Dfs | Mc of { domains : int option; dedup : bool; por : bool }
 let certify ?(engine = Dfs) (impl : Impl.t) (config : Explore.config) ~depth
     ~check =
   let cut = config.Explore.n_events in
+  Elin_obs.Trace.with_span ~cat:"stabilize" "stabilize.certify"
+    ~args:
+      [ ("cut", Elin_obs.Jsonl.Int cut); ("depth", Elin_obs.Jsonl.Int depth) ]
+  @@ fun () ->
   match engine with
   | Dfs ->
     let ok = ref true in
@@ -200,14 +204,28 @@ type outcome = {
     derive A′. *)
 let construct ?engine (impl : Impl.t) ~workloads ?(anchor_proc = 0) ~depth
     ~check ?(fuel = 400) () =
-  match find_stable ?engine impl ~workloads ~depth ~check () with
+  let phase name f =
+    Elin_obs.Trace.with_span ~cat:"stabilize" ("stabilize." ^ name) f
+  in
+  match
+    phase "find_stable" (fun () ->
+        find_stable ?engine impl ~workloads ~depth ~check ())
+  with
   | None -> None
   | Some cert -> (
-    match Explore.complete_current_ops impl cert.config ~fuel with
+    match
+      phase "idle" (fun () ->
+          Explore.complete_current_ops impl cert.config ~fuel)
+    with
     | None -> None
     | Some c_idle -> (
-      match find_anchor impl c_idle ~proc:anchor_proc ~fuel with
+      match
+        phase "anchor" (fun () ->
+            find_anchor impl c_idle ~proc:anchor_proc ~fuel)
+      with
       | None -> None
       | Some anchor ->
-        let derived, derived_locals = derive impl anchor in
+        let derived, derived_locals =
+          phase "derive" (fun () -> derive impl anchor)
+        in
         Some { certificate = cert; anchor; derived; derived_locals }))

@@ -21,6 +21,12 @@ exception Exceeded
    deadline: 256 DFS expansions are microseconds. *)
 let poll_interval = 256
 
+(* Observability rides the poll cadence: per-bump metrics would double
+   the cost of the hottest loop in the repo, so work is accounted in
+   poll_interval-sized quanta instead — exact enough for heartbeats. *)
+let m_polls = Elin_obs.Metrics.counter "kernel.budget.polls"
+let m_work = Elin_obs.Metrics.counter "kernel.budget.work"
+
 type counter = {
   limit : int option;
   poll : (unit -> unit) option;
@@ -36,7 +42,11 @@ let spent c = c.spent
     {!poll_interval} bumps; whatever it raises propagates. *)
 let bump c =
   c.spent <- c.spent + 1;
-  (match c.poll with
-  | Some f when c.spent land (poll_interval - 1) = 0 -> f ()
-  | Some _ | None -> ());
+  if c.spent land (poll_interval - 1) = 0 then begin
+    if Elin_obs.Metrics.on () then begin
+      Elin_obs.Metrics.Counter.incr m_polls;
+      Elin_obs.Metrics.Counter.add m_work poll_interval
+    end;
+    match c.poll with Some f -> f () | None -> ()
+  end;
   match c.limit with Some b when c.spent > b -> raise Exceeded | _ -> ()

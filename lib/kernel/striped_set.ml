@@ -17,7 +17,16 @@ type stripe = {
 type t = {
   stripes : stripe array;
   mask : int;
+  (* Approximate member count, maintained only while observability is
+     on (metrics counters and the power-of-two growth instants below);
+     never consulted by [add]/[mem] themselves. *)
+  occupancy : int Atomic.t;
 }
+
+(* Merged across every live set: the visited-set occupancy is the mc
+   memory story, so it is worth a registry entry. *)
+let m_queries = Elin_obs.Metrics.counter "kernel.striped_set.queries"
+let m_inserts = Elin_obs.Metrics.counter "kernel.striped_set.inserts"
 
 let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
 
@@ -28,7 +37,17 @@ let create ?(stripes = 64) () =
       Array.init n (fun _ ->
           { lock = Mutex.create (); table = Hashtbl.create 1024 });
     mask = n - 1;
+    occupancy = Atomic.make 0;
   }
+
+(* A set that doubled in size is a growth event worth one trace
+   instant (not one per insert): emit when occupancy crosses a power
+   of two at >= 1024 entries. *)
+let observe_insert t =
+  let n = Atomic.fetch_and_add t.occupancy 1 + 1 in
+  if n >= 1024 && n land (n - 1) = 0 && Elin_obs.Trace.on () then
+    Elin_obs.Trace.instant ~cat:"kernel" "striped_set.grow"
+      ~args:[ ("entries", Elin_obs.Jsonl.Int n) ]
 
 let stripe_of t (fp : int64) = t.stripes.(Int64.to_int fp land t.mask)
 
@@ -39,6 +58,13 @@ let add t fp =
   let fresh = not (Hashtbl.mem s.table fp) in
   if fresh then Hashtbl.add s.table fp ();
   Mutex.unlock s.lock;
+  if Elin_obs.Metrics.on () then begin
+    Elin_obs.Metrics.Counter.incr m_queries;
+    if fresh then begin
+      Elin_obs.Metrics.Counter.incr m_inserts;
+      observe_insert t
+    end
+  end;
   fresh
 
 let mem t fp =
@@ -46,6 +72,7 @@ let mem t fp =
   Mutex.lock s.lock;
   let r = Hashtbl.mem s.table fp in
   Mutex.unlock s.lock;
+  if Elin_obs.Metrics.on () then Elin_obs.Metrics.Counter.incr m_queries;
   r
 
 let cardinal t =

@@ -235,6 +235,10 @@ let step ?choices (impl : Impl.t) node p =
     every Mazurkiewicz trace class.  The reachable {e state} set is
     preserved (every state still ends some surviving interleaving);
     only redundant commuted paths to it are pruned. *)
+(* Same registry entry as Search's: both expansion paths (here and
+   Mc_valency) account their sleep-set skips under one name. *)
+let m_pruned = Elin_obs.Metrics.counter "mc.por_pruned"
+
 let successors ?(por = false) ?pruned (impl : Impl.t) node =
   let c = node.config in
   let enabled = Explore.runnable c in
@@ -256,6 +260,8 @@ let successors ?(por = false) ?pruned (impl : Impl.t) node =
       | (p, (fp_p, choices)) :: rest ->
         if node.sleep land (1 lsl p) <> 0 then begin
           (match pruned with Some a -> Atomic.incr a | None -> ());
+          if Elin_obs.Metrics.on () then
+            Elin_obs.Metrics.Counter.incr m_pruned;
           go acc explored rest
         end
         else begin

@@ -68,6 +68,8 @@ let step ?choices (p : Valency.protocol) node i =
 (** Sleep-set pruning, exactly as in {!Canon.successors} but over
     {!Indep.of_valency} footprints — decision steps are [Local], so a
     poised decision commutes with everything and sleeps freely. *)
+let m_pruned = Elin_obs.Metrics.counter "mc.por_pruned"
+
 let successors ?(por = false) ?pruned (p : Valency.protocol) node =
   let c = node.config in
   let enabled = Valency.runnable c in
@@ -85,6 +87,8 @@ let successors ?(por = false) ?pruned (p : Valency.protocol) node =
       | (i, (fp_i, choices)) :: rest ->
         if node.sleep land (1 lsl i) <> 0 then begin
           (match pruned with Some a -> Atomic.incr a | None -> ());
+          if Elin_obs.Metrics.on () then
+            Elin_obs.Metrics.Counter.incr m_pruned;
           go acc explored rest
         end
         else begin

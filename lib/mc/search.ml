@@ -98,7 +98,44 @@ type ('s, 'v) share = {
   n_cut : int;
 }
 
+(* Observability.  Live counters/gauges let `elin mc --progress` read
+   exploration rates mid-level; the trace gets one expansion span plus
+   aggregated POR-pruned / dedup-dropped instants per (level, worker)
+   — per-event instants would dwarf the states they describe.  All of
+   it is behind the [on ()] flags: disabled cost is one atomic load
+   per state. *)
+let m_states = Elin_obs.Metrics.counter "mc.states"
+let m_kept = Elin_obs.Metrics.counter "mc.kept"
+let m_dedup_hits = Elin_obs.Metrics.counter "mc.dedup_hits"
+
+(* Registered by this module, bumped by [Canon]/[Mc_valency]'s
+   successor functions (same registry entry by name). *)
+let m_pruned = Elin_obs.Metrics.counter "mc.por_pruned"
+let g_frontier = Elin_obs.Metrics.gauge "mc.frontier"
+let g_level = Elin_obs.Metrics.gauge "mc.level"
+
+(* Per-worker live counters, for per-domain utilization in progress
+   heartbeats: worker [d]'s states land in "mc.worker<d>.states".
+   Registered on demand, cached — registration takes a mutex. *)
+let worker_counters = Array.make 64 None
+
+let worker_counter d =
+  if d < 0 || d >= Array.length worker_counters then
+    Elin_obs.Metrics.counter (Printf.sprintf "mc.worker%d.states" d)
+  else
+    match worker_counters.(d) with
+    | Some c -> c
+    | None ->
+      let c = Elin_obs.Metrics.counter (Printf.sprintf "mc.worker%d.states" d) in
+      worker_counters.(d) <- Some c;
+      c
+
 let expand_share ~expand ~fingerprint ~mode frontier ~stride ~offset =
+  let span_ts = Elin_obs.Trace.begin_ns () in
+  let pruned0 =
+    if span_ts <> 0L then Elin_obs.Metrics.Counter.shard_value m_pruned else 0
+  in
+  let m_worker = if Elin_obs.Metrics.on () then Some (worker_counter offset) else None in
   let n = Array.length frontier in
   let next = ref [] and found = ref [] in
   let hits = ref 0 and n_states = ref 0 and n_leaves = ref 0 and n_cut = ref 0 in
@@ -117,6 +154,11 @@ let expand_share ~expand ~fingerprint ~mode frontier ~stride ~offset =
   let i = ref offset in
   while !i < n do
     incr n_states;
+    (match m_worker with
+    | Some c ->
+      Elin_obs.Metrics.Counter.incr m_states;
+      Elin_obs.Metrics.Counter.incr c
+    | None -> ());
     (match expand frontier.(!i) with
     | Children succs -> List.iter keep succs
     | Leaf v ->
@@ -128,6 +170,25 @@ let expand_share ~expand ~fingerprint ~mode frontier ~stride ~offset =
       Option.iter (fun v -> found := v :: !found) v);
     i := !i + stride
   done;
+  if Elin_obs.Metrics.on () then Elin_obs.Metrics.Counter.add m_dedup_hits !hits;
+  if Elin_obs.Trace.on () then begin
+    let open Elin_obs in
+    let pruned_d = Metrics.Counter.shard_value m_pruned - pruned0 in
+    if pruned_d > 0 then
+      Trace.instant ~tid:offset ~cat:"mc" "mc.por_pruned"
+        ~args:[ ("count", Jsonl.Int pruned_d) ];
+    if !hits > 0 then
+      Trace.instant ~tid:offset ~cat:"mc" "mc.dedup_dropped"
+        ~args:[ ("count", Jsonl.Int !hits) ];
+    Trace.complete ~tid:offset ~cat:"mc" ~ts:span_ts "mc.expand"
+      ~args:
+        [
+          ("worker", Jsonl.Int offset);
+          ("states", Jsonl.Int !n_states);
+          ("dedup_hits", Jsonl.Int !hits);
+          ("leaves", Jsonl.Int !n_leaves);
+        ]
+  end;
   {
     next = List.rev !next;
     found = !found;
@@ -161,7 +222,7 @@ let bfs ?domains ?(dedup = true) ?(stripes = 64) ?(stop_early = true) ?merge
       n
     | None -> Domain.recommended_domain_count ()
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Elin_obs.Clock.now_s () in
   let visited =
     if dedup then begin
       let v = Elin_kernel.Striped_set.create ~stripes () in
@@ -186,6 +247,11 @@ let bfs ?domains ?(dedup = true) ?(stripes = 64) ?(stop_early = true) ?merge
     let fr = !frontier in
     let n = Array.length fr in
     if n > !peak then peak := n;
+    let level_ts = Elin_obs.Trace.begin_ns () in
+    if Elin_obs.Metrics.on () then begin
+      Elin_obs.Metrics.Gauge.set g_frontier n;
+      Elin_obs.Metrics.Gauge.set g_level !levels
+    end;
     let shares =
       if n_domains = 1 || n < 2 * n_domains then
         [| expand_share ~expand ~fingerprint ~mode fr ~stride:1 ~offset:0 |]
@@ -263,6 +329,17 @@ let bfs ?domains ?(dedup = true) ?(stripes = 64) ?(stop_early = true) ?merge
         kept := !kept + Array.length arr;
         arr
     in
+    if Elin_obs.Metrics.on () then
+      Elin_obs.Metrics.Counter.add m_kept (Array.length next);
+    if Elin_obs.Trace.on () then
+      Elin_obs.Trace.complete ~cat:"mc" ~ts:level_ts "mc.level"
+        ~args:
+          [
+            ("level", Elin_obs.Jsonl.Int !levels);
+            ("frontier", Elin_obs.Jsonl.Int n);
+            ("kept", Elin_obs.Jsonl.Int (Array.length next));
+            ("found", Elin_obs.Jsonl.Int (List.length !level_found));
+          ];
     verdicts := List.rev_append !level_found !verdicts;
     incr levels;
     if stop_early && !level_found <> [] then stop := true
@@ -280,7 +357,7 @@ let bfs ?domains ?(dedup = true) ?(stripes = 64) ?(stop_early = true) ?merge
       levels = !levels;
       per_domain;
       domains = n_domains;
-      wall = Unix.gettimeofday () -. t0;
+      wall = Elin_obs.Clock.now_s () -. t0;
     }
   in
   (List.sort_uniq compare !verdicts, stats)

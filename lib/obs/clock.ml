@@ -1,0 +1,13 @@
+external monotonic_ns : unit -> int64 = "elin_obs_monotonic_ns"
+
+(* The indirection costs one atomic load on the real path; it buys the
+   trace golden tests a deterministic clock. *)
+let source : (unit -> int64) option Atomic.t = Atomic.make None
+
+let now_ns () =
+  match Atomic.get source with None -> monotonic_ns () | Some f -> f ()
+
+let now_s () = Int64.to_float (now_ns ()) /. 1e9
+let ns_to_ms ns = Int64.to_float ns /. 1e6
+let ns_to_us ns = Int64.to_float ns /. 1e3
+let set_source_for_testing f = Atomic.set source f

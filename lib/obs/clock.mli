@@ -1,0 +1,24 @@
+(** The one monotonic time source.
+
+    Every duration in the repo — bench walls, svc latencies, trace
+    span timestamps — is measured against this clock, so a wall-clock
+    adjustment (NTP slew, manual date set) mid-run can never produce a
+    negative latency or skew a p99.  Timestamps are nanoseconds from
+    an arbitrary origin (boot, typically): only differences are
+    meaningful; never persist an absolute value. *)
+
+(** Monotonic nanoseconds.  Never decreases within a process. *)
+val now_ns : unit -> int64
+
+(** [now_s ()] = [now_ns ()] in seconds, for subtraction-style timing
+    ([let t0 = now_s () in ... now_s () -. t0]). *)
+val now_s : unit -> float
+
+(** Nanosecond difference helpers. *)
+val ns_to_ms : int64 -> float
+
+val ns_to_us : int64 -> float
+
+(** Tests only: substitute a deterministic source ([None] restores the
+    real clock).  A fake source must still be monotonic. *)
+val set_source_for_testing : (unit -> int64) option -> unit

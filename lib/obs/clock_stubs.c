@@ -1,0 +1,17 @@
+/* Monotonic clock for Obs.Clock.  OCaml 5.1's Unix only exposes the
+ * adjustable wall clock (gettimeofday); observability needs a time
+ * source that never jumps backwards, so we read CLOCK_MONOTONIC
+ * directly.  Returns nanoseconds as a boxed int64 (caml_copy_int64
+ * allocates, so this cannot be [@@noalloc]). */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value elin_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  (void)unit;
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL + ts.tv_nsec);
+}

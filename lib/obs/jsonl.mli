@@ -1,0 +1,48 @@
+(** Minimal JSON values for every JSONL surface in the repo — svc
+    verdicts, mc [--json], bench series files, metrics snapshots,
+    trace export.  Hand-rolled because the dependency footprint is
+    frozen: compact single-line printing with deterministic field
+    order (whatever order the [Obj] list carries), full RFC-ish
+    parsing of what we emit plus standard escapes. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** Compact, single-line (no newlines are ever emitted; string
+    newlines are escaped).  [Obj] fields print in list order, so equal
+    values print byte-identically. *)
+val to_string : t -> string
+
+(** Parses one JSON value; trailing whitespace allowed, anything else
+    raises {!Parse_error}. *)
+val of_string : string -> t
+
+(** [mem k j] — field [k] of an [Obj] ([None] otherwise/absent). *)
+val mem : string -> t -> t option
+
+(** Typed field accessors: [None] when absent or of the wrong type.
+    [int_mem] accepts [Int] only; [float_mem] accepts both [Int] and
+    [Float]. *)
+val str_mem : string -> t -> string option
+
+val int_mem : string -> t -> int option
+val float_mem : string -> t -> float option
+val bool_mem : string -> t -> bool option
+
+(** [write_line oc j] — one compact line plus ['\n']. *)
+val write_line : out_channel -> t -> unit
+
+(** [to_file path j] — write [j] as a single JSONL line, creating or
+    truncating [path]. *)
+val to_file : string -> t -> unit
+
+(** [lines_to_file path js] — one line per value. *)
+val lines_to_file : string -> t list -> unit

@@ -1,0 +1,129 @@
+type event = {
+  ts : int64;
+  dur : int64;
+  name : string;
+  cat : string;
+  tid : int;
+  args : (string * Jsonl.t) list;
+}
+
+let enabled = Atomic.make false
+let on () = Atomic.get enabled
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+
+(* One buffer per domain, registered in a global list on first use.
+   Recording is lock-free (plain mutable list cell, only ever touched
+   by the owning domain); the registration itself takes a mutex once
+   per domain lifetime. *)
+type buf = { btid : int; mutable evs : event list }
+
+let all_bufs : buf list ref = ref []
+let bufs_mu = Mutex.create ()
+
+let buf_key =
+  Domain.DLS.new_key (fun () ->
+      let b = { btid = (Domain.self () :> int); evs = [] } in
+      Mutex.lock bufs_mu;
+      all_bufs := b :: !all_bufs;
+      Mutex.unlock bufs_mu;
+      b)
+
+let record ev =
+  let b = Domain.DLS.get buf_key in
+  b.evs <- ev :: b.evs
+
+let begin_ns () = if on () then Clock.now_ns () else 0L
+
+let complete ?tid ?(args = []) ?(cat = "elin") ~ts name =
+  if on () then begin
+    let now = Clock.now_ns () in
+    let tid =
+      match tid with Some t -> t | None -> (Domain.self () :> int)
+    in
+    record { ts; dur = Int64.sub now ts; name; cat; tid; args }
+  end
+
+let instant ?tid ?(args = []) ?(cat = "elin") name =
+  if on () then begin
+    let tid =
+      match tid with Some t -> t | None -> (Domain.self () :> int)
+    in
+    record { ts = Clock.now_ns (); dur = -1L; name; cat; tid; args }
+  end
+
+let with_span ?tid ?args ?cat name f =
+  if on () then begin
+    let ts = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () -> complete ?tid ?args ?cat ~ts name)
+      f
+  end
+  else f ()
+
+let events () =
+  Mutex.lock bufs_mu;
+  let bufs =
+    Fun.protect ~finally:(fun () -> Mutex.unlock bufs_mu) (fun () -> !all_bufs)
+  in
+  (* Per-buffer lists are newest-first; rebuild chronological order
+     per buffer, visit buffers in tid order, then a stable sort on ts
+     alone — ties stay grouped by tid, deterministically. *)
+  bufs
+  |> List.sort (fun a b -> compare a.btid b.btid)
+  |> List.concat_map (fun b -> List.rev b.evs)
+  |> List.stable_sort (fun a b -> Int64.compare a.ts b.ts)
+
+let clear () =
+  Mutex.lock bufs_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock bufs_mu)
+    (fun () -> List.iter (fun b -> b.evs <- []) !all_bufs)
+
+let t0_of = function [] -> 0L | ev :: _ -> ev.ts
+
+let to_jsonl evs =
+  let t0 = t0_of evs in
+  List.map
+    (fun ev ->
+      let open Jsonl in
+      let is_span = ev.dur >= 0L in
+      Obj
+        ([ ("ts", Int (Int64.to_int (Int64.sub ev.ts t0))) ]
+        @ (if is_span then [ ("dur", Int (Int64.to_int ev.dur)) ] else [])
+        @ [
+            ("ph", Str (if is_span then "X" else "i"));
+            ("name", Str ev.name);
+            ("cat", Str ev.cat);
+            ("tid", Int ev.tid);
+          ]
+        @ if ev.args = [] then [] else [ ("args", Obj ev.args) ]))
+    evs
+
+let to_chrome evs =
+  let t0 = t0_of evs in
+  let open Jsonl in
+  let trace_events =
+    List.map
+      (fun ev ->
+        let is_span = ev.dur >= 0L in
+        let us_of ns = Clock.ns_to_us ns in
+        Obj
+          ([
+             ("name", Str ev.name);
+             ("cat", Str ev.cat);
+             ("ph", Str (if is_span then "X" else "i"));
+             ("ts", Float (us_of (Int64.sub ev.ts t0)));
+           ]
+          @ (if is_span then [ ("dur", Float (us_of ev.dur)) ] else [])
+          @ [ ("pid", Int 1); ("tid", Int ev.tid) ]
+          @ (if is_span then [] else [ ("s", Str "t") ])
+          @ if ev.args = [] then [] else [ ("args", Obj ev.args) ]))
+      evs
+  in
+  Obj [ ("traceEvents", Arr trace_events) ]
+
+let write_file path =
+  let evs = events () in
+  if Filename.check_suffix path ".json" then Jsonl.to_file path (to_chrome evs)
+  else Jsonl.lines_to_file path (to_jsonl evs)

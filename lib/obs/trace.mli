@@ -1,0 +1,86 @@
+(** Span/instant trace events with per-domain append-only buffers.
+
+    {2 Zero cost when off}
+
+    Every recording entry point begins with one atomic load ([on ()])
+    and returns immediately when tracing is disabled — no allocation,
+    no clock read.  Hot paths use the two-call pattern so not even a
+    closure is built:
+
+    {[
+      let ts = Trace.begin_ns () in      (* 0L when disabled *)
+      ... work ...
+      Trace.complete ~cat:"mc" ~ts "mc.level" ~args:[...]
+    ]}
+
+    [with_span] is the convenient variant for cold paths (per-job,
+    per-phase) where allocating the closure is irrelevant.
+
+    {2 Buffers}
+
+    Each domain appends to its own buffer (domain-local storage), so
+    recording never takes a lock.  [events]/[clear] walk all buffers
+    and must only be called {e between} parallel sections — the
+    spawning domain after workers are joined.
+
+    {2 Export}
+
+    Canonical JSONL: one event per line, key order
+    [ts, dur, ph, name, cat, tid, args] ([dur] only on spans, [args]
+    only when nonempty), timestamps in nanoseconds rebased to the
+    first event.  Chrome trace-event JSON ([{"traceEvents": [...]}],
+    microsecond floats, ph ["X"]/["i"]) loads in Perfetto and
+    [chrome://tracing]. *)
+
+type event = {
+  ts : int64;  (** Clock ns *)
+  dur : int64;  (** span duration in ns; [< 0] marks an instant *)
+  name : string;
+  cat : string;
+  tid : int;  (** logical thread lane (defaults to the domain id) *)
+  args : (string * Jsonl.t) list;
+}
+
+val on : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+(** Timestamp for a span about to start; [0L] when disabled (and the
+    matching [complete] will drop the event). *)
+val begin_ns : unit -> int64
+
+(** [complete ~ts name] — record a span that started at [ts] (from
+    [begin_ns]) and ends now.  No-op when disabled. *)
+val complete :
+  ?tid:int -> ?args:(string * Jsonl.t) list -> ?cat:string ->
+  ts:int64 -> string -> unit
+
+(** Point event.  No-op when disabled. *)
+val instant :
+  ?tid:int -> ?args:(string * Jsonl.t) list -> ?cat:string -> string -> unit
+
+(** [with_span name f] — run [f], recording a span around it (also on
+    exception).  Allocates a closure at the call site even when
+    disabled; cold paths only. *)
+val with_span :
+  ?tid:int -> ?args:(string * Jsonl.t) list -> ?cat:string ->
+  string -> (unit -> 'a) -> 'a
+
+(** All recorded events, every domain's buffer merged, sorted by
+    [(ts, tid)].  Only between parallel sections. *)
+val events : unit -> event list
+
+(** Drop all recorded events (buffers stay registered).  Only between
+    parallel sections. *)
+val clear : unit -> unit
+
+(** Canonical JSONL lines (see module doc); [ts] rebased so the first
+    event is 0. *)
+val to_jsonl : event list -> Jsonl.t list
+
+(** Chrome trace-event JSON object. *)
+val to_chrome : event list -> Jsonl.t
+
+(** [write_file path] — drain [events ()] to [path]: Chrome format
+    when [path] ends in [.json], canonical JSONL otherwise. *)
+val write_file : string -> unit

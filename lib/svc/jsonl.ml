@@ -1,243 +1,4 @@
-(** Minimal JSON (de)serialization for the JSONL wire format. *)
-
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | Str of string
-  | Arr of t list
-  | Obj of (string * t) list
-
-exception Parse_error of string
-
-(* --- printing --- *)
-
-let escape_into buf s =
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"'
-
-let to_string j =
-  let buf = Buffer.create 128 in
-  let rec go = function
-    | Null -> Buffer.add_string buf "null"
-    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-    | Int n -> Buffer.add_string buf (string_of_int n)
-    | Float f ->
-      (* %.17g is lossless; strip to %g when that already round-trips
-         so the common case stays short. *)
-      let s = Printf.sprintf "%g" f in
-      let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
-      Buffer.add_string buf s
-    | Str s -> escape_into buf s
-    | Arr xs ->
-      Buffer.add_char buf '[';
-      List.iteri
-        (fun i x ->
-          if i > 0 then Buffer.add_char buf ',';
-          go x)
-        xs;
-      Buffer.add_char buf ']'
-    | Obj fields ->
-      Buffer.add_char buf '{';
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_char buf ',';
-          escape_into buf k;
-          Buffer.add_char buf ':';
-          go v)
-        fields;
-      Buffer.add_char buf '}'
-  in
-  go j;
-  Buffer.contents buf
-
-(* --- parsing --- *)
-
-let of_string s =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg =
-    raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos))
-  in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let skip_ws () =
-    while
-      !pos < n
-      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
-    do
-      advance ()
-    done
-  in
-  let expect c =
-    if !pos < n && s.[!pos] = c then advance ()
-    else fail (Printf.sprintf "expected %C" c)
-  in
-  let literal lit v =
-    let l = String.length lit in
-    if !pos + l <= n && String.sub s !pos l = lit then begin
-      pos := !pos + l;
-      v
-    end
-    else fail (Printf.sprintf "expected %s" lit)
-  in
-  let hex_digit c =
-    match c with
-    | '0' .. '9' -> Char.code c - Char.code '0'
-    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
-    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
-    | _ -> fail "bad hex digit in \\u escape"
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      if !pos >= n then fail "unterminated string"
-      else
-        match s.[!pos] with
-        | '"' -> advance ()
-        | '\\' ->
-          advance ();
-          (if !pos >= n then fail "unterminated escape"
-           else
-             match s.[!pos] with
-             | '"' -> Buffer.add_char buf '"'; advance ()
-             | '\\' -> Buffer.add_char buf '\\'; advance ()
-             | '/' -> Buffer.add_char buf '/'; advance ()
-             | 'n' -> Buffer.add_char buf '\n'; advance ()
-             | 'r' -> Buffer.add_char buf '\r'; advance ()
-             | 't' -> Buffer.add_char buf '\t'; advance ()
-             | 'b' -> Buffer.add_char buf '\b'; advance ()
-             | 'f' -> Buffer.add_char buf '\012'; advance ()
-             | 'u' ->
-               advance ();
-               if !pos + 4 > n then fail "truncated \\u escape";
-               let code =
-                 (hex_digit s.[!pos] lsl 12)
-                 lor (hex_digit s.[!pos + 1] lsl 8)
-                 lor (hex_digit s.[!pos + 2] lsl 4)
-                 lor hex_digit s.[!pos + 3]
-               in
-               pos := !pos + 4;
-               (* BMP only — all we ever emit is control characters. *)
-               Buffer.add_utf_8_uchar buf (Uchar.of_int code)
-             | c -> fail (Printf.sprintf "bad escape \\%C" c));
-          go ()
-        | c ->
-          Buffer.add_char buf c;
-          advance ();
-          go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let parse_number () =
-    let start = !pos in
-    let is_num_char c =
-      match c with
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while !pos < n && is_num_char s.[!pos] do
-      advance ()
-    done;
-    let tok = String.sub s start (!pos - start) in
-    match int_of_string_opt tok with
-    | Some i -> Int i
-    | None -> (
-      match float_of_string_opt tok with
-      | Some f -> Float f
-      | None -> fail (Printf.sprintf "bad number %S" tok))
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | None -> fail "unexpected end of input"
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then begin
-        advance ();
-        Obj []
-      end
-      else begin
-        let fields = ref [] in
-        let rec members () =
-          skip_ws ();
-          let k = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          fields := (k, v) :: !fields;
-          skip_ws ();
-          match peek () with
-          | Some ',' -> advance (); members ()
-          | Some '}' -> advance ()
-          | _ -> fail "expected , or } in object"
-        in
-        members ();
-        Obj (List.rev !fields)
-      end
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then begin
-        advance ();
-        Arr []
-      end
-      else begin
-        let items = ref [] in
-        let rec elements () =
-          let v = parse_value () in
-          items := v :: !items;
-          skip_ws ();
-          match peek () with
-          | Some ',' -> advance (); elements ()
-          | Some ']' -> advance ()
-          | _ -> fail "expected , or ] in array"
-        in
-        elements ();
-        Arr (List.rev !items)
-      end
-    | Some '"' -> Str (parse_string ())
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some _ -> parse_number ()
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing characters";
-  v
-
-(* --- accessors --- *)
-
-let mem k = function
-  | Obj fields -> List.assoc_opt k fields
-  | _ -> None
-
-let str_mem k j =
-  match mem k j with Some (Str s) -> Some s | _ -> None
-
-let int_mem k j = match mem k j with Some (Int i) -> Some i | _ -> None
-
-let float_mem k j =
-  match mem k j with
-  | Some (Float f) -> Some f
-  | Some (Int i) -> Some (float_of_int i)
-  | _ -> None
-
-let bool_mem k j = match mem k j with Some (Bool b) -> Some b | _ -> None
+(* The codec moved to lib/obs (the one JSON encoder for verdicts,
+   bench series, metrics, traces); [Svc.Jsonl] stays as an alias so
+   existing callers and the wire format are untouched. *)
+include Elin_obs.Jsonl

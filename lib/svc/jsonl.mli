@@ -1,37 +1,8 @@
-(** Minimal JSON values for the service wire format (one object per
-    line — JSONL).  Hand-rolled because the dependency footprint is
-    frozen: compact single-line printing with deterministic field
-    order (whatever order the [Obj] list carries), full RFC-ish
-    parsing of what we emit plus standard escapes. *)
+(** Alias of {!Elin_obs.Jsonl} — the codec was hoisted to [lib/obs] so
+    svc verdicts, mc [--json], bench series files, metrics snapshots,
+    and trace export share one encoder.  Kept here (with full type
+    equality, constructors included) for compatibility. *)
 
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | Str of string
-  | Arr of t list
-  | Obj of (string * t) list
-
-exception Parse_error of string
-
-(** Compact, single-line (no newlines are ever emitted; string
-    newlines are escaped).  [Obj] fields print in list order, so equal
-    values print byte-identically. *)
-val to_string : t -> string
-
-(** Parses one JSON value; trailing whitespace allowed, anything else
-    raises {!Parse_error}. *)
-val of_string : string -> t
-
-(** [mem k j] — field [k] of an [Obj] ([None] otherwise/absent). *)
-val mem : string -> t -> t option
-
-(** Typed field accessors: [None] when absent or of the wrong type.
-    [int_mem] accepts [Int] only; [float_mem] accepts both [Int] and
-    [Float]. *)
-val str_mem : string -> t -> string option
-
-val int_mem : string -> t -> int option
-val float_mem : string -> t -> float option
-val bool_mem : string -> t -> bool option
+include module type of struct
+  include Elin_obs.Jsonl
+end

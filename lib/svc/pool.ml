@@ -20,6 +20,16 @@ let default_resolve name =
 exception Deadline_passed
 exception Cancel_requested
 
+(* Job lifecycle observability: enqueue instants + a span per executed
+   job (worker lane = domain id), queue-depth gauge, and a log2
+   latency histogram in µs.  All per-job (cold next to a checker run),
+   so the handles are bumped whenever the registry is on. *)
+module Obs = Elin_obs
+
+let g_queue = Obs.Metrics.gauge "svc.queue"
+let m_jobs = Obs.Metrics.counter "svc.jobs"
+let h_latency = Obs.Metrics.histogram "svc.latency_us"
+
 type t = {
   input : (Job.t * bool Atomic.t) Chan.t;
   output : Verdict.t Chan.t;
@@ -41,7 +51,9 @@ type t = {
 (* ------------------------------------------------------------------ *)
 
 let exec pool (job : Job.t) cancel_flag =
-  let t0 = Unix.gettimeofday () in
+  (* Monotonic: a wall-clock adjustment mid-job must not skew the
+     latency sample or fire/defer the deadline. *)
+  let t0 = Obs.Clock.now_s () in
   let finish ?min_t ?(nodes = 0) ?(memo_hits = 0) status =
     {
       Verdict.job_id = job.Job.id;
@@ -51,7 +63,7 @@ let exec pool (job : Job.t) cancel_flag =
       min_t;
       nodes;
       memo_hits;
-      wall_ms = (Unix.gettimeofday () -. t0) *. 1000.;
+      wall_ms = (Obs.Clock.now_s () -. t0) *. 1000.;
     }
   in
   match
@@ -69,7 +81,7 @@ let exec pool (job : Job.t) cancel_flag =
     let poll () =
       if Atomic.get cancel_flag then raise Cancel_requested;
       match deadline with
-      | Some d when Unix.gettimeofday () > d -> raise Deadline_passed
+      | Some d when Obs.Clock.now_s () > d -> raise Deadline_passed
       | _ -> ()
     in
     (* A job cancelled or expired while queued never starts. *)
@@ -149,7 +161,21 @@ let rec worker_loop pool =
   match Chan.take pool.input with
   | None -> () (* input closed and drained: clean exit *)
   | Some (job, cancel_flag) ->
+    if Obs.Metrics.on () then Obs.Metrics.Gauge.set g_queue (Chan.length pool.input);
+    let span_ts = Obs.Trace.begin_ns () in
     let v = exec pool job cancel_flag in
+    if Obs.Metrics.on () then begin
+      Obs.Metrics.Counter.incr m_jobs;
+      Obs.Metrics.Histogram.observe h_latency
+        (int_of_float (v.Verdict.wall_ms *. 1000.))
+    end;
+    if Obs.Trace.on () then
+      Obs.Trace.complete ~cat:"svc" ~ts:span_ts "svc.job"
+        ~args:
+          [
+            ("id", Obs.Jsonl.Str v.Verdict.job_id);
+            ("status", Obs.Jsonl.Str (Verdict.status_to_string v.Verdict.status));
+          ];
     Option.iter (fun m -> Metrics.verdict_done m v) pool.metrics;
     Chan.put pool.output v;
     worker_loop pool
@@ -187,6 +213,9 @@ let submit pool (job : Job.t) =
   Hashtbl.replace pool.cancels job.Job.id flag;
   Mutex.unlock pool.cancels_m;
   Chan.put pool.input (job, flag);
+  if Obs.Metrics.on () then Obs.Metrics.Gauge.set g_queue (Chan.length pool.input);
+  Obs.Trace.instant ~cat:"svc" "svc.enqueue"
+    ~args:[ ("id", Obs.Jsonl.Str job.Job.id) ];
   Option.iter Metrics.job_submitted pool.metrics
 
 let take_verdict pool = Chan.take pool.output

@@ -41,8 +41,13 @@ let write_atomic path body =
   Sys.rename tmp path
 
 let process_file ?queue_capacity ?default_budget ?default_timeout_ms ?reuse
-    ?resolve ?(stats = false) ~domains ~dir name =
-  let metrics = Metrics.create () in
+    ?resolve ?(stats = false) ?metrics ~domains ~dir name =
+  (* A caller-supplied registry accumulates across files (the serve
+     shutdown snapshot needs totals, not the last file's); without one
+     each file gets its own, as before. *)
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.create ()
+  in
   let lines = read_lines (Filename.concat dir (name ^ jobs_ext)) in
   let verdicts =
     Pool.run_lines ?queue_capacity ?default_budget ?default_timeout_ms ?reuse
@@ -63,23 +68,24 @@ let process_file ?queue_capacity ?default_budget ?default_timeout_ms ?reuse
   verdicts
 
 let scan_once ?queue_capacity ?default_budget ?default_timeout_ms ?reuse
-    ?resolve ?stats ~domains ~dir () =
+    ?resolve ?stats ?metrics ~domains ~dir () =
   List.fold_left
     (fun n name ->
       ignore
         (process_file ?queue_capacity ?default_budget ?default_timeout_ms
-           ?reuse ?resolve ?stats ~domains ~dir name);
+           ?reuse ?resolve ?stats ?metrics ~domains ~dir name);
       n + 1)
     0 (pending ~dir)
 
 let watch ?queue_capacity ?default_budget ?default_timeout_ms ?reuse ?resolve
-    ?stats ?(poll_ms = 200) ?(stop = fun () -> false) ~domains ~dir () =
+    ?stats ?metrics ?(poll_ms = 200) ?(stop = fun () -> false) ~domains ~dir
+    () =
   let rec loop () =
     if stop () then ()
     else begin
       let n =
         scan_once ?queue_capacity ?default_budget ?default_timeout_ms ?reuse
-          ?resolve ?stats ~domains ~dir ()
+          ?resolve ?stats ?metrics ~domains ~dir ()
       in
       if n = 0 then Unix.sleepf (float_of_int poll_ms /. 1000.);
       loop ()

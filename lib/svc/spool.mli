@@ -20,7 +20,9 @@ val pending : dir:string -> string list
 
 (** [process_file ~domains ~dir name] — run [dir/name.jobs] through
     the pool and atomically write [dir/name.verdicts].  Returns the
-    verdicts (submission order). *)
+    verdicts (submission order).  [metrics] substitutes a caller-owned
+    registry that accumulates across files (a shutdown snapshot wants
+    totals); omitted, each file counts alone. *)
 val process_file :
   ?queue_capacity:int ->
   ?default_budget:int ->
@@ -28,6 +30,7 @@ val process_file :
   ?reuse:bool ->
   ?resolve:(string -> Spec.t) ->
   ?stats:bool ->
+  ?metrics:Metrics.t ->
   domains:int ->
   dir:string ->
   string ->
@@ -42,6 +45,7 @@ val scan_once :
   ?reuse:bool ->
   ?resolve:(string -> Spec.t) ->
   ?stats:bool ->
+  ?metrics:Metrics.t ->
   domains:int ->
   dir:string ->
   unit ->
@@ -57,6 +61,7 @@ val watch :
   ?reuse:bool ->
   ?resolve:(string -> Spec.t) ->
   ?stats:bool ->
+  ?metrics:Metrics.t ->
   ?poll_ms:int ->
   ?stop:(unit -> bool) ->
   domains:int ->

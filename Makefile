@@ -2,8 +2,8 @@
 
 DUNE ?= dune
 
-.PHONY: all build release test bench bench-smoke svc-smoke trace-smoke \
-	perf-regress perf-baseline check doc clean
+.PHONY: all build release test bench bench-smoke svc-smoke net-smoke \
+	trace-smoke perf-regress perf-baseline check doc clean
 
 all: build
 
@@ -26,16 +26,19 @@ bench:
 bench-smoke:
 	$(DUNE) exec bench/main.exe -- --smoke
 
-# Regenerates the B6 series (por x dedup exploration grid) and diffs
-# it against the committed baseline bench/baselines/BENCH_b6.json:
-# exploration counts must match exactly, wall times must stay within
+# Regenerates the B6 (por x dedup exploration grid), B5 (service
+# throughput), and B8 (socket loopback latency-vs-rate sweep) series
+# and diffs them against the committed baselines in bench/baselines/
+# (BENCH_b6.json, BENCH_svc.json, BENCH_b8.json): counts must match
+# exactly; measured fields (walls, latencies, rates) must stay within
 # ELIN_PERF_TOL (default 4x — generous because CI wall clocks are
-# noisy; count drift is the precise signal).
+# noisy; count drift is the precise signal).  Rate-like fields are
+# gated higher-is-better, everything else lower-is-better.
 perf-regress:
 	$(DUNE) exec bench/main.exe -- --regress
 
-# Rewrites the committed baseline from a fresh run (use after an
-# intentional engine change, then commit the file).
+# Rewrites the committed baselines from a fresh run (use after an
+# intentional engine change, then commit the files).
 perf-baseline:
 	$(DUNE) exec bench/main.exe -- --regress-update
 
@@ -55,6 +58,51 @@ svc-smoke: build
 	  _build/svc-smoke/corpus_50.verdicts \
 	  || { echo "svc-smoke: verdicts differ from the golden file"; exit 1; }
 	@echo "svc-smoke OK"
+
+# End-to-end socket path: starts `elin serve --listen` on a unix
+# socket, round-trips the committed 50-job corpus through `elin batch
+# --connect` (exit code must be 3 and the verdict stream byte-identical
+# to the svc golden — the wire adds nothing and loses nothing), then
+# SIGTERMs the server and asserts a clean drain: exit 0, a final
+# metrics snapshot on stderr, and the socket file unlinked.
+net-smoke: build
+	@mkdir -p _build/net-smoke
+	@rm -f _build/net-smoke/sock
+	@./_build/default/bin/elin.exe serve --listen unix:_build/net-smoke/sock \
+	  --domains 2 2> _build/net-smoke/serve.err & \
+	srv=$$!; \
+	for i in $$(seq 1 50); do \
+	  [ -S _build/net-smoke/sock ] && break; sleep 0.1; \
+	done; \
+	if [ ! -S _build/net-smoke/sock ]; then \
+	  echo "net-smoke: server never bound its socket"; \
+	  kill $$srv 2>/dev/null; exit 1; \
+	fi; \
+	./_build/default/bin/elin.exe batch --connect unix:_build/net-smoke/sock \
+	  test/support/corpus_50.jobs > _build/net-smoke/corpus_50.verdicts; \
+	status=$$?; \
+	if [ $$status -ne 3 ]; then \
+	  echo "net-smoke: batch --connect expected exit code 3, got $$status"; \
+	  kill $$srv 2>/dev/null; exit 1; \
+	fi; \
+	diff -u test/support/corpus_50.verdicts.golden \
+	  _build/net-smoke/corpus_50.verdicts \
+	  || { echo "net-smoke: verdicts differ from the golden file"; \
+	       kill $$srv 2>/dev/null; exit 1; }; \
+	kill -TERM $$srv; \
+	wait $$srv; \
+	status=$$?; \
+	if [ $$status -ne 0 ]; then \
+	  echo "net-smoke: server exit code $$status after SIGTERM (want 0)"; \
+	  exit 1; \
+	fi; \
+	grep -q '"final":true' _build/net-smoke/serve.err \
+	  || { echo "net-smoke: no final metrics snapshot on server stderr"; \
+	       exit 1; }; \
+	if [ -e _build/net-smoke/sock ]; then \
+	  echo "net-smoke: socket file not unlinked on drain"; exit 1; \
+	fi
+	@echo "net-smoke OK"
 
 # Bounded runs with tracing enabled, every artefact linted with
 # `elin trace lint`: regenerates the committed example trace
@@ -87,7 +135,7 @@ doc:
 
 # CI gate: full build, full test suite, and a guard against anyone
 # re-adding build artefacts to the index (PR 1 untracked _build/).
-check: build test bench-smoke svc-smoke trace-smoke
+check: build test bench-smoke svc-smoke net-smoke trace-smoke
 	@if git ls-files | grep -E '^_build/|\.install$$|^\.merlin$$' >/dev/null; then \
 	  echo "error: build artefacts are tracked in git (see .gitignore)"; \
 	  git ls-files | grep -E '^_build/|\.install$$|^\.merlin$$' | head; \

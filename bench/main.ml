@@ -705,6 +705,7 @@ let b5 () =
         let open Jsonl in
         Obj
           [
+            ("name", Str (Printf.sprintf "svc/domains %d" domains));
             ("domains", Int domains);
             ("jobs", Int n);
             ("jobs_per_s_reuse", jnum r);
@@ -712,7 +713,94 @@ let b5 () =
           ])
       [ 1; 2; 4; 8 ]
   in
-  write_series "svc" rows
+  write_series "svc" rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* B8: socket service loopback latency vs offered rate                *)
+(* ------------------------------------------------------------------ *)
+
+(* An in-process lib/net server on a loopback Unix socket, driven by
+   the open-loop load harness at a sweep of arrival rates.  The
+   outcome counts (answered / pass / violations / errors) are exact
+   functions of the seed — no timeout is configured and the node
+   budget clears every depth-6 job — so [--regress] gates them
+   exactly; walls and latency quantiles are tolerance-gated, with
+   achieved_per_s gated in the higher-is-better direction. *)
+let b8 () =
+  let open Elin_net in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "elin-b8-%d.sock" (Unix.getpid ()))
+  in
+  let addr = Addr.Unix_sock sock in
+  let srv =
+    Server.start ~domains:1 ~queue_capacity:256 ~resolve:Load.test_resolve
+      addr
+  in
+  let outcomes =
+    Fun.protect
+      ~finally:(fun () -> Server.stop srv)
+      (fun () ->
+        let cfg =
+          {
+            Load.default_cfg with
+            Load.jobs = 150;
+            seed = 11;
+            budget = Some 500_000;
+            timeout_ms = None;
+            large_depth = 6;
+          }
+        in
+        try Load.sweep addr cfg ~rates:[ 200.; 400.; 800. ]
+        with Failure m ->
+          (* The load watchdog tripped (or the protocol broke).  Dump
+             where the in-process pipeline stands before failing: a
+             nonzero depth pins the loss to a specific stage. *)
+          Printf.eprintf
+            "b8: load run failed: %s\n\
+             b8: server state: conns=%d pool_queued=%d verdicts_unrouted=%d\n"
+            m (Server.connections srv) (Server.queue_depth srv)
+            (Server.output_depth srv);
+          failwith ("b8: " ^ m))
+  in
+  Printf.printf
+    "\n== B8: socket service loopback sweep (150 jobs/rate, 1 domain) ==\n";
+  Printf.printf "%-10s %10s %10s %10s %10s %10s\n" "target/s" "achieved/s"
+    "p50_us" "p99_us" "p999_us" "max_us";
+  let rows =
+    List.map
+      (fun (o : Load.outcome) ->
+        Printf.printf "%-10.0f %10.1f %10.0f %10.0f %10.0f %10.0f\n"
+          o.Load.target_per_s o.achieved_per_s o.p50_us o.p99_us o.p999_us
+          o.max_us;
+        flush stdout;
+        let open Elin_svc.Jsonl in
+        Obj
+          [
+            ( "name",
+              Str (Printf.sprintf "net/loopback rate %.0f" o.Load.target_per_s)
+            );
+            ("rate", Int (int_of_float o.Load.target_per_s));
+            ("jobs", Int o.jobs);
+            ("answered", Int o.answered);
+            ("pass", Int o.pass);
+            ("violations", Int o.violations);
+            ("busy", Int o.busy);
+            ("errors", Int o.errors);
+            ("exhausted", Int o.exhausted);
+            ("wall_s", jnum o.wall_s);
+            ("achieved_per_s", jnum o.achieved_per_s);
+            ("p50_us", jnum o.p50_us);
+            ("p99_us", jnum o.p99_us);
+            ("p999_us", jnum o.p999_us);
+            ("max_us", jnum o.max_us);
+          ])
+      outcomes
+  in
+  write_series "b8" rows;
+  rows
 
 (* ------------------------------------------------------------------ *)
 (* B6: partial-order reduction x dedup                                *)
@@ -960,10 +1048,14 @@ let b7 ?(smoke = false) () =
   measured
 
 (* ------------------------------------------------------------------ *)
-(* --regress: the B6 series vs the committed baseline                 *)
+(* --regress: measured series vs the committed baselines              *)
 (* ------------------------------------------------------------------ *)
 
+(* Each regress-gated series regenerates and diffs against its
+   committed baseline file. *)
 let baseline_path = "bench/baselines/BENCH_b6.json"
+let svc_baseline_path = "bench/baselines/BENCH_svc.json"
+let b8_baseline_path = "bench/baselines/BENCH_b8.json"
 
 let read_file path =
   let ic = open_in_bin path in
@@ -971,20 +1063,103 @@ let read_file path =
   close_in ic;
   s
 
-(* [--regress]: regenerate B6 and diff against the baseline — integer
-   exploration counts must match exactly; wall times may not exceed
-   baseline * ELIN_PERF_TOL (default 4: CI boxes are noisy, and an
-   honest perf regression shows up well past 4x on these
-   sub-second runs before the counts ever move).  [--regress-update]
-   rewrites the baseline instead. *)
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* Row-by-row comparison of a measured series against its baseline,
+   keyed by the "name" field.  Count fields are deterministic and must
+   match exactly; measured fields (walls, latencies, rates — matched
+   by key, because JSON cannot distinguish [Float 511.] from [Int 511]
+   after a round-trip) are gated by tolerance: lower-is-better except
+   for rate-like fields (any key containing "per_s"), which are gated
+   in the higher-is-better direction [c >= b / tol]. *)
+let measured_key k =
+  List.exists
+    (fun sub -> contains_substring k sub)
+    [ "per_s"; "wall"; "_us"; "_ms"; "ns_per" ]
+
+let compare_rows ~fail ~tol ~series brows crows =
+  let open Elin_svc.Jsonl in
+  let drift fmt = Printf.ksprintf fail fmt in
+  let num = function
+    | Float f -> Some f
+    | Int i -> Some (float_of_int i)
+    | _ -> None
+  in
+  let name_of row =
+    Option.value ~default:"?" (str_mem "name" row)
+  in
+  let current = List.map (fun row -> (name_of row, row)) crows in
+  List.iter
+    (fun brow ->
+      let name = Printf.sprintf "%s/%s" series (name_of brow) in
+      match List.assoc_opt (name_of brow) current with
+      | None -> drift "row %S missing from current run" name
+      | Some crow ->
+        List.iter
+          (fun (k, bv) ->
+            match mem k crow with
+            | None -> drift "%s: field %S missing" name k
+            | Some cv -> (
+              match (num bv, num cv) with
+              | Some b, Some c when measured_key k ->
+                if contains_substring k "per_s" then begin
+                  if not (c >= b /. tol) then
+                    drift
+                      "%s: %s throughput regressed: baseline %.4f, now %.4f \
+                       (tol %gx)"
+                      name k b c tol
+                end
+                else if not (c <= b *. tol) then
+                  drift "%s: %s regressed: baseline %.4f, now %.4f (tol %gx)"
+                    name k b c tol
+              | Some b, Some c ->
+                if b <> c then
+                  drift "%s: %s drifted: baseline %g, now %g" name k b c
+              | _ ->
+                if bv <> cv then drift "%s: %s differs from baseline" name k))
+          (match brow with Obj fields -> fields | _ -> []))
+    brows;
+  List.iter
+    (fun (name, _) ->
+      if not (List.exists (fun brow -> name_of brow = name) brows) then
+        drift "new row %S not in baseline (run 'make perf-baseline')"
+          (Printf.sprintf "%s/%s" series name))
+    current
+
+let baseline_rows ~path =
+  let open Elin_svc.Jsonl in
+  match of_string (read_file path) with
+  | j -> (
+    match mem "results" j with Some (Arr r) -> Some r | _ -> Some [])
+  | exception Sys_error e ->
+    Printf.eprintf
+      "perf-regress: cannot read %s (%s); run 'make perf-baseline' first\n"
+      path e;
+    None
+
+(* [--regress]: regenerate the gated series (B6 exploration grid, B5
+   service throughput, B8 socket loopback sweep) and diff each against
+   its committed baseline — integer counts must match exactly; walls,
+   latencies, and rates may not drift past ELIN_PERF_TOL (default 4:
+   CI boxes are noisy, and an honest perf regression shows up well
+   past 4x on these sub-second runs before the counts ever move).
+   [--regress-update] rewrites the baselines instead. *)
 let regress ~update () =
   let open Elin_svc.Jsonl in
   let rows = b6 () in
+  let svc_rows = b5 () in
+  let b8_rows = b8 () in
   if update then begin
     (try Unix.mkdir "bench/baselines" 0o755
      with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
     Elin_obs.Jsonl.to_file baseline_path (series_obj "b6" rows);
-    Printf.printf "\nwrote baseline %s\n" baseline_path
+    Elin_obs.Jsonl.to_file svc_baseline_path (series_obj "svc" svc_rows);
+    Elin_obs.Jsonl.to_file b8_baseline_path (series_obj "b8" b8_rows);
+    Printf.printf "\nwrote baselines %s, %s, %s\n" baseline_path
+      svc_baseline_path b8_baseline_path
   end
   else begin
     let tol =
@@ -992,20 +1167,6 @@ let regress ~update () =
       | Some s -> float_of_string s
       | None -> 4.0
     in
-    let baseline =
-      match of_string (read_file baseline_path) with
-      | j -> j
-      | exception Sys_error e ->
-        Printf.eprintf
-          "perf-regress: cannot read %s (%s); run 'make perf-baseline' first\n"
-          baseline_path e;
-        exit 2
-    in
-    let brows =
-      match mem "results" baseline with Some (Arr r) -> r | _ -> []
-    in
-    let name_of row = Option.value ~default:"?" (str_mem "name" row) in
-    let current = List.map (fun row -> (name_of row, row)) rows in
     let failed = ref false in
     let drift fmt =
       Printf.ksprintf
@@ -1014,39 +1175,23 @@ let regress ~update () =
           failed := true)
         fmt
     in
-    List.iter
-      (fun brow ->
-        let name = name_of brow in
-        match List.assoc_opt name current with
-        | None -> drift "row %S missing from current run" name
-        | Some crow ->
-          List.iter
-            (fun (k, bv) ->
-              match (bv, mem k crow) with
-              | _, None -> drift "%s: field %S missing" name k
-              | Int b, Some (Int c) ->
-                if b <> c then
-                  drift "%s: %s drifted: baseline %d, now %d" name k b c
-              | Float b, Some cv ->
-                let c =
-                  match cv with
-                  | Float f -> f
-                  | Int i -> float_of_int i
-                  | _ -> nan
-                in
-                if not (c <= b *. tol) then
-                  drift "%s: %s regressed: baseline %.4f, now %.4f (tol %gx)"
-                    name k b c tol
-              | (Str _ | Bool _ | Null), Some cv ->
-                if bv <> cv then drift "%s: %s differs from baseline" name k
-              | _, Some _ -> drift "%s: %s has an unexpected shape" name k)
-            (match brow with Obj fields -> fields | _ -> []))
-      brows;
-    List.iter
-      (fun (name, _) ->
-        if not (List.exists (fun brow -> name_of brow = name) brows) then
-          drift "new row %S not in baseline (run 'make perf-baseline')" name)
-      current;
+    let brows =
+      match baseline_rows ~path:baseline_path with
+      | Some r -> r
+      | None -> exit 2
+    in
+    let fail s =
+      Printf.eprintf "perf-regress: %s\n" s;
+      failed := true
+    in
+    compare_rows ~fail ~tol ~series:"b6" brows rows;
+    (match baseline_rows ~path:svc_baseline_path with
+    | Some b -> compare_rows ~fail ~tol ~series:"svc" b svc_rows
+    | None -> exit 2);
+    (match baseline_rows ~path:b8_baseline_path with
+    | Some b -> compare_rows ~fail ~tol ~series:"b8" b b8_rows
+    | None -> exit 2);
+    let name_of row = Option.value ~default:"?" (str_mem "name" row) in
     (* B7 disabled-overhead gate: with the observability layer
        compiled in but switched off, the por+dedup workload must stay
        within tolerance of the committed B6 baseline wall — the single
@@ -1074,8 +1219,10 @@ let regress ~update () =
       drift "b7: baseline row \"mc/fai-board 2x3 d22 por+dedup\" missing"
     | _, None -> drift "b7: disabled mode missing from measurement");
     if !failed then exit 1;
-    Printf.printf "\nperf-regress OK (%d rows + b7 overhead, wall tolerance %gx)\n"
-      (List.length brows) tol
+    Printf.printf
+      "\nperf-regress OK (%d b6 + %d svc + %d b8 rows + b7 overhead, \
+       tolerance %gx)\n"
+      (List.length brows) (List.length svc_rows) (List.length b8_rows) tol
   end
 
 let () =
@@ -1096,7 +1243,8 @@ let () =
     regress ~update:true ()
   else if Array.exists (fun a -> a = "--regress") Sys.argv then
     regress ~update:false ()
-  else if Array.exists (fun a -> a = "--svc") Sys.argv then b5 ()
+  else if Array.exists (fun a -> a = "--svc") Sys.argv then ignore (b5 ())
+  else if Array.exists (fun a -> a = "--net") Sys.argv then ignore (b8 ())
   else begin
     Printf.printf
       "elin benchmark harness — experiment series from DESIGN.md section 5\n";
@@ -1112,6 +1260,7 @@ let () =
     e13 ();
     e15 ();
     a1 ();
-    b5 ();
+    ignore (b5 ());
+    ignore (b8 ());
     Printf.printf "\nAll benchmark groups completed.\n"
   end

@@ -878,6 +878,30 @@ let read_all_lines ic =
   in
   go []
 
+(* Graceful-shutdown signals for the serving modes: SIGINT (operator
+   Ctrl-C) and SIGTERM (init systems, `kill`, CI harnesses) both
+   request a stop instead of killing the process, so in-flight work
+   finishes and the final metrics line is flushed.  Returns the stop
+   flag and a restorer that reinstates whatever handlers were there
+   before. *)
+let install_stop_signals () =
+  let stop_requested = Atomic.make false in
+  let install signal =
+    try
+      Some
+        ( signal,
+          Sys.signal signal
+            (Sys.Signal_handle (fun _ -> Atomic.set stop_requested true)) )
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let saved = List.filter_map install [ Sys.sigint; Sys.sigterm ] in
+  let restore () =
+    List.iter
+      (fun (signal, h) -> try Sys.set_signal signal h with _ -> ())
+      saved
+  in
+  (stop_requested, restore)
+
 (* Fold the pool-level snapshot into the obs registry (counters by
    dotted name) so the --metrics file is ONE vocabulary: engine/kernel
    counters collected live during the run plus the svc totals. *)
@@ -890,6 +914,7 @@ let mirror_svc_snapshot (s : Elin_svc.Metrics.snapshot) =
   c "svc.budget_exhausted" s.Elin_svc.Metrics.budget_exhausted;
   c "svc.timed_out" s.Elin_svc.Metrics.timed_out;
   c "svc.cancelled" s.Elin_svc.Metrics.cancelled;
+  c "svc.busy" s.Elin_svc.Metrics.busy;
   c "svc.bad_jobs" s.Elin_svc.Metrics.bad_jobs;
   c "svc.failed" s.Elin_svc.Metrics.failed;
   c "svc.nodes" s.Elin_svc.Metrics.nodes;
@@ -906,7 +931,32 @@ let metrics_out_arg =
            metric per line, sorted by name): pool totals plus live \
            engine/kernel/svc counters and latency histograms.")
 
-let do_batch domains job_budget timeout_ms no_reuse stats metrics_out input =
+(* Client mode of `elin batch`: parse lines locally (unparseable lines
+   stay local bad_job verdicts, same as the pool driver), pipeline the
+   good jobs to a server, and merge everything back in submission
+   order.  Canonical verdict lines re-serialize byte-identically, so
+   the output matches a local run against the same pool settings. *)
+let batch_over_socket addr lines stats =
+  let parsed = Elin_svc.Pool.parse_jobs lines in
+  let jobs =
+    List.filter_map (function `Job j -> Some j | `Bad _ -> None) parsed
+  in
+  let bad =
+    List.filter_map (function `Bad v -> Some v | `Job _ -> None) parsed
+  in
+  let remote = Elin_net.Client.run_jobs addr jobs in
+  let verdicts =
+    List.sort
+      (fun a b -> compare a.Elin_svc.Verdict.seq b.Elin_svc.Verdict.seq)
+      (bad @ remote)
+  in
+  List.iter
+    (fun v -> print_endline (Elin_svc.Verdict.to_line ~stats v))
+    verdicts;
+  verdicts
+
+let do_batch domains job_budget timeout_ms no_reuse stats metrics_out connect
+    input =
   if domains < 1 then
     `Error (false, Printf.sprintf "--domains must be >= 1, got %d" domains)
   else
@@ -919,28 +969,54 @@ let do_batch domains job_budget timeout_ms no_reuse stats metrics_out input =
           ~finally:(fun () -> close_in_noerr ic)
           (fun () -> read_all_lines ic)
     in
-    if metrics_out <> None then Obs.Metrics.enable ();
-    let metrics = Elin_svc.Metrics.create () in
-    let verdicts =
-      Elin_svc.Pool.run_lines ?default_budget:job_budget
-        ?default_timeout_ms:timeout_ms ~reuse:(not no_reuse) ~metrics ~domains
-        lines
-    in
-    List.iter
-      (fun v -> print_endline (Elin_svc.Verdict.to_line ~stats v))
-      verdicts;
-    if stats then
-      Format.eprintf "%a@." Elin_svc.Metrics.pp_snapshot
-        (Elin_svc.Metrics.snapshot metrics);
-    (match metrics_out with
-    | None -> ()
-    | Some path ->
-      mirror_svc_snapshot (Elin_svc.Metrics.snapshot metrics);
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () -> Obs.Metrics.write_jsonl oc));
-    ok_exit (Exit_code.of_verdicts verdicts)
+    match connect with
+    | Some addr_s -> (
+      match Elin_net.Addr.of_string addr_s with
+      | Error e -> `Error (false, e)
+      | Ok addr -> (
+        match batch_over_socket addr lines stats with
+        | verdicts -> ok_exit (Exit_code.of_verdicts verdicts)
+        | exception Failure m ->
+          Printf.eprintf "elin batch --connect %s: %s\n%!" addr_s m;
+          ok_exit Exit_code.Usage
+        | exception Unix.Unix_error (err, fn, _) ->
+          Printf.eprintf "elin batch --connect %s: %s: %s\n%!" addr_s fn
+            (Unix.error_message err);
+          ok_exit Exit_code.Usage))
+    | None ->
+      if metrics_out <> None then Obs.Metrics.enable ();
+      let metrics = Elin_svc.Metrics.create () in
+      let verdicts =
+        Elin_svc.Pool.run_lines ?default_budget:job_budget
+          ?default_timeout_ms:timeout_ms ~reuse:(not no_reuse) ~metrics ~domains
+          lines
+      in
+      List.iter
+        (fun v -> print_endline (Elin_svc.Verdict.to_line ~stats v))
+        verdicts;
+      if stats then
+        Format.eprintf "%a@." Elin_svc.Metrics.pp_snapshot
+          (Elin_svc.Metrics.snapshot metrics);
+      (match metrics_out with
+      | None -> ()
+      | Some path ->
+        mirror_svc_snapshot (Elin_svc.Metrics.snapshot metrics);
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> Obs.Metrics.write_jsonl oc));
+      ok_exit (Exit_code.of_verdicts verdicts)
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"ADDR"
+        ~doc:
+          "Send the jobs to a running $(b,elin serve --listen) server at \
+           $(docv) (unix:PATH or tcp:HOST:PORT) instead of checking \
+           locally.  Pool options (--domains, --job-budget, --timeout-ms, \
+           --no-reuse) are the server's business and are ignored here.")
 
 let batch_cmd =
   let input =
@@ -951,19 +1027,29 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Run a JSONL stream of checking jobs through the worker pool \
-             and print one JSONL verdict per job, in submission order \
-             (independent of --domains)")
+             (or a socket server with --connect) and print one JSONL \
+             verdict per job, in submission order (independent of \
+             --domains)")
     Term.(
       ret
         (const do_batch $ domains_svc_arg $ job_budget_arg $ timeout_ms_arg
-       $ no_reuse_arg $ svc_stats_arg $ metrics_out_arg $ input))
+       $ no_reuse_arg $ svc_stats_arg $ metrics_out_arg $ connect_arg
+       $ input))
 
-let do_serve domains job_budget timeout_ms no_reuse stats dir once poll_ms =
-  if domains < 1 then
-    `Error (false, Printf.sprintf "--domains must be >= 1, got %d" domains)
-  else if not (Sys.file_exists dir && Sys.is_directory dir) then
-    `Error (false, Printf.sprintf "--watch %s: not a directory" dir)
-  else if once then begin
+(* The final metrics line both serve modes flush on shutdown. *)
+let print_final_metrics ?queue_depth metrics =
+  Printf.eprintf "%s\n%!"
+    (Elin_svc.Jsonl.to_string
+       (Elin_svc.Jsonl.Obj
+          [
+            ("final", Elin_svc.Jsonl.Bool true);
+            ( "metrics",
+              Elin_svc.Metrics.snapshot_to_json
+                (Elin_svc.Metrics.snapshot ?queue_depth metrics) );
+          ]))
+
+let serve_spool domains job_budget timeout_ms no_reuse stats dir once poll_ms =
+  if once then begin
     let n =
       Elin_svc.Spool.scan_once ?default_budget:job_budget
         ?default_timeout_ms:timeout_ms ~reuse:(not no_reuse) ~stats ~domains
@@ -975,32 +1061,11 @@ let do_serve domains job_budget timeout_ms no_reuse stats dir once poll_ms =
   else begin
     Printf.printf "watching %s (poll every %dms; Ctrl-C to stop)\n%!" dir
       poll_ms;
-    (* SIGINT requests a stop (checked between scans) instead of
-       killing the process, so the metrics accumulated across every
+    (* SIGINT/SIGTERM request a stop (checked between scans) instead
+       of killing the process, so the metrics accumulated across every
        processed file are flushed, not dropped. *)
-    let stop_requested = Atomic.make false in
-    let prev_sigint =
-      try
-        Some
-          (Sys.signal Sys.sigint
-             (Sys.Signal_handle (fun _ -> Atomic.set stop_requested true)))
-      with Invalid_argument _ | Sys_error _ -> None
-    in
+    let stop_requested, restore_signals = install_stop_signals () in
     let metrics = Elin_svc.Metrics.create () in
-    let finish () =
-      (match prev_sigint with
-      | Some h -> ( try Sys.set_signal Sys.sigint h with _ -> ())
-      | None -> ());
-      Printf.eprintf "%s\n%!"
-        (Elin_svc.Jsonl.to_string
-           (Elin_svc.Jsonl.Obj
-              [
-                ("final", Elin_svc.Jsonl.Bool true);
-                ( "metrics",
-                  Elin_svc.Metrics.snapshot_to_json
-                    (Elin_svc.Metrics.snapshot metrics) );
-              ]))
-    in
     (try
        Elin_svc.Spool.watch ?default_budget:job_budget
          ?default_timeout_ms:timeout_ms ~reuse:(not no_reuse) ~stats ~metrics
@@ -1008,33 +1073,259 @@ let do_serve domains job_budget timeout_ms no_reuse stats dir once poll_ms =
          ~stop:(fun () -> Atomic.get stop_requested)
          ~domains ~dir ()
      with Unix.Unix_error (Unix.EINTR, _, _) -> ());
-    finish ();
+    restore_signals ();
+    print_final_metrics metrics;
     ok_exit Exit_code.Ok
   end
 
+let serve_socket domains job_budget timeout_ms no_reuse stats addr_s admission
+    queue test_specs =
+  match Elin_net.Addr.of_string addr_s with
+  | Error e -> `Error (false, e)
+  | Ok addr -> (
+    let metrics = Elin_svc.Metrics.create () in
+    let resolve =
+      if test_specs then Some Elin_net.Load.test_resolve else None
+    in
+    match
+      Elin_net.Server.start ~domains ?default_budget:job_budget
+        ?default_timeout_ms:timeout_ms ~reuse:(not no_reuse) ~stats ~metrics
+        ~admission ~queue_capacity:queue ?resolve addr
+    with
+    | exception Failure m -> `Error (false, m)
+    | exception Unix.Unix_error (err, fn, _) ->
+      `Error
+        ( false,
+          Printf.sprintf "--listen %s: %s: %s" addr_s fn
+            (Unix.error_message err) )
+    | srv ->
+      let shown =
+        match (addr, Elin_net.Server.port srv) with
+        | Elin_net.Addr.Tcp (h, 0), Some p ->
+          Elin_net.Addr.to_string (Elin_net.Addr.Tcp (h, p))
+        | _ -> Elin_net.Addr.to_string addr
+      in
+      Printf.printf
+        "listening on %s (%d domain(s), queue %d, admission %s; Ctrl-C or \
+         SIGTERM to drain)\n%!"
+        shown domains queue
+        (match admission with
+        | Elin_net.Server.Block -> "block"
+        | Elin_net.Server.Busy -> "busy");
+      (* SIGINT/SIGTERM drain gracefully: stop accepting, answer
+         every admitted job, flush outboxes, then the final metrics
+         line. *)
+      let stop_requested, restore_signals = install_stop_signals () in
+      while not (Atomic.get stop_requested) do
+        Thread.delay 0.2
+      done;
+      Elin_net.Server.stop srv;
+      restore_signals ();
+      print_final_metrics metrics;
+      ok_exit Exit_code.Ok)
+
+let do_serve domains job_budget timeout_ms no_reuse stats dir once poll_ms
+    listen admission queue test_specs =
+  if domains < 1 then
+    `Error (false, Printf.sprintf "--domains must be >= 1, got %d" domains)
+  else
+    match (listen, dir) with
+    | Some _, Some _ -> `Error (true, "--listen and --watch are exclusive")
+    | None, None -> `Error (true, "one of --watch or --listen is required")
+    | Some addr_s, None ->
+      serve_socket domains job_budget timeout_ms no_reuse stats addr_s
+        admission queue test_specs
+    | None, Some dir ->
+      if not (Sys.file_exists dir && Sys.is_directory dir) then
+        `Error (false, Printf.sprintf "--watch %s: not a directory" dir)
+      else
+        serve_spool domains job_budget timeout_ms no_reuse stats dir once
+          poll_ms
+
 let serve_cmd =
   let dir =
-    Arg.(required & opt (some dir) None
+    Arg.(value & opt (some dir) None
          & info [ "watch" ] ~docv:"DIR"
              ~doc:"Spool directory: NAME.jobs files are answered with \
                    NAME.verdicts files (written atomically).")
   in
   let once =
     Arg.(value & flag
-         & info [ "once" ] ~doc:"Process pending job files once and exit.")
+         & info [ "once" ]
+             ~doc:"Process pending job files once and exit (spool mode).")
   in
   let poll_ms =
     Arg.(value & opt int 200
-         & info [ "poll-ms" ] ~doc:"Idle polling interval.")
+         & info [ "poll-ms" ] ~doc:"Idle polling interval (spool mode).")
+  in
+  let listen =
+    Arg.(value & opt (some string) None
+         & info [ "listen" ] ~docv:"ADDR"
+             ~doc:"Serve checking jobs over a socket at $(docv) (unix:PATH \
+                   or tcp:HOST:PORT; tcp port 0 picks an ephemeral port).  \
+                   Clients speak length-prefixed JSONL frames — see \
+                   $(b,elin batch --connect) and $(b,elin load).")
+  in
+  let admission =
+    Arg.(value
+         & opt
+             (enum
+                [ ("block", Elin_net.Server.Block);
+                  ("busy", Elin_net.Server.Busy) ])
+             Elin_net.Server.Block
+         & info [ "admission" ] ~docv:"POLICY"
+             ~doc:"What a full job queue does to new submissions (socket \
+                   mode): $(b,block) applies backpressure to the client's \
+                   writes; $(b,busy) refuses immediately with a busy \
+                   verdict.")
+  in
+  let queue =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Bounded job-queue capacity (socket mode).")
+  in
+  let test_specs =
+    Arg.(value & flag
+         & info [ "test-specs" ]
+             ~doc:"Also resolve the synthetic load-mix specs \
+                   (elin.load.reg, elin.poison) used by $(b,elin load); \
+                   off by default.")
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Serve a spool directory: each *.jobs file (JSONL jobs) is \
-             answered with a *.verdicts file")
+       ~doc:"Serve checking jobs: from a spool directory (--watch) or over \
+             a socket (--listen)")
     Term.(
       ret
         (const do_serve $ domains_svc_arg $ job_budget_arg $ timeout_ms_arg
-       $ no_reuse_arg $ svc_stats_arg $ dir $ once $ poll_ms))
+       $ no_reuse_arg $ svc_stats_arg $ dir $ once $ poll_ms $ listen
+       $ admission $ queue $ test_specs))
+
+(* ------------------------------------------------------------------ *)
+(* elin load                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let do_load connect rate jobs seed small large poison depth budget timeout_ms
+    idle_limit sweep =
+  match Elin_net.Addr.of_string connect with
+  | Error e -> `Error (false, e)
+  | Ok addr -> (
+    if rate <= 0. then `Error (false, "--rate must be > 0")
+    else if jobs < 1 then `Error (false, "--jobs must be >= 1")
+    else
+      let cfg =
+        {
+          Elin_net.Load.rate;
+          jobs;
+          seed;
+          mix = { Elin_net.Load.small; large; poison };
+          large_depth = depth;
+          budget;
+          timeout_ms;
+          idle_limit_s = idle_limit;
+        }
+      in
+      let rates = match sweep with [] -> [ rate ] | rs -> rs in
+      match Elin_net.Load.sweep addr cfg ~rates with
+      | exception Failure m ->
+        Printf.eprintf "elin load: %s\n%!" m;
+        ok_exit Exit_code.Usage
+      | exception Unix.Unix_error (err, fn, _) ->
+        Printf.eprintf "elin load: %s: %s\n%!" fn (Unix.error_message err);
+        ok_exit Exit_code.Usage
+      | outcomes ->
+        (* stdout: the canonical JSONL series; stderr: a human table. *)
+        List.iter
+          (fun o ->
+            print_endline
+              (Elin_svc.Jsonl.to_string (Elin_net.Load.outcome_to_json o)))
+          outcomes;
+        Printf.eprintf
+          "%10s %8s %8s %10s %10s %10s %10s   outcomes\n%!" "target/s"
+          "answered" "wall_s" "ach/s" "p50_us" "p99_us" "p999_us";
+        List.iter
+          (fun (o : Elin_net.Load.outcome) ->
+            Printf.eprintf
+              "%10.1f %8d %8.2f %10.1f %10.0f %10.0f %10.0f   pass %d, \
+               viol %d, busy %d, err %d, exh %d\n%!"
+              o.Elin_net.Load.target_per_s o.answered o.wall_s
+              o.achieved_per_s o.p50_us o.p99_us o.p999_us o.pass
+              o.violations o.busy o.errors o.exhausted)
+          outcomes;
+        ok_exit Exit_code.Ok)
+
+let load_cmd =
+  let connect =
+    Arg.(required & opt (some string) None
+         & info [ "connect" ] ~docv:"ADDR"
+             ~doc:"Server address (unix:PATH or tcp:HOST:PORT).")
+  in
+  let rate =
+    Arg.(value & opt float 200.
+         & info [ "rate" ] ~docv:"R"
+             ~doc:"Target open-loop arrival rate, jobs/second.")
+  in
+  let jobs =
+    Arg.(value & opt int 200
+         & info [ "jobs" ] ~docv:"N" ~doc:"Jobs offered per run.")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~doc:"Deterministic generation seed.")
+  in
+  let small =
+    Arg.(value & opt int 8
+         & info [ "small" ] ~docv:"W"
+             ~doc:"Mix weight of small (fast linearizable) jobs.")
+  in
+  let large =
+    Arg.(value & opt int 1
+         & info [ "large" ] ~docv:"W"
+             ~doc:"Mix weight of large (deep unsatisfiable) jobs.")
+  in
+  let poison =
+    Arg.(value & opt int 1
+         & info [ "poison" ] ~docv:"W"
+             ~doc:"Mix weight of poisoned (crashing-spec) jobs; needs a \
+                   server started with --test-specs to exercise the \
+                   containment path (degrades to bad_job otherwise).")
+  in
+  let depth =
+    Arg.(value & opt int 6
+         & info [ "large-depth" ] ~docv:"D"
+             ~doc:"Pending-write depth of large jobs (cost grows ~ D!).")
+  in
+  let budget =
+    Arg.(value & opt (some int) (Some 500_000)
+         & info [ "job-budget" ] ~doc:"Per-job node budget on the wire.")
+  in
+  let timeout_ms =
+    Arg.(value & opt (some int) (Some 2_000)
+         & info [ "timeout-ms" ] ~doc:"Per-job wall-clock timeout.")
+  in
+  let idle_limit =
+    Arg.(value & opt float 60.
+         & info [ "idle-limit" ] ~docv:"S"
+             ~doc:"Receiver watchdog: fail the run if the server sends \
+                   nothing for $(docv) seconds (resets on every byte).  \
+                   Raise it for unbudgeted job mixes whose single jobs \
+                   can legitimately run longer.")
+  in
+  let sweep =
+    Arg.(value & opt (list float) []
+         & info [ "sweep" ] ~docv:"R1,R2,..."
+             ~doc:"Run once per listed rate (fresh connection each) \
+                   instead of the single --rate: the saturation sweep.")
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Drive an elin serve --listen server with a YCSB-style \
+             open-loop job mix and report achieved rate and latency \
+             percentiles (JSONL on stdout, table on stderr)")
+    Term.(
+      ret
+        (const do_load $ connect $ rate $ jobs $ seed $ small $ large
+       $ poison $ depth $ budget $ timeout_ms $ idle_limit $ sweep))
 
 (* ------------------------------------------------------------------ *)
 (* elin trace                                                         *)
@@ -1160,7 +1451,8 @@ let main =
          "Eventual linearizability in shared memory — executable reproduction \
           of Guerraoui & Ruppert, PODC 2014")
     [ check_cmd; generate_cmd; run_cmd; paradox_cmd; valency_cmd; mc_cmd;
-      serafini_cmd; experiments_cmd; batch_cmd; serve_cmd; trace_cmd ]
+      serafini_cmd; experiments_cmd; batch_cmd; serve_cmd; load_cmd;
+      trace_cmd ]
 
 (* The uniform exit-code policy: term values ARE the exit codes;
    cmdliner-level usage/parse problems map to Exit_code.Usage. *)

@@ -1,0 +1,21 @@
+(** Listen/connect addresses for the socket service.
+
+    Textual forms accepted by {!of_string}:
+    - ["unix:PATH"] — Unix-domain socket at [PATH];
+    - ["tcp:HOST:PORT"] — TCP;
+    - a bare string containing ['/'] — shorthand for [unix:];
+    - ["HOST:PORT"] — shorthand for [tcp:];
+    - a bare port number — TCP on [127.0.0.1]. *)
+
+type t = Unix_sock of string | Tcp of string * int
+
+val of_string : string -> (t, string) result
+
+(** Canonical textual form ([unix:…] / [tcp:…]); round-trips through
+    {!of_string}. *)
+val to_string : t -> string
+
+(** Socket domain + address for bind/connect.  Resolves TCP host names
+    via [gethostbyname].
+    @raise Failure if the host does not resolve. *)
+val sockaddr : t -> Unix.socket_domain * Unix.sockaddr

@@ -1,0 +1,119 @@
+module Obs = Elin_obs
+open Elin_svc
+
+type t = {
+  fd : Unix.file_descr;
+  dec : Frame.decoder;
+  scratch : Bytes.t;
+}
+
+(* A server may drop us mid-send (eviction, shutdown); the write must
+   surface as EPIPE, not kill the process. *)
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ())
+
+let connect ?max_frame addr =
+  Lazy.force ignore_sigpipe;
+  let domain, sa = Addr.sockaddr addr in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd sa
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  (match addr with
+  | Addr.Tcp _ -> (
+      try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
+  | Addr.Unix_sock _ -> ());
+  { fd; dec = Frame.decoder ?max_frame (); scratch = Bytes.create 65536 }
+
+let send t job = Frame.write_frame t.fd (Job.to_line job)
+let send_raw t payload = Frame.write_frame t.fd payload
+
+let decode_verdict payload =
+  match Obs.Jsonl.of_string payload with
+  | exception Obs.Jsonl.Parse_error m -> `Error ("verdict is not JSON: " ^ m)
+  | json -> (
+      match Verdict.of_json ~seq:0 json with
+      | Ok v -> `Verdict v
+      | Error e -> `Error ("bad verdict: " ^ e))
+
+let recv t =
+  match Frame.read_frame t.fd t.dec t.scratch with
+  | `Eof -> `Eof
+  | `Error e -> `Error e
+  | `Frame payload -> decode_verdict payload
+
+let recv_idle t ~idle_s =
+  match Frame.read_frame_idle t.fd t.dec t.scratch ~idle_s with
+  | `Eof -> `Eof
+  | `Error e -> `Error e
+  | `Idle -> `Idle
+  | `Frame payload -> decode_verdict payload
+
+(* Half-close without releasing the fd: wakes any thread blocked in a
+   send or recv on this connection (EPIPE / EOF) without the fd-reuse
+   hazard of a concurrent [close]. *)
+let shutdown t =
+  try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+let close t =
+  (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* Pipelined batch: keep at most [window] jobs outstanding so the
+   reply stream bounds our kernel buffers (an unbounded window against
+   a saturated server would let replies pile up unread and trip the
+   server's slow-consumer eviction). *)
+let run_jobs ?(window = 64) ?max_frame addr jobs =
+  let t = connect ?max_frame addr in
+  Fun.protect ~finally:(fun () -> close t) @@ fun () ->
+  let jobs = Array.of_list jobs in
+  let total = Array.length jobs in
+  (* Verdicts come back in completion order carrying only the id;
+     repeated ids are matched FIFO (same ambiguity a caller would
+     face). *)
+  let seq_of_id : (string, int Queue.t) Hashtbl.t = Hashtbl.create total in
+  let push_id id seq =
+    let q =
+      match Hashtbl.find_opt seq_of_id id with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          Hashtbl.add seq_of_id id q;
+          q
+    in
+    Queue.push seq q
+  in
+  let pop_id id =
+    match Hashtbl.find_opt seq_of_id id with
+    | Some q when not (Queue.is_empty q) -> Some (Queue.pop q)
+    | _ -> None
+  in
+  let results = ref [] in
+  let sent = ref 0 in
+  let received = ref 0 in
+  while !received < total do
+    while !sent < total && !sent - !received < window do
+      let j = jobs.(!sent) in
+      push_id j.Job.id j.Job.seq;
+      send t j;
+      incr sent
+    done;
+    match recv t with
+    | `Verdict v -> (
+        match pop_id v.Verdict.job_id with
+        | None ->
+            failwith
+              (Printf.sprintf "verdict for unknown job id %S" v.Verdict.job_id)
+        | Some seq ->
+            results := { v with Verdict.seq } :: !results;
+            incr received)
+    | `Eof ->
+        failwith
+          (Printf.sprintf "server closed the connection after %d/%d verdicts"
+             !received total)
+    | `Error e -> failwith ("protocol error: " ^ e)
+  done;
+  List.sort (fun a b -> compare a.Verdict.seq b.Verdict.seq) !results

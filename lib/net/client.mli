@@ -1,0 +1,46 @@
+(** Client side of the socket protocol: a framed connection plus a
+    pipelined batch driver that restores {!Elin_svc.Pool.run_batch}'s
+    submission-order output. *)
+
+open Elin_svc
+
+type t
+
+(** [connect addr] — open a connection.  Unix errors propagate. *)
+val connect : ?max_frame:int -> Addr.t -> t
+
+(** [send t job] — frame and write one job (blocking write). *)
+val send : t -> Job.t -> unit
+
+(** [send_raw t payload] — frame and write an arbitrary payload (tests:
+    malformed jobs, garbage). *)
+val send_raw : t -> string -> unit
+
+(** [recv t] — next verdict, in the server's completion order.  The
+    verdict's [seq] is 0 (the wire does not carry it); match by
+    [job_id].  [`Error] covers framing and JSON-level violations. *)
+val recv : t -> [ `Verdict of Verdict.t | `Eof | `Error of string ]
+
+(** [recv_idle t ~idle_s] — {!recv} with a silence bound: [`Idle] if
+    the server sends nothing for [idle_s] seconds (deadline resets per
+    received byte).  The connection stays usable after [`Idle]. *)
+val recv_idle :
+  t -> idle_s:float -> [ `Verdict of Verdict.t | `Eof | `Error of string | `Idle ]
+
+(** [shutdown t] — half-close both directions without releasing the
+    fd: any thread blocked sending or receiving on [t] wakes with
+    EPIPE / end-of-stream.  Safe before a concurrent {!close}. *)
+val shutdown : t -> unit
+
+val close : t -> unit
+
+(** [run_jobs addr jobs] — the batch contract over a socket: submit
+    every job (at most [window] outstanding, default 64), match
+    verdicts back by id (FIFO per id when ids repeat), and return them
+    sorted in submission order — byte-compatible with
+    {!Elin_svc.Pool.run_batch} output when the server runs the same
+    configuration.
+
+    @raise Failure if the server closes early or breaks protocol. *)
+val run_jobs : ?window:int -> ?max_frame:int -> Addr.t -> Job.t list ->
+  Verdict.t list

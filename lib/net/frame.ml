@@ -1,0 +1,155 @@
+(* Length-prefixed framing: 4-byte big-endian payload length, then the
+   payload.  See frame.mli for the protocol-error contract. *)
+
+let default_max_frame = 16 * 1024 * 1024
+let limit_u32 = 0xFFFF_FFFF
+
+let encode payload =
+  let n = String.length payload in
+  if n > limit_u32 then
+    invalid_arg (Printf.sprintf "Frame.encode: payload of %d bytes" n);
+  let b = Bytes.create (4 + n) in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 b 3 (n land 0xff);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+(* The decoder keeps unconsumed bytes in [buf] past offset [pos] and
+   compacts lazily, so feeding in tiny chunks stays O(total bytes). *)
+type decoder = {
+  max_frame : int;
+  mutable buf : Bytes.t;
+  mutable pos : int;  (* consumed prefix of [buf] *)
+  mutable len : int;  (* valid bytes in [buf] (from 0) *)
+  mutable err : string option;
+}
+
+let decoder ?(max_frame = default_max_frame) () =
+  { max_frame; buf = Bytes.create 4096; pos = 0; len = 0; err = None }
+
+let pending d = d.len - d.pos
+
+let compact d ~need =
+  let live = pending d in
+  if d.pos > 0 && (d.pos >= 4096 || live + need > Bytes.length d.buf) then begin
+    Bytes.blit d.buf d.pos d.buf 0 live;
+    d.pos <- 0;
+    d.len <- live
+  end;
+  if d.len + need > Bytes.length d.buf then begin
+    let cap = ref (Bytes.length d.buf * 2) in
+    while d.len + need > !cap do
+      cap := !cap * 2
+    done;
+    let b = Bytes.create !cap in
+    Bytes.blit d.buf 0 b 0 d.len;
+    d.buf <- b
+  end
+
+let feed d src off len =
+  if len < 0 || off < 0 || off + len > Bytes.length src then
+    invalid_arg "Frame.feed";
+  if d.err = None && len > 0 then begin
+    compact d ~need:len;
+    Bytes.blit src off d.buf d.len len;
+    d.len <- d.len + len
+  end
+
+let feed_string d s = feed d (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let next d =
+  match d.err with
+  | Some e -> `Error e
+  | None ->
+      let avail = pending d in
+      if avail < 4 then `Awaiting
+      else begin
+        let b i = Bytes.get_uint8 d.buf (d.pos + i) in
+        let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+        if n > d.max_frame then begin
+          let e =
+            Printf.sprintf "frame length %d exceeds limit %d" n d.max_frame
+          in
+          d.err <- Some e;
+          `Error e
+        end
+        else if avail - 4 < n then `Awaiting
+        else begin
+          let payload = Bytes.sub_string d.buf (d.pos + 4) n in
+          d.pos <- d.pos + 4 + n;
+          `Frame payload
+        end
+      end
+
+let rec write_all fd s off len =
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+
+let write_frame fd payload =
+  let s = encode payload in
+  write_all fd s 0 (String.length s)
+
+let rec read_frame fd d scratch =
+  match next d with
+  | `Frame _ as f -> f
+  | `Error _ as e -> e
+  | `Awaiting -> (
+      match Unix.read fd scratch 0 (Bytes.length scratch) with
+      | 0 ->
+          if pending d = 0 then `Eof
+          else begin
+            let e =
+              Printf.sprintf "connection closed mid-frame (%d bytes pending)"
+                (pending d)
+            in
+            d.err <- Some e;
+            `Error e
+          end
+      | n ->
+          feed d scratch 0 n;
+          read_frame fd d scratch
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+          read_frame fd d scratch
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+          let e = "connection reset" in
+          d.err <- Some e;
+          `Error e)
+
+(* Same as [read_frame], but gives up if the descriptor stays silent
+   for [idle_s] seconds.  The deadline is per quietus — it resets on
+   every byte received — so a slow-but-live peer never trips it, only
+   a genuinely wedged one. *)
+let rec read_frame_idle fd d scratch ~idle_s =
+  match next d with
+  | `Frame _ as f -> f
+  | `Error _ as e -> e
+  | `Awaiting -> (
+      match Unix.select [ fd ] [] [] idle_s with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+          read_frame_idle fd d scratch ~idle_s
+      | [], _, _ -> `Idle
+      | _ -> (
+          match Unix.read fd scratch 0 (Bytes.length scratch) with
+          | 0 ->
+              if pending d = 0 then `Eof
+              else begin
+                let e =
+                  Printf.sprintf
+                    "connection closed mid-frame (%d bytes pending)" (pending d)
+                in
+                d.err <- Some e;
+                `Error e
+              end
+          | n ->
+              feed d scratch 0 n;
+              read_frame_idle fd d scratch ~idle_s
+          | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+              read_frame_idle fd d scratch ~idle_s
+          | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+              let e = "connection reset" in
+              d.err <- Some e;
+              `Error e))

@@ -55,9 +55,23 @@ end
 module Histogram : sig
   type t
 
+  (** A standalone (unregistered) histogram, for per-pool or per-run
+      populations that shouldn't live in the process-wide registry.
+      Same sharding and bucket algebra as registered ones. *)
+  val create : unit -> t
+
   (** [observe h v] — count [v] into its log2 bucket and add it to the
       running sum.  Negative and zero values land in bucket 0. *)
   val observe : t -> int -> unit
+
+  (** [(count, sum, buckets)] merged across shards; [buckets] is the
+      nonzero [(bucket index, count)] list, ascending.  Feed to
+      {!quantile}. *)
+  val merged : t -> int * int * (int * int) list
+
+  (** Zero the histogram (standalone ones aren't reached by
+      {!Metrics.reset}). *)
+  val reset : t -> unit
 
   (** Bucket index of a value: 0 for [v <= 0], otherwise
       [floor(log2 v) + 1] capped at 63 — bucket [i >= 1] holds

@@ -14,7 +14,8 @@ let combine a b = if severity a >= severity b then a else b
 let of_status : Verdict.status -> t = function
   | Verdict.Pass -> Ok
   | Verdict.Violation -> Violation
-  | Verdict.Budget_exhausted | Verdict.Timed_out | Verdict.Cancelled ->
+  | Verdict.Budget_exhausted | Verdict.Timed_out | Verdict.Cancelled
+  | Verdict.Busy ->
     Exhausted
   | Verdict.Bad_job _ | Verdict.Failed _ -> Usage
 

@@ -8,16 +8,17 @@ type t = {
   budget_exhausted : int Atomic.t;
   timed_out : int Atomic.t;
   cancelled : int Atomic.t;
+  busy : int Atomic.t;
   bad_jobs : int Atomic.t;
   failed : int Atomic.t;
   nodes : int Atomic.t;
   prepare_hits : int Atomic.t;
   prepare_misses : int Atomic.t;
-  (* Latencies are appended under a lock: percentile queries need the
-     whole population, and a few mutex ops per job are noise next to a
-     checker run. *)
-  m : Mutex.t;
-  mutable latencies_ms : float list;
+  (* Latency population lives in an [Obs.Metrics] log2 histogram (µs)
+     — the one percentile implementation in the repo — plus an exact
+     maximum, which bucket upper edges would coarsen. *)
+  lat_us : Elin_obs.Metrics.Histogram.t;
+  max_us : int Atomic.t;
 }
 
 let create () =
@@ -29,13 +30,14 @@ let create () =
     budget_exhausted = Atomic.make 0;
     timed_out = Atomic.make 0;
     cancelled = Atomic.make 0;
+    busy = Atomic.make 0;
     bad_jobs = Atomic.make 0;
     failed = Atomic.make 0;
     nodes = Atomic.make 0;
     prepare_hits = Atomic.make 0;
     prepare_misses = Atomic.make 0;
-    m = Mutex.create ();
-    latencies_ms = [];
+    lat_us = Elin_obs.Metrics.Histogram.create ();
+    max_us = Atomic.make 0;
   }
 
 let incr a = Atomic.incr a
@@ -53,12 +55,18 @@ let verdict_done t (v : Verdict.t) =
   | Verdict.Budget_exhausted -> incr t.budget_exhausted
   | Verdict.Timed_out -> incr t.timed_out
   | Verdict.Cancelled -> incr t.cancelled
+  | Verdict.Busy -> incr t.busy
   | Verdict.Bad_job _ -> incr t.bad_jobs
   | Verdict.Failed _ -> incr t.failed);
   add t.nodes v.Verdict.nodes;
-  Mutex.lock t.m;
-  t.latencies_ms <- v.Verdict.wall_ms :: t.latencies_ms;
-  Mutex.unlock t.m
+  let us = int_of_float (v.Verdict.wall_ms *. 1000.) in
+  Elin_obs.Metrics.Histogram.observe t.lat_us us;
+  let rec bump_max () =
+    let cur = Atomic.get t.max_us in
+    if us > cur && not (Atomic.compare_and_set t.max_us cur us) then
+      bump_max ()
+  in
+  bump_max ()
 
 type snapshot = {
   submitted : int;
@@ -68,6 +76,7 @@ type snapshot = {
   budget_exhausted : int;
   timed_out : int;
   cancelled : int;
+  busy : int;
   bad_jobs : int;
   failed : int;
   nodes : int;
@@ -79,22 +88,13 @@ type snapshot = {
   max_ms : float;
 }
 
-(* Nearest-rank percentile on a sorted array. *)
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then 0.
-  else
-    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
-    sorted.(max 0 (min (n - 1) (rank - 1)))
-
 let snapshot ?(queue_depth = 0) t =
-  let lats =
-    Mutex.lock t.m;
-    let l = t.latencies_ms in
-    Mutex.unlock t.m;
-    let a = Array.of_list l in
-    Array.sort compare a;
-    a
+  (* Percentiles come from the shared [Obs.Metrics.quantile] over the
+     merged log2 buckets: upper-edge answers, honest about the
+     histogram's resolution.  The maximum is tracked exactly. *)
+  let count, _sum, buckets = Elin_obs.Metrics.Histogram.merged t.lat_us in
+  let pq q =
+    float_of_int (Elin_obs.Metrics.quantile ~count ~buckets q) /. 1000.
   in
   {
     submitted = Atomic.get t.submitted;
@@ -104,15 +104,16 @@ let snapshot ?(queue_depth = 0) t =
     budget_exhausted = Atomic.get t.budget_exhausted;
     timed_out = Atomic.get t.timed_out;
     cancelled = Atomic.get t.cancelled;
+    busy = Atomic.get t.busy;
     bad_jobs = Atomic.get t.bad_jobs;
     failed = Atomic.get t.failed;
     nodes = Atomic.get t.nodes;
     prepare_hits = Atomic.get t.prepare_hits;
     prepare_misses = Atomic.get t.prepare_misses;
     queue_depth;
-    p50_ms = percentile lats 50.;
-    p99_ms = percentile lats 99.;
-    max_ms = (if Array.length lats = 0 then 0. else lats.(Array.length lats - 1));
+    p50_ms = pq 0.5;
+    p99_ms = pq 0.99;
+    max_ms = float_of_int (Atomic.get t.max_us) /. 1000.;
   }
 
 let snapshot_to_json s =
@@ -126,6 +127,7 @@ let snapshot_to_json s =
       ("budget_exhausted", Int s.budget_exhausted);
       ("timed_out", Int s.timed_out);
       ("cancelled", Int s.cancelled);
+      ("busy", Int s.busy);
       ("bad_jobs", Int s.bad_jobs);
       ("failed", Int s.failed);
       ("nodes", Int s.nodes);
@@ -140,8 +142,8 @@ let snapshot_to_json s =
 let pp_snapshot ppf s =
   Format.fprintf ppf
     "jobs %d/%d done (pass %d, violations %d, budget %d, timeout %d, \
-     cancelled %d, bad %d, failed %d)  nodes %d  prepare hits/misses %d/%d  \
-     queue %d  latency p50 %.2fms p99 %.2fms max %.2fms"
+     cancelled %d, busy %d, bad %d, failed %d)  nodes %d  prepare \
+     hits/misses %d/%d  queue %d  latency p50 %.2fms p99 %.2fms max %.2fms"
     s.completed s.submitted s.pass s.violations s.budget_exhausted s.timed_out
-    s.cancelled s.bad_jobs s.failed s.nodes s.prepare_hits s.prepare_misses
-    s.queue_depth s.p50_ms s.p99_ms s.max_ms
+    s.cancelled s.busy s.bad_jobs s.failed s.nodes s.prepare_hits
+    s.prepare_misses s.queue_depth s.p50_ms s.p99_ms s.max_ms

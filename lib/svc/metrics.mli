@@ -28,13 +28,17 @@ type snapshot = {
   budget_exhausted : int;
   timed_out : int;
   cancelled : int;
+  busy : int;               (** admission-refused replies (socket server) *)
   bad_jobs : int;
   failed : int;
   nodes : int;              (** total DFS expansions across jobs *)
   prepare_hits : int;       (** Batcher reuses of a prepared history *)
   prepare_misses : int;
   queue_depth : int;        (** jobs waiting at snapshot time *)
-  p50_ms : float;           (** latency percentiles over completed jobs *)
+  p50_ms : float;           (** latency percentiles over completed jobs,
+                                from the shared [Obs.Metrics] log2
+                                histogram (bucket-upper-edge answers);
+                                [max_ms] is exact *)
   p99_ms : float;
   max_ms : float;
 }

@@ -176,6 +176,14 @@ let rec worker_loop pool =
             ("id", Obs.Jsonl.Str v.Verdict.job_id);
             ("status", Obs.Jsonl.Str (Verdict.status_to_string v.Verdict.status));
           ];
+    (* Drop the cancellation entry once the job is done (unless a
+       resubmission under the same id has already replaced it): a
+       long-lived server must not accumulate one entry per job. *)
+    Mutex.lock pool.cancels_m;
+    (match Hashtbl.find_opt pool.cancels job.Job.id with
+    | Some f when f == cancel_flag -> Hashtbl.remove pool.cancels job.Job.id
+    | _ -> ());
+    Mutex.unlock pool.cancels_m;
     Option.iter (fun m -> Metrics.verdict_done m v) pool.metrics;
     Chan.put pool.output v;
     worker_loop pool
@@ -218,6 +226,30 @@ let submit pool (job : Job.t) =
     ~args:[ ("id", Obs.Jsonl.Str job.Job.id) ];
   Option.iter Metrics.job_submitted pool.metrics
 
+let try_submit pool (job : Job.t) =
+  let flag = Atomic.make false in
+  Mutex.lock pool.cancels_m;
+  Hashtbl.replace pool.cancels job.Job.id flag;
+  Mutex.unlock pool.cancels_m;
+  if Chan.try_put pool.input (job, flag) then begin
+    if Obs.Metrics.on () then
+      Obs.Metrics.Gauge.set g_queue (Chan.length pool.input);
+    Obs.Trace.instant ~cat:"svc" "svc.enqueue"
+      ~args:[ ("id", Obs.Jsonl.Str job.Job.id) ];
+    Option.iter Metrics.job_submitted pool.metrics;
+    true
+  end
+  else begin
+    (* Refused: de-register the flag we optimistically installed
+       (unless someone replaced it meanwhile). *)
+    Mutex.lock pool.cancels_m;
+    (match Hashtbl.find_opt pool.cancels job.Job.id with
+    | Some f when f == flag -> Hashtbl.remove pool.cancels job.Job.id
+    | _ -> ());
+    Mutex.unlock pool.cancels_m;
+    false
+  end
+
 let take_verdict pool = Chan.take pool.output
 
 let cancel pool id =
@@ -231,6 +263,7 @@ let cancel pool id =
   | None -> false
 
 let queue_depth pool = Chan.length pool.input
+let output_depth pool = Chan.length pool.output
 
 let shutdown pool =
   let first_run =

@@ -71,6 +71,11 @@ val create :
     Raises [Chan.Closed] after {!shutdown}. *)
 val submit : t -> Job.t -> unit
 
+(** [try_submit t job] — like {!submit} but never blocks: [false]
+    when the queue is full (the socket server's [busy] admission
+    path).  Raises [Chan.Closed] after {!shutdown}. *)
+val try_submit : t -> Job.t -> bool
+
 (** [take_verdict t] — next completed verdict (completion order);
     [None] once the pool is shut down and drained. *)
 val take_verdict : t -> Verdict.t option
@@ -83,6 +88,9 @@ val cancel : t -> string -> bool
 
 (** Jobs currently queued (not yet picked up). *)
 val queue_depth : t -> int
+
+(** Verdicts emitted by workers and not yet taken. *)
+val output_depth : t -> int
 
 (** [shutdown t] — close the job channel, join every worker, then
     close the verdict channel (pending verdicts remain takeable).

@@ -6,6 +6,7 @@ type status =
   | Budget_exhausted
   | Timed_out
   | Cancelled
+  | Busy
   | Bad_job of string
   | Failed of string
 
@@ -26,6 +27,7 @@ let status_to_string = function
   | Budget_exhausted -> "budget_exhausted"
   | Timed_out -> "timed_out"
   | Cancelled -> "cancelled"
+  | Busy -> "busy"
   | Bad_job _ -> "bad_job"
   | Failed _ -> "failed"
 
@@ -44,7 +46,7 @@ let to_json ?(stats = false) v =
       | _ -> [])
     @ (match v.min_t with Some t -> [ ("min_t", Int t) ] | None -> [])
     @ (match v.status with
-      | Bad_job _ -> []
+      | Bad_job _ | Busy -> []
       | _ -> [ ("nodes", Int v.nodes); ("memo_hits", Int v.memo_hits) ])
     @ if stats then [ ("wall_ms", Float v.wall_ms) ] else [])
 
@@ -58,6 +60,7 @@ let status_of_string s ~error =
   | "budget_exhausted" -> Ok Budget_exhausted
   | "timed_out" -> Ok Timed_out
   | "cancelled" -> Ok Cancelled
+  | "busy" -> Ok Busy
   | "bad_job" -> Ok (Bad_job (error ()))
   | "failed" -> Ok (Failed (error ()))
   | other -> Error (Printf.sprintf "unknown status %S" other)

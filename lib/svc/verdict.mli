@@ -23,6 +23,8 @@ type status =
   | Budget_exhausted    (** node budget ran out before a verdict *)
   | Timed_out           (** wall-clock timeout fired *)
   | Cancelled           (** cooperatively cancelled *)
+  | Busy                (** admission refused: the service queue was
+                            full (socket server, [--admission busy]) *)
   | Bad_job of string   (** unparseable job / history, unknown spec *)
   | Failed of string    (** the checker raised: the job is failed,
                             the pool lives on *)

@@ -3,7 +3,7 @@
 DUNE ?= dune
 
 .PHONY: all build release test bench bench-smoke svc-smoke net-smoke \
-	trace-smoke perf-regress perf-baseline check doc clean
+	trace-smoke mc-stress perf-regress perf-baseline check doc clean
 
 all: build
 
@@ -26,14 +26,27 @@ bench:
 bench-smoke:
 	$(DUNE) exec bench/main.exe -- --smoke
 
+# Differential stress for the two parallel search engines: seeded
+# random bounded state spaces, barrier vs sharded at 4 domains,
+# repeated 10x — verdict lists and exploration counts must be
+# bit-identical (including the Tag/merge POR path).  Exits nonzero on
+# the first divergence with the reproducing seed in the message.
+mc-stress: build
+	$(DUNE) exec --no-build test/test_mc_stress.exe -- --repeat 10 --domains 4
+	$(DUNE) exec --no-build test/test_mc_stress.exe -- --repeat 3 --domains 1,2,4
+
 # Regenerates the B6 (por x dedup exploration grid), B5 (service
-# throughput), and B8 (socket loopback latency-vs-rate sweep) series
-# and diffs them against the committed baselines in bench/baselines/
-# (BENCH_b6.json, BENCH_svc.json, BENCH_b8.json): counts must match
+# throughput), B8 (socket loopback latency-vs-rate sweep), and B9
+# (barrier vs sharded engine grid) series and diffs them against the
+# committed baselines in bench/baselines/ (BENCH_b6.json,
+# BENCH_svc.json, BENCH_b8.json, BENCH_b9.json): counts must match
 # exactly; measured fields (walls, latencies, rates) must stay within
 # ELIN_PERF_TOL (default 4x — generous because CI wall clocks are
 # noisy; count drift is the precise signal).  Rate-like fields are
-# gated higher-is-better, everything else lower-is-better.
+# gated higher-is-better, everything else lower-is-better.  B9
+# additionally self-gates: bit-identical counts across its whole
+# engine x domains grid, sharded@1 within tolerance of barrier@1, and
+# sharded@4 strictly above barrier@4 (states/s).
 perf-regress:
 	$(DUNE) exec bench/main.exe -- --regress
 
@@ -135,7 +148,7 @@ doc:
 
 # CI gate: full build, full test suite, and a guard against anyone
 # re-adding build artefacts to the index (PR 1 untracked _build/).
-check: build test bench-smoke svc-smoke net-smoke trace-smoke
+check: build test bench-smoke svc-smoke net-smoke trace-smoke mc-stress
 	@if git ls-files | grep -E '^_build/|\.install$$|^\.merlin$$' >/dev/null; then \
 	  echo "error: build artefacts are tracked in git (see .gitignore)"; \
 	  git ls-files | grep -E '^_build/|\.install$$|^\.merlin$$' | head; \

@@ -1048,6 +1048,128 @@ let b7 ?(smoke = false) () =
   measured
 
 (* ------------------------------------------------------------------ *)
+(* B9: sharded vs barrier engine scaling                              *)
+(* ------------------------------------------------------------------ *)
+
+let perf_tol () =
+  match Sys.getenv_opt "ELIN_PERF_TOL" with
+  | Some s -> float_of_string s
+  | None -> 4.0
+
+(* The engine {barrier, sharded} x domains {1, 2, 4} grid over the B6
+   2x3 d22 por+dedup workload.  Three things on trial:
+
+   - the determinism contract: every exploration count must be
+     bit-identical across the whole grid (cross-gated here, exact
+     under --regress);
+   - sharding may not cost anything sequentially: sharded@1 must stay
+     within ELIN_PERF_TOL of barrier@1 (states/s);
+   - the shared-nothing refactor must actually win where the barrier
+     engine re-spawns domains every level: sharded@4 strictly above
+     barrier@4 (states/s, best-of-5 each).
+
+   The committed BENCH_b9.json rates are gated higher-is-better by
+   --regress (any key containing "per_s"). *)
+let b9 () =
+  let open Elin_mc in
+  let impl = Impls.fai_from_board () in
+  let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc:3 in
+  let best_of n run =
+    let best = ref (run ()) in
+    for _ = 2 to n do
+      let s = run () in
+      if s.Search.wall < !best.Search.wall then best := s
+    done;
+    !best
+  in
+  let run ~engine ~domains () =
+    Mc.count_states impl ~workloads:wl ~max_steps:22 ~engine ~domains
+      ~dedup:true ~por:true ()
+  in
+  Printf.printf "\n== B9: sharded vs barrier engine (2x3 d22 por+dedup) ==\n";
+  Printf.printf "%-34s %9s %9s %12s %9s\n" "benchmark" "states" "kept"
+    "states/s" "wall-s";
+  let cells =
+    List.concat_map
+      (fun engine ->
+        List.map
+          (fun domains ->
+            ((engine, domains), best_of 5 (run ~engine ~domains)))
+          [ 1; 2; 4 ])
+      [ Search.Barrier; Search.Sharded ]
+  in
+  let failed = ref false in
+  (* Cross-gates: the counts are one set-determined quantity; any cell
+     disagreeing with any other is an engine bug, not noise. *)
+  let (_, ref_stats) = List.hd cells in
+  List.iter
+    (fun ((e, d), (s : Search.stats)) ->
+      let gate name a b =
+        if a <> b then begin
+          Printf.eprintf "b9: %s x%d: %s drifted (%d, grid has %d)\n"
+            (Search.engine_to_string e) d name b a;
+          failed := true
+        end
+      in
+      gate "states" ref_stats.Search.states s.Search.states;
+      gate "dedup_hits" ref_stats.Search.dedup_hits s.Search.dedup_hits;
+      gate "kept" ref_stats.Search.kept s.Search.kept;
+      gate "pruned" ref_stats.Search.pruned s.Search.pruned;
+      gate "frontier_peak" ref_stats.Search.frontier_peak
+        s.Search.frontier_peak;
+      gate "leaves" ref_stats.Search.leaves s.Search.leaves;
+      gate "cut" ref_stats.Search.cut s.Search.cut;
+      gate "levels" ref_stats.Search.levels s.Search.levels)
+    cells;
+  let rate (s : Search.stats) = float_of_int s.Search.states /. s.Search.wall in
+  let cell e d = List.assoc (e, d) cells in
+  let tol = perf_tol () in
+  let b1 = rate (cell Search.Barrier 1) and s1 = rate (cell Search.Sharded 1) in
+  if not (s1 >= b1 /. tol) then begin
+    Printf.eprintf
+      "b9: sharded@1 (%.0f states/s) fell past %gx below barrier@1 (%.0f)\n" s1
+      tol b1;
+    failed := true
+  end;
+  let b4 = rate (cell Search.Barrier 4) and s4 = rate (cell Search.Sharded 4) in
+  if not (s4 > b4) then begin
+    Printf.eprintf
+      "b9: sharded@4 (%.0f states/s) not above barrier@4 (%.0f)\n" s4 b4;
+    failed := true
+  end;
+  let rows =
+    List.map
+      (fun ((e, d), (s : Search.stats)) ->
+        let name =
+          Printf.sprintf "mc/fai-board 2x3 d22 por+dedup %s x%d"
+            (Search.engine_to_string e) d
+        in
+        Printf.printf "%-34s %9d %9d %12.0f %9.3f\n" name s.Search.states
+          s.Search.kept (rate s) s.Search.wall;
+        flush stdout;
+        let open Elin_svc.Jsonl in
+        Obj
+          [
+            ("name", Str name);
+            ("engine", Str (Search.engine_to_string e));
+            ("domains", Int d);
+            ("states", Int s.Search.states);
+            ("dedup_hits", Int s.Search.dedup_hits);
+            ("kept", Int s.Search.kept);
+            ("pruned", Int s.Search.pruned);
+            ("frontier_peak", Int s.Search.frontier_peak);
+            ("leaves", Int s.Search.leaves);
+            ("cut", Int s.Search.cut);
+            ("levels", Int s.Search.levels);
+            ("states_per_s", Float (rate s));
+          ])
+      cells
+  in
+  if !failed then exit 1;
+  write_series "b9" rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
 (* --regress: measured series vs the committed baselines              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1056,6 +1178,7 @@ let b7 ?(smoke = false) () =
 let baseline_path = "bench/baselines/BENCH_b6.json"
 let svc_baseline_path = "bench/baselines/BENCH_svc.json"
 let b8_baseline_path = "bench/baselines/BENCH_b8.json"
+let b9_baseline_path = "bench/baselines/BENCH_b9.json"
 
 let read_file path =
   let ic = open_in_bin path in
@@ -1152,21 +1275,19 @@ let regress ~update () =
   let rows = b6 () in
   let svc_rows = b5 () in
   let b8_rows = b8 () in
+  let b9_rows = b9 () in
   if update then begin
     (try Unix.mkdir "bench/baselines" 0o755
      with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
     Elin_obs.Jsonl.to_file baseline_path (series_obj "b6" rows);
     Elin_obs.Jsonl.to_file svc_baseline_path (series_obj "svc" svc_rows);
     Elin_obs.Jsonl.to_file b8_baseline_path (series_obj "b8" b8_rows);
-    Printf.printf "\nwrote baselines %s, %s, %s\n" baseline_path
-      svc_baseline_path b8_baseline_path
+    Elin_obs.Jsonl.to_file b9_baseline_path (series_obj "b9" b9_rows);
+    Printf.printf "\nwrote baselines %s, %s, %s, %s\n" baseline_path
+      svc_baseline_path b8_baseline_path b9_baseline_path
   end
   else begin
-    let tol =
-      match Sys.getenv_opt "ELIN_PERF_TOL" with
-      | Some s -> float_of_string s
-      | None -> 4.0
-    in
+    let tol = perf_tol () in
     let failed = ref false in
     let drift fmt =
       Printf.ksprintf
@@ -1190,6 +1311,9 @@ let regress ~update () =
     | None -> exit 2);
     (match baseline_rows ~path:b8_baseline_path with
     | Some b -> compare_rows ~fail ~tol ~series:"b8" b b8_rows
+    | None -> exit 2);
+    (match baseline_rows ~path:b9_baseline_path with
+    | Some b -> compare_rows ~fail ~tol ~series:"b9" b b9_rows
     | None -> exit 2);
     let name_of row = Option.value ~default:"?" (str_mem "name" row) in
     (* B7 disabled-overhead gate: with the observability layer
@@ -1222,7 +1346,9 @@ let regress ~update () =
     Printf.printf
       "\nperf-regress OK (%d b6 + %d svc + %d b8 rows + b7 overhead, \
        tolerance %gx)\n"
-      (List.length brows) (List.length svc_rows) (List.length b8_rows) tol
+      (List.length brows) (List.length svc_rows) (List.length b8_rows) tol;
+    Printf.printf "b9 engine grid: %d rows gated (counts exact, rates %gx)\n"
+      (List.length b9_rows) tol
   end
 
 let () =
@@ -1253,6 +1379,7 @@ let () =
     b3 ();
     ignore (b6 ());
     ignore (b7 ());
+    ignore (b9 ());
     b4 ();
     e6 ();
     e10 ();

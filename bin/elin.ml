@@ -569,8 +569,8 @@ let json_of_stats stats =
       ("wall", Float stats.Search.wall);
     ]
 
-let do_mc impl_name protocol_name stabilize_at procs per_proc depth domains
-    no_dedup no_por symmetry json trace progress =
+let do_mc impl_name protocol_name stabilize_at procs per_proc depth engine_s
+    domains no_dedup no_por symmetry json trace progress =
   let open Elin_mc in
   if domains < 0 then
     `Error
@@ -578,6 +578,13 @@ let do_mc impl_name protocol_name stabilize_at procs per_proc depth domains
         Printf.sprintf "--domains must be >= 0 (0 = recommended), got %d"
           domains )
   else
+    match Search.engine_of_string engine_s with
+    | None ->
+      `Error
+        ( false,
+          Printf.sprintf "--engine must be 'barrier' or 'sharded', got %s"
+            engine_s )
+    | Some engine ->
   with_trace trace @@ fun () ->
   with_progress progress @@ fun () ->
   let domains = if domains = 0 then None else Some domains in
@@ -599,12 +606,13 @@ let do_mc impl_name protocol_name stabilize_at procs per_proc depth domains
       let inputs = [| Value.int 0; Value.int 1 |] in
       human
         "mc: valency protocol %s (inputs 0, 1; exhaustive to depth %d; dedup \
-         %s, por %s)\n"
+         %s, por %s, engine %s)\n"
         p.Elin_valency.Valency.name depth
         (if dedup then "on" else "off")
-        (if por then "on" else "off");
-      let r = Mc_valency.check_consensus p ~inputs ~max_steps:depth ?domains
-          ~dedup ~por () in
+        (if por then "on" else "off")
+        (Search.engine_to_string engine);
+      let r = Mc_valency.check_consensus p ~inputs ~max_steps:depth ~engine
+          ?domains ~dedup ~por () in
       if not json then pp_mc_stats r.Mc_valency.stats;
       human "terminated within bound: %b\n" r.Mc_valency.terminated;
       human "reachable decision vectors: %s\n"
@@ -633,6 +641,7 @@ let do_mc impl_name protocol_name stabilize_at procs per_proc depth domains
           ("mode", Str "valency");
           ("protocol", Str p.Elin_valency.Valency.name);
           ("depth", Int depth);
+          ("engine", Str (Search.engine_to_string engine));
           ("dedup", Bool dedup);
           ("por", Bool por);
           ("terminated", Bool r.Mc_valency.terminated);
@@ -666,14 +675,15 @@ let do_mc impl_name protocol_name stabilize_at procs per_proc depth domains
       let cfg = Engine.for_spec spec in
       human
         "mc: %s, %d procs x %d ops, exhaustive to depth %d (dedup %s, por \
-         %s%s)\n"
+         %s, engine %s%s)\n"
         impl.Impl.name procs per_proc depth
         (if dedup then "on" else "off")
         (if por then "on" else "off")
+        (Search.engine_to_string engine)
         (if symmetry then ", symmetry reduction" else "");
       let out =
-        Mc.check impl ~workloads ~max_steps:depth ?domains ~dedup ~symmetry
-          ~por
+        Mc.check impl ~workloads ~max_steps:depth ~engine ?domains ~dedup
+          ~symmetry ~por
           (fun h -> Engine.linearizable cfg h)
       in
       if not json then pp_mc_stats out.Mc.stats;
@@ -691,6 +701,7 @@ let do_mc impl_name protocol_name stabilize_at procs per_proc depth domains
           ("procs", Int procs);
           ("per_proc", Int per_proc);
           ("depth", Int depth);
+          ("engine", Str (Search.engine_to_string engine));
           ("dedup", Bool dedup);
           ("por", Bool por);
           ("symmetry", Bool symmetry);
@@ -725,6 +736,14 @@ let mc_cmd =
   in
   let depth =
     Arg.(value & opt int 20 & info [ "depth" ] ~doc:"Exploration step bound.")
+  in
+  let engine =
+    Arg.(value & opt string "barrier"
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:"Parallel engine: 'barrier' (legacy level-partitioned, \
+                   shared striped visited set) or 'sharded' (shared-nothing: \
+                   owner-partitioned visited set, SPSC handoff).  The verdict \
+                   and counts are engine-independent.")
   in
   let domains =
     Arg.(value & opt int 0
@@ -768,8 +787,8 @@ let mc_cmd =
     Term.(
       ret
         (const do_mc $ impl_name $ protocol $ stabilize_at $ procs_arg
-       $ per_proc $ depth $ domains $ no_dedup $ no_por $ symmetry $ json
-       $ trace_arg $ progress))
+       $ per_proc $ depth $ engine $ domains $ no_dedup $ no_por $ symmetry
+       $ json $ trace_arg $ progress))
 
 (* ------------------------------------------------------------------ *)
 (* elin serafini                                                      *)

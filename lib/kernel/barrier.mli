@@ -1,0 +1,26 @@
+(** Reusable (cyclic) barrier for a fixed party of domains, blocking
+    ([Mutex]/[Condition], domain-safe in OCaml 5 — never spins, so it
+    behaves on machines with fewer cores than parties), with a poison
+    escape hatch so one dying worker releases the rest. *)
+
+type t
+
+exception Poisoned
+
+(** [create parties] — a barrier [parties] callers must reach before
+    any proceeds.  Reusable: the (parties+1)-th arrival starts the next
+    phase. *)
+val create : int -> t
+
+val parties : t -> int
+
+(** Block until all [parties] callers have arrived in this phase.
+    @raise Poisoned if {!poison} was or is called before the phase
+    completes (the barrier stays poisoned forever after). *)
+val await : t -> unit
+
+(** Permanently break the barrier: every blocked and future [await]
+    raises {!Poisoned}.  Idempotent. *)
+val poison : t -> unit
+
+val poisoned : t -> bool

@@ -78,6 +78,19 @@ let finish (a : acc) : t =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
+(* One more full avalanche over an already-finished fingerprint.
+   Fingerprints come out of [finish] well-mixed, but consumers that
+   carve them into disjoint bit ranges (the visited-set stripe index
+   and the owner-shard index) must not both key on raw bits: a state
+   family whose encodings fix some low bits would then collapse onto
+   one stripe (or one shard).  Remixing gives every consumer an
+   independent view; the two indices below read disjoint ranges of the
+   SAME mixed word, so stripe choice and shard choice never alias. *)
+let mix (z : t) : t =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
 let equal = Int64.equal
 let compare = Int64.compare
 

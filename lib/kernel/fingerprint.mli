@@ -36,6 +36,15 @@ val int_array : acc -> int array -> acc
 
 val finish : acc -> t
 
+(** [mix fp] — an independent full avalanche of a finished
+    fingerprint.  Consumers that index structures by disjoint bit
+    ranges of one fingerprint (visited-set stripes, owner shards) must
+    carve up [mix fp], not [fp]: remixing guarantees uniform dispersion
+    even for fingerprint families with fixed raw bits, and reading
+    disjoint ranges of the same mixed word keeps the two indices
+    alias-free by construction. *)
+val mix : t -> t
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val to_hex : t -> string

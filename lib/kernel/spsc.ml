@@ -1,0 +1,53 @@
+(** Unbounded single-producer / single-consumer queue.
+
+    The sharded search's cross-domain handoff lanes: domain [src]
+    pushes batches of generated successors to domain [dst]'s inbox,
+    one queue per ordered (src, dst) pair, so every queue has exactly
+    one producer and one consumer and needs no lock at all.
+
+    The representation is a singly-linked list with a sentinel.  The
+    producer owns [tail] (plain mutable field — only it ever touches
+    it); the consumer owns [head]; the only shared edges are the
+    [next] pointers, which are [Atomic] so that a push {e publishes}
+    the element: the release/acquire pair on [next] makes everything
+    the producer wrote before [push] visible to the consumer after
+    [pop] returns it (OCaml 5 memory model).  Neither operation can
+    block, and [pop] never spins — an empty queue returns [None].
+
+    Unbounded is safe here by construction: a BFS level pushes at most
+    one batch entry per generated successor, and the consumer drains
+    at every epoch boundary, so queue length is bounded by the level
+    width the search already has to hold. *)
+
+type 'a node = {
+  mutable value : 'a option;  (* [None] once consumed (and on the sentinel),
+                                 so popped elements don't leak via tail *)
+  next : 'a node option Atomic.t;
+}
+
+type 'a t = {
+  mutable head : 'a node;  (* consumer-owned: last consumed / sentinel *)
+  mutable tail : 'a node;  (* producer-owned: last pushed *)
+}
+
+let create () =
+  let sentinel = { value = None; next = Atomic.make None } in
+  { head = sentinel; tail = sentinel }
+
+(* Producer only. *)
+let push t v =
+  let n = { value = Some v; next = Atomic.make None } in
+  Atomic.set t.tail.next (Some n);
+  t.tail <- n
+
+(* Consumer only. *)
+let pop t =
+  match Atomic.get t.head.next with
+  | None -> None
+  | Some n ->
+    let v = n.value in
+    n.value <- None;
+    t.head <- n;
+    v
+
+let is_empty t = Atomic.get t.head.next = None

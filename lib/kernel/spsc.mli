@@ -1,0 +1,22 @@
+(** Unbounded single-producer / single-consumer queue: the sharded
+    search's cross-domain handoff lane (one per ordered (src, dst)
+    domain pair).  Lock-free and wait-free on both ends; a [push]
+    publishes its element with release/acquire semantics, so state the
+    producer built before pushing is visible to the consumer that pops
+    it.  The single-producer / single-consumer discipline is the
+    caller's obligation — concurrent pushes (or pops) from two domains
+    are a race. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Producer side only. *)
+val push : 'a t -> 'a -> unit
+
+(** Consumer side only; [None] when empty (never blocks). *)
+val pop : 'a t -> 'a option
+
+(** Consumer side only (racy as a cross-domain probe: may answer
+    [true] while a push is in flight). *)
+val is_empty : 'a t -> bool

@@ -1,13 +1,23 @@
 (** Lock-striped set of 64-bit fingerprints.
 
     The model checker's visited set is the one data structure every
-    domain hammers concurrently, so it is sharded: a fingerprint's low
-    bits select one of [stripes] independent hash tables, each behind
-    its own [Mutex].  Two domains contend only when their fingerprints
-    land on the same stripe, so with the default 64 stripes and a
-    handful of domains the lock is effectively uncontended.  Only
-    stdlib primitives are used ([Mutex] is domain-safe in OCaml 5; no
-    [threads.posix] dependency). *)
+    domain hammers concurrently, so it is sharded: a fingerprint's
+    {e mixed} low bits select one of [stripes] independent hash tables,
+    each behind its own [Mutex].  Two domains contend only when their
+    fingerprints land on the same stripe, so with the default 64
+    stripes and a handful of domains the lock is effectively
+    uncontended.  Only stdlib primitives are used ([Mutex] is
+    domain-safe in OCaml 5; no [threads.posix] dependency).
+
+    Stripe choice goes through {!Fingerprint.mix} rather than raw low
+    bits: {!Shard_set} partitions the same fingerprints by owner
+    domain, and if both structures keyed on raw bit ranges, a
+    fingerprint family confined to one owner shard could also be
+    confined to one stripe — the legacy striped path would degenerate
+    to a single mutex.  The mixed word disperses uniformly even when
+    raw low bits are fixed (unit-tested), and the stripe index (low
+    bits of the mix) is disjoint from the owner index (high bits of
+    the same mix). *)
 
 type stripe = {
   lock : Mutex.t;
@@ -19,7 +29,10 @@ type t = {
   mask : int;
   (* Approximate member count, maintained only while observability is
      on (metrics counters and the power-of-two growth instants below);
-     never consulted by [add]/[mem] themselves. *)
+     never consulted by [add]/[mem] themselves.  [clear] resets it:
+     the growth-event heuristic must not inherit a recycled set's old
+     count (it previously leaked, so a cleared set skipped its early
+     growth instants and fired spurious high-water ones). *)
   occupancy : int Atomic.t;
 }
 
@@ -49,7 +62,8 @@ let observe_insert t =
     Elin_obs.Trace.instant ~cat:"kernel" "striped_set.grow"
       ~args:[ ("entries", Elin_obs.Jsonl.Int n) ]
 
-let stripe_of t (fp : int64) = t.stripes.(Int64.to_int fp land t.mask)
+let stripe_of t (fp : int64) =
+  t.stripes.(Int64.to_int (Fingerprint.mix fp) land t.mask)
 
 (** [add t fp] — [true] iff [fp] was not yet a member (it is now). *)
 let add t fp =
@@ -75,6 +89,10 @@ let mem t fp =
   if Elin_obs.Metrics.on () then Elin_obs.Metrics.Counter.incr m_queries;
   r
 
+(* [cardinal]/[clear] lock stripe by stripe, not the whole set: under
+   concurrent [add]s the result is a per-stripe-consistent snapshot
+   (every fingerprint added-and-returned before the call is counted;
+   racing adds may or may not be), never a torn per-table read. *)
 let cardinal t =
   Array.fold_left (fun n s ->
       Mutex.lock s.lock;
@@ -85,9 +103,12 @@ let cardinal t =
 
 let n_stripes t = Array.length t.stripes
 
+let occupancy t = Atomic.get t.occupancy
+
 let clear t =
   Array.iter (fun s ->
       Mutex.lock s.lock;
       Hashtbl.reset s.table;
       Mutex.unlock s.lock)
-    t.stripes
+    t.stripes;
+  Atomic.set t.occupancy 0

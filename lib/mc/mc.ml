@@ -56,7 +56,7 @@ let check_symmetry ~symmetry ~workloads =
    counts under dedup — is invariant under [por]; only redundant
    successor generation ([dedup_hits]) shrinks.  In tree mode (no
    dedup) [por] prunes the node count itself. *)
-let drive (impl : Impl.t) ?domains ?(dedup = true) ?(symmetry = false)
+let drive (impl : Impl.t) ?engine ?domains ?(dedup = true) ?(symmetry = false)
     ?(por = true) ?(stop_early = true) ~budget ~leaf root =
   let por =
     por && (not symmetry) && Array.length root.Explore.procs <= 62
@@ -70,7 +70,7 @@ let drive (impl : Impl.t) ?domains ?(dedup = true) ?(symmetry = false)
   in
   let merge = if por && dedup then Some Canon.merge_sleep else None in
   let vs, stats =
-    Search.bfs ?domains ~dedup ~stop_early ?merge
+    Search.bfs ?engine ?domains ~dedup ~stop_early ?merge
       ~fingerprint:(Canon.fingerprint ~symmetry)
       ~expand ~compare:Canon.compare_history (Canon.root root)
   in
@@ -84,38 +84,38 @@ let outcome_of (violations, stats) =
 (** [check impl ~workloads p] — does [p] hold on every leaf history
     (finished or cut at [max_steps])?  The [Explore.for_all_histories]
     contract, parallel and deduplicated. *)
-let check (impl : Impl.t) ~workloads ?locals ?(max_steps = 40) ?domains
-    ?dedup ?(symmetry = false) ?por p =
+let check (impl : Impl.t) ~workloads ?locals ?(max_steps = 40) ?engine
+    ?domains ?dedup ?(symmetry = false) ?por p =
   check_symmetry ~symmetry ~workloads;
   let leaf c =
     let h = Explore.history c in
     if p h then None else Some h
   in
   outcome_of
-    (drive impl ?domains ?dedup ~symmetry ?por ~budget:max_steps ~leaf
+    (drive impl ?engine ?domains ?dedup ~symmetry ?por ~budget:max_steps ~leaf
        (Explore.initial_config impl ~workloads ?locals ()))
 
 (** [check_from impl c0 ~max_extra_steps p] — [check] over every
     extension of configuration [c0] by at most [max_extra_steps] steps
     (the Prop. 18 stability certificate's shape).  No symmetry
     reduction: the processes' in-flight operations break it. *)
-let check_from (impl : Impl.t) (c0 : Explore.config) ~max_extra_steps ?domains
-    ?dedup ?por p =
+let check_from (impl : Impl.t) (c0 : Explore.config) ~max_extra_steps ?engine
+    ?domains ?dedup ?por p =
   let leaf c =
     let h = Explore.history c in
     if p h then None else Some h
   in
   outcome_of
-    (drive impl ?domains ?dedup ?por
+    (drive impl ?engine ?domains ?dedup ?por
        ~budget:(c0.Explore.steps + max_extra_steps) ~leaf c0)
 
 (** [count_states impl ~workloads ()] — exhaust the bounded space with
     no predicate; the stats are the result. *)
-let count_states (impl : Impl.t) ~workloads ?locals ?(max_steps = 40) ?domains
-    ?dedup ?(symmetry = false) ?por () =
+let count_states (impl : Impl.t) ~workloads ?locals ?(max_steps = 40) ?engine
+    ?domains ?dedup ?(symmetry = false) ?por () =
   check_symmetry ~symmetry ~workloads;
   let _, stats =
-    drive impl ?domains ?dedup ~symmetry ?por ~stop_early:false
+    drive impl ?engine ?domains ?dedup ~symmetry ?por ~stop_early:false
       ~budget:max_steps
       ~leaf:(fun _ -> None)
       (Explore.initial_config impl ~workloads ?locals ())
@@ -127,9 +127,9 @@ let count_states (impl : Impl.t) ~workloads ?locals ?(max_steps = 40) ?domains
     Used by the dedup-soundness tests: the set is invariant under
     [~dedup]. *)
 let leaf_histories (impl : Impl.t) ~workloads ?locals ?(max_steps = 40)
-    ?domains ?dedup ?por () =
+    ?engine ?domains ?dedup ?por () =
   let hs, stats =
-    drive impl ?domains ?dedup ?por ~stop_early:false ~budget:max_steps
+    drive impl ?engine ?domains ?dedup ?por ~stop_early:false ~budget:max_steps
       ~leaf:(fun c -> Some (Explore.history c))
       (Explore.initial_config impl ~workloads ?locals ())
   in

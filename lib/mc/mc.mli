@@ -28,6 +28,8 @@ val workloads_symmetric : Op.t list array -> bool
 (** [check impl ~workloads p] — does [p] hold on every leaf history
     (finished, or cut at [max_steps], default 40)?
 
+    [engine] (default [Search.Barrier]) selects the parallel engine;
+    the outcome is engine-independent (see {!Search.engine}).
     [domains] defaults to [Domain.recommended_domain_count ()];
     [dedup] defaults to [true]; [por] (default [true]) enables
     sleep-set partial-order reduction — verdicts, decision sets, leaf
@@ -44,6 +46,7 @@ val check :
   workloads:Op.t list array ->
   ?locals:Value.t array ->
   ?max_steps:int ->
+  ?engine:Search.engine ->
   ?domains:int ->
   ?dedup:bool ->
   ?symmetry:bool ->
@@ -58,6 +61,7 @@ val check_from :
   Impl.t ->
   Explore.config ->
   max_extra_steps:int ->
+  ?engine:Search.engine ->
   ?domains:int ->
   ?dedup:bool ->
   ?por:bool ->
@@ -71,6 +75,7 @@ val count_states :
   workloads:Op.t list array ->
   ?locals:Value.t array ->
   ?max_steps:int ->
+  ?engine:Search.engine ->
   ?domains:int ->
   ?dedup:bool ->
   ?symmetry:bool ->
@@ -86,6 +91,7 @@ val leaf_histories :
   workloads:Op.t list array ->
   ?locals:Value.t array ->
   ?max_steps:int ->
+  ?engine:Search.engine ->
   ?domains:int ->
   ?dedup:bool ->
   ?por:bool ->

@@ -150,8 +150,8 @@ type report = {
     dedup'd engine.  Unlike the DFS original, [decisions] is still
     reported when termination fails ([terminated = false]): the
     decision set of the paths that did decide within the bound. *)
-let check_consensus (p : Valency.protocol) ~inputs ~max_steps ?domains ?dedup
-    ?(por = true) () =
+let check_consensus (p : Valency.protocol) ~inputs ~max_steps ?engine ?domains
+    ?dedup ?(por = true) () =
   let por = por && Array.length inputs <= 62 in
   let dedup_on = match dedup with Some b -> b | None -> true in
   let pruned = Atomic.make 0 in
@@ -171,7 +171,8 @@ let check_consensus (p : Valency.protocol) ~inputs ~max_steps ?domains ?dedup
   in
   let merge = if por && dedup_on then Some merge_sleep else None in
   let leaves, stats =
-    Search.bfs ?domains ?dedup ~stop_early:false ?merge ~fingerprint ~expand
+    Search.bfs ?engine ?domains ?dedup ~stop_early:false ?merge ~fingerprint
+      ~expand
       ~compare:compare_leaf (root p ~inputs)
   in
   let stats = { stats with Search.pruned = Atomic.get pruned } in

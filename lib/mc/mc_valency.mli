@@ -45,6 +45,7 @@ val check_consensus :
   Valency.protocol ->
   inputs:Value.t array ->
   max_steps:int ->
+  ?engine:Search.engine ->
   ?domains:int ->
   ?dedup:bool ->
   ?por:bool ->

@@ -9,14 +9,27 @@
 
     {2 Parallelism}
 
-    Each BFS level is partitioned round-robin across [domains] OCaml 5
-    domains ([Domain.spawn]; the stripe-locked visited set is the only
-    shared mutable structure).  Levels are a barrier: every domain
-    finishes its share of level [d] before any state of level [d+1] is
-    expanded.  Small levels (fewer than [2 * domains] states) are
-    expanded on the spawning domain — spawning would cost more than it
-    buys.  With [domains = 1] no domain is ever spawned: the engine
-    degrades to a plain sequential BFS.
+    Two engines share the BFS semantics:
+
+    - {e Barrier} (legacy): each level is partitioned round-robin
+      across [domains] OCaml 5 domains, re-spawned per level
+      ([Domain.spawn]; the stripe-locked visited set is the only
+      shared mutable structure).  Levels are a hard barrier: every
+      domain finishes its share of level [d] before any state of level
+      [d+1] is expanded.  Small levels (fewer than [2 * domains]
+      states) are expanded on the spawning domain — spawning would
+      cost more than it buys.  With [domains = 1] no domain is ever
+      spawned: the engine degrades to a plain sequential BFS.
+    - {e Sharded} (shared-nothing): domains are spawned once for the
+      whole search; each owns a fixed shard of the fingerprint space
+      (plain per-domain [Hashtbl], no lock on the hot path), expands
+      its own frontier slice, and routes successors to their owner in
+      fixed-size batches over SPSC queues; levels synchronize at a
+      cheap two-phase epoch count.  See the long comment above
+      [bfs_sharded].
+
+    Both engines produce bit-identical verdicts and counts; they
+    differ only in [per_domain], [wall], and trace shape.
 
     {2 Determinism contract}
 
@@ -116,18 +129,28 @@ let g_level = Elin_obs.Metrics.gauge "mc.level"
 
 (* Per-worker live counters, for per-domain utilization in progress
    heartbeats: worker [d]'s states land in "mc.worker<d>.states".
-   Registered on demand, cached — registration takes a mutex. *)
-let worker_counters = Array.make 64 None
+   Registered on demand, cached — registration takes a mutex.
+
+   Regression note: the cache used to be a plain [Counter.t option
+   array] written from every worker domain — a data race by the OCaml
+   memory model (concurrent plain writes, and readers could legally
+   never observe a peer's registration).  The slots are now [Atomic],
+   which makes the cache race-free {e by construction}: racing
+   registrations of the same index both resolve to the same registry
+   entry (find-or-create by name), so the last [Atomic.set] winning is
+   indistinguishable from the first. *)
+let worker_counters : Elin_obs.Metrics.Counter.t option Atomic.t array =
+  Array.init 64 (fun _ -> Atomic.make None)
 
 let worker_counter d =
   if d < 0 || d >= Array.length worker_counters then
     Elin_obs.Metrics.counter (Printf.sprintf "mc.worker%d.states" d)
   else
-    match worker_counters.(d) with
+    match Atomic.get worker_counters.(d) with
     | Some c -> c
     | None ->
       let c = Elin_obs.Metrics.counter (Printf.sprintf "mc.worker%d.states" d) in
-      worker_counters.(d) <- Some c;
+      Atomic.set worker_counters.(d) (Some c);
       c
 
 let expand_share ~expand ~fingerprint ~mode frontier ~stride ~offset =
@@ -213,8 +236,8 @@ let expand_share ~expand ~fingerprint ~mode frontier ~stride ~offset =
     Requires a {e level-stratified} space — equal states occur only
     within one BFS level (true whenever the fingerprint covers a step
     counter) — and a commutative, associative [merge]. *)
-let bfs ?domains ?(dedup = true) ?(stripes = 64) ?(stop_early = true) ?merge
-    ~fingerprint ~expand ~compare root =
+let bfs_barrier ?domains ?(dedup = true) ?(stripes = 64) ?(stop_early = true)
+    ?merge ~fingerprint ~expand ~compare root =
   let n_domains =
     match domains with
     | Some n ->
@@ -361,6 +384,360 @@ let bfs ?domains ?(dedup = true) ?(stripes = 64) ?(stop_early = true) ?merge
     }
   in
   (List.sort_uniq compare !verdicts, stats)
+
+(* ------------------------------------------------------------------ *)
+(* The sharded (shared-nothing) engine                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Same semantics, opposite ownership story.  The barrier engine above
+   partitions each level round-robin and funnels every domain through
+   one striped, mutex-guarded visited set, re-spawning domains at
+   every level.  Here each domain {e owns} a fixed shard of the
+   fingerprint space outright ({!Elin_kernel.Shard_set.owner}): it
+   holds that shard's slice of the visited set in a plain [Hashtbl]
+   (no lock ever touches the hot path), expands exactly the frontier
+   states it owns, and routes generated successors to their owner's
+   inbox in fixed-size batches over per-(src,dst) SPSC queues.
+   Domains are spawned once for the whole search; levels synchronize
+   at a cheap two-phase epoch (blocking {!Elin_kernel.Barrier}), which
+   is all that level-stratified dedup — and dedup-under-POR's [merge]
+   — need to stay exact.
+
+   {2 Why determinism survives without the hard barrier}
+
+   Every observable of {!bfs_barrier} is reproduced bit-identically:
+
+   - {e which} states exist at each level is a pure function of the
+     state space (dedup is by fingerprint; equal fingerprints mean
+     equal states), and every copy of a fingerprint routes to the one
+     owner, where dedup/merge runs single-threaded — there is not even
+     a racing insert left to reason about;
+   - [merge] metadata: all copies of a level-[d+1] state are pushed
+     before the epoch's first phase and drained before its second, so
+     the owner merges exactly the copies the barrier engine would, and
+     commutativity/associativity makes the arrival order unobservable;
+   - verdicts are still acted on only at level boundaries: the stop
+     decision is computed by every domain from the same per-domain
+     slot arrays after the second phase, and the final verdict list is
+     sorted under [compare] — the lex-min counterexample cannot depend
+     on the partition;
+   - the counts ([states]/[kept]/[dedup_hits]/[leaves]/[cut]/[levels]/
+     [frontier_peak]) are sums or maxima of the same per-level
+     quantities.
+
+   Only [per_domain] shifts meaning: it now reports the ownership
+   partition (a function of the fingerprints, so — unlike the barrier
+   engine's round-robin split — it is itself deterministic). *)
+
+(* Cross-domain handoff batch: up to [handoff_batch] kept successors,
+   accumulated in reverse.  64 amortizes the queue-node allocation and
+   the release/acquire publication without letting a straggler hold
+   back more than a sliver of the level. *)
+let handoff_batch = 64
+
+let m_handoff_batches = Elin_obs.Metrics.counter "mc.handoff_batches"
+let m_handoff_states = Elin_obs.Metrics.counter "mc.handoff_states"
+
+(* Per-worker aggregate, collected at join time. *)
+type 'v worker_out = {
+  w_states : int;
+  w_hits : int;
+  w_kept : int;
+  w_leaves : int;
+  w_cut : int;
+  w_found : 'v list;
+  w_levels : int;        (* identical across workers *)
+  w_peak : int;          (* identical across workers *)
+}
+
+let bfs_sharded ?domains ?(dedup = true) ?(stop_early = true) ?merge
+    ~fingerprint ~expand ~compare root =
+  let open Elin_kernel in
+  let n_domains =
+    match domains with
+    | Some n ->
+      if n < 1 then invalid_arg "Search.bfs: domains must be >= 1";
+      n
+    | None -> Domain.recommended_domain_count ()
+  in
+  let t0 = Elin_obs.Clock.now_s () in
+  let visited = if dedup then Some (Shard_set.create ~shards:n_domains ()) else None in
+  (* Ownership is a pure function of the fingerprint even with dedup
+     off: Plain mode still routes, it just never drops. *)
+  let router = Shard_set.create ~shards:n_domains () in
+  let shard_of fp = Shard_set.owner router fp in
+  let queues =
+    Array.init n_domains (fun _ -> Array.init n_domains (fun _ -> Spsc.create ()))
+  in
+  let barrier = Barrier.create n_domains in
+  (* Per-level slots: written by owner [d] between the two phases,
+     read by everyone after the second (the barrier's mutex provides
+     the happens-before edge). *)
+  let next_sizes = Array.make n_domains 0 in
+  let found_counts = Array.make n_domains 0 in
+  let err : exn option Atomic.t = Atomic.make None in
+  let root_fp = fingerprint root in
+  let root_owner = shard_of root_fp in
+  let worker d () =
+    (* Everything below is owned by domain [d] alone; the shared
+       surfaces are the queues (SPSC discipline), the slot arrays
+       (slot [d] only, phase-separated), and [d]'s visited shard. *)
+    let states = ref 0 and hits = ref 0 and kept = ref 0 in
+    let leaves = ref 0 and cut = ref 0 in
+    let all_found = ref [] and level_found = ref [] in
+    let levels = ref 0 and peak = ref 0 in
+    let next_acc = ref [] in
+    (* merge-mode level table: fp -> first copy carrying the merge *)
+    let pending = Hashtbl.create 257 in
+    let pending_order = ref [] in
+    let bufs = Array.make n_domains [] in
+    let buf_counts = Array.make n_domains 0 in
+    let m_worker =
+      if Elin_obs.Metrics.on () then Some (worker_counter d) else None
+    in
+    let g_shard =
+      match visited with
+      | Some _ when Elin_obs.Metrics.on () ->
+        Some (Elin_obs.Metrics.gauge (Printf.sprintf "mc.shard%d.occupancy" d))
+      | _ -> None
+    in
+    let flush o =
+      match bufs.(o) with
+      | [] -> ()
+      | items ->
+        Spsc.push queues.(d).(o) items;
+        if Elin_obs.Metrics.on () then begin
+          Elin_obs.Metrics.Counter.incr m_handoff_batches;
+          Elin_obs.Metrics.Counter.add m_handoff_states buf_counts.(o)
+        end;
+        bufs.(o) <- [];
+        buf_counts.(o) <- 0
+    in
+    (* One kept successor arriving at its owner (locally generated or
+       drained from a peer's batch): the single point where dedup and
+       merge decisions are made — single-threaded per fingerprint. *)
+    let process_kept fp s =
+      match visited, merge with
+      | None, _ -> next_acc := s :: !next_acc
+      | Some visited, None ->
+        if Shard_set.add visited ~shard:d fp then next_acc := s :: !next_acc
+        else incr hits
+      | Some visited, Some merge_fn -> (
+        if Shard_set.mem visited ~shard:d fp then incr hits
+        else
+          match Hashtbl.find_opt pending fp with
+          | None ->
+            Hashtbl.add pending fp s;
+            pending_order := fp :: !pending_order
+          | Some s0 ->
+            incr hits;
+            Hashtbl.replace pending fp (merge_fn s0 s))
+    in
+    let route s' =
+      let fp = fingerprint s' in
+      let o = shard_of fp in
+      if o = d then process_kept fp s'
+      else begin
+        bufs.(o) <- (fp, s') :: bufs.(o);
+        buf_counts.(o) <- buf_counts.(o) + 1;
+        if buf_counts.(o) >= handoff_batch then flush o
+      end
+    in
+    let expand_state s =
+      incr states;
+      (match m_worker with
+      | Some c ->
+        Elin_obs.Metrics.Counter.incr m_states;
+        Elin_obs.Metrics.Counter.incr c
+      | None -> ());
+      match expand s with
+      | Children succs -> List.iter route succs
+      | Leaf v ->
+        incr leaves;
+        Option.iter (fun v -> level_found := v :: !level_found) v
+      | Cut v ->
+        incr leaves;
+        incr cut;
+        Option.iter (fun v -> level_found := v :: !level_found) v
+    in
+    (match visited with
+    | Some visited when root_owner = d ->
+      ignore (Shard_set.add visited ~shard:d root_fp)
+    | _ -> ());
+    let frontier = ref (if root_owner = d then [| root |] else [||]) in
+    let global_size = ref 1 in
+    let stop = ref false in
+    while not !stop do
+      if !global_size > !peak then peak := !global_size;
+      let span_ts = Elin_obs.Trace.begin_ns () in
+      let pruned0 =
+        if span_ts <> 0L then Elin_obs.Metrics.Counter.shard_value m_pruned
+        else 0
+      in
+      if d = 0 && Elin_obs.Metrics.on () then begin
+        Elin_obs.Metrics.Gauge.set g_frontier !global_size;
+        Elin_obs.Metrics.Gauge.set g_level !levels
+      end;
+      let hits0 = !hits and states0 = !states and leaves0 = !leaves in
+      Array.iter expand_state !frontier;
+      for o = 0 to n_domains - 1 do
+        flush o
+      done;
+      (* Phase 1: every successor of this level is pushed; queue
+         contents are frozen. *)
+      Barrier.await barrier;
+      for src = 0 to n_domains - 1 do
+        let q = queues.(src).(d) in
+        let rec drain () =
+          match Spsc.pop q with
+          | Some batch ->
+            List.iter (fun (fp, s) -> process_kept fp s) (List.rev batch);
+            drain ()
+          | None -> ()
+        in
+        drain ()
+      done;
+      let next =
+        match visited, merge with
+        | Some visited, Some _ ->
+          let survivors =
+            List.rev_map
+              (fun fp ->
+                ignore (Shard_set.add visited ~shard:d fp);
+                Hashtbl.find pending fp)
+              !pending_order
+          in
+          Hashtbl.reset pending;
+          pending_order := [];
+          Array.of_list survivors
+        | _ ->
+          let arr = Array.of_list (List.rev !next_acc) in
+          next_acc := [];
+          arr
+      in
+      kept := !kept + Array.length next;
+      next_sizes.(d) <- Array.length next;
+      found_counts.(d) <- List.length !level_found;
+      (match g_shard, visited with
+      | Some g, Some visited ->
+        Elin_obs.Metrics.Gauge.set g (Shard_set.shard_cardinal visited d)
+      | _ -> ());
+      if Elin_obs.Trace.on () then begin
+        let open Elin_obs in
+        let pruned_d = Metrics.Counter.shard_value m_pruned - pruned0 in
+        if pruned_d > 0 then
+          Trace.instant ~tid:d ~cat:"mc" "mc.por_pruned"
+            ~args:[ ("count", Jsonl.Int pruned_d) ];
+        if !hits - hits0 > 0 then
+          Trace.instant ~tid:d ~cat:"mc" "mc.dedup_dropped"
+            ~args:[ ("count", Jsonl.Int (!hits - hits0)) ];
+        Trace.complete ~tid:d ~cat:"mc" ~ts:span_ts "mc.expand"
+          ~args:
+            [
+              ("worker", Jsonl.Int d);
+              ("states", Jsonl.Int (!states - states0));
+              ("dedup_hits", Jsonl.Int (!hits - hits0));
+              ("leaves", Jsonl.Int (!leaves - leaves0));
+            ]
+      end;
+      (* Phase 2: sizes and found-counts of every domain are
+         published; all domains now compute the same stop decision
+         from the same data. *)
+      Barrier.await barrier;
+      let total_next = ref 0 and any_found = ref false in
+      for o = 0 to n_domains - 1 do
+        total_next := !total_next + next_sizes.(o);
+        if found_counts.(o) > 0 then any_found := true
+      done;
+      if d = 0 && Elin_obs.Metrics.on () then
+        Elin_obs.Metrics.Counter.add m_kept !total_next;
+      all_found := List.rev_append !level_found !all_found;
+      level_found := [];
+      incr levels;
+      if (stop_early && !any_found) || !total_next = 0 then stop := true
+      else begin
+        frontier := next;
+        global_size := !total_next
+      end
+    done;
+    if Elin_obs.Metrics.on () then Elin_obs.Metrics.Counter.add m_dedup_hits !hits;
+    {
+      w_states = !states;
+      w_hits = !hits;
+      w_kept = !kept;
+      w_leaves = !leaves;
+      w_cut = !cut;
+      w_found = !all_found;
+      w_levels = !levels;
+      w_peak = !peak;
+    }
+  in
+  (* A worker that dies must poison the barrier so its peers unwind
+     instead of waiting forever; the first recorded exception is
+     re-raised after EVERY domain is joined. *)
+  let guarded d () =
+    try Ok (worker d ()) with
+    | Barrier.Poisoned -> Error ()
+    | e ->
+      ignore (Atomic.compare_and_set err None (Some e));
+      Barrier.poison barrier;
+      Error ()
+  in
+  let spawned =
+    Array.init (n_domains - 1) (fun i -> Domain.spawn (guarded (i + 1)))
+  in
+  let mine = guarded 0 () in
+  let outs = Array.append [| mine |] (Array.map Domain.join spawned) in
+  (match Atomic.get err with Some e -> raise e | None -> ());
+  let outs =
+    Array.map (function Ok o -> o | Error () -> assert false) outs
+  in
+  let verdicts =
+    List.sort_uniq compare
+      (Array.fold_left (fun acc o -> List.rev_append o.w_found acc) [] outs)
+  in
+  let sum f = Array.fold_left (fun n o -> n + f o) 0 outs in
+  let stats =
+    {
+      states = sum (fun o -> o.w_states);
+      dedup_hits = sum (fun o -> o.w_hits);
+      kept = sum (fun o -> o.w_kept);
+      pruned = 0;
+      frontier_peak = outs.(0).w_peak;
+      leaves = sum (fun o -> o.w_leaves);
+      cut = sum (fun o -> o.w_cut);
+      levels = outs.(0).w_levels;
+      per_domain = Array.map (fun o -> o.w_states) outs;
+      domains = n_domains;
+      wall = Elin_obs.Clock.now_s () -. t0;
+    }
+  in
+  (verdicts, stats)
+
+(* ------------------------------------------------------------------ *)
+(* Engine dispatch                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type engine = Barrier | Sharded
+
+let engine_of_string = function
+  | "barrier" -> Some Barrier
+  | "sharded" -> Some Sharded
+  | _ -> None
+
+let engine_to_string = function Barrier -> "barrier" | Sharded -> "sharded"
+
+let bfs ?(engine = Barrier) ?domains ?dedup ?stripes ?stop_early ?merge
+    ~fingerprint ~expand ~compare root =
+  match engine with
+  | Barrier ->
+    bfs_barrier ?domains ?dedup ?stripes ?stop_early ?merge ~fingerprint
+      ~expand ~compare root
+  | Sharded ->
+    (* [stripes] shapes the barrier engine's striped set only; the
+       sharded visited set is partitioned by owner, not by stripe. *)
+    bfs_sharded ?domains ?dedup ?stop_early ?merge ~fingerprint ~expand
+      ~compare root
 
 let pp_stats ppf s =
   Format.fprintf ppf

@@ -40,16 +40,45 @@ type ('s, 'v) expansion =
   | Leaf of 'v option    (** terminal; [Some v] records a verdict *)
   | Cut of 'v option     (** terminal because of the depth bound *)
 
-(** [bfs ?domains ?dedup ?stripes ?stop_early ~fingerprint ~expand
-    ~compare root] — explore the space rooted at [root]; returns the
-    verdicts (sorted and deduplicated under [compare]) and the stats.
+(** Which parallel engine runs the BFS.  Both satisfy the determinism
+    contract with bit-identical verdicts and counts; they differ in
+    ownership story and scaling behaviour.
 
+    - [Barrier] (default, legacy): levels partitioned round-robin,
+      domains re-spawned per level, one stripe-locked visited set
+      shared by all domains.
+    - [Sharded] (shared-nothing): domains spawned once per search,
+      visited set partitioned by fingerprint owner into per-domain
+      plain hash tables (no locks on the hot path), successors routed
+      to their owner in fixed-size batches over SPSC queues, levels
+      synchronized by a two-phase epoch barrier.  [per_domain] then
+      reports the (deterministic) ownership partition rather than a
+      scheduling-dependent split. *)
+type engine = Barrier | Sharded
+
+(** ["barrier"] / ["sharded"]; [None] otherwise. *)
+val engine_of_string : string -> engine option
+
+val engine_to_string : engine -> string
+
+(** [bfs ?engine ?domains ?dedup ?stripes ?stop_early ~fingerprint
+    ~expand ~compare root] — explore the space rooted at [root];
+    returns the verdicts (sorted and deduplicated under [compare]) and
+    the stats.
+
+    - [engine] (default [Barrier]) selects the parallel engine; the
+      result is engine-independent (everything but [per_domain] and
+      [wall]).
     - [domains] defaults to [Domain.recommended_domain_count ()]; with
-      [1] the engine is a plain sequential BFS (no domain is spawned).
-    - [dedup] (default [true]) keys a {!Elin_kernel.Striped_set} on
-      [fingerprint]; with [false] every generated successor is kept —
-      the BFS then expands exactly the nodes a dedup-free tree search
-      would.
+      [1] the engine is a plain sequential BFS (no domain is spawned
+      by [Barrier]; [Sharded] runs its single worker on the calling
+      domain).
+    - [dedup] (default [true]) keys a visited set on [fingerprint]
+      (an {!Elin_kernel.Striped_set} under [Barrier], an
+      owner-partitioned {!Elin_kernel.Shard_set} under [Sharded]);
+      with [false] every generated successor is kept — the BFS then
+      expands exactly the nodes a dedup-free tree search would.
+    - [stripes] shapes the [Barrier] visited set only.
     - [stop_early] (default [true]) stops at the end of the first
       level that produced a verdict; with [false] the bounded space is
       exhausted and every verdict is returned (used to {e collect},
@@ -63,6 +92,7 @@ type ('s, 'v) expansion =
       fingerprint covers a step counter) and a commutative,
       associative [merge]. *)
 val bfs :
+  ?engine:engine ->
   ?domains:int ->
   ?dedup:bool ->
   ?stripes:int ->

@@ -291,6 +291,255 @@ let striped_concurrent_race () =
       Alcotest.failf "fingerprint %d lost in the race" i
   done
 
+(* The stripe index reads the {e mixed} low bits ({!Fingerprint.mix}),
+   so fingerprint families with fixed raw low bits — e.g. everything a
+   single {!Shard_set} owner receives — still disperse uniformly.
+   Keying on raw bits (the aliasing bug this guards against) would put
+   every multiple of 64 on stripe 0 of any <= 64-stripe set. *)
+let striped_dispersion_fixed_low_bits () =
+  let stripes = 16 in
+  let n = 4096 in
+  let counts = Array.make stripes 0 in
+  for i = 0 to n - 1 do
+    let fp = Int64.of_int (i * 64) (* raw low 6 bits all zero *) in
+    let s = Int64.to_int (Fingerprint.mix fp) land (stripes - 1) in
+    counts.(s) <- counts.(s) + 1
+  done;
+  let expect = n / stripes in
+  Array.iteri
+    (fun s c ->
+      if c < expect / 2 || c > expect * 2 then
+        Alcotest.failf "stripe %d holds %d of %d (uniform would be ~%d)" s c n
+          expect)
+    counts
+
+(* cardinal/clear lock stripe by stripe, not globally: under a racing
+   adder the observed counts are per-stripe snapshots — monotone
+   between calls, bounded by the final population, exact once
+   quiescent. *)
+let striped_snapshot_under_adds () =
+  let s = Striped_set.create ~stripes:4 () in
+  let n = 20_000 in
+  let go = Atomic.make false in
+  let adder =
+    Domain.spawn (fun () ->
+        while not (Atomic.get go) do
+          Domain.cpu_relax ()
+        done;
+        for i = 0 to n - 1 do
+          ignore (Striped_set.add s (Int64.of_int i))
+        done)
+  in
+  Atomic.set go true;
+  let c1 = Striped_set.cardinal s in
+  let c2 = Striped_set.cardinal s in
+  if not (0 <= c1 && c1 <= c2 && c2 <= n) then
+    Alcotest.failf "snapshots not monotone in-bounds: %d then %d" c1 c2;
+  Domain.join adder;
+  Alcotest.(check int) "quiescent cardinal" n (Striped_set.cardinal s)
+
+(* clear racing adds: survivors are a subset of the added keys (adds
+   that hit an already-cleared stripe stick, the rest are dropped);
+   a second, quiescent clear observes empty and resets occupancy. *)
+let striped_clear_under_adds () =
+  let s = Striped_set.create ~stripes:4 () in
+  let n = 20_000 in
+  let adder =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          ignore (Striped_set.add s (Int64.of_int i))
+        done)
+  in
+  Striped_set.clear s;
+  Domain.join adder;
+  let c = Striped_set.cardinal s in
+  if c > n then Alcotest.failf "cardinal %d exceeds the %d adds" c n;
+  Striped_set.clear s;
+  Alcotest.(check int) "quiescent clear" 0 (Striped_set.cardinal s);
+  Alcotest.(check int) "occupancy reset" 0 (Striped_set.occupancy s)
+
+let striped_occupancy_reset () =
+  Elin_obs.Metrics.enable ();
+  Fun.protect ~finally:Elin_obs.Metrics.disable @@ fun () ->
+  let s = Striped_set.create ~stripes:2 () in
+  for i = 0 to 99 do
+    ignore (Striped_set.add s (Int64.of_int i))
+  done;
+  ignore (Striped_set.add s 7L) (* duplicate: no occupancy bump *);
+  Alcotest.(check int) "occupancy tracks inserts" 100 (Striped_set.occupancy s);
+  Striped_set.clear s;
+  Alcotest.(check int) "clear resets occupancy" 0 (Striped_set.occupancy s);
+  ignore (Striped_set.add s 7L);
+  Alcotest.(check int) "fresh count after clear" 1 (Striped_set.occupancy s)
+
+(* --- Shard_set --- *)
+
+let shard_add_mem () =
+  let s = Shard_set.create ~shards:4 () in
+  Alcotest.(check int) "shards" 4 (Shard_set.shards s);
+  let fp = 0x123456789abcdefL in
+  let sh = Shard_set.owner s fp in
+  Alcotest.(check bool) "owner in range" true (sh >= 0 && sh < 4);
+  Alcotest.(check int) "owner deterministic" sh (Shard_set.owner s fp);
+  Alcotest.(check bool) "fresh add" true (Shard_set.add s ~shard:sh fp);
+  Alcotest.(check bool) "re-add" false (Shard_set.add s ~shard:sh fp);
+  Alcotest.(check bool) "mem" true (Shard_set.mem s ~shard:sh fp);
+  Alcotest.(check int) "shard cardinal" 1 (Shard_set.shard_cardinal s sh);
+  Alcotest.(check int) "cardinal" 1 (Shard_set.cardinal s)
+
+let shard_owner_uniform () =
+  let shards = 4 in
+  let s = Shard_set.create ~shards () in
+  let n = 4096 in
+  let counts = Array.make shards 0 in
+  for i = 0 to n - 1 do
+    let o = Shard_set.owner s (Int64.of_int i) in
+    counts.(o) <- counts.(o) + 1
+  done;
+  let expect = n / shards in
+  Array.iteri
+    (fun o c ->
+      if c < expect / 2 || c > expect * 2 then
+        Alcotest.failf "shard %d owns %d of %d (uniform would be ~%d)" o c n
+          expect)
+    counts
+
+(* The two partitions read disjoint bit ranges of one mixed word: the
+   fingerprints confined to a single owner shard still disperse
+   uniformly across stripes.  This is the cross-structure half of the
+   aliasing regression. *)
+let shard_owner_keeps_stripes_uniform () =
+  let ss = Shard_set.create ~shards:4 () in
+  let stripes = 64 in
+  let counts = Array.make stripes 0 in
+  let owned = ref 0 and i = ref 0 in
+  while !owned < 2048 do
+    let fp = Int64.of_int !i in
+    if Shard_set.owner ss fp = 0 then begin
+      incr owned;
+      let s = Int64.to_int (Fingerprint.mix fp) land (stripes - 1) in
+      counts.(s) <- counts.(s) + 1
+    end;
+    incr i
+  done;
+  let expect = 2048 / stripes in
+  Array.iteri
+    (fun s c ->
+      if c = 0 || c > 3 * expect then
+        Alcotest.failf
+          "stripe %d holds %d of one owner's 2048 fps (uniform would be ~%d)" s
+          c expect)
+    counts
+
+(* The single-owner discipline across real domains: each domain adds
+   only the fingerprints it owns, so the partition is exact and
+   disjoint with no synchronization at all. *)
+let shard_parallel_ownership () =
+  let shards = 4 in
+  let s = Shard_set.create ~shards () in
+  let n = 20_000 in
+  let worker d () =
+    let mine = ref 0 in
+    for i = 0 to n - 1 do
+      let fp = Int64.of_int i in
+      if Shard_set.owner s fp = d && Shard_set.add s ~shard:d fp then incr mine
+    done;
+    !mine
+  in
+  let ds = Array.init shards (fun d -> Domain.spawn (worker d)) in
+  let total = Array.fold_left (fun t d -> t + Domain.join d) 0 ds in
+  Alcotest.(check int) "disjoint exact partition" n total;
+  Alcotest.(check int) "cardinal" n (Shard_set.cardinal s)
+
+(* --- Spsc --- *)
+
+let spsc_fifo () =
+  let q = Spsc.create () in
+  Alcotest.(check bool) "fresh empty" true (Spsc.is_empty q);
+  Alcotest.(check (option int)) "pop empty" None (Spsc.pop q);
+  for i = 0 to 99 do
+    Spsc.push q i
+  done;
+  Alcotest.(check bool) "non-empty" false (Spsc.is_empty q);
+  for i = 0 to 99 do
+    Alcotest.(check (option int)) "fifo order" (Some i) (Spsc.pop q)
+  done;
+  Alcotest.(check (option int)) "drained" None (Spsc.pop q)
+
+let spsc_cross_domain () =
+  let q = Spsc.create () in
+  let n = 100_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          Spsc.push q i
+        done)
+  in
+  let expect = ref 0 in
+  while !expect < n do
+    match Spsc.pop q with
+    | None -> Domain.cpu_relax ()
+    | Some v ->
+      if v <> !expect then
+        Alcotest.failf "reordered: got %d, wanted %d" v !expect;
+      incr expect
+  done;
+  Domain.join producer;
+  Alcotest.(check (option int)) "drained" None (Spsc.pop q)
+
+(* --- Barrier --- *)
+
+let barrier_rounds () =
+  let n = 4 and rounds = 50 in
+  let b = Barrier.create n in
+  Alcotest.(check int) "parties" n (Barrier.parties b);
+  let counter = Atomic.make 0 in
+  let worker () =
+    for r = 1 to rounds do
+      Atomic.incr counter;
+      Barrier.await b;
+      (* Between the two awaits of round [r] every party has bumped
+         exactly [r] times and none has started round [r+1]. *)
+      let c = Atomic.get counter in
+      if c <> r * n then Alcotest.failf "round %d saw count %d" r c;
+      Barrier.await b
+    done
+  in
+  let ds = Array.init (n - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join ds;
+  Alcotest.(check int) "all increments" (rounds * n) (Atomic.get counter)
+
+let barrier_poison () =
+  let b = Barrier.create 3 in
+  Alcotest.(check bool) "fresh" false (Barrier.poisoned b);
+  Barrier.poison b;
+  Alcotest.(check bool) "flagged" true (Barrier.poisoned b);
+  let raised () =
+    match Barrier.await b with
+    | () -> false
+    | exception Barrier.Poisoned -> true
+  in
+  let ds = Array.init 2 (fun _ -> Domain.spawn raised) in
+  let mine = raised () in
+  Alcotest.(check bool) "await raises Poisoned everywhere" true
+    (mine && Array.for_all Domain.join ds)
+
+(* Poisoning while parties are blocked in [await] wakes them with
+   [Poisoned] instead of deadlocking the incomplete round. *)
+let barrier_poison_wakes_waiters () =
+  let b = Barrier.create 3 in
+  let waiter () =
+    match Barrier.await b with
+    | () -> false
+    | exception Barrier.Poisoned -> true
+  in
+  let ds = Array.init 2 (fun _ -> Domain.spawn waiter) in
+  (* Third party never arrives: poison instead. *)
+  Barrier.poison b;
+  Alcotest.(check bool) "blocked waiters raise Poisoned" true
+    (Array.for_all Domain.join ds)
+
 (* --- Matching --- *)
 
 let matching_simple () =
@@ -383,6 +632,34 @@ let () =
           Support.quick "growth past initial capacity" striped_growth;
           Support.quick "concurrent same-fingerprint race"
             striped_concurrent_race;
+          Support.quick "dispersion with fixed raw low bits"
+            striped_dispersion_fixed_low_bits;
+          Support.quick "cardinal snapshots under concurrent adds"
+            striped_snapshot_under_adds;
+          Support.quick "clear under concurrent adds"
+            striped_clear_under_adds;
+          Support.quick "occupancy reset by clear" striped_occupancy_reset;
+        ] );
+      ( "shard_set",
+        [
+          Support.quick "add/mem/owner" shard_add_mem;
+          Support.quick "owner dispersion" shard_owner_uniform;
+          Support.quick "owner/stripe bit disjointness"
+            shard_owner_keeps_stripes_uniform;
+          Support.quick "parallel single-owner discipline"
+            shard_parallel_ownership;
+        ] );
+      ( "spsc",
+        [
+          Support.quick "fifo" spsc_fifo;
+          Support.quick "cross-domain handoff" spsc_cross_domain;
+        ] );
+      ( "barrier",
+        [
+          Support.quick "lock-step rounds" barrier_rounds;
+          Support.quick "poison before await" barrier_poison;
+          Support.quick "poison wakes blocked waiters"
+            barrier_poison_wakes_waiters;
         ] );
       ( "matching",
         [

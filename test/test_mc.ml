@@ -559,6 +559,139 @@ let stabilize_mc_engine_matches_dfs () =
     Alcotest.(check int) "por invariant: v0" mc_nopor.anchor.v0 mc.anchor.v0
   | _ -> Alcotest.fail "all engines must certify a stable configuration"
 
+(* --- engine equivalence (barrier vs sharded) --------------------- *)
+
+(* The sharded engine must reproduce the barrier engine bit for bit:
+   every stats field except [per_domain]/[domains]/[wall], the
+   verdict, and the lex-min counterexample, across engines x domain
+   counts x por — including the Tag/merge path (por+dedup), where
+   sleep-mask intersection happens at the owner instead of under a
+   stripe lock. *)
+
+let engines = [ Search.Barrier; Search.Sharded ]
+
+let check_stats_equal name (a : Search.stats) (b : Search.stats) =
+  let f fname v w = Alcotest.(check int) (name ^ " " ^ fname) v w in
+  f "states" a.Search.states b.Search.states;
+  f "dedup_hits" a.Search.dedup_hits b.Search.dedup_hits;
+  f "kept" a.Search.kept b.Search.kept;
+  f "pruned" a.Search.pruned b.Search.pruned;
+  f "leaves" a.Search.leaves b.Search.leaves;
+  f "cut" a.Search.cut b.Search.cut;
+  f "levels" a.Search.levels b.Search.levels;
+  f "frontier_peak" a.Search.frontier_peak b.Search.frontier_peak
+
+(* Violating workload: verdict, counterexample and counts. *)
+let sharded_same_verdict_and_counts () =
+  let impl = Elin_core.Ev_testandset.impl () in
+  let wl = Run.uniform_workload Op.test_and_set ~procs:2 ~per_proc:1 in
+  let cfg = Engine.for_spec (Testandset.spec ()) in
+  let p h = Engine.linearizable cfg h in
+  List.iter
+    (fun por ->
+      let reference =
+        Mc.check impl ~workloads:wl ~max_steps:12 ~engine:Search.Barrier
+          ~domains:1 ~por p
+      in
+      Alcotest.(check bool) "violation found" false reference.Mc.ok;
+      List.iter
+        (fun engine ->
+          List.iter
+            (fun domains ->
+              let name n =
+                Printf.sprintf "%s (engine=%s domains=%d por=%b)" n
+                  (Search.engine_to_string engine)
+                  domains por
+              in
+              let out =
+                Mc.check impl ~workloads:wl ~max_steps:12 ~engine ~domains ~por
+                  p
+              in
+              Alcotest.(check bool) (name "ok") reference.Mc.ok out.Mc.ok;
+              (match reference.Mc.counterexample, out.Mc.counterexample with
+              | None, None -> ()
+              | Some a, Some b ->
+                Alcotest.check Support.history
+                  (name "lex-min counterexample")
+                  a b
+              | _ -> Alcotest.fail (name "counterexample presence"));
+              check_stats_equal (name "stats") reference.Mc.stats out.Mc.stats)
+            domain_counts)
+        engines)
+    [ true; false ]
+
+(* Exhaustive counts over the full dedup x por grid. *)
+let sharded_same_counts_exhaustive () =
+  let impl = Impls.fai_from_board () in
+  let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc:2 in
+  List.iter
+    (fun (dedup, por) ->
+      let reference =
+        Mc.count_states impl ~workloads:wl ~max_steps:16 ~engine:Search.Barrier
+          ~domains:1 ~dedup ~por ()
+      in
+      List.iter
+        (fun engine ->
+          List.iter
+            (fun domains ->
+              let name =
+                Printf.sprintf "engine=%s domains=%d dedup=%b por=%b"
+                  (Search.engine_to_string engine)
+                  domains dedup por
+              in
+              let stats =
+                Mc.count_states impl ~workloads:wl ~max_steps:16 ~engine
+                  ~domains ~dedup ~por ()
+              in
+              check_stats_equal name reference stats)
+            domain_counts)
+        engines)
+    [ (true, true); (true, false); (false, true); (false, false) ]
+
+(* The valency rewiring: decision sets and consensus verdicts. *)
+let sharded_valency_equivalence () =
+  let open Elin_valency in
+  let inputs = [| Value.int 0; Value.int 1 |] in
+  let cmp a b =
+    List.compare Value.compare (Array.to_list a) (Array.to_list b)
+  in
+  List.iter
+    (fun (p, max_steps) ->
+      let reference =
+        Mc_valency.check_consensus p ~inputs ~max_steps ~engine:Search.Barrier
+          ~domains:1 ()
+      in
+      List.iter
+        (fun engine ->
+          List.iter
+            (fun domains ->
+              let name n =
+                Printf.sprintf "%s %s (engine=%s domains=%d)"
+                  p.Valency.name n
+                  (Search.engine_to_string engine)
+                  domains
+              in
+              let r =
+                Mc_valency.check_consensus p ~inputs ~max_steps ~engine
+                  ~domains ()
+              in
+              Alcotest.(check int) (name "decision sets") 0
+                (List.compare cmp reference.Mc_valency.decisions
+                   r.Mc_valency.decisions);
+              Alcotest.(check bool) (name "terminated")
+                reference.Mc_valency.terminated r.Mc_valency.terminated;
+              Alcotest.(check bool) (name "agreement violation")
+                (reference.Mc_valency.agreement_violation <> None)
+                (r.Mc_valency.agreement_violation <> None);
+              check_stats_equal (name "stats") reference.Mc_valency.stats
+                r.Mc_valency.stats)
+            domain_counts)
+        engines)
+    [
+      (Protocols.cas (), 20);
+      (Protocols.registers_plus_ev_testandset ~stabilize_at:1000 (), 30);
+    ]
+
 let () =
   Alcotest.run "mc"
     [
@@ -600,6 +733,15 @@ let () =
           Support.quick "valency gate" por_valency_gate;
           Support.quick "decision vs step-sensitive access"
             por_decision_vs_step_sensitive;
+        ] );
+      ( "engines",
+        [
+          Support.quick "verdict + counterexample (engines x domains x por)"
+            sharded_same_verdict_and_counts;
+          Support.quick "exhaustive counts (engines x domains x dedup x por)"
+            sharded_same_counts_exhaustive;
+          Support.quick "valency decision sets (engines x domains)"
+            sharded_valency_equivalence;
         ] );
       ( "rewired users",
         [

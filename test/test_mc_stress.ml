@@ -1,0 +1,172 @@
+(** Differential stress suite for the two parallel search engines
+    (EXPERIMENTS.md gate; [make mc-stress]).
+
+    Generates seeded random bounded state spaces — small per-level id
+    ranges force genuine cross-path duplicates — and runs each through
+    {!Search.bfs} under both engines at several domain counts,
+    asserting bit-identical verdict lists and stats.  Two space
+    flavours:
+
+    - {b plain}: the fingerprint covers the whole state, dedup is
+      first-wins (any copy is the same state) — the Plain/Immediate
+      keep paths;
+    - {b merge}: the fingerprint covers only [(depth, id)] while a
+      [meta] bitmask rides along and duplicates are resolved by
+      intersection at the level boundary — the Tag/[merge] path POR
+      depends on.  [meta] feeds the leaf verdicts, so a merge applied
+      in the wrong place or order shows up as a verdict diff, not just
+      a count diff.
+
+    Runs standalone under [dune runtest] (3 quick repeats) and as
+    [test_mc_stress.exe --repeat N --domains 1,2,4 --seed S] from the
+    Makefile. *)
+
+module Prng = Elin_kernel.Prng
+module Fp = Elin_kernel.Fingerprint
+module Search = Elin_mc.Search
+
+type state = { depth : int; id : int; meta : int }
+
+(* Deterministic per-space hash: everything about the space's shape is
+   a pure function of (space seed, depth, id). *)
+let h ~seed ~depth ~id k =
+  Int64.to_int
+    (Int64.shift_right_logical
+       (Fp.finish (Fp.int (Fp.int (Fp.int (Fp.start ~seed ()) depth) id) k))
+       2)
+
+type space = {
+  seed : int64;
+  max_depth : int;
+  width : int;      (* ids per level: small => many duplicate states *)
+  branching : int;  (* max children per state *)
+  leaf_pct : int;   (* chance an interior state is a leaf, in % *)
+}
+
+let random_space rng =
+  {
+    seed = Int64.of_int (Prng.int rng 0x3FFFFFFF);
+    max_depth = 8 + Prng.int rng 7;
+    width = 40 + Prng.int rng 120;
+    branching = 2 + Prng.int rng 4;
+    leaf_pct = 5 + Prng.int rng 15;
+  }
+
+(* Children ids depend only on (depth, id); the child meta narrows the
+   parent's (so merged metas stay merged down the tree). *)
+let expand sp s =
+  if s.depth >= sp.max_depth then Search.Cut (Some (s.depth, s.id, s.meta))
+  else if h ~seed:sp.seed ~depth:s.depth ~id:s.id 0 mod 100 < sp.leaf_pct then
+    Search.Leaf (Some (s.depth, s.id, s.meta))
+  else begin
+    let n = 1 + (h ~seed:sp.seed ~depth:s.depth ~id:s.id 1 mod sp.branching) in
+    Search.Children
+      (List.init n (fun k ->
+           let hv = h ~seed:sp.seed ~depth:s.depth ~id:s.id (2 + k) in
+           {
+             depth = s.depth + 1;
+             id = hv mod sp.width;
+             meta = s.meta land lnot (1 lsl (hv mod 16));
+           }))
+  end
+
+let fp_full sp s =
+  Fp.finish
+    (Fp.int (Fp.int (Fp.int (Fp.start ~seed:sp.seed ()) s.depth) s.id) s.meta)
+
+let fp_shape sp s =
+  Fp.finish (Fp.int (Fp.int (Fp.start ~seed:sp.seed ()) s.depth) s.id)
+
+let merge_meta a b = { a with meta = a.meta land b.meta }
+
+let root = { depth = 0; id = 0; meta = 0xFFFF }
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Failure s)) fmt
+
+let check_equal ~what ~cfg (v0, (s0 : Search.stats)) (v1, (s1 : Search.stats))
+    =
+  if v0 <> v1 then
+    fail "%s: verdict lists differ (%d vs %d verdicts) [%s]" what
+      (List.length v0) (List.length v1) cfg;
+  let field name a b =
+    if a <> b then fail "%s: %s differs (%d vs %d) [%s]" what name a b cfg
+  in
+  field "states" s0.Search.states s1.Search.states;
+  field "dedup_hits" s0.Search.dedup_hits s1.Search.dedup_hits;
+  field "kept" s0.Search.kept s1.Search.kept;
+  field "leaves" s0.Search.leaves s1.Search.leaves;
+  field "cut" s0.Search.cut s1.Search.cut;
+  field "levels" s0.Search.levels s1.Search.levels;
+  field "frontier_peak" s0.Search.frontier_peak s1.Search.frontier_peak
+
+let run_one sp ~engine ~domains ~dedup ~merge =
+  let fingerprint, merge_fn =
+    if merge then (fp_shape sp, Some merge_meta) else (fp_full sp, None)
+  in
+  Search.bfs ~engine ~domains ~dedup ~stop_early:false ?merge:merge_fn
+    ~fingerprint ~expand:(expand sp) ~compare:Stdlib.compare root
+
+let stress ~repeat ~domain_counts ~seed =
+  let rng = Prng.create seed in
+  let total = ref 0 in
+  for r = 1 to repeat do
+    let sp = random_space rng in
+    (* (dedup, merge): plain tree, plain dedup, and the Tag/merge path. *)
+    List.iter
+      (fun (dedup, merge) ->
+        let reference =
+          run_one sp ~engine:Search.Barrier ~domains:1 ~dedup ~merge
+        in
+        total := !total + (snd reference).Search.states;
+        List.iter
+          (fun engine ->
+            List.iter
+              (fun domains ->
+                let cfg =
+                  Printf.sprintf
+                    "repeat=%d seed=0x%Lx engine=%s domains=%d dedup=%b \
+                     merge=%b"
+                    r sp.seed
+                    (Search.engine_to_string engine)
+                    domains dedup merge
+                in
+                check_equal ~what:"engine differential" ~cfg reference
+                  (run_one sp ~engine ~domains ~dedup ~merge))
+              domain_counts)
+          [ Search.Barrier; Search.Sharded ])
+      [ (false, false); (true, false); (true, true) ]
+  done;
+  !total
+
+let () =
+  let repeat = ref 3 and domains = ref [ 1; 2; 4 ] and seed = ref 0x5eed in
+  let rec parse = function
+    | [] -> ()
+    | "--repeat" :: n :: rest ->
+      repeat := int_of_string n;
+      parse rest
+    | "--domains" :: ds :: rest ->
+      domains := List.map int_of_string (String.split_on_char ',' ds);
+      parse rest
+    | "--seed" :: s :: rest ->
+      seed := int_of_string s;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf
+        "usage: test_mc_stress [--repeat N] [--domains 1,2,4] [--seed S]\n\
+         unknown argument %S\n"
+        arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match stress ~repeat:!repeat ~domain_counts:!domains ~seed:!seed with
+  | total ->
+    Printf.printf
+      "mc-stress: OK — %d repeats x {tree, dedup, merge} x {barrier, \
+       sharded} x domains [%s] agree (%d reference states)\n"
+      !repeat
+      (String.concat "; " (List.map string_of_int !domains))
+      total
+  | exception Failure msg ->
+    Printf.eprintf "mc-stress: FAILED\n%s\n" msg;
+    exit 1

@@ -3,7 +3,8 @@
 DUNE ?= dune
 
 .PHONY: all build release test bench bench-smoke svc-smoke net-smoke \
-	trace-smoke mc-stress perf-regress perf-baseline check doc clean
+	trace-smoke mc-stress resume-smoke perf-regress perf-baseline check \
+	doc clean
 
 all: build
 
@@ -35,18 +36,30 @@ mc-stress: build
 	$(DUNE) exec --no-build test/test_mc_stress.exe -- --repeat 10 --domains 4
 	$(DUNE) exec --no-build test/test_mc_stress.exe -- --repeat 3 --domains 1,2,4
 
+# Kill-and-resume gate for the external-memory spill tier: a
+# spill+checkpoint run is SIGKILLed mid-level and resumed to the
+# byte-identical verdict and counts; torn MANIFEST.*.tmp files lose
+# to the committed manifest; a corrupted manifest, visited segment,
+# or frontier segment makes --resume fail loudly with exit 2 instead
+# of silently rechecking from scratch.
+resume-smoke: build
+	@sh test/resume_smoke.sh
+
 # Regenerates the B6 (por x dedup exploration grid), B5 (service
-# throughput), B8 (socket loopback latency-vs-rate sweep), and B9
-# (barrier vs sharded engine grid) series and diffs them against the
-# committed baselines in bench/baselines/ (BENCH_b6.json,
-# BENCH_svc.json, BENCH_b8.json, BENCH_b9.json): counts must match
-# exactly; measured fields (walls, latencies, rates) must stay within
-# ELIN_PERF_TOL (default 4x — generous because CI wall clocks are
-# noisy; count drift is the precise signal).  Rate-like fields are
-# gated higher-is-better, everything else lower-is-better.  B9
-# additionally self-gates: bit-identical counts across its whole
-# engine x domains grid, sharded@1 within tolerance of barrier@1, and
-# sharded@4 strictly above barrier@4 (states/s).
+# throughput), B8 (socket loopback latency-vs-rate sweep), B9
+# (barrier vs sharded engine grid), and B10 (external-memory spill
+# tier) series and diffs them against the committed baselines in
+# bench/baselines/ (BENCH_b6.json, BENCH_svc.json, BENCH_b8.json,
+# BENCH_b9.json, BENCH_b10.json): counts must match exactly; measured
+# fields (walls, latencies, rates) must stay within ELIN_PERF_TOL
+# (default 4x — generous because CI wall clocks are noisy; count
+# drift is the precise signal).  Rate-like fields are gated
+# higher-is-better, everything else lower-is-better.  B9 additionally
+# self-gates: bit-identical counts across its whole engine x domains
+# grid, sharded@1 within tolerance of barrier@1, and sharded@4
+# strictly above barrier@4 (states/s).  B10 self-gates counts across
+# ram/spill rows and the deterministic spill shape (segments, disk
+# bytes, spilled records).
 perf-regress:
 	$(DUNE) exec bench/main.exe -- --regress
 
@@ -148,7 +161,8 @@ doc:
 
 # CI gate: full build, full test suite, and a guard against anyone
 # re-adding build artefacts to the index (PR 1 untracked _build/).
-check: build test bench-smoke svc-smoke net-smoke trace-smoke mc-stress
+check: build test bench-smoke svc-smoke net-smoke trace-smoke mc-stress \
+		resume-smoke
 	@if git ls-files | grep -E '^_build/|\.install$$|^\.merlin$$' >/dev/null; then \
 	  echo "error: build artefacts are tracked in git (see .gitignore)"; \
 	  git ls-files | grep -E '^_build/|\.install$$|^\.merlin$$' | head; \

@@ -1170,6 +1170,165 @@ let b9 () =
   rows
 
 (* ------------------------------------------------------------------ *)
+(* B10: external-memory spill tier                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The B6/B9 2x3 d22 workload through the sharded engine at 2 domains,
+   three ways: all-RAM, spill with a hot tier that never fills (2^20
+   fingerprints/shard), and spill with a tiny hot tier (1024/shard)
+   that seals segments all run long.  On trial:
+
+   - the spill tier is a representation change, never a semantic one:
+     every exploration count must be bit-identical across the three
+     rows (cross-gated here, exact against the baseline under
+     --regress);
+   - the spill shape is deterministic: segments, disk bytes, and
+     spilled-record counts are integer fields, so --regress gates
+     them exactly;
+   - throughput: states_per_s gated higher-is-better vs the committed
+     baseline, like every other series. *)
+let b10 () =
+  let open Elin_mc in
+  let impl = Impls.fai_from_board () in
+  let wl = Run.uniform_workload Op.fetch_inc ~procs:2 ~per_proc:3 in
+  let scratch tag =
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "elin-b10-%d-%s" (Unix.getpid ()) tag)
+    in
+    (try Unix.mkdir d 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+  in
+  let rm_rf d =
+    if Sys.file_exists d then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+      Unix.rmdir d
+    end
+  in
+  let zero_store =
+    {
+      Elin_store.Tiered_set.segments = 0;
+      disk_bytes = 0;
+      spilled = 0;
+      hot = 0;
+      flushes = 0;
+      disk_probes = 0;
+      disk_probe_hits = 0;
+    }
+  in
+  let run ~hot tag () =
+    let sp, dir =
+      match hot with
+      | None -> (None, None)
+      | Some hot ->
+        let d = scratch tag in
+        (Some (Mc.spill ~hot ~identity:"b10" d), Some d)
+    in
+    let s =
+      Mc.count_states impl ~workloads:wl ~max_steps:22
+        ~engine:Search.Sharded ~domains:2 ~dedup:true ~por:true ?spill:sp ()
+    in
+    let store =
+      match sp with
+      | Some { Mc.store = Some st; _ } -> st
+      | _ -> zero_store
+    in
+    Option.iter rm_rf dir;
+    (s, store)
+  in
+  let best_of n run =
+    let best = ref (run ()) in
+    for _ = 2 to n do
+      let r = run () in
+      if (fst r).Search.wall < (fst !best).Search.wall then best := r
+    done;
+    !best
+  in
+  Printf.printf "\n== B10: spill tier (2x3 d22 por+dedup sharded x2) ==\n";
+  Printf.printf "%-34s %9s %9s %9s %12s %9s\n" "benchmark" "states" "segs"
+    "diskKiB" "states/s" "wall-s";
+  let cells =
+    [
+      ("ram", best_of 3 (run ~hot:None "ram"));
+      ("spill hot=1M", best_of 3 (run ~hot:(Some (1 lsl 20)) "big"));
+      ("spill hot=1k", best_of 3 (run ~hot:(Some 1024) "tiny"));
+    ]
+  in
+  let failed = ref false in
+  let _, (ref_stats, _) = List.hd cells in
+  (* Cross-gates: spill on/off and hot-tier size may never move a
+     count. *)
+  List.iter
+    (fun (mode, ((s : Search.stats), _)) ->
+      let gate name a b =
+        if a <> b then begin
+          Printf.eprintf "b10: %s: %s drifted (%d, ram row has %d)\n" mode
+            name b a;
+          failed := true
+        end
+      in
+      gate "states" ref_stats.Search.states s.Search.states;
+      gate "dedup_hits" ref_stats.Search.dedup_hits s.Search.dedup_hits;
+      gate "kept" ref_stats.Search.kept s.Search.kept;
+      gate "pruned" ref_stats.Search.pruned s.Search.pruned;
+      gate "frontier_peak" ref_stats.Search.frontier_peak
+        s.Search.frontier_peak;
+      gate "leaves" ref_stats.Search.leaves s.Search.leaves;
+      gate "cut" ref_stats.Search.cut s.Search.cut;
+      gate "levels" ref_stats.Search.levels s.Search.levels)
+    cells;
+  (* Shape gates: the big cap must never spill, the tiny cap must
+     spill nearly everything. *)
+  let store_of mode = snd (List.assoc mode cells) in
+  if (store_of "spill hot=1M").Elin_store.Tiered_set.segments <> 0 then begin
+    Printf.eprintf "b10: hot=1M spilled segments; cap sizing is broken\n";
+    failed := true
+  end;
+  let tiny = store_of "spill hot=1k" in
+  if tiny.segments = 0 || tiny.spilled = 0 then begin
+    Printf.eprintf "b10: hot=1k never spilled; the tier was not exercised\n";
+    failed := true
+  end;
+  let rate (s : Search.stats) =
+    float_of_int s.Search.states /. s.Search.wall
+  in
+  let rows =
+    List.map
+      (fun (mode, ((s : Search.stats), (store : Elin_store.Tiered_set.stats)))
+      ->
+        let name = Printf.sprintf "mc/fai-board 2x3 d22 sharded x2 %s" mode in
+        Printf.printf "%-34s %9d %9d %9d %12.0f %9.3f\n" name s.Search.states
+          store.segments
+          (store.disk_bytes / 1024)
+          (rate s) s.Search.wall;
+        flush stdout;
+        let open Elin_svc.Jsonl in
+        Obj
+          [
+            ("name", Str name);
+            ("mode", Str mode);
+            ("states", Int s.Search.states);
+            ("dedup_hits", Int s.Search.dedup_hits);
+            ("kept", Int s.Search.kept);
+            ("pruned", Int s.Search.pruned);
+            ("frontier_peak", Int s.Search.frontier_peak);
+            ("leaves", Int s.Search.leaves);
+            ("cut", Int s.Search.cut);
+            ("levels", Int s.Search.levels);
+            ("segments", Int store.segments);
+            ("disk_bytes", Int store.disk_bytes);
+            ("spilled", Int store.spilled);
+            ("flushes", Int store.flushes);
+            ("states_per_s", Float (rate s));
+          ])
+      cells
+  in
+  if !failed then exit 1;
+  write_series "b10" rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
 (* --regress: measured series vs the committed baselines              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1179,6 +1338,7 @@ let baseline_path = "bench/baselines/BENCH_b6.json"
 let svc_baseline_path = "bench/baselines/BENCH_svc.json"
 let b8_baseline_path = "bench/baselines/BENCH_b8.json"
 let b9_baseline_path = "bench/baselines/BENCH_b9.json"
+let b10_baseline_path = "bench/baselines/BENCH_b10.json"
 
 let read_file path =
   let ic = open_in_bin path in
@@ -1276,6 +1436,7 @@ let regress ~update () =
   let svc_rows = b5 () in
   let b8_rows = b8 () in
   let b9_rows = b9 () in
+  let b10_rows = b10 () in
   if update then begin
     (try Unix.mkdir "bench/baselines" 0o755
      with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
@@ -1283,8 +1444,9 @@ let regress ~update () =
     Elin_obs.Jsonl.to_file svc_baseline_path (series_obj "svc" svc_rows);
     Elin_obs.Jsonl.to_file b8_baseline_path (series_obj "b8" b8_rows);
     Elin_obs.Jsonl.to_file b9_baseline_path (series_obj "b9" b9_rows);
-    Printf.printf "\nwrote baselines %s, %s, %s, %s\n" baseline_path
-      svc_baseline_path b8_baseline_path b9_baseline_path
+    Elin_obs.Jsonl.to_file b10_baseline_path (series_obj "b10" b10_rows);
+    Printf.printf "\nwrote baselines %s, %s, %s, %s, %s\n" baseline_path
+      svc_baseline_path b8_baseline_path b9_baseline_path b10_baseline_path
   end
   else begin
     let tol = perf_tol () in
@@ -1314,6 +1476,9 @@ let regress ~update () =
     | None -> exit 2);
     (match baseline_rows ~path:b9_baseline_path with
     | Some b -> compare_rows ~fail ~tol ~series:"b9" b b9_rows
+    | None -> exit 2);
+    (match baseline_rows ~path:b10_baseline_path with
+    | Some b -> compare_rows ~fail ~tol ~series:"b10" b b10_rows
     | None -> exit 2);
     let name_of row = Option.value ~default:"?" (str_mem "name" row) in
     (* B7 disabled-overhead gate: with the observability layer
@@ -1348,7 +1513,11 @@ let regress ~update () =
        tolerance %gx)\n"
       (List.length brows) (List.length svc_rows) (List.length b8_rows) tol;
     Printf.printf "b9 engine grid: %d rows gated (counts exact, rates %gx)\n"
-      (List.length b9_rows) tol
+      (List.length b9_rows) tol;
+    Printf.printf
+      "b10 spill tier: %d rows gated (counts and spill shape exact, rates \
+       %gx)\n"
+      (List.length b10_rows) tol
   end
 
 let () =
@@ -1380,6 +1549,7 @@ let () =
     ignore (b6 ());
     ignore (b7 ());
     ignore (b9 ());
+    ignore (b10 ());
     b4 ();
     e6 ();
     e10 ();

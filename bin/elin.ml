@@ -569,14 +569,182 @@ let json_of_stats stats =
       ("wall", Float stats.Search.wall);
     ]
 
+(* Resolved mc run parameters: everything that shapes the state space
+   or the search partitioning.  [identity_of_params] is the canonical
+   JSON rendering — embedded in every checkpoint manifest, validated
+   on resume by {!Elin_mc.Search} (byte equality), and parsed back by
+   [--resume] so the workload flags need not (and must not) be
+   repeated. *)
+type mc_params = {
+  q_impl : string option;  (* [None] = the valency workload *)
+  q_protocol : string;
+  q_stabilize_at : int;
+  q_procs : int;
+  q_per_proc : int;
+  q_depth : int;
+  q_engine : Elin_mc.Search.engine;
+  q_domains : int;  (* resolved: >= 1, never the 0 sentinel *)
+  q_dedup : bool;
+  q_por : bool;
+  q_symmetry : bool;
+  q_hot : int;
+  q_every : int;
+}
+
+let identity_of_params p =
+  let open Elin_svc.Jsonl in
+  to_string
+    (Obj
+       [
+         ( "mode",
+           Str (match p.q_impl with None -> "valency" | Some _ -> "impl") );
+         ("impl", match p.q_impl with None -> Null | Some i -> Str i);
+         ("protocol", if p.q_impl = None then Str p.q_protocol else Null);
+         ( "stabilize_at",
+           if p.q_impl = None then Int p.q_stabilize_at else Null );
+         ("procs", Int p.q_procs);
+         ("per_proc", Int p.q_per_proc);
+         ("depth", Int p.q_depth);
+         ("engine", Str (Elin_mc.Search.engine_to_string p.q_engine));
+         ("domains", Int p.q_domains);
+         ("dedup", Bool p.q_dedup);
+         ("por", Bool p.q_por);
+         ("symmetry", Bool p.q_symmetry);
+         ("spill_hot", Int p.q_hot);
+         ("checkpoint_every", Int p.q_every);
+       ])
+
+(* Inverse of [identity_of_params].  Building the record back and
+   re-rendering it must round-trip byte-identically (field order is
+   fixed), or the engine's manifest identity check would refuse its
+   own checkpoints. *)
+let params_of_identity s =
+  let open Elin_svc.Jsonl in
+  match of_string s with
+  | exception Parse_error e ->
+    Error (Printf.sprintf "manifest identity unreadable: %s" e)
+  | id -> (
+    match
+      ( int_mem "procs" id,
+        int_mem "per_proc" id,
+        int_mem "depth" id,
+        Option.bind (str_mem "engine" id) Elin_mc.Search.engine_of_string,
+        int_mem "domains" id,
+        bool_mem "dedup" id,
+        bool_mem "por" id,
+        bool_mem "symmetry" id,
+        int_mem "spill_hot" id,
+        int_mem "checkpoint_every" id )
+    with
+    | ( Some procs,
+        Some per_proc,
+        Some depth,
+        Some engine,
+        Some domains,
+        Some dedup,
+        Some por,
+        Some symmetry,
+        Some hot,
+        Some every ) ->
+      Ok
+        {
+          q_impl = str_mem "impl" id;
+          q_protocol = Option.value (str_mem "protocol" id) ~default:"cas";
+          q_stabilize_at =
+            Option.value (int_mem "stabilize_at" id) ~default:1000;
+          q_procs = procs;
+          q_per_proc = per_proc;
+          q_depth = depth;
+          q_engine = engine;
+          q_domains = domains;
+          q_dedup = dedup;
+          q_por = por;
+          q_symmetry = symmetry;
+          q_hot = hot;
+          q_every = every;
+        }
+    | _ -> Error "manifest identity is missing required fields")
+
+(* Spill-tier result fields, appended to the canonical JSON object
+   only when --spill/--resume is active: [json_of_stats] itself keeps
+   its shape, so committed bench baselines and [--regress] diffs are
+   unaffected. *)
+let spill_json_fields msp ~resume =
+  let open Elin_svc.Jsonl in
+  match msp with
+  | None -> []
+  | Some (m : Elin_mc.Mc.spill) ->
+    let store =
+      match m.Elin_mc.Mc.store with
+      | None -> Null
+      | Some s ->
+        let open Elin_store.Tiered_set in
+        Obj
+          [
+            ("segments", Int s.segments);
+            ("disk_bytes", Int s.disk_bytes);
+            ("spilled", Int s.spilled);
+            ("hot", Int s.hot);
+            ("flushes", Int s.flushes);
+            ("disk_probes", Int s.disk_probes);
+            ("disk_probe_hits", Int s.disk_probe_hits);
+          ]
+    in
+    [
+      ("spill", Str m.Elin_mc.Mc.dir);
+      ("resumed", Bool resume);
+      ( "resumed_from",
+        match m.Elin_mc.Mc.resumed_from with
+        | None -> Null
+        | Some seq -> Int seq );
+      ("store", store);
+    ]
+
+let pp_spill msp =
+  match msp with
+  | None -> ()
+  | Some (m : Elin_mc.Mc.spill) ->
+    (match m.Elin_mc.Mc.resumed_from with
+    | Some seq ->
+      Printf.printf "resumed from checkpoint %d in %s\n" seq m.Elin_mc.Mc.dir
+    | None -> ());
+    (match m.Elin_mc.Mc.store with
+    | Some s ->
+      let open Elin_store.Tiered_set in
+      Printf.printf
+        "spill: %d segments (%d bytes, %d fingerprints) under %s; hot %d; \
+         flushes %d; disk probes %d (%d hits)\n"
+        s.segments s.disk_bytes s.spilled m.Elin_mc.Mc.dir s.hot s.flushes
+        s.disk_probes s.disk_probe_hits
+    | None -> ())
+
 let do_mc impl_name protocol_name stabilize_at procs per_proc depth engine_s
-    domains no_dedup no_por symmetry json trace progress =
+    domains no_dedup no_por symmetry json trace progress spill_dir spill_hot
+    ckpt_every resume_dir crash_after =
   let open Elin_mc in
   if domains < 0 then
     `Error
       ( false,
         Printf.sprintf "--domains must be >= 0 (0 = recommended), got %d"
           domains )
+  else if spill_hot < 1 then
+    `Error
+      (false, Printf.sprintf "--spill-hot must be >= 1, got %d" spill_hot)
+  else if ckpt_every < 0 then
+    `Error
+      ( false,
+        Printf.sprintf "--checkpoint-every must be >= 0, got %d" ckpt_every )
+  else if ckpt_every > 0 && spill_dir = None && resume_dir = None then
+    `Error (false, "--checkpoint-every requires --spill DIR")
+  else if resume_dir <> None && spill_dir <> None then
+    `Error (false, "--resume already names the spill directory; drop --spill")
+  else if crash_after <> None && ckpt_every = 0 && resume_dir = None then
+    `Error (false, "--crash-after-checkpoint requires --checkpoint-every")
+  else if crash_after <> None && impl_name = None && resume_dir = None then
+    `Error
+      ( false,
+        "--crash-after-checkpoint requires --impl (crash injection hooks \
+         state expansion)" )
   else
     match Search.engine_of_string engine_s with
     | None ->
@@ -585,11 +753,94 @@ let do_mc impl_name protocol_name stabilize_at procs per_proc depth engine_s
           Printf.sprintf "--engine must be 'barrier' or 'sharded', got %s"
             engine_s )
     | Some engine ->
+  (* Under [--resume DIR] every workload/search parameter is dictated
+     by the newest committed manifest's identity; only the output and
+     observability flags are honoured.  Any corruption here — and in
+     the run itself below — is a loud exit 2, never a silent recheck
+     from scratch. *)
+  let params =
+    match resume_dir with
+    | None ->
+      Ok
+        {
+          q_impl = impl_name;
+          q_protocol = protocol_name;
+          q_stabilize_at = stabilize_at;
+          (* Valency runs ignore procs/per_proc/symmetry: pin them so
+             the identity string is canonical. *)
+          q_procs = (if impl_name = None then 2 else procs);
+          q_per_proc = (if impl_name = None then 0 else per_proc);
+          q_depth = depth;
+          q_engine = engine;
+          q_domains =
+            (if domains = 0 then Domain.recommended_domain_count ()
+             else domains);
+          q_dedup = not no_dedup;
+          q_por = not no_por;
+          q_symmetry = impl_name <> None && symmetry;
+          q_hot = spill_hot;
+          q_every = ckpt_every;
+        }
+    | Some dir -> (
+      try
+        match Elin_store.Checkpoint.load_latest ~dir with
+        | None ->
+          Error
+            (Printf.sprintf "--resume %s: no committed checkpoint manifest"
+               dir)
+        | Some m -> (
+          match params_of_identity m.Elin_store.Checkpoint.identity with
+          | Ok p -> Ok p
+          | Error e -> Error (Printf.sprintf "--resume %s: %s" dir e))
+      with Elin_store.Segment.Corrupt msg ->
+        Error (Printf.sprintf "--resume %s: %s" dir msg))
+  in
+  match params with
+  | Error msg ->
+    Printf.eprintf "elin mc: %s\n%!" msg;
+    ok_exit Exit_code.Usage
+  | Ok p ->
   with_trace trace @@ fun () ->
   with_progress progress @@ fun () ->
-  let domains = if domains = 0 then None else Some domains in
-  let dedup = not no_dedup in
-  let por = not no_por in
+  let impl_name = p.q_impl in
+  let protocol_name = p.q_protocol in
+  let stabilize_at = p.q_stabilize_at in
+  let procs = p.q_procs in
+  let per_proc = p.q_per_proc in
+  let depth = p.q_depth in
+  let engine = p.q_engine in
+  let domains = Some p.q_domains in
+  let dedup = p.q_dedup in
+  let por = p.q_por in
+  let symmetry = p.q_symmetry in
+  let resume = resume_dir <> None in
+  let spill_dir =
+    match resume_dir with Some d -> Some d | None -> spill_dir
+  in
+  (* --crash-after-checkpoint K: once checkpoint K commits, let ~200
+     more states expand, then SIGKILL ourselves — a genuine mid-level
+     crash for the resume tests.  The fuse races across domains;
+     exactly one decrement observes 1. *)
+  let crash_fuse = Atomic.make 0 in
+  let on_checkpoint seq =
+    match crash_after with
+    | Some k when seq = k -> Atomic.set crash_fuse 200
+    | _ -> ()
+  in
+  let on_state () =
+    if
+      crash_after <> None
+      && Atomic.get crash_fuse > 0
+      && Atomic.fetch_and_add crash_fuse (-1) = 1
+    then Unix.kill (Unix.getpid ()) Sys.sigkill
+  in
+  let msp =
+    Option.map
+      (fun dir ->
+        Mc.spill ~hot:p.q_hot ~every:p.q_every
+          ~identity:(identity_of_params p) ~on_checkpoint dir)
+      spill_dir
+  in
   let human fmt =
     Printf.ksprintf (fun s -> if not json then print_string s) fmt
   in
@@ -597,7 +848,8 @@ let do_mc impl_name protocol_name stabilize_at procs per_proc depth engine_s
     if json then
       print_endline (Elin_svc.Jsonl.to_string (Elin_svc.Jsonl.Obj fields))
   in
-  match impl_name with
+  let run () =
+    match impl_name with
   | None -> (
     (* The E9 valency workload: exhaustive consensus analysis. *)
     match valency_protocol_of_name protocol_name ~stabilize_at with
@@ -612,8 +864,11 @@ let do_mc impl_name protocol_name stabilize_at procs per_proc depth engine_s
         (if por then "on" else "off")
         (Search.engine_to_string engine);
       let r = Mc_valency.check_consensus p ~inputs ~max_steps:depth ~engine
-          ?domains ~dedup ~por () in
-      if not json then pp_mc_stats r.Mc_valency.stats;
+          ?domains ~dedup ~por ?spill:msp ~resume () in
+      if not json then begin
+        pp_mc_stats r.Mc_valency.stats;
+        pp_spill msp
+      end;
       human "terminated within bound: %b\n" r.Mc_valency.terminated;
       human "reachable decision vectors: %s\n"
         (String.concat ", "
@@ -637,19 +892,20 @@ let do_mc impl_name protocol_name stabilize_at procs per_proc depth engine_s
       in
       let jvec_opt = function None -> Null | Some d -> jvec d in
       emit_json
-        [
-          ("mode", Str "valency");
-          ("protocol", Str p.Elin_valency.Valency.name);
-          ("depth", Int depth);
-          ("engine", Str (Search.engine_to_string engine));
-          ("dedup", Bool dedup);
-          ("por", Bool por);
-          ("terminated", Bool r.Mc_valency.terminated);
-          ("decisions", Arr (List.map jvec r.Mc_valency.decisions));
-          ("agreement_violation", jvec_opt r.Mc_valency.agreement_violation);
-          ("validity_violation", jvec_opt r.Mc_valency.validity_violation);
-          ("stats", json_of_stats r.Mc_valency.stats);
-        ];
+        ([
+           ("mode", Str "valency");
+           ("protocol", Str p.Elin_valency.Valency.name);
+           ("depth", Int depth);
+           ("engine", Str (Search.engine_to_string engine));
+           ("dedup", Bool dedup);
+           ("por", Bool por);
+           ("terminated", Bool r.Mc_valency.terminated);
+           ("decisions", Arr (List.map jvec r.Mc_valency.decisions));
+           ("agreement_violation", jvec_opt r.Mc_valency.agreement_violation);
+           ("validity_violation", jvec_opt r.Mc_valency.validity_violation);
+           ("stats", json_of_stats r.Mc_valency.stats);
+         ]
+        @ spill_json_fields msp ~resume);
       ok_exit
         (if
            r.Mc_valency.agreement_violation <> None
@@ -683,10 +939,13 @@ let do_mc impl_name protocol_name stabilize_at procs per_proc depth engine_s
         (if symmetry then ", symmetry reduction" else "");
       let out =
         Mc.check impl ~workloads ~max_steps:depth ~engine ?domains ~dedup
-          ~symmetry ~por
+          ~symmetry ~por ?spill:msp ~resume ~on_state
           (fun h -> Engine.linearizable cfg h)
       in
-      if not json then pp_mc_stats out.Mc.stats;
+      if not json then begin
+        pp_mc_stats out.Mc.stats;
+        pp_spill msp
+      end;
       (match out.Mc.counterexample with
       | None ->
         human "linearizable on every explored schedule: %b\n" out.Mc.ok
@@ -695,24 +954,30 @@ let do_mc impl_name protocol_name stabilize_at procs per_proc depth engine_s
           (History.to_string h));
       let open Elin_svc.Jsonl in
       emit_json
-        [
-          ("mode", Str "impl");
-          ("impl", Str impl.Impl.name);
-          ("procs", Int procs);
-          ("per_proc", Int per_proc);
-          ("depth", Int depth);
-          ("engine", Str (Search.engine_to_string engine));
-          ("dedup", Bool dedup);
-          ("por", Bool por);
-          ("symmetry", Bool symmetry);
-          ("ok", Bool out.Mc.ok);
-          ( "counterexample",
-            match out.Mc.counterexample with
-            | None -> Null
-            | Some h -> Str (History.to_string h) );
-          ("stats", json_of_stats out.Mc.stats);
-        ];
+        ([
+           ("mode", Str "impl");
+           ("impl", Str impl.Impl.name);
+           ("procs", Int procs);
+           ("per_proc", Int per_proc);
+           ("depth", Int depth);
+           ("engine", Str (Search.engine_to_string engine));
+           ("dedup", Bool dedup);
+           ("por", Bool por);
+           ("symmetry", Bool symmetry);
+           ("ok", Bool out.Mc.ok);
+           ( "counterexample",
+             match out.Mc.counterexample with
+             | None -> Null
+             | Some h -> Str (History.to_string h) );
+           ("stats", json_of_stats out.Mc.stats);
+         ]
+        @ spill_json_fields msp ~resume);
       ok_exit (if out.Mc.ok then Exit_code.Ok else Exit_code.Violation))
+  in
+  (try run ()
+   with Elin_store.Segment.Corrupt msg ->
+     Printf.eprintf "elin mc: %s\n%!" msg;
+     ok_exit Exit_code.Usage)
 
 let mc_cmd =
   let impl_name =
@@ -780,6 +1045,44 @@ let mc_cmd =
                    per-domain utilization) to stderr every $(docv) seconds \
                    during the run.")
   in
+  let spill =
+    Arg.(value & opt (some string) None
+         & info [ "spill" ] ~docv:"DIR"
+             ~doc:"Spill the visited set to an on-disk segment tier under \
+                   $(docv) (created if missing), bounding resident \
+                   fingerprints by $(b,--spill-hot).  Verdicts, counts and \
+                   counterexamples are bit-identical to the all-RAM run.")
+  in
+  let spill_hot =
+    Arg.(value & opt int (1 lsl 20)
+         & info [ "spill-hot" ] ~docv:"N"
+             ~doc:"Hot-tier capacity per visited-set shard, in fingerprints; \
+                   a full shard seals a sorted segment to disk.")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int 0
+         & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:"With $(b,--spill): seal a resumable checkpoint at every \
+                   $(docv)-th BFS level barrier (0 = never).  A crashed or \
+                   killed run then continues with $(b,--resume) to the \
+                   identical verdict and counts.")
+  in
+  let resume =
+    Arg.(value & opt (some string) None
+         & info [ "resume" ] ~docv:"DIR"
+             ~doc:"Resume from the newest committed checkpoint under \
+                   $(docv).  The run's workload and search parameters are \
+                   read back from the checkpoint manifest — they must not \
+                   be repeated (workload flags are ignored).  Corrupt or \
+                   mismatched state fails loudly with exit code 2.")
+  in
+  let crash_after =
+    Arg.(value & opt (some int) None
+         & info [ "crash-after-checkpoint" ] ~docv:"K"
+             ~doc:"(testing) SIGKILL this process roughly 200 state \
+                   expansions after checkpoint $(docv) commits — a genuine \
+                   mid-level crash for the resume smoke test.")
+  in
   Cmd.v
     (Cmd.info "mc"
        ~doc:"Parallel fingerprint-dedup model checking of an execution tree \
@@ -788,7 +1091,8 @@ let mc_cmd =
       ret
         (const do_mc $ impl_name $ protocol $ stabilize_at $ procs_arg
        $ per_proc $ depth $ engine $ domains $ no_dedup $ no_por $ symmetry
-       $ json $ trace_arg $ progress))
+       $ json $ trace_arg $ progress $ spill $ spill_hot $ checkpoint_every
+       $ resume $ crash_after))
 
 (* ------------------------------------------------------------------ *)
 (* elin serafini                                                      *)

@@ -32,6 +32,28 @@ type outcome = {
   stats : Search.stats;
 }
 
+type spill = {
+  dir : string;
+  hot : int;
+  every : int;
+  identity : string;
+  on_checkpoint : int -> unit;
+  mutable store : Elin_store.Tiered_set.stats option;
+  mutable resumed_from : int option;
+}
+
+let spill ?(hot = 1 lsl 20) ?(every = 0) ?(identity = "")
+    ?(on_checkpoint = fun _ -> ()) dir =
+  {
+    dir;
+    hot;
+    every;
+    identity;
+    on_checkpoint;
+    store = None;
+    resumed_from = None;
+  }
+
 let workloads_symmetric workloads =
   let n = Array.length workloads in
   n = 0
@@ -57,23 +79,44 @@ let check_symmetry ~symmetry ~workloads =
    successor generation ([dedup_hits]) shrinks.  In tree mode (no
    dedup) [por] prunes the node count itself. *)
 let drive (impl : Impl.t) ?engine ?domains ?(dedup = true) ?(symmetry = false)
-    ?(por = true) ?(stop_early = true) ~budget ~leaf root =
+    ?(por = true) ?(stop_early = true) ?spill:msp ?resume ?on_state ~budget
+    ~leaf root =
   let por =
     por && (not symmetry) && Array.length root.Explore.procs <= 62
   in
   let pruned = Atomic.make 0 in
   let expand (node : Canon.node) =
+    (match on_state with Some f -> f () | None -> ());
     let c = node.Canon.config in
     if Explore.is_done c then Search.Leaf (leaf c)
     else if c.Explore.steps >= budget then Search.Cut (leaf c)
     else Search.Children (Canon.successors ~por ~pruned impl node)
   in
   let merge = if por && dedup then Some Canon.merge_sleep else None in
+  (* The frontier segments' payload is the sleep mask: the resume
+     cross-check then certifies the POR metadata of the cut, not just
+     the state identities.  The POR-pruned counter rides the manifest
+     through the aux hooks. *)
+  let sp =
+    Option.map
+      (fun m ->
+        Search.spill ~hot:m.hot ~every:m.every ~identity:m.identity
+          ~payload:(fun (n : Canon.node) -> Int64.of_int n.Canon.sleep)
+          ~save_aux:(fun () -> Atomic.get pruned)
+          ~restore_aux:(fun v -> Atomic.set pruned v)
+          ~on_checkpoint:m.on_checkpoint m.dir)
+      msp
+  in
   let vs, stats =
-    Search.bfs ?engine ?domains ~dedup ~stop_early ?merge
+    Search.bfs ?engine ?domains ~dedup ~stop_early ?merge ?spill:sp ?resume
       ~fingerprint:(Canon.fingerprint ~symmetry)
       ~expand ~compare:Canon.compare_history (Canon.root root)
   in
+  (match msp, sp with
+  | Some m, Some s ->
+    m.store <- s.Search.sp_store;
+    m.resumed_from <- s.Search.sp_resumed
+  | _ -> ());
   (vs, { stats with Search.pruned = Atomic.get pruned })
 
 let outcome_of (violations, stats) =
@@ -85,14 +128,15 @@ let outcome_of (violations, stats) =
     (finished or cut at [max_steps])?  The [Explore.for_all_histories]
     contract, parallel and deduplicated. *)
 let check (impl : Impl.t) ~workloads ?locals ?(max_steps = 40) ?engine
-    ?domains ?dedup ?(symmetry = false) ?por p =
+    ?domains ?dedup ?(symmetry = false) ?por ?spill ?resume ?on_state p =
   check_symmetry ~symmetry ~workloads;
   let leaf c =
     let h = Explore.history c in
     if p h then None else Some h
   in
   outcome_of
-    (drive impl ?engine ?domains ?dedup ~symmetry ?por ~budget:max_steps ~leaf
+    (drive impl ?engine ?domains ?dedup ~symmetry ?por ?spill ?resume
+       ?on_state ~budget:max_steps ~leaf
        (Explore.initial_config impl ~workloads ?locals ()))
 
 (** [check_from impl c0 ~max_extra_steps p] — [check] over every
@@ -100,23 +144,23 @@ let check (impl : Impl.t) ~workloads ?locals ?(max_steps = 40) ?engine
     (the Prop. 18 stability certificate's shape).  No symmetry
     reduction: the processes' in-flight operations break it. *)
 let check_from (impl : Impl.t) (c0 : Explore.config) ~max_extra_steps ?engine
-    ?domains ?dedup ?por p =
+    ?domains ?dedup ?por ?spill ?resume ?on_state p =
   let leaf c =
     let h = Explore.history c in
     if p h then None else Some h
   in
   outcome_of
-    (drive impl ?engine ?domains ?dedup ?por
+    (drive impl ?engine ?domains ?dedup ?por ?spill ?resume ?on_state
        ~budget:(c0.Explore.steps + max_extra_steps) ~leaf c0)
 
 (** [count_states impl ~workloads ()] — exhaust the bounded space with
     no predicate; the stats are the result. *)
 let count_states (impl : Impl.t) ~workloads ?locals ?(max_steps = 40) ?engine
-    ?domains ?dedup ?(symmetry = false) ?por () =
+    ?domains ?dedup ?(symmetry = false) ?por ?spill ?resume ?on_state () =
   check_symmetry ~symmetry ~workloads;
   let _, stats =
-    drive impl ?engine ?domains ?dedup ~symmetry ?por ~stop_early:false
-      ~budget:max_steps
+    drive impl ?engine ?domains ?dedup ~symmetry ?por ?spill ?resume ?on_state
+      ~stop_early:false ~budget:max_steps
       ~leaf:(fun _ -> None)
       (Explore.initial_config impl ~workloads ?locals ())
   in
@@ -127,9 +171,10 @@ let count_states (impl : Impl.t) ~workloads ?locals ?(max_steps = 40) ?engine
     Used by the dedup-soundness tests: the set is invariant under
     [~dedup]. *)
 let leaf_histories (impl : Impl.t) ~workloads ?locals ?(max_steps = 40)
-    ?engine ?domains ?dedup ?por () =
+    ?engine ?domains ?dedup ?por ?spill ?resume () =
   let hs, stats =
-    drive impl ?engine ?domains ?dedup ?por ~stop_early:false ~budget:max_steps
+    drive impl ?engine ?domains ?dedup ?por ?spill ?resume ~stop_early:false
+      ~budget:max_steps
       ~leaf:(fun c -> Some (Explore.history c))
       (Explore.initial_config impl ~workloads ?locals ())
   in

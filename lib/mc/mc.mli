@@ -25,6 +25,34 @@ type outcome = {
     reduction). *)
 val workloads_symmetric : Op.t list array -> bool
 
+(** External-memory spill + checkpoint configuration, layered over
+    {!Search.type-spill}: the visited set gains a disk tier under
+    [dir], and with [every > 0] the BFS seals a resumable checkpoint
+    at every [every]-th level barrier.  [identity] must canonically
+    describe the workload and search parameters — resume refuses a
+    mismatch.  The result fields [store] (spill-tier statistics) and
+    [resumed_from] (checkpoint sequence resumed, if any) are filled
+    after the run. *)
+type spill = {
+  dir : string;
+  hot : int;  (** hot-tier capacity per shard, in fingerprints *)
+  every : int;  (** checkpoint every N levels; 0 = never *)
+  identity : string;
+  on_checkpoint : int -> unit;
+  mutable store : Elin_store.Tiered_set.stats option;
+  mutable resumed_from : int option;
+}
+
+(** [spill dir] — defaults: [hot] 2^20, [every] 0, empty identity,
+    no-op [on_checkpoint]. *)
+val spill :
+  ?hot:int ->
+  ?every:int ->
+  ?identity:string ->
+  ?on_checkpoint:(int -> unit) ->
+  string ->
+  spill
+
 (** [check impl ~workloads p] — does [p] hold on every leaf history
     (finished, or cut at [max_steps], default 40)?
 
@@ -40,7 +68,14 @@ val workloads_symmetric : Op.t list array -> bool
     the process-renaming quotient of {!Canon.fingerprint} — requires
     identical workloads (checked: @raise Invalid_argument), a
     process-oblivious implementation and a renaming-invariant
-    predicate (the caller's obligation). *)
+    predicate (the caller's obligation).
+
+    [spill] attaches the external-memory tier / checkpoint schedule;
+    [resume] (requires [spill]) re-enters at the newest committed
+    checkpoint, raising {!Elin_store.Segment.Corrupt} if none exists
+    or anything fails validation.  [on_state] is called once per
+    expanded state (crash injection in the resume tests; must not
+    affect the state space). *)
 val check :
   Impl.t ->
   workloads:Op.t list array ->
@@ -51,6 +86,9 @@ val check :
   ?dedup:bool ->
   ?symmetry:bool ->
   ?por:bool ->
+  ?spill:spill ->
+  ?resume:bool ->
+  ?on_state:(unit -> unit) ->
   (History.t -> bool) ->
   outcome
 
@@ -65,6 +103,9 @@ val check_from :
   ?domains:int ->
   ?dedup:bool ->
   ?por:bool ->
+  ?spill:spill ->
+  ?resume:bool ->
+  ?on_state:(unit -> unit) ->
   (History.t -> bool) ->
   outcome
 
@@ -80,6 +121,9 @@ val count_states :
   ?dedup:bool ->
   ?symmetry:bool ->
   ?por:bool ->
+  ?spill:spill ->
+  ?resume:bool ->
+  ?on_state:(unit -> unit) ->
   unit ->
   Search.stats
 
@@ -95,5 +139,7 @@ val leaf_histories :
   ?domains:int ->
   ?dedup:bool ->
   ?por:bool ->
+  ?spill:spill ->
+  ?resume:bool ->
   unit ->
   History.t list * Search.stats

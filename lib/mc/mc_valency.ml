@@ -151,7 +151,7 @@ type report = {
     reported when termination fails ([terminated = false]): the
     decision set of the paths that did decide within the bound. *)
 let check_consensus (p : Valency.protocol) ~inputs ~max_steps ?engine ?domains
-    ?dedup ?(por = true) () =
+    ?dedup ?(por = true) ?spill:msp ?resume () =
   let por = por && Array.length inputs <= 62 in
   let dedup_on = match dedup with Some b -> b | None -> true in
   let pruned = Atomic.make 0 in
@@ -170,11 +170,28 @@ let check_consensus (p : Valency.protocol) ~inputs ~max_steps ?engine ?domains
     else Search.Children (successors ~por ~pruned p node)
   in
   let merge = if por && dedup_on then Some merge_sleep else None in
+  (* Valency nodes carry sleep masks too; same payload contract as
+     {!Mc.drive}'s. *)
+  let sp =
+    Option.map
+      (fun (m : Mc.spill) ->
+        Search.spill ~hot:m.Mc.hot ~every:m.Mc.every ~identity:m.Mc.identity
+          ~payload:(fun n -> Int64.of_int n.sleep)
+          ~save_aux:(fun () -> Atomic.get pruned)
+          ~restore_aux:(fun v -> Atomic.set pruned v)
+          ~on_checkpoint:m.Mc.on_checkpoint m.Mc.dir)
+      msp
+  in
   let leaves, stats =
-    Search.bfs ?engine ?domains ?dedup ~stop_early:false ?merge ~fingerprint
-      ~expand
+    Search.bfs ?engine ?domains ?dedup ~stop_early:false ?merge ?spill:sp
+      ?resume ~fingerprint ~expand
       ~compare:compare_leaf (root p ~inputs)
   in
+  (match msp, sp with
+  | Some m, Some s ->
+    m.Mc.store <- s.Search.sp_store;
+    m.Mc.resumed_from <- s.Search.sp_resumed
+  | _ -> ());
   let stats = { stats with Search.pruned = Atomic.get pruned } in
   let decisions =
     List.filter_map (function Decision d -> Some d | Truncated -> None) leaves

@@ -40,7 +40,9 @@ type report = {
 
 (** Unlike the DFS original ([Valency.check_consensus]), [decisions]
     is still reported when termination fails: the decision set of the
-    paths that did decide within the bound. *)
+    paths that did decide within the bound.  [spill]/[resume] as in
+    {!Mc.check}: external-memory visited tier plus crash-safe
+    checkpoint/resume. *)
 val check_consensus :
   Valency.protocol ->
   inputs:Value.t array ->
@@ -49,5 +51,7 @@ val check_consensus :
   ?domains:int ->
   ?dedup:bool ->
   ?por:bool ->
+  ?spill:Mc.spill ->
+  ?resume:bool ->
   unit ->
   report

@@ -84,8 +84,16 @@ type ('s, 'v) expansion =
   | Leaf of 'v option    (** terminal; [Some v] records a verdict *)
   | Cut of 'v option     (** terminal because of the bound *)
 
+(* A visited set reduced to the two operations the engines need.
+   Both engines build it over either the RAM sets
+   ({!Elin_kernel.Striped_set} / {!Elin_kernel.Shard_set}) or the
+   spill tier ({!Elin_store.Tiered_set}); the closures erase the
+   difference, which is what keeps the dedup semantics — and hence
+   the determinism contract — representation-independent. *)
+type vset = { vadd : int64 -> bool; vmem : int64 -> bool }
+
 (* How a domain's share treats generated successors.  [Immediate] is
-   the classic path: filter through the striped visited set at
+   the classic path: filter through the shared visited set at
    generation time.  [Tag] tags each successor with its fingerprint
    for barrier-time merging (dedup under partial-order reduction,
    where the surviving copy's metadata is the merge of all copies')
@@ -95,10 +103,7 @@ type ('s, 'v) expansion =
    and buffering such a copy would only inflate per-level peak memory.
    Only intra-level copies reach the barrier merge.  [Plain] keeps
    everything untagged. *)
-type keep_mode =
-  | Plain
-  | Immediate of Elin_kernel.Striped_set.t
-  | Tag of Elin_kernel.Striped_set.t
+type keep_mode = Plain | Immediate of vset | Tag of vset
 
 (* Results of one domain's share of one level. *)
 type ('s, 'v) share = {
@@ -167,12 +172,10 @@ let expand_share ~expand ~fingerprint ~mode frontier ~stride ~offset =
     | Plain -> next := (0L, s') :: !next
     | Immediate visited ->
       let fp = fingerprint s' in
-      if Elin_kernel.Striped_set.add visited fp then next := (fp, s') :: !next
-      else incr hits
+      if visited.vadd fp then next := (fp, s') :: !next else incr hits
     | Tag visited ->
       let fp = fingerprint s' in
-      if Elin_kernel.Striped_set.mem visited fp then incr hits
-      else next := (fp, s') :: !next
+      if visited.vmem fp then incr hits else next := (fp, s') :: !next
   in
   let i = ref offset in
   while !i < n do
@@ -221,6 +224,129 @@ let expand_share ~expand ~fingerprint ~mode frontier ~stride ~offset =
     n_cut = !n_cut;
   }
 
+(* ------------------------------------------------------------------ *)
+(* External-memory spill and crash-safe checkpoints                    *)
+(* ------------------------------------------------------------------ *)
+
+type 's spill = {
+  sp_dir : string;
+  sp_hot : int;
+  sp_every : int;
+  sp_identity : string;
+  sp_payload : 's -> int64;
+  sp_save_aux : unit -> int;
+  sp_restore_aux : int -> unit;
+  sp_on_checkpoint : int -> unit;
+  mutable sp_store : Elin_store.Tiered_set.stats option;
+  mutable sp_resumed : int option;
+}
+
+let spill ?(hot = 1 lsl 20) ?(every = 0) ?(identity = "")
+    ?(payload = fun _ -> 0L) ?(save_aux = fun () -> 0)
+    ?(restore_aux = fun _ -> ()) ?(on_checkpoint = fun _ -> ()) dir =
+  if hot < 1 then invalid_arg "Search.spill: hot capacity must be >= 1";
+  if every < 0 then invalid_arg "Search.spill: checkpoint cadence must be >= 0";
+  {
+    sp_dir = dir;
+    sp_hot = hot;
+    sp_every = every;
+    sp_identity = identity;
+    sp_payload = payload;
+    sp_save_aux = save_aux;
+    sp_restore_aux = restore_aux;
+    sp_on_checkpoint = on_checkpoint;
+    sp_store = None;
+    sp_resumed = None;
+  }
+
+let corrupt fmt =
+  Printf.ksprintf (fun s -> raise (Elin_store.Segment.Corrupt s)) fmt
+
+(* Resume refuses anything but an exact match: the frontier blobs are
+   marshalled with closures (same-binary only), and every search
+   parameter that shapes the state space or the partition is pinned by
+   the manifest.  A mismatch is a usage error surfaced loudly — never
+   a silent from-scratch recheck. *)
+let load_manifest_for_resume sp ~engine_name ~dedup ~writers ~shards =
+  let open Elin_store.Checkpoint in
+  match load_latest ~dir:sp.sp_dir with
+  | None -> corrupt "%s: no committed checkpoint manifest to resume" sp.sp_dir
+  | Some m ->
+    if m.exe_digest <> exe_digest () then
+      corrupt "resume: checkpoint was written by a different binary";
+    if m.identity <> sp.sp_identity then
+      corrupt
+        "resume: workload mismatch — checkpoint is for %s, this run is %s"
+        m.identity sp.sp_identity;
+    if m.engine <> engine_name then
+      corrupt "resume: checkpoint engine is %s, this run uses %s" m.engine
+        engine_name;
+    if m.dedup <> dedup then corrupt "resume: dedup setting mismatch";
+    if m.shards <> shards || m.writers <> writers then
+      corrupt "resume: checkpoint used %d domains, this run uses %d" m.shards
+        shards;
+    if Array.length m.per_writer <> writers then
+      corrupt "resume: manifest writer slots do not match";
+    if Array.length m.per_domain <> shards then
+      corrupt "resume: manifest per-domain slots do not match";
+    m
+
+(* One writer's frontier slice: a marshalled state array (the blob)
+   plus, under dedup, a sealed (fingerprint, payload) segment that the
+   resume path cross-checks record-by-record against the re-hydrated
+   states — a torn or stale blob cannot smuggle a wrong frontier past
+   the checksums.  Without dedup a level may repeat fingerprints, so
+   only the (still CRC-framed) blob is written. *)
+let write_frontier_slice sp ~dedup ~seq ~writer ~fingerprint states =
+  let open Elin_store in
+  Checkpoint.write_blob ~dir:sp.sp_dir
+    ~name:(Checkpoint.frontier_blob ~seq ~writer)
+    (Marshal.to_string states [ Marshal.Closures ]);
+  if dedup then begin
+    let records =
+      Array.map (fun s -> (fingerprint s, sp.sp_payload s)) states
+    in
+    Array.sort (fun (a, _) (b, _) -> Int64.unsigned_compare a b) records;
+    Segment.write ~dir:sp.sp_dir
+      ~name:(Checkpoint.frontier_seg ~seq ~writer)
+      records
+  end
+
+let read_frontier_slice (type s) (sp : s spill) ~dedup ~seq ~writer
+    ~fingerprint : s array =
+  let open Elin_store in
+  let name = Checkpoint.frontier_blob ~seq ~writer in
+  let blob = Checkpoint.read_blob ~dir:sp.sp_dir ~name in
+  let states : s array =
+    try Marshal.from_string blob 0
+    with Failure _ -> corrupt "%s: undecodable frontier blob" name
+  in
+  if dedup then begin
+    let r =
+      Segment.open_reader ~dir:sp.sp_dir
+        ~name:(Checkpoint.frontier_seg ~seq ~writer)
+    in
+    let expect = Segment.to_array r in
+    Segment.close r;
+    let got = Array.map (fun s -> (fingerprint s, sp.sp_payload s)) states in
+    Array.sort (fun (a, _) (b, _) -> Int64.unsigned_compare a b) got;
+    if got <> expect then
+      corrupt "%s: frontier cross-check failed — states do not re-fingerprint \
+               to the sealed slice" name
+  end;
+  states
+
+let write_verdicts sp ~seq ~writer verdicts =
+  Elin_store.Checkpoint.write_blob ~dir:sp.sp_dir
+    ~name:(Elin_store.Checkpoint.verdicts_blob ~seq ~writer)
+    (Marshal.to_string verdicts [ Marshal.Closures ])
+
+let read_verdicts (type v) sp ~seq ~writer : v list =
+  let name = Elin_store.Checkpoint.verdicts_blob ~seq ~writer in
+  let blob = Elin_store.Checkpoint.read_blob ~dir:sp.sp_dir ~name in
+  try Marshal.from_string blob 0
+  with Failure _ -> corrupt "%s: undecodable verdicts blob" name
+
 (** [bfs ?domains ?dedup ?stripes ?stop_early ?merge ~fingerprint
     ~expand ~compare root] — explore the space rooted at [root].
     Returns the verdicts (sorted and deduplicated under [compare]: the
@@ -237,7 +363,8 @@ let expand_share ~expand ~fingerprint ~mode frontier ~stride ~offset =
     within one BFS level (true whenever the fingerprint covers a step
     counter) — and a commutative, associative [merge]. *)
 let bfs_barrier ?domains ?(dedup = true) ?(stripes = 64) ?(stop_early = true)
-    ?merge ~fingerprint ~expand ~compare root =
+    ?merge ?spill:sp_opt ?(resume = false) ~fingerprint ~expand ~compare root
+    =
   let n_domains =
     match domains with
     | Some n ->
@@ -245,14 +372,53 @@ let bfs_barrier ?domains ?(dedup = true) ?(stripes = 64) ?(stop_early = true)
       n
     | None -> Domain.recommended_domain_count ()
   in
+  if resume && sp_opt = None then
+    invalid_arg "Search.bfs: resume requires spill";
   let t0 = Elin_obs.Clock.now_s () in
+  let manifest =
+    match sp_opt with
+    | Some sp when resume ->
+      Some
+        (load_manifest_for_resume sp ~engine_name:"barrier" ~dedup ~writers:1
+           ~shards:n_domains)
+    | _ -> None
+  in
+  (* The visited set: tiered (RAM hot tier + sealed disk segments)
+     under spill, striped RAM table otherwise.  Shard count follows
+     the domain count so manifests are engine-portable in shape (the
+     engine string still pins which engine wrote them). *)
+  let tiered =
+    match sp_opt with
+    | Some sp when dedup -> (
+      match manifest with
+      | Some m ->
+        Some
+          (Elin_store.Tiered_set.open_existing ~dir:sp.sp_dir
+             ~shards:n_domains ~hot_capacity:sp.sp_hot
+             ~segments:m.visited_segments ())
+      | None ->
+        Some
+          (Elin_store.Tiered_set.create ~dir:sp.sp_dir ~shards:n_domains
+             ~hot_capacity:sp.sp_hot ()))
+    | _ -> None
+  in
   let visited =
-    if dedup then begin
-      let v = Elin_kernel.Striped_set.create ~stripes () in
-      ignore (Elin_kernel.Striped_set.add v (fingerprint root));
-      Some v
-    end
-    else None
+    if not dedup then None
+    else
+      match tiered with
+      | Some tv ->
+        Some
+          {
+            vadd = (fun fp -> Elin_store.Tiered_set.add tv fp);
+            vmem = (fun fp -> Elin_store.Tiered_set.mem tv fp);
+          }
+      | None ->
+        let v = Elin_kernel.Striped_set.create ~stripes () in
+        Some
+          {
+            vadd = (fun fp -> Elin_kernel.Striped_set.add v fp);
+            vmem = (fun fp -> Elin_kernel.Striped_set.mem v fp);
+          }
   in
   let mode =
     match visited, merge with
@@ -265,6 +431,25 @@ let bfs_barrier ?domains ?(dedup = true) ?(stripes = 64) ?(stop_early = true)
   let per_domain = Array.make n_domains 0 in
   let verdicts = ref [] in
   let frontier = ref [| root |] in
+  (match manifest, sp_opt with
+  | Some m, Some sp ->
+    (* Re-enter the search exactly at the stabilization cut: counters,
+       POR-pruned aux, accumulated verdicts, and the cut's frontier.
+       The root is NOT re-inserted — it is already in the visited
+       segments. *)
+    states := m.totals.t_states;
+    hits := m.totals.t_hits;
+    kept := m.totals.t_kept;
+    peak := m.totals.t_peak;
+    leaves := m.totals.t_leaves;
+    cut := m.totals.t_cut;
+    levels := m.level;
+    Array.blit m.per_domain 0 per_domain 0 n_domains;
+    sp.sp_restore_aux m.totals.t_aux;
+    verdicts := read_verdicts sp ~seq:m.seq ~writer:0;
+    frontier := read_frontier_slice sp ~dedup ~seq:m.seq ~writer:0 ~fingerprint;
+    sp.sp_resumed <- Some m.seq
+  | _ -> Option.iter (fun v -> ignore (v.vadd (fingerprint root))) visited);
   let stop = ref false in
   while (not !stop) && Array.length !frontier > 0 do
     let fr = !frontier in
@@ -323,7 +508,7 @@ let bfs_barrier ?domains ?(dedup = true) ?(stripes = 64) ?(stop_early = true)
           (fun share ->
             List.iter
               (fun (fp, s) ->
-                if Elin_kernel.Striped_set.mem visited fp then incr hits
+                if visited.vmem fp then incr hits
                 else
                   match Hashtbl.find_opt tbl fp with
                   | None ->
@@ -337,7 +522,7 @@ let bfs_barrier ?domains ?(dedup = true) ?(stripes = 64) ?(stop_early = true)
         let survivors =
           List.rev_map
             (fun fp ->
-              ignore (Elin_kernel.Striped_set.add visited fp);
+              ignore (visited.vadd fp);
               Hashtbl.find tbl fp)
             !order
         in
@@ -366,8 +551,69 @@ let bfs_barrier ?domains ?(dedup = true) ?(stripes = 64) ?(stop_early = true)
     verdicts := List.rev_append !level_found !verdicts;
     incr levels;
     if stop_early && !level_found <> [] then stop := true
-    else frontier := next
+    else begin
+      frontier := next;
+      match sp_opt with
+      | Some sp
+        when sp.sp_every > 0
+             && !levels mod sp.sp_every = 0
+             && Array.length next > 0 ->
+        (* The level barrier is a stabilization cut: nothing is
+           in-flight, so sealing (visited, frontier, counters,
+           verdicts) here is a complete, resumable snapshot.  The
+           sequence number is the absolute level over the cadence, so
+           a resumed run checkpoints on the identical schedule. *)
+        let seq = !levels / sp.sp_every in
+        Option.iter Elin_store.Tiered_set.flush tiered;
+        write_frontier_slice sp ~dedup ~seq ~writer:0 ~fingerprint next;
+        write_verdicts sp ~seq ~writer:0 !verdicts;
+        let visited_segments =
+          match tiered with
+          | Some tv -> Elin_store.Tiered_set.segment_names tv
+          | None -> []
+        in
+        Elin_store.Checkpoint.commit ~dir:sp.sp_dir
+          {
+            seq;
+            identity = sp.sp_identity;
+            engine = "barrier";
+            dedup;
+            shards = n_domains;
+            writers = 1;
+            level = !levels;
+            totals =
+              {
+                t_states = !states;
+                t_hits = !hits;
+                t_kept = !kept;
+                t_aux = sp.sp_save_aux ();
+                t_peak = !peak;
+                t_leaves = !leaves;
+                t_cut = !cut;
+              };
+            per_writer =
+              [|
+                {
+                  w_states = !states;
+                  w_hits = !hits;
+                  w_kept = !kept;
+                  w_leaves = !leaves;
+                  w_cut = !cut;
+                };
+              |];
+            per_domain = Array.copy per_domain;
+            visited_segments;
+            exe_digest = Elin_store.Checkpoint.exe_digest ();
+          };
+        sp.sp_on_checkpoint seq
+      | _ -> ()
+    end
   done;
+  (match sp_opt, tiered with
+  | Some sp, Some tv ->
+    sp.sp_store <- Some (Elin_store.Tiered_set.stats tv);
+    Elin_store.Tiered_set.close tv
+  | _ -> ());
   let stats =
     {
       states = !states;
@@ -451,7 +697,7 @@ type 'v worker_out = {
 }
 
 let bfs_sharded ?domains ?(dedup = true) ?(stop_early = true) ?merge
-    ~fingerprint ~expand ~compare root =
+    ?spill:sp_opt ?(resume = false) ~fingerprint ~expand ~compare root =
   let open Elin_kernel in
   let n_domains =
     match domains with
@@ -460,8 +706,41 @@ let bfs_sharded ?domains ?(dedup = true) ?(stop_early = true) ?merge
       n
     | None -> Domain.recommended_domain_count ()
   in
+  if resume && sp_opt = None then
+    invalid_arg "Search.bfs: resume requires spill";
   let t0 = Elin_obs.Clock.now_s () in
-  let visited = if dedup then Some (Shard_set.create ~shards:n_domains ()) else None in
+  let manifest =
+    match sp_opt with
+    | Some sp when resume ->
+      Some
+        (load_manifest_for_resume sp ~engine_name:"sharded" ~dedup
+           ~writers:n_domains ~shards:n_domains)
+    | _ -> None
+  in
+  (* Under spill the tiered set's shards coincide with the ownership
+     partition, so each domain drives its own shard through the
+     lock-free [_owned] entry points — the shared-nothing story is
+     unchanged, the shard just gained a disk tier. *)
+  let tiered =
+    match sp_opt with
+    | Some sp when dedup -> (
+      match manifest with
+      | Some m ->
+        Some
+          (Elin_store.Tiered_set.open_existing ~dir:sp.sp_dir
+             ~shards:n_domains ~hot_capacity:sp.sp_hot
+             ~segments:m.visited_segments ())
+      | None ->
+        Some
+          (Elin_store.Tiered_set.create ~dir:sp.sp_dir ~shards:n_domains
+             ~hot_capacity:sp.sp_hot ()))
+    | _ -> None
+  in
+  let visited =
+    match tiered with
+    | Some _ -> None
+    | None -> if dedup then Some (Shard_set.create ~shards:n_domains ()) else None
+  in
   (* Ownership is a pure function of the fingerprint even with dedup
      off: Plain mode still routes, it just never drops. *)
   let router = Shard_set.create ~shards:n_domains () in
@@ -475,6 +754,15 @@ let bfs_sharded ?domains ?(dedup = true) ?(stop_early = true) ?merge
      the happens-before edge). *)
   let next_sizes = Array.make n_domains 0 in
   let found_counts = Array.make n_domains 0 in
+  (* Checkpoint slots: each writer publishes its private counters
+     between the checkpoint's two barrier phases; domain 0 sums them
+     into the manifest.  Same phase-separated slot discipline as
+     [next_sizes]. *)
+  let ck_states = Array.make n_domains 0 in
+  let ck_hits = Array.make n_domains 0 in
+  let ck_kept = Array.make n_domains 0 in
+  let ck_leaves = Array.make n_domains 0 in
+  let ck_cut = Array.make n_domains 0 in
   let err : exn option Atomic.t = Atomic.make None in
   let root_fp = fingerprint root in
   let root_owner = shard_of root_fp in
@@ -494,6 +782,23 @@ let bfs_sharded ?domains ?(dedup = true) ?(stop_early = true) ?merge
     let buf_counts = Array.make n_domains 0 in
     let m_worker =
       if Elin_obs.Metrics.on () then Some (worker_counter d) else None
+    in
+    (* This domain's view of its own visited shard. *)
+    let vops =
+      match tiered, visited with
+      | Some tv, _ ->
+        Some
+          {
+            vadd = (fun fp -> Elin_store.Tiered_set.add_owned tv ~shard:d fp);
+            vmem = (fun fp -> Elin_store.Tiered_set.mem_owned tv ~shard:d fp);
+          }
+      | None, Some v ->
+        Some
+          {
+            vadd = (fun fp -> Shard_set.add v ~shard:d fp);
+            vmem = (fun fp -> Shard_set.mem v ~shard:d fp);
+          }
+      | None, None -> None
     in
     let g_shard =
       match visited with
@@ -517,13 +822,12 @@ let bfs_sharded ?domains ?(dedup = true) ?(stop_early = true) ?merge
        drained from a peer's batch): the single point where dedup and
        merge decisions are made — single-threaded per fingerprint. *)
     let process_kept fp s =
-      match visited, merge with
+      match vops, merge with
       | None, _ -> next_acc := s :: !next_acc
-      | Some visited, None ->
-        if Shard_set.add visited ~shard:d fp then next_acc := s :: !next_acc
-        else incr hits
-      | Some visited, Some merge_fn -> (
-        if Shard_set.mem visited ~shard:d fp then incr hits
+      | Some v, None ->
+        if v.vadd fp then next_acc := s :: !next_acc else incr hits
+      | Some v, Some merge_fn -> (
+        if v.vmem fp then incr hits
         else
           match Hashtbl.find_opt pending fp with
           | None ->
@@ -560,12 +864,38 @@ let bfs_sharded ?domains ?(dedup = true) ?(stop_early = true) ?merge
         incr cut;
         Option.iter (fun v -> level_found := v :: !level_found) v
     in
-    (match visited with
-    | Some visited when root_owner = d ->
-      ignore (Shard_set.add visited ~shard:d root_fp)
-    | _ -> ());
     let frontier = ref (if root_owner = d then [| root |] else [||]) in
     let global_size = ref 1 in
+    (match manifest, sp_opt with
+    | Some m, Some sp ->
+      (* Re-enter at the cut: this writer's private counters, its
+         verdicts, and its slice of the frontier.  The root is NOT
+         re-inserted — it lives in the visited segments.  One extra
+         two-phase epoch publishes the slice sizes so every domain
+         sees the same global frontier size. *)
+      let w = m.per_writer.(d) in
+      states := w.w_states;
+      hits := w.w_hits;
+      kept := w.w_kept;
+      leaves := w.w_leaves;
+      cut := w.w_cut;
+      levels := m.level;
+      peak := m.totals.t_peak;
+      if d = 0 then sp.sp_restore_aux m.totals.t_aux;
+      all_found := read_verdicts sp ~seq:m.seq ~writer:d;
+      frontier := read_frontier_slice sp ~dedup ~seq:m.seq ~writer:d ~fingerprint;
+      next_sizes.(d) <- Array.length !frontier;
+      Barrier.await barrier;
+      let total = ref 0 in
+      for o = 0 to n_domains - 1 do
+        total := !total + next_sizes.(o)
+      done;
+      global_size := !total;
+      Barrier.await barrier
+    | _ -> (
+      match vops with
+      | Some v when root_owner = d -> ignore (v.vadd root_fp)
+      | _ -> ()));
     let stop = ref false in
     while not !stop do
       if !global_size > !peak then peak := !global_size;
@@ -598,12 +928,12 @@ let bfs_sharded ?domains ?(dedup = true) ?(stop_early = true) ?merge
         drain ()
       done;
       let next =
-        match visited, merge with
-        | Some visited, Some _ ->
+        match vops, merge with
+        | Some v, Some _ ->
           let survivors =
             List.rev_map
               (fun fp ->
-                ignore (Shard_set.add visited ~shard:d fp);
+                ignore (v.vadd fp);
                 Hashtbl.find pending fp)
               !pending_order
           in
@@ -657,7 +987,71 @@ let bfs_sharded ?domains ?(dedup = true) ?(stop_early = true) ?merge
       if (stop_early && !any_found) || !total_next = 0 then stop := true
       else begin
         frontier := next;
-        global_size := !total_next
+        global_size := !total_next;
+        match sp_opt with
+        | Some sp when sp.sp_every > 0 && !levels mod sp.sp_every = 0 ->
+          (* Checkpoint epoch, two more phases.  Phase A: every domain
+             seals its own shard (flush + frontier slice + verdicts)
+             and publishes its counters.  Phase B: domain 0 — with
+             every artefact durably sealed — snapshots the segment
+             inventory and commits the manifest; nobody expands the
+             next level until the commit is visible, or a post-cut
+             flush could leak into the manifest. *)
+          let seq = !levels / sp.sp_every in
+          (match tiered with
+          | Some tv -> Elin_store.Tiered_set.flush_shard tv d
+          | None -> ());
+          write_frontier_slice sp ~dedup ~seq ~writer:d ~fingerprint next;
+          write_verdicts sp ~seq ~writer:d !all_found;
+          ck_states.(d) <- !states;
+          ck_hits.(d) <- !hits;
+          ck_kept.(d) <- !kept;
+          ck_leaves.(d) <- !leaves;
+          ck_cut.(d) <- !cut;
+          Barrier.await barrier;
+          if d = 0 then begin
+            let sum a = Array.fold_left ( + ) 0 a in
+            let visited_segments =
+              match tiered with
+              | Some tv -> Elin_store.Tiered_set.segment_names tv
+              | None -> []
+            in
+            Elin_store.Checkpoint.commit ~dir:sp.sp_dir
+              {
+                seq;
+                identity = sp.sp_identity;
+                engine = "sharded";
+                dedup;
+                shards = n_domains;
+                writers = n_domains;
+                level = !levels;
+                totals =
+                  {
+                    t_states = sum ck_states;
+                    t_hits = sum ck_hits;
+                    t_kept = sum ck_kept;
+                    t_aux = sp.sp_save_aux ();
+                    t_peak = !peak;
+                    t_leaves = sum ck_leaves;
+                    t_cut = sum ck_cut;
+                  };
+                per_writer =
+                  Array.init n_domains (fun i ->
+                      {
+                        Elin_store.Checkpoint.w_states = ck_states.(i);
+                        w_hits = ck_hits.(i);
+                        w_kept = ck_kept.(i);
+                        w_leaves = ck_leaves.(i);
+                        w_cut = ck_cut.(i);
+                      });
+                per_domain = Array.copy ck_states;
+                visited_segments;
+                exe_digest = Elin_store.Checkpoint.exe_digest ();
+              };
+            sp.sp_on_checkpoint seq
+          end;
+          Barrier.await barrier
+        | _ -> ()
       end
     done;
     if Elin_obs.Metrics.on () then Elin_obs.Metrics.Counter.add m_dedup_hits !hits;
@@ -689,6 +1083,14 @@ let bfs_sharded ?domains ?(dedup = true) ?(stop_early = true) ?merge
   let mine = guarded 0 () in
   let outs = Array.append [| mine |] (Array.map Domain.join spawned) in
   (match Atomic.get err with Some e -> raise e | None -> ());
+  (match sp_opt, tiered with
+  | Some sp, Some tv ->
+    sp.sp_store <- Some (Elin_store.Tiered_set.stats tv);
+    Elin_store.Tiered_set.close tv
+  | _ -> ());
+  (match manifest, sp_opt with
+  | Some m, Some sp -> sp.sp_resumed <- Some m.seq
+  | _ -> ());
   let outs =
     Array.map (function Ok o -> o | Error () -> assert false) outs
   in
@@ -727,17 +1129,17 @@ let engine_of_string = function
 
 let engine_to_string = function Barrier -> "barrier" | Sharded -> "sharded"
 
-let bfs ?(engine = Barrier) ?domains ?dedup ?stripes ?stop_early ?merge
-    ~fingerprint ~expand ~compare root =
+let bfs ?(engine = Barrier) ?domains ?dedup ?stripes ?stop_early ?merge ?spill
+    ?resume ~fingerprint ~expand ~compare root =
   match engine with
   | Barrier ->
-    bfs_barrier ?domains ?dedup ?stripes ?stop_early ?merge ~fingerprint
-      ~expand ~compare root
+    bfs_barrier ?domains ?dedup ?stripes ?stop_early ?merge ?spill ?resume
+      ~fingerprint ~expand ~compare root
   | Sharded ->
     (* [stripes] shapes the barrier engine's striped set only; the
        sharded visited set is partitioned by owner, not by stripe. *)
-    bfs_sharded ?domains ?dedup ?stop_early ?merge ~fingerprint ~expand
-      ~compare root
+    bfs_sharded ?domains ?dedup ?stop_early ?merge ?spill ?resume
+      ~fingerprint ~expand ~compare root
 
 let pp_stats ppf s =
   Format.fprintf ppf

@@ -61,6 +61,64 @@ val engine_of_string : string -> engine option
 
 val engine_to_string : engine -> string
 
+(** External-memory spill + crash-safe checkpoint configuration.
+
+    With a spill attached, the visited set becomes an
+    {!Elin_store.Tiered_set} (RAM hot tier, sealed sorted segments on
+    disk) sharded like the sharded engine's ownership partition, and —
+    when [sp_every > 0] — the search seals a {!Elin_store.Checkpoint}
+    at every [sp_every]-th level barrier.  The level barrier is a
+    {e stabilization cut}: no expansion, routing, or merge is
+    in-flight, so (visited segments, frontier, counters, verdicts) is
+    a complete snapshot and a resumed run replays the identical
+    deterministic search.  Dedup semantics are bit-identical to the
+    RAM sets — spill changes where fingerprints live, never which
+    states survive.
+
+    Checkpoint cadence runs on {e absolute} levels ([level mod
+    sp_every]), so a resumed run checkpoints on the same schedule the
+    uninterrupted one would.  Frontier states are marshalled with
+    closures: resume requires the same binary (enforced via an
+    executable digest in the manifest) and the same [sp_identity],
+    engine, dedup setting, and domain count (enforced via manifest
+    fields; violations raise {!Elin_store.Segment.Corrupt}). *)
+type 's spill = {
+  sp_dir : string;  (** spill directory (created if missing) *)
+  sp_hot : int;  (** hot-tier capacity per shard, in fingerprints *)
+  sp_every : int;  (** checkpoint every N levels; 0 = never *)
+  sp_identity : string;
+      (** opaque canonical workload description; resume refuses a
+          mismatch *)
+  sp_payload : 's -> int64;
+      (** per-state payload sealed into frontier segments (sleep
+          masks under POR) and cross-checked on resume *)
+  sp_save_aux : unit -> int;
+      (** caller counter carried through the manifest (Mc's
+          POR-pruned count) *)
+  sp_restore_aux : int -> unit;
+  sp_on_checkpoint : int -> unit;
+      (** called with the sequence number after each commit (crash
+          injection, progress) *)
+  mutable sp_store : Elin_store.Tiered_set.stats option;
+      (** filled by [bfs] on return when dedup spilled *)
+  mutable sp_resumed : int option;
+      (** manifest sequence resumed from, filled by [bfs] *)
+}
+
+(** [spill dir] — a spill configuration with defaults: [hot] 2^20
+    fingerprints per shard, [every] 0 (no checkpoints), empty
+    identity, zero payload, no-op aux/notify hooks. *)
+val spill :
+  ?hot:int ->
+  ?every:int ->
+  ?identity:string ->
+  ?payload:('s -> int64) ->
+  ?save_aux:(unit -> int) ->
+  ?restore_aux:(int -> unit) ->
+  ?on_checkpoint:(int -> unit) ->
+  string ->
+  's spill
+
 (** [bfs ?engine ?domains ?dedup ?stripes ?stop_early ~fingerprint
     ~expand ~compare root] — explore the space rooted at [root];
     returns the verdicts (sorted and deduplicated under [compare]) and
@@ -90,7 +148,14 @@ val engine_to_string : engine -> string
       partial-order reduction.  Requires a level-stratified space
       (equal states only within one BFS level; true whenever the
       fingerprint covers a step counter) and a commutative,
-      associative [merge]. *)
+      associative [merge].
+    - [spill] attaches the external-memory tier and checkpoint
+      schedule (see {!type:spill}); [resume] (default [false],
+      requires [spill]) re-enters the search at the newest committed
+      checkpoint in [sp_dir] instead of starting from [root] — raising
+      {!Elin_store.Segment.Corrupt} if there is none, if any artefact
+      fails its checksum, or if the manifest does not match this run's
+      binary, identity, engine, dedup, or domain count. *)
 val bfs :
   ?engine:engine ->
   ?domains:int ->
@@ -98,6 +163,8 @@ val bfs :
   ?stripes:int ->
   ?stop_early:bool ->
   ?merge:('s -> 's -> 's) ->
+  ?spill:'s spill ->
+  ?resume:bool ->
   fingerprint:('s -> int64) ->
   expand:('s -> ('s, 'v) expansion) ->
   compare:('v -> 'v -> int) ->

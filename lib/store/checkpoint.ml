@@ -1,0 +1,151 @@
+(* Manifests and artefact blobs.  Both share one frame: magic (8) |
+   payload length u32 LE | payload | CRC-32(payload) u32 LE, written
+   via Ioutil.atomic_write.  The manifest payload is a marshalled
+   [manifest] record (pure data, no closures); blobs carry caller
+   bytes (Search marshals frontier states with [Marshal.Closures]
+   there, hence the exe-digest guard). *)
+
+module Trace = Elin_obs.Trace
+
+type totals = {
+  t_states : int;
+  t_hits : int;
+  t_kept : int;
+  t_aux : int;
+  t_peak : int;
+  t_leaves : int;
+  t_cut : int;
+}
+
+type per_writer = {
+  w_states : int;
+  w_hits : int;
+  w_kept : int;
+  w_leaves : int;
+  w_cut : int;
+}
+
+type manifest = {
+  seq : int;
+  identity : string;
+  engine : string;
+  dedup : bool;
+  shards : int;
+  writers : int;
+  level : int;
+  totals : totals;
+  per_writer : per_writer array;
+  per_domain : int array;
+  visited_segments : string list;
+  exe_digest : string;
+}
+
+let man_magic = "ELINMAN1"
+let blob_magic = "ELINBLB1"
+let manifest_name seq = Printf.sprintf "MANIFEST.%d" seq
+
+let parse_manifest_name name =
+  try Scanf.sscanf name "MANIFEST.%d%!" (fun s -> Some s)
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+let frontier_seg ~seq ~writer = Printf.sprintf "ckpt%d-f%d.seg" seq writer
+let frontier_blob ~seq ~writer = Printf.sprintf "ckpt%d-f%d.blob" seq writer
+let verdicts_blob ~seq ~writer = Printf.sprintf "ckpt%d-v%d.blob" seq writer
+let exe_digest () = Digest.to_hex (Digest.file Sys.executable_name)
+
+let write_framed ~dir ~name ~magic payload =
+  Ioutil.atomic_write ~dir ~name (fun oc ->
+      let head = Buffer.create 12 in
+      Buffer.add_string head magic;
+      Buffer.add_int32_le head (Int32.of_int (String.length payload));
+      output_string oc (Buffer.contents head);
+      output_string oc payload;
+      let crc = Buffer.create 4 in
+      Buffer.add_int32_le crc (Int32.of_int (Crc32.digest_string payload));
+      output_string oc (Buffer.contents crc))
+
+let read_framed ~dir ~name ~magic =
+  let path = Filename.concat dir name in
+  let ic =
+    try open_in_bin path
+    with Sys_error _ -> Ioutil.corrupt "%s: cannot open" name
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let flen = in_channel_length ic in
+      if flen < 16 then Ioutil.corrupt "%s: too short for a frame" name;
+      let head = Bytes.create 12 in
+      (try really_input ic head 0 12
+       with End_of_file -> Ioutil.corrupt "%s: truncated header" name);
+      if Bytes.sub_string head 0 8 <> magic then
+        Ioutil.corrupt "%s: bad magic" name;
+      let plen = Int32.to_int (Bytes.get_int32_le head 8) land 0xFFFFFFFF in
+      if flen <> 12 + plen + 4 then
+        Ioutil.corrupt "%s: size %d bytes, expected %d (truncated or torn)"
+          name flen (12 + plen + 4);
+      let payload = Bytes.create plen in
+      (try really_input ic payload 0 plen
+       with End_of_file -> Ioutil.corrupt "%s: truncated payload" name);
+      let crcb = Bytes.create 4 in
+      (try really_input ic crcb 0 4
+       with End_of_file -> Ioutil.corrupt "%s: truncated checksum" name);
+      let crc = Int32.to_int (Bytes.get_int32_le crcb 0) land 0xFFFFFFFF in
+      if
+        Crc32.finish (Crc32.update Crc32.start payload 0 plen) <> crc
+      then Ioutil.corrupt "%s: checksum mismatch" name;
+      Bytes.unsafe_to_string payload)
+
+let write_blob ~dir ~name payload = write_framed ~dir ~name ~magic:blob_magic payload
+let read_blob ~dir ~name = read_framed ~dir ~name ~magic:blob_magic
+
+(* Best-effort removal of checkpoint [seq]'s private artefacts (its
+   manifest, frontier slices, verdict blobs).  Visited segments are
+   shared across checkpoints and never touched here. *)
+let prune ~dir ~seq =
+  if seq >= 1 then begin
+    let prefix_f = Printf.sprintf "ckpt%d-" seq in
+    let rm name = try Sys.remove (Filename.concat dir name) with Sys_error _ -> () in
+    rm (manifest_name seq);
+    Array.iter
+      (fun name ->
+        if String.length name >= String.length prefix_f
+           && String.sub name 0 (String.length prefix_f) = prefix_f
+        then rm name)
+      (try Sys.readdir dir with Sys_error _ -> [||])
+  end
+
+let commit ~dir m =
+  let payload = Marshal.to_string m [] in
+  write_framed ~dir ~name:(manifest_name m.seq) ~magic:man_magic payload;
+  prune ~dir ~seq:(m.seq - 2);
+  Trace.instant ~cat:"store" "store.checkpoint"
+    ~args:
+      [
+        ("seq", Elin_obs.Jsonl.Int m.seq);
+        ("level", Elin_obs.Jsonl.Int m.level);
+        ("segments", Elin_obs.Jsonl.Int (List.length m.visited_segments));
+      ]
+
+let load_latest ~dir =
+  let best = ref None in
+  Array.iter
+    (fun name ->
+      match parse_manifest_name name with
+      | Some seq -> (
+          match !best with
+          | Some (s, _) when s >= seq -> ()
+          | _ -> best := Some (seq, name))
+      | None -> ())
+    (try Sys.readdir dir with Sys_error _ -> [||]);
+  match !best with
+  | None -> None
+  | Some (seq, name) ->
+      let payload = read_framed ~dir ~name ~magic:man_magic in
+      let m : manifest =
+        try Marshal.from_string payload 0
+        with Failure _ -> Ioutil.corrupt "%s: undecodable manifest" name
+      in
+      if m.seq <> seq then
+        Ioutil.corrupt "%s: manifest claims sequence %d" name m.seq;
+      Some m

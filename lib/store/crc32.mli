@@ -1,0 +1,23 @@
+(** CRC-32 (IEEE 802.3, polynomial [0xEDB88320]), table-driven.
+
+    Hand-rolled because the dependency footprint is frozen: segments
+    and manifests need a cheap integrity check, not cryptography — a
+    CRC catches the torn writes and bit rot the crash-window tests
+    inject, and 4 bytes per 4 KiB block is negligible overhead. *)
+
+type t = int  (** the running CRC, always in [0 .. 0xFFFF_FFFF] *)
+
+val start : t
+
+(** [update c b off len] — absorb [len] bytes of [b] from [off]. *)
+val update : t -> Bytes.t -> int -> int -> t
+
+val update_string : t -> string -> t
+
+(** [finish c] — the digest of everything absorbed so far.  [update]
+    may continue from an un-finished accumulator only; never feed a
+    finished digest back in. *)
+val finish : t -> t
+
+(** [digest_string s] = [finish (update_string start s)]. *)
+val digest_string : string -> t

@@ -1,0 +1,30 @@
+(* Shared durable-write plumbing for segments, blobs, and manifests:
+   tmp -> fsync -> rename -> directory fsync.  After [atomic_write]
+   returns, the file is whole under its final name or absent — the
+   crash window never exposes a partial file under a sealed name.
+
+   Also the home of the store layer's one loud-failure exception,
+   re-exported as [Segment.Corrupt] (the public face). *)
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let fsync_dir dir =
+  (* Persist the rename itself.  Best-effort: some filesystems refuse
+     fsync on directories; the data-file fsync already happened. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+
+let atomic_write ~dir ~name emit =
+  let tmp = Filename.concat dir (name ^ ".tmp") in
+  let oc = open_out_bin tmp in
+  emit oc;
+  flush oc;
+  (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
+  close_out oc;
+  Unix.rename tmp (Filename.concat dir name);
+  fsync_dir dir

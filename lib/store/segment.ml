@@ -1,0 +1,251 @@
+(* Sealed sorted-segment files.  Format and protocol in segment.mli /
+   DESIGN.md §14.  Everything integrity-bearing is CRC'd: the header,
+   every 4 KiB record block, and the trailing block index.  The writer
+   never exposes a partially written file under the sealed name
+   (tmp -> fsync -> rename -> dir fsync). *)
+
+exception Corrupt = Ioutil.Corrupt
+
+let corrupt fmt = Ioutil.corrupt fmt
+
+let magic = "ELINSEG1"
+let version = 1
+
+(* 256 records x 16 bytes = 4 KiB of payload per CRC'd block. *)
+let block_records = 256
+let record_bytes = 16
+
+let ( <=^ ) a b = Int64.unsigned_compare a b <= 0
+let ( <^ ) a b = Int64.unsigned_compare a b < 0
+
+let add_u32 buf v = Buffer.add_int32_le buf (Int32.of_int v)
+
+let write ~dir ~name records =
+  let n = Array.length records in
+  for i = 1 to n - 1 do
+    if fst records.(i) <=^ fst records.(i - 1) then
+      invalid_arg "Segment.write: records not strictly ascending"
+  done;
+  let ts = Elin_obs.Trace.begin_ns () in
+  let header = Buffer.create 16 in
+  add_u32 header version;
+  Buffer.add_int64_le header (Int64.of_int n);
+  add_u32 header block_records;
+  let hs = Buffer.contents header in
+  let n_blocks = (n + block_records - 1) / block_records in
+  let buf = Buffer.create ((n * record_bytes) + (n_blocks * 12) + 64) in
+  Buffer.add_string buf magic;
+  add_u32 buf (String.length hs);
+  Buffer.add_string buf hs;
+  add_u32 buf (Crc32.digest_string hs);
+  let index = Buffer.create (n_blocks * 8) in
+  let block = Buffer.create (block_records * record_bytes) in
+  for b = 0 to n_blocks - 1 do
+    let lo = b * block_records in
+    let hi = min n (lo + block_records) in
+    Buffer.add_int64_le index (fst records.(lo));
+    Buffer.clear block;
+    for i = lo to hi - 1 do
+      let fp, payload = records.(i) in
+      Buffer.add_int64_le block fp;
+      Buffer.add_int64_le block payload
+    done;
+    let bs = Buffer.contents block in
+    Buffer.add_string buf bs;
+    add_u32 buf (Crc32.digest_string bs)
+  done;
+  let is = Buffer.contents index in
+  Buffer.add_string buf is;
+  add_u32 buf (Crc32.digest_string is);
+  Ioutil.atomic_write ~dir ~name (fun oc -> Buffer.output_buffer oc buf);
+  Elin_obs.Trace.complete ~cat:"store" ~ts "store.segment_write"
+    ~args:
+      [
+        ("name", Elin_obs.Jsonl.Str name);
+        ("records", Elin_obs.Jsonl.Int n);
+        ("bytes", Elin_obs.Jsonl.Int (Buffer.length buf));
+      ]
+
+type reader = {
+  rname : string;
+  path : string;
+  fd : Unix.file_descr;
+  n : int;
+  br : int;  (* block_records as written in this file's header *)
+  n_blocks : int;
+  data_off : int;
+  index : int64 array;  (* first fingerprint of each block *)
+  fbytes : int;
+  cache : Bytes.t;  (* the one cached, CRC-verified block *)
+  mutable cached : int;  (* block number in [cache]; -1 = none *)
+  mutable closed : bool;
+}
+
+let read_exact r off len what =
+  let b = Bytes.create len in
+  ignore (Unix.lseek r.fd off Unix.SEEK_SET);
+  let pos = ref 0 in
+  while !pos < len do
+    let k = Unix.read r.fd b !pos (len - !pos) in
+    if k = 0 then corrupt "%s: truncated reading %s" r.rname what;
+    pos := !pos + k
+  done;
+  b
+
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+
+(* Record count of block [b] (all full except possibly the last). *)
+let block_len r b = if b = r.n_blocks - 1 then r.n - (b * r.br) else r.br
+
+(* File offset of block [b]'s first record byte. *)
+let block_off r b = r.data_off + (b * ((r.br * record_bytes) + 4))
+
+let open_reader ~dir ~name =
+  let path = Filename.concat dir name in
+  let fd =
+    try Unix.openfile path [ Unix.O_RDONLY ] 0
+    with Unix.Unix_error (e, _, _) ->
+      corrupt "%s: cannot open (%s)" name (Unix.error_message e)
+  in
+  let fbytes = (Unix.fstat fd).Unix.st_size in
+  let r0 =
+    {
+      rname = name;
+      path;
+      fd;
+      n = 0;
+      br = block_records;
+      n_blocks = 0;
+      data_off = 0;
+      index = [||];
+      fbytes;
+      cache = Bytes.create 0;
+      cached = -1;
+      closed = false;
+    }
+  in
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        Unix.close fd;
+        raise (Corrupt s))
+      fmt
+  in
+  if fbytes < 12 then fail "%s: too short for a segment header" name;
+  let head = read_exact r0 0 12 "magic" in
+  if Bytes.sub_string head 0 8 <> magic then fail "%s: bad magic" name;
+  let hlen = get_u32 head 8 in
+  if hlen < 16 || fbytes < 12 + hlen + 4 then
+    fail "%s: implausible header length %d" name hlen;
+  let hblob = read_exact r0 12 (hlen + 4) "header" in
+  let hcrc = get_u32 hblob hlen in
+  if Crc32.finish (Crc32.update Crc32.start hblob 0 hlen) <> hcrc then
+    fail "%s: header checksum mismatch" name;
+  let fver = get_u32 hblob 0 in
+  if fver <> version then fail "%s: unsupported version %d" name fver;
+  let n64 = Bytes.get_int64_le hblob 4 in
+  if Int64.unsigned_compare n64 (Int64.of_int max_int) > 0 then
+    fail "%s: implausible record count" name;
+  let n = Int64.to_int n64 in
+  let br = get_u32 hblob 12 in
+  if br <= 0 then fail "%s: bad block size %d" name br;
+  let n_blocks = (n + br - 1) / br in
+  let data_off = 12 + hlen + 4 in
+  let expect =
+    data_off + (n * record_bytes) + (n_blocks * 4) + (n_blocks * 8) + 4
+  in
+  if fbytes <> expect then
+    fail "%s: size %d bytes, expected %d (truncated or torn)" name fbytes
+      expect;
+  let r =
+    {
+      r0 with
+      n;
+      br;
+      n_blocks;
+      data_off;
+      fbytes;
+      cache = Bytes.create (br * record_bytes);
+    }
+  in
+  let ioff = data_off + (n * record_bytes) + (n_blocks * 4) in
+  let iblob =
+    try read_exact r ioff ((n_blocks * 8) + 4) "index"
+    with Corrupt m ->
+      Unix.close fd;
+      raise (Corrupt m)
+  in
+  let icrc = get_u32 iblob (n_blocks * 8) in
+  if Crc32.finish (Crc32.update Crc32.start iblob 0 (n_blocks * 8)) <> icrc
+  then fail "%s: index checksum mismatch" name;
+  let index = Array.init n_blocks (fun i -> Bytes.get_int64_le iblob (i * 8)) in
+  for i = 1 to n_blocks - 1 do
+    if index.(i) <=^ index.(i - 1) then fail "%s: index not sorted" name
+  done;
+  { r with index }
+
+let name r = r.rname
+let length r = r.n
+let file_bytes r = r.fbytes
+
+(* Load block [b] into the cache, CRC-verified. *)
+let load_block r b =
+  if r.closed then invalid_arg "Segment: reader closed";
+  if r.cached <> b then begin
+    let k = block_len r b in
+    let len = k * record_bytes in
+    let blob = read_exact r (block_off r b) (len + 4) "block" in
+    let crc = get_u32 blob len in
+    if Crc32.finish (Crc32.update Crc32.start blob 0 len) <> crc then
+      corrupt "%s: block %d checksum mismatch" r.rname b;
+    Bytes.blit blob 0 r.cache 0 len;
+    r.cached <- b
+  end
+
+let probe r fp =
+  if r.n_blocks = 0 || fp <^ r.index.(0) then None
+  else begin
+    (* Last block whose first fingerprint is <= fp. *)
+    let lo = ref 0 and hi = ref (r.n_blocks - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if r.index.(mid) <=^ fp then lo := mid else hi := mid - 1
+    done;
+    let b = !lo in
+    load_block r b;
+    let k = block_len r b in
+    let lo = ref 0 and hi = ref (k - 1) and found = ref None in
+    while !found = None && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let cand = Bytes.get_int64_le r.cache (mid * record_bytes) in
+      if cand = fp then
+        found := Some (Bytes.get_int64_le r.cache ((mid * record_bytes) + 8))
+      else if cand <^ fp then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !found
+  end
+
+let iter r f =
+  for b = 0 to r.n_blocks - 1 do
+    load_block r b;
+    for i = 0 to block_len r b - 1 do
+      f
+        (Bytes.get_int64_le r.cache (i * record_bytes))
+        (Bytes.get_int64_le r.cache ((i * record_bytes) + 8))
+    done
+  done
+
+let to_array r =
+  let out = Array.make r.n (0L, 0L) in
+  let i = ref 0 in
+  iter r (fun fp payload ->
+      out.(!i) <- (fp, payload);
+      incr i);
+  out
+
+let close r =
+  if not r.closed then begin
+    r.closed <- true;
+    Unix.close r.fd
+  end

@@ -1,0 +1,90 @@
+(** Append-only, sealed segment files of packed fingerprint records —
+    the external-memory tier's unit of storage.
+
+    A segment holds a sorted array of [(fingerprint, payload)] pairs:
+    the visited-set spill writes [payload = 0]; checkpoint frontier
+    segments carry the state's sleep mask (partial-order reduction)
+    so the on-disk cut can be cross-checked record-by-record against
+    the re-hydrated states on resume.
+
+    {2 Persistence contract: fingerprints only}
+
+    Segments must serialize {e only} {!Elin_kernel.Fingerprint} words
+    — never [Hashtbl.hash] / [Value.hash] output.  The seeded FNV-1a
+    fingerprints are a pure function of the canonical state encoding,
+    so a segment written by one process is probe-correct in any later
+    process of any build; [Value.hash] and [Hashtbl.hash] are
+    documented as {e in-process only} (lib/spec/value.ml) and nothing
+    stops a future stdlib from changing them.  [test_store]'s
+    cross-process suite enforces this mechanically: a segment written
+    by the test binary must answer identical probes from a freshly
+    spawned process.
+
+    {2 On-disk format}
+
+    All integers little-endian; see DESIGN.md §14 for the diagram.
+
+    {v
+    magic      8 bytes   "ELINSEG1"
+    header_len u32       length of the header blob below
+    header     blob      version u32 | n_records u64 | block_records u32
+    header_crc u32       CRC-32 of the header blob
+    blocks     ...       ceil(n/block_records) blocks, each:
+                           k x 16-byte records (fp u64, payload u64)
+                           + u32 CRC-32 of the block's record bytes
+    index      8 x n_blocks   first fingerprint of each block
+    index_crc  u32
+    v}
+
+    Records are sorted by {e unsigned} fingerprint; a probe binary
+    searches the in-RAM index for the candidate block, reads and
+    CRC-checks that one block, and binary searches within it.
+
+    {2 Seal protocol}
+
+    [write] builds [name].tmp, [fsync]s it, renames it onto [name],
+    and [fsync]s the directory: a crash leaves either no segment or a
+    whole, checksummed one — never a half-written file under the
+    sealed name.  Truncated or bit-flipped segments are detected at
+    [open_reader] (size arithmetic) or at [probe] (block CRC) and
+    raise {!Corrupt}; nothing degrades silently. *)
+
+(** Torn, truncated, or checksum-corrupt on-disk state.  Callers must
+    fail loudly (the CLI maps it to exit code 2), never fall back to
+    re-checking from scratch. *)
+exception Corrupt of string
+
+(** [write ~dir ~name records] — seal [records] as [dir/name].
+    [records] must be strictly ascending by unsigned fingerprint
+    ([Invalid_argument] otherwise — duplicates included, a segment is
+    a set). *)
+val write : dir:string -> name:string -> (int64 * int64) array -> unit
+
+type reader
+
+(** Opens and validates header, size arithmetic, and index checksum;
+    raises {!Corrupt} on any mismatch.  The reader holds one file
+    descriptor and a one-block cache; it is {e not} concurrency-safe —
+    callers serialize access (the tiered set probes under its shard
+    lock or from the shard's owning domain). *)
+val open_reader : dir:string -> name:string -> reader
+
+val name : reader -> string
+
+(** Record count. *)
+val length : reader -> int
+
+(** Total on-disk size in bytes (header + blocks + index). *)
+val file_bytes : reader -> int
+
+(** [probe r fp] — [Some payload] iff [fp] is a member.  One block
+    read (cached) + CRC check per miss of the cache. *)
+val probe : reader -> int64 -> int64 option
+
+(** Sequential, fully CRC-checked scan in fingerprint order. *)
+val iter : reader -> (int64 -> int64 -> unit) -> unit
+
+(** All records, in order (tests and resume-time rehydration). *)
+val to_array : reader -> (int64 * int64) array
+
+val close : reader -> unit

@@ -3,8 +3,8 @@
 DUNE ?= dune
 
 .PHONY: all build release test bench bench-smoke svc-smoke net-smoke \
-	trace-smoke mc-stress resume-smoke perf-regress perf-baseline check \
-	doc clean
+	trace-smoke mc-stress resume-smoke decompose-smoke perf-regress \
+	perf-baseline check doc clean
 
 all: build
 
@@ -59,7 +59,10 @@ resume-smoke: build
 # grid, sharded@1 within tolerance of barrier@1, and sharded@4
 # strictly above barrier@4 (states/s).  B10 self-gates counts across
 # ram/spill rows and the deterministic spill shape (segments, disk
-# bytes, spilled records).
+# bytes, spilled records).  B11 self-gates min_t equality between the
+# monolithic and decomposed checkers on every cell and requires the
+# decomposition to explore >= 10x fewer nodes on the multi-object
+# family; its node counts are exact under the baseline diff.
 perf-regress:
 	$(DUNE) exec bench/main.exe -- --regress
 
@@ -84,6 +87,50 @@ svc-smoke: build
 	  _build/svc-smoke/corpus_50.verdicts \
 	  || { echo "svc-smoke: verdicts differ from the golden file"; exit 1; }
 	@echo "svc-smoke OK"
+
+# Decomposition gate: the committed mixed-object corpus through `elin
+# batch` with and without --decompose.  Each stream must be
+# byte-identical to its golden (node counts are deterministic on both
+# paths), and after stripping the by-design node/memo count fields the
+# two streams must be identical to each other — statuses, min_t,
+# violations, and the bad-job error all survive decomposition exactly.
+# Exit code must be 2 both ways (the corpus contains one bad job).
+decompose-smoke: build
+	@mkdir -p _build/decompose-smoke
+	@$(DUNE) exec --no-build -- elin batch --domains 2 \
+	  test/support/corpus_decomp.jobs \
+	  > _build/decompose-smoke/mono.verdicts; \
+	status=$$?; \
+	if [ $$status -ne 2 ]; then \
+	  echo "decompose-smoke: batch expected exit code 2, got $$status"; \
+	  exit 1; \
+	fi
+	@$(DUNE) exec --no-build -- elin batch --decompose --domains 2 \
+	  test/support/corpus_decomp.jobs \
+	  > _build/decompose-smoke/split.verdicts; \
+	status=$$?; \
+	if [ $$status -ne 2 ]; then \
+	  echo "decompose-smoke: batch --decompose expected exit code 2, got \
+	  $$status"; exit 1; \
+	fi
+	@diff -u test/support/corpus_decomp.verdicts.golden \
+	  _build/decompose-smoke/mono.verdicts \
+	  || { echo "decompose-smoke: verdicts differ from the golden"; exit 1; }
+	@diff -u test/support/corpus_decomp.verdicts.decomposed.golden \
+	  _build/decompose-smoke/split.verdicts \
+	  || { echo "decompose-smoke: --decompose verdicts differ from the \
+	  golden"; exit 1; }
+	@sed 's/,"nodes":[0-9]*,"memo_hits":[0-9]*//' \
+	  _build/decompose-smoke/mono.verdicts \
+	  > _build/decompose-smoke/mono.stripped
+	@sed 's/,"nodes":[0-9]*,"memo_hits":[0-9]*//' \
+	  _build/decompose-smoke/split.verdicts \
+	  > _build/decompose-smoke/split.stripped
+	@diff -u _build/decompose-smoke/mono.stripped \
+	  _build/decompose-smoke/split.stripped \
+	  || { echo "decompose-smoke: decomposed verdicts split from the \
+	  pool's"; exit 1; }
+	@echo "decompose-smoke OK"
 
 # End-to-end socket path: starts `elin serve --listen` on a unix
 # socket, round-trips the committed 50-job corpus through `elin batch
@@ -162,7 +209,7 @@ doc:
 # CI gate: full build, full test suite, and a guard against anyone
 # re-adding build artefacts to the index (PR 1 untracked _build/).
 check: build test bench-smoke svc-smoke net-smoke trace-smoke mc-stress \
-		resume-smoke
+		resume-smoke decompose-smoke
 	@if git ls-files | grep -E '^_build/|\.install$$|^\.merlin$$' >/dev/null; then \
 	  echo "error: build artefacts are tracked in git (see .gitignore)"; \
 	  git ls-files | grep -E '^_build/|\.install$$|^\.merlin$$' | head; \

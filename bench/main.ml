@@ -1215,6 +1215,7 @@ let b10 () =
       flushes = 0;
       disk_probes = 0;
       disk_probe_hits = 0;
+      fence_skips = 0;
     }
   in
   let run ~hot tag () =
@@ -1329,6 +1330,245 @@ let b10 () =
   rows
 
 (* ------------------------------------------------------------------ *)
+(* B11: decomposed checking engine                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Monolithic vs decomposed min_t over multi-object workloads
+   (DESIGN.md §15).  Three sub-series:
+
+   - the Proposition 9 register family (k single-writer registers;
+     composed bound 4(k-1)+2): min_t is cross-gated against the
+     closed form and node counts are deterministic Ints gated exactly
+     under --regress, with the largest sizes required to beat the
+     monolithic engine by >= 10x nodes — the series' headline gate;
+   - a seeded mixed-object eventual grid (Gen.mixed_eventual), sized
+     so the monolithic gallop finishes: min_t must be bit-identical
+     between the two paths on every cell;
+   - the svc Split path: the same multi-object batch through
+     Pool.run_batch and Split.run_batch at 1/2/4 worker domains,
+     statuses and min_t cross-gated, jobs/s tolerance-gated
+     higher-is-better (flat on a single-core box; recorded
+     honestly). *)
+let b11 () =
+  let reg = Register.spec () in
+  let fai = Faicounter.spec () in
+  let spec_of_obj o = if o mod 2 = 0 then reg else fai in
+  let failed = ref false in
+  let time f =
+    let t0 = Elin_obs.Clock.now_s () in
+    let v = f () in
+    (v, Elin_obs.Clock.now_s () -. t0)
+  in
+  (* Deterministic work; best-of keeps the least-perturbed wall.  Runs
+     already past a second are not repeated — their relative noise is
+     small and the largest monolithic cells are the expensive ones. *)
+  let best_of n f =
+    let best = ref (time f) in
+    if snd !best < 1.0 then
+      for _ = 2 to n do
+        let r = time f in
+        if snd r < snd !best then best := r
+      done;
+    !best
+  in
+  Printf.printf "\n== B11: decomposed checking engine (per-object split) ==\n";
+  Printf.printf "%-34s %6s %11s %11s %8s %9s %9s\n" "benchmark" "min_t"
+    "mono-nodes" "dec-nodes" "ratio" "mono-s" "dec-s";
+  (* One cross-gated comparison row: monolithic vs decomposed min_t on
+     [h] must agree (and match [expect] when given); node counts are
+     returned for the caller's shape gates and emitted as exact
+     Ints. *)
+  let compare_row ~name ~spec_of ?expect h =
+    let mono_cfg = Engine.config spec_of in
+    let dcfg = Decompose.config spec_of in
+    let (mono_mt, mono_st), mono_w =
+      best_of 3 (fun () -> Eventual.min_t_stats mono_cfg h)
+    in
+    let (dec_mt, dec_st, dstats), dec_w =
+      best_of 3 (fun () -> Decompose.min_t_stats dcfg h)
+    in
+    if mono_mt <> dec_mt then begin
+      Printf.eprintf "b11: %s: min_t split (mono %s, decomposed %s)\n" name
+        (match mono_mt with Some t -> string_of_int t | None -> "none")
+        (match dec_mt with Some t -> string_of_int t | None -> "none");
+      failed := true
+    end;
+    (match expect with
+    | Some e when mono_mt <> Some e ->
+      Printf.eprintf "b11: %s: min_t %s, closed form says %d\n" name
+        (match mono_mt with Some t -> string_of_int t | None -> "none")
+        e;
+      failed := true
+    | _ -> ());
+    let ratio =
+      float_of_int mono_st.Eventual.nodes
+      /. float_of_int (max 1 dec_st.Eventual.nodes)
+    in
+    Printf.printf "%-34s %6s %11d %11d %7.1fx %9.4f %9.4f\n" name
+      (match mono_mt with Some t -> string_of_int t | None -> "-")
+      mono_st.Eventual.nodes dec_st.Eventual.nodes ratio mono_w dec_w;
+    flush stdout;
+    let open Elin_svc.Jsonl in
+    let row =
+      Obj
+        [
+          ("name", Str name);
+          ( "min_t",
+            match mono_mt with Some t -> Int t | None -> Null );
+          ("mono_nodes", Int mono_st.Eventual.nodes);
+          ("mono_cuts", Int mono_st.Eventual.cuts_probed);
+          ("mono_memo_hits", Int mono_st.Eventual.memo_hits);
+          ("dec_nodes", Int dec_st.Eventual.nodes);
+          ("dec_cuts", Int dec_st.Eventual.cuts_probed);
+          ("dec_memo_hits", Int dec_st.Eventual.memo_hits);
+          ("dec_objects", Int dstats.Decompose.objects);
+          ("mono_wall_s", Float mono_w);
+          ("dec_wall_s", Float dec_w);
+        ]
+    in
+    (row, mono_st.Eventual.nodes, dec_st.Eventual.nodes)
+  in
+  (* Sub-series 1: the register family. *)
+  let family_rows =
+    List.map
+      (fun k ->
+        let h = Locality.register_family k in
+        let row, mono_nodes, dec_nodes =
+          compare_row
+            ~name:(Printf.sprintf "decomp/register_family k=%d" k)
+            ~spec_of:(fun _ -> reg)
+            ~expect:((4 * (k - 1)) + 2)
+            h
+        in
+        (k, row, mono_nodes, dec_nodes))
+      [ 2; 4; 6; 8; 10 ]
+  in
+  (* Sub-series 2: seeded mixed-object eventual workloads. *)
+  let mixed_rows =
+    List.map
+      (fun (objs, procs, per, seed) ->
+        let rng = Elin_kernel.Prng.create seed in
+        let h, _bound =
+          Gen.mixed_eventual rng ~spec_of_obj ~objs ~procs ~prefix_ops:per
+            ~suffix_ops:per ()
+        in
+        let row, mono_nodes, dec_nodes =
+          compare_row
+            ~name:
+              (Printf.sprintf "decomp/mixed o=%d p=%d per=%d s=%d" objs procs
+                 per seed)
+            ~spec_of:spec_of_obj h
+        in
+        (objs, row, mono_nodes, dec_nodes))
+      [ (2, 2, 3, 41); (3, 2, 3, 42); (4, 2, 4, 43) ]
+  in
+  (* The headline gate: on the multi-object family (register_family
+     k >= 4, and the largest mixed cell) the decomposition must
+     explore >= 10x fewer engine nodes than the monolithic search. *)
+  List.iter
+    (fun (k, _, mono_nodes, dec_nodes) ->
+      if k >= 4 && mono_nodes < 10 * dec_nodes then begin
+        Printf.eprintf
+          "b11: register_family k=%d: %d mono vs %d decomposed nodes — \
+           under the 10x floor\n"
+          k mono_nodes dec_nodes;
+        failed := true
+      end)
+    family_rows;
+  List.iter
+    (fun (objs, _, mono_nodes, dec_nodes) ->
+      if objs >= 4 && mono_nodes < 10 * dec_nodes then begin
+        Printf.eprintf
+          "b11: mixed o=%d: %d mono vs %d decomposed nodes — under the \
+           10x floor\n"
+          objs mono_nodes dec_nodes;
+        failed := true
+      end)
+    mixed_rows;
+  (* Sub-series 3: the same decomposition through the service — each
+     sub-history becomes one pool job (Split).  Statuses and min_t are
+     cross-gated against the undecomposed pool; node counts differ by
+     design (summed over sub-jobs, `Smart order), so only the jobs/s
+     rates are emitted, tolerance-gated. *)
+  let svc_jobs =
+    List.init 12 (fun i ->
+        let rng = Elin_kernel.Prng.create (4100 + i) in
+        let h, _ =
+          Gen.mixed_eventual rng
+            ~spec_of_obj:(fun _ -> reg)
+            ~objs:3 ~procs:2 ~prefix_ops:3 ~suffix_ops:3 ()
+        in
+        {
+          Elin_svc.Job.id = Printf.sprintf "b11-%d" i;
+          seq = i;
+          spec = "register";
+          check =
+            List.nth
+              [ Elin_svc.Job.Full; Min_t; Weak; T_lin 2 ]
+              (i mod 4);
+          node_budget = None;
+          timeout_ms = None;
+          history_text = Textio.to_string h;
+        })
+  in
+  let n_jobs = List.length svc_jobs in
+  let mono_vs = Elin_svc.Pool.run_batch ~domains:1 svc_jobs in
+  let split_vs = Elin_svc.Split.run_batch ~domains:1 svc_jobs in
+  List.iter2
+    (fun (m : Elin_svc.Verdict.t) (s : Elin_svc.Verdict.t) ->
+      if m.status <> s.status || m.min_t <> s.min_t then begin
+        Printf.eprintf "b11: svc %s: decomposed verdict split from pool's\n"
+          m.job_id;
+        failed := true
+      end)
+    mono_vs split_vs;
+  let throughput run =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Elin_obs.Clock.now_s () in
+      let vs = run () in
+      let dt = Elin_obs.Clock.now_s () -. t0 in
+      assert (List.length vs = n_jobs);
+      if dt < !best then best := dt
+    done;
+    float_of_int n_jobs /. !best
+  in
+  Printf.printf "%-34s %18s %18s\n" "svc batch (12 multi-object jobs)"
+    "jobs/s (split)" "jobs/s (pool)";
+  let svc_rows =
+    List.map
+      (fun domains ->
+        let sp =
+          throughput (fun () -> Elin_svc.Split.run_batch ~domains svc_jobs)
+        in
+        let mo =
+          throughput (fun () -> Elin_svc.Pool.run_batch ~domains svc_jobs)
+        in
+        Printf.printf "%-34s %18.0f %18.0f\n"
+          (Printf.sprintf "decomp/svc domains %d" domains)
+          sp mo;
+        flush stdout;
+        let open Elin_svc.Jsonl in
+        Obj
+          [
+            ("name", Str (Printf.sprintf "decomp/svc domains %d" domains));
+            ("domains", Int domains);
+            ("jobs", Int n_jobs);
+            ("jobs_per_s_split", jnum sp);
+            ("jobs_per_s_pool", jnum mo);
+          ])
+      [ 1; 2; 4 ]
+  in
+  if !failed then exit 1;
+  let rows =
+    List.map (fun (_, r, _, _) -> r) family_rows
+    @ List.map (fun (_, r, _, _) -> r) mixed_rows
+    @ svc_rows
+  in
+  write_series "b11" rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
 (* --regress: measured series vs the committed baselines              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1339,6 +1579,7 @@ let svc_baseline_path = "bench/baselines/BENCH_svc.json"
 let b8_baseline_path = "bench/baselines/BENCH_b8.json"
 let b9_baseline_path = "bench/baselines/BENCH_b9.json"
 let b10_baseline_path = "bench/baselines/BENCH_b10.json"
+let b11_baseline_path = "bench/baselines/BENCH_b11.json"
 
 let read_file path =
   let ic = open_in_bin path in
@@ -1437,6 +1678,7 @@ let regress ~update () =
   let b8_rows = b8 () in
   let b9_rows = b9 () in
   let b10_rows = b10 () in
+  let b11_rows = b11 () in
   if update then begin
     (try Unix.mkdir "bench/baselines" 0o755
      with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
@@ -1445,8 +1687,10 @@ let regress ~update () =
     Elin_obs.Jsonl.to_file b8_baseline_path (series_obj "b8" b8_rows);
     Elin_obs.Jsonl.to_file b9_baseline_path (series_obj "b9" b9_rows);
     Elin_obs.Jsonl.to_file b10_baseline_path (series_obj "b10" b10_rows);
-    Printf.printf "\nwrote baselines %s, %s, %s, %s, %s\n" baseline_path
+    Elin_obs.Jsonl.to_file b11_baseline_path (series_obj "b11" b11_rows);
+    Printf.printf "\nwrote baselines %s, %s, %s, %s, %s, %s\n" baseline_path
       svc_baseline_path b8_baseline_path b9_baseline_path b10_baseline_path
+      b11_baseline_path
   end
   else begin
     let tol = perf_tol () in
@@ -1479,6 +1723,9 @@ let regress ~update () =
     | None -> exit 2);
     (match baseline_rows ~path:b10_baseline_path with
     | Some b -> compare_rows ~fail ~tol ~series:"b10" b b10_rows
+    | None -> exit 2);
+    (match baseline_rows ~path:b11_baseline_path with
+    | Some b -> compare_rows ~fail ~tol ~series:"b11" b b11_rows
     | None -> exit 2);
     let name_of row = Option.value ~default:"?" (str_mem "name" row) in
     (* B7 disabled-overhead gate: with the observability layer
@@ -1515,6 +1762,9 @@ let regress ~update () =
     Printf.printf "b9 engine grid: %d rows gated (counts exact, rates %gx)\n"
       (List.length b9_rows) tol;
     Printf.printf
+      "b11 decomposed checker: %d rows gated (node counts exact, rates %gx)\n"
+      (List.length b11_rows) tol;
+    Printf.printf
       "b10 spill tier: %d rows gated (counts and spill shape exact, rates \
        %gx)\n"
       (List.length b10_rows) tol
@@ -1539,6 +1789,7 @@ let () =
   else if Array.exists (fun a -> a = "--regress") Sys.argv then
     regress ~update:false ()
   else if Array.exists (fun a -> a = "--svc") Sys.argv then ignore (b5 ())
+  else if Array.exists (fun a -> a = "--decomp") Sys.argv then ignore (b11 ())
   else if Array.exists (fun a -> a = "--net") Sys.argv then ignore (b8 ())
   else begin
     Printf.printf
@@ -1550,6 +1801,7 @@ let () =
     ignore (b7 ());
     ignore (b9 ());
     ignore (b10 ());
+    ignore (b11 ());
     b4 ();
     e6 ();
     e10 ();

@@ -175,8 +175,8 @@ let procs_arg =
 (* elin check                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let do_check spec_name file t_flag min_t_flag weak_flag stats_flag budget trace
-    =
+let do_check spec_name file t_flag min_t_flag weak_flag stats_flag budget
+    decompose trace =
   match spec_of_name spec_name with
   | Error e -> `Error (false, e)
   | Ok spec ->
@@ -196,18 +196,40 @@ let do_check spec_name file t_flag min_t_flag weak_flag stats_flag budget trace
         let note c = code := Exit_code.combine !code c in
         (match t_flag with
         | Some t ->
-          let cfg = Engine.for_spec ?node_budget:budget spec in
-          let v = Engine.search cfg hist ~t in
-          Printf.printf "%d-linearizable: %b\n" t v.Engine.ok;
-          if not v.Engine.ok then note Exit_code.Violation;
-          if stats_flag then
-            Printf.printf "search stats: %d nodes explored, %d memo hits\n"
-              v.Engine.nodes_explored v.Engine.memo_hits
+          if decompose then begin
+            let dcfg = Decompose.for_spec ?node_budget:budget spec in
+            let ok, st = Decompose.t_linearizable_stats dcfg hist ~t in
+            Printf.printf "%d-linearizable: %b\n" t ok;
+            if not ok then note Exit_code.Violation;
+            if stats_flag then
+              Format.printf "search stats: %d nodes explored, %d memo hits@.\
+                             decompose stats: %a@."
+                st.Decompose.nodes st.Decompose.memo_hits Decompose.pp_stats st
+          end
+          else begin
+            let cfg = Engine.for_spec ?node_budget:budget spec in
+            let v = Engine.search cfg hist ~t in
+            Printf.printf "%d-linearizable: %b\n" t v.Engine.ok;
+            if not v.Engine.ok then note Exit_code.Violation;
+            if stats_flag then
+              Printf.printf "search stats: %d nodes explored, %d memo hits\n"
+                v.Engine.nodes_explored v.Engine.memo_hits
+          end
         | None -> ());
         if t_flag = None || min_t_flag || weak_flag then begin
-          let r = Report.analyze ?node_budget:budget spec hist in
+          let r, dstats =
+            if decompose then
+              let r, st = Decompose.analyze ?node_budget:budget spec hist in
+              (r, Some st)
+            else (Report.analyze ?node_budget:budget spec hist, None)
+          in
           Format.printf "%a@." Report.pp r;
-          if stats_flag then Format.printf "%a@." Report.pp_stats r;
+          if stats_flag then begin
+            Format.printf "%a@." Report.pp_stats r;
+            match dstats with
+            | Some st -> Format.printf "decompose stats: %a@." Decompose.pp_stats st
+            | None -> ()
+          end;
           if r.Report.budget_exhausted then note Exit_code.Exhausted
           else if not (Report.is_eventually_linearizable r) then
             note Exit_code.Violation
@@ -245,34 +267,56 @@ let check_cmd =
          & info [ "budget" ]
              ~doc:"Node budget: give up after this many DFS expansions.")
   in
+  let decompose =
+    Arg.(value & flag
+         & info [ "decompose" ]
+             ~doc:"Split the history into independently checked \
+                   sub-histories (per-object projections, gap cuts) and \
+                   compose the verdicts; bit-identical results, usually \
+                   far fewer nodes on multi-object histories.")
+  in
   Cmd.v
     (Cmd.info "check" ~doc:"Check a history file against a specification")
     Term.(
       ret
         (const do_check $ spec_arg $ file $ t_flag $ min_t_flag $ weak_flag
-       $ stats_flag $ budget $ trace_arg))
+       $ stats_flag $ budget $ decompose $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* elin generate                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let do_generate spec_name procs n_ops seed kind out =
+let do_generate spec_name procs n_ops seed kind objs out =
   match spec_of_name spec_name with
   | Error e -> `Error (false, e)
   | Ok spec ->
     let rng = Elin_kernel.Prng.create seed in
+    let spec_of_obj _ = spec in
     let hist =
       match kind with
-      | "linearizable" -> Gen.linearizable rng ~spec ~procs ~n_ops ()
-      | "pending" -> Gen.linearizable_with_pending rng ~spec ~procs ~n_ops ()
+      | "linearizable" ->
+        if objs <= 1 then Gen.linearizable rng ~spec ~procs ~n_ops ()
+        else Gen.mixed rng ~spec_of_obj ~objs ~procs ~n_ops ()
+      | "pending" ->
+        if objs <= 1 then Gen.linearizable_with_pending rng ~spec ~procs ~n_ops ()
+        else Gen.mixed_with_pending rng ~spec_of_obj ~objs ~procs ~n_ops ()
       | "eventual" ->
-        fst
-          (Gen.eventually_linearizable rng ~spec ~procs
-             ~prefix_ops:(n_ops / 2)
-             ~suffix_ops:(n_ops - (n_ops / 2))
-             ())
+        if objs <= 1 then
+          fst
+            (Gen.eventually_linearizable rng ~spec ~procs
+               ~prefix_ops:(n_ops / 2)
+               ~suffix_ops:(n_ops - (n_ops / 2))
+               ())
+        else
+          let per = max 1 (n_ops / (2 * objs)) in
+          fst
+            (Gen.mixed_eventual rng ~spec_of_obj ~objs ~procs ~prefix_ops:per
+               ~suffix_ops:per ())
       | "corrupt" -> (
-        let h = Gen.linearizable rng ~spec ~procs ~n_ops () in
+        let h =
+          if objs <= 1 then Gen.linearizable rng ~spec ~procs ~n_ops ()
+          else Gen.mixed rng ~spec_of_obj ~objs ~procs ~n_ops ()
+        in
         match Gen.corrupt rng h with Some h' -> h' | None -> h)
       | other ->
         invalid_arg
@@ -299,10 +343,18 @@ let generate_cmd =
     Arg.(value & opt (some string) None
          & info [ "output"; "o" ] ~doc:"Output file (stdout if absent).")
   in
+  let objs =
+    Arg.(value & opt int 1
+         & info [ "objs" ]
+             ~doc:"Objects: >1 generates a mixed-object history (for kind \
+                   eventual, each object runs its own process group).")
+  in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a history file")
     Term.(
-      ret (const do_generate $ spec_arg $ procs_arg $ n_ops $ seed_arg $ kind $ out))
+      ret
+        (const do_generate $ spec_arg $ procs_arg $ n_ops $ seed_arg $ kind
+       $ objs $ out))
 
 (* ------------------------------------------------------------------ *)
 (* elin run                                                           *)
@@ -1279,7 +1331,7 @@ let batch_over_socket addr lines stats =
   verdicts
 
 let do_batch domains job_budget timeout_ms no_reuse stats metrics_out connect
-    input =
+    decompose input =
   if domains < 1 then
     `Error (false, Printf.sprintf "--domains must be >= 1, got %d" domains)
   else
@@ -1309,10 +1361,13 @@ let do_batch domains job_budget timeout_ms no_reuse stats metrics_out connect
     | None ->
       if metrics_out <> None then Obs.Metrics.enable ();
       let metrics = Elin_svc.Metrics.create () in
+      let run =
+        if decompose then Elin_svc.Split.run_lines else Elin_svc.Pool.run_lines
+      in
       let verdicts =
-        Elin_svc.Pool.run_lines ?default_budget:job_budget
-          ?default_timeout_ms:timeout_ms ~reuse:(not no_reuse) ~metrics ~domains
-          lines
+        run ?queue_capacity:None ?default_budget:job_budget
+          ?default_timeout_ms:timeout_ms ?reuse:(Some (not no_reuse))
+          ?resolve:None ~metrics ~domains lines
       in
       List.iter
         (fun v -> print_endline (Elin_svc.Verdict.to_line ~stats v))
@@ -1347,6 +1402,16 @@ let batch_cmd =
          & info [] ~docv:"JOBS-FILE"
              ~doc:"JSONL job file; reads stdin when absent.")
   in
+  let decompose =
+    Arg.(value & flag
+         & info [ "decompose" ]
+             ~doc:"Split each multi-object job into one pool job per \
+                   object and compose the verdicts (equal statuses and \
+                   min_t; node counts are summed across sub-jobs).  \
+                   Multi-object batches then parallelize across \
+                   --domains.  Local checking only (ignored with \
+                   --connect).")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Run a JSONL stream of checking jobs through the worker pool \
@@ -1357,7 +1422,7 @@ let batch_cmd =
       ret
         (const do_batch $ domains_svc_arg $ job_budget_arg $ timeout_ms_arg
        $ no_reuse_arg $ svc_stats_arg $ metrics_out_arg $ connect_arg
-       $ input))
+       $ decompose $ input))
 
 (* The final metrics line both serve modes flush on shutdown. *)
 let print_final_metrics ?queue_depth metrics =

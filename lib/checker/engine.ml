@@ -40,6 +40,8 @@ open Elin_kernel
 open Elin_spec
 open Elin_history
 
+type order = [ `History | `Smart ]
+
 type config = {
   (* Spec of each object appearing in the history. *)
   spec_of_obj : int -> Spec.t;
@@ -53,16 +55,26 @@ type config = {
      (see [Budget.counter]); the serving layer's wall-clock timeouts
      and job cancellation raise from here. *)
   poll : (unit -> unit) option;
+  (* Candidate scan order at each DFS node.  [`History] (the default)
+     scans operations by id — invocation order — and is the
+     node-count-pinned behaviour behind the committed goldens and
+     baselines.  [`Smart] scans earliest-response-first (pending ops
+     last, by invocation), optionally biased by a caller-threaded
+     failure [hint], and early-rejects dead nodes where a completed
+     operation can no longer take any legal response.  Verdicts are
+     identical in both orders; only exploration counts differ. *)
+  order : order;
 }
 
 exception Budget_exceeded = Budget.Exceeded
 
-let config ?node_budget ?(memoize = true) ?poll spec_of_obj =
-  { spec_of_obj; node_budget; memoize; poll }
+let config ?node_budget ?(memoize = true) ?poll ?(order = `History)
+    spec_of_obj =
+  { spec_of_obj; node_budget; memoize; poll; order }
 
 (** One-object convenience. *)
-let for_spec ?node_budget ?memoize ?poll spec =
-  config ?node_budget ?memoize ?poll (fun _ -> spec)
+let for_spec ?node_budget ?memoize ?poll ?order spec =
+  config ?node_budget ?memoize ?poll ?order (fun _ -> spec)
 
 type verdict = { ok : bool; nodes_explored : int; memo_hits : int }
 
@@ -182,8 +194,20 @@ let cut_tables p ~t =
    [trace] is given, it accumulates the (operation, response) choices
    of the current branch (reversed); on success it holds the
    linearization.  Budget and memoization apply identically in both
-   modes. *)
-let run p ~t ~trace =
+   modes.
+
+   [init] overrides the initial state vector (one entry per object
+   slot) — the gap-cut composition of [Decompose] checks segment
+   sub-histories from the states the previous segment can reach.
+
+   [hint], only read under [`Smart] order, biases the candidate scan:
+   operations with a higher hint score are tried later.  The run
+   mutates [hint] in place — a bump per failed subtree and per
+   memo-lookahead prune — so a caller probing many cuts against one
+   history (the min_t gallop) carries what earlier cuts learned into
+   later ones.  Purely heuristic: any scan order decides the same
+   predicate. *)
+let run ?hint ?init p ~t ~trace =
   let span_ts = Obs.Trace.begin_ns () in
   let { cfg; n; ops; specs; slot; init_states; completed; n_completed; _ } =
     p
@@ -199,7 +223,58 @@ let run p ~t ~trace =
   (* One state vector, mutated in place and restored on backtrack; the
      memo snapshots it ([Array.copy]) only when inserting a failure, so
      the hot path allocates nothing per transition. *)
-  let states = Array.copy init_states in
+  let states =
+    match init with
+    | None -> Array.copy init_states
+    | Some s ->
+      if Array.length s <> Array.length init_states then
+        invalid_arg "Engine.run: init state vector has wrong arity";
+      Array.copy s
+  in
+  (* Smart order: a static candidate permutation, earliest response
+     first (pending operations last, by invocation), stable-sorted
+     under the caller's failure hints.  [None] = scan by id, the
+     pinned default. *)
+  let scan =
+    match cfg.order with
+    | `History -> None
+    | `Smart ->
+      let key =
+        Array.map
+          (fun (o : Operation.t) ->
+            match o.Operation.resp with
+            | Some (_, ri) -> ri
+            | None -> p.len + o.Operation.inv)
+          ops
+      in
+      let penalty =
+        match hint with Some h -> fun i -> h.(i) | None -> fun _ -> 0
+      in
+      let a = Array.init n (fun i -> i) in
+      Array.sort
+        (fun i j ->
+          let c = compare (penalty i) (penalty j) in
+          if c <> 0 then c
+          else
+            let c = compare key.(i) key.(j) in
+            if c <> 0 then c else compare i j)
+        a;
+      Some a
+  in
+  let bump_hint id =
+    match hint with Some h -> h.(id) <- h.(id) + 1 | None -> ()
+  in
+  (* slot_left.(s): unplaced operations on slot [s] — maintained only
+     under [`Smart] for the dead-node early rejection below. *)
+  let slot_left =
+    match cfg.order with
+    | `History -> [||]
+    | `Smart ->
+      let a = Array.make (Array.length init_states) 0 in
+      Array.iter (fun s -> a.(s) <- a.(s) + 1) slot;
+      a
+  in
+  let smart = cfg.order = `Smart in
   (* Memo lookahead: a child whose (placed set, state vector) failure
      is already memoized is pruned {e before} expansion, not bumped and
      re-entered — memoized children cost one table lookup, not a DFS
@@ -213,9 +288,10 @@ let run p ~t ~trace =
     if n_placed_completed = n_completed then true
     else begin
       let success = ref false in
+      let dead = ref false in
       let i = ref 0 in
-      while (not !success) && !i < n do
-        let id = !i in
+      while (not !success) && (not !dead) && !i < n do
+        let id = match scan with None -> !i | Some a -> a.(!i) in
         incr i;
         if (not (Bitset.mem placed id)) && missing.(id) = 0 then begin
           let o = ops.(id) in
@@ -232,29 +308,43 @@ let run p ~t ~trace =
             let n' = n_placed_completed + Bool.to_int completed.(id) in
             let out = succs.(id) in
             Array.iter (fun s -> missing.(s) <- missing.(s) - 1) out;
+            if smart then slot_left.(sl) <- slot_left.(sl) - 1;
             let saved = states.(sl) in
             List.iter
               (fun (r, q') ->
                 if not !success then begin
                   states.(sl) <- q';
-                  if memoized placed' then incr memo_hits
+                  if memoized placed' then begin
+                    incr memo_hits;
+                    bump_hint id
+                  end
                   else begin
                     (match trace with
                     | Some tr -> tr := (o, r) :: !tr
                     | None -> ());
                     if dfs placed' n' then success := true
-                    else
+                    else begin
+                      bump_hint id;
                       match trace with
                       | Some tr -> tr := List.tl !tr
                       | None -> ()
+                    end
                   end
                 end)
               transitions;
             if not !success then begin
               states.(sl) <- saved;
+              if smart then slot_left.(sl) <- slot_left.(sl) + 1;
               Array.iter (fun s -> missing.(s) <- missing.(s) + 1) out
             end
           end
+          else if smart && completed.(id) && slot_left.(sl) = 1 then
+            (* Early rejection: [id] must eventually appear in S (it is
+               completed), takes no legal transition from the current
+               state of its object, and no other unplaced operation can
+               ever change that state — this node is dead regardless of
+               the remaining choices. *)
+            dead := true
         end
       done;
       if cfg.memoize && not !success then
@@ -286,14 +376,129 @@ let run p ~t ~trace =
 
 (** [check_at p ~t] — decide t-linearizability against a prepared
     history. *)
-let check_at p ~t = run p ~t ~trace:None
+let check_at ?hint ?init p ~t = run ?hint ?init p ~t ~trace:None
 
 (** [witness_at p ~t] — additionally reconstruct a t-linearization as
     a behaviour list (operation, response) in linearization order. *)
-let witness_at p ~t =
+let witness_at ?init p ~t =
   let tr = ref [] in
-  let v = run p ~t ~trace:(Some tr) in
+  let v = run ?init p ~t ~trace:(Some tr) in
   if v.ok then Some (List.rev !tr) else None
+
+(* ------------------------------------------------------------------ *)
+(* Final-state enumeration (the gap-cut composition's building block)  *)
+(* ------------------------------------------------------------------ *)
+
+(** [final_states ?init p] — every state vector a legal linearization
+    of [p]'s history (at cut 0, real responses kept) can end in,
+    starting from [init] (default: the specs' initial states).  Unlike
+    {!check_at} this cannot stop at the first success: the gap-cut
+    composition needs the {e set} of reachable boundary states, so the
+    DFS runs to exhaustion over the (placed set, state vector) space —
+    the memo here is a visited set, not a failure set.  A linearization
+    may include or drop pending operations; both end states are
+    reported.  The list is sorted (lexicographic [Value.compare]) and
+    duplicate-free; it is empty iff the history is not 0-linearizable
+    from [init]. *)
+let final_states ?init p =
+  let span_ts = Obs.Trace.begin_ns () in
+  let { cfg; n; ops; specs; slot; init_states; completed; n_completed; _ } =
+    p
+  in
+  let fixed_resp, n_preds, succs = cut_tables p ~t:0 in
+  let missing = n_preds in
+  let budget = Budget.counter ?limit:cfg.node_budget ?poll:cfg.poll () in
+  let visited_hits = ref 0 in
+  let visited = Memo_key.Memo.create 1024 in
+  let states =
+    match init with
+    | None -> Array.copy init_states
+    | Some s ->
+      if Array.length s <> Array.length init_states then
+        invalid_arg "Engine.final_states: init state vector has wrong arity";
+      Array.copy s
+  in
+  let finals = Memo_key.Memo.create 16 in
+  let no_ops = Bitset.empty 0 in
+  let record () =
+    let key = (no_ops, states) in
+    if not (Memo_key.Memo.mem finals key) then
+      Memo_key.Memo.replace finals (no_ops, Array.copy states) ()
+  in
+  let rec dfs placed n_placed_completed =
+    Budget.bump budget;
+    (* Every completed operation placed: this branch is a legal
+       linearization (remaining pending ops may be dropped) — record
+       its end state, then keep extending with pending ops, whose
+       inclusion reaches further states. *)
+    if n_placed_completed = n_completed then record ();
+    for id = 0 to n - 1 do
+      if (not (Bitset.mem placed id)) && missing.(id) = 0 then begin
+        let o = ops.(id) in
+        let sl = slot.(id) in
+        let transitions = Spec.apply specs.(sl) states.(sl) o.Operation.op in
+        let transitions =
+          match fixed_resp.(id) with
+          | Some r -> List.filter (fun (r', _) -> Value.equal r r') transitions
+          | None -> transitions
+        in
+        if transitions <> [] then begin
+          let placed' = Bitset.add placed id in
+          let n' = n_placed_completed + Bool.to_int completed.(id) in
+          let out = succs.(id) in
+          Array.iter (fun s -> missing.(s) <- missing.(s) - 1) out;
+          let saved = states.(sl) in
+          List.iter
+            (fun ((_ : Value.t), q') ->
+              states.(sl) <- q';
+              if Memo_key.Memo.mem visited (placed', states) then
+                incr visited_hits
+              else begin
+                Memo_key.Memo.replace visited (placed', Array.copy states) ();
+                dfs placed' n'
+              end)
+            transitions;
+          states.(sl) <- saved;
+          Array.iter (fun s -> missing.(s) <- missing.(s) + 1) out
+        end
+      end
+    done
+  in
+  dfs (Bitset.empty n) 0;
+  let out = ref [] in
+  Memo_key.Memo.iter (fun (_, s) () -> out := s :: !out) finals;
+  let out =
+    List.sort
+      (fun a b ->
+        let rec go i =
+          if i >= Array.length a then 0
+          else
+            let c = Value.compare a.(i) b.(i) in
+            if c <> 0 then c else go (i + 1)
+        in
+        go 0)
+      !out
+  in
+  let v =
+    {
+      ok = out <> [];
+      nodes_explored = Budget.spent budget;
+      memo_hits = !visited_hits;
+    }
+  in
+  if Obs.Metrics.on () then begin
+    Obs.Metrics.Counter.incr m_runs;
+    Obs.Metrics.Counter.add m_nodes v.nodes_explored;
+    Obs.Metrics.Counter.add m_memo_hits v.memo_hits
+  end;
+  if Obs.Trace.on () then
+    Obs.Trace.complete ~cat:"engine" ~ts:span_ts "engine.final_states"
+      ~args:
+        [
+          ("states", Obs.Jsonl.Int (List.length out));
+          ("nodes", Obs.Jsonl.Int v.nodes_explored);
+        ];
+  (out, v)
 
 (** [search cfg h ~t] decides t-linearizability of [h]. *)
 let search cfg h ~t = check_at (prepare cfg h) ~t

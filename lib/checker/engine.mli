@@ -20,30 +20,49 @@ open Elin_history
 
 type config
 
+(** Candidate scan order at each DFS node.  [`History] (the default)
+    scans operations by id (invocation order) — the node-count-pinned
+    behaviour behind the committed svc goldens and bench baselines.
+    [`Smart] scans earliest-response-first (pending operations last,
+    by invocation), biased by the caller's failure {e hint} scores
+    when given, and early-rejects dead nodes in which a completed
+    operation has no legal response and no other unplaced operation
+    can ever change its object's state.  Both orders decide the same
+    predicate; only exploration counts differ.  [Decompose] runs its
+    per-object sub-checks under [`Smart]. *)
+type order = [ `History | `Smart ]
+
 (** Raised when [node_budget] is exhausted.  This is an alias of
     {!Elin_kernel.Budget.Exceeded} (as is [Weak.Budget_exceeded]), so
     catching any one of them catches budget exhaustion from every
     checker. *)
 exception Budget_exceeded
 
-(** [config ?node_budget ?memoize ?poll spec_of_obj] — [spec_of_obj]
-    maps each object id appearing in checked histories to its spec;
-    exceeding [node_budget] DFS expansions raises {!Budget_exceeded};
-    [memoize] (default true) toggles failure memoization — exposed only
-    for the ablation benchmark.  [poll] is run every
-    [Elin_kernel.Budget.poll_interval] expansions and may raise to
-    abort the search cooperatively (wall-clock timeouts, cancellation
-    — see [lib/svc]). *)
+(** [config ?node_budget ?memoize ?poll ?order spec_of_obj] —
+    [spec_of_obj] maps each object id appearing in checked histories
+    to its spec; exceeding [node_budget] DFS expansions raises
+    {!Budget_exceeded}; [memoize] (default true) toggles failure
+    memoization — exposed only for the ablation benchmark.  [poll] is
+    run every [Elin_kernel.Budget.poll_interval] expansions and may
+    raise to abort the search cooperatively (wall-clock timeouts,
+    cancellation — see [lib/svc]).  [order] (default [`History])
+    picks the candidate scan heuristic — see {!type:order}. *)
 val config :
   ?node_budget:int ->
   ?memoize:bool ->
   ?poll:(unit -> unit) ->
+  ?order:order ->
   (int -> Spec.t) ->
   config
 
 (** One-object convenience. *)
 val for_spec :
-  ?node_budget:int -> ?memoize:bool -> ?poll:(unit -> unit) -> Spec.t -> config
+  ?node_budget:int ->
+  ?memoize:bool ->
+  ?poll:(unit -> unit) ->
+  ?order:order ->
+  Spec.t ->
+  config
 
 type verdict = {
   ok : bool;
@@ -71,14 +90,44 @@ val history_length : prepared -> int
 val rebudget :
   prepared -> node_budget:int option -> poll:(unit -> unit) option -> prepared
 
-(** [check_at p ~t] — full verdict at cut [t] against a prepared
-    history. *)
-val check_at : prepared -> t:int -> verdict
+(** [check_at ?hint ?init p ~t] — full verdict at cut [t] against a
+    prepared history.
+
+    [init] overrides the initial state vector (one entry per object
+    slot, in the order of [History.objs]; [Invalid_argument] on arity
+    mismatch) — the gap-cut composition checks segment sub-histories
+    from the states the previous segment can reach.
+
+    [hint], read only under [`Smart] order, carries per-operation
+    failure scores across runs: higher scores scan later, and the run
+    bumps an operation's score for every failed subtree and every
+    memo-lookahead prune below it.  Thread one zero-initialized array
+    through a gallop of cuts to bias later probes by what earlier
+    probes learned.  Purely heuristic — the verdict is unaffected. *)
+val check_at :
+  ?hint:int array -> ?init:Value.t array -> prepared -> t:int -> verdict
 
 (** [witness_at p ~t] — reconstruct a t-linearization (operations
     paired with responses, in linearization order) against a prepared
-    history. *)
-val witness_at : prepared -> t:int -> (Operation.t * Value.t) list option
+    history.  [init] as in {!check_at}. *)
+val witness_at :
+  ?init:Value.t array ->
+  prepared ->
+  t:int ->
+  (Operation.t * Value.t) list option
+
+(** [final_states ?init p] — every state vector a legal linearization
+    of the prepared history (cut 0, real responses kept, pending
+    operations included or dropped) can end in, starting from [init]
+    (default: the specs' initial states).  Sorted and duplicate-free;
+    empty iff the history is not 0-linearizable from [init].  Unlike
+    {!check_at} the search runs to exhaustion over the reachable
+    (placed set, state vector) space — its memo is a visited set —
+    because the gap-cut composition ({!Decompose}) needs the full set
+    of boundary states, not one witness.  The verdict carries the
+    exploration counts ([ok] mirrors non-emptiness). *)
+val final_states :
+  ?init:Value.t array -> prepared -> Value.t array list * verdict
 
 (** [search cfg h ~t] — full verdict with exploration stats. *)
 val search : config -> History.t -> t:int -> verdict

@@ -64,12 +64,11 @@ let linearizable rng ~spec ~procs ~n_ops () =
   done;
   History.of_events (List.rev !events)
 
-(** Like [linearizable] but leaves some operations pending: for a
-    random subset of processes, the response of the process's *last*
-    operation is removed (removing any other response would break
-    well-formedness of H|p). *)
-let linearizable_with_pending rng ~spec ~procs ~n_ops () =
-  let h = linearizable rng ~spec ~procs ~n_ops () in
+(** [with_pending rng ~procs h] leaves some operations of [h] pending:
+    for a random subset of processes, the response of the process's
+    *last* operation is removed (removing any other response would
+    break well-formedness of H|p). *)
+let with_pending rng ~procs h =
   let last_resp_of_proc p =
     List.fold_left
       (fun acc (o : Operation.t) ->
@@ -90,6 +89,9 @@ let linearizable_with_pending rng ~spec ~procs ~n_ops () =
     List.filteri (fun i _ -> not (List.mem i drop_resp_idx)) (History.events h)
   in
   History.of_events events
+
+let linearizable_with_pending rng ~spec ~procs ~n_ops () =
+  with_pending rng ~procs (linearizable rng ~spec ~procs ~n_ops ())
 
 (** [eventually_linearizable rng ~spec ~procs ~prefix_ops ~suffix_ops]
     generates a history whose first phase serves every process from a
@@ -183,6 +185,109 @@ let corrupt rng h =
     in
     Some (History.of_events events)
 
+(* ------------------------------------------------------------------ *)
+(* Mixed-object histories                                              *)
+
+(** [mixed rng ~spec_of_obj ~objs ~procs ~n_ops ()] — a linearizable
+    multi-object history: each invocation picks a random object in
+    [0, objs), every process may touch every object, and each
+    operation linearizes at a random internal point against its
+    object's state (per-object states evolve independently, which is
+    exactly Herlihy–Wing locality). *)
+let mixed rng ~spec_of_obj ~objs ~procs ~n_ops () =
+  let status = Array.make procs `Idle in
+  let state = Array.init objs (fun o -> Spec.initial (spec_of_obj o)) in
+  let events = ref [] in
+  let invoked = ref 0 in
+  let completed = ref 0 in
+  let emit e = events := e :: !events in
+  while !completed < n_ops do
+    let actions = ref [] in
+    Array.iteri
+      (fun p s ->
+        match s with
+        | `Idle -> if !invoked < n_ops then actions := `Invoke p :: !actions
+        | `Invoked _ -> actions := `Linearize p :: !actions
+        | `Linearized _ -> actions := `Respond p :: !actions)
+      status;
+    match Prng.choose rng !actions with
+    | `Invoke p ->
+      let o = Prng.int rng objs in
+      let op = Prng.choose rng (Spec.all_ops (spec_of_obj o)) in
+      emit (Event.invoke ~proc:p ~obj:o op);
+      status.(p) <- `Invoked (o, op);
+      incr invoked
+    | `Linearize p -> (
+      match status.(p) with
+      | `Invoked (o, op) ->
+        let r, q' = Prng.choose rng (Spec.apply (spec_of_obj o) state.(o) op) in
+        state.(o) <- q';
+        status.(p) <- `Linearized (o, r)
+      | _ -> assert false)
+    | `Respond p -> (
+      match status.(p) with
+      | `Linearized (o, r) ->
+        emit (Event.respond ~proc:p ~obj:o r);
+        status.(p) <- `Idle;
+        incr completed
+      | _ -> assert false)
+  done;
+  History.of_events (List.rev !events)
+
+let mixed_with_pending rng ~spec_of_obj ~objs ~procs ~n_ops () =
+  with_pending rng ~procs (mixed rng ~spec_of_obj ~objs ~procs ~n_ops ())
+
+(* Seeded riffle of per-object event streams: repeatedly pick a source
+   with probability proportional to its remaining length (a uniform
+   random interleaving).  Processes are disjoint across sources, so
+   the merge preserves well-formedness.  Returns the merged events and
+   the least merged index containing every source's marked prefix. *)
+let riffle rng sources =
+  let arrs = Array.of_list (List.map (fun (evs, mark) -> (Array.of_list evs, mark)) sources) in
+  let n = Array.length arrs in
+  let pos = Array.make n 0 in
+  let remaining = ref (Array.fold_left (fun s (a, _) -> s + Array.length a) 0 arrs) in
+  let bound = ref 0 in
+  let merged = ref [] in
+  let emitted = ref 0 in
+  while !remaining > 0 do
+    let r = ref (Prng.int rng !remaining) in
+    let j = ref 0 in
+    while
+      let left = Array.length (fst arrs.(!j)) - pos.(!j) in
+      if !r < left then false else (r := !r - left; incr j; true)
+    do () done;
+    let a, mark = arrs.(!j) in
+    merged := a.(pos.(!j)) :: !merged;
+    pos.(!j) <- pos.(!j) + 1;
+    incr emitted;
+    if pos.(!j) = mark then bound := max !bound !emitted;
+    decr remaining
+  done;
+  (List.rev !merged, !bound)
+
+(** [mixed_eventual rng ~spec_of_obj ~objs ~procs ~prefix_ops
+    ~suffix_ops ()] — an eventually linearizable multi-object history:
+    one {!eventually_linearizable} history per object (on [procs]
+    processes of its own — process ids are [o * procs + p], disjoint
+    across objects), riffle-interleaved.  Returns the history and a
+    valid composed stabilization-bound candidate (the least merged
+    index containing every object's stabilization prefix). *)
+let mixed_eventual rng ~spec_of_obj ~objs ~procs ~prefix_ops ~suffix_ops () =
+  let sources =
+    List.init objs (fun o ->
+        let h, stab =
+          eventually_linearizable rng ~spec:(spec_of_obj o) ~procs ~prefix_ops
+            ~suffix_ops ()
+        in
+        let retag (e : Event.t) =
+          { e with Event.proc = (o * procs) + e.Event.proc; obj = o }
+        in
+        (List.map retag (History.events h), stab))
+  in
+  let events, bound = riffle rng sources in
+  (History.of_events events, bound)
+
 (* QCheck plumbing: a generator is a seed, materialized through Prng,
    so failures print a reproducible seed. *)
 
@@ -193,6 +298,13 @@ let arbitrary_linearizable ~spec ~procs ~n_ops =
     (fun seed ->
       let rng = Prng.create seed in
       (seed, linearizable rng ~spec ~procs ~n_ops ()))
+    qcheck_seed
+
+let arbitrary_mixed ~spec_of_obj ~objs ~procs ~n_ops =
+  QCheck2.Gen.map
+    (fun seed ->
+      let rng = Prng.create seed in
+      (seed, mixed rng ~spec_of_obj ~objs ~procs ~n_ops ()))
     qcheck_seed
 
 let arbitrary_eventually ~spec ~procs ~prefix_ops ~suffix_ops =

@@ -13,10 +13,50 @@ open Elin_spec
 val linearizable :
   Prng.t -> spec:Spec.t -> procs:int -> n_ops:int -> unit -> History.t
 
+(** [with_pending rng ~procs h] removes the response of the last
+    operation of a random subset of processes, leaving them pending. *)
+val with_pending : Prng.t -> procs:int -> History.t -> History.t
+
 (** Like {!linearizable}, but for a random subset of processes the last
     operation's response is removed, leaving it pending. *)
 val linearizable_with_pending :
   Prng.t -> spec:Spec.t -> procs:int -> n_ops:int -> unit -> History.t
+
+(** [mixed rng ~spec_of_obj ~objs ~procs ~n_ops ()] — a linearizable
+    multi-object history over objects [0, objs): each invocation picks
+    a random object and every process may touch every object. *)
+val mixed :
+  Prng.t ->
+  spec_of_obj:(int -> Spec.t) ->
+  objs:int ->
+  procs:int ->
+  n_ops:int ->
+  unit ->
+  History.t
+
+val mixed_with_pending :
+  Prng.t ->
+  spec_of_obj:(int -> Spec.t) ->
+  objs:int ->
+  procs:int ->
+  n_ops:int ->
+  unit ->
+  History.t
+
+(** [mixed_eventual rng ~spec_of_obj ~objs ~procs ~prefix_ops
+    ~suffix_ops ()] — one {!eventually_linearizable} history per
+    object on its own [procs] processes (ids [o * procs + p]), riffle-
+    interleaved into one history.  Returns the history and a valid
+    composed stabilization-bound candidate. *)
+val mixed_eventual :
+  Prng.t ->
+  spec_of_obj:(int -> Spec.t) ->
+  objs:int ->
+  procs:int ->
+  prefix_ops:int ->
+  suffix_ops:int ->
+  unit ->
+  History.t * int
 
 (** [eventually_linearizable rng ~spec ~procs ~prefix_ops ~suffix_ops ()]
     — a history whose first phase serves every process from a local
@@ -44,6 +84,13 @@ val qcheck_seed : int QCheck2.Gen.t
 
 val arbitrary_linearizable :
   spec:Spec.t -> procs:int -> n_ops:int -> (int * History.t) QCheck2.Gen.t
+
+val arbitrary_mixed :
+  spec_of_obj:(int -> Spec.t) ->
+  objs:int ->
+  procs:int ->
+  n_ops:int ->
+  (int * History.t) QCheck2.Gen.t
 
 val arbitrary_eventually :
   spec:Spec.t ->

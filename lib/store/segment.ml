@@ -76,6 +76,11 @@ type reader = {
   data_off : int;
   index : int64 array;  (* first fingerprint of each block *)
   fbytes : int;
+  (* Fence pointers: the unsigned-least and -greatest member, valid
+     when [n > 0].  [fmax] is read (CRC-checked) from the last block
+     at open time, so a corrupt tail fails loudly up front. *)
+  fmin : int64;
+  mutable fmax : int64;
   cache : Bytes.t;  (* the one cached, CRC-verified block *)
   mutable cached : int;  (* block number in [cache]; -1 = none *)
   mutable closed : bool;
@@ -100,6 +105,20 @@ let block_len r b = if b = r.n_blocks - 1 then r.n - (b * r.br) else r.br
 (* File offset of block [b]'s first record byte. *)
 let block_off r b = r.data_off + (b * ((r.br * record_bytes) + 4))
 
+(* Load block [b] into the cache, CRC-verified. *)
+let load_block r b =
+  if r.closed then invalid_arg "Segment: reader closed";
+  if r.cached <> b then begin
+    let k = block_len r b in
+    let len = k * record_bytes in
+    let blob = read_exact r (block_off r b) (len + 4) "block" in
+    let crc = get_u32 blob len in
+    if Crc32.finish (Crc32.update Crc32.start blob 0 len) <> crc then
+      corrupt "%s: block %d checksum mismatch" r.rname b;
+    Bytes.blit blob 0 r.cache 0 len;
+    r.cached <- b
+  end
+
 let open_reader ~dir ~name =
   let path = Filename.concat dir name in
   let fd =
@@ -119,6 +138,8 @@ let open_reader ~dir ~name =
       data_off = 0;
       index = [||];
       fbytes;
+      fmin = 0L;
+      fmax = 0L;
       cache = Bytes.create 0;
       cached = -1;
       closed = false;
@@ -182,25 +203,22 @@ let open_reader ~dir ~name =
   for i = 1 to n_blocks - 1 do
     if index.(i) <=^ index.(i - 1) then fail "%s: index not sorted" name
   done;
-  { r with index }
+  let r = { r with index; fmin = (if n_blocks = 0 then 0L else index.(0)) } in
+  if r.n > 0 then begin
+    (try load_block r (r.n_blocks - 1)
+     with Corrupt m ->
+       Unix.close fd;
+       raise (Corrupt m));
+    r.fmax <-
+      Bytes.get_int64_le r.cache
+        ((block_len r (r.n_blocks - 1) - 1) * record_bytes)
+  end;
+  r
 
 let name r = r.rname
 let length r = r.n
 let file_bytes r = r.fbytes
-
-(* Load block [b] into the cache, CRC-verified. *)
-let load_block r b =
-  if r.closed then invalid_arg "Segment: reader closed";
-  if r.cached <> b then begin
-    let k = block_len r b in
-    let len = k * record_bytes in
-    let blob = read_exact r (block_off r b) (len + 4) "block" in
-    let crc = get_u32 blob len in
-    if Crc32.finish (Crc32.update Crc32.start blob 0 len) <> crc then
-      corrupt "%s: block %d checksum mismatch" r.rname b;
-    Bytes.blit blob 0 r.cache 0 len;
-    r.cached <- b
-  end
+let range r = if r.n = 0 then None else Some (r.fmin, r.fmax)
 
 let probe r fp =
   if r.n_blocks = 0 || fp <^ r.index.(0) then None

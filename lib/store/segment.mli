@@ -77,6 +77,13 @@ val length : reader -> int
 (** Total on-disk size in bytes (header + blocks + index). *)
 val file_bytes : reader -> int
 
+(** Fence pointers: the unsigned-least and -greatest fingerprint in
+    the segment ([None] when empty).  The maximum is read — CRC
+    checked — from the last block at {!open_reader} time, so it costs
+    nothing per probe; callers skip whole segments whose range
+    excludes the probed fingerprint. *)
+val range : reader -> (int64 * int64) option
+
 (** [probe r fp] — [Some payload] iff [fp] is a member.  One block
     read (cached) + CRC check per miss of the cache. *)
 val probe : reader -> int64 -> int64 option

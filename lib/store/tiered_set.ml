@@ -18,6 +18,7 @@ type shard_state = {
   mutable flushes : int;
   mutable disk_probes : int;
   mutable disk_probe_hits : int;
+  mutable fence_skips : int;
 }
 
 type t = {
@@ -28,6 +29,7 @@ type t = {
   m_flushes : Metrics.Counter.t;
   m_disk_probes : Metrics.Counter.t;
   m_disk_hits : Metrics.Counter.t;
+  m_fence_skips : Metrics.Counter.t;
   g_segments : Metrics.Gauge.t;
   g_disk_bytes : Metrics.Gauge.t;
   g_hot : Metrics.Gauge.t;
@@ -49,6 +51,7 @@ let fresh_shard () =
     flushes = 0;
     disk_probes = 0;
     disk_probe_hits = 0;
+    fence_skips = 0;
   }
 
 let make ~dir ~shards ~hot_capacity =
@@ -63,6 +66,7 @@ let make ~dir ~shards ~hot_capacity =
     m_flushes = Metrics.counter "store.flushes";
     m_disk_probes = Metrics.counter "store.disk_probes";
     m_disk_hits = Metrics.counter "store.disk_probe_hits";
+    m_fence_skips = Metrics.counter "store.fence_skips";
     g_segments = Metrics.gauge "store.segments";
     g_disk_bytes = Metrics.gauge "store.disk_bytes";
     g_hot = Metrics.gauge "store.hot_entries";
@@ -120,10 +124,29 @@ let probe_disk t s fp =
   | readers ->
       let ts = Trace.begin_ns () in
       s.disk_probes <- s.disk_probes + 1;
-      let hit = List.exists (fun r -> Segment.probe r fp <> None) readers in
+      (* Fence pointers: skip whole segments whose [min, max] range
+         (unsigned) excludes [fp] without touching their blocks.  The
+         [disk_probes] count is per probe_disk call, NOT per segment,
+         so it is unaffected (the committed B10 baseline pins it). *)
+      let skips = ref 0 in
+      let hit =
+        List.exists
+          (fun r ->
+            match Segment.range r with
+            | Some (lo, hi)
+              when Int64.unsigned_compare fp lo >= 0
+                   && Int64.unsigned_compare fp hi <= 0 ->
+              Segment.probe r fp <> None
+            | Some _ | None ->
+              incr skips;
+              false)
+          readers
+      in
+      s.fence_skips <- s.fence_skips + !skips;
       if hit then s.disk_probe_hits <- s.disk_probe_hits + 1;
       if Metrics.on () then begin
         Metrics.Counter.incr t.m_disk_probes;
+        Metrics.Counter.add t.m_fence_skips !skips;
         if hit then Metrics.Counter.incr t.m_disk_hits
       end;
       Trace.complete ~cat:"store" ~ts "store.probe"
@@ -228,6 +251,7 @@ type stats = {
   flushes : int;
   disk_probes : int;
   disk_probe_hits : int;
+  fence_skips : int;
 }
 
 let stats t =
@@ -243,6 +267,7 @@ let stats t =
         flushes = acc.flushes + s.flushes;
         disk_probes = acc.disk_probes + s.disk_probes;
         disk_probe_hits = acc.disk_probe_hits + s.disk_probe_hits;
+        fence_skips = acc.fence_skips + s.fence_skips;
       })
     {
       segments = 0;
@@ -252,6 +277,7 @@ let stats t =
       flushes = 0;
       disk_probes = 0;
       disk_probe_hits = 0;
+      fence_skips = 0;
     }
     t.shard_states
 

@@ -84,6 +84,10 @@ type stats = {
   flushes : int;  (** spill flushes performed *)
   disk_probes : int;  (** membership probes that reached disk *)
   disk_probe_hits : int;  (** of those, how many found the key *)
+  fence_skips : int;
+      (** segments skipped by min/max fence pointers without touching
+          their blocks (counted per segment, unlike [disk_probes]
+          which counts per probe) *)
 }
 
 (** Quiescent callers only.  [segments], [disk_bytes], [spilled], and

@@ -51,6 +51,31 @@ let family_bound_diverges () =
   Alcotest.(check int) "k=3" 10 b3;
   Alcotest.(check int) "k=5" 18 b5
 
+(* Satellite of the decomposition work: per-object bounds stay FLAT
+   (all exactly 2) across family sizes while the composed bound grows
+   linearly — and the composed bound is exact, equal to the direct
+   whole-history min_t for every k. *)
+let family_flat_vs_composed () =
+  List.iter
+    (fun k ->
+      let hist = Locality.register_family k in
+      let per = Locality.per_object_min_t rcfg hist in
+      List.iter
+        (fun (o, t) ->
+          Alcotest.(check (option int))
+            (Printf.sprintf "k=%d object %d flat at 2" k o)
+            (Some 2) t)
+        per;
+      let composed = Locality.compose_min_t hist per in
+      Alcotest.(check (option int))
+        (Printf.sprintf "k=%d composed grows linearly" k)
+        (Some ((4 * (k - 1)) + 2))
+        composed;
+      Alcotest.(check (option int))
+        (Printf.sprintf "k=%d composed = direct" k)
+        (Eventual.min_t rcfg hist) composed)
+    [ 1; 2; 4; 6 ]
+
 let family_projections_stable () =
   let hist = Locality.register_family 5 in
   List.iter
@@ -168,6 +193,8 @@ let () =
       ( "proposition 9 counterexample",
         [
           Support.quick "whole-history bound diverges" family_bound_diverges;
+          Support.quick "flat per-object vs linear composed"
+            family_flat_vs_composed;
           Support.quick "projections stay stable" family_projections_stable;
         ] );
       ( "decision procedure",

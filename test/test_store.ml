@@ -267,6 +267,61 @@ let blob_roundtrip_and_corruption () =
 
 (* --- tiered set --------------------------------------------------- *)
 
+(* Fence pointers: range covers exactly the written records. *)
+let segment_range () =
+  let dir = fresh_dir () in
+  let rs = records 700 in
+  Segment.write ~dir ~name:"r.seg" rs;
+  let r = Segment.open_reader ~dir ~name:"r.seg" in
+  (match Segment.range r with
+  | None -> Alcotest.fail "non-empty segment must report a range"
+  | Some (lo, hi) ->
+    Alcotest.(check int64) "min fence" (fst rs.(0)) lo;
+    Alcotest.(check int64) "max fence" (fst rs.(Array.length rs - 1)) hi);
+  Segment.close r;
+  Segment.write ~dir ~name:"e.seg" [||];
+  let e = Segment.open_reader ~dir ~name:"e.seg" in
+  Alcotest.(check bool) "empty segment has no range" true
+    (Segment.range e = None);
+  Segment.close e
+
+(* Fence pointers skip out-of-range segments in tiered probes without
+   changing membership answers or the per-probe disk_probes count. *)
+let tiered_fence_skips () =
+  let dir = fresh_dir () in
+  let t = Tiered_set.create ~dir ~shards:1 ~hot_capacity:8 () in
+  (* Two batches with disjoint fingerprint ranges, sealed separately:
+     probes landing in one batch's range fence-skip the other's
+     segment(s). *)
+  let lows =
+    List.sort_uniq Int64.unsigned_compare
+      (List.init 32 (fun i -> Int64.logand (fp_of i) 0xFFFFFFFFL))
+  in
+  let highs =
+    List.sort_uniq Int64.unsigned_compare
+      (List.init 32 (fun i -> Int64.logor (fp_of (100 + i)) 0x8000000000000000L))
+  in
+  List.iter (fun fp -> ignore (Tiered_set.add t fp)) lows;
+  Tiered_set.flush t;
+  List.iter (fun fp -> ignore (Tiered_set.add t fp)) highs;
+  Tiered_set.flush t;
+  let b = Tiered_set.stats t in
+  List.iter
+    (fun fp -> Alcotest.(check bool) "low member" true (Tiered_set.mem t fp))
+    lows;
+  List.iter
+    (fun fp -> Alcotest.(check bool) "high member" true (Tiered_set.mem t fp))
+    highs;
+  let s = Tiered_set.stats t in
+  Alcotest.(check bool) "fence skips happened" true
+    (s.Tiered_set.fence_skips > b.Tiered_set.fence_skips);
+  (* disk_probes counts per probe, not per segment: exactly one per
+     [mem] above (the hot tier is empty after the flush). *)
+  Alcotest.(check int) "disk_probes counts probes, not segments"
+    (b.Tiered_set.disk_probes + List.length lows + List.length highs)
+    s.Tiered_set.disk_probes;
+  Tiered_set.close t
+
 (* Dedup semantics against a model Hashtbl, through repeated spills
    (tiny hot capacity) and re-adds of known members. *)
 let tiered_matches_model () =
@@ -459,6 +514,7 @@ let () =
           Alcotest.test_case "corrupt block" `Quick segment_corrupt_block;
           Alcotest.test_case "corrupt header" `Quick segment_corrupt_header;
           Alcotest.test_case "bad magic" `Quick segment_bad_magic;
+          Alcotest.test_case "fence range" `Quick segment_range;
         ] );
       ( "checkpoint",
         [
@@ -476,6 +532,7 @@ let () =
       ( "tiered",
         [
           Alcotest.test_case "matches model" `Quick tiered_matches_model;
+          Alcotest.test_case "fence skips" `Quick tiered_fence_skips;
           Alcotest.test_case "owner agrees with Shard_set" `Quick
             tiered_owner_agrees_with_shard_set;
           Alcotest.test_case "owned entry points" `Quick

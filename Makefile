@@ -3,8 +3,8 @@
 DUNE ?= dune
 
 .PHONY: all build release test bench bench-smoke svc-smoke net-smoke \
-	trace-smoke mc-stress resume-smoke decompose-smoke perf-regress \
-	perf-baseline check doc clean
+	trace-smoke telemetry-smoke mc-stress resume-smoke decompose-smoke \
+	perf-regress perf-baseline check doc clean
 
 all: build
 
@@ -201,15 +201,77 @@ trace-smoke: build
 	  echo "trace-smoke: batch expected exit code 3, got $$status"; exit 1; \
 	fi
 	@$(DUNE) exec --no-build -- elin trace lint _build/trace-smoke/batch.metrics
+	@$(DUNE) exec --no-build -- elin trace merge _build/trace-smoke/mc.jsonl \
+	  > _build/trace-smoke/mc.merged.json
+	@$(DUNE) exec --no-build -- elin trace lint _build/trace-smoke/mc.merged.json
 	@echo "trace-smoke OK"
+
+# Live telemetry endpoint end-to-end, probed with elin itself (there
+# is no curl in the CI image): `elin serve --telemetry` on an
+# ephemeral port must announce the bound port, serve /metrics as
+# parseable OpenMetrics and /healthz as 200 "serving"; then a
+# deliberately slow job (committed one-job corpus: a depth-10
+# unsatisfiable register history under a 5 s timeout) is parked on the
+# only worker and the server SIGTERMed mid-job — during the drain
+# /healthz must flip to 503 "draining", and the drain must still end
+# in exit 0 with the slow job answered.
+telemetry-smoke: build
+	@mkdir -p _build/telemetry-smoke
+	@rm -f _build/telemetry-smoke/sock
+	@./_build/default/bin/elin.exe serve \
+	  --listen unix:_build/telemetry-smoke/sock \
+	  --telemetry tcp:127.0.0.1:0 --test-specs --domains 1 \
+	  > _build/telemetry-smoke/serve.out \
+	  2> _build/telemetry-smoke/serve.err & \
+	srv=$$!; \
+	tport=""; \
+	for i in $$(seq 1 50); do \
+	  tport=$$(sed -n 's/^telemetry on tcp:127.0.0.1:\([0-9]*\).*/\1/p' \
+	    _build/telemetry-smoke/serve.out); \
+	  [ -n "$$tport" ] && [ -S _build/telemetry-smoke/sock ] && break; \
+	  sleep 0.1; \
+	done; \
+	if [ -z "$$tport" ]; then \
+	  echo "telemetry-smoke: server never announced its telemetry port"; \
+	  kill $$srv 2>/dev/null; exit 1; \
+	fi; \
+	./_build/default/bin/elin.exe probe tcp:127.0.0.1:$$tport /metrics \
+	  --openmetrics > /dev/null \
+	  || { echo "telemetry-smoke: /metrics probe failed"; \
+	       kill $$srv 2>/dev/null; exit 1; }; \
+	./_build/default/bin/elin.exe probe tcp:127.0.0.1:$$tport /healthz \
+	  | grep -q '"status":"serving"' \
+	  || { echo "telemetry-smoke: /healthz not serving"; \
+	       kill $$srv 2>/dev/null; exit 1; }; \
+	./_build/default/bin/elin.exe batch \
+	  --connect unix:_build/telemetry-smoke/sock \
+	  test/support/telemetry_slow.jobs \
+	  > _build/telemetry-smoke/slow.verdicts & \
+	bat=$$!; \
+	sleep 1; \
+	kill -TERM $$srv; \
+	sleep 0.3; \
+	./_build/default/bin/elin.exe probe tcp:127.0.0.1:$$tport /healthz \
+	  --expect 503 | grep -q '"status":"draining"' \
+	  || { echo "telemetry-smoke: /healthz did not flip to draining"; \
+	       exit 1; }; \
+	wait $$srv; status=$$?; \
+	if [ $$status -ne 0 ]; then \
+	  echo "telemetry-smoke: server exit $$status after SIGTERM (want 0)"; \
+	  exit 1; \
+	fi; \
+	wait $$bat; \
+	grep -q '"id":"slow-drain"' _build/telemetry-smoke/slow.verdicts \
+	  || { echo "telemetry-smoke: slow job never answered"; exit 1; }
+	@echo "telemetry-smoke OK"
 
 doc:
 	$(DUNE) build @doc
 
 # CI gate: full build, full test suite, and a guard against anyone
 # re-adding build artefacts to the index (PR 1 untracked _build/).
-check: build test bench-smoke svc-smoke net-smoke trace-smoke mc-stress \
-		resume-smoke decompose-smoke
+check: build test bench-smoke svc-smoke net-smoke trace-smoke \
+		telemetry-smoke mc-stress resume-smoke decompose-smoke
 	@if git ls-files | grep -E '^_build/|\.install$$|^\.merlin$$' >/dev/null; then \
 	  echo "error: build artefacts are tracked in git (see .gitignore)"; \
 	  git ls-files | grep -E '^_build/|\.install$$|^\.merlin$$' | head; \

@@ -673,6 +673,8 @@ let b5 () =
                  node_budget = None;
                  timeout_ms = None;
                  history_text = text;
+                 trace = None;
+                 parent = None;
                })
              [ Job.Linearizable; Job.T_lin 2; Job.Min_t; Job.Weak; Job.Full ]))
   in
@@ -1509,6 +1511,8 @@ let b11 () =
           node_budget = None;
           timeout_ms = None;
           history_text = Textio.to_string h;
+          trace = None;
+          parent = None;
         })
   in
   let n_jobs = List.length svc_jobs in
@@ -1569,6 +1573,89 @@ let b11 () =
   rows
 
 (* ------------------------------------------------------------------ *)
+(* B12: flight-recorder overhead                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The recorder is the one observability layer that is ON by default —
+   every job costs two ring notes (job.start/job.done: a clock read
+   and a small allocation each).  This series prices that default on
+   the B5 service batch: the same jobs with the recorder forced off
+   vs. left on.  Verdict counts must be identical in both modes
+   (recording that changes checking is disqualifying), and the on-wall
+   is gated against the committed baseline so a future hot-path [note]
+   (the documented misuse) shows up as a regression here before anyone
+   ships it. *)
+let b12 () =
+  let open Elin_svc in
+  let module Obs = Elin_obs in
+  let fai = Faicounter.spec () in
+  let jobs =
+    List.concat
+      (List.init 10 (fun i ->
+           let rng = Elin_kernel.Prng.create (300 + i) in
+           let h = Gen.linearizable rng ~spec:fai ~procs:4 ~n_ops:24 () in
+           let text = Textio.to_string h in
+           List.mapi
+             (fun j check ->
+               {
+                 Job.id = Printf.sprintf "b12-%d-%d" i j;
+                 seq = (i * 3) + j;
+                 spec = "fetch&increment";
+                 check;
+                 node_budget = None;
+                 timeout_ms = None;
+                 history_text = text;
+                 trace = None;
+                 parent = None;
+               })
+             [ Job.Linearizable; Job.Min_t; Job.Full ]))
+  in
+  let n = List.length jobs in
+  let wall_of ~enabled =
+    Obs.Recorder.set_enabled enabled;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Recorder.set_enabled true;
+        Obs.Recorder.clear ())
+      (fun () ->
+        let best = ref infinity in
+        for _ = 1 to 3 do
+          let t0 = Obs.Clock.now_s () in
+          let vs = Pool.run_batch ~domains:2 jobs in
+          let dt = Obs.Clock.now_s () -. t0 in
+          if List.length vs <> n
+             || not (List.for_all (fun v -> v.Verdict.status = Verdict.Pass) vs)
+          then begin
+            Printf.eprintf "b12: verdicts drift with recorder %s\n"
+              (if enabled then "on" else "off");
+            exit 1
+          end;
+          if dt < !best then best := dt
+        done;
+        !best)
+  in
+  Printf.printf "\n== B12: flight-recorder overhead (%d jobs, 2 domains) ==\n" n;
+  Printf.printf "%-12s %12s %14s\n" "recorder" "wall-s" "jobs/s";
+  let rows =
+    List.map
+      (fun (name, enabled) ->
+        let w = wall_of ~enabled in
+        Printf.printf "%-12s %12.4f %14.0f\n" name w (float_of_int n /. w);
+        flush stdout;
+        let open Jsonl in
+        Obj
+          [
+            ("name", Str ("recorder/" ^ name));
+            ("jobs", Int n);
+            ("wall_s", jnum w);
+            ("jobs_per_s", jnum (float_of_int n /. w));
+          ])
+      [ ("off", false); ("on", true) ]
+  in
+  write_series "b12" rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
 (* --regress: measured series vs the committed baselines              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1580,6 +1667,7 @@ let b8_baseline_path = "bench/baselines/BENCH_b8.json"
 let b9_baseline_path = "bench/baselines/BENCH_b9.json"
 let b10_baseline_path = "bench/baselines/BENCH_b10.json"
 let b11_baseline_path = "bench/baselines/BENCH_b11.json"
+let b12_baseline_path = "bench/baselines/BENCH_b12.json"
 
 let read_file path =
   let ic = open_in_bin path in
@@ -1679,6 +1767,7 @@ let regress ~update () =
   let b9_rows = b9 () in
   let b10_rows = b10 () in
   let b11_rows = b11 () in
+  let b12_rows = b12 () in
   if update then begin
     (try Unix.mkdir "bench/baselines" 0o755
      with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
@@ -1688,9 +1777,10 @@ let regress ~update () =
     Elin_obs.Jsonl.to_file b9_baseline_path (series_obj "b9" b9_rows);
     Elin_obs.Jsonl.to_file b10_baseline_path (series_obj "b10" b10_rows);
     Elin_obs.Jsonl.to_file b11_baseline_path (series_obj "b11" b11_rows);
-    Printf.printf "\nwrote baselines %s, %s, %s, %s, %s, %s\n" baseline_path
+    Elin_obs.Jsonl.to_file b12_baseline_path (series_obj "b12" b12_rows);
+    Printf.printf "\nwrote baselines %s, %s, %s, %s, %s, %s, %s\n" baseline_path
       svc_baseline_path b8_baseline_path b9_baseline_path b10_baseline_path
-      b11_baseline_path
+      b11_baseline_path b12_baseline_path
   end
   else begin
     let tol = perf_tol () in
@@ -1726,6 +1816,9 @@ let regress ~update () =
     | None -> exit 2);
     (match baseline_rows ~path:b11_baseline_path with
     | Some b -> compare_rows ~fail ~tol ~series:"b11" b b11_rows
+    | None -> exit 2);
+    (match baseline_rows ~path:b12_baseline_path with
+    | Some b -> compare_rows ~fail ~tol ~series:"b12" b b12_rows
     | None -> exit 2);
     let name_of row = Option.value ~default:"?" (str_mem "name" row) in
     (* B7 disabled-overhead gate: with the observability layer
@@ -1767,7 +1860,10 @@ let regress ~update () =
     Printf.printf
       "b10 spill tier: %d rows gated (counts and spill shape exact, rates \
        %gx)\n"
-      (List.length b10_rows) tol
+      (List.length b10_rows) tol;
+    Printf.printf
+      "b12 flight recorder: %d rows gated (verdict counts exact, walls %gx)\n"
+      (List.length b12_rows) tol
   end
 
 let () =
@@ -1802,6 +1898,7 @@ let () =
     ignore (b9 ());
     ignore (b10 ());
     ignore (b11 ());
+    ignore (b12 ());
     b4 ();
     e6 ();
     e10 ();

@@ -51,19 +51,44 @@ let trace_arg =
            output, or exit codes.")
 
 (* Tracing implies metrics: the aggregated instants (POR-pruned per
-   worker per level) are computed from metric shards. *)
-let with_trace trace f =
+   worker per level) are computed from metric shards.  [proc] labels
+   the export's meta header so [elin trace merge] can name the
+   process lane. *)
+let with_trace ?(proc = "elin") trace f =
   match trace with
   | None -> f ()
   | Some path ->
     Obs.Metrics.enable ();
     Obs.Trace.enable ();
+    Obs.Trace.set_proc proc;
     Fun.protect
       ~finally:(fun () ->
         Obs.Trace.disable ();
         Obs.Metrics.disable ();
         Obs.Trace.write_file path)
       f
+
+let flight_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight" ] ~docv:"FILE"
+        ~doc:
+          "Append flight-recorder post-mortems to $(docv).  The recorder \
+           itself is always on (one bounded ring of recent events per \
+           domain, fixed memory); this flag only configures where dumps \
+           land when a checker crashes, a job times out, the wire sees a \
+           protocol error, or the process receives SIGUSR1.")
+
+(* A sink also arms the SIGUSR1 operator trigger; the sink is cleared
+   on the way out so later in-process runs (tests) stay silent. *)
+let with_flight flight f =
+  match flight with
+  | None -> f ()
+  | Some path ->
+    Obs.Recorder.set_sink (Some path);
+    Obs.Recorder.install_sigusr1 ();
+    Fun.protect ~finally:(fun () -> Obs.Recorder.set_sink None) f
 
 (* The --progress heartbeat: a sampler domain reads the live registry
    and prints one stderr line per period.  Purely an observer — it
@@ -191,7 +216,7 @@ let do_check spec_name file t_flag min_t_flag weak_flag stats_flag budget
     | Error e -> `Error (false, e)
     | Ok hist -> (
       try
-        with_trace trace @@ fun () ->
+        with_trace ~proc:"check" trace @@ fun () ->
         let code = ref Exit_code.Ok in
         let note c = code := Exit_code.combine !code c in
         (match t_flag with
@@ -852,7 +877,7 @@ let do_mc impl_name protocol_name stabilize_at procs per_proc depth engine_s
     Printf.eprintf "elin mc: %s\n%!" msg;
     ok_exit Exit_code.Usage
   | Ok p ->
-  with_trace trace @@ fun () ->
+  with_trace ~proc:"mc" trace @@ fun () ->
   with_progress progress @@ fun () ->
   let impl_name = p.q_impl in
   let protocol_name = p.q_protocol in
@@ -1331,10 +1356,12 @@ let batch_over_socket addr lines stats =
   verdicts
 
 let do_batch domains job_budget timeout_ms no_reuse stats metrics_out connect
-    decompose input =
+    decompose trace flight input =
   if domains < 1 then
     `Error (false, Printf.sprintf "--domains must be >= 1, got %d" domains)
   else
+    with_flight flight @@ fun () ->
+    with_trace ~proc:"batch" trace @@ fun () ->
     let lines =
       match input with
       | None -> read_all_lines stdin
@@ -1422,7 +1449,7 @@ let batch_cmd =
       ret
         (const do_batch $ domains_svc_arg $ job_budget_arg $ timeout_ms_arg
        $ no_reuse_arg $ svc_stats_arg $ metrics_out_arg $ connect_arg
-       $ decompose $ input))
+       $ decompose $ trace_arg $ flight_arg $ input))
 
 (* The final metrics line both serve modes flush on shutdown. *)
 let print_final_metrics ?queue_depth metrics =
@@ -1467,53 +1494,108 @@ let serve_spool domains job_budget timeout_ms no_reuse stats dir once poll_ms =
   end
 
 let serve_socket domains job_budget timeout_ms no_reuse stats addr_s admission
-    queue test_specs =
+    queue test_specs telemetry_s =
   match Elin_net.Addr.of_string addr_s with
   | Error e -> `Error (false, e)
   | Ok addr -> (
-    let metrics = Elin_svc.Metrics.create () in
-    let resolve =
-      if test_specs then Some Elin_net.Load.test_resolve else None
+    let telemetry_addr =
+      match telemetry_s with
+      | None -> Ok None
+      | Some s -> (
+        match Elin_net.Addr.of_string s with
+        | Ok a -> Ok (Some a)
+        | Error e -> Error e)
     in
-    match
-      Elin_net.Server.start ~domains ?default_budget:job_budget
-        ?default_timeout_ms:timeout_ms ~reuse:(not no_reuse) ~stats ~metrics
-        ~admission ~queue_capacity:queue ?resolve addr
-    with
-    | exception Failure m -> `Error (false, m)
-    | exception Unix.Unix_error (err, fn, _) ->
-      `Error
-        ( false,
-          Printf.sprintf "--listen %s: %s: %s" addr_s fn
-            (Unix.error_message err) )
-    | srv ->
-      let shown =
-        match (addr, Elin_net.Server.port srv) with
-        | Elin_net.Addr.Tcp (h, 0), Some p ->
-          Elin_net.Addr.to_string (Elin_net.Addr.Tcp (h, p))
-        | _ -> Elin_net.Addr.to_string addr
+    match telemetry_addr with
+    | Error e -> `Error (false, Printf.sprintf "--telemetry: %s" e)
+    | Ok telemetry_addr -> (
+      let metrics = Elin_svc.Metrics.create () in
+      let resolve =
+        if test_specs then Some Elin_net.Load.test_resolve else None
       in
-      Printf.printf
-        "listening on %s (%d domain(s), queue %d, admission %s; Ctrl-C or \
-         SIGTERM to drain)\n%!"
-        shown domains queue
-        (match admission with
-        | Elin_net.Server.Block -> "block"
-        | Elin_net.Server.Busy -> "busy");
-      (* SIGINT/SIGTERM drain gracefully: stop accepting, answer
-         every admitted job, flush outboxes, then the final metrics
-         line. *)
-      let stop_requested, restore_signals = install_stop_signals () in
-      while not (Atomic.get stop_requested) do
-        Thread.delay 0.2
-      done;
-      Elin_net.Server.stop srv;
-      restore_signals ();
-      print_final_metrics metrics;
-      ok_exit Exit_code.Ok)
+      match
+        Elin_net.Server.start ~domains ?default_budget:job_budget
+          ?default_timeout_ms:timeout_ms ~reuse:(not no_reuse) ~stats ~metrics
+          ~admission ~queue_capacity:queue ?resolve addr
+      with
+      | exception Failure m -> `Error (false, m)
+      | exception Unix.Unix_error (err, fn, _) ->
+        `Error
+          ( false,
+            Printf.sprintf "--listen %s: %s: %s" addr_s fn
+              (Unix.error_message err) )
+      | srv ->
+        let shown =
+          match (addr, Elin_net.Server.port srv) with
+          | Elin_net.Addr.Tcp (h, 0), Some p ->
+            Elin_net.Addr.to_string (Elin_net.Addr.Tcp (h, p))
+          | _ -> Elin_net.Addr.to_string addr
+        in
+        Printf.printf
+          "listening on %s (%d domain(s), queue %d, admission %s; Ctrl-C or \
+           SIGTERM to drain)\n%!"
+          shown domains queue
+          (match admission with
+          | Elin_net.Server.Block -> "block"
+          | Elin_net.Server.Busy -> "busy");
+        (* The /healthz answer: serving until a stop signal arrives,
+           draining from then until the process exits — the endpoint
+           outlives Server.stop so a probe can watch the flip. *)
+        let draining = Atomic.make false in
+        let health () =
+          {
+            Elin_net.Telemetry.state =
+              (if Atomic.get draining then "draining" else "serving");
+            queue_depth = Elin_net.Server.queue_depth srv;
+            connections = Elin_net.Server.connections srv;
+            workers = domains;
+          }
+        in
+        let telemetry =
+          match telemetry_addr with
+          | None -> None
+          | Some taddr -> (
+            (* A scrape endpoint with a frozen registry would lie:
+               telemetry mode turns the process-wide metrics on (the
+               guarded gauges/histograms start updating); verdict
+               bytes on the job socket are unaffected. *)
+            Obs.Metrics.enable ();
+            match Elin_net.Telemetry.start ~health taddr with
+            | exception Failure m ->
+              Elin_net.Server.stop srv;
+              failwith (Printf.sprintf "--telemetry: %s" m)
+            | exception Unix.Unix_error (err, fn, _) ->
+              Elin_net.Server.stop srv;
+              failwith
+                (Printf.sprintf "--telemetry %s: %s: %s"
+                   (Elin_net.Addr.to_string taddr)
+                   fn (Unix.error_message err))
+            | t ->
+              let tshown =
+                match (taddr, Elin_net.Telemetry.port t) with
+                | Elin_net.Addr.Tcp (h, 0), Some p ->
+                  Elin_net.Addr.to_string (Elin_net.Addr.Tcp (h, p))
+                | _ -> Elin_net.Addr.to_string taddr
+              in
+              Printf.printf "telemetry on %s (/metrics /healthz)\n%!" tshown;
+              Some t)
+        in
+        (* SIGINT/SIGTERM drain gracefully: stop accepting, answer
+           every admitted job, flush outboxes, then the final metrics
+           line. *)
+        let stop_requested, restore_signals = install_stop_signals () in
+        while not (Atomic.get stop_requested) do
+          Thread.delay 0.2
+        done;
+        Atomic.set draining true;
+        Elin_net.Server.stop srv;
+        Option.iter Elin_net.Telemetry.stop telemetry;
+        restore_signals ();
+        print_final_metrics metrics;
+        ok_exit Exit_code.Ok))
 
 let do_serve domains job_budget timeout_ms no_reuse stats dir once poll_ms
-    listen admission queue test_specs =
+    listen admission queue test_specs telemetry trace flight =
   if domains < 1 then
     `Error (false, Printf.sprintf "--domains must be >= 1, got %d" domains)
   else
@@ -1521,12 +1603,18 @@ let do_serve domains job_budget timeout_ms no_reuse stats dir once poll_ms
     | Some _, Some _ -> `Error (true, "--listen and --watch are exclusive")
     | None, None -> `Error (true, "one of --watch or --listen is required")
     | Some addr_s, None ->
+      with_flight flight @@ fun () ->
+      with_trace ~proc:"serve" trace @@ fun () ->
       serve_socket domains job_budget timeout_ms no_reuse stats addr_s
-        admission queue test_specs
+        admission queue test_specs telemetry
     | None, Some dir ->
-      if not (Sys.file_exists dir && Sys.is_directory dir) then
+      if telemetry <> None then
+        `Error (true, "--telemetry requires --listen (socket mode)")
+      else if not (Sys.file_exists dir && Sys.is_directory dir) then
         `Error (false, Printf.sprintf "--watch %s: not a directory" dir)
       else
+        with_flight flight @@ fun () ->
+        with_trace ~proc:"serve" trace @@ fun () ->
         serve_spool domains job_budget timeout_ms no_reuse stats dir once
           poll_ms
 
@@ -1579,6 +1667,18 @@ let serve_cmd =
                    (elin.load.reg, elin.poison) used by $(b,elin load); \
                    off by default.")
   in
+  let telemetry =
+    Arg.(value & opt (some string) None
+         & info [ "telemetry" ] ~docv:"ADDR"
+             ~doc:"Serve a live telemetry endpoint at $(docv) (tcp:HOST:PORT \
+                   or unix:PATH; tcp port 0 picks an ephemeral port, printed \
+                   at startup): GET /metrics returns the OpenMetrics text \
+                   exposition of the live registry, GET /healthz returns \
+                   drain state, queue depth, connections and worker count \
+                   (200 while serving, 503 while draining).  No auth, no \
+                   TLS — bind to loopback unless the network is trusted.  \
+                   Socket mode only.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve checking jobs: from a spool directory (--watch) or over \
@@ -1587,20 +1687,23 @@ let serve_cmd =
       ret
         (const do_serve $ domains_svc_arg $ job_budget_arg $ timeout_ms_arg
        $ no_reuse_arg $ svc_stats_arg $ dir $ once $ poll_ms $ listen
-       $ admission $ queue $ test_specs))
+       $ admission $ queue $ test_specs $ telemetry $ trace_arg
+       $ flight_arg))
 
 (* ------------------------------------------------------------------ *)
 (* elin load                                                          *)
 (* ------------------------------------------------------------------ *)
 
 let do_load connect rate jobs seed small large poison depth budget timeout_ms
-    idle_limit sweep =
+    idle_limit sweep trace flight =
   match Elin_net.Addr.of_string connect with
   | Error e -> `Error (false, e)
   | Ok addr -> (
     if rate <= 0. then `Error (false, "--rate must be > 0")
     else if jobs < 1 then `Error (false, "--jobs must be >= 1")
     else
+      with_flight flight @@ fun () ->
+      with_trace ~proc:"load" trace @@ fun () ->
       let cfg =
         {
           Elin_net.Load.rate;
@@ -1611,6 +1714,11 @@ let do_load connect rate jobs seed small large poison depth budget timeout_ms
           budget;
           timeout_ms;
           idle_limit_s = idle_limit;
+          (* Tracing stamps each generated job with a trace-context id
+             so the server's spans stitch to the client's; without
+             --trace the wire bytes stay byte-identical to pre-tracing
+             runs. *)
+          trace_ids = trace <> None;
         }
       in
       let rates = match sweep with [] -> [ rate ] | rs -> rs in
@@ -1713,7 +1821,8 @@ let load_cmd =
     Term.(
       ret
         (const do_load $ connect $ rate $ jobs $ seed $ small $ large
-       $ poison $ depth $ budget $ timeout_ms $ idle_limit $ sweep))
+       $ poison $ depth $ budget $ timeout_ms $ idle_limit $ sweep
+       $ trace_arg $ flight_arg))
 
 (* ------------------------------------------------------------------ *)
 (* elin trace                                                         *)
@@ -1743,7 +1852,18 @@ let do_trace_lint file =
         (match ty with `Int -> "int" | `Num -> "numeric" | `Str -> "string")
         k
   in
-  let events = ref 0 and metrics = ref 0 in
+  let events = ref 0 and metrics = ref 0 and metas = ref 0 in
+  (* The metadata header (JSONL first line / Chrome otherData): the
+     absolute t0 and process label `elin trace merge` re-aligns on. *)
+  let lint_meta ctx j =
+    incr metas;
+    (match str_mem "meta" j with
+    | Some "elin.trace" -> ()
+    | Some m -> err ctx "unknown meta kind %S" m
+    | None -> ());
+    need ctx j "t0" `Int;
+    need ctx j "proc" `Str
+  in
   let lint_event ~chrome ctx j =
     incr events;
     need ctx j "name" `Str;
@@ -1776,13 +1896,20 @@ let do_trace_lint file =
            ~finally:(fun () -> close_in_noerr ic)
            (fun () -> really_input_string ic (in_channel_length ic))
        in
-       match mem "traceEvents" (of_string body) with
+       let j = of_string body in
+       (match mem "traceEvents" j with
        | Some (Arr evs) ->
          List.iteri
            (fun i ev ->
-             lint_event ~chrome:true (Printf.sprintf "traceEvents[%d]" i) ev)
+             match str_mem "ph" ev with
+             | Some "M" -> () (* process_name metadata from a merge *)
+             | _ ->
+               lint_event ~chrome:true (Printf.sprintf "traceEvents[%d]" i) ev)
            evs
-       | _ -> err file "no \"traceEvents\" array"
+       | _ -> err file "no \"traceEvents\" array");
+       match mem "otherData" j with
+       | Some od -> lint_meta (file ^ ":otherData") od
+       | None -> ()
      end
      else
        let ic = open_in file in
@@ -1798,6 +1925,7 @@ let do_trace_lint file =
                  let ctx = Printf.sprintf "%s:%d" file !lineno in
                  match of_string line with
                  | j when mem "metric" j <> None -> lint_metric ctx j
+                 | j when mem "meta" j <> None -> lint_meta ctx j
                  | j -> lint_event ~chrome:false ctx j
                  | exception Parse_error m -> err ctx "parse error: %s" m
                end
@@ -1805,7 +1933,8 @@ let do_trace_lint file =
            with End_of_file -> ())
    with Sys_error m -> err file "%s" m);
   if !n_err = 0 then begin
-    Printf.printf "%s: ok (%d events, %d metrics)\n" file !events !metrics;
+    Printf.printf "%s: ok (%d events, %d metrics%s)\n" file !events !metrics
+      (if !metas > 0 then Printf.sprintf ", %d meta" !metas else "");
     ok_exit Exit_code.Ok
   end
   else begin
@@ -1825,10 +1954,141 @@ let trace_lint_cmd =
              file: every line parses and carries the schema's required keys")
     Term.(ret (const do_trace_lint $ file))
 
+(* The analysis subcommands share a loader: every positional argument
+   is a trace file in either export format. *)
+let load_trace_files files k =
+  let rec go acc = function
+    | [] -> k (List.rev acc)
+    | f :: rest -> (
+      match Obs.Trace_tools.load f with
+      | Ok t -> go (t :: acc) rest
+      | Error m ->
+        Printf.eprintf "elin trace: %s\n%!" m;
+        ok_exit Exit_code.Usage)
+  in
+  go [] files
+
+let do_trace_merge files =
+  load_trace_files files @@ fun loaded ->
+  match Obs.Trace_tools.merge loaded with
+  | Ok json ->
+    print_endline (Obs.Jsonl.to_string json);
+    ok_exit Exit_code.Ok
+  | Error m ->
+    Printf.eprintf "elin trace merge: %s\n%!" m;
+    ok_exit Exit_code.Usage
+
+let do_trace_report files =
+  load_trace_files files @@ fun loaded ->
+  let evs = List.concat_map (fun f -> f.Obs.Trace_tools.evs) loaded in
+  if evs = [] then begin
+    Printf.eprintf "elin trace report: no events in %s\n%!"
+      (String.concat ", " files);
+    ok_exit Exit_code.Usage
+  end
+  else begin
+    print_string (Obs.Trace_tools.report evs);
+    ok_exit Exit_code.Ok
+  end
+
+let do_trace_flame files =
+  load_trace_files files @@ fun loaded ->
+  print_string (Obs.Trace_tools.flame loaded);
+  ok_exit Exit_code.Ok
+
+let trace_files_arg =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"TRACE-FILE")
+
+let trace_merge_cmd =
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:"Merge one trace file per process (client + server, either \
+             export format) into a single Perfetto-loadable Chrome JSON on \
+             stdout, re-aligned on each file's absolute t0.  Fails if any \
+             input predates the t0 metadata.")
+    Term.(ret (const do_trace_merge $ trace_files_arg))
+
+let trace_report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Analyze trace file(s): per-phase span duration stats, per-job \
+             client = network + queue + check + other attribution (keyed on \
+             the propagated trace id), aggregate quantiles, and the \
+             critical path of the slowest job.")
+    Term.(ret (const do_trace_report $ trace_files_arg))
+
+let trace_flame_cmd =
+  Cmd.v
+    (Cmd.info "flame"
+       ~doc:"Render trace file(s) as collapsed stacks (one \
+             \"proc;a;b;c <self_us>\" line per stack) for flamegraph.pl or \
+             speedscope.  Spans nest by time containment per thread lane.")
+    Term.(ret (const do_trace_flame $ trace_files_arg))
+
 let trace_cmd =
   Cmd.group
     (Cmd.info "trace" ~doc:"Utilities for recorded traces and metrics files")
-    [ trace_lint_cmd ]
+    [ trace_lint_cmd; trace_merge_cmd; trace_report_cmd; trace_flame_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* elin probe                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* One-shot HTTP GET against a --telemetry endpoint — the curl the CI
+   image doesn't have.  Body goes to stdout; a non-200 status (or an
+   --openmetrics validation failure) exits 1 so smoke scripts can gate
+   on it, and --expect STATUS inverts that for drain probes. *)
+let do_probe addr_s path openmetrics expect =
+  match Elin_net.Addr.of_string addr_s with
+  | Error e -> `Error (false, e)
+  | Ok addr -> (
+    match Elin_net.Telemetry.get addr path with
+    | Error m ->
+      Printf.eprintf "elin probe: %s\n%!" m;
+      ok_exit Exit_code.Usage
+    | Ok (status, body) ->
+      print_string body;
+      if body <> "" && body.[String.length body - 1] <> '\n' then
+        print_newline ();
+      let want = Option.value ~default:200 expect in
+      if status <> want then begin
+        Printf.eprintf "elin probe: %s: status %d (want %d)\n%!" path status
+          want;
+        ok_exit Exit_code.Violation
+      end
+      else if openmetrics then (
+        match Obs.Openmetrics.validate body with
+        | Ok () -> ok_exit Exit_code.Ok
+        | Error m ->
+          Printf.eprintf "elin probe: %s\n%!" m;
+          ok_exit Exit_code.Violation)
+      else ok_exit Exit_code.Ok)
+
+let probe_cmd =
+  let addr =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ADDR")
+  in
+  let path =
+    Arg.(value & pos 1 string "/metrics" & info [] ~docv:"PATH")
+  in
+  let openmetrics =
+    Arg.(value & flag
+         & info [ "openmetrics" ]
+             ~doc:"Additionally validate the body as OpenMetrics text \
+                   exposition (structure + `# EOF` terminator).")
+  in
+  let expect =
+    Arg.(value & opt (some int) None
+         & info [ "expect" ] ~docv:"STATUS"
+             ~doc:"Expected HTTP status (default 200); anything else \
+                   exits 1.")
+  in
+  Cmd.v
+    (Cmd.info "probe"
+       ~doc:"HTTP GET $(i,PATH) (default /metrics) from an \
+             $(b,elin serve --telemetry) endpoint: body on stdout, exit 1 \
+             on unexpected status or failed --openmetrics validation")
+    Term.(ret (const do_probe $ addr $ path $ openmetrics $ expect))
 
 (* ------------------------------------------------------------------ *)
 
@@ -1840,7 +2100,7 @@ let main =
           of Guerraoui & Ruppert, PODC 2014")
     [ check_cmd; generate_cmd; run_cmd; paradox_cmd; valency_cmd; mc_cmd;
       serafini_cmd; experiments_cmd; batch_cmd; serve_cmd; load_cmd;
-      trace_cmd ]
+      trace_cmd; probe_cmd ]
 
 (* The uniform exit-code policy: term values ARE the exit codes;
    cmdliner-level usage/parse problems map to Exit_code.Usage. *)

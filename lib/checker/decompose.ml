@@ -32,6 +32,8 @@
 
 open Elin_spec
 open Elin_history
+module Trace = Elin_obs.Trace
+module Jsonl = Elin_obs.Jsonl
 
 type config = {
   spec_of_obj : int -> Spec.t;
@@ -210,12 +212,24 @@ let min_t_sub dcfg ecfg a ho =
     (fun t -> check_sub ecfg a ~prepared ~hint ~q0 ho ~t)
     ~len:(History.length ho)
 
+(* Out of line and behind [Trace.on]: the sub-check loops call into
+   the hot engine, and growing their bodies with argument construction
+   measurably perturbs code layout around the search. *)
+let[@inline never] sub_span ts o args =
+  Trace.complete ~cat:"check" ~ts "decompose.sub"
+    ~args:(("obj", Jsonl.Str (Printf.sprintf "o%d" o)) :: args)
+
 let per_object_min_t_acc dcfg a h =
   let ecfg = engine_cfg dcfg in
   List.map
     (fun o ->
       a.a_objects <- a.a_objects + 1;
-      (o, min_t_sub dcfg ecfg a (History.proj_obj h o)))
+      let span_ts = Trace.begin_ns () in
+      let ho = History.proj_obj h o in
+      let mt = min_t_sub dcfg ecfg a ho in
+      if Trace.on () then
+        sub_span span_ts o [ ("events", Jsonl.Int (History.length ho)) ];
+      (o, mt))
     (History.objs h)
 
 let min_t_stats dcfg h =
@@ -234,12 +248,17 @@ let t_linearizable_stats dcfg h ~t =
     List.for_all
       (fun o ->
         a.a_objects <- a.a_objects + 1;
+        let span_ts = Trace.begin_ns () in
         let ho = History.proj_obj h o in
         let t_o = sub_cut (History.index_map_obj h o) ~t in
         let prepared = Engine.prepare ecfg ho in
         let hint = Array.make (max 1 (History.n_ops ho)) 0 in
         let q0 = Spec.initial (dcfg.spec_of_obj o) in
-        check_sub ecfg a ~prepared ~hint ~q0 ho ~t:t_o)
+        let ok = check_sub ecfg a ~prepared ~hint ~q0 ho ~t:t_o in
+        if Trace.on () then
+          sub_span span_ts o
+            [ ("t_o", Jsonl.Int t_o); ("ok", Jsonl.Bool ok) ];
+        ok)
       (History.objs h)
   in
   (ok, stats_of a)

@@ -18,7 +18,10 @@ let tcp_of_host_port s =
         Error (Printf.sprintf "address %S: bad port %S" s port)
       else
         let p = int_of_string port in
-        if p < 1 || p > 65535 then
+        (* Port 0 is legal: binding it asks the kernel for an
+           ephemeral port (read back with Server.port /
+           Telemetry.port); connecting to it is refused by connect. *)
+        if p > 65535 then
           Error (Printf.sprintf "address %S: port out of range" s)
         else Ok (Tcp (host, p))
 

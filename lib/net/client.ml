@@ -91,6 +91,12 @@ let run_jobs ?(window = 64) ?max_frame addr jobs =
     | Some q when not (Queue.is_empty q) -> Some (Queue.pop q)
     | _ -> None
   in
+  (* Send timestamps (and trace ids) by seq, for the client-side job
+     span (send → verdict, i.e. the full wire round trip as this
+     process saw it). *)
+  let sent_ts : (int, int64 * string option) Hashtbl.t =
+    Hashtbl.create total
+  in
   let results = ref [] in
   let sent = ref 0 in
   let received = ref 0 in
@@ -98,6 +104,8 @@ let run_jobs ?(window = 64) ?max_frame addr jobs =
     while !sent < total && !sent - !received < window do
       let j = jobs.(!sent) in
       push_id j.Job.id j.Job.seq;
+      if Obs.Trace.on () then
+        Hashtbl.replace sent_ts j.Job.seq (Obs.Clock.now_ns (), j.Job.trace);
       send t j;
       incr sent
     done;
@@ -108,6 +116,19 @@ let run_jobs ?(window = 64) ?max_frame addr jobs =
             failwith
               (Printf.sprintf "verdict for unknown job id %S" v.Verdict.job_id)
         | Some seq ->
+            (if Obs.Trace.on () then
+               match Hashtbl.find_opt sent_ts seq with
+               | Some (ts, trace) ->
+                   Hashtbl.remove sent_ts seq;
+                   let args =
+                     [ ("id", Obs.Jsonl.Str v.Verdict.job_id) ]
+                     @
+                     match trace with
+                     | Some tr -> [ ("trace", Obs.Jsonl.Str tr) ]
+                     | None -> []
+                   in
+                   Obs.Trace.complete ~cat:"client" ~ts "client.job" ~args
+               | None -> ());
             results := { v with Verdict.seq } :: !results;
             incr received)
     | `Eof ->

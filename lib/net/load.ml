@@ -43,6 +43,7 @@ type cfg = {
   budget : int option;
   timeout_ms : int option;
   idle_limit_s : float;
+  trace_ids : bool;  (* stamp each job with a trace-context id *)
 }
 
 let default_cfg =
@@ -55,6 +56,7 @@ let default_cfg =
     budget = Some 500_000;
     timeout_ms = Some 2_000;
     idle_limit_s = 60.;
+    trace_ids = false;
   }
 
 let fai = Faicounter.spec ()
@@ -101,14 +103,19 @@ let gen_jobs cfg =
         | `Large -> ("elin.load.reg", large_text, "l")
         | `Poison -> ("elin.poison", small_history rng, "p")
       in
+      let id = Printf.sprintf "ld-%d-%s" i tag in
       {
-        Job.id = Printf.sprintf "ld-%d-%s" i tag;
+        Job.id = id;
         seq = i;
         spec;
         check = Job.Linearizable;
         node_budget = cfg.budget;
         timeout_ms = cfg.timeout_ms;
         history_text;
+        (* The job id doubles as the trace id: unique per run, and
+           greppable on both sides of the wire. *)
+        trace = (if cfg.trace_ids then Some id else None);
+        parent = None;
       })
 
 (* ------------------------------------------------------------------ *)
@@ -230,6 +237,18 @@ let run addr cfg =
             let us = max 0 (Int64.to_int (Int64.div lat_ns 1000L)) in
             Obs.Metrics.Histogram.observe hist us;
             if us > !max_us then max_us := us;
+            (* Client-side job span: scheduled-send to verdict, the
+               same interval the latency histogram samples. *)
+            (if Obs.Trace.on () then
+               let args =
+                 [ ("id", Obs.Jsonl.Str v.Verdict.job_id) ]
+                 @
+                 match jobs.(i).Job.trace with
+                 | Some t -> [ ("trace", Obs.Jsonl.Str t) ]
+                 | None -> []
+               in
+               Obs.Trace.complete ~cat:"client" ~ts:(sched i) "load.job"
+                 ~args);
             (match v.Verdict.status with
             | Verdict.Pass -> incr pass
             | Verdict.Violation -> incr violations

@@ -45,6 +45,10 @@ type cfg = {
       (** receiver watchdog: fail (loudly, with progress counters) if
           the server sends nothing for this long — a load run must
           never hang silently on a lost verdict (default 60 s) *)
+  trace_ids : bool;
+      (** stamp every generated job with a trace-context id (its own
+          job id) and record a client-side [load.job] span per verdict
+          — off by default so the wire bytes match pre-tracing runs *)
 }
 
 val default_cfg : cfg

@@ -24,6 +24,10 @@ type conn = {
   cid : int;
   fd : Unix.file_descr;
   outbox : string Chan.t;  (* verdict lines awaiting the writer *)
+  g_outbox : Obs.Metrics.Gauge.t;
+      (* per-connection outbox depth, lane-hashed into a bounded set of
+         gauge names (net.outbox.c<cid mod 8>) so a long-lived server
+         cannot grow the registry without bound *)
   m : Mutex.t;
   mutable in_flight : int;  (* admitted to the pool, not yet routed *)
   mutable reader_done : bool;
@@ -46,9 +50,10 @@ type t = {
   mutable readers : Thread.t list;
   mutable writers : Thread.t list;
   next_cid : int Atomic.t;
-  (* Enqueue timestamps by internal id, for the net.job span and
-     latency histogram (queue wait + execution + routing). *)
-  enq_ts : (string, int64) Hashtbl.t;
+  (* Enqueue timestamps (and the job's trace-context id) by internal
+     id, for the net.job span and latency histogram (queue wait +
+     execution + routing). *)
+  enq_ts : (string, int64 * string option) Hashtbl.t;
   enq_m : Mutex.t;
   stopping : bool Atomic.t;
   mutable acceptor : Thread.t option;
@@ -99,10 +104,14 @@ let split_internal id =
 let send_line conn line =
   if not (Atomic.get conn.dead) then
     match Chan.try_put conn.outbox line with
-    | true -> ()
+    | true ->
+        if Obs.Metrics.on () then
+          Obs.Metrics.Gauge.set conn.g_outbox (Chan.length conn.outbox)
     | false | (exception Chan.Closed) ->
         Atomic.set conn.dead true;
         Obs.Metrics.Counter.incr m_dropped;
+        Obs.Recorder.note "net.evict"
+          ~args:[ ("conn", Obs.Jsonl.Int conn.cid) ];
         (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
          with Unix.Unix_error _ -> ())
 
@@ -134,10 +143,10 @@ let id_hint payload k =
 (* Session reader                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let note_enqueue srv internal =
+let note_enqueue srv internal ~trace =
   let ts = Obs.Clock.now_ns () in
   Mutex.lock srv.enq_m;
-  Hashtbl.replace srv.enq_ts internal ts;
+  Hashtbl.replace srv.enq_ts internal (ts, trace);
   Mutex.unlock srv.enq_m
 
 let forget_enqueue srv internal =
@@ -161,7 +170,7 @@ let handle_frame srv conn k payload =
   | Ok job ->
       let internal = internal_id conn.cid seq job.Job.id in
       let ijob = { job with Job.id = internal } in
-      note_enqueue srv internal;
+      note_enqueue srv internal ~trace:job.Job.trace;
       Mutex.lock conn.m;
       conn.in_flight <- conn.in_flight + 1;
       Mutex.unlock conn.m;
@@ -210,6 +219,12 @@ let reader_loop srv conn =
         (* Unrecoverable: the stream cannot be resynchronized.  Answer
            with an error verdict for the broken frame, then let the
            already-admitted jobs finish. *)
+        Obs.Recorder.note "net.protocol_error"
+          ~id:(Printf.sprintf "frame-%d" !k)
+          ~args:
+            [ ("conn", Obs.Jsonl.Int conn.cid); ("error", Obs.Jsonl.Str e) ];
+        Obs.Recorder.dump ~reason:"protocol_error"
+          ~job:(Printf.sprintf "frame-%d" !k) ();
         send_verdict srv conn
           (local_verdict
              ~status:(Verdict.Bad_job ("framing: " ^ e))
@@ -239,8 +254,16 @@ let reader_loop srv conn =
                      ~id:(Printf.sprintf "frame-%d" !k)
                      ~seq:!k ())
           | n ->
+              let ts = Obs.Trace.begin_ns () in
               Frame.feed dec scratch 0 n;
-              if drain_frames () then loop ()
+              let alive = drain_frames () in
+              Obs.Trace.complete ~cat:"net" ~ts "net.decode"
+                ~args:
+                  [
+                    ("conn", Obs.Jsonl.Int conn.cid);
+                    ("bytes", Obs.Jsonl.Int n);
+                  ];
+              if alive then loop ()
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
           | exception Unix.Unix_error _ -> ())
   in
@@ -260,8 +283,18 @@ let writer_loop srv conn =
     match Chan.take conn.outbox with
     | None -> ()
     | Some line ->
+        if Obs.Metrics.on () then
+          Obs.Metrics.Gauge.set conn.g_outbox (Chan.length conn.outbox);
         (if not (Atomic.get conn.dead) then
-           try Frame.write_frame conn.fd line
+           let ts = Obs.Trace.begin_ns () in
+           try
+             Frame.write_frame conn.fd line;
+             Obs.Trace.complete ~cat:"net" ~ts "net.encode"
+               ~args:
+                 [
+                   ("conn", Obs.Jsonl.Int conn.cid);
+                   ("bytes", Obs.Jsonl.Int (String.length line));
+                 ]
            with Unix.Unix_error _ -> Atomic.set conn.dead true);
         drain ()
   in
@@ -286,12 +319,18 @@ let deliver srv (v : Verdict.t) =
       let t0 = Hashtbl.find_opt srv.enq_ts v.Verdict.job_id in
       Hashtbl.remove srv.enq_ts v.Verdict.job_id;
       Mutex.unlock srv.enq_m;
+      Obs.Trace.instant ~cat:"net" "net.dispatch"
+        ~args:[ ("id", Obs.Jsonl.Str orig); ("conn", Obs.Jsonl.Int cid) ];
       (match t0 with
-      | Some ts ->
+      | Some (ts, trace) ->
           if Obs.Trace.on () then
             Obs.Trace.complete ~cat:"net" ~ts "net.job"
               ~args:
-                [ ("id", Obs.Jsonl.Str orig); ("conn", Obs.Jsonl.Int cid) ];
+                ([ ("id", Obs.Jsonl.Str orig); ("conn", Obs.Jsonl.Int cid) ]
+                @
+                match trace with
+                | Some t -> [ ("trace", Obs.Jsonl.Str t) ]
+                | None -> []);
           if Obs.Metrics.on () then
             Obs.Metrics.Histogram.observe h_latency
               (Int64.to_int
@@ -341,6 +380,7 @@ let spawn_session srv fd =
       cid;
       fd;
       outbox = Chan.create ~capacity:srv.outbox_capacity ();
+      g_outbox = Obs.Metrics.gauge (Printf.sprintf "net.outbox.c%d" (cid mod 8));
       m = Mutex.create ();
       in_flight = 0;
       reader_done = false;
@@ -348,6 +388,7 @@ let spawn_session srv fd =
     }
   in
   Obs.Metrics.Counter.incr m_accepts;
+  Obs.Recorder.note "net.accept" ~args:[ ("conn", Obs.Jsonl.Int cid) ];
   if Obs.Metrics.on () then Obs.Metrics.Gauge.add g_conns 1;
   Obs.Trace.instant ~cat:"net" "net.accept"
     ~args:[ ("conn", Obs.Jsonl.Int cid) ];

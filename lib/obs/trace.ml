@@ -82,6 +82,21 @@ let clear () =
 
 let t0_of = function [] -> 0L | ev :: _ -> ev.ts
 
+(* Process label stamped into exported trace metadata so `elin trace
+   merge` can tell client and server files apart.  Set once at CLI
+   startup; never read on the hot path. *)
+let proc_label = ref "elin"
+let set_proc p = proc_label := p
+
+let meta_json evs =
+  let open Jsonl in
+  Obj
+    [
+      ("meta", Str "elin.trace");
+      ("t0", Int (Int64.to_int (t0_of evs)));
+      ("proc", Str !proc_label);
+    ]
+
 let to_jsonl evs =
   let t0 = t0_of evs in
   List.map
@@ -121,9 +136,18 @@ let to_chrome evs =
           @ if ev.args = [] then [] else [ ("args", Obj ev.args) ]))
       evs
   in
-  Obj [ ("traceEvents", Arr trace_events) ]
+  Obj
+    [
+      ("traceEvents", Arr trace_events);
+      ( "otherData",
+        Obj
+          [
+            ("t0", Int (Int64.to_int (t0_of evs)));
+            ("proc", Str !proc_label);
+          ] );
+    ]
 
 let write_file path =
   let evs = events () in
   if Filename.check_suffix path ".json" then Jsonl.to_file path (to_chrome evs)
-  else Jsonl.lines_to_file path (to_jsonl evs)
+  else Jsonl.lines_to_file path (meta_json evs :: to_jsonl evs)

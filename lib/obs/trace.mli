@@ -74,13 +74,27 @@ val events : unit -> event list
     parallel sections. *)
 val clear : unit -> unit
 
+(** Process label stamped into exported metadata ([proc] field) so
+    multi-process traces can be told apart by [elin trace merge].
+    Defaults to ["elin"]. *)
+val set_proc : string -> unit
+
 (** Canonical JSONL lines (see module doc); [ts] rebased so the first
     event is 0. *)
 val to_jsonl : event list -> Jsonl.t list
 
-(** Chrome trace-event JSON object. *)
+(** The metadata header line written before the events in JSONL
+    exports: [{"meta":"elin.trace","t0":<abs ns of first event>,
+    "proc":<label>}].  [t0] is the {e absolute} monotonic timestamp
+    the rebased events are relative to — two files written by
+    processes on the same host can be re-aligned from their [t0]s. *)
+val meta_json : event list -> Jsonl.t
+
+(** Chrome trace-event JSON object.  Carries the same [t0]/[proc]
+    metadata under [otherData]. *)
 val to_chrome : event list -> Jsonl.t
 
 (** [write_file path] — drain [events ()] to [path]: Chrome format
-    when [path] ends in [.json], canonical JSONL otherwise. *)
+    when [path] ends in [.json], canonical JSONL (one [meta] header
+    line, then one event per line) otherwise. *)
 val write_file : string -> unit

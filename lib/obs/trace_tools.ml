@@ -1,0 +1,535 @@
+(* Offline trace analysis: load exported traces (either format),
+   merge multi-process files on their absolute t0s, and render the
+   report / flamegraph views.  Pure string/Jsonl transformations so
+   the CLI subcommands stay thin and the tests drive this directly. *)
+
+type levt = {
+  ts : int64;  (* ns; absolute when the file carried a t0, else rebased *)
+  dur : int64; (* ns; < 0 marks an instant *)
+  name : string;
+  cat : string;
+  pid : int;
+  tid : int;
+  args : (string * Jsonl.t) list;
+}
+
+type file = {
+  path : string;
+  proc : string;
+  t0 : int64 option; (* absolute monotonic ns of the file's first event *)
+  evs : levt list;
+}
+
+let args_of json =
+  match Jsonl.mem "args" json with Some (Jsonl.Obj kvs) -> kvs | _ -> []
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_jsonl_event json =
+  let get_int k = Jsonl.int_mem k json in
+  match (get_int "ts", Jsonl.str_mem "name" json, Jsonl.str_mem "ph" json) with
+  | Some ts, Some name, Some ph ->
+      let dur =
+        if ph = "X" then
+          Int64.of_int (Option.value ~default:0 (get_int "dur"))
+        else -1L
+      in
+      Ok
+        {
+          ts = Int64.of_int ts;
+          dur;
+          name;
+          cat = Option.value ~default:"" (Jsonl.str_mem "cat" json);
+          pid = 1;
+          tid = Option.value ~default:0 (get_int "tid");
+          args = args_of json;
+        }
+  | _ -> Error "event line needs ts, name, ph"
+
+let load_jsonl path text =
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+  in
+  let parse_line i l =
+    match Jsonl.of_string l with
+    | exception Jsonl.Parse_error m ->
+        Error (Printf.sprintf "%s:%d: %s" path i m)
+    | json -> Ok json
+  in
+  let rec go i proc t0 acc = function
+    | [] -> Ok { path; proc; t0; evs = List.rev acc }
+    | l :: rest -> (
+        match parse_line i l with
+        | Error _ as e -> e
+        | Ok json -> (
+            match Jsonl.str_mem "meta" json with
+            | Some "elin.trace" ->
+                let t0 =
+                  match Jsonl.int_mem "t0" json with
+                  | Some t -> Some (Int64.of_int t)
+                  | None -> t0
+                in
+                let proc =
+                  Option.value ~default:proc (Jsonl.str_mem "proc" json)
+                in
+                go (i + 1) proc t0 acc rest
+            | Some m ->
+                Error (Printf.sprintf "%s:%d: unknown meta kind %S" path i m)
+            | None ->
+                if Jsonl.mem "metric" json <> None then
+                  (* metrics snapshot line mixed into the file; skip *)
+                  go (i + 1) proc t0 acc rest
+                else (
+                  match parse_jsonl_event json with
+                  | Ok ev -> go (i + 1) proc t0 (ev :: acc) rest
+                  | Error m -> Error (Printf.sprintf "%s:%d: %s" path i m))))
+  in
+  match go 1 (Filename.basename path) None [] lines with
+  | Ok f ->
+      (* Rebase to absolute time when the meta header gave us t0. *)
+      let evs =
+        match f.t0 with
+        | None -> f.evs
+        | Some t0 -> List.map (fun e -> { e with ts = Int64.add e.ts t0 }) f.evs
+      in
+      Ok { f with evs }
+  | Error _ as e -> e
+
+let ns_of_us f = Int64.of_float (Float.round (f *. 1000.))
+
+let load_chrome path json =
+  match Jsonl.mem "traceEvents" json with
+  | Some (Jsonl.Arr evs_json) ->
+      let other = Jsonl.mem "otherData" json in
+      let t0 =
+        Option.bind other (fun o ->
+            Option.map Int64.of_int (Jsonl.int_mem "t0" o))
+      in
+      let proc =
+        match Option.bind other (Jsonl.str_mem "proc") with
+        | Some p -> p
+        | None -> Filename.basename path
+      in
+      let parse ev =
+        match (Jsonl.float_mem "ts" ev, Jsonl.str_mem "name" ev,
+               Jsonl.str_mem "ph" ev) with
+        | Some ts, Some name, Some ph ->
+            let dur =
+              if ph = "X" then
+                ns_of_us (Option.value ~default:0. (Jsonl.float_mem "dur" ev))
+              else -1L
+            in
+            Some
+              {
+                ts = ns_of_us ts;
+                dur;
+                name;
+                cat = Option.value ~default:"" (Jsonl.str_mem "cat" ev);
+                pid = Option.value ~default:1 (Jsonl.int_mem "pid" ev);
+                tid = Option.value ~default:0 (Jsonl.int_mem "tid" ev);
+                args = args_of ev;
+              }
+        | _ -> None (* metadata events (ph "M") have no ts; skip *)
+      in
+      let evs = List.filter_map parse evs_json in
+      let evs =
+        match t0 with
+        | None -> evs
+        | Some t0 -> List.map (fun e -> { e with ts = Int64.add e.ts t0 }) evs
+      in
+      Ok { path; proc; t0; evs }
+  | _ -> Error (Printf.sprintf "%s: no traceEvents array" path)
+
+let load path =
+  match read_all path with
+  | exception Sys_error m -> Error m
+  | text -> (
+      let trimmed = String.trim text in
+      let looks_chrome =
+        Filename.check_suffix path ".json"
+        || (String.length trimmed > 0 && trimmed.[0] = '{'
+            && (match String.index_opt trimmed '\n' with
+                | None -> Jsonl.mem "traceEvents"
+                            (try Jsonl.of_string trimmed
+                             with Jsonl.Parse_error _ -> Jsonl.Null)
+                          <> None
+                | Some _ -> false))
+      in
+      if looks_chrome then
+        match Jsonl.of_string trimmed with
+        | exception Jsonl.Parse_error m ->
+            Error (Printf.sprintf "%s: %s" path m)
+        | json -> load_chrome path json
+      else load_jsonl path text)
+
+(* ---------- merge ---------- *)
+
+let merge files =
+  let missing = List.filter (fun f -> f.t0 = None) files in
+  match missing with
+  | f :: _ ->
+      Error
+        (Printf.sprintf
+           "%s: no absolute t0 in trace metadata — re-export with this \
+            version (JSONL meta header / Chrome otherData) to merge"
+           f.path)
+  | [] ->
+      let g0 =
+        List.fold_left
+          (fun acc f ->
+            match f.evs with
+            | [] -> acc
+            | e :: _ -> if Int64.compare e.ts acc < 0 then e.ts else acc)
+          Int64.max_int files
+      in
+      let g0 = if g0 = Int64.max_int then 0L else g0 in
+      let open Jsonl in
+      let us_of ns = Clock.ns_to_us ns in
+      let trace_events =
+        List.concat
+          (List.mapi
+             (fun k f ->
+               let pid = k + 1 in
+               let meta =
+                 Obj
+                   [
+                     ("name", Str "process_name");
+                     ("ph", Str "M");
+                     ("pid", Int pid);
+                     ("tid", Int 0);
+                     ("args", Obj [ ("name", Str f.proc) ]);
+                   ]
+               in
+               meta
+               :: List.map
+                    (fun e ->
+                      let is_span = e.dur >= 0L in
+                      Obj
+                        ([
+                           ("name", Str e.name);
+                           ("cat", Str e.cat);
+                           ("ph", Str (if is_span then "X" else "i"));
+                           ("ts", Float (us_of (Int64.sub e.ts g0)));
+                         ]
+                        @ (if is_span then [ ("dur", Float (us_of e.dur)) ]
+                           else [])
+                        @ [ ("pid", Int pid); ("tid", Int e.tid) ]
+                        @ (if is_span then [] else [ ("s", Str "t") ])
+                        @ if e.args = [] then [] else [ ("args", Obj e.args) ]))
+                    f.evs)
+             files)
+      in
+      Ok (Obj [ ("traceEvents", Arr trace_events) ])
+
+(* ---------- shared helpers ---------- *)
+
+let trace_of e =
+  match List.assoc_opt "trace" e.args with
+  | Some (Jsonl.Str t) -> Some t
+  | _ -> None
+
+let spans evs = List.filter (fun e -> e.dur >= 0L) evs
+let ms ns = Int64.to_float ns /. 1e6
+
+let pctl sorted q =
+  (* nearest-rank on a sorted array *)
+  let n = Array.length sorted in
+  if n = 0 then 0L
+  else
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+(* ---------- report ---------- *)
+
+type attribution = {
+  job : string;
+  client_ns : int64 option; (* load.job / client.job *)
+  server_ns : int64 option; (* net.job: queue + check + route *)
+  check_ns : int64 option;  (* sum of svc.job (sub-jobs fold in) *)
+}
+
+let attributions evs =
+  let tbl : (string, attribution) Hashtbl.t = Hashtbl.create 64 in
+  let get id =
+    match Hashtbl.find_opt tbl id with
+    | Some a -> a
+    | None ->
+        let a = { job = id; client_ns = None; server_ns = None;
+                  check_ns = None } in
+        Hashtbl.replace tbl id a;
+        a
+  in
+  let add_opt o v =
+    Some (match o with None -> v | Some x -> Int64.add x v)
+  in
+  let max_opt o v =
+    Some (match o with None -> v | Some x -> if Int64.compare v x > 0 then v else x)
+  in
+  List.iter
+    (fun e ->
+      match trace_of e with
+      | None -> ()
+      | Some id -> (
+          let a = get id in
+          match e.name with
+          | "load.job" | "client.job" ->
+              Hashtbl.replace tbl id
+                { a with client_ns = max_opt a.client_ns e.dur }
+          | "net.job" ->
+              Hashtbl.replace tbl id
+                { a with server_ns = add_opt a.server_ns e.dur }
+          | "svc.job" ->
+              Hashtbl.replace tbl id
+                { a with check_ns = add_opt a.check_ns e.dur }
+          | _ -> ()))
+    (spans evs);
+  Hashtbl.fold (fun _ a acc -> a :: acc) tbl []
+  |> List.sort (fun a b -> compare a.job b.job)
+
+let clamp0 ns = if Int64.compare ns 0L < 0 then 0L else ns
+
+(* Longest-duration child chain under a root span.  A child is any
+   span strictly inside the parent's window that either shares its
+   trace id or sits on the same (pid, tid) lane — the latter picks up
+   engine spans, which don't carry trace args. *)
+let critical_path evs root =
+  let inside p e =
+    e != p && e.dur >= 0L
+    && Int64.compare e.ts p.ts >= 0
+    && Int64.compare (Int64.add e.ts e.dur) (Int64.add p.ts p.dur) <= 0
+    && Int64.compare e.dur p.dur <= 0
+    && ((trace_of e <> None && trace_of e = trace_of p)
+        || (e.pid = p.pid && e.tid = p.tid))
+  in
+  let rec go p acc =
+    let cands = List.filter (inside p) evs in
+    match
+      List.fold_left
+        (fun best e ->
+          match best with
+          | None -> Some e
+          | Some b -> if Int64.compare e.dur b.dur > 0 then Some e else best)
+        None cands
+    with
+    | None -> List.rev acc
+    | Some c -> go c (c :: acc)
+  in
+  go root [ root ]
+
+let report evs =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  let sps = spans evs in
+  (* per-phase stats *)
+  let by_name : (string, int64 list ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun e ->
+      match Hashtbl.find_opt by_name e.name with
+      | Some l -> l := e.dur :: !l
+      | None -> Hashtbl.replace by_name e.name (ref [ e.dur ]))
+    sps;
+  let rows =
+    Hashtbl.fold
+      (fun name l acc ->
+        let a = Array.of_list !l in
+        Array.sort Int64.compare a;
+        let total = Array.fold_left Int64.add 0L a in
+        (name, Array.length a, total, a) :: acc)
+      by_name []
+    |> List.sort (fun (_, _, ta, _) (_, _, tb, _) -> Int64.compare tb ta)
+  in
+  line "== per-phase spans ==";
+  line "%-28s %8s %12s %10s %10s %10s %10s" "name" "count" "total_ms"
+    "mean_ms" "p50_ms" "p99_ms" "max_ms";
+  List.iter
+    (fun (name, n, total, a) ->
+      line "%-28s %8d %12.3f %10.3f %10.3f %10.3f %10.3f" name n (ms total)
+        (ms total /. float_of_int n)
+        (ms (pctl a 0.5))
+        (ms (pctl a 0.99))
+        (ms a.(Array.length a - 1)))
+    rows;
+  (* per-job attribution *)
+  let atts = attributions evs in
+  let full =
+    List.filter
+      (fun a -> a.client_ns <> None && a.server_ns <> None)
+      atts
+  in
+  if atts <> [] then begin
+    line "";
+    line "== per-job attribution (ms) ==";
+    line "%-24s %10s %10s %10s %10s %10s" "job" "client" "network" "queue"
+      "check" "other";
+    let net_l = ref [] and q_l = ref [] and chk_l = ref [] and cl_l = ref [] in
+    List.iter
+      (fun a ->
+        let client = Option.value ~default:0L a.client_ns in
+        let server = Option.value ~default:0L a.server_ns in
+        let check = Option.value ~default:0L a.check_ns in
+        let network =
+          if a.client_ns = None || a.server_ns = None then 0L
+          else clamp0 (Int64.sub client server)
+        in
+        let queue =
+          if a.server_ns = None then 0L else clamp0 (Int64.sub server check)
+        in
+        let other =
+          clamp0 (Int64.sub client (Int64.add network (Int64.add queue check)))
+        in
+        if a.client_ns <> None && a.server_ns <> None then begin
+          net_l := network :: !net_l;
+          q_l := queue :: !q_l;
+          chk_l := check :: !chk_l;
+          cl_l := client :: !cl_l
+        end;
+        line "%-24s %10.3f %10.3f %10.3f %10.3f %10.3f" a.job (ms client)
+          (ms network) (ms queue) (ms check) (ms other))
+      atts;
+    if full <> [] then begin
+      let agg name l =
+        let a = Array.of_list l in
+        Array.sort Int64.compare a;
+        let total = Array.fold_left Int64.add 0L a in
+        line "%-24s %10.3f %10.3f %10.3f" name
+          (ms total /. float_of_int (Array.length a))
+          (ms (pctl a 0.5))
+          (ms (pctl a 0.99))
+      in
+      line "";
+      line "== aggregate over %d jobs with full client+server spans =="
+        (List.length full);
+      line "%-24s %10s %10s %10s" "component" "mean_ms" "p50_ms" "p99_ms";
+      agg "client (end-to-end)" !cl_l;
+      agg "network" !net_l;
+      agg "queue wait" !q_l;
+      agg "check" !chk_l
+    end
+  end;
+  (* critical path of the slowest end-to-end job (or slowest span) *)
+  let root =
+    let pick l =
+      List.fold_left
+        (fun best e ->
+          match best with
+          | None -> Some e
+          | Some b -> if Int64.compare e.dur b.dur > 0 then Some e else best)
+        None l
+    in
+    match
+      pick
+        (List.filter
+           (fun e -> e.name = "load.job" || e.name = "client.job")
+           sps)
+    with
+    | Some r -> Some r
+    | None -> pick sps
+  in
+  (match root with
+  | None -> ()
+  | Some r ->
+      line "";
+      line "== critical path (slowest job: %s) =="
+        (match trace_of r with Some t -> t | None -> r.name);
+      let path = critical_path sps r in
+      let prev_dur = ref None in
+      List.iter
+        (fun e ->
+          let pct =
+            match !prev_dur with
+            | Some p when Int64.compare p 0L > 0 ->
+                Printf.sprintf "  (%.0f%% of parent)"
+                  (100. *. Int64.to_float e.dur /. Int64.to_float p)
+            | _ -> ""
+          in
+          prev_dur := Some e.dur;
+          line "  %-26s %10.3f ms%s" e.name (ms e.dur) pct)
+        path);
+  Buffer.contents b
+
+(* ---------- flame ---------- *)
+
+(* Collapsed stacks from complete events: per (pid, tid) lane, nest by
+   time containment; self time = dur minus direct children.  Output is
+   the folded format flamegraph.pl / speedscope consume:
+   "proc;a;b;c <self_us>". *)
+let flame files =
+  let folded : (string, int64) Hashtbl.t = Hashtbl.create 64 in
+  let add_stack stack self =
+    if Int64.compare self 0L > 0 then
+      let key = String.concat ";" (List.rev stack) in
+      Hashtbl.replace folded key
+        (Int64.add self
+           (Option.value ~default:0L (Hashtbl.find_opt folded key)))
+  in
+  List.iter
+    (fun f ->
+      let lanes : (int * int, levt list ref) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun e ->
+          if e.dur >= 0L then
+            let k = (e.pid, e.tid) in
+            match Hashtbl.find_opt lanes k with
+            | Some l -> l := e :: !l
+            | None -> Hashtbl.replace lanes k (ref [ e ]))
+        f.evs;
+      Hashtbl.iter
+        (fun _ l ->
+          let evs =
+            List.stable_sort
+              (fun a b ->
+                match Int64.compare a.ts b.ts with
+                | 0 -> Int64.compare b.dur a.dur (* outermost first *)
+                | c -> c)
+              !l
+          in
+          (* stack of (event, names_rev, child_total) *)
+          let stack = ref [] in
+          let close_one () =
+            match !stack with
+            | [] -> ()
+            | (e, names, child_total) :: rest ->
+                add_stack names (Int64.sub e.dur child_total);
+                (match rest with
+                | (p, pn, pc) :: r ->
+                    stack := (p, pn, Int64.add pc e.dur) :: r
+                | [] -> stack := []);
+                ignore names
+          in
+          let ends e = Int64.add e.ts e.dur in
+          List.iter
+            (fun e ->
+              let rec pop () =
+                match !stack with
+                | (top, _, _) :: _
+                  when Int64.compare (ends top) e.ts <= 0 ->
+                    close_one ();
+                    pop ()
+                | _ -> ()
+              in
+              pop ();
+              let names =
+                match !stack with
+                | (_, pn, _) :: _ -> e.name :: pn
+                | [] -> [ e.name; f.proc ]
+              in
+              stack := (e, names, 0L) :: !stack)
+            evs;
+          while !stack <> [] do
+            close_one ()
+          done)
+        lanes)
+    files;
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) folded [] in
+  let rows = List.sort compare rows in
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (k, ns) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s %Ld\n" k (Int64.div ns 1000L)))
+    rows;
+  Buffer.contents b

@@ -1,0 +1,44 @@
+(** Offline trace analysis behind [elin trace merge/report/flame].
+
+    Loads exported traces in either format (canonical JSONL with the
+    [meta] header, or Chrome trace-event JSON with [otherData]),
+    re-absolutizes timestamps from the recorded [t0] when present, and
+    renders the analysis views.  Pure (no clocks, no globals) so tests
+    drive it directly. *)
+
+type levt = {
+  ts : int64;  (** ns; absolute when the file carried a [t0] *)
+  dur : int64; (** ns; [< 0] marks an instant *)
+  name : string;
+  cat : string;
+  pid : int;
+  tid : int;
+  args : (string * Jsonl.t) list;
+}
+
+type file = {
+  path : string;
+  proc : string;  (** process label from the metadata, else basename *)
+  t0 : int64 option;
+  evs : levt list;
+}
+
+(** Load one trace file, auto-detecting the format. *)
+val load : string -> (file, string) result
+
+(** Merge multi-process files into one Perfetto-loadable Chrome JSON:
+    file [k] becomes pid [k+1] (named by its [proc] label), and all
+    timestamps are re-aligned on the shared monotonic clock via each
+    file's [t0].  Errors when any input lacks a [t0] — merging
+    unaligned traces would silently lie. *)
+val merge : file list -> (Jsonl.t, string) result
+
+(** Per-phase duration stats, per-job attribution (client = network +
+    queue + check + other, keyed on the propagated trace id), aggregate
+    quantiles, and the critical path of the slowest job. *)
+val report : levt list -> string
+
+(** Collapsed-stack output ("proc;a;b;c <self_us>" per line) for
+    flamegraph.pl / speedscope.  Stacks nest by time containment per
+    (pid, tid) lane; counts are span self-time in microseconds. *)
+val flame : file list -> string

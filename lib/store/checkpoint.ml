@@ -116,16 +116,23 @@ let prune ~dir ~seq =
   end
 
 let commit ~dir m =
+  (* Span (not an instant): the manifest write is a tmp/fsync/rename
+     sequence plus pruning — checkpoint stalls at the level barrier
+     are exactly what the trace should attribute. *)
+  let span_ts = Trace.begin_ns () in
   let payload = Marshal.to_string m [] in
   write_framed ~dir ~name:(manifest_name m.seq) ~magic:man_magic payload;
   prune ~dir ~seq:(m.seq - 2);
-  Trace.instant ~cat:"store" "store.checkpoint"
+  Trace.complete ~cat:"store" ~ts:span_ts "store.checkpoint"
     ~args:
       [
         ("seq", Elin_obs.Jsonl.Int m.seq);
         ("level", Elin_obs.Jsonl.Int m.level);
         ("segments", Elin_obs.Jsonl.Int (List.length m.visited_segments));
-      ]
+      ];
+  Elin_obs.Recorder.note "store.checkpoint"
+    ~id:(manifest_name m.seq)
+    ~args:[ ("level", Elin_obs.Jsonl.Int m.level) ]
 
 let load_latest ~dir =
   let best = ref None in

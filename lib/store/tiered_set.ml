@@ -8,6 +8,8 @@
 module Fingerprint = Elin_kernel.Fingerprint
 module Metrics = Elin_obs.Metrics
 module Trace = Elin_obs.Trace
+module Recorder = Elin_obs.Recorder
+module Jsonl = Elin_obs.Jsonl
 
 type shard_state = {
   lock : Mutex.t;
@@ -27,6 +29,7 @@ type t = {
   n_shards : int;
   hot_capacity : int;
   m_flushes : Metrics.Counter.t;
+  m_spilled : Metrics.Counter.t;
   m_disk_probes : Metrics.Counter.t;
   m_disk_hits : Metrics.Counter.t;
   m_fence_skips : Metrics.Counter.t;
@@ -64,6 +67,7 @@ let make ~dir ~shards ~hot_capacity =
     n_shards = shards;
     hot_capacity;
     m_flushes = Metrics.counter "store.flushes";
+    m_spilled = Metrics.counter "store.spilled";
     m_disk_probes = Metrics.counter "store.disk_probes";
     m_disk_hits = Metrics.counter "store.disk_probe_hits";
     m_fence_skips = Metrics.counter "store.fence_skips";
@@ -158,6 +162,10 @@ let probe_disk t s fp =
 let flush_locked t shard_idx s =
   let n = Hashtbl.length s.hot in
   if n > 0 then begin
+    (* Seal span: sort + write + fsync + reopen — the whole stall the
+       spilling domain takes.  Per flush (cold), plus a recorder note
+       so a crash right after a seal shows it in the flight dump. *)
+    let span_ts = Trace.begin_ns () in
     let records = Array.make n (0L, 0L) in
     let i = ref 0 in
     Hashtbl.iter
@@ -175,11 +183,21 @@ let flush_locked t shard_idx s =
     s.flushes <- s.flushes + 1;
     Hashtbl.reset s.hot;
     Metrics.Counter.incr t.m_flushes;
+    Metrics.Counter.add t.m_spilled n;
     if Metrics.on () then begin
       Metrics.Gauge.add t.g_segments 1;
       Metrics.Gauge.add t.g_disk_bytes (Segment.file_bytes r);
       Metrics.Gauge.add t.g_hot (-n)
-    end
+    end;
+    Trace.complete ~cat:"store" ~ts:span_ts "store.seal"
+      ~args:
+        [
+          ("shard", Jsonl.Int shard_idx);
+          ("records", Jsonl.Int n);
+          ("segment", Jsonl.Str name);
+        ];
+    Recorder.note "store.seal" ~id:name
+      ~args:[ ("shard", Jsonl.Int shard_idx); ("records", Jsonl.Int n) ]
   end
 
 (* Core add/mem on a held shard. *)

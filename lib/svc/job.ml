@@ -10,6 +10,8 @@ type t = {
   node_budget : int option;
   timeout_ms : int option;
   history_text : string;
+  trace : string option;
+  parent : string option;
 }
 
 let check_to_string = function
@@ -45,6 +47,8 @@ let to_json j =
     @ (match j.timeout_ms with
       | Some ms -> [ ("timeout_ms", Int ms) ]
       | None -> [])
+    @ (match j.trace with Some t -> [ ("trace", Str t) ] | None -> [])
+    @ (match j.parent with Some p -> [ ("parent", Str p) ] | None -> [])
     @ [ ("history", Str j.history_text) ])
 
 let of_json ~seq json =
@@ -60,7 +64,11 @@ let of_json ~seq json =
   let* check = check_of_string check_s ~t:(Jsonl.int_mem "t" json) in
   let node_budget = Jsonl.int_mem "budget" json in
   let timeout_ms = Jsonl.int_mem "timeout_ms" json in
-  Ok { id; seq; spec; check; node_budget; timeout_ms; history_text }
+  let trace = Jsonl.str_mem "trace" json in
+  let parent = Jsonl.str_mem "parent" json in
+  Ok
+    { id; seq; spec; check; node_budget; timeout_ms; history_text; trace;
+      parent }
 
 let of_line ~seq line =
   match Jsonl.of_string line with

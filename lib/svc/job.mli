@@ -34,6 +34,16 @@ type t = {
   node_budget : int option;   (** per-DFS-run expansion budget *)
   timeout_ms : int option;    (** wall-clock budget for the whole job *)
   history_text : string;      (** [Textio] lines *)
+  trace : string option;
+      (** trace-context id, carried verbatim through the wire and into
+          every span recorded for this job — stitches client, server,
+          and worker spans into one cross-process trace.  Optional
+          field ["trace"]; absent jobs serialize byte-identically to
+          the pre-tracing wire format. *)
+  parent : string option;
+      (** parent span id (a job id): set on decomposed sub-jobs so
+          they render as children of the job they were split from.
+          Optional field ["parent"]. *)
 }
 
 val check_to_string : check -> string

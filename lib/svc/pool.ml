@@ -163,19 +163,41 @@ let rec worker_loop pool =
   | Some (job, cancel_flag) ->
     if Obs.Metrics.on () then Obs.Metrics.Gauge.set g_queue (Chan.length pool.input);
     let span_ts = Obs.Trace.begin_ns () in
+    Obs.Recorder.note "job.start" ~id:job.Job.id;
     let v = exec pool job cancel_flag in
     if Obs.Metrics.on () then begin
       Obs.Metrics.Counter.incr m_jobs;
       Obs.Metrics.Histogram.observe h_latency
         (int_of_float (v.Verdict.wall_ms *. 1000.))
     end;
+    let status_s = Verdict.status_to_string v.Verdict.status in
     if Obs.Trace.on () then
       Obs.Trace.complete ~cat:"svc" ~ts:span_ts "svc.job"
         ~args:
-          [
-            ("id", Obs.Jsonl.Str v.Verdict.job_id);
-            ("status", Obs.Jsonl.Str (Verdict.status_to_string v.Verdict.status));
-          ];
+          ([
+             ("id", Obs.Jsonl.Str v.Verdict.job_id);
+             ("status", Obs.Jsonl.Str status_s);
+           ]
+          @ (match job.Job.trace with
+            | Some t -> [ ("trace", Obs.Jsonl.Str t) ]
+            | None -> [])
+          @
+          match job.Job.parent with
+          | Some p -> [ ("parent", Obs.Jsonl.Str p) ]
+          | None -> []);
+    Obs.Recorder.note "job.done" ~id:job.Job.id
+      ~args:
+        [
+          ("status", Obs.Jsonl.Str status_s);
+          ("wall_ms", Obs.Jsonl.Float v.Verdict.wall_ms);
+        ];
+    (* A crashed or timed-out job is exactly the post-mortem the
+       flight recorder exists for; no-op unless a sink is set. *)
+    (match v.Verdict.status with
+    | Verdict.Failed _ -> Obs.Recorder.dump ~reason:"job_failed" ~job:job.Job.id ()
+    | Verdict.Timed_out ->
+      Obs.Recorder.dump ~reason:"job_timeout" ~job:job.Job.id ()
+    | _ -> ());
     (* Drop the cancellation entry once the job is done (unless a
        resubmission under the same id has already replaced it): a
        long-lived server must not accumulate one entry per job. *)

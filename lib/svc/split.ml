@@ -46,6 +46,10 @@ let expand (j : Job.t) =
               Job.id = Printf.sprintf "%s#o%d" j.Job.id o;
               check;
               history_text = Textio.to_string ho;
+              (* Sub-jobs keep the parent's trace context and name it
+                 as their parent span, so a decomposed job renders as
+                 one job span with per-object children. *)
+              parent = Some j.Job.id;
             })
           objs
       in

@@ -32,11 +32,46 @@ let job ?budget ~id ~spec check text =
     node_budget = budget;
     timeout_ms = None;
     history_text = text;
+    trace = None;
+    parent = None;
   }
 
 let all_checks = [ Job.Linearizable; Job.T_lin 2; Job.Min_t; Job.Weak; Job.Full ]
 
+(* [--telemetry-slow] emits the one-job corpus behind `make
+   telemetry-smoke` ([test/support/telemetry_slow.jobs]): a depth-10
+   unsatisfiable register history (10 pending writes racing a reader —
+   refutation walks ~d! interleavings) against the load harness's
+   ["elin.load.reg"] spec, bounded by a 5 s timeout.  Submitted to a
+   draining server it pins a worker for seconds, which is exactly the
+   window the smoke test needs to observe /healthz flip to 503. *)
+let telemetry_slow () =
+  let d = 10 in
+  let events =
+    List.init d (fun i -> Event.invoke ~proc:(i + 1) ~obj:0 (Op.write (i + 1)))
+    @ List.concat_map
+        (fun i ->
+          [
+            Event.invoke ~proc:0 ~obj:0 Op.read;
+            Event.respond ~proc:0 ~obj:0 (Value.int (i + 1));
+          ])
+        (List.init d (fun i -> i))
+    @ [
+        Event.invoke ~proc:0 ~obj:0 Op.read;
+        Event.respond ~proc:0 ~obj:0 (Value.int 1);
+      ]
+  in
+  let text = Textio.to_string (History.of_events events) in
+  emit 0
+    { (job ~id:"slow-drain" ~spec:"elin.load.reg" Job.Linearizable text) with
+      Job.timeout_ms = Some 5000;
+    }
+
 let () =
+  if Array.exists (fun a -> a = "--telemetry-slow") Sys.argv then begin
+    telemetry_slow ();
+    exit 0
+  end;
   let next = ref 0 in
   let out j =
     emit !next j;

@@ -113,6 +113,9 @@ let test_addr_parse () =
   ok "tcp:localhost:9000" "tcp:localhost:9000";
   ok "localhost:9000" "tcp:localhost:9000";
   ok "9000" "tcp:127.0.0.1:9000";
+  (* Port 0 = "pick an ephemeral port"; the bound port is read back
+     via Server.port / Telemetry.port. *)
+  ok "tcp:localhost:0" "tcp:localhost:0";
   let err s =
     match Addr.of_string s with
     | Error _ -> ()
@@ -121,7 +124,6 @@ let test_addr_parse () =
   err "";
   err "tcp:localhost:notaport";
   err "tcp:localhost:70000";
-  err "tcp:localhost:0";
   err "justaname"
 
 let test_addr_roundtrip () =
@@ -244,6 +246,8 @@ let job ~id ~spec =
     node_budget = None;
     timeout_ms = None;
     history_text = sample_history_text;
+    trace = None;
+    parent = None;
   }
 
 let wait_for ?(timeout_s = 5.0) pred =
@@ -358,6 +362,69 @@ let test_drain_answers_in_flight () =
           | `Error e -> Alcotest.failf "drain must end in EOF, got: %s" e);
           Thread.join stopper))
 
+(* ------------------------------------------------------------------ *)
+(* Trace-context propagation                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A trace id stamped on a job by the client must survive the server's
+   internal "<cid>.<k>|<orig>" id rewriting: verdicts come back under
+   the original id, and both the server-side net.job span and the
+   worker-side svc.job span carry the id in their "trace" arg — that
+   is what lets [elin trace merge] stitch the processes together. *)
+let test_trace_id_roundtrip () =
+  let module Trace = Elin_obs.Trace in
+  let ids = List.init 4 (fun i -> Printf.sprintf "rt%d" i) in
+  let trace_of id = "trace-" ^ id in
+  Trace.clear ();
+  Trace.enable ();
+  let verdicts = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Trace.clear ())
+    (fun () ->
+      with_server ~domains:2 (fun addr _srv ->
+          let jobs =
+            List.map
+              (fun id ->
+                { (job ~id ~spec:"fetch&increment") with
+                  Job.trace = Some (trace_of id);
+                })
+              ids
+          in
+          verdicts := Client.run_jobs addr jobs);
+      (* with_server has stopped the server: worker domains are joined,
+         so walking the trace buffers is safe. *)
+      let got =
+        List.sort compare (List.map (fun v -> v.Verdict.job_id) !verdicts)
+      in
+      Alcotest.(check (list string))
+        "verdicts return under the original ids" ids got;
+      let evs = Trace.events () in
+      let traces_on span_name =
+        List.filter_map
+          (fun (e : Trace.event) ->
+            if e.Trace.name <> span_name then None
+            else
+              match List.assoc_opt "trace" e.Trace.args with
+              | Some (Elin_obs.Jsonl.Str t) -> Some t
+              | _ -> None)
+          evs
+        |> List.sort_uniq compare
+      in
+      List.iter
+        (fun span_name ->
+          Alcotest.(check (list string))
+            (span_name ^ " spans carry every submitted trace id")
+            (List.map trace_of ids) (traces_on span_name))
+        [ "net.job"; "svc.job" ];
+      (* No span leaks the internal rewritten id into its trace arg. *)
+      List.iter
+        (fun t ->
+          Alcotest.(check bool) "trace arg is never an internal id" false
+            (String.contains t '|'))
+        (traces_on "net.job" @ traces_on "svc.job"))
+
 let test_malformed_payload_is_bad_job () =
   with_server ~domains:1 (fun addr _srv ->
       let c = Client.connect addr in
@@ -411,5 +478,10 @@ let () =
             test_drain_answers_in_flight;
           Support.quick "malformed payload costs a bad_job, not the session"
             test_malformed_payload_is_bad_job;
+        ] );
+      ( "trace",
+        [
+          Support.quick "trace ids survive internal id rewriting"
+            test_trace_id_roundtrip;
         ] );
     ]

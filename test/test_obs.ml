@@ -317,6 +317,8 @@ let mk_job id =
     node_budget = None;
     timeout_ms = None;
     history_text = sample_history_text;
+    trace = None;
+    parent = None;
   }
 
 (* [elin serve --watch] flushes one final snapshot on SIGINT; what
@@ -355,6 +357,241 @@ let test_spool_metrics_accumulate () =
   ignore (Spool.process_file ~domains:1 ~dir ~metrics:fresh "a");
   Alcotest.(check int) "fresh registry counts one file" 1
     (Metrics.snapshot fresh).Metrics.submitted
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics exposition                                             *)
+(* ------------------------------------------------------------------ *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* render_snapshot is pure, so the golden feeds a hand-built snapshot:
+   one counter, one gauge, one histogram with mass in buckets 1 and 11
+   (upper edges 1 and 2047). *)
+let test_openmetrics_golden () =
+  let body =
+    Obs.Openmetrics.render_snapshot
+      [
+        ("net.jobs", Obs.Metrics.Counter_v 3);
+        ("svc.latency_us",
+         Obs.Metrics.Histogram_v
+           { count = 100; sum = 10330; buckets = [ (1, 90); (11, 10) ] });
+        ("svc.queue_depth", Obs.Metrics.Gauge_v 2);
+      ]
+  in
+  Alcotest.(check string) "exposition golden"
+    (String.concat "\n"
+       [
+         "# TYPE elin_net_jobs counter";
+         "elin_net_jobs_total 3";
+         "# TYPE elin_svc_latency_us histogram";
+         {|elin_svc_latency_us_bucket{le="1"} 90|};
+         {|elin_svc_latency_us_bucket{le="2047"} 100|};
+         {|elin_svc_latency_us_bucket{le="+Inf"} 100|};
+         "elin_svc_latency_us_count 100";
+         "elin_svc_latency_us_sum 10330";
+         "# TYPE elin_svc_latency_us_p50 gauge";
+         "elin_svc_latency_us_p50 1";
+         "# TYPE elin_svc_latency_us_p99 gauge";
+         "elin_svc_latency_us_p99 2047";
+         "# TYPE elin_svc_queue_depth gauge";
+         "elin_svc_queue_depth 2";
+         "# EOF";
+         "";
+       ])
+    body;
+  (match Obs.Openmetrics.validate body with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "golden must validate: %s" e);
+  (* The render/validate pair closes on the live registry too. *)
+  (match Obs.Openmetrics.validate (Obs.Openmetrics.render ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "live render must validate: %s" e);
+  let expect_err what text =
+    match Obs.Openmetrics.validate text with
+    | Ok () -> Alcotest.failf "%s must be rejected" what
+    | Error e ->
+      Alcotest.(check bool) (what ^ " error mentions openmetrics") true
+        (contains e "openmetrics")
+  in
+  expect_err "missing terminator" "elin_x_total 1\n";
+  expect_err "unparsable sample" "not a sample line\n# EOF\n";
+  expect_err "non-numeric value" "elin_x_total banana\n# EOF\n";
+  expect_err "content after EOF" "# EOF\nelin_x_total 1\n"
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder: the ring really is a ring                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_recorder_ring_bound () =
+  Obs.Recorder.clear ();
+  for i = 1 to 300 do
+    Obs.Recorder.note "tick" ~id:(string_of_int i)
+  done;
+  let es = Obs.Recorder.entries () in
+  Alcotest.(check int) "capped at 256 entries" 256 (List.length es);
+  (* Oldest-first overwrite: of 300 notes, the survivors are exactly
+     the last 256 (45..300), in order. *)
+  Alcotest.(check (list string)) "oldest overwritten first, order kept"
+    (List.init 256 (fun i -> string_of_int (i + 45)))
+    (List.map (fun e -> e.Obs.Recorder.id) es);
+  Obs.Recorder.clear ();
+  Alcotest.(check int) "clear empties the ring" 0
+    (List.length (Obs.Recorder.entries ()))
+
+(* ------------------------------------------------------------------ *)
+(* Trace metadata + offline analysis toolkit                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_meta_golden () =
+  (* Fake clock: the first event lands at absolute ts 1000, which is
+     exactly what the meta header's t0 must expose (events themselves
+     are rebased to 0). *)
+  let evs = record_golden_events () in
+  Alcotest.(check string) "meta header golden"
+    {|{"meta":"elin.trace","t0":1000,"proc":"elin"}|}
+    (Jsonl.to_string (Obs.Trace.meta_json evs))
+
+let test_trace_tools_load_merge_report_flame () =
+  let tmp suffix = Filename.temp_file "elin-tt" suffix in
+  let client_f = tmp ".jsonl" in
+  let server_f = tmp ".json" in
+  let naked_f = tmp ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.set_proc "elin";
+      List.iter
+        (fun f -> if Sys.file_exists f then Sys.remove f)
+        [ client_f; server_f; naked_f ])
+    (fun () ->
+      (* Two "processes" sharing one monotonic clock, like two elin
+         processes on one host: client records first, server after. *)
+      (with_fake_clock @@ fun () ->
+       with_obs ~trace:true @@ fun () ->
+       Obs.Trace.set_proc "client";
+       Obs.Trace.with_span ~cat:"net"
+         ~args:[ ("id", Jsonl.Str "j1"); ("trace", Jsonl.Str "j1") ]
+         "client.job"
+         (fun () -> ());
+       Obs.Trace.write_file client_f;
+       Obs.Trace.clear ();
+       Obs.Trace.set_proc "serve";
+       Obs.Trace.with_span ~cat:"net"
+         ~args:[ ("id", Jsonl.Str "j1"); ("trace", Jsonl.Str "j1") ]
+         "net.job"
+         (fun () ->
+           Obs.Trace.with_span ~cat:"svc"
+             ~args:[ ("id", Jsonl.Str "j1"); ("trace", Jsonl.Str "j1") ]
+             "svc.job"
+             (fun () -> ()));
+       Obs.Trace.write_file server_f);
+      let load f =
+        match Obs.Trace_tools.load f with
+        | Ok x -> x
+        | Error e -> Alcotest.failf "load %s: %s" f e
+      in
+      let cf = load client_f in
+      let sf = load server_f in
+      Alcotest.(check string) "proc from JSONL meta header" "client"
+        cf.Obs.Trace_tools.proc;
+      Alcotest.(check string) "proc from Chrome otherData" "serve"
+        sf.Obs.Trace_tools.proc;
+      (match (cf.Obs.Trace_tools.t0, sf.Obs.Trace_tools.t0) with
+      | Some ct0, Some st0 ->
+        Alcotest.(check bool) "server t0 after client t0 (shared clock)"
+          true
+          (Int64.compare ct0 st0 < 0)
+      | _ -> Alcotest.fail "both exports must carry t0");
+      (* Merge re-aligns on t0 and assigns one pid per process. *)
+      (match Obs.Trace_tools.merge [ cf; sf ] with
+      | Error e -> Alcotest.failf "merge: %s" e
+      | Ok chrome ->
+        let tevs =
+          match Jsonl.mem "traceEvents" chrome with
+          | Some (Jsonl.Arr l) -> l
+          | _ -> Alcotest.fail "merged output missing traceEvents"
+        in
+        let pids =
+          List.sort_uniq compare
+            (List.filter_map (fun e -> Jsonl.int_mem "pid" e) tevs)
+        in
+        Alcotest.(check (list int)) "one pid per process (+ metadata)"
+          [ 1; 2 ] pids);
+      (* A trace with no metadata loads (back-compat) but refuses to
+         merge: unaligned clocks would silently lie. *)
+      let oc = open_out naked_f in
+      output_string oc {|{"ts":0,"ph":"i","name":"x","cat":"t","tid":0}|};
+      output_string oc "\n";
+      close_out oc;
+      let nf = load naked_f in
+      Alcotest.(check bool) "no t0 without metadata" true
+        (nf.Obs.Trace_tools.t0 = None);
+      (match Obs.Trace_tools.merge [ cf; nf ] with
+      | Error e ->
+        Alcotest.(check bool) "merge refusal names t0" true (contains e "t0")
+      | Ok _ -> Alcotest.fail "merge must refuse a t0-less input");
+      (* Report: phases show up, and the per-job attribution keys on
+         the propagated trace id. *)
+      let rep =
+        Obs.Trace_tools.report (cf.Obs.Trace_tools.evs @ sf.Obs.Trace_tools.evs)
+      in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("report mentions " ^ needle) true
+            (contains rep needle))
+        [ "client.job"; "net.job"; "svc.job"; "j1" ];
+      (* Flame: stacks nest by time containment within a lane. *)
+      let fl = Obs.Trace_tools.flame [ cf; sf ] in
+      Alcotest.(check bool) "server stack nests svc.job under net.job" true
+        (contains fl "serve;net.job;svc.job");
+      Alcotest.(check bool) "client stack present" true
+        (contains fl "client;client.job"))
+
+(* ------------------------------------------------------------------ *)
+(* Trace propagation never changes verdicts (corpus gate)             *)
+(* ------------------------------------------------------------------ *)
+
+(* The service-level zero-interference gate: stamping every corpus job
+   with a trace id AND enabling the full observability stack must
+   leave every verdict line byte-identical to the plain run. *)
+let test_corpus_trace_propagation_gate () =
+  let ic = open_in "support/corpus_50.jobs" in
+  let lines =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | l -> go (l :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  in
+  let jobs =
+    List.filter_map
+      (fun item -> match item with `Job j -> Some j | `Bad _ -> None)
+      (Pool.parse_jobs lines)
+  in
+  Alcotest.(check bool) "corpus parsed" true (List.length jobs > 40);
+  let plain =
+    List.map Verdict.to_line (Pool.run_batch ~domains:2 jobs)
+  in
+  let stamped =
+    List.map
+      (fun j -> { j with Job.trace = Some ("trace-" ^ j.Job.id) })
+      jobs
+  in
+  let traced =
+    with_obs ~metrics:true ~trace:true @@ fun () ->
+    let out = List.map Verdict.to_line (Pool.run_batch ~domains:2 stamped) in
+    Alcotest.(check bool) "tracing recorded spans" true
+      (Obs.Trace.events () <> []);
+    out
+  in
+  Alcotest.(check (list string))
+    "verdict lines identical with trace ids + tracing on" plain traced
 
 (* ------------------------------------------------------------------ *)
 (* Clock                                                              *)
@@ -407,6 +644,24 @@ let () =
         [
           Support.quick "shared registry accumulates across files"
             test_spool_metrics_accumulate;
+        ] );
+      ( "openmetrics",
+        [
+          Support.quick "exposition golden and validator"
+            test_openmetrics_golden;
+        ] );
+      ( "recorder",
+        [
+          Support.quick "ring bound drops oldest first"
+            test_recorder_ring_bound;
+        ] );
+      ( "trace-tools",
+        [
+          Support.quick "meta header golden" test_trace_meta_golden;
+          Support.quick "load, merge, report, flame"
+            test_trace_tools_load_merge_report_flame;
+          Support.quick "corpus verdicts identical under trace propagation"
+            test_corpus_trace_propagation_gate;
         ] );
       ("clock", [ Support.quick "monotonic source" test_clock_monotonic ]);
     ]

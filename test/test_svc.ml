@@ -87,6 +87,8 @@ let mk_job ?(id = "j") ?(seq = 0) ?budget ?timeout_ms check =
     node_budget = budget;
     timeout_ms;
     history_text = sample_history_text;
+    trace = None;
+    parent = None;
   }
 
 let test_job_roundtrip () =
@@ -263,6 +265,8 @@ let job ?budget ?timeout_ms ~id ~seq ~spec check =
     node_budget = budget;
     timeout_ms;
     history_text = sample_history_text;
+    trace = None;
+    parent = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -288,6 +292,8 @@ let test_batch_determinism () =
                  node_budget = None;
                  timeout_ms = None;
                  history_text = text;
+                 trace = None;
+                 parent = None;
                })
              [ Job.Linearizable; Job.Min_t; Job.Full ]))
   in
@@ -436,6 +442,8 @@ let test_batcher_reuse_counts () =
                  node_budget = None;
                  timeout_ms = None;
                  history_text = text;
+                 trace = None;
+                 parent = None;
                })
              [ Job.Linearizable; Job.T_lin 1; Job.Min_t ])
          texts)
@@ -519,6 +527,85 @@ let test_spool_scan () =
   Alcotest.(check int) "two verdict lines" 2 (List.length out);
   Alcotest.(check int) "idempotent" 0 (Spool.scan_once ~domains:1 ~dir ())
 
+(* ------------------------------------------------------------------ *)
+(* Trace context on the wire; flight recorder dumps                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_job_trace_wire () =
+  (* With trace/parent set, the fields round-trip; without them the
+     line is byte-identical to the pre-tracing wire format. *)
+  let bare = mk_job Job.Linearizable in
+  let bare_line = Job.to_line bare in
+  Alcotest.(check bool) "absent trace leaves no wire residue" false
+    (contains bare_line "trace" || contains bare_line "parent");
+  let stamped = { bare with Job.trace = Some "t-9"; parent = Some "p-1" } in
+  (match Job.of_line ~seq:0 (Job.to_line stamped) with
+  | Ok j ->
+    Alcotest.(check bool) "trace survives" true (j.Job.trace = Some "t-9");
+    Alcotest.(check bool) "parent survives" true (j.Job.parent = Some "p-1")
+  | Error e -> Alcotest.failf "stamped job failed to parse: %s" e);
+  match Job.of_line ~seq:0 bare_line with
+  | Ok j ->
+    Alcotest.(check bool) "absent fields parse as None" true
+      (j.Job.trace = None && j.Job.parent = None)
+  | Error e -> Alcotest.failf "bare job failed to parse: %s" e
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_flight_sink f =
+  let path = Filename.temp_file "elin-flight" ".jsonl" in
+  Elin_obs.Recorder.set_sink (Some path);
+  Fun.protect
+    ~finally:(fun () ->
+      Elin_obs.Recorder.set_sink None;
+      Elin_obs.Recorder.clear ();
+      if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let test_flight_dump_on_poisoned_job () =
+  with_flight_sink (fun path ->
+      let before = Elin_obs.Recorder.dump_count () in
+      let vs =
+        Pool.run_batch ~resolve ~domains:1
+          [ job ~id:"boom" ~seq:0 ~spec:"poison" Job.Linearizable ]
+      in
+      (match vs with
+      | [ { Verdict.status = Verdict.Failed _; _ } ] -> ()
+      | _ -> Alcotest.fail "poisoned job must fail");
+      Alcotest.(check bool) "a dump happened" true
+        (Elin_obs.Recorder.dump_count () > before);
+      let dump = read_file path in
+      Alcotest.(check bool) "header names the reason" true
+        (contains dump {|"flight":"elin.flight"|}
+        && contains dump {|"reason":"job_failed"|});
+      Alcotest.(check bool) "header names the offending job" true
+        (contains dump {|"job":"boom"|});
+      Alcotest.(check bool) "ring holds the job.start note" true
+        (contains dump {|"kind":"job.start"|}))
+
+let test_flight_dump_on_sigusr1 () =
+  with_flight_sink (fun path ->
+      Elin_obs.Recorder.install_sigusr1 ();
+      let before = Elin_obs.Recorder.dump_count () in
+      Unix.kill (Unix.getpid ()) Sys.sigusr1;
+      (* OCaml delivers signals at safepoints; give the runtime a
+         bounded moment to run the handler. *)
+      let deadline = Unix.gettimeofday () +. 2. in
+      while
+        Elin_obs.Recorder.dump_count () = before
+        && Unix.gettimeofday () < deadline
+      do
+        Unix.sleepf 0.01
+      done;
+      Alcotest.(check bool) "SIGUSR1 produced a dump" true
+        (Elin_obs.Recorder.dump_count () > before);
+      Alcotest.(check bool) "dump reason is sigusr1" true
+        (contains (read_file path) {|"reason":"sigusr1"|}))
+
 let () =
   Alcotest.run "svc"
     [
@@ -552,6 +639,15 @@ let () =
           Support.quick "prepare hit/miss accounting" test_batcher_reuse_counts;
           Support.quick "status counters and percentiles"
             test_metrics_statuses;
+        ] );
+      ( "trace-flight",
+        [
+          Support.quick "trace/parent wire fields round-trip"
+            test_job_trace_wire;
+          Support.quick "poisoned job triggers a flight dump"
+            test_flight_dump_on_poisoned_job;
+          Support.quick "SIGUSR1 triggers a flight dump"
+            test_flight_dump_on_sigusr1;
         ] );
       ( "lines-spool",
         [
